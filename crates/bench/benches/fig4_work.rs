@@ -1,0 +1,101 @@
+//! Figure 4 — GPU work:
+//! (a) dynamic instruction mixes (moves/logic/control/computation/sends),
+//! (b) SIMD width distribution,
+//! (c) GPU memory activity (bytes read and written).
+
+use bench_suite::drivers::{header, mean, pct, profile_suite, thousands};
+use gen_isa::{ExecSize, OpcodeCategory};
+use gtpin_core::AppCharacterization;
+use workloads::Scale;
+
+fn main() {
+    let suite = profile_suite(Scale::Default);
+    let rows: Vec<AppCharacterization> = suite
+        .iter()
+        .map(|w| AppCharacterization::new(&w.profiled.cofluent, &w.profiled.profile))
+        .collect();
+
+    header("Figure 4a: dynamic instruction mixes");
+    println!(
+        "{:28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "app", "moves", "logic", "control", "comp", "sends"
+    );
+    for r in &rows {
+        println!(
+            "{:28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            r.app,
+            pct(r.category_fraction(OpcodeCategory::Move)),
+            pct(r.category_fraction(OpcodeCategory::Logic)),
+            pct(r.category_fraction(OpcodeCategory::Control)),
+            pct(r.category_fraction(OpcodeCategory::Computation)),
+            pct(r.category_fraction(OpcodeCategory::Send)),
+        );
+    }
+    for (label, cat) in [
+        ("moves", OpcodeCategory::Move),
+        ("logic", OpcodeCategory::Logic),
+        ("control", OpcodeCategory::Control),
+        ("comp", OpcodeCategory::Computation),
+        ("sends", OpcodeCategory::Send),
+    ] {
+        let m = mean(&rows.iter().map(|r| r.category_fraction(cat)).collect::<Vec<_>>());
+        print!("AVG {label} {}  ", pct(m));
+    }
+    println!();
+    println!();
+    println!("paper shape: control avg 7.3%, computation 36.2%, sends 5.1%;");
+    println!("proc-gpu stands out with ~91% computation");
+
+    header("Figure 4b: SIMD widths");
+    println!(
+        "{:28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "app", "w16", "w8", "w4", "w2", "w1"
+    );
+    for r in &rows {
+        println!(
+            "{:28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            r.app,
+            pct(r.width_fraction(ExecSize::S16)),
+            pct(r.width_fraction(ExecSize::S8)),
+            pct(r.width_fraction(ExecSize::S4)),
+            pct(r.width_fraction(ExecSize::S2)),
+            pct(r.width_fraction(ExecSize::S1)),
+        );
+    }
+    for (label, w) in [
+        ("w16", ExecSize::S16),
+        ("w8", ExecSize::S8),
+        ("w4", ExecSize::S4),
+        ("w2", ExecSize::S2),
+        ("w1", ExecSize::S1),
+    ] {
+        let m = mean(&rows.iter().map(|r| r.width_fraction(w)).collect::<Vec<_>>());
+        print!("AVG {label} {}  ", pct(m));
+    }
+    println!();
+    println!();
+    println!("paper shape: 16-wide 52%, 8-wide 45%, 1-wide 4%, 4-wide <0.1%, 2-wide never");
+
+    header("Figure 4c: GPU memory activity");
+    println!("{:28} {:>16} {:>16} {:>8}", "app", "bytes read", "bytes written", "R/W");
+    for r in &rows {
+        let ratio = if r.bytes_written > 0 {
+            format!("{:.1}", r.bytes_read as f64 / r.bytes_written as f64)
+        } else {
+            "inf".to_string()
+        };
+        println!(
+            "{:28} {:>16} {:>16} {:>8}",
+            r.app,
+            thousands(r.bytes_read),
+            thousands(r.bytes_written),
+            ratio
+        );
+    }
+    let tr = mean(&rows.iter().map(|r| r.bytes_read as f64).collect::<Vec<_>>());
+    let tw = mean(&rows.iter().map(|r| r.bytes_written as f64).collect::<Vec<_>>());
+    println!("{:28} {:>16.0} {:>16.0}", "AVERAGE", tr, tw);
+    println!();
+    println!("paper shape: crypto apps read the most; the Sony apps write far more");
+    println!("than they read (up to 525× for proj-r5); on average reads ≫ writes");
+}

@@ -1,0 +1,41 @@
+//! Figure 5 — feature and division space exploration: performance
+//! error and selection size for all 30 interval/feature
+//! configurations, on the paper's three sample applications.
+
+use bench_suite::drivers::{explore, header, profile_some};
+use workloads::{figure5_sample_names, Scale};
+
+fn main() {
+    let samples = figure5_sample_names();
+    let suite = profile_some(Scale::Default, |name| samples.contains(&name));
+
+    for w in &suite {
+        let ex = explore(&w.profiled.data);
+        header(&format!("Figure 5: {}", w.spec.name));
+        println!(
+            "{:14} {:>12} {:>12} {:>12} {:>4}",
+            "interval", "features", "error", "sel. size", "k"
+        );
+        for e in &ex.evaluations {
+            println!(
+                "{:14} {:>12} {:>11.2}% {:>11.2}% {:>4}",
+                e.config.interval.label(),
+                e.config.features.label(),
+                e.error_pct,
+                e.selection_fraction() * 100.0,
+                e.selection.k,
+            );
+        }
+        let best = ex.min_error().expect("evaluations exist");
+        println!(
+            "best: {} with {:.2}% error, {:.2}% of instructions selected",
+            best.config,
+            best.error_pct,
+            best.selection_fraction() * 100.0
+        );
+    }
+    println!();
+    println!("paper shape: no single configuration is best across apps; block-based");
+    println!("features tend to beat kernel-based ones; memory features usually help;");
+    println!("sync-bounded intervals give the smallest errors but largest selections");
+}

@@ -1,0 +1,114 @@
+//! Figure 8 — timed validation: one trial's selections predict whole
+//! program performance across (top) new trials on the same machine,
+//! (middle) lower GPU frequencies, and (bottom) a newer architecture
+//! generation (Haswell HD 4600 vs Ivy Bridge HD 4000, with a
+//! LuxMark-style score comparing raw performance).
+
+use bench_suite::drivers::{explore, header, mean, profile_suite};
+use gpu_device::GpuConfig;
+use subset_select::{cross_error_pct, replay_timings};
+use workloads::{luxmark_score, Scale};
+
+fn main() {
+    let suite = profile_suite(Scale::Default);
+
+    // One set of selections per application, from trial 1.
+    let selections: Vec<_> = suite
+        .iter()
+        .map(|w| {
+            let ex = explore(&w.profiled.data);
+            ex.min_error().expect("evaluations exist").clone()
+        })
+        .collect();
+
+    // --- Top: cross-trial -----------------------------------------
+    header("Figure 8 (top): error using trial-1 selections on trials 2-10");
+    println!("{:28} {:>10} {:>10} {:>10}", "app", "min", "mean", "max");
+    let mut all_trial_errors = Vec::new();
+    for (w, sel) in suite.iter().zip(&selections) {
+        let mut errors = Vec::new();
+        for trial in 2..=10u64 {
+            let timing = replay_timings(
+                &w.profiled.recording,
+                GpuConfig::hd4000().with_trial_seed(trial),
+            )
+            .expect("replay runs");
+            let new_data = w.profiled.data.with_timings(&timing).expect("same order");
+            errors.push(cross_error_pct(sel, &new_data));
+        }
+        all_trial_errors.extend(errors.iter().copied());
+        println!(
+            "{:28} {:>9.3}% {:>9.3}% {:>9.3}%",
+            w.spec.name,
+            errors.iter().cloned().fold(f64::INFINITY, f64::min),
+            mean(&errors),
+            errors.iter().cloned().fold(0.0, f64::max),
+        );
+    }
+    summarize(&all_trial_errors);
+
+    // --- Middle: cross-frequency ----------------------------------
+    header("Figure 8 (middle): error using 1150MHz selections at lower frequencies");
+    let freqs = [1000.0e6, 850.0e6, 700.0e6, 550.0e6, 350.0e6];
+    print!("{:28}", "app");
+    for f in freqs {
+        print!(" {:>9}", format!("{:.0}MHz", f / 1e6));
+    }
+    println!();
+    let mut all_freq_errors = Vec::new();
+    for (w, sel) in suite.iter().zip(&selections) {
+        print!("{:28}", w.spec.name);
+        for f in freqs {
+            let timing = replay_timings(
+                &w.profiled.recording,
+                GpuConfig::hd4000().with_trial_seed(2).with_frequency_hz(f),
+            )
+            .expect("replay runs");
+            let new_data = w.profiled.data.with_timings(&timing).expect("same order");
+            let err = cross_error_pct(sel, &new_data);
+            all_freq_errors.push(err);
+            print!(" {:>8.3}%", err);
+        }
+        println!();
+    }
+    summarize(&all_freq_errors);
+
+    // --- Bottom: cross-generation ---------------------------------
+    header("Figure 8 (bottom): error using Ivy Bridge selections on Haswell");
+    let lux_ivy = luxmark_score(GpuConfig::hd4000());
+    let lux_hsw = luxmark_score(GpuConfig::hd4600());
+    println!(
+        "LuxMark-style scores: HD4000 {:.0}, HD4600 {:.0} (paper: 269 vs 351)",
+        lux_ivy, lux_hsw
+    );
+    println!();
+    println!("{:28} {:>10}", "app", "Haswell");
+    let mut all_gen_errors = Vec::new();
+    let mut worst = ("", 0.0f64);
+    for (w, sel) in suite.iter().zip(&selections) {
+        let timing = replay_timings(&w.profiled.recording, GpuConfig::hd4600().with_trial_seed(3))
+            .expect("replay runs");
+        let new_data = w.profiled.data.with_timings(&timing).expect("same order");
+        let err = cross_error_pct(sel, &new_data);
+        all_gen_errors.push(err);
+        if err > worst.1 {
+            worst = (w.spec.name, err);
+        }
+        println!("{:28} {:>9.3}%", w.spec.name, err);
+    }
+    summarize(&all_gen_errors);
+    println!("worst app: {} at {:.2}% (paper's worst was gaussian-image at ~11%)", worst.0, worst.1);
+    println!();
+    println!("paper shape: most errors below 3% in all three validations");
+}
+
+fn summarize(errors: &[f64]) {
+    let below3 = errors.iter().filter(|&&e| e < 3.0).count();
+    println!(
+        "summary: mean {:.3}%, max {:.3}%, {}/{} below 3%",
+        mean(errors),
+        errors.iter().cloned().fold(0.0, f64::max),
+        below3,
+        errors.len()
+    );
+}

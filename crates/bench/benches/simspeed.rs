@@ -1,0 +1,96 @@
+//! Section I / V — the cost gap that motivates subset selection:
+//! detailed cycle-level simulation is orders of magnitude slower
+//! than native execution (the paper cites up to 2,000,000× for real
+//! simulators). This bench measures our functional engine versus the
+//! detailed simulator on identical launches, and the implied
+//! full-program simulation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gen_isa::ExecSize;
+use gpu_device::detailed::{DetailedConfig, DetailedSimulator};
+use gpu_device::{Cache, CacheConfig, ExecConfig, Executor, GpuGeneration, TraceBuffer};
+use ocl_runtime::api::ArgValue;
+use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+
+fn kernel() -> gen_isa::DecodedKernel {
+    let mut ir = KernelIr::new("simspeed", 2);
+    ir.body = vec![
+        IrOp::LoopBegin { trip: TripCount::Arg(0) },
+        IrOp::Compute { ops: 24, width: ExecSize::S16 },
+        IrOp::MathCompute { ops: 4, width: ExecSize::S8 },
+        IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopEnd,
+    ];
+    gpu_device::jit::compile_kernel(&ir).expect("compiles").flatten()
+}
+
+fn bench_simspeed(c: &mut Criterion) {
+    let k = kernel();
+    let args = [ArgValue::Scalar(50), ArgValue::Buffer(0)];
+    let gws = 1024;
+
+    let mut group = c.benchmark_group("simulation_speed");
+    group.sample_size(10);
+
+    group.bench_function("functional_native_model", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::default());
+            let mut trace = TraceBuffer::new();
+            Executor {
+                cache: &mut cache,
+                trace: &mut trace,
+                config: ExecConfig::default(),
+            }
+            .execute_launch(&k, &args, gws)
+            .expect("runs")
+        })
+    });
+
+    group.bench_function("detailed_cycle_simulator", |b| {
+        b.iter(|| {
+            let mut sim = DetailedSimulator::new(
+                GpuGeneration::IvyBridgeHd4000.topology(),
+                1.15e9,
+                DetailedConfig::default(),
+            );
+            sim.simulate_launch(&k, &args, gws).expect("runs")
+        })
+    });
+    group.finish();
+
+    // Report the measured ratio once.
+    let t0 = std::time::Instant::now();
+    {
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        Executor { cache: &mut cache, trace: &mut trace, config: ExecConfig::default() }
+            .execute_launch(&k, &args, gws)
+            .expect("runs");
+    }
+    let functional = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let result = {
+        let mut sim = DetailedSimulator::new(
+            GpuGeneration::IvyBridgeHd4000.topology(),
+            1.15e9,
+            DetailedConfig::default(),
+        );
+        sim.simulate_launch(&k, &args, gws).expect("runs")
+    };
+    let detailed = t1.elapsed();
+    println!(
+        "\ndetailed/functional wall-clock ratio: {:.1}x",
+        detailed.as_secs_f64() / functional.as_secs_f64().max(1e-12)
+    );
+    // The paper's headline gap compares simulation against *silicon*:
+    // simulating one GPU-second of work costs this many host-seconds.
+    println!(
+        "detailed-simulation slowdown vs modelled hardware: {:.0}x \
+         (paper cites up to 2,000,000x for production simulators; \
+         subset selection divides the simulated instruction count)",
+        detailed.as_secs_f64() / result.seconds.max(1e-12)
+    );
+}
+
+criterion_group!(benches, bench_simspeed);
+criterion_main!(benches);

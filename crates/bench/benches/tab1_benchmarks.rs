@@ -1,0 +1,42 @@
+//! Table I — the 25 benchmark applications by suite — plus the
+//! Figure 2 system description.
+
+use bench_suite::drivers::header;
+use gpu_device::GpuGeneration;
+use workloads::{all_specs, Suite};
+
+fn main() {
+    header("Table I: Benchmarks used in this study");
+    for suite in [
+        Suite::CompuBenchDesktop,
+        Suite::CompuBenchMobile,
+        Suite::Sandra,
+        Suite::SonyVegas,
+    ] {
+        let apps: Vec<&str> = all_specs()
+            .into_iter()
+            .filter(|s| s.suite == suite)
+            .map(|s| s.name)
+            .collect();
+        println!("{:28} | {}", suite.label(), apps.join(", "));
+    }
+
+    header("Figure 2: Processor architecture of the test system");
+    for generation in [GpuGeneration::IvyBridgeHd4000, GpuGeneration::HaswellHd4600] {
+        let t = generation.topology();
+        println!(
+            "{:28} | {} EUs in {} subslices ({} EUs/subslice), {} HW threads/EU \
+             ({} total), max {:.0} MHz, LLC slice {} KiB",
+            t.name,
+            t.execution_units,
+            t.subslices,
+            t.eus_per_subslice(),
+            t.threads_per_eu,
+            t.total_hw_threads(),
+            t.max_frequency_hz / 1e6,
+            t.llc_slice_kib,
+        );
+    }
+    println!();
+    println!("paper: HD4000 = 16 EUs, 2 subslices, 8 threads/EU, 128 HW threads, 1150 MHz");
+}

@@ -1,0 +1,68 @@
+//! Table II — the program interval space: how many intervals each of
+//! the three division schemes produces per program (min/avg/max
+//! across the 25 applications).
+
+use bench_suite::drivers::{approx_target, header, mean, profile_suite};
+use subset_select::{build_intervals, IntervalScheme};
+use workloads::Scale;
+
+fn main() {
+    let suite = profile_suite(Scale::Default);
+
+    let mut rows: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut counts = [Vec::new(), Vec::new(), Vec::new()];
+    for w in &suite {
+        let data = &w.profiled.data;
+        let schemes = [
+            IntervalScheme::SyncBounded,
+            IntervalScheme::ApproxInstructions(approx_target(data)),
+            IntervalScheme::SingleKernel,
+        ];
+        let mut per_app = Vec::new();
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let n = build_intervals(data, scheme).len();
+            per_app.push(n);
+            counts[i].push(n as f64);
+        }
+        rows.push((w.spec.name.to_string(), per_app));
+    }
+
+    header("Table II: the program interval space (intervals per program)");
+    println!("{:28} {:>10} {:>12} {:>14}", "app", "sync", "~target", "single-kernel");
+    for (name, per_app) in &rows {
+        println!(
+            "{:28} {:>10} {:>12} {:>14}",
+            name, per_app[0], per_app[1], per_app[2]
+        );
+    }
+    println!();
+    println!("{:18} {:>10} {:>12} {:>14}", "summary", "sync", "~target", "single-kernel");
+    let stat = |v: &[f64], f: fn(&[f64]) -> f64| f(v);
+    let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "{:18} {:>10.0} {:>12.0} {:>14.0}",
+        "min",
+        stat(&counts[0], min),
+        stat(&counts[1], min),
+        stat(&counts[2], min)
+    );
+    println!(
+        "{:18} {:>10.0} {:>12.0} {:>14.0}",
+        "avg",
+        mean(&counts[0]),
+        mean(&counts[1]),
+        mean(&counts[2])
+    );
+    println!(
+        "{:18} {:>10.0} {:>12.0} {:>14.0}",
+        "max",
+        stat(&counts[0], max),
+        stat(&counts[1], max),
+        stat(&counts[2], max)
+    );
+    println!();
+    println!("paper (unscaled): sync 56/545/2115, ~100M 55/916/3121,");
+    println!("single-kernel 55/4749/18157 (min/avg/max); the ordering");
+    println!("large → medium → small must hold per app and on average");
+}

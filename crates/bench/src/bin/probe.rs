@@ -1,0 +1,34 @@
+//! Quick timing probe for the full pipeline at Default scale.
+use std::time::Instant;
+use subset_select::{profile_app, Exploration};
+use simpoint::SimpointConfig;
+use gpu_device::GpuConfig;
+use workloads::{all_specs, build_program, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<&str> = args.get(1).map(|s| s.as_str());
+    let t_all = Instant::now();
+    for spec in all_specs() {
+        if let Some(name) = only {
+            if spec.name != name { continue; }
+        }
+        let t0 = Instant::now();
+        let program = build_program(&spec, Scale::Default);
+        let t_build = t0.elapsed();
+        let t1 = Instant::now();
+        let p = profile_app(&program, GpuConfig::hd4000(), 1).unwrap();
+        let t_prof = t1.elapsed();
+        let t2 = Instant::now();
+        let approx = p.data.total_instructions() / 60;
+        let ex = Exploration::run(&p.data, approx.max(1000), &SimpointConfig::default());
+        let t_ex = t2.elapsed();
+        let best = ex.min_error().unwrap();
+        println!(
+            "{:28} instrs={:>9} inv={:>5} build={:>6.1?} profile={:>6.1?} explore={:>6.1?} bestcfg={} err={:.3}% speedup={:.0}x",
+            spec.name, p.data.total_instructions(), p.data.invocations.len(),
+            t_build, t_prof, t_ex, best.config, best.error_pct, best.speedup()
+        );
+    }
+    println!("total: {:?}", t_all.elapsed());
+}

@@ -1,0 +1,124 @@
+//! Shared experiment drivers for the table/figure benches.
+//!
+//! Every bench target regenerates one table or figure of the paper;
+//! the heavy lifting (profiling all 25 applications, running the
+//! 30-configuration exploration) lives here so the benches stay
+//! declarative.
+
+use gpu_device::GpuConfig;
+use simpoint::SimpointConfig;
+use subset_select::{profile_app, AppData, Exploration, ProfiledApp};
+use workloads::{all_specs, build_program, Scale, WorkloadSpec};
+
+/// One profiled application.
+pub struct ProfiledWorkload {
+    /// The spec it was built from.
+    pub spec: WorkloadSpec,
+    /// Profile, timings, recording.
+    pub profiled: ProfiledApp,
+}
+
+/// Profile every application in the suite on the paper's HD 4000 at
+/// maximum frequency (trial 1).
+pub fn profile_suite(scale: Scale) -> Vec<ProfiledWorkload> {
+    profile_some(scale, |_| true)
+}
+
+/// Profile a subset of the suite by name predicate.
+pub fn profile_some(scale: Scale, keep: impl Fn(&str) -> bool) -> Vec<ProfiledWorkload> {
+    all_specs()
+        .into_iter()
+        .filter(|s| keep(s.name))
+        .map(|spec| {
+            let program = build_program(&spec, scale);
+            let profiled = profile_app(&program, GpuConfig::hd4000(), 1)
+                .expect("suite programs profile cleanly");
+            ProfiledWorkload { spec, profiled }
+        })
+        .collect()
+}
+
+/// The medium (~100M-instruction analogue) interval target for an
+/// app: roughly two sub-intervals per synchronization epoch, the
+/// same sync/approx ratio shape as Table II.
+pub fn approx_target(data: &AppData) -> u64 {
+    subset_select::default_approx_target(data)
+}
+
+/// The SimPoint configuration used by every experiment (max 10
+/// clusters, as in all the paper's experiments).
+pub fn simpoint_config() -> SimpointConfig {
+    SimpointConfig::default()
+}
+
+/// Run the 30-configuration exploration for one profiled app.
+pub fn explore(data: &AppData) -> Exploration {
+    Exploration::run(data, approx_target(data), &simpoint_config())
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a large count with thousands separators.
+pub fn thousands(mut n: u64) -> String {
+    let mut parts = Vec::new();
+    while n >= 1000 {
+        parts.push(format!("{:03}", n % 1000));
+        n /= 1000;
+    }
+    parts.push(n.to_string());
+    parts.reverse();
+    parts.join(",")
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1234), "1,234");
+        assert_eq!(thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.153), "15.3%");
+    }
+}

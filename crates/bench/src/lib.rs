@@ -1,0 +1,22 @@
+//! # bench-suite
+//!
+//! Experiment drivers and bench targets regenerating every table and
+//! figure of the GT-Pin paper. Run `cargo bench -p bench-suite` to
+//! produce them all, or a single target, e.g.
+//! `cargo bench -p bench-suite --bench fig6_min_error`.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `tab1_benchmarks` | Table I + Figure 2 (system) |
+//! | `fig3_characterization` | Figure 3a/3b/3c |
+//! | `fig4_work` | Figure 4a/4b/4c |
+//! | `tab2_interval_space` | Table II |
+//! | `fig5_explore` | Figure 5 (3 sample apps × 30 configs) |
+//! | `fig6_min_error` | Figure 6 (per-app error-minimizing config) |
+//! | `fig7_cooptimize` | Figure 7 (threshold sweep) |
+//! | `fig8_validation` | Figure 8 (trials / frequencies / generations) |
+//! | `overhead` | Section III-C (GT-Pin 2–10× overhead) |
+//! | `simspeed` | Section I (detailed simulation ≫ native) |
+//! | `kmeans_perf` | SimPoint clustering throughput |
+
+pub mod drivers;

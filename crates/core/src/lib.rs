@@ -1,0 +1,51 @@
+//! # gtpin-core
+//!
+//! GT-Pin: dynamic binary instrumentation for GPU kernels — the
+//! primary contribution of *Fast Computational GPU Design with
+//! GT-Pin* (IISWC 2015), reproduced over a synthetic GEN device
+//! model.
+//!
+//! The tool follows Figure 1 of the paper:
+//!
+//! 1. it attaches to the GPU driver so every JIT-compiled kernel
+//!    binary is diverted through the [`rewriter`] (which splices real
+//!    counter/timer/trace instructions into the encoded bytes and
+//!    repairs branch offsets),
+//! 2. the injected instructions execute natively on the device and
+//!    write a CPU/GPU-shared trace buffer, and
+//! 3. after each kernel completes, the [`engine`] post-processes the
+//!    trace buffer into [`profile::InvocationProfile`]s: dynamic
+//!    basic-block counts, reconstructed instruction counts, opcode
+//!    mixes, SIMD widths, memory bytes, kernel cycles, and address
+//!    traces.
+//!
+//! Custom analyses plug in through the [`tool::Tool`] API
+//! (Section III-B of the paper); stock tools live in [`tools`].
+//!
+//! # Example
+//!
+//! ```
+//! use gtpin_core::{GtPin, RewriteConfig};
+//! use gpu_device::{Gpu, GpuConfig};
+//!
+//! let mut gpu = Gpu::new(GpuConfig::hd4000());
+//! let gtpin = GtPin::new(RewriteConfig::default());
+//! gtpin.attach(&mut gpu);
+//! // run host programs through ocl_runtime::OclRuntime::new(gpu),
+//! // then inspect gtpin.profile("my-app").
+//! ```
+
+pub mod engine;
+pub mod profile;
+pub mod report;
+pub mod rewriter;
+pub mod static_info;
+pub mod tool;
+pub mod tools;
+
+pub use engine::GtPin;
+pub use profile::{InvocationProfile, KernelOverhead, ProgramProfile};
+pub use report::AppCharacterization;
+pub use rewriter::{RewriteConfig, RewriteLayout, SendSite};
+pub use static_info::{BlockStaticInfo, StaticKernelInfo};
+pub use tool::{Tool, ToolContext};

@@ -1,0 +1,119 @@
+//! Per-application characterization summaries — the rows of
+//! Figures 3 and 4 in the paper.
+
+use gen_isa::{ExecSize, OpcodeCategory};
+use ocl_runtime::api::ApiCallKind;
+use ocl_runtime::cofluent::CofluentReport;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::ProgramProfile;
+
+/// One application's characterization: the combination of CoFluent
+/// API-call data (host side) and GT-Pin profile data (device side).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppCharacterization {
+    /// Application name.
+    pub app: String,
+    /// Total OpenCL API calls (Figure 3a denominator).
+    pub total_api_calls: u64,
+    /// Fraction of API calls that are kernel invocations.
+    pub kernel_call_fraction: f64,
+    /// Fraction that are synchronization calls.
+    pub sync_call_fraction: f64,
+    /// Fraction that are other calls.
+    pub other_call_fraction: f64,
+    /// Unique kernels (Figure 3b).
+    pub unique_kernels: usize,
+    /// Unique static basic blocks (Figure 3b).
+    pub unique_basic_blocks: usize,
+    /// Kernel invocations (Figure 3c).
+    pub kernel_invocations: usize,
+    /// Dynamic basic-block executions (Figure 3c).
+    pub bb_executions: u64,
+    /// Dynamic instructions (Figure 3c).
+    pub instructions: u64,
+    /// Instruction-mix fractions, indexed per
+    /// [`OpcodeCategory::ALL`] (Figure 4a).
+    pub category_fractions: [f64; 5],
+    /// SIMD-width fractions, indexed per [`ExecSize::ALL`]
+    /// (Figure 4b).
+    pub width_fractions: [f64; 5],
+    /// Bytes read (Figure 4c).
+    pub bytes_read: u64,
+    /// Bytes written (Figure 4c).
+    pub bytes_written: u64,
+}
+
+impl AppCharacterization {
+    /// Combine a CoFluent report and a GT-Pin profile for one app.
+    pub fn new(cofluent: &CofluentReport, profile: &ProgramProfile) -> AppCharacterization {
+        let mut category_fractions = [0.0; 5];
+        for (i, &c) in OpcodeCategory::ALL.iter().enumerate() {
+            category_fractions[i] = profile.category_fraction(c);
+        }
+        let mut width_fractions = [0.0; 5];
+        for (i, &w) in ExecSize::ALL.iter().enumerate() {
+            width_fractions[i] = profile.width_fraction(w);
+        }
+        AppCharacterization {
+            app: cofluent.app.clone(),
+            total_api_calls: cofluent.total_api_calls,
+            kernel_call_fraction: cofluent.kind_fraction(ApiCallKind::Kernel),
+            sync_call_fraction: cofluent.kind_fraction(ApiCallKind::Synchronization),
+            other_call_fraction: cofluent.kind_fraction(ApiCallKind::Other),
+            unique_kernels: profile.unique_kernels(),
+            unique_basic_blocks: profile.unique_basic_blocks(),
+            kernel_invocations: profile.num_invocations(),
+            bb_executions: profile.total_bb_executions(),
+            instructions: profile.total_instructions(),
+            category_fractions,
+            width_fractions,
+            bytes_read: profile.total_bytes_read(),
+            bytes_written: profile.total_bytes_written(),
+        }
+    }
+
+    /// Fraction for one category.
+    pub fn category_fraction(&self, category: OpcodeCategory) -> f64 {
+        let i = OpcodeCategory::ALL
+            .iter()
+            .position(|&c| c == category)
+            .expect("category in ALL");
+        self.category_fractions[i]
+    }
+
+    /// Fraction for one SIMD width.
+    pub fn width_fraction(&self, width: ExecSize) -> f64 {
+        let i = ExecSize::ALL.iter().position(|&w| w == width).expect("width in ALL");
+        self.width_fractions[i]
+    }
+}
+
+impl std::fmt::Display for AppCharacterization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "app {}", self.app)?;
+        writeln!(
+            f,
+            "  api calls: {} (kernel {:.1}%, sync {:.1}%, other {:.1}%)",
+            self.total_api_calls,
+            self.kernel_call_fraction * 100.0,
+            self.sync_call_fraction * 100.0,
+            self.other_call_fraction * 100.0
+        )?;
+        writeln!(
+            f,
+            "  structure: {} kernels, {} basic blocks",
+            self.unique_kernels, self.unique_basic_blocks
+        )?;
+        writeln!(
+            f,
+            "  dynamic:   {} invocations, {} bb execs, {} instructions",
+            self.kernel_invocations, self.bb_executions, self.instructions
+        )?;
+        write!(
+            f,
+            "  memory:    {} B read, {} B written",
+            self.bytes_read, self.bytes_written
+        )
+    }
+}

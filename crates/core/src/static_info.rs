@@ -1,0 +1,141 @@
+//! Static analysis of kernel binaries, performed by GT-Pin at
+//! rewrite time.
+//!
+//! GT-Pin deliberately inserts as little dynamic work as possible:
+//! one counter increment per basic block rather than per instruction
+//! (Section III-C). Everything else — dynamic instruction counts,
+//! opcode mixes, SIMD-width histograms, memory bytes — is recovered
+//! by multiplying the dynamic block counts against the static
+//! per-block tables computed here.
+
+use gen_isa::{Instruction, Surface};
+use serde::{Deserialize, Serialize};
+
+/// Static facts about one basic block of the *original*
+/// (uninstrumented) kernel binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockStaticInfo {
+    /// Instructions in the block (including its control-flow tail).
+    pub instructions: u64,
+    /// Instructions per opcode category, indexed per
+    /// [`gen_isa::OpcodeCategory::ALL`].
+    pub per_category: [u64; 5],
+    /// Instructions per SIMD width, indexed per
+    /// [`gen_isa::ExecSize::ALL`].
+    pub per_width: [u64; 5],
+    /// Application bytes read from global memory by one execution of
+    /// the block.
+    pub bytes_read: u64,
+    /// Application bytes written by one execution.
+    pub bytes_written: u64,
+    /// Global send sites in the block.
+    pub global_sends: u64,
+}
+
+/// Static facts about one kernel, as GT-Pin saw it before
+/// instrumentation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticKernelInfo {
+    /// Kernel name from the binary header.
+    pub name: String,
+    /// Per-block tables; index = basic-block index.
+    pub blocks: Vec<BlockStaticInfo>,
+    /// Static instruction count of the original binary.
+    pub static_instructions: u64,
+}
+
+impl StaticKernelInfo {
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Analyse a decoded instruction stream with known block leaders.
+    pub fn analyse(name: &str, instrs: &[Instruction], bb_starts: &[u32]) -> StaticKernelInfo {
+        let mut blocks = Vec::with_capacity(bb_starts.len());
+        for (b, &start) in bb_starts.iter().enumerate() {
+            let end = bb_starts
+                .get(b + 1)
+                .map(|&s| s as usize)
+                .unwrap_or(instrs.len());
+            let mut info = BlockStaticInfo::default();
+            for instr in &instrs[start as usize..end] {
+                info.instructions += 1;
+                info.per_category[cat_idx(instr)] += 1;
+                info.per_width[width_idx(instr)] += 1;
+                info.bytes_read += instr.app_bytes_read();
+                info.bytes_written += instr.app_bytes_written();
+                if instr.opcode.is_send()
+                    && instr.send.map(|d| d.surface == Surface::Global).unwrap_or(false)
+                {
+                    info.global_sends += 1;
+                }
+            }
+            blocks.push(info);
+        }
+        StaticKernelInfo {
+            name: name.to_string(),
+            static_instructions: instrs.len() as u64,
+            blocks,
+        }
+    }
+}
+
+fn cat_idx(instr: &Instruction) -> usize {
+    gen_isa::OpcodeCategory::ALL
+        .iter()
+        .position(|&c| c == instr.opcode.category())
+        .expect("category in ALL")
+}
+
+fn width_idx(instr: &Instruction) -> usize {
+    gen_isa::ExecSize::ALL
+        .iter()
+        .position(|&w| w == instr.exec_size)
+        .expect("width in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::{ExecSize, Reg, Src};
+
+    #[test]
+    fn analysis_matches_hand_counts() {
+        let mut b = KernelBuilder::new("k");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .mov(ExecSize::S8, Reg(1), Src::Imm(0))
+            .add(ExecSize::S16, Reg(2), Src::Reg(Reg(1)), Src::Imm(1))
+            .send_read(ExecSize::S16, Reg(3), Reg(2), gen_isa::Surface::Global, 128)
+            .eot();
+        let flat = b.build().unwrap().flatten();
+        let info = StaticKernelInfo::analyse("k", &flat.instrs, &flat.bb_starts);
+        assert_eq!(info.num_blocks(), 1);
+        assert_eq!(info.static_instructions, 4);
+        let blk = &info.blocks[0];
+        assert_eq!(blk.instructions, 4);
+        assert_eq!(blk.bytes_read, 128);
+        assert_eq!(blk.bytes_written, 0);
+        assert_eq!(blk.global_sends, 1);
+        // mov:Move, add:Computation, send:Send, eot:Control
+        assert_eq!(blk.per_category, [1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn per_block_attribution() {
+        let mut b = KernelBuilder::new("k");
+        let e = b.entry_block();
+        let x = b.new_block();
+        b.block_mut(e).mov(ExecSize::S8, Reg(1), Src::Imm(0));
+        b.block_mut(x)
+            .send_write(ExecSize::S8, Reg(1), Reg(2), gen_isa::Surface::Global, 64)
+            .eot();
+        let flat = b.build().unwrap().flatten();
+        let info = StaticKernelInfo::analyse("k", &flat.instrs, &flat.bb_starts);
+        assert_eq!(info.num_blocks(), 2);
+        assert_eq!(info.blocks[0].bytes_written, 0);
+        assert_eq!(info.blocks[1].bytes_written, 64);
+    }
+}

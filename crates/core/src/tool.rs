@@ -1,0 +1,44 @@
+//! The custom-tool API.
+//!
+//! Like Pin, GT-Pin lets users write custom profiling tools and pay
+//! only for the data they collect (Section III-B: "users may collect
+//! only the desired subset of these statistics by writing custom
+//! profiling tools"). A [`Tool`] registered with
+//! [`GtPin::add_tool`](crate::GtPin::add_tool) observes kernel builds
+//! (static info) and kernel completions (dynamic per-invocation
+//! profiles plus the raw memory-trace records).
+
+use std::collections::HashMap;
+
+use crate::profile::InvocationProfile;
+use crate::rewriter::SendSite;
+use crate::static_info::StaticKernelInfo;
+
+/// Read-only context handed to tools on each kernel completion.
+pub struct ToolContext<'a> {
+    /// Static tables of every built kernel, in program order.
+    pub kernels: &'a [&'a StaticKernelInfo],
+    /// Instrumented send sites by tag (populated when memory tracing
+    /// is enabled).
+    pub send_sites: &'a HashMap<u32, SendSite>,
+}
+
+/// A custom GT-Pin analysis tool.
+pub trait Tool {
+    /// Tool name for reports.
+    fn name(&self) -> &str;
+
+    /// Called when a kernel is built (and instrumented).
+    fn on_kernel_build(&mut self, kernel_index: usize, static_info: &StaticKernelInfo) {
+        let _ = (kernel_index, static_info);
+    }
+
+    /// Called after each kernel invocation with the post-processed
+    /// profile.
+    fn on_kernel_complete(&mut self, profile: &InvocationProfile, ctx: &ToolContext<'_>);
+
+    /// Human-readable report of what the tool gathered.
+    fn report(&self) -> String {
+        format!("{}: no report", self.name())
+    }
+}

@@ -1,0 +1,78 @@
+//! Trace-driven cache simulation (Section III-B: "cache simulation
+//! through the use of memory traces").
+//!
+//! Requires memory tracing to be enabled in the
+//! [`RewriteConfig`](crate::RewriteConfig); the tool replays each
+//! invocation's address records through a configurable cache model
+//! and reports hit rates, overall and per send site.
+
+use std::collections::HashMap;
+
+use gpu_device::cache::{Cache, CacheConfig, CacheStats};
+
+use crate::profile::InvocationProfile;
+use crate::tool::{Tool, ToolContext};
+
+/// Per-site accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteStats {
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Line hits.
+    pub hits: u64,
+    /// Line misses.
+    pub misses: u64,
+}
+
+/// The cache-simulation tool.
+pub struct CacheSimTool {
+    cache: Cache,
+    per_site: HashMap<u32, SiteStats>,
+}
+
+impl CacheSimTool {
+    /// A tool simulating the given cache geometry.
+    pub fn new(config: CacheConfig) -> CacheSimTool {
+        CacheSimTool {
+            cache: Cache::new(config),
+            per_site: HashMap::new(),
+        }
+    }
+
+    /// Overall hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-site accounting, keyed by send-site tag.
+    pub fn per_site(&self) -> &HashMap<u32, SiteStats> {
+        &self.per_site
+    }
+}
+
+impl Tool for CacheSimTool {
+    fn name(&self) -> &str {
+        "cachesim"
+    }
+
+    fn on_kernel_complete(&mut self, profile: &InvocationProfile, ctx: &ToolContext<'_>) {
+        for &(tag, addr) in &profile.mem_trace {
+            let bytes = ctx.send_sites.get(&tag).map(|s| s.bytes).unwrap_or(4);
+            let (h, m) = self.cache.access(addr, bytes);
+            let site = self.per_site.entry(tag).or_default();
+            site.accesses += 1;
+            site.hits += h as u64;
+            site.misses += m as u64;
+        }
+    }
+
+    fn report(&self) -> String {
+        let s = self.cache.stats();
+        format!(
+            "cachesim: {} accesses, {:.1}% hit rate, {} sites",
+            s.accesses(),
+            s.hit_rate() * 100.0,
+            self.per_site.len()
+        )
+    }
+}

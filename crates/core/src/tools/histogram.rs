@@ -1,0 +1,70 @@
+//! A minimal custom tool: dynamic opcode-category histogram.
+//!
+//! This is the "hello world" of GT-Pin tools (see
+//! `examples/custom_tool.rs`): it derives per-category dynamic
+//! instruction counts from the engine-provided per-invocation
+//! profiles.
+
+use gen_isa::OpcodeCategory;
+
+use crate::profile::InvocationProfile;
+use crate::tool::{Tool, ToolContext};
+
+/// Accumulates a dynamic instruction histogram per opcode category.
+#[derive(Debug, Default)]
+pub struct OpcodeHistogramTool {
+    totals: [u64; 5],
+    invocations: u64,
+}
+
+impl OpcodeHistogramTool {
+    /// An empty histogram.
+    pub fn new() -> OpcodeHistogramTool {
+        OpcodeHistogramTool::default()
+    }
+
+    /// Dynamic instruction count in `category`.
+    pub fn count(&self, category: OpcodeCategory) -> u64 {
+        let idx = OpcodeCategory::ALL
+            .iter()
+            .position(|&c| c == category)
+            .expect("category in ALL");
+        self.totals[idx]
+    }
+
+    /// Total dynamic instructions observed.
+    pub fn total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// Invocations observed.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+impl Tool for OpcodeHistogramTool {
+    fn name(&self) -> &str {
+        "opcode-histogram"
+    }
+
+    fn on_kernel_complete(&mut self, profile: &InvocationProfile, _ctx: &ToolContext<'_>) {
+        for (t, v) in self.totals.iter_mut().zip(profile.per_category) {
+            *t += v;
+        }
+        self.invocations += 1;
+    }
+
+    fn report(&self) -> String {
+        let total = self.total().max(1);
+        let mut parts = Vec::new();
+        for (i, cat) in OpcodeCategory::ALL.iter().enumerate() {
+            parts.push(format!(
+                "{} {:.1}%",
+                cat.label(),
+                self.totals[i] as f64 / total as f64 * 100.0
+            ));
+        }
+        format!("opcode-histogram over {} invocations: {}", self.invocations, parts.join(", "))
+    }
+}

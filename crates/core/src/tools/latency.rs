@@ -1,0 +1,95 @@
+//! Per-site memory latency estimation (Section III-B: "latency for
+//! memory instructions per thread").
+//!
+//! Replays traced addresses through a cache model and converts
+//! hit/miss outcomes into estimated latencies per send site, using
+//! the same latency parameters as the detailed simulator.
+
+use std::collections::HashMap;
+
+use gpu_device::cache::{Cache, CacheConfig};
+
+use crate::profile::InvocationProfile;
+use crate::tool::{Tool, ToolContext};
+
+/// Estimated latency accounting for one send site.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteLatency {
+    /// Accesses observed.
+    pub accesses: u64,
+    /// Total estimated cycles.
+    pub total_cycles: u64,
+}
+
+impl SiteLatency {
+    /// Mean estimated latency in cycles.
+    pub fn mean_cycles(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The latency-estimation tool.
+pub struct LatencyTool {
+    cache: Cache,
+    hit_cycles: u64,
+    miss_cycles: u64,
+    per_site: HashMap<u32, SiteLatency>,
+}
+
+impl LatencyTool {
+    /// A tool with the given cache geometry and latency parameters.
+    pub fn new(config: CacheConfig, hit_cycles: u64, miss_cycles: u64) -> LatencyTool {
+        LatencyTool {
+            cache: Cache::new(config),
+            hit_cycles,
+            miss_cycles,
+            per_site: HashMap::new(),
+        }
+    }
+
+    /// Per-site latency estimates, keyed by send-site tag.
+    pub fn per_site(&self) -> &HashMap<u32, SiteLatency> {
+        &self.per_site
+    }
+
+    /// Mean latency across all sites.
+    pub fn mean_cycles(&self) -> f64 {
+        let (acc, cyc) = self
+            .per_site
+            .values()
+            .fold((0u64, 0u64), |(a, c), s| (a + s.accesses, c + s.total_cycles));
+        if acc == 0 {
+            0.0
+        } else {
+            cyc as f64 / acc as f64
+        }
+    }
+}
+
+impl Tool for LatencyTool {
+    fn name(&self) -> &str {
+        "memory-latency"
+    }
+
+    fn on_kernel_complete(&mut self, profile: &InvocationProfile, ctx: &ToolContext<'_>) {
+        for &(tag, addr) in &profile.mem_trace {
+            let bytes = ctx.send_sites.get(&tag).map(|s| s.bytes).unwrap_or(4);
+            let (h, m) = self.cache.access(addr, bytes);
+            let site = self.per_site.entry(tag).or_default();
+            site.accesses += 1;
+            site.total_cycles += h as u64 * self.hit_cycles + m as u64 * self.miss_cycles;
+        }
+    }
+
+    fn report(&self) -> String {
+        format!(
+            "memory-latency: {:.1} mean cycles across {} sites",
+            self.mean_cycles(),
+            self.per_site.len()
+        )
+    }
+}

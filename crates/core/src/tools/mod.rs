@@ -1,0 +1,11 @@
+//! Stock GT-Pin tools built on the custom-tool API.
+
+pub mod cachesim;
+pub mod histogram;
+pub mod latency;
+pub mod simd_util;
+
+pub use cachesim::CacheSimTool;
+pub use histogram::OpcodeHistogramTool;
+pub use latency::LatencyTool;
+pub use simd_util::SimdUtilizationTool;

@@ -1,0 +1,155 @@
+//! SIMD channel utilization (Section III-B: "utilization rates of
+//! per execution unit SIMD channels").
+//!
+//! Each EU executes instructions over 16 SIMD channels; an 8-wide
+//! instruction leaves half of them idle. This tool folds the
+//! per-width histograms GT-Pin reconstructs into a utilization rate
+//! per kernel and overall.
+
+use std::collections::HashMap;
+
+use gen_isa::{ExecSize, NUM_LANES};
+
+use crate::profile::InvocationProfile;
+use crate::tool::{Tool, ToolContext};
+
+/// Lane-occupancy accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Utilization {
+    /// Σ instructions × active lanes.
+    pub active_lanes: u64,
+    /// Σ instructions × machine width (16).
+    pub possible_lanes: u64,
+}
+
+impl Utilization {
+    /// Utilization rate in [0, 1].
+    pub fn rate(&self) -> f64 {
+        if self.possible_lanes == 0 {
+            0.0
+        } else {
+            self.active_lanes as f64 / self.possible_lanes as f64
+        }
+    }
+
+    fn absorb(&mut self, per_width: &[u64; 5]) {
+        for (i, &w) in ExecSize::ALL.iter().enumerate() {
+            self.active_lanes += per_width[i] * w.lanes() as u64;
+            self.possible_lanes += per_width[i] * NUM_LANES as u64;
+        }
+    }
+}
+
+/// The SIMD-utilization tool.
+#[derive(Debug, Default)]
+pub struct SimdUtilizationTool {
+    overall: Utilization,
+    per_kernel: HashMap<String, Utilization>,
+}
+
+impl SimdUtilizationTool {
+    /// An empty accumulator.
+    pub fn new() -> SimdUtilizationTool {
+        SimdUtilizationTool::default()
+    }
+
+    /// Overall utilization across all invocations.
+    pub fn overall(&self) -> Utilization {
+        self.overall
+    }
+
+    /// Utilization for one kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<Utilization> {
+        self.per_kernel.get(name).copied()
+    }
+}
+
+impl Tool for SimdUtilizationTool {
+    fn name(&self) -> &str {
+        "simd-utilization"
+    }
+
+    fn on_kernel_complete(&mut self, profile: &InvocationProfile, _ctx: &ToolContext<'_>) {
+        self.overall.absorb(&profile.per_width);
+        self.per_kernel
+            .entry(profile.kernel_name.clone())
+            .or_default()
+            .absorb(&profile.per_width);
+    }
+
+    fn report(&self) -> String {
+        let mut rows: Vec<(&String, &Utilization)> = self.per_kernel.iter().collect();
+        rows.sort_by(|a, b| {
+            b.1.rate().partial_cmp(&a.1.rate()).expect("finite rates")
+        });
+        let mut out = format!(
+            "simd-utilization: {:.1}% of SIMD channels active overall\n",
+            self.overall.rate() * 100.0
+        );
+        for (name, u) in rows.into_iter().take(8) {
+            out.push_str(&format!("  {:40} {:>5.1}%\n", name, u.rate() * 100.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::InvocationProfile;
+    use std::collections::HashMap;
+
+    fn invocation(name: &str, per_width: [u64; 5]) -> InvocationProfile {
+        InvocationProfile {
+            launch_index: 0,
+            kernel_index: 0,
+            kernel_name: name.into(),
+            global_work_size: 64,
+            args_digest: 0,
+            bb_counts: vec![],
+            instructions: per_width.iter().sum(),
+            per_category: [0; 5],
+            per_width,
+            bytes_read: 0,
+            bytes_written: 0,
+            thread_cycles: None,
+            mem_trace: vec![],
+        }
+    }
+
+    fn ctx_fixture() -> (Vec<&'static crate::static_info::StaticKernelInfo>, HashMap<u32, crate::rewriter::SendSite>) {
+        (Vec::new(), HashMap::new())
+    }
+
+    #[test]
+    fn all_simd16_is_full_utilization() {
+        let mut t = SimdUtilizationTool::new();
+        let (kernels, sites) = ctx_fixture();
+        let ctx = ToolContext { kernels: &kernels, send_sites: &sites };
+        // per_width indexed per ExecSize::ALL = [1, 2, 4, 8, 16]
+        t.on_kernel_complete(&invocation("k", [0, 0, 0, 0, 100]), &ctx);
+        assert!((t.overall().rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_code_wastes_fifteen_sixteenths() {
+        let mut t = SimdUtilizationTool::new();
+        let (kernels, sites) = ctx_fixture();
+        let ctx = ToolContext { kernels: &kernels, send_sites: &sites };
+        t.on_kernel_complete(&invocation("k", [16, 0, 0, 0, 0]), &ctx);
+        assert!((t.overall().rate() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_widths_average_correctly_per_kernel() {
+        let mut t = SimdUtilizationTool::new();
+        let (kernels, sites) = ctx_fixture();
+        let ctx = ToolContext { kernels: &kernels, send_sites: &sites };
+        t.on_kernel_complete(&invocation("a", [0, 0, 0, 100, 0]), &ctx); // all 8-wide
+        t.on_kernel_complete(&invocation("b", [0, 0, 0, 0, 100]), &ctx); // all 16-wide
+        assert!((t.kernel("a").unwrap().rate() - 0.5).abs() < 1e-12);
+        assert!((t.kernel("b").unwrap().rate() - 1.0).abs() < 1e-12);
+        assert!((t.overall().rate() - 0.75).abs() < 1e-12);
+        assert!(t.report().contains("simd-utilization"));
+    }
+}

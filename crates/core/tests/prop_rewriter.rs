@@ -1,0 +1,130 @@
+//! Property tests for the binary rewriter: across randomly generated
+//! kernels, instrumentation must (a) preserve application-visible
+//! behaviour exactly and (b) produce counters that reconstruct the
+//! native instruction counts.
+
+use gen_isa::ExecSize;
+use gpu_device::driver::decode_flat;
+use gpu_device::{Cache, CacheConfig, ExecConfig, Executor, ExecutionStats, TraceBuffer};
+use gtpin_core::rewriter::{rewrite_binary, RewriteConfig};
+use ocl_runtime::api::ArgValue;
+use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = ExecSize> {
+    prop::sample::select(vec![ExecSize::S1, ExecSize::S4, ExecSize::S8, ExecSize::S16])
+}
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Linear),
+        (16u32..512).prop_map(AccessPattern::Strided),
+        Just(AccessPattern::Gather),
+    ]
+}
+
+/// A random straight-line-with-one-loop kernel body.
+fn arb_body() -> impl Strategy<Value = Vec<IrOp>> {
+    let inner_op = prop_oneof![
+        ((1u16..12), arb_width()).prop_map(|(ops, width)| IrOp::Compute { ops, width }),
+        ((1u16..8), arb_width()).prop_map(|(ops, width)| IrOp::Logic { ops, width }),
+        ((1u16..8), arb_width()).prop_map(|(ops, width)| IrOp::Move { ops, width }),
+        ((1u16..4), arb_width()).prop_map(|(ops, width)| IrOp::MathCompute { ops, width }),
+        ((4u32..256), arb_width(), arb_pattern()).prop_map(|(bytes, width, pattern)| {
+            IrOp::Load { arg: 1, bytes: bytes * 4, width, pattern }
+        }),
+        ((4u32..128), arb_width()).prop_map(|(bytes, width)| IrOp::Store {
+            arg: 2,
+            bytes: bytes * 4,
+            width,
+            pattern: AccessPattern::Linear,
+        }),
+    ];
+    (
+        prop::collection::vec(inner_op, 1..6),
+        1u32..8,
+        prop::option::of(0u32..100),
+    )
+        .prop_map(|(inner, trip, if_thresh)| {
+            let mut body = Vec::new();
+            if let Some(t) = if_thresh {
+                body.push(IrOp::IfArgLt { arg: 3, value: t });
+                body.push(IrOp::Move { ops: 2, width: ExecSize::S8 });
+                body.push(IrOp::EndIf);
+            }
+            body.push(IrOp::LoopBegin { trip: TripCount::Const(trip) });
+            body.extend(inner);
+            body.push(IrOp::LoopEnd);
+            body
+        })
+}
+
+fn execute(bytes: &[u8], args: &[ArgValue], gws: u64) -> (ExecutionStats, TraceBuffer) {
+    let flat = decode_flat(bytes).expect("decodes");
+    let mut cache = Cache::new(CacheConfig::default());
+    let mut trace = TraceBuffer::new();
+    let stats = Executor {
+        cache: &mut cache,
+        trace: &mut trace,
+        config: ExecConfig::default(),
+    }
+    .execute_launch(&flat, args, gws)
+    .expect("executes");
+    (stats, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn instrumentation_preserves_app_behaviour(body in arb_body(), selector in 0u64..100) {
+        let mut ir = KernelIr::new("prop", 4);
+        ir.body = body;
+        let bytes = gpu_device::jit::compile_kernel(&ir).expect("compiles").encode();
+        let args = [
+            ArgValue::Scalar(3),
+            ArgValue::Buffer(0),
+            ArgValue::Buffer(1),
+            ArgValue::Scalar(selector),
+        ];
+        let cfg = RewriteConfig {
+            count_basic_blocks: true,
+            time_kernels: true,
+            trace_memory: true,
+            naive_per_instruction_counters: false,
+        };
+        let rw = rewrite_binary(&bytes, &cfg, 0, 0).expect("rewrites");
+
+        let (native, _) = execute(&bytes, &args, 64);
+        let (inst, trace) = execute(&rw.bytes, &args, 64);
+
+        // (a) App-visible behaviour unperturbed.
+        prop_assert_eq!(inst.bytes_read, native.bytes_read);
+        prop_assert_eq!(inst.bytes_written, native.bytes_written);
+        prop_assert_eq!(inst.global_sends, native.global_sends);
+
+        // (b) Per-block counters reconstruct native instruction
+        // counts exactly.
+        let reconstructed: u64 = (0..rw.layout.num_block_slots)
+            .map(|bb| {
+                trace.slot(rw.layout.block_slot(bb as usize) as usize)
+                    * rw.static_info.blocks[bb as usize].instructions
+            })
+            .sum();
+        prop_assert_eq!(reconstructed, native.instructions);
+
+        // (c) Memory tracing catches every global send.
+        prop_assert_eq!(trace.records().len() as u64, native.global_sends);
+    }
+
+    #[test]
+    fn rewriting_is_idempotent_on_layout(body in arb_body()) {
+        let mut ir = KernelIr::new("prop", 4);
+        ir.body = body;
+        let bytes = gpu_device::jit::compile_kernel(&ir).expect("compiles").encode();
+        let a = rewrite_binary(&bytes, &RewriteConfig::default(), 10, 5).expect("rewrites");
+        let b = rewrite_binary(&bytes, &RewriteConfig::default(), 10, 5).expect("rewrites");
+        prop_assert_eq!(a.bytes, b.bytes);
+        prop_assert_eq!(a.layout, b.layout);
+    }
+}

@@ -1,0 +1,193 @@
+//! Warm-state checkpoints for simulation samples.
+//!
+//! The CPU lineage of this paper (PinPoints, PinPlay — Patil et al.,
+//! cited as \[21\]–\[23\]) pairs region selection with *checkpointing*:
+//! the simulator starts each selected region from captured warm
+//! state instead of a cold machine, removing the cold-start bias
+//! that otherwise inflates every sample's CPI.
+//!
+//! In this model the microarchitectural state that matters across
+//! kernel invocations is the LLC. A [`CheckpointLibrary`] replays a
+//! program's launches through the *fast functional* engine once,
+//! snapshotting the cache at each requested invocation boundary;
+//! detailed simulation of a sample then begins from the snapshot
+//! ([`restore_cache`](crate::detailed::DetailedSimulator::restore_cache)).
+
+use std::collections::BTreeMap;
+
+use gen_isa::DecodedKernel;
+use ocl_runtime::api::ArgValue;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::executor::{ExecConfig, ExecError, Executor};
+use crate::memory::TraceBuffer;
+
+/// A launch descriptor a checkpoint builder replays: what the device
+/// recorded per `clEnqueueNDRangeKernel`.
+#[derive(Debug, Clone)]
+pub struct LaunchDescriptor {
+    /// Index of the kernel binary.
+    pub kernel_index: usize,
+    /// Bound argument values.
+    pub args: Vec<ArgValue>,
+    /// Global work size.
+    pub global_work_size: u64,
+}
+
+/// Warm cache snapshots keyed by invocation index: the snapshot at
+/// key `i` is the machine state *before* invocation `i` runs.
+#[derive(Debug)]
+pub struct CheckpointLibrary {
+    snapshots: BTreeMap<usize, Cache>,
+}
+
+impl CheckpointLibrary {
+    /// Build checkpoints at the given invocation boundaries by
+    /// replaying `launches` through the functional engine.
+    ///
+    /// `boundaries` is typically the set of selected-interval start
+    /// indices. Index 0 yields a cold cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] if a launch fails to execute (a
+    /// malformed binary).
+    pub fn build(
+        kernels: &[DecodedKernel],
+        launches: &[LaunchDescriptor],
+        cache_config: CacheConfig,
+        boundaries: &[usize],
+    ) -> Result<CheckpointLibrary, ExecError> {
+        let mut wanted: Vec<usize> = boundaries.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+
+        let mut snapshots = BTreeMap::new();
+        let mut cache = Cache::new(cache_config);
+        let mut trace = TraceBuffer::new();
+        let mut next = wanted.iter().copied().peekable();
+
+        for (i, launch) in launches.iter().enumerate() {
+            while next.peek() == Some(&i) {
+                snapshots.insert(i, cache.clone());
+                next.next();
+            }
+            let kernel = &kernels[launch.kernel_index];
+            Executor {
+                cache: &mut cache,
+                trace: &mut trace,
+                config: ExecConfig::default(),
+            }
+            .execute_launch(kernel, &launch.args, launch.global_work_size)?;
+        }
+        // Boundaries at or past the end of the trace.
+        for b in next {
+            snapshots.insert(b.min(launches.len()), cache.clone());
+        }
+        Ok(CheckpointLibrary { snapshots })
+    }
+
+    /// The warm cache captured before invocation `index`, if one was
+    /// requested.
+    pub fn cache_before(&self, index: usize) -> Option<&Cache> {
+        self.snapshots.get(&index)
+    }
+
+    /// Number of snapshots held.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether no snapshots were captured.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detailed::{DetailedConfig, DetailedSimulator};
+    use crate::jit::compile_kernel;
+    use crate::topology::GpuGeneration;
+    use gen_isa::ExecSize;
+    use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+
+    fn streaming_kernel() -> DecodedKernel {
+        let mut ir = KernelIr::new("stream", 2);
+        ir.body = vec![
+            IrOp::LoopBegin { trip: TripCount::Arg(0) },
+            IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+            IrOp::Compute { ops: 4, width: ExecSize::S16 },
+            IrOp::LoopEnd,
+        ];
+        compile_kernel(&ir).unwrap().flatten()
+    }
+
+    fn launches(n: usize) -> Vec<LaunchDescriptor> {
+        (0..n)
+            .map(|_| LaunchDescriptor {
+                kernel_index: 0,
+                args: vec![ArgValue::Scalar(20), ArgValue::Buffer(0)],
+                global_work_size: 64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshots_captured_at_requested_boundaries() {
+        let kernels = vec![streaming_kernel()];
+        let lib = CheckpointLibrary::build(
+            &kernels,
+            &launches(6),
+            CacheConfig::default(),
+            &[0, 3, 6],
+        )
+        .unwrap();
+        assert_eq!(lib.len(), 3);
+        assert!(lib.cache_before(0).is_some());
+        assert!(lib.cache_before(3).is_some());
+        assert!(lib.cache_before(1).is_none());
+    }
+
+    #[test]
+    fn warm_checkpoint_reduces_sample_misses() {
+        let kernels = vec![streaming_kernel()];
+        let ls = launches(6);
+        let lib =
+            CheckpointLibrary::build(&kernels, &ls, CacheConfig::default(), &[0, 3]).unwrap();
+        let topo = GpuGeneration::IvyBridgeHd4000.topology();
+
+        // Detailed-simulate invocation 3 cold vs from the checkpoint.
+        let cold = {
+            let mut sim = DetailedSimulator::new(topo, 1.15e9, DetailedConfig::default());
+            sim.simulate_launch(&kernels[0], &ls[3].args, 64).unwrap()
+        };
+        let warm = {
+            let mut sim = DetailedSimulator::new(topo, 1.15e9, DetailedConfig::default());
+            sim.restore_cache(lib.cache_before(3).unwrap().clone());
+            sim.simulate_launch(&kernels[0], &ls[3].args, 64).unwrap()
+        };
+        assert!(
+            warm.stats.cache_misses < cold.stats.cache_misses,
+            "checkpoint removes cold-start misses: warm {} vs cold {}",
+            warm.stats.cache_misses,
+            cold.stats.cache_misses
+        );
+        assert!(warm.cycles <= cold.cycles);
+    }
+
+    #[test]
+    fn boundary_past_the_trace_snapshots_final_state() {
+        let kernels = vec![streaming_kernel()];
+        let lib = CheckpointLibrary::build(
+            &kernels,
+            &launches(2),
+            CacheConfig::default(),
+            &[10],
+        )
+        .unwrap();
+        assert_eq!(lib.len(), 1);
+        assert!(lib.cache_before(2).is_some(), "clamped to end of trace");
+    }
+}

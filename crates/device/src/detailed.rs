@@ -1,0 +1,463 @@
+//! The detailed cycle-level simulator — the *slow* path whose cost
+//! motivates the whole paper.
+//!
+//! Where the analytic model converts counters to seconds in O(1), this
+//! simulator walks the machine cycle by cycle: threads are assigned
+//! round-robin to EUs, each EU issues at most one instruction per
+//! cycle from its resident SMT threads (in-order per thread, with a
+//! per-register scoreboard), ALU results have multi-cycle latency,
+//! extended math is slower still, and send results arrive after a
+//! cache-hit or DRAM-miss delay. Architectural semantics are shared
+//! with the functional engine (the internal `machine` module), so the two can
+//! never diverge on results — only on time.
+//!
+//! Simulating a full program here is orders of magnitude slower than
+//! native functional execution; simulating only the intervals subset
+//! selection picks is the paper's remedy.
+
+use gen_isa::{DecodedKernel, Opcode};
+use ocl_runtime::api::ArgValue;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::executor::{ExecError, DISPATCH_WIDTH};
+use crate::machine::{step, StepOutcome, ThreadState};
+use crate::memory::TraceBuffer;
+use crate::stats::ExecutionStats;
+use crate::topology::GpuTopology;
+
+/// Latency parameters of the detailed pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetailedConfig {
+    /// Result latency of ordinary ALU instructions.
+    pub alu_latency: u64,
+    /// Result latency of extended math.
+    pub math_latency: u64,
+    /// Send result latency on a cache hit.
+    pub send_hit_latency: u64,
+    /// Send result latency on a miss (DRAM round trip).
+    pub send_miss_latency: u64,
+    /// Per-thread dynamic instruction budget (runaway guard).
+    pub thread_budget: u64,
+}
+
+impl Default for DetailedConfig {
+    fn default() -> DetailedConfig {
+        DetailedConfig {
+            alu_latency: 4,
+            math_latency: 16,
+            send_hit_latency: 50,
+            send_miss_latency: 300,
+            thread_budget: 8_000_000,
+        }
+    }
+}
+
+/// What one detailed simulation produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetailedResult {
+    /// Simulated GPU cycles for the launch (max across EUs, with a
+    /// DRAM bandwidth floor).
+    pub cycles: u64,
+    /// Cycles converted to seconds at the simulated frequency.
+    pub seconds: f64,
+    /// Total issue cycles across EUs (each EU's busy cycles summed).
+    pub busy_cycles: u64,
+    /// Total cycles summed across the EUs that had work (the
+    /// denominator of [`occupancy`](DetailedResult::occupancy)).
+    pub eu_cycles: u64,
+    /// Architectural statistics (identical to functional execution).
+    pub stats: ExecutionStats,
+}
+
+impl DetailedResult {
+    /// Fraction of EU-cycles that issued an instruction — the
+    /// machine-utilization figure a designer reads off a detailed
+    /// simulation.
+    pub fn occupancy(&self) -> f64 {
+        if self.eu_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.eu_cycles as f64
+        }
+    }
+}
+
+struct ThreadCtx {
+    st: ThreadState,
+    ip: i64,
+    executed: u64,
+    reg_ready: Vec<u64>,
+    flag_ready: [u64; 2],
+    done: bool,
+}
+
+impl ThreadCtx {
+    fn new(thread_id: u64, args: &[ArgValue]) -> ThreadCtx {
+        ThreadCtx {
+            st: ThreadState::new(thread_id, args),
+            ip: 0,
+            executed: 0,
+            reg_ready: vec![0; gen_isa::NUM_GRF as usize],
+            flag_ready: [0; 2],
+            done: false,
+        }
+    }
+
+    /// Earliest cycle at which the next instruction's dependencies
+    /// resolve, or `None` when the thread is done.
+    fn ready_at(&self, kernel: &DecodedKernel) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let instr = kernel.instrs.get(self.ip as usize)?;
+        let mut at = 0u64;
+        for r in instr.reads() {
+            at = at.max(self.reg_ready[r.0 as usize]);
+        }
+        if let Some(p) = instr.pred {
+            at = at.max(self.flag_ready[p.flag.index()]);
+        }
+        Some(at)
+    }
+}
+
+/// The cycle-level simulator. Owns its own cache so detailed runs
+/// don't disturb the native device's warm state.
+pub struct DetailedSimulator {
+    topology: GpuTopology,
+    config: DetailedConfig,
+    frequency_hz: f64,
+    cache: Cache,
+    trace: TraceBuffer,
+}
+
+impl DetailedSimulator {
+    /// A simulator of `topology` at `frequency_hz`.
+    pub fn new(topology: GpuTopology, frequency_hz: f64, config: DetailedConfig) -> DetailedSimulator {
+        DetailedSimulator {
+            topology,
+            config,
+            frequency_hz,
+            cache: Cache::new(CacheConfig::llc_slice(topology.llc_slice_kib)),
+            trace: TraceBuffer::new(),
+        }
+    }
+
+    /// Start from a captured warm cache (a
+    /// [`CheckpointLibrary`](crate::checkpoint::CheckpointLibrary)
+    /// snapshot) instead of a cold machine — the PinPlay-style
+    /// warm-up the CPU SimPoint toolchain uses before each sample.
+    pub fn restore_cache(&mut self, cache: Cache) {
+        self.cache = cache;
+    }
+
+    /// Simulate one kernel launch in detail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on runaway loops or malformed control
+    /// flow.
+    pub fn simulate_launch(
+        &mut self,
+        kernel: &DecodedKernel,
+        args: &[ArgValue],
+        global_work_size: u64,
+    ) -> Result<DetailedResult, ExecError> {
+        let num_threads = global_work_size.div_ceil(DISPATCH_WIDTH).max(1);
+        let num_eus = self.topology.execution_units as u64;
+        let mut stats = ExecutionStats { hw_threads: num_threads, ..Default::default() };
+        let mut max_cycles = 0u64;
+        let mut busy_cycles = 0u64;
+        let mut eu_cycles = 0u64;
+
+        for eu in 0..num_eus.min(num_threads) {
+            // Threads assigned round-robin to EUs.
+            let thread_ids: Vec<u64> =
+                (eu..num_threads).step_by(num_eus as usize).collect();
+            let (cycles, busy) = self.simulate_eu(kernel, args, &thread_ids, &mut stats)?;
+            max_cycles = max_cycles.max(cycles);
+            busy_cycles += busy;
+            eu_cycles += cycles;
+        }
+
+        // DRAM bandwidth floor: total miss traffic cannot beat the
+        // memory system.
+        let dram_bytes_per_cycle = self.topology.dram_bytes_per_second / self.frequency_hz;
+        let dram_floor = (stats.cache_misses as f64 * 64.0 / dram_bytes_per_cycle) as u64;
+        let cycles = max_cycles.max(dram_floor);
+
+        Ok(DetailedResult {
+            cycles,
+            seconds: cycles as f64 / self.frequency_hz,
+            busy_cycles,
+            eu_cycles,
+            stats,
+        })
+    }
+
+    fn simulate_eu(
+        &mut self,
+        kernel: &DecodedKernel,
+        args: &[ArgValue],
+        thread_ids: &[u64],
+        stats: &mut ExecutionStats,
+    ) -> Result<(u64, u64), ExecError> {
+        let slots = self.topology.threads_per_eu as usize;
+        let mut waiting = thread_ids.iter().copied();
+        let mut active: Vec<ThreadCtx> = waiting.by_ref().take(slots).map(|t| ThreadCtx::new(t, args)).collect();
+        let mut cycle = 0u64;
+        let mut busy = 0u64;
+        let mut rr = 0usize;
+
+        while !active.is_empty() {
+            // Find a ready thread, round-robin from rr.
+            let n = active.len();
+            let mut issued = false;
+            let mut next_ready = u64::MAX;
+            for k in 0..n {
+                let i = (rr + k) % n;
+                let ready_at = active[i].ready_at(kernel).expect("active threads not done");
+                if ready_at <= cycle {
+                    self.issue(kernel, &mut active[i], cycle, stats)?;
+                    rr = (i + 1) % n;
+                    issued = true;
+                    busy += 1;
+                    break;
+                }
+                next_ready = next_ready.min(ready_at);
+            }
+
+            if issued {
+                cycle += 1;
+            } else {
+                // Nothing ready: the EU stalls. A cycle-level
+                // simulator pays for every cycle — this is precisely
+                // why detailed simulation is so much slower than
+                // native execution, and what subset selection
+                // amortizes. (`next_ready` guards against pathological
+                // multi-thousand-cycle gaps.)
+                cycle = (cycle + 1).max(next_ready.min(cycle + 64));
+            }
+
+            // Retire finished threads, admit waiting ones.
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].done {
+                    active.swap_remove(i);
+                    if let Some(t) = waiting.next() {
+                        active.push(ThreadCtx::new(t, args));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if !active.is_empty() {
+                rr %= active.len();
+            }
+        }
+        Ok((cycle, busy))
+    }
+
+    fn issue(
+        &mut self,
+        kernel: &DecodedKernel,
+        t: &mut ThreadCtx,
+        cycle: u64,
+        stats: &mut ExecutionStats,
+    ) -> Result<(), ExecError> {
+        if t.executed >= self.config.thread_budget {
+            return Err(ExecError::BudgetExceeded { budget: self.config.thread_budget });
+        }
+        if t.ip < 0 || t.ip as usize >= kernel.instrs.len() {
+            return Err(ExecError::RanOffEnd { ip: t.ip });
+        }
+        let instr = &kernel.instrs[t.ip as usize];
+        t.executed += 1;
+        let issue = crate::executor::instruction_cost(instr);
+        t.st.issue_cycles += issue;
+        stats.count_instruction(instr.opcode.category(), instr.exec_size, issue);
+
+        let misses_before = stats.cache_misses;
+        let outcome = step(&mut t.st, instr, &mut self.cache, &mut self.trace, stats);
+        let missed = stats.cache_misses > misses_before;
+
+        let latency = match instr.opcode {
+            Opcode::Inv | Opcode::Sqrt | Opcode::Exp | Opcode::Log | Opcode::Sin | Opcode::Cos => {
+                self.config.math_latency
+            }
+            Opcode::Send | Opcode::Sendc => {
+                if missed {
+                    self.config.send_miss_latency
+                } else {
+                    self.config.send_hit_latency
+                }
+            }
+            _ => self.config.alu_latency,
+        };
+        if let Some(dst) = instr.dst {
+            t.reg_ready[dst.0 as usize] = cycle + latency;
+        }
+        if let Some(flag) = instr.flag {
+            t.flag_ready[flag.index()] = cycle + 2;
+        }
+
+        match outcome {
+            StepOutcome::Done => t.done = true,
+            StepOutcome::Fault => return Err(ExecError::StrayReturn { ip: t.ip as usize }),
+            StepOutcome::Branch(off) => t.ip += 1 + off as i64,
+            StepOutcome::Next => t.ip += 1,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{ExecConfig, Executor};
+    use crate::jit::compile_kernel;
+    use crate::topology::GpuGeneration;
+    use gen_isa::ExecSize;
+    use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+
+    fn kernel(body: Vec<IrOp>, num_args: u8) -> DecodedKernel {
+        let mut ir = KernelIr::new("d", num_args);
+        ir.body = body;
+        compile_kernel(&ir).unwrap().flatten()
+    }
+
+    fn sim() -> DetailedSimulator {
+        DetailedSimulator::new(
+            GpuGeneration::IvyBridgeHd4000.topology(),
+            1.15e9,
+            DetailedConfig::default(),
+        )
+    }
+
+    #[test]
+    fn architectural_results_match_functional_execution() {
+        let k = kernel(
+            vec![
+                IrOp::LoopBegin { trip: TripCount::Const(7) },
+                IrOp::Compute { ops: 6, width: ExecSize::S16 },
+                IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+                IrOp::LoopEnd,
+            ],
+            1,
+        );
+        let args = [ArgValue::Buffer(0)];
+        let detailed = sim().simulate_launch(&k, &args, 128).unwrap();
+
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        let functional = Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig::default(),
+        }
+        .execute_launch(&k, &args, 128)
+        .unwrap();
+
+        assert_eq!(detailed.stats.instructions, functional.instructions);
+        assert_eq!(detailed.stats.per_category, functional.per_category);
+        assert_eq!(detailed.stats.bytes_read, functional.bytes_read);
+    }
+
+    #[test]
+    fn cycles_grow_with_work() {
+        let small = kernel(vec![IrOp::Compute { ops: 10, width: ExecSize::S16 }], 0);
+        let large = kernel(vec![IrOp::Compute { ops: 200, width: ExecSize::S16 }], 0);
+        let cs = sim().simulate_launch(&small, &[], 256).unwrap().cycles;
+        let cl = sim().simulate_launch(&large, &[], 256).unwrap().cycles;
+        assert!(cl > 4 * cs, "20× more work should cost clearly more cycles: {cs} vs {cl}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_cost_more_cycles_per_instruction() {
+        let compute = kernel(
+            vec![
+                IrOp::LoopBegin { trip: TripCount::Const(50) },
+                IrOp::Compute { ops: 10, width: ExecSize::S16 },
+                IrOp::LoopEnd,
+            ],
+            0,
+        );
+        let memory = kernel(
+            vec![
+                IrOp::LoopBegin { trip: TripCount::Const(50) },
+                IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Gather },
+                // The compute consumes the loaded value, so the miss
+                // latency is actually on the critical path.
+                IrOp::Compute { ops: 2, width: ExecSize::S16 },
+                IrOp::LoopEnd,
+            ],
+            1,
+        );
+        let rc = sim().simulate_launch(&compute, &[], 64).unwrap();
+        let rm = sim()
+            .simulate_launch(&memory, &[ArgValue::Buffer(0)], 64)
+            .unwrap();
+        let cpi_c = rc.cycles as f64 / rc.stats.instructions as f64;
+        let cpi_m = rm.cycles as f64 / rm.stats.instructions as f64;
+        assert!(cpi_m > cpi_c, "gather kernel CPI {cpi_m} should exceed compute CPI {cpi_c}");
+    }
+
+    #[test]
+    fn smt_hides_latency() {
+        // One thread per EU vs eight: eight threads should take far
+        // fewer than 8× the cycles of one.
+        let k = kernel(
+            vec![
+                IrOp::LoopBegin { trip: TripCount::Const(20) },
+                IrOp::MathCompute { ops: 4, width: ExecSize::S8 },
+                IrOp::LoopEnd,
+            ],
+            0,
+        );
+        let one = sim().simulate_launch(&k, &[], 16 * 16).unwrap().cycles; // 16 threads, 1/EU
+        let eight = sim().simulate_launch(&k, &[], 16 * 16 * 8).unwrap().cycles; // 8/EU
+        assert!(
+            (eight as f64) < 4.0 * one as f64,
+            "SMT overlap: {one} cycles for 1 thread/EU, {eight} for 8"
+        );
+    }
+
+    #[test]
+    fn detailed_simulation_is_slower_than_functional_in_wall_clock() {
+        let k = kernel(
+            vec![
+                IrOp::LoopBegin { trip: TripCount::Const(400) },
+                IrOp::Compute { ops: 20, width: ExecSize::S16 },
+                IrOp::MathCompute { ops: 4, width: ExecSize::S16 },
+                IrOp::LoopEnd,
+            ],
+            0,
+        );
+        // Best-of-three on each side to keep the comparison robust
+        // against scheduler noise in debug builds.
+        let functional = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let mut cache = Cache::new(CacheConfig::default());
+                let mut trace = TraceBuffer::new();
+                Executor { cache: &mut cache, trace: &mut trace, config: ExecConfig::default() }
+                    .execute_launch(&k, &[], 4096)
+                    .unwrap();
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        let detailed = (0..3)
+            .map(|_| {
+                let t1 = std::time::Instant::now();
+                sim().simulate_launch(&k, &[], 4096).unwrap();
+                t1.elapsed()
+            })
+            .min()
+            .unwrap();
+        assert!(
+            detailed > functional,
+            "detailed ({detailed:?}) must cost more than functional ({functional:?})"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! The GPU driver: JIT compilation plus the binary-rewriter hook.
+//!
+//! In Figure 1 of the paper, GT-Pin modifies the driver so that after
+//! the JIT produces a machine-specific binary, the binary is diverted
+//! to the GT-Pin binary re-writer instead of going straight to the
+//! GPU. [`GpuDriver`] reproduces that hook: when a rewriter is
+//! attached, every freshly compiled kernel binary passes through it
+//! as bytes, and whatever comes back is what the GPU executes.
+
+use gen_isa::encode::{decode_stream, leaders};
+use gen_isa::DecodedKernel;
+use ocl_runtime::device::DeviceError;
+use ocl_runtime::host::ProgramSource;
+
+use crate::jit::compile_program;
+
+/// A binary rewriter attached to the driver (GT-Pin's engine, in
+/// practice). The rewriter receives the encoded kernel binary and
+/// returns a replacement binary.
+pub trait BinaryRewriter {
+    /// Rewrite the freshly JIT-compiled binary of kernel
+    /// `kernel_index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description; the driver surfaces it
+    /// as a JIT failure.
+    fn rewrite(&mut self, kernel_index: usize, binary: &[u8]) -> Result<Vec<u8>, String>;
+}
+
+/// Decode an encoded kernel container straight to the flattened,
+/// executable view.
+///
+/// # Errors
+///
+/// Propagates [`gen_isa::DecodeError`] as a string.
+pub fn decode_flat(bytes: &[u8]) -> Result<DecodedKernel, String> {
+    let stream = decode_stream(bytes).map_err(|e| e.to_string())?;
+    let bb_starts = leaders(&stream.instrs).map_err(|e| e.to_string())?;
+    Ok(DecodedKernel {
+        name: stream.name,
+        metadata: stream.metadata,
+        instrs: stream.instrs,
+        bb_starts,
+    })
+}
+
+/// The driver: owns JIT-compiled (and possibly rewritten) kernels.
+#[derive(Default)]
+pub struct GpuDriver {
+    rewriter: Option<Box<dyn BinaryRewriter>>,
+    kernels: Vec<DecodedKernel>,
+    original_instruction_counts: Vec<usize>,
+}
+
+impl std::fmt::Debug for GpuDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuDriver")
+            .field("kernels", &self.kernels.len())
+            .field("rewriter_attached", &self.rewriter.is_some())
+            .finish()
+    }
+}
+
+impl GpuDriver {
+    /// A driver with no rewriter attached.
+    pub fn new() -> GpuDriver {
+        GpuDriver::default()
+    }
+
+    /// Attach a binary rewriter; subsequent `clBuildProgram`s divert
+    /// every kernel binary through it.
+    pub fn set_rewriter(&mut self, rewriter: Box<dyn BinaryRewriter>) {
+        self.rewriter = Some(rewriter);
+    }
+
+    /// Whether a rewriter is attached.
+    pub fn has_rewriter(&self) -> bool {
+        self.rewriter.is_some()
+    }
+
+    /// JIT-compile a program (and run the rewriter, if attached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Jit`] on lowering, rewriting, or
+    /// re-decoding failures.
+    pub fn build(&mut self, source: &ProgramSource) -> Result<(), DeviceError> {
+        let binaries = compile_program(source).map_err(|e| DeviceError::Jit {
+            kernel: String::new(),
+            detail: e.to_string(),
+        })?;
+        self.kernels.clear();
+        self.original_instruction_counts.clear();
+        for (i, binary) in binaries.into_iter().enumerate() {
+            let name = binary.name.clone();
+            let mut bytes = binary.encode();
+            self.original_instruction_counts
+                .push(binary.static_instruction_count());
+            if let Some(rw) = self.rewriter.as_mut() {
+                bytes = rw.rewrite(i, &bytes).map_err(|detail| DeviceError::Jit {
+                    kernel: name.clone(),
+                    detail,
+                })?;
+            }
+            let flat = decode_flat(&bytes).map_err(|detail| DeviceError::Jit {
+                kernel: name.clone(),
+                detail,
+            })?;
+            self.kernels.push(flat);
+        }
+        Ok(())
+    }
+
+    /// Number of built kernels.
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The executable form of kernel `index`.
+    pub fn kernel(&self, index: usize) -> Option<&DecodedKernel> {
+        self.kernels.get(index)
+    }
+
+    /// Static instruction count of kernel `index` *before* any
+    /// rewriting (used for instrumentation-overhead accounting).
+    pub fn original_instruction_count(&self, index: usize) -> Option<usize> {
+        self.original_instruction_counts.get(index).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::ExecSize;
+    use ocl_runtime::ir::{IrOp, KernelIr};
+
+    fn source() -> ProgramSource {
+        let mut k = KernelIr::new("k", 0);
+        k.body = vec![IrOp::Compute { ops: 4, width: ExecSize::S16 }];
+        ProgramSource { kernels: vec![k] }
+    }
+
+    struct NopRewriter {
+        calls: std::rc::Rc<std::cell::RefCell<usize>>,
+    }
+
+    impl BinaryRewriter for NopRewriter {
+        fn rewrite(&mut self, _kernel_index: usize, binary: &[u8]) -> Result<Vec<u8>, String> {
+            *self.calls.borrow_mut() += 1;
+            Ok(binary.to_vec())
+        }
+    }
+
+    #[test]
+    fn build_without_rewriter_produces_executable_kernels() {
+        let mut d = GpuDriver::new();
+        d.build(&source()).unwrap();
+        assert_eq!(d.num_kernels(), 1);
+        let k = d.kernel(0).unwrap();
+        assert_eq!(k.name, "k");
+        assert_eq!(Some(k.instrs.len()), d.original_instruction_count(0));
+    }
+
+    #[test]
+    fn rewriter_sees_every_kernel() {
+        let calls = std::rc::Rc::new(std::cell::RefCell::new(0));
+        let mut d = GpuDriver::new();
+        d.set_rewriter(Box::new(NopRewriter { calls: calls.clone() }));
+        assert!(d.has_rewriter());
+        let mut src = source();
+        src.kernels.push(KernelIr::new("k2", 0));
+        d.build(&src).unwrap();
+        assert_eq!(*calls.borrow(), 2);
+    }
+
+    #[test]
+    fn rewriter_failure_surfaces_as_jit_error() {
+        struct Failing;
+        impl BinaryRewriter for Failing {
+            fn rewrite(&mut self, _: usize, _: &[u8]) -> Result<Vec<u8>, String> {
+                Err("boom".into())
+            }
+        }
+        let mut d = GpuDriver::new();
+        d.set_rewriter(Box::new(Failing));
+        let err = d.build(&source()).unwrap_err();
+        assert!(matches!(err, DeviceError::Jit { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_rewriter_output_rejected() {
+        struct Corrupting;
+        impl BinaryRewriter for Corrupting {
+            fn rewrite(&mut self, _: usize, b: &[u8]) -> Result<Vec<u8>, String> {
+                Ok(b[..b.len() - 3].to_vec())
+            }
+        }
+        let mut d = GpuDriver::new();
+        d.set_rewriter(Box::new(Corrupting));
+        assert!(d.build(&source()).is_err());
+    }
+
+    #[test]
+    fn rebuild_replaces_kernels() {
+        let mut d = GpuDriver::new();
+        d.build(&source()).unwrap();
+        let mut bigger = source();
+        bigger.kernels.push(KernelIr::new("extra", 0));
+        d.build(&bigger).unwrap();
+        assert_eq!(d.num_kernels(), 2);
+    }
+}

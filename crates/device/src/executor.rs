@@ -1,0 +1,359 @@
+//! The fast functional execution engine: runs GEN kernel binaries
+//! over an NDRange, one hardware thread at a time, with real register
+//! and flag state.
+//!
+//! The engine is what makes GT-Pin's instrumentation *real* in this
+//! model: injected instructions execute here like any other code,
+//! accumulating counters in the trace buffer via `send.atomic_add`
+//! messages. The engine also maintains native performance counters
+//! ([`ExecutionStats`]) used by the timing model and as ground truth
+//! in tests.
+
+use gen_isa::{DecodedKernel, Opcode, NUM_LANES};
+use ocl_runtime::api::ArgValue;
+
+use crate::cache::Cache;
+use crate::machine::{step, StepOutcome, ThreadState};
+use crate::memory::TraceBuffer;
+use crate::stats::ExecutionStats;
+
+/// SIMD lanes one hardware thread covers (dispatch width).
+pub const DISPATCH_WIDTH: u64 = NUM_LANES as u64;
+
+/// Per-opcode issue cost in cycles (the compute term of the timing
+/// model). Extended math is the slow path; sends pay an issue cost
+/// here plus memory time modelled separately.
+pub fn issue_cost(opcode: Opcode) -> u64 {
+    use Opcode::*;
+    match opcode {
+        Inv | Sqrt | Exp | Log | Sin | Cos => 4,
+        Send | Sendc => 2,
+        Mad | Lrp | Dp4 => 2,
+        _ => 1,
+    }
+}
+
+/// Issue cost of a concrete instruction. Atomic messages to the
+/// CPU/GPU-shared trace buffer serialize against every other
+/// hardware thread, so they cost far more than ordinary sends —
+/// this contention is the dominant component of GT-Pin's observed
+/// 2–10× profiling overhead (Section III-C of the paper).
+pub fn instruction_cost(instr: &gen_isa::Instruction) -> u64 {
+    if let Some(desc) = instr.send {
+        if desc.surface == gen_isa::Surface::TraceBuffer {
+            return match desc.op {
+                gen_isa::SendOp::AtomicAdd => 24,
+                gen_isa::SendOp::Write => 12,
+                _ => 4,
+            };
+        }
+    }
+    issue_cost(instr.opcode)
+}
+
+/// Execution faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A thread exceeded the per-thread instruction budget
+    /// (runaway-loop guard).
+    BudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The instruction pointer left the stream without an `eot`.
+    RanOffEnd {
+        /// Where it ended up.
+        ip: i64,
+    },
+    /// `ret`/`call` executed with no subroutine support.
+    StrayReturn {
+        /// Offending instruction index.
+        ip: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BudgetExceeded { budget } => {
+                write!(f, "thread exceeded instruction budget of {budget}")
+            }
+            ExecError::RanOffEnd { ip } => write!(f, "instruction pointer {ip} left the stream"),
+            ExecError::StrayReturn { ip } => write!(f, "stray ret/call at instruction {ip}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execution-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Per-thread dynamic instruction budget.
+    pub thread_budget: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig { thread_budget: 8_000_000 }
+    }
+}
+
+/// Executes kernel launches against shared device state (cache,
+/// trace buffer).
+pub struct Executor<'d> {
+    /// Device cache fed by global sends.
+    pub cache: &'d mut Cache,
+    /// GT-Pin trace buffer fed by trace-surface sends.
+    pub trace: &'d mut TraceBuffer,
+    /// Limits.
+    pub config: ExecConfig,
+}
+
+impl<'d> Executor<'d> {
+    /// Execute one kernel launch over `global_work_size` work items;
+    /// returns aggregated statistics across hardware threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on runaway loops, bad control flow, or
+    /// stray returns — all of which indicate a malformed binary.
+    pub fn execute_launch(
+        &mut self,
+        kernel: &DecodedKernel,
+        args: &[ArgValue],
+        global_work_size: u64,
+    ) -> Result<ExecutionStats, ExecError> {
+        let num_threads = global_work_size.div_ceil(DISPATCH_WIDTH).max(1);
+        let mut stats = ExecutionStats { hw_threads: num_threads, ..Default::default() };
+        for t in 0..num_threads {
+            self.execute_thread(kernel, args, t, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    fn execute_thread(
+        &mut self,
+        kernel: &DecodedKernel,
+        args: &[ArgValue],
+        thread_id: u64,
+        stats: &mut ExecutionStats,
+    ) -> Result<(), ExecError> {
+        let mut st = ThreadState::new(thread_id, args);
+        let mut ip: i64 = 0;
+        let mut executed: u64 = 0;
+        let instrs = &kernel.instrs;
+
+        loop {
+            if executed >= self.config.thread_budget {
+                return Err(ExecError::BudgetExceeded { budget: self.config.thread_budget });
+            }
+            if ip < 0 || ip as usize >= instrs.len() {
+                return Err(ExecError::RanOffEnd { ip });
+            }
+            let instr = &instrs[ip as usize];
+            executed += 1;
+            let cost = instruction_cost(instr);
+            st.issue_cycles += cost;
+            stats.count_instruction(instr.opcode.category(), instr.exec_size, cost);
+
+            match step(&mut st, instr, self.cache, self.trace, stats) {
+                StepOutcome::Done => break,
+                StepOutcome::Fault => return Err(ExecError::StrayReturn { ip: ip as usize }),
+                StepOutcome::Branch(off) => ip += 1 + off as i64,
+                StepOutcome::Next => ip += 1,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::jit::compile_kernel;
+    use gen_isa::ExecSize;
+    use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+
+    fn run(
+        ir_body: Vec<IrOp>,
+        num_args: u8,
+        args: &[ArgValue],
+        gws: u64,
+    ) -> (ExecutionStats, TraceBuffer) {
+        let mut ir = KernelIr::new("t", num_args);
+        ir.body = ir_body;
+        let bin = compile_kernel(&ir).unwrap();
+        let flat = bin.flatten();
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        let stats = Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig::default(),
+        }
+        .execute_launch(&flat, args, gws)
+        .unwrap();
+        (stats, trace)
+    }
+
+    #[test]
+    fn one_thread_per_sixteen_work_items() {
+        let (s, _) = run(vec![IrOp::Compute { ops: 1, width: ExecSize::S16 }], 0, &[], 64);
+        assert_eq!(s.hw_threads, 4);
+        let (s, _) = run(vec![], 0, &[], 1);
+        assert_eq!(s.hw_threads, 1, "tiny launches still dispatch one thread");
+    }
+
+    #[test]
+    fn loop_trip_count_follows_argument() {
+        let body = vec![
+            IrOp::LoopBegin { trip: TripCount::Arg(0) },
+            IrOp::Compute { ops: 10, width: ExecSize::S16 },
+            IrOp::LoopEnd,
+        ];
+        let (s5, _) = run(body.clone(), 1, &[ArgValue::Scalar(5)], 16);
+        let (s10, _) = run(body, 1, &[ArgValue::Scalar(10)], 16);
+        // Each iteration: 10 compute + add + cmp + brc = 13.
+        let diff = s10.instructions - s5.instructions;
+        assert_eq!(diff, 5 * 13, "five extra iterations of 13 instructions");
+    }
+
+    #[test]
+    fn instruction_count_scales_with_threads() {
+        let body = vec![IrOp::Compute { ops: 7, width: ExecSize::S8 }];
+        let (s1, _) = run(body.clone(), 0, &[], 16);
+        let (s4, _) = run(body, 0, &[], 64);
+        assert_eq!(s4.instructions, 4 * s1.instructions);
+    }
+
+    #[test]
+    fn memory_bytes_accounted_per_execution() {
+        let body = vec![
+            IrOp::LoopBegin { trip: TripCount::Const(3) },
+            IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+            IrOp::Store { arg: 1, bytes: 32, width: ExecSize::S16, pattern: AccessPattern::Linear },
+            IrOp::LoopEnd,
+        ];
+        let (s, _) = run(body, 2, &[ArgValue::Buffer(0), ArgValue::Buffer(1)], 16);
+        assert_eq!(s.bytes_read, 3 * 64);
+        assert_eq!(s.bytes_written, 3 * 32);
+        assert_eq!(s.global_sends, 6);
+    }
+
+    #[test]
+    fn gather_misses_more_than_linear() {
+        let mk = |pattern| {
+            vec![
+                IrOp::LoopBegin { trip: TripCount::Const(200) },
+                IrOp::Load { arg: 0, bytes: 16, width: ExecSize::S16, pattern },
+                IrOp::LoopEnd,
+            ]
+        };
+        let (lin, _) = run(mk(AccessPattern::Linear), 1, &[ArgValue::Buffer(0)], 16);
+        let (gat, _) = run(mk(AccessPattern::Gather), 1, &[ArgValue::Buffer(0)], 16);
+        assert!(
+            gat.cache_misses > lin.cache_misses,
+            "gather ({}) should miss more than linear ({})",
+            gat.cache_misses,
+            lin.cache_misses
+        );
+    }
+
+    #[test]
+    fn runaway_loop_hits_budget_guard() {
+        let mut ir = KernelIr::new("r", 0);
+        ir.body = vec![
+            IrOp::LoopBegin { trip: TripCount::Const(1 << 30) },
+            IrOp::Compute { ops: 1, width: ExecSize::S1 },
+            IrOp::LoopEnd,
+        ];
+        let bin = compile_kernel(&ir).unwrap().flatten();
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        let err = Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig { thread_budget: 1000 },
+        }
+        .execute_launch(&bin, &[], 16)
+        .unwrap_err();
+        assert_eq!(err, ExecError::BudgetExceeded { budget: 1000 });
+    }
+
+    #[test]
+    fn if_region_skipped_when_condition_fails() {
+        let body = vec![
+            IrOp::IfArgLt { arg: 0, value: 100 },
+            IrOp::Compute { ops: 50, width: ExecSize::S16 },
+            IrOp::EndIf,
+        ];
+        let (taken, _) = run(body.clone(), 1, &[ArgValue::Scalar(5)], 16);
+        let (skipped, _) = run(body, 1, &[ArgValue::Scalar(500)], 16);
+        assert!(taken.instructions > skipped.instructions + 40);
+    }
+
+    #[test]
+    fn trace_buffer_sends_accumulate_counters() {
+        // Hand-build a binary with instrumentation-style counter sends.
+        use gen_isa::builder::KernelBuilder;
+        use gen_isa::{Reg, Src, Surface};
+        let mut b = KernelBuilder::new("counter");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .mov(ExecSize::S1, Reg(100), Src::Imm(3)) // slot
+            .mov(ExecSize::S1, Reg(101), Src::Imm(1)) // increment
+            .atomic_add(Reg(100), Reg(101), Surface::TraceBuffer)
+            .eot();
+        let flat = b.build().unwrap().flatten();
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig::default(),
+        }
+        .execute_launch(&flat, &[], 8 * 16)
+        .unwrap();
+        assert_eq!(trace.slot(3), 8, "one increment per hardware thread");
+    }
+
+    #[test]
+    fn trace_traffic_not_counted_as_app_bytes() {
+        use gen_isa::builder::KernelBuilder;
+        use gen_isa::{Reg, Src, Surface};
+        let mut b = KernelBuilder::new("t");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .mov(ExecSize::S1, Reg(100), Src::Imm(0))
+            .mov(ExecSize::S1, Reg(101), Src::Imm(1))
+            .atomic_add(Reg(100), Reg(101), Surface::TraceBuffer)
+            .eot();
+        let flat = b.build().unwrap().flatten();
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        let stats = Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig::default(),
+        }
+        .execute_launch(&flat, &[], 16)
+        .unwrap();
+        assert_eq!(stats.bytes_read + stats.bytes_written, 0);
+        assert_eq!(stats.global_sends, 0);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let body = vec![
+            IrOp::LoopBegin { trip: TripCount::Const(9) },
+            IrOp::Compute { ops: 5, width: ExecSize::S16 },
+            IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Gather },
+            IrOp::LoopEnd,
+        ];
+        let (a, _) = run(body.clone(), 1, &[ArgValue::Buffer(2)], 128);
+        let (b, _) = run(body, 1, &[ArgValue::Buffer(2)], 128);
+        assert_eq!(a, b);
+    }
+}

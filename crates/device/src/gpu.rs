@@ -1,0 +1,356 @@
+//! The [`Gpu`]: the complete device, implementing
+//! [`ocl_runtime::Device`].
+//!
+//! GT-Pin attaches at two points, both modelled here:
+//!
+//! 1. a [`BinaryRewriter`] on the driver (set via
+//!    [`Gpu::set_rewriter`]) instruments binaries at JIT time, and
+//! 2. a [`LaunchObserver`] (set via [`Gpu::set_observer`]) is handed
+//!    the trace buffer after every kernel invocation completes — the
+//!    CPU post-processing step of Figure 1.
+
+use ocl_runtime::api::{ArgValue, KernelId, SyncCall};
+use ocl_runtime::device::{Device, DeviceError, KernelTiming};
+use ocl_runtime::host::ProgramSource;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::driver::{BinaryRewriter, GpuDriver};
+use crate::executor::{ExecConfig, Executor};
+use crate::memory::TraceBuffer;
+use crate::stats::ExecutionStats;
+use crate::timing::{TimingConfig, TimingModel};
+use crate::topology::{GpuGeneration, GpuTopology};
+
+/// Everything known about one completed kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchInfo {
+    /// Position in launch order (0-based across the run).
+    pub launch_index: u32,
+    /// Which kernel ran.
+    pub kernel: KernelId,
+    /// Its name.
+    pub kernel_name: String,
+    /// Global work size of the launch.
+    pub global_work_size: u64,
+    /// Bound argument values.
+    pub args: Vec<ArgValue>,
+    /// Modelled wall-clock seconds (with trial noise).
+    pub seconds: f64,
+    /// Native performance counters for the launch (includes any
+    /// instrumentation instructions).
+    pub stats: ExecutionStats,
+}
+
+/// Receives the trace buffer after each kernel completes. This is
+/// GT-Pin's CPU post-processing hook; the observer typically drains
+/// counters and records, then the device resets the buffer.
+pub trait LaunchObserver {
+    /// Called after each kernel invocation completes on the GPU.
+    fn on_kernel_complete(&mut self, info: &LaunchInfo, trace: &mut TraceBuffer);
+}
+
+/// Device configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuConfig {
+    /// Which generation to model.
+    pub generation: GpuGeneration,
+    /// Clock frequency; `None` means the generation's maximum.
+    pub frequency_hz: Option<f64>,
+    /// Trial seed for timing noise (a new seed models a new run on
+    /// real hardware).
+    pub trial_seed: u64,
+    /// Relative timing-noise amplitude.
+    pub noise: f64,
+    /// Executor limits.
+    pub exec: ExecConfig,
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig {
+            generation: GpuGeneration::IvyBridgeHd4000,
+            frequency_hz: None,
+            trial_seed: 1,
+            noise: 0.01,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+impl GpuConfig {
+    /// The paper's main test system at maximum frequency.
+    pub fn hd4000() -> GpuConfig {
+        GpuConfig::default()
+    }
+
+    /// The Haswell validation system.
+    pub fn hd4600() -> GpuConfig {
+        GpuConfig {
+            generation: GpuGeneration::HaswellHd4600,
+            ..Default::default()
+        }
+    }
+
+    /// Same machine, different trial.
+    pub fn with_trial_seed(mut self, seed: u64) -> GpuConfig {
+        self.trial_seed = seed;
+        self
+    }
+
+    /// Same machine, scaled clock.
+    pub fn with_frequency_hz(mut self, hz: f64) -> GpuConfig {
+        self.frequency_hz = Some(hz);
+        self
+    }
+}
+
+/// The GPU device.
+pub struct Gpu {
+    topology: GpuTopology,
+    driver: GpuDriver,
+    cache: Cache,
+    trace: TraceBuffer,
+    timing: TimingModel,
+    exec_config: ExecConfig,
+    observer: Option<Box<dyn LaunchObserver>>,
+    launches: Vec<LaunchInfo>,
+    launch_index: u32,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("topology", &self.topology.name)
+            .field("launches", &self.launches.len())
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// A device per `config`.
+    pub fn new(config: GpuConfig) -> Gpu {
+        let topology = config.generation.topology();
+        let frequency_hz = config.frequency_hz.unwrap_or(topology.max_frequency_hz);
+        let timing = TimingModel::new(
+            topology,
+            TimingConfig {
+                frequency_hz,
+                trial_seed: config.trial_seed,
+                noise: config.noise,
+                ..Default::default()
+            },
+        );
+        Gpu {
+            topology,
+            driver: GpuDriver::new(),
+            cache: Cache::new(CacheConfig::llc_slice(topology.llc_slice_kib)),
+            trace: TraceBuffer::new(),
+            timing,
+            exec_config: config.exec,
+            observer: None,
+            launches: Vec::new(),
+            launch_index: 0,
+        }
+    }
+
+    /// The machine description.
+    pub fn topology(&self) -> &GpuTopology {
+        &self.topology
+    }
+
+    /// Attach a binary rewriter to the driver (GT-Pin hook 1).
+    pub fn set_rewriter(&mut self, rewriter: Box<dyn BinaryRewriter>) {
+        self.driver.set_rewriter(rewriter);
+    }
+
+    /// Attach a launch observer (GT-Pin hook 2).
+    pub fn set_observer(&mut self, observer: Box<dyn LaunchObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Per-launch device-side records (the model's ground truth).
+    pub fn launches(&self) -> &[LaunchInfo] {
+        &self.launches
+    }
+
+    /// Aggregate native statistics across all launches so far.
+    pub fn total_stats(&self) -> ExecutionStats {
+        let mut total = ExecutionStats::default();
+        for l in &self.launches {
+            total.merge(&l.stats);
+        }
+        total
+    }
+
+    /// Driver access (instrumented binaries, original sizes).
+    pub fn driver(&self) -> &GpuDriver {
+        &self.driver
+    }
+
+    /// The timing model in force.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+}
+
+impl Device for Gpu {
+    fn device_name(&self) -> String {
+        self.topology.name.to_string()
+    }
+
+    fn build_program(&mut self, source: &ProgramSource) -> Result<(), DeviceError> {
+        self.driver.build(source)
+    }
+
+    fn launch_kernel(
+        &mut self,
+        kernel: KernelId,
+        args: &[ArgValue],
+        global_work_size: u64,
+    ) -> Result<KernelTiming, DeviceError> {
+        if self.driver.num_kernels() == 0 {
+            return Err(DeviceError::ProgramNotBuilt);
+        }
+        let decoded = self
+            .driver
+            .kernel(kernel.index())
+            .ok_or(DeviceError::UnknownKernel { kernel })?;
+        let kernel_name = decoded.name.clone();
+
+        let stats = Executor {
+            cache: &mut self.cache,
+            trace: &mut self.trace,
+            config: self.exec_config,
+        }
+        .execute_launch(decoded, args, global_work_size)
+        .map_err(|e| DeviceError::Execution {
+            kernel: kernel_name.clone(),
+            detail: e.to_string(),
+        })?;
+
+        let seconds = self.timing.launch_seconds(&stats, self.launch_index);
+        let info = LaunchInfo {
+            launch_index: self.launch_index,
+            kernel,
+            kernel_name,
+            global_work_size,
+            args: args.to_vec(),
+            seconds,
+            stats,
+        };
+        self.launch_index += 1;
+
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_kernel_complete(&info, &mut self.trace);
+        }
+        self.trace.reset();
+        self.launches.push(info);
+        Ok(KernelTiming { seconds })
+    }
+
+    fn synchronize(&mut self, _call: SyncCall) {
+        // Device work is executed eagerly in this model; a sync call
+        // has nothing left to drain.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::ExecSize;
+    use ocl_runtime::host::{HostScriptBuilder, ProgramSource};
+    use ocl_runtime::ir::{IrOp, KernelIr, TripCount};
+    use ocl_runtime::runtime::{OclRuntime, Schedule};
+
+    fn program() -> ocl_runtime::host::HostProgram {
+        let mut k = KernelIr::new("work", 1);
+        k.body = vec![
+            IrOp::LoopBegin { trip: TripCount::Arg(0) },
+            IrOp::Compute { ops: 40, width: ExecSize::S16 },
+            IrOp::LoopEnd,
+        ];
+        let source = ProgramSource { kernels: vec![k] };
+        let mut b = HostScriptBuilder::new("app", source);
+        for i in 1..=4u64 {
+            b.set_arg(KernelId(0), 0, ArgValue::Scalar(50 * i));
+            b.launch(KernelId(0), 512);
+        }
+        b.sync(SyncCall::Finish);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_run_produces_timings_and_stats() {
+        let mut rt = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
+        let report = rt.run(&program(), Schedule::Replay).unwrap();
+        assert_eq!(report.cofluent.num_invocations(), 4);
+        for inv in &report.cofluent.invocations {
+            assert!(inv.seconds > 0.0);
+        }
+        let gpu = rt.into_device();
+        assert_eq!(gpu.launches().len(), 4);
+        assert!(gpu.total_stats().instructions > 0);
+        // Larger trip count → more instructions.
+        let l = gpu.launches();
+        assert!(l[3].stats.instructions > l[0].stats.instructions);
+    }
+
+    #[test]
+    fn launch_before_build_fails() {
+        let mut gpu = Gpu::new(GpuConfig::hd4000());
+        let err = gpu.launch_kernel(KernelId(0), &[], 16).unwrap_err();
+        assert_eq!(err, DeviceError::ProgramNotBuilt);
+    }
+
+    #[test]
+    fn observer_sees_every_launch_and_trace_resets() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Obs {
+            seen: Rc<RefCell<Vec<u32>>>,
+        }
+        impl LaunchObserver for Obs {
+            fn on_kernel_complete(&mut self, info: &LaunchInfo, trace: &mut TraceBuffer) {
+                // The trace buffer is empty because nothing was
+                // instrumented; it must still be delivered.
+                assert_eq!(trace.num_slots(), 0);
+                self.seen.borrow_mut().push(info.launch_index);
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut gpu = Gpu::new(GpuConfig::hd4000());
+        gpu.set_observer(Box::new(Obs { seen: seen.clone() }));
+        let mut rt = OclRuntime::new(gpu);
+        rt.run(&program(), Schedule::Replay).unwrap();
+        assert_eq!(*seen.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn different_trials_differ_only_in_noise() {
+        let run_with = |seed| {
+            let mut rt = OclRuntime::new(Gpu::new(GpuConfig::hd4000().with_trial_seed(seed)));
+            rt.run(&program(), Schedule::Replay).unwrap().cofluent
+        };
+        let a = run_with(1);
+        let b = run_with(2);
+        let gpu_a: Vec<u64> = a.invocations.iter().map(|i| i.global_work_size).collect();
+        let gpu_b: Vec<u64> = b.invocations.iter().map(|i| i.global_work_size).collect();
+        assert_eq!(gpu_a, gpu_b, "work identical across trials");
+        let t_a: f64 = a.total_kernel_seconds();
+        let t_b: f64 = b.total_kernel_seconds();
+        assert!(t_a != t_b, "timing noise differs across trials");
+        assert!((t_a / t_b - 1.0).abs() < 0.1, "but only slightly");
+    }
+
+    #[test]
+    fn frequency_scaling_slows_compute_bound_work() {
+        let run_at = |hz| {
+            let cfg = GpuConfig::hd4000().with_frequency_hz(hz);
+            let mut rt = OclRuntime::new(Gpu::new(GpuConfig { noise: 0.0, ..cfg }));
+            rt.run(&program(), Schedule::Replay).unwrap().cofluent.total_kernel_seconds()
+        };
+        let fast = run_at(1.15e9);
+        let slow = run_at(0.35e9);
+        assert!(slow > 2.0 * fast, "compute-bound app slows with the clock");
+    }
+}

@@ -1,0 +1,47 @@
+//! # gpu-device
+//!
+//! A synthetic Intel-GEN-style GPU device model: the hardware
+//! substrate that GT-Pin instruments and that subset selection
+//! accelerates simulation of.
+//!
+//! Components:
+//!
+//! * [`topology`] — EU/subslice machine descriptions for the paper's
+//!   Ivy Bridge HD 4000 and Haswell HD 4600 (Figure 2, Section V-E),
+//! * [`jit`] — the GPU driver's JIT lowering kernel IR to GEN
+//!   binaries (the interception point of Figure 1),
+//! * [`executor`] — the functional execution engine with real
+//!   register state; injected GT-Pin instructions execute here and
+//!   write the [`memory::TraceBuffer`],
+//! * [`timing`] — the analytic "native hardware" timing model
+//!   (frequency-, occupancy-, cache- and mix-sensitive, with
+//!   per-trial noise),
+//! * [`detailed`] — the slow cycle-level simulator whose cost subset
+//!   selection amortizes,
+//! * [`cache`] / [`memory`] — the LLC model and memory surfaces,
+//! * [`gpu`] — the [`Gpu`] device tying it together and implementing
+//!   [`ocl_runtime::Device`], with hook points for a binary rewriter
+//!   and a launch observer (GT-Pin's two attachment points).
+
+pub mod cache;
+pub mod checkpoint;
+pub mod detailed;
+pub mod driver;
+pub mod executor;
+pub mod gpu;
+pub mod jit;
+pub(crate) mod machine;
+pub mod memory;
+pub mod stats;
+pub mod timing;
+pub mod topology;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use checkpoint::{CheckpointLibrary, LaunchDescriptor};
+pub use driver::{BinaryRewriter, GpuDriver};
+pub use executor::{ExecConfig, ExecError, Executor, DISPATCH_WIDTH};
+pub use gpu::{Gpu, GpuConfig, LaunchInfo, LaunchObserver};
+pub use memory::{TraceBuffer, TraceRecord};
+pub use stats::ExecutionStats;
+pub use timing::{TimingConfig, TimingModel};
+pub use topology::{GpuGeneration, GpuTopology};

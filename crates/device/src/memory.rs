@@ -1,0 +1,170 @@
+//! Memory surfaces: synthetic global memory and the GT-Pin trace
+//! buffer.
+//!
+//! Global memory is *synthetic*: reads return a deterministic hash of
+//! the address and writes are accounted but not stored. Profiling
+//! fidelity does not depend on loaded data (kernel control flow is
+//! driven by arguments), and this keeps full-program execution cheap.
+//! The **trace buffer is real storage**: GT-Pin's injected
+//! instructions atomically accumulate counters and append records
+//! into it, and the tool's results are whatever those instructions
+//! wrote — the same contract as the paper's CPU/GPU-shared buffer
+//! (Section III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic value returned by a synthetic global-memory read.
+pub fn synthetic_read(addr: u64) -> u32 {
+    let mut v = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    v ^= v >> 29;
+    v = v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    v ^= v >> 32;
+    v as u32
+}
+
+/// Base address of the memory region backing buffer `index`.
+/// Buffers live in disjoint 4 MiB regions.
+pub fn buffer_base(index: u32) -> u64 {
+    0x1000_0000 + ((index as u64) << 22)
+}
+
+/// One appended trace record (used by memory-trace and latency
+/// instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Record tag chosen by the tool that planted the instrumentation.
+    pub tag: u32,
+    /// Payload (an address, a timer delta, ...).
+    pub value: u64,
+}
+
+/// The CPU/GPU-shared trace buffer: a slot array of 64-bit counters
+/// plus an append stream of records.
+///
+/// Counter slots are written by `send.atomic_add` messages targeting
+/// [`Surface::TraceBuffer`](gen_isa::Surface::TraceBuffer); the
+/// append stream by `send.write` messages on the same surface. The
+/// CPU side (GT-Pin post-processing) drains both after each kernel
+/// completes.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    slots: Vec<u64>,
+    records: Vec<TraceRecord>,
+    record_cap: usize,
+    dropped_records: u64,
+}
+
+impl TraceBuffer {
+    /// An empty buffer with the default record capacity.
+    pub fn new() -> TraceBuffer {
+        TraceBuffer {
+            slots: Vec::new(),
+            records: Vec::new(),
+            record_cap: 1 << 20,
+            dropped_records: 0,
+        }
+    }
+
+    /// Set the append-stream capacity (records beyond it are dropped
+    /// and counted, as a bounded hardware buffer would).
+    pub fn with_record_capacity(mut self, cap: usize) -> TraceBuffer {
+        self.record_cap = cap;
+        self
+    }
+
+    /// GPU side: atomically add `value` to counter slot `slot`,
+    /// growing the slot array on demand.
+    pub fn slot_add(&mut self, slot: usize, value: u64) {
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, 0);
+        }
+        self.slots[slot] += value;
+    }
+
+    /// GPU side: append a record to the stream.
+    pub fn append(&mut self, tag: u32, value: u64) {
+        if self.records.len() < self.record_cap {
+            self.records.push(TraceRecord { tag, value });
+        } else {
+            self.dropped_records += 1;
+        }
+    }
+
+    /// CPU side: read a counter slot (0 if never written).
+    pub fn slot(&self, slot: usize) -> u64 {
+        self.slots.get(slot).copied().unwrap_or(0)
+    }
+
+    /// CPU side: the record stream.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records dropped because the stream was full.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// Number of live counter slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// CPU side: zero the counters and clear the stream, ready for
+    /// the next kernel invocation.
+    pub fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = 0);
+        self.records.clear();
+        self.dropped_records = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_reads_are_deterministic_and_spread() {
+        assert_eq!(synthetic_read(42), synthetic_read(42));
+        assert_ne!(synthetic_read(42), synthetic_read(43));
+    }
+
+    #[test]
+    fn buffer_bases_do_not_overlap() {
+        let a = buffer_base(0);
+        let b = buffer_base(1);
+        assert!(b >= a + (1 << 22), "4 MiB regions: {a:#x} vs {b:#x}");
+    }
+
+    #[test]
+    fn slots_grow_on_demand_and_accumulate() {
+        let mut t = TraceBuffer::new();
+        t.slot_add(5, 3);
+        t.slot_add(5, 4);
+        assert_eq!(t.slot(5), 7);
+        assert_eq!(t.slot(0), 0);
+        assert_eq!(t.slot(99), 0, "unwritten slots read as zero");
+        assert_eq!(t.num_slots(), 6);
+    }
+
+    #[test]
+    fn record_stream_bounded() {
+        let mut t = TraceBuffer::new().with_record_capacity(2);
+        t.append(1, 10);
+        t.append(1, 11);
+        t.append(1, 12);
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped_records(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = TraceBuffer::new();
+        t.slot_add(2, 9);
+        t.append(7, 1);
+        t.reset();
+        assert_eq!(t.slot(2), 0);
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped_records(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Device-side execution statistics — the model's "hardware
+//! performance counters". GT-Pin computes its own numbers through
+//! injected instructions; these native counters are the ground truth
+//! the tool is tested against, and the input to the timing model.
+
+use gen_isa::{ExecSize, OpcodeCategory};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one kernel launch, aggregated across hardware
+/// threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Dynamic instructions executed (including any instrumentation).
+    pub instructions: u64,
+    /// Dynamic instructions per opcode category, indexed per
+    /// [`OpcodeCategory::ALL`].
+    pub per_category: [u64; 5],
+    /// Dynamic instructions per SIMD width, indexed per
+    /// [`ExecSize::ALL`].
+    pub per_width: [u64; 5],
+    /// Application-visible bytes read from global memory.
+    pub bytes_read: u64,
+    /// Application-visible bytes written to global memory.
+    pub bytes_written: u64,
+    /// Global-memory send messages issued.
+    pub global_sends: u64,
+    /// Cache hits among global sends.
+    pub cache_hits: u64,
+    /// Cache misses among global sends.
+    pub cache_misses: u64,
+    /// Hardware threads the launch dispatched.
+    pub hw_threads: u64,
+    /// Weighted issue cycles (latency-weighted instruction cost) —
+    /// the compute term of the timing model.
+    pub issue_cycles: u64,
+    /// Bytes moved to the CPU/GPU-shared trace buffer by
+    /// instrumentation (uncached round trips; zero for
+    /// uninstrumented binaries). This traffic is what makes GT-Pin
+    /// profiling runs 2–10× slower than native execution.
+    pub trace_bytes: u64,
+}
+
+impl ExecutionStats {
+    /// Record one executed instruction.
+    pub fn count_instruction(
+        &mut self,
+        category: OpcodeCategory,
+        width: ExecSize,
+        issue_cost: u64,
+    ) {
+        self.instructions += 1;
+        self.per_category[category_index(category)] += 1;
+        self.per_width[width_index(width)] += 1;
+        self.issue_cycles += issue_cost;
+    }
+
+    /// Merge another launch's counters into this one.
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.instructions += other.instructions;
+        for i in 0..5 {
+            self.per_category[i] += other.per_category[i];
+            self.per_width[i] += other.per_width[i];
+        }
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.global_sends += other.global_sends;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.hw_threads += other.hw_threads;
+        self.issue_cycles += other.issue_cycles;
+        self.trace_bytes += other.trace_bytes;
+    }
+
+    /// Fraction of instructions in the given category.
+    pub fn category_fraction(&self, category: OpcodeCategory) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.per_category[category_index(category)] as f64 / self.instructions as f64
+    }
+
+    /// Fraction of instructions at the given SIMD width.
+    pub fn width_fraction(&self, width: ExecSize) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.per_width[width_index(width)] as f64 / self.instructions as f64
+    }
+}
+
+/// Index of a category in [`OpcodeCategory::ALL`].
+pub fn category_index(category: OpcodeCategory) -> usize {
+    OpcodeCategory::ALL
+        .iter()
+        .position(|&c| c == category)
+        .expect("category is in ALL")
+}
+
+/// Index of a width in [`ExecSize::ALL`].
+pub fn width_index(width: ExecSize) -> usize {
+    ExecSize::ALL
+        .iter()
+        .position(|&w| w == width)
+        .expect("width is in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_updates_all_views() {
+        let mut s = ExecutionStats::default();
+        s.count_instruction(OpcodeCategory::Computation, ExecSize::S16, 1);
+        s.count_instruction(OpcodeCategory::Send, ExecSize::S8, 2);
+        assert_eq!(s.instructions, 2);
+        assert_eq!(s.per_category[category_index(OpcodeCategory::Computation)], 1);
+        assert_eq!(s.per_width[width_index(ExecSize::S8)], 1);
+        assert_eq!(s.issue_cycles, 3);
+        assert!((s.category_fraction(OpcodeCategory::Send) - 0.5).abs() < 1e-12);
+        assert!((s.width_fraction(ExecSize::S16) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = ExecutionStats::default();
+        a.count_instruction(OpcodeCategory::Move, ExecSize::S1, 1);
+        a.bytes_read = 10;
+        let mut b = ExecutionStats::default();
+        b.count_instruction(OpcodeCategory::Move, ExecSize::S1, 1);
+        b.bytes_written = 20;
+        a.merge(&b);
+        assert_eq!(a.instructions, 2);
+        assert_eq!(a.bytes_read, 10);
+        assert_eq!(a.bytes_written, 20);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = ExecutionStats::default();
+        assert_eq!(s.category_fraction(OpcodeCategory::Move), 0.0);
+        assert_eq!(s.width_fraction(ExecSize::S16), 0.0);
+    }
+}

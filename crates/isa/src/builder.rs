@@ -1,0 +1,341 @@
+//! A fluent builder for kernel binaries, used by the GPU driver's
+//! JIT and by tests.
+
+use crate::instruction::{CondMod, FlagReg, Instruction, SendDescriptor, SendOp, Src, Surface};
+use crate::kernel::{BasicBlock, BlockId, KernelBinary, KernelMetadata, Terminator};
+use crate::opcode::{ExecSize, Opcode};
+use crate::register::Reg;
+use crate::validate::{validate, ValidateError};
+
+/// Builds one basic block. Obtained from
+/// [`KernelBuilder::block_mut`]; all emit methods return `&mut Self`
+/// for chaining.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    instrs: Vec<Instruction>,
+    term: Option<Terminator>,
+}
+
+impl BlockBuilder {
+    /// Append a raw instruction.
+    pub fn raw(&mut self, instr: Instruction) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    fn alu(
+        &mut self,
+        opcode: Opcode,
+        exec_size: ExecSize,
+        dst: Reg,
+        srcs: [Src; 3],
+    ) -> &mut Self {
+        let mut i = Instruction::new(opcode, exec_size);
+        i.dst = Some(dst);
+        i.srcs = srcs;
+        self.raw(i)
+    }
+
+    /// Emit a unary ALU operation.
+    pub fn alu1(&mut self, opcode: Opcode, w: ExecSize, dst: Reg, a: Src) -> &mut Self {
+        self.alu(opcode, w, dst, [a, Src::Null, Src::Null])
+    }
+
+    /// Emit a binary ALU operation.
+    pub fn alu2(&mut self, opcode: Opcode, w: ExecSize, dst: Reg, a: Src, b: Src) -> &mut Self {
+        self.alu(opcode, w, dst, [a, b, Src::Null])
+    }
+
+    /// Emit a ternary ALU operation.
+    pub fn alu3(
+        &mut self,
+        opcode: Opcode,
+        w: ExecSize,
+        dst: Reg,
+        a: Src,
+        b: Src,
+        c: Src,
+    ) -> &mut Self {
+        self.alu(opcode, w, dst, [a, b, c])
+    }
+
+    /// `mov dst, a`
+    pub fn mov(&mut self, w: ExecSize, dst: Reg, a: Src) -> &mut Self {
+        self.alu1(Opcode::Mov, w, dst, a)
+    }
+
+    /// `add dst, a, b`
+    pub fn add(&mut self, w: ExecSize, dst: Reg, a: Src, b: Src) -> &mut Self {
+        self.alu2(Opcode::Add, w, dst, a, b)
+    }
+
+    /// `mul dst, a, b`
+    pub fn mul(&mut self, w: ExecSize, dst: Reg, a: Src, b: Src) -> &mut Self {
+        self.alu2(Opcode::Mul, w, dst, a, b)
+    }
+
+    /// `mad dst, a, b, c` (dst = a*b + c)
+    pub fn mad(&mut self, w: ExecSize, dst: Reg, a: Src, b: Src, c: Src) -> &mut Self {
+        self.alu3(Opcode::Mad, w, dst, a, b, c)
+    }
+
+    /// `cmp.<cond> flag, a, b`
+    pub fn cmp(
+        &mut self,
+        w: ExecSize,
+        cond: CondMod,
+        flag: FlagReg,
+        a: Src,
+        b: Src,
+    ) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Cmp, w);
+        i.cond = Some(cond);
+        i.flag = Some(flag);
+        i.srcs = [a, b, Src::Null];
+        self.raw(i)
+    }
+
+    /// `send.read dst, addr` — read `bytes` from `surface`.
+    pub fn send_read(
+        &mut self,
+        w: ExecSize,
+        dst: Reg,
+        addr: Reg,
+        surface: Surface,
+        bytes: u32,
+    ) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Send, w);
+        i.dst = Some(dst);
+        i.srcs[0] = Src::Reg(addr);
+        i.send = Some(SendDescriptor { op: SendOp::Read, surface, bytes });
+        self.raw(i)
+    }
+
+    /// `send.write addr ← data` — write `bytes` to `surface`.
+    pub fn send_write(
+        &mut self,
+        w: ExecSize,
+        addr: Reg,
+        data: Reg,
+        surface: Surface,
+        bytes: u32,
+    ) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Send, w);
+        i.dst = None;
+        i.srcs[0] = Src::Reg(addr);
+        i.srcs[1] = Src::Reg(data);
+        i.send = Some(SendDescriptor { op: SendOp::Write, surface, bytes });
+        self.raw(i)
+    }
+
+    /// `send.atomic_add [addr] += data` — the GT-Pin counter primitive.
+    pub fn atomic_add(&mut self, addr: Reg, data: Reg, surface: Surface) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Send, ExecSize::S1);
+        i.dst = None;
+        i.srcs[0] = Src::Reg(addr);
+        i.srcs[1] = Src::Reg(data);
+        i.send = Some(SendDescriptor { op: SendOp::AtomicAdd, surface, bytes: 4 });
+        self.raw(i)
+    }
+
+    /// `send.timer dst` — read the event timer register.
+    pub fn read_timer(&mut self, dst: Reg) -> &mut Self {
+        let mut i = Instruction::new(Opcode::Send, ExecSize::S1);
+        i.dst = Some(dst);
+        i.send = Some(SendDescriptor {
+            op: SendOp::ReadTimer,
+            surface: Surface::Scratch,
+            bytes: 8,
+        });
+        self.raw(i)
+    }
+
+    /// Terminate the block (and the hardware thread) with `eot`.
+    pub fn eot(&mut self) -> &mut Self {
+        self.term = Some(Terminator::Eot);
+        self
+    }
+
+    /// Terminate the block with `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.term = Some(Terminator::Return);
+        self
+    }
+}
+
+/// Incrementally builds a [`KernelBinary`].
+///
+/// Blocks without an explicit terminator fall through to the next
+/// block in creation order; the final block must terminate
+/// explicitly (usually [`BlockBuilder::eot`]).
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    blocks: Vec<BlockBuilder>,
+    num_args: u8,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            num_args: 0,
+        }
+    }
+
+    /// The entry block (block 0), created on first use.
+    pub fn entry_block(&mut self) -> BlockId {
+        if self.blocks.is_empty() {
+            self.blocks.push(BlockBuilder::default());
+        }
+        BlockId(0)
+    }
+
+    /// Append a fresh block and return its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.entry_block();
+        self.blocks.push(BlockBuilder::default());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Mutable access to a block's builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this builder.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockBuilder {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Set a block's terminator explicitly.
+    pub fn set_terminator(&mut self, id: BlockId, term: Terminator) {
+        self.blocks[id.index()].term = Some(term);
+    }
+
+    /// Declare the number of kernel arguments.
+    pub fn set_num_args(&mut self, n: u8) -> &mut Self {
+        self.num_args = n;
+        self
+    }
+
+    /// Finish building, validating the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if the kernel is malformed: bad
+    /// registers, more than one immediate per instruction, missing
+    /// final terminator, instrumentation registers touched by
+    /// application code, and so on.
+    pub fn build(self) -> Result<KernelBinary, ValidateError> {
+        let n = self.blocks.len();
+        if n == 0 {
+            return Err(ValidateError::EmptyKernel);
+        }
+        let mut max_reg = 0u8;
+        let mut blocks = Vec::with_capacity(n);
+        for (i, bb) in self.blocks.into_iter().enumerate() {
+            for instr in &bb.instrs {
+                for r in instr.reads().chain(instr.writes()) {
+                    max_reg = max_reg.max(r.0.saturating_add(1));
+                }
+            }
+            let term = match bb.term {
+                Some(t) => t,
+                None if i + 1 < n => Terminator::FallThrough(BlockId(i as u32 + 1)),
+                None => return Err(ValidateError::MissingFinalTerminator),
+            };
+            blocks.push(BasicBlock {
+                id: BlockId(i as u32),
+                instrs: bb.instrs,
+                term,
+            });
+        }
+        let kernel = KernelBinary {
+            name: self.name,
+            blocks,
+            metadata: KernelMetadata {
+                num_args: self.num_args,
+                max_app_reg: max_reg.max(1),
+                instrumented: false,
+            },
+        };
+        validate(&kernel)?;
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_fallthrough_chain() {
+        let mut b = KernelBuilder::new("chain");
+        let e = b.entry_block();
+        let m = b.new_block();
+        let x = b.new_block();
+        b.block_mut(e).add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
+        b.block_mut(m).add(ExecSize::S8, Reg(2), Src::Reg(Reg(1)), Src::Imm(1));
+        b.block_mut(x).eot();
+        let k = b.build().unwrap();
+        assert_eq!(k.blocks[0].term, Terminator::FallThrough(m));
+        assert_eq!(k.blocks[1].term, Terminator::FallThrough(x));
+        assert_eq!(k.blocks[2].term, Terminator::Eot);
+    }
+
+    #[test]
+    fn missing_final_terminator_is_an_error() {
+        let mut b = KernelBuilder::new("bad");
+        let e = b.entry_block();
+        b.block_mut(e).add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
+        assert_eq!(b.build().unwrap_err(), ValidateError::MissingFinalTerminator);
+    }
+
+    #[test]
+    fn empty_kernel_is_an_error() {
+        assert_eq!(
+            KernelBuilder::new("empty").build().unwrap_err(),
+            ValidateError::EmptyKernel
+        );
+    }
+
+    #[test]
+    fn max_app_reg_tracks_register_usage() {
+        let mut b = KernelBuilder::new("regs");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .add(ExecSize::S8, Reg(42), Src::Reg(Reg(3)), Src::Imm(1))
+            .eot();
+        let k = b.build().unwrap();
+        assert_eq!(k.metadata.max_app_reg, 43);
+    }
+
+    #[test]
+    fn app_code_may_not_use_instrumentation_registers() {
+        let mut b = KernelBuilder::new("regs");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .mov(ExecSize::S1, Reg(125), Src::Imm(0))
+            .eot();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidateError::InstrumentationRegUsed { .. }
+        ));
+    }
+
+    #[test]
+    fn send_helpers_produce_descriptors() {
+        let mut b = KernelBuilder::new("mem");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .send_read(ExecSize::S16, Reg(4), Reg(2), Surface::Global, 64)
+            .send_write(ExecSize::S16, Reg(2), Reg(4), Surface::Global, 64)
+            .eot();
+        let k = b.build().unwrap();
+        let flat = k.flatten();
+        assert_eq!(flat.instrs[0].app_bytes_read(), 64);
+        assert_eq!(flat.instrs[1].app_bytes_written(), 64);
+    }
+}

@@ -1,0 +1,127 @@
+//! Textual disassembly of instructions and kernels.
+
+use crate::instruction::{Instruction, SendOp, Surface};
+use crate::kernel::{DecodedKernel, KernelBinary};
+use crate::opcode::Opcode;
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(p) = self.pred {
+            write!(f, "{p} ")?;
+        }
+        write!(f, "{}", self.opcode.mnemonic())?;
+        if let Some(c) = self.cond {
+            write!(f, "{}", c.suffix())?;
+        }
+        write!(f, "{}", self.exec_size)?;
+        if let Some(flag) = self.flag {
+            if self.opcode == Opcode::Cmp {
+                write!(f, " {flag},")?;
+            }
+        }
+        match self.dst {
+            Some(r) => write!(f, " {r}")?,
+            None => write!(f, " null")?,
+        }
+        for s in self.srcs.iter().take(self.opcode.num_sources().max(
+            if self.opcode.is_send() { 2 } else { 0 },
+        )) {
+            write!(f, ", {s}")?;
+        }
+        if self.opcode.is_control() && !matches!(self.opcode, Opcode::Eot | Opcode::Ret) {
+            write!(f, ", ip{:+}", self.branch_offset)?;
+        }
+        if let Some(d) = self.send {
+            let op = match d.op {
+                SendOp::Read => "read",
+                SendOp::Write => "write",
+                SendOp::AtomicAdd => "atomic_add",
+                SendOp::ReadTimer => "timer",
+            };
+            let surf = match d.surface {
+                Surface::Global => "global",
+                Surface::TraceBuffer => "trace",
+                Surface::Scratch => "scratch",
+            };
+            write!(f, " {{{op}.{surf}, {}B}}", d.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Disassemble a flattened kernel, one instruction per line, with
+/// basic-block labels.
+pub fn disassemble_flat(kernel: &DecodedKernel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("kernel {} ({} args)\n", kernel.name, kernel.metadata.num_args));
+    for b in 0..kernel.num_blocks() {
+        out.push_str(&format!("bb{b}:\n"));
+        for (i, instr) in kernel.block_instrs(b).iter().enumerate() {
+            let idx = kernel.bb_starts[b] as usize + i;
+            out.push_str(&format!("  {idx:4}  {instr}\n"));
+        }
+    }
+    out
+}
+
+/// Disassemble a structured kernel binary.
+pub fn disassemble(kernel: &KernelBinary) -> String {
+    disassemble_flat(&kernel.flatten())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instruction::{CondMod, FlagReg, Src};
+    use crate::kernel::Terminator;
+    use crate::opcode::ExecSize;
+    use crate::register::Reg;
+
+    #[test]
+    fn disassembly_mentions_every_mnemonic_used() {
+        let mut b = KernelBuilder::new("loop");
+        let head = b.entry_block();
+        let exit = b.new_block();
+        b.block_mut(head)
+            .add(ExecSize::S16, Reg(1), Src::Reg(Reg(1)), Src::Imm(1))
+            .cmp(ExecSize::S1, CondMod::Lt, FlagReg::F0, Src::Reg(Reg(1)), Src::Imm(8));
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        let text = disassemble(&b.build().unwrap());
+        assert!(text.contains("add"), "{text}");
+        assert!(text.contains("cmp.lt"), "{text}");
+        assert!(text.contains("brc"), "{text}");
+        assert!(text.contains("eot"), "{text}");
+        assert!(text.contains("bb0:"), "{text}");
+        assert!(text.contains("ip-3"), "negative branch offset rendered: {text}");
+    }
+
+    #[test]
+    fn send_rendering_includes_descriptor() {
+        let mut b = KernelBuilder::new("mem");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .send_read(ExecSize::S8, Reg(4), Reg(2), crate::Surface::Global, 64)
+            .eot();
+        let text = disassemble(&b.build().unwrap());
+        assert!(text.contains("{read.global, 64B}"), "{text}");
+    }
+
+    #[test]
+    fn predicate_prefix_rendered() {
+        let mut i = Instruction::new(crate::Opcode::Mov, ExecSize::S8);
+        i.dst = Some(Reg(3));
+        i.srcs[0] = Src::Imm(9);
+        i.pred = Some(crate::Predicate { flag: FlagReg::F1, invert: true });
+        assert!(i.to_string().starts_with("(-f1) mov"), "{i}");
+    }
+}

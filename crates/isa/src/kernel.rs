@@ -1,0 +1,389 @@
+//! Kernel binaries: basic blocks, control flow, and the flattened
+//! instruction-stream view that binary tools operate on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instruction::{FlagReg, Instruction, Predicate};
+use crate::opcode::{ExecSize, Opcode};
+use crate::{DecodeError, encode};
+
+/// Identifies a basic block within one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Fall through to the target block (no instruction emitted when
+    /// the target is the next block in layout order).
+    FallThrough(BlockId),
+    /// Unconditional jump (`jmpi`).
+    Jump(BlockId),
+    /// Conditional branch (`brc`): to `taken` when the flag (possibly
+    /// inverted) holds in lane 0, otherwise to `fallthrough`.
+    CondJump {
+        /// Flag register consulted.
+        flag: FlagReg,
+        /// Branch on the cleared flag instead.
+        invert: bool,
+        /// Target when the branch fires.
+        taken: BlockId,
+        /// Target otherwise.
+        fallthrough: BlockId,
+    },
+    /// Return from a subroutine (`ret`).
+    Return,
+    /// End of thread (`eot`) — the kernel is done for this hardware
+    /// thread.
+    Eot,
+}
+
+impl Terminator {
+    /// Successor blocks in evaluation order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::FallThrough(b) | Terminator::Jump(b) => vec![b],
+            Terminator::CondJump { taken, fallthrough, .. } => vec![taken, fallthrough],
+            Terminator::Return | Terminator::Eot => Vec::new(),
+        }
+    }
+}
+
+/// A straight-line run of instructions with a single [`Terminator`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// This block's id (its index in the kernel layout).
+    pub id: BlockId,
+    /// The block body, excluding control-flow instructions (those are
+    /// produced from `term` when the kernel is flattened).
+    pub instrs: Vec<Instruction>,
+    /// How control leaves the block.
+    pub term: Terminator,
+}
+
+/// Kernel-level metadata carried in the binary header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelMetadata {
+    /// Number of kernel arguments.
+    pub num_args: u8,
+    /// Highest register index (exclusive) the application code may
+    /// touch. The JIT keeps this at or below
+    /// [`FIRST_INSTRUMENTATION_REG`](crate::FIRST_INSTRUMENTATION_REG)
+    /// so the rewriter has free scratch registers.
+    pub max_app_reg: u8,
+    /// Set once a binary rewriter has instrumented the kernel.
+    pub instrumented: bool,
+}
+
+impl Default for KernelMetadata {
+    fn default() -> KernelMetadata {
+        KernelMetadata {
+            num_args: 0,
+            max_app_reg: crate::register::FIRST_INSTRUMENTATION_REG,
+            instrumented: false,
+        }
+    }
+}
+
+/// A machine-specific kernel binary: what the GPU driver's JIT emits
+/// and what GT-Pin's binary rewriter consumes and produces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelBinary {
+    /// Kernel name (the OpenCL kernel function name).
+    pub name: String,
+    /// Basic blocks in layout order; the entry is block 0.
+    pub blocks: Vec<BasicBlock>,
+    /// Header metadata.
+    pub metadata: KernelMetadata,
+}
+
+impl KernelBinary {
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Static instruction count of the *encoded* form — what a binary
+    /// profiler sees, including lowered control-flow instructions.
+    pub fn static_instruction_count(&self) -> usize {
+        self.flatten().instrs.len()
+    }
+
+    /// Flatten to the executable instruction-stream view, lowering
+    /// terminators to `jmpi`/`brc`/`ret`/`eot` with relative offsets.
+    pub fn flatten(&self) -> DecodedKernel {
+        flatten(self)
+    }
+
+    /// Encode to the byte-level binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        encode::encode_kernel(self)
+    }
+
+    /// Decode a kernel binary from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the byte stream is truncated,
+    /// contains unknown opcodes or operand encodings, or has branch
+    /// targets outside the stream.
+    pub fn decode(bytes: &[u8]) -> Result<KernelBinary, DecodeError> {
+        encode::decode_kernel(bytes)
+    }
+}
+
+/// The flattened, executable view of a kernel: a linear instruction
+/// stream plus basic-block leader offsets.
+///
+/// This is the representation both the functional executor and the
+/// detailed simulator run, and the one whose length defines all
+/// instruction counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodedKernel {
+    /// Kernel name.
+    pub name: String,
+    /// Header metadata.
+    pub metadata: KernelMetadata,
+    /// The instruction stream.
+    pub instrs: Vec<Instruction>,
+    /// Sorted indices of basic-block leaders (always starts with 0
+    /// for non-empty kernels).
+    pub bb_starts: Vec<u32>,
+}
+
+impl DecodedKernel {
+    /// Number of basic blocks in the stream.
+    pub fn num_blocks(&self) -> usize {
+        self.bb_starts.len()
+    }
+
+    /// The block index containing instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is past the end of the stream.
+    pub fn block_of(&self, idx: usize) -> usize {
+        assert!(idx < self.instrs.len(), "instruction index {idx} out of range");
+        match self.bb_starts.binary_search(&(idx as u32)) {
+            Ok(b) => b,
+            Err(b) => b - 1,
+        }
+    }
+
+    /// The half-open instruction range of block `block`.
+    pub fn block_range(&self, block: usize) -> std::ops::Range<usize> {
+        let start = self.bb_starts[block] as usize;
+        let end = self
+            .bb_starts
+            .get(block + 1)
+            .map(|&s| s as usize)
+            .unwrap_or(self.instrs.len());
+        start..end
+    }
+
+    /// Instructions of block `block`.
+    pub fn block_instrs(&self, block: usize) -> &[Instruction] {
+        &self.instrs[self.block_range(block)]
+    }
+}
+
+fn flatten(kernel: &KernelBinary) -> DecodedKernel {
+    // First pass: compute each block's start index in the stream.
+    // A terminator contributes 0, 1 or 2 control instructions; the
+    // count for CondJump depends on whether the fallthrough is the
+    // next block, and FallThrough contributes one jmpi when its
+    // target is not next.
+    let n = kernel.blocks.len();
+    let mut starts = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    for (i, block) in kernel.blocks.iter().enumerate() {
+        starts.push(cursor as u32);
+        cursor += block.instrs.len() + term_len(&block.term, i, n, |b| b.index());
+    }
+    let total = cursor;
+
+    // Second pass: emit.
+    let mut instrs = Vec::with_capacity(total);
+    for (i, block) in kernel.blocks.iter().enumerate() {
+        instrs.extend(block.instrs.iter().copied());
+        let next_is = |b: BlockId| b.index() == i + 1;
+        let offset_to = |b: BlockId, at: usize| starts[b.index()] as i64 - (at as i64 + 1);
+        match block.term {
+            Terminator::FallThrough(t) => {
+                if !next_is(t) {
+                    let at = instrs.len();
+                    instrs.push(jmpi(offset_to(t, at)));
+                }
+            }
+            Terminator::Jump(t) => {
+                let at = instrs.len();
+                instrs.push(jmpi(offset_to(t, at)));
+            }
+            Terminator::CondJump { flag, invert, taken, fallthrough } => {
+                let at = instrs.len();
+                instrs.push(brc(flag, invert, offset_to(taken, at)));
+                if !next_is(fallthrough) {
+                    let at = instrs.len();
+                    instrs.push(jmpi(offset_to(fallthrough, at)));
+                }
+            }
+            Terminator::Return => instrs.push(Instruction::new(Opcode::Ret, ExecSize::S1)),
+            Terminator::Eot => instrs.push(Instruction::new(Opcode::Eot, ExecSize::S1)),
+        }
+    }
+    debug_assert_eq!(instrs.len(), total);
+
+    DecodedKernel {
+        name: kernel.name.clone(),
+        metadata: kernel.metadata,
+        instrs,
+        bb_starts: starts,
+    }
+}
+
+fn term_len(
+    term: &Terminator,
+    block_index: usize,
+    _num_blocks: usize,
+    index_of: impl Fn(BlockId) -> usize,
+) -> usize {
+    match *term {
+        Terminator::FallThrough(t) => usize::from(index_of(t) != block_index + 1),
+        Terminator::Jump(_) => 1,
+        Terminator::CondJump { fallthrough, .. } => {
+            1 + usize::from(index_of(fallthrough) != block_index + 1)
+        }
+        Terminator::Return | Terminator::Eot => 1,
+    }
+}
+
+fn jmpi(offset: i64) -> Instruction {
+    let mut i = Instruction::new(Opcode::Jmpi, ExecSize::S1);
+    i.branch_offset = offset as i32;
+    i
+}
+
+fn brc(flag: FlagReg, invert: bool, offset: i64) -> Instruction {
+    let mut i = Instruction::new(Opcode::Brc, ExecSize::S1);
+    i.flag = Some(flag);
+    i.pred = Some(Predicate { flag, invert });
+    i.branch_offset = offset as i32;
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instruction::Src;
+    use crate::register::Reg;
+
+    fn two_block_kernel() -> KernelBinary {
+        let mut b = KernelBuilder::new("k");
+        let entry = b.entry_block();
+        let exit = b.new_block();
+        b.block_mut(entry).add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
+        b.set_terminator(entry, Terminator::FallThrough(exit));
+        b.block_mut(exit).eot();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fallthrough_to_next_block_emits_no_branch() {
+        let k = two_block_kernel();
+        let flat = k.flatten();
+        // 1 add + 1 eot; the fallthrough is elided.
+        assert_eq!(flat.instrs.len(), 2);
+        assert_eq!(flat.bb_starts, vec![0, 1]);
+    }
+
+    #[test]
+    fn jump_always_emits_jmpi() {
+        let mut b = KernelBuilder::new("k");
+        let entry = b.entry_block();
+        let exit = b.new_block();
+        b.set_terminator(entry, Terminator::Jump(exit));
+        b.block_mut(exit).eot();
+        let flat = b.build().unwrap().flatten();
+        assert_eq!(flat.instrs.len(), 2);
+        assert_eq!(flat.instrs[0].opcode, Opcode::Jmpi);
+        assert_eq!(flat.instrs[0].branch_offset, 0, "jump to the next instruction");
+    }
+
+    #[test]
+    fn backward_branch_offset_is_negative() {
+        // loop: body -> cond-jump back to loop head.
+        let mut b = KernelBuilder::new("k");
+        let head = b.entry_block();
+        let exit = b.new_block();
+        b.block_mut(head)
+            .add(ExecSize::S1, Reg(1), Src::Reg(Reg(1)), Src::Imm(1))
+            .cmp(ExecSize::S1, crate::CondMod::Lt, FlagReg::F0, Src::Reg(Reg(1)), Src::Imm(10));
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        let flat = b.build().unwrap().flatten();
+        // add, cmp, brc, eot
+        assert_eq!(flat.instrs.len(), 4);
+        let brc = &flat.instrs[2];
+        assert_eq!(brc.opcode, Opcode::Brc);
+        assert_eq!(brc.branch_offset, -3, "branch back over add+cmp+brc");
+    }
+
+    #[test]
+    fn block_of_maps_instructions_to_blocks() {
+        let k = two_block_kernel();
+        let flat = k.flatten();
+        assert_eq!(flat.block_of(0), 0);
+        assert_eq!(flat.block_of(1), 1);
+        assert_eq!(flat.block_range(0), 0..1);
+        assert_eq!(flat.block_range(1), 1..2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_of_rejects_out_of_range() {
+        let k = two_block_kernel();
+        let flat = k.flatten();
+        let _ = flat.block_of(99);
+    }
+
+    #[test]
+    fn static_instruction_count_counts_lowered_control() {
+        let k = two_block_kernel();
+        assert_eq!(k.static_instruction_count(), 2);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert!(Terminator::Eot.successors().is_empty());
+        let cj = Terminator::CondJump {
+            flag: FlagReg::F1,
+            invert: true,
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
+        assert_eq!(cj.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+}

@@ -1,0 +1,93 @@
+//! # gen-isa
+//!
+//! A GEN-flavoured GPU instruction set architecture, modelled after the
+//! Intel GEN ISA that GT-Pin instruments ("Fast Computational GPU Design
+//! with GT-Pin", IISWC 2015).
+//!
+//! The crate defines:
+//!
+//! * [`Opcode`]s grouped into the paper's five reporting categories
+//!   (moves, logic, control, computation, sends — Figure 4a),
+//! * SIMD [`ExecSize`]s 1/2/4/8/16 (Figure 4b),
+//! * a 128-register general register file ([`Reg`]) with a reserved
+//!   high region for instrumentation scratch,
+//! * [`Instruction`]s with predication, condition modifiers and
+//!   [`SendDescriptor`]s for all memory traffic,
+//! * [`BasicBlock`]s and [`KernelBinary`]s (control-flow graphs),
+//! * a fixed-width **byte-level encoding** ([`encode`]) that binary
+//!   rewriters such as GT-Pin decode, splice and re-encode, and
+//! * a [`builder`] API used by the JIT and by tests.
+//!
+//! # Example
+//!
+//! ```
+//! use gen_isa::builder::KernelBuilder;
+//! use gen_isa::{ExecSize, Reg, Src};
+//!
+//! let mut b = KernelBuilder::new("saxpy");
+//! let body = b.entry_block();
+//! b.block_mut(body)
+//!     .mul(ExecSize::S16, Reg(3), Src::Reg(Reg(1)), Src::Reg(Reg(2)))
+//!     .add(ExecSize::S16, Reg(4), Src::Reg(Reg(3)), Src::Imm(7));
+//! b.block_mut(body).eot();
+//! let kernel = b.build().expect("well-formed kernel");
+//! let bytes = kernel.encode();
+//! let back = gen_isa::KernelBinary::decode(&bytes).expect("round trip");
+//! assert_eq!(kernel.static_instruction_count(), back.static_instruction_count());
+//! ```
+
+pub mod builder;
+pub mod disasm;
+pub mod encode;
+pub mod instruction;
+pub mod kernel;
+pub mod opcode;
+pub mod register;
+pub mod validate;
+
+pub use instruction::{
+    CondMod, FlagReg, Instruction, Predicate, SendDescriptor, SendOp, Src, Surface,
+};
+pub use kernel::{BasicBlock, BlockId, DecodedKernel, KernelBinary, KernelMetadata, Terminator};
+pub use opcode::{ExecSize, Opcode, OpcodeCategory};
+pub use register::{Reg, FIRST_INSTRUMENTATION_REG, NUM_GRF, NUM_LANES};
+pub use validate::{validate, ValidateError};
+
+/// Errors produced when decoding a kernel binary from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream length is not a multiple of the instruction width.
+    TruncatedStream { len: usize },
+    /// An unknown opcode byte was encountered.
+    UnknownOpcode { offset: usize, byte: u8 },
+    /// An operand field contained an invalid encoding.
+    BadOperand { offset: usize, detail: &'static str },
+    /// A branch target pointed outside the instruction stream.
+    BadBranchTarget { offset: usize, target: i64 },
+    /// The stream did not terminate every path with EOT or return.
+    MissingTerminator,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TruncatedStream { len } => {
+                write!(f, "byte stream of length {len} is not a whole number of instructions")
+            }
+            DecodeError::UnknownOpcode { offset, byte } => {
+                write!(f, "unknown opcode byte {byte:#04x} at offset {offset}")
+            }
+            DecodeError::BadOperand { offset, detail } => {
+                write!(f, "bad operand at offset {offset}: {detail}")
+            }
+            DecodeError::BadBranchTarget { offset, target } => {
+                write!(f, "branch at offset {offset} targets instruction {target}, outside the stream")
+            }
+            DecodeError::MissingTerminator => {
+                write!(f, "instruction stream has a path that does not end in EOT or return")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

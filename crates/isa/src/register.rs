@@ -1,0 +1,84 @@
+//! The general register file (GRF).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of general registers per hardware thread, as on GEN
+/// (128 GRF registers).
+pub const NUM_GRF: u8 = 128;
+
+/// SIMD lanes held by one architectural register. A register is a
+/// 16-lane vector of 32-bit values; an instruction's
+/// [`ExecSize`](crate::ExecSize) selects how many lanes participate.
+pub const NUM_LANES: usize = 16;
+
+/// First register of the region reserved for instrumentation scratch.
+///
+/// The JIT never allocates `r120..r128` to application code, so the
+/// GT-Pin binary rewriter can use them for counters and message
+/// payloads without spilling — this is how the tool guarantees that
+/// injected code does not perturb application state (Section III-C of
+/// the paper).
+pub const FIRST_INSTRUMENTATION_REG: u8 = 120;
+
+/// A general register, `r0`–`r127`.
+///
+/// The public field is deliberate: `Reg` is a transparent index
+/// newtype in the C-struct spirit, and kernels manipulate registers
+/// pervasively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The register number.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register lies in the reserved instrumentation
+    /// region (`r120..r128`).
+    pub fn is_instrumentation(self) -> bool {
+        self.0 >= FIRST_INSTRUMENTATION_REG
+    }
+
+    /// Whether this register exists in the GRF.
+    pub fn is_valid(self) -> bool {
+        self.0 < NUM_GRF
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u8> for Reg {
+    fn from(index: u8) -> Reg {
+        Reg(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_region_is_at_the_top() {
+        assert!(Reg(FIRST_INSTRUMENTATION_REG).is_instrumentation());
+        assert!(Reg(NUM_GRF - 1).is_instrumentation());
+        assert!(!Reg(FIRST_INSTRUMENTATION_REG - 1).is_instrumentation());
+        assert!(!Reg(0).is_instrumentation());
+    }
+
+    #[test]
+    fn validity_bound() {
+        assert!(Reg(0).is_valid());
+        assert!(Reg(NUM_GRF - 1).is_valid());
+        assert!(!Reg(NUM_GRF).is_valid());
+    }
+
+    #[test]
+    fn display_matches_gen_style() {
+        assert_eq!(Reg(17).to_string(), "r17");
+    }
+}

@@ -1,0 +1,261 @@
+//! Structural validation of kernel binaries.
+
+use crate::instruction::Src;
+use crate::kernel::{KernelBinary, Terminator};
+use crate::opcode::{Opcode, OpcodeCategory};
+use crate::register::{Reg, FIRST_INSTRUMENTATION_REG};
+
+/// Problems [`validate`] can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The kernel has no blocks.
+    EmptyKernel,
+    /// The last block has no explicit terminator.
+    MissingFinalTerminator,
+    /// A register operand is out of range.
+    BadRegister { block: u32, instr: usize, reg: Reg },
+    /// Application code used a reserved instrumentation register.
+    InstrumentationRegUsed { block: u32, instr: usize, reg: Reg },
+    /// An instruction has more than one immediate source.
+    TooManyImmediates { block: u32, instr: usize },
+    /// A terminator targets a block that does not exist.
+    BadBlockTarget { block: u32, target: u32 },
+    /// A send opcode has no descriptor, or a non-send carries one.
+    SendDescriptorMismatch { block: u32, instr: usize },
+    /// `cmp` without a condition modifier and flag register.
+    CmpWithoutCondition { block: u32, instr: usize },
+    /// A control opcode appeared in a block body (control flow is
+    /// expressed via terminators in the structured form).
+    ControlInBlockBody { block: u32, instr: usize },
+    /// `call` is declared by the ISA but not yet supported by the
+    /// toolchain.
+    CallUnsupported { block: u32, instr: usize },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::EmptyKernel => write!(f, "kernel has no blocks"),
+            ValidateError::MissingFinalTerminator => {
+                write!(f, "final block has no terminator")
+            }
+            ValidateError::BadRegister { block, instr, reg } => {
+                write!(f, "bb{block} instr {instr}: register {reg} out of range")
+            }
+            ValidateError::InstrumentationRegUsed { block, instr, reg } => write!(
+                f,
+                "bb{block} instr {instr}: application code uses reserved instrumentation register {reg}"
+            ),
+            ValidateError::TooManyImmediates { block, instr } => {
+                write!(f, "bb{block} instr {instr}: more than one immediate source")
+            }
+            ValidateError::BadBlockTarget { block, target } => {
+                write!(f, "bb{block}: terminator targets missing block bb{target}")
+            }
+            ValidateError::SendDescriptorMismatch { block, instr } => {
+                write!(f, "bb{block} instr {instr}: send descriptor mismatch")
+            }
+            ValidateError::CmpWithoutCondition { block, instr } => {
+                write!(f, "bb{block} instr {instr}: cmp without condition modifier or flag")
+            }
+            ValidateError::ControlInBlockBody { block, instr } => {
+                write!(f, "bb{block} instr {instr}: control opcode inside block body")
+            }
+            ValidateError::CallUnsupported { block, instr } => {
+                write!(f, "bb{block} instr {instr}: call is not supported yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a structured kernel binary.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found, scanning blocks in
+/// layout order.
+pub fn validate(kernel: &KernelBinary) -> Result<(), ValidateError> {
+    if kernel.blocks.is_empty() {
+        return Err(ValidateError::EmptyKernel);
+    }
+    let num_blocks = kernel.blocks.len() as u32;
+    for block in &kernel.blocks {
+        let b = block.id.0;
+        for (i, instr) in block.instrs.iter().enumerate() {
+            if instr.opcode == Opcode::Call {
+                return Err(ValidateError::CallUnsupported { block: b, instr: i });
+            }
+            if instr.opcode.is_control() {
+                return Err(ValidateError::ControlInBlockBody { block: b, instr: i });
+            }
+            for reg in instr.reads().chain(instr.writes()) {
+                if !reg.is_valid() {
+                    return Err(ValidateError::BadRegister { block: b, instr: i, reg });
+                }
+                if !kernel.metadata.instrumented && reg.0 >= FIRST_INSTRUMENTATION_REG {
+                    return Err(ValidateError::InstrumentationRegUsed {
+                        block: b,
+                        instr: i,
+                        reg,
+                    });
+                }
+            }
+            if instr.immediate_count() > 1 {
+                return Err(ValidateError::TooManyImmediates { block: b, instr: i });
+            }
+            let has_desc = instr.send.is_some();
+            if instr.opcode.is_send() != has_desc {
+                return Err(ValidateError::SendDescriptorMismatch { block: b, instr: i });
+            }
+            if instr.opcode == Opcode::Cmp && (instr.cond.is_none() || instr.flag.is_none()) {
+                return Err(ValidateError::CmpWithoutCondition { block: b, instr: i });
+            }
+            // Sources past the opcode's arity must be null.
+            for (s, src) in instr.srcs.iter().enumerate() {
+                if s >= instr.opcode.num_sources()
+                    && !matches!(src, Src::Null)
+                    && !instr.opcode.is_send()
+                {
+                    return Err(ValidateError::TooManyImmediates { block: b, instr: i });
+                }
+            }
+        }
+        for target in block.term.successors() {
+            if target.0 >= num_blocks {
+                return Err(ValidateError::BadBlockTarget { block: b, target: target.0 });
+            }
+        }
+        if matches!(block.term, Terminator::Return)
+            && kernel.blocks.len() == 1
+        {
+            // A kernel whose only exit is `ret` never ends the thread;
+            // tolerated for subroutines, but flagged for single-block
+            // kernels where it is certainly a bug.
+            return Err(ValidateError::MissingFinalTerminator);
+        }
+    }
+    Ok(())
+}
+
+/// Statistics over a kernel's static structure, used by tests and by
+/// the static-structure profiling tool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticStats {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Encoded (flattened) instruction count.
+    pub instructions: usize,
+    /// Count of instructions per category, indexed per
+    /// [`OpcodeCategory::ALL`].
+    pub per_category: [usize; 5],
+}
+
+/// Compute static statistics for a kernel.
+pub fn static_stats(kernel: &KernelBinary) -> StaticStats {
+    let flat = kernel.flatten();
+    let mut per_category = [0usize; 5];
+    for instr in &flat.instrs {
+        let idx = OpcodeCategory::ALL
+            .iter()
+            .position(|&c| c == instr.opcode.category())
+            .expect("category is in ALL");
+        per_category[idx] += 1;
+    }
+    StaticStats {
+        blocks: flat.num_blocks(),
+        instructions: flat.instrs.len(),
+        per_category,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instruction::{Instruction, SendDescriptor, SendOp, Surface};
+    use crate::kernel::{BasicBlock, BlockId, KernelMetadata};
+    use crate::opcode::ExecSize;
+
+    fn raw_kernel(instrs: Vec<Instruction>, term: Terminator) -> KernelBinary {
+        KernelBinary {
+            name: "raw".into(),
+            blocks: vec![BasicBlock { id: BlockId(0), instrs, term }],
+            metadata: KernelMetadata::default(),
+        }
+    }
+
+    #[test]
+    fn send_without_descriptor_rejected() {
+        let i = Instruction::new(Opcode::Send, ExecSize::S8);
+        let err = validate(&raw_kernel(vec![i], Terminator::Eot)).unwrap_err();
+        assert!(matches!(err, ValidateError::SendDescriptorMismatch { .. }));
+    }
+
+    #[test]
+    fn descriptor_on_non_send_rejected() {
+        let mut i = Instruction::new(Opcode::Add, ExecSize::S8);
+        i.dst = Some(Reg(1));
+        i.send = Some(SendDescriptor {
+            op: SendOp::Read,
+            surface: Surface::Global,
+            bytes: 4,
+        });
+        let err = validate(&raw_kernel(vec![i], Terminator::Eot)).unwrap_err();
+        assert!(matches!(err, ValidateError::SendDescriptorMismatch { .. }));
+    }
+
+    #[test]
+    fn cmp_without_condition_rejected() {
+        let i = Instruction::new(Opcode::Cmp, ExecSize::S8);
+        let err = validate(&raw_kernel(vec![i], Terminator::Eot)).unwrap_err();
+        assert!(matches!(err, ValidateError::CmpWithoutCondition { .. }));
+    }
+
+    #[test]
+    fn control_in_body_rejected() {
+        let i = Instruction::new(Opcode::Jmpi, ExecSize::S1);
+        let err = validate(&raw_kernel(vec![i], Terminator::Eot)).unwrap_err();
+        assert!(matches!(err, ValidateError::ControlInBlockBody { .. }));
+    }
+
+    #[test]
+    fn call_unsupported() {
+        let i = Instruction::new(Opcode::Call, ExecSize::S1);
+        let err = validate(&raw_kernel(vec![i], Terminator::Eot)).unwrap_err();
+        assert!(matches!(err, ValidateError::CallUnsupported { .. }));
+    }
+
+    #[test]
+    fn bad_terminator_target_rejected() {
+        let err = validate(&raw_kernel(vec![], Terminator::Jump(BlockId(7)))).unwrap_err();
+        assert_eq!(err, ValidateError::BadBlockTarget { block: 0, target: 7 });
+    }
+
+    #[test]
+    fn instrumented_kernels_may_use_reserved_registers() {
+        let mut i = Instruction::new(Opcode::Mov, ExecSize::S1);
+        i.dst = Some(Reg(FIRST_INSTRUMENTATION_REG));
+        i.srcs[0] = crate::Src::Imm(0);
+        let mut k = raw_kernel(vec![i], Terminator::Eot);
+        k.metadata.instrumented = true;
+        assert!(validate(&k).is_ok());
+    }
+
+    #[test]
+    fn static_stats_counts_categories() {
+        let mut b = KernelBuilder::new("stats");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .mov(ExecSize::S8, Reg(1), crate::Src::Imm(0))
+            .add(ExecSize::S8, Reg(2), crate::Src::Reg(Reg(1)), crate::Src::Imm(1))
+            .send_read(ExecSize::S8, Reg(3), Reg(2), Surface::Global, 32)
+            .eot();
+        let k = b.build().unwrap();
+        let s = static_stats(&k);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.instructions, 4); // mov, add, send, eot
+        assert_eq!(s.per_category, [1, 0, 1, 1, 1]); // move, logic, control(eot), comp, send
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests: encoding round-trips and CFG reconstruction.
+
+use gen_isa::builder::KernelBuilder;
+use gen_isa::encode::{decode_instruction, encode_instruction, INSTRUCTION_BYTES};
+use gen_isa::{
+    CondMod, ExecSize, FlagReg, Instruction, KernelBinary, Opcode, Predicate, Reg,
+    SendDescriptor, SendOp, Src, Surface, Terminator,
+};
+use proptest::prelude::*;
+
+fn arb_exec_size() -> impl Strategy<Value = ExecSize> {
+    prop::sample::select(ExecSize::ALL.to_vec())
+}
+
+fn arb_alu_opcode() -> impl Strategy<Value = Opcode> {
+    let alu: Vec<Opcode> = Opcode::ALL
+        .iter()
+        .copied()
+        .filter(|o| !o.is_control() && !o.is_send() && *o != Opcode::Nop && *o != Opcode::Cmp)
+        .collect();
+    prop::sample::select(alu)
+}
+
+fn arb_src(allow_imm: bool) -> impl Strategy<Value = Src> {
+    if allow_imm {
+        prop_oneof![
+            Just(Src::Null),
+            (0u8..120).prop_map(|r| Src::Reg(Reg(r))),
+            any::<u32>().prop_map(Src::Imm),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            Just(Src::Null),
+            (0u8..120).prop_map(|r| Src::Reg(Reg(r))),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_pred() -> impl Strategy<Value = Option<Predicate>> {
+    prop_oneof![
+        Just(None),
+        (prop::bool::ANY, prop::bool::ANY).prop_map(|(f1, inv)| Some(Predicate {
+            flag: if f1 { FlagReg::F1 } else { FlagReg::F0 },
+            invert: inv,
+        })),
+    ]
+}
+
+prop_compose! {
+    fn arb_alu_instruction()(
+        opcode in arb_alu_opcode(),
+        w in arb_exec_size(),
+        dst in 0u8..120,
+        s0 in arb_src(true),
+        s1 in arb_src(false),
+        s2 in arb_src(false),
+        pred in arb_pred(),
+    ) -> Instruction {
+        let mut i = Instruction::new(opcode, w);
+        i.dst = Some(Reg(dst));
+        let arity = opcode.num_sources();
+        let cand = [s0, s1, s2];
+        i.srcs[..arity].copy_from_slice(&cand[..arity]);
+        i.pred = pred;
+        i
+    }
+}
+
+prop_compose! {
+    fn arb_send_instruction()(
+        w in arb_exec_size(),
+        dst in 0u8..120,
+        addr in 0u8..120,
+        op in prop::sample::select(vec![SendOp::Read, SendOp::Write, SendOp::AtomicAdd, SendOp::ReadTimer]),
+        surface in prop::sample::select(vec![Surface::Global, Surface::TraceBuffer, Surface::Scratch]),
+        bytes in 0u32..SendDescriptor::MAX_BYTES,
+    ) -> Instruction {
+        let mut i = Instruction::new(Opcode::Send, w);
+        i.dst = Some(Reg(dst));
+        i.srcs[0] = Src::Reg(Reg(addr));
+        i.send = Some(SendDescriptor { op, surface, bytes });
+        i
+    }
+}
+
+proptest! {
+    #[test]
+    fn alu_instruction_round_trips(instr in arb_alu_instruction()) {
+        let mut bytes = Vec::new();
+        encode_instruction(&instr, &mut bytes);
+        prop_assert_eq!(bytes.len(), INSTRUCTION_BYTES);
+        let back = decode_instruction(&bytes, 0).unwrap();
+        prop_assert_eq!(instr, back);
+    }
+
+    #[test]
+    fn send_instruction_round_trips(instr in arb_send_instruction()) {
+        let mut bytes = Vec::new();
+        encode_instruction(&instr, &mut bytes);
+        let back = decode_instruction(&bytes, 0).unwrap();
+        prop_assert_eq!(instr, back);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_on_decode(bytes in prop::collection::vec(any::<u8>(), INSTRUCTION_BYTES)) {
+        let _ = decode_instruction(&bytes, 0);
+    }
+
+    /// Random structured loop-shaped kernels survive
+    /// encode → decode → encode byte-identically.
+    #[test]
+    fn kernel_bytes_stable_under_decode_encode(
+        body in prop::collection::vec(arb_alu_instruction(), 1..20),
+        trip in 1u32..12,
+    ) {
+        let mut b = KernelBuilder::new("prop");
+        let head = b.entry_block();
+        let exit = b.new_block();
+        for i in &body {
+            b.block_mut(head).raw(*i);
+        }
+        b.block_mut(head)
+            .add(ExecSize::S1, Reg(100), Src::Reg(Reg(100)), Src::Imm(1))
+            .cmp(ExecSize::S1, CondMod::Lt, FlagReg::F0, Src::Reg(Reg(100)), Src::Imm(trip));
+        b.set_terminator(head, Terminator::CondJump {
+            flag: FlagReg::F0,
+            invert: false,
+            taken: head,
+            fallthrough: exit,
+        });
+        b.block_mut(exit).eot();
+        let kernel = b.build().unwrap();
+
+        let bytes = kernel.encode();
+        let decoded = KernelBinary::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Flattened instruction counts are invariant across the byte
+    /// round trip (counts are the basis of every profile).
+    #[test]
+    fn instruction_count_invariant(
+        body in prop::collection::vec(arb_alu_instruction(), 1..30),
+    ) {
+        let mut b = KernelBuilder::new("count");
+        let e = b.entry_block();
+        for i in &body {
+            b.block_mut(e).raw(*i);
+        }
+        b.block_mut(e).eot();
+        let kernel = b.build().unwrap();
+        let n = kernel.static_instruction_count();
+        let back = KernelBinary::decode(&kernel.encode()).unwrap();
+        prop_assert_eq!(back.static_instruction_count(), n);
+    }
+}

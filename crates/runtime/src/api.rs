@@ -1,0 +1,283 @@
+//! The OpenCL API-call vocabulary and its three-way classification
+//! (kernel / synchronization / other) used in Figure 3a of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a kernel within a program's source (the order kernels
+/// appear in [`ProgramSource`](crate::host::ProgramSource)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct KernelId(pub u32);
+
+impl KernelId {
+    /// The kernel's index in its program source.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel#{}", self.0)
+    }
+}
+
+/// The seven OpenCL synchronization calls listed in Section II —
+/// the only points where host and device work are guaranteed to
+/// align, and therefore the natural boundaries for starting and
+/// stopping device simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SyncCall {
+    /// `clFinish`
+    Finish,
+    /// `clEnqueueCopyImageToBuffer`
+    EnqueueCopyImageToBuffer,
+    /// `clWaitForEvents`
+    WaitForEvents,
+    /// `clFlush`
+    Flush,
+    /// `clEnqueueReadImage`
+    EnqueueReadImage,
+    /// `clEnqueueCopyBuffer`
+    EnqueueCopyBuffer,
+    /// `clEnqueueReadBuffer`
+    EnqueueReadBuffer,
+}
+
+impl SyncCall {
+    /// All seven synchronization calls.
+    pub const ALL: [SyncCall; 7] = [
+        SyncCall::Finish,
+        SyncCall::EnqueueCopyImageToBuffer,
+        SyncCall::WaitForEvents,
+        SyncCall::Flush,
+        SyncCall::EnqueueReadImage,
+        SyncCall::EnqueueCopyBuffer,
+        SyncCall::EnqueueReadBuffer,
+    ];
+
+    /// The OpenCL API name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncCall::Finish => "clFinish",
+            SyncCall::EnqueueCopyImageToBuffer => "clEnqueueCopyImageToBuffer",
+            SyncCall::WaitForEvents => "clWaitForEvents",
+            SyncCall::Flush => "clFlush",
+            SyncCall::EnqueueReadImage => "clEnqueueReadImage",
+            SyncCall::EnqueueCopyBuffer => "clEnqueueCopyBuffer",
+            SyncCall::EnqueueReadBuffer => "clEnqueueReadBuffer",
+        }
+    }
+}
+
+/// A value passed to `clSetKernelArg`.
+///
+/// Argument values participate in the KN-ARGS feature vectors of
+/// Table III, so they must be hashable and comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArgValue {
+    /// A scalar argument (sizes, counts, thresholds).
+    Scalar(u64),
+    /// A memory-object argument, by buffer index.
+    Buffer(u32),
+}
+
+impl ArgValue {
+    /// A stable 64-bit digest of the value, used as a feature-vector
+    /// key component.
+    pub fn digest(self) -> u64 {
+        match self {
+            ArgValue::Scalar(v) => v.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5bd1,
+            ArgValue::Buffer(b) => (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ 0xb0f,
+        }
+    }
+}
+
+/// One OpenCL API call made by the host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiCall {
+    /// `clGetPlatformIDs`
+    GetPlatformIds,
+    /// `clGetDeviceIDs`
+    GetDeviceIds,
+    /// `clCreateContext`
+    CreateContext,
+    /// `clCreateCommandQueue`
+    CreateCommandQueue,
+    /// `clCreateProgramWithSource`
+    CreateProgramWithSource,
+    /// `clBuildProgram` — triggers the driver JIT (and, when GT-Pin is
+    /// attached, the binary rewriter).
+    BuildProgram,
+    /// `clCreateKernel`
+    CreateKernel {
+        /// Which kernel in the program source.
+        kernel: KernelId,
+    },
+    /// `clCreateBuffer`
+    CreateBuffer {
+        /// Buffer index.
+        buffer: u32,
+        /// Allocation size.
+        bytes: u64,
+    },
+    /// `clEnqueueWriteBuffer` (host-to-device transfer; *not* one of
+    /// the seven synchronization calls).
+    EnqueueWriteBuffer {
+        /// Target buffer.
+        buffer: u32,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// `clSetKernelArg`
+    SetKernelArg {
+        /// Kernel whose argument is set.
+        kernel: KernelId,
+        /// Argument slot.
+        index: u8,
+        /// The value.
+        value: ArgValue,
+    },
+    /// `clEnqueueNDRangeKernel` — dispatches a kernel to the device.
+    /// The paper's unit of GPU work (Section II).
+    EnqueueNDRangeKernel {
+        /// Kernel to launch.
+        kernel: KernelId,
+        /// Total work items (the paper's *global work size*).
+        global_work_size: u64,
+    },
+    /// One of the seven synchronization calls.
+    Sync(SyncCall),
+    /// `clReleaseMemObject`
+    ReleaseMemObject {
+        /// Buffer released.
+        buffer: u32,
+    },
+    /// `clReleaseKernel`
+    ReleaseKernel {
+        /// Kernel released.
+        kernel: KernelId,
+    },
+    /// `clReleaseProgram`
+    ReleaseProgram,
+    /// `clReleaseContext`
+    ReleaseContext,
+}
+
+/// Figure 3a's three-way API-call classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ApiCallKind {
+    /// Kernel invocations (`clEnqueueNDRangeKernel`).
+    Kernel,
+    /// The seven synchronization calls.
+    Synchronization,
+    /// Everything else: setup, argument supply, post-processing,
+    /// cleanup.
+    Other,
+}
+
+impl ApiCallKind {
+    /// All kinds in the paper's reporting order.
+    pub const ALL: [ApiCallKind; 3] = [
+        ApiCallKind::Kernel,
+        ApiCallKind::Synchronization,
+        ApiCallKind::Other,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ApiCallKind::Kernel => "kernel",
+            ApiCallKind::Synchronization => "synchronization",
+            ApiCallKind::Other => "other",
+        }
+    }
+}
+
+impl ApiCall {
+    /// Classify the call for Figure 3a.
+    pub fn kind(&self) -> ApiCallKind {
+        match self {
+            ApiCall::EnqueueNDRangeKernel { .. } => ApiCallKind::Kernel,
+            ApiCall::Sync(_) => ApiCallKind::Synchronization,
+            _ => ApiCallKind::Other,
+        }
+    }
+
+    /// The OpenCL API name of this call.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ApiCall::GetPlatformIds => "clGetPlatformIDs",
+            ApiCall::GetDeviceIds => "clGetDeviceIDs",
+            ApiCall::CreateContext => "clCreateContext",
+            ApiCall::CreateCommandQueue => "clCreateCommandQueue",
+            ApiCall::CreateProgramWithSource => "clCreateProgramWithSource",
+            ApiCall::BuildProgram => "clBuildProgram",
+            ApiCall::CreateKernel { .. } => "clCreateKernel",
+            ApiCall::CreateBuffer { .. } => "clCreateBuffer",
+            ApiCall::EnqueueWriteBuffer { .. } => "clEnqueueWriteBuffer",
+            ApiCall::SetKernelArg { .. } => "clSetKernelArg",
+            ApiCall::EnqueueNDRangeKernel { .. } => "clEnqueueNDRangeKernel",
+            ApiCall::Sync(s) => s.name(),
+            ApiCall::ReleaseMemObject { .. } => "clReleaseMemObject",
+            ApiCall::ReleaseKernel { .. } => "clReleaseKernel",
+            ApiCall::ReleaseProgram => "clReleaseProgram",
+            ApiCall::ReleaseContext => "clReleaseContext",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_seven_sync_calls() {
+        assert_eq!(SyncCall::ALL.len(), 7);
+        let mut names: Vec<&str> = SyncCall::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7, "sync call names are distinct");
+    }
+
+    #[test]
+    fn classification_matches_the_paper() {
+        assert_eq!(
+            ApiCall::EnqueueNDRangeKernel { kernel: KernelId(0), global_work_size: 1024 }.kind(),
+            ApiCallKind::Kernel
+        );
+        for s in SyncCall::ALL {
+            assert_eq!(ApiCall::Sync(s).kind(), ApiCallKind::Synchronization);
+        }
+        assert_eq!(ApiCall::BuildProgram.kind(), ApiCallKind::Other);
+        assert_eq!(
+            ApiCall::SetKernelArg {
+                kernel: KernelId(0),
+                index: 0,
+                value: ArgValue::Scalar(1)
+            }
+            .kind(),
+            ApiCallKind::Other
+        );
+        assert_eq!(
+            ApiCall::EnqueueWriteBuffer { buffer: 0, bytes: 64 }.kind(),
+            ApiCallKind::Other,
+            "write-buffer is not one of the seven synchronization calls"
+        );
+    }
+
+    #[test]
+    fn arg_digests_differ_between_kinds() {
+        assert_ne!(ArgValue::Scalar(1).digest(), ArgValue::Buffer(1).digest());
+        assert_ne!(ArgValue::Scalar(1).digest(), ArgValue::Scalar(2).digest());
+    }
+
+    #[test]
+    fn names_follow_opencl_convention() {
+        assert_eq!(ApiCall::BuildProgram.name(), "clBuildProgram");
+        assert_eq!(
+            ApiCall::EnqueueNDRangeKernel { kernel: KernelId(0), global_work_size: 1 }.name(),
+            "clEnqueueNDRangeKernel"
+        );
+        assert_eq!(ApiCall::Sync(SyncCall::EnqueueReadBuffer).name(), "clEnqueueReadBuffer");
+    }
+}

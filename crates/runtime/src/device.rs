@@ -1,0 +1,130 @@
+//! The device-side interface the runtime dispatches to.
+
+use crate::api::{ArgValue, KernelId, SyncCall};
+use crate::host::ProgramSource;
+
+/// Timing of one kernel invocation as the device reports it — the
+/// per-kernel timing data CoFluent CPR collects in the paper and the
+/// numerator of every seconds-per-instruction computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Wall-clock seconds the invocation took on the device.
+    pub seconds: f64,
+}
+
+/// Errors a device can report back through the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A kernel was launched before `clBuildProgram`.
+    ProgramNotBuilt,
+    /// The launched kernel id is not in the built program.
+    UnknownKernel { kernel: KernelId },
+    /// A kernel argument was never set.
+    MissingArg { kernel: KernelId, index: u8 },
+    /// JIT compilation failed.
+    Jit { kernel: String, detail: String },
+    /// The functional executor hit a fault (bad binary, runaway
+    /// loop guard, ...).
+    Execution { kernel: String, detail: String },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::ProgramNotBuilt => write!(f, "kernel launched before clBuildProgram"),
+            DeviceError::UnknownKernel { kernel } => write!(f, "unknown {kernel}"),
+            DeviceError::MissingArg { kernel, index } => {
+                write!(f, "{kernel}: argument {index} was never set")
+            }
+            DeviceError::Jit { kernel, detail } => {
+                write!(f, "JIT failed for kernel {kernel}: {detail}")
+            }
+            DeviceError::Execution { kernel, detail } => {
+                write!(f, "execution fault in kernel {kernel}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// An OpenCL device as the runtime sees it. The `gpu-device` crate
+/// provides the GPU implementation; tests use lightweight fakes.
+pub trait Device {
+    /// Human-readable device name (e.g. `Intel HD 4000 (model)`).
+    fn device_name(&self) -> String;
+
+    /// JIT-compile a program's kernels (`clBuildProgram`). When a
+    /// binary rewriter such as GT-Pin is attached to the driver, it
+    /// runs here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Jit`] when lowering fails.
+    fn build_program(&mut self, source: &ProgramSource) -> Result<(), DeviceError>;
+
+    /// Execute one kernel invocation over `global_work_size` work
+    /// items with the given argument bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if the program is not built, the
+    /// kernel is unknown, arguments are missing, or execution faults.
+    fn launch_kernel(
+        &mut self,
+        kernel: KernelId,
+        args: &[ArgValue],
+        global_work_size: u64,
+    ) -> Result<KernelTiming, DeviceError>;
+
+    /// Handle one of the seven synchronization calls: drain
+    /// outstanding device work and align with the host.
+    fn synchronize(&mut self, call: SyncCall);
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A device fake that records launches and charges a fixed time
+    /// per work item.
+    #[derive(Debug, Default)]
+    pub struct FakeDevice {
+        pub built: bool,
+        pub launches: Vec<(KernelId, Vec<ArgValue>, u64)>,
+        pub syncs: Vec<SyncCall>,
+        pub num_kernels: usize,
+    }
+
+    impl Device for FakeDevice {
+        fn device_name(&self) -> String {
+            "fake".into()
+        }
+
+        fn build_program(&mut self, source: &ProgramSource) -> Result<(), DeviceError> {
+            self.built = true;
+            self.num_kernels = source.kernels.len();
+            Ok(())
+        }
+
+        fn launch_kernel(
+            &mut self,
+            kernel: KernelId,
+            args: &[ArgValue],
+            global_work_size: u64,
+        ) -> Result<KernelTiming, DeviceError> {
+            if !self.built {
+                return Err(DeviceError::ProgramNotBuilt);
+            }
+            if kernel.index() >= self.num_kernels {
+                return Err(DeviceError::UnknownKernel { kernel });
+            }
+            self.launches.push((kernel, args.to_vec(), global_work_size));
+            Ok(KernelTiming { seconds: global_work_size as f64 * 1e-9 })
+        }
+
+        fn synchronize(&mut self, call: SyncCall) {
+            self.syncs.push(call);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Host programs: the CPU side of an OpenCL application.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{ApiCall, KernelId};
+use crate::ir::{IrError, KernelIr};
+
+/// The kernel sources of one OpenCL program (what
+/// `clCreateProgramWithSource` receives).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramSource {
+    /// Kernels in declaration order; [`KernelId`] indexes this list.
+    pub kernels: Vec<KernelIr>,
+}
+
+impl ProgramSource {
+    /// Look up a kernel by id.
+    pub fn kernel(&self, id: KernelId) -> Option<&KernelIr> {
+        self.kernels.get(id.index())
+    }
+
+    /// Look up a kernel id by name.
+    pub fn kernel_id(&self, name: &str) -> Option<KernelId> {
+        self.kernels
+            .iter()
+            .position(|k| k.name == name)
+            .map(|i| KernelId(i as u32))
+    }
+
+    /// Validate every kernel's IR.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel name and [`IrError`] found.
+    pub fn check(&self) -> Result<(), (String, IrError)> {
+        for k in &self.kernels {
+            k.check().map_err(|e| (k.name.clone(), e))?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete host program: kernel sources plus the deterministic
+/// script of API calls the host makes.
+///
+/// Real hosts compute the call sequence at run time; our workloads
+/// pre-generate it, which is what CoFluent's *record* step produces
+/// anyway (Section V-E of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostProgram {
+    /// Application name (e.g. `cb-physics-ocean-surf`).
+    pub name: String,
+    /// Kernel sources.
+    pub source: ProgramSource,
+    /// The API-call script.
+    pub calls: Vec<ApiCall>,
+}
+
+impl HostProgram {
+    /// A new, empty host program.
+    pub fn new(name: impl Into<String>) -> HostProgram {
+        HostProgram {
+            name: name.into(),
+            source: ProgramSource::default(),
+            calls: Vec::new(),
+        }
+    }
+
+    /// Number of kernel invocations (`clEnqueueNDRangeKernel` calls)
+    /// in the script.
+    pub fn num_invocations(&self) -> usize {
+        self.calls
+            .iter()
+            .filter(|c| matches!(c, ApiCall::EnqueueNDRangeKernel { .. }))
+            .count()
+    }
+
+    /// Number of synchronization calls in the script.
+    pub fn num_sync_calls(&self) -> usize {
+        self.calls.iter().filter(|c| matches!(c, ApiCall::Sync(_))).count()
+    }
+
+    /// Validate the program: IR well-formedness and kernel-id ranges
+    /// in the script.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn check(&self) -> Result<(), String> {
+        self.source
+            .check()
+            .map_err(|(k, e)| format!("kernel {k}: {e}"))?;
+        let n = self.source.kernels.len() as u32;
+        for (i, call) in self.calls.iter().enumerate() {
+            let id = match call {
+                ApiCall::CreateKernel { kernel }
+                | ApiCall::SetKernelArg { kernel, .. }
+                | ApiCall::EnqueueNDRangeKernel { kernel, .. }
+                | ApiCall::ReleaseKernel { kernel } => Some(*kernel),
+                _ => None,
+            };
+            if let Some(KernelId(k)) = id {
+                if k >= n {
+                    return Err(format!("call {i} references kernel#{k}, program has {n}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder for host-program API scripts, used by
+/// workload generators and tests.
+#[derive(Debug)]
+pub struct HostScriptBuilder {
+    program: HostProgram,
+    args_set: Vec<u8>,
+}
+
+impl HostScriptBuilder {
+    /// Start a script with the standard setup prologue
+    /// (platform/device/context/queue/program creation and build).
+    pub fn new(name: impl Into<String>, source: ProgramSource) -> HostScriptBuilder {
+        let mut program = HostProgram::new(name);
+        let num_kernels = source.kernels.len();
+        program.source = source;
+        program.calls.extend([
+            ApiCall::GetPlatformIds,
+            ApiCall::GetDeviceIds,
+            ApiCall::CreateContext,
+            ApiCall::CreateCommandQueue,
+            ApiCall::CreateProgramWithSource,
+            ApiCall::BuildProgram,
+        ]);
+        for k in 0..num_kernels {
+            program.calls.push(ApiCall::CreateKernel { kernel: KernelId(k as u32) });
+        }
+        HostScriptBuilder {
+            args_set: vec![0; num_kernels],
+            program,
+        }
+    }
+
+    /// Append an arbitrary call.
+    pub fn call(&mut self, call: ApiCall) -> &mut Self {
+        self.program.calls.push(call);
+        self
+    }
+
+    /// Create a buffer.
+    pub fn create_buffer(&mut self, buffer: u32, bytes: u64) -> &mut Self {
+        self.call(ApiCall::CreateBuffer { buffer, bytes })
+    }
+
+    /// Set one kernel argument.
+    pub fn set_arg(&mut self, kernel: KernelId, index: u8, value: crate::api::ArgValue) -> &mut Self {
+        if let Some(slot) = self.args_set.get_mut(kernel.index()) {
+            *slot = (*slot).max(index + 1);
+        }
+        self.call(ApiCall::SetKernelArg { kernel, index, value })
+    }
+
+    /// Launch a kernel.
+    pub fn launch(&mut self, kernel: KernelId, global_work_size: u64) -> &mut Self {
+        self.call(ApiCall::EnqueueNDRangeKernel { kernel, global_work_size })
+    }
+
+    /// Emit a synchronization call.
+    pub fn sync(&mut self, call: crate::api::SyncCall) -> &mut Self {
+        self.call(ApiCall::Sync(call))
+    }
+
+    /// Finish with the standard cleanup epilogue and validate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HostProgram::check`] failures.
+    pub fn finish(mut self) -> Result<HostProgram, String> {
+        for k in 0..self.program.source.kernels.len() {
+            self.program.calls.push(ApiCall::ReleaseKernel { kernel: KernelId(k as u32) });
+        }
+        self.program.calls.push(ApiCall::ReleaseProgram);
+        self.program.calls.push(ApiCall::ReleaseContext);
+        self.program.check()?;
+        Ok(self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ArgValue, SyncCall};
+    use crate::ir::KernelIr;
+
+    fn one_kernel_source() -> ProgramSource {
+        ProgramSource { kernels: vec![KernelIr::new("foo", 2)] }
+    }
+
+    #[test]
+    fn builder_emits_prologue_and_epilogue() {
+        let b = HostScriptBuilder::new("app", one_kernel_source());
+        let p = b.finish().unwrap();
+        assert_eq!(p.calls.first().unwrap().name(), "clGetPlatformIDs");
+        assert_eq!(p.calls.last().unwrap().name(), "clReleaseContext");
+        assert!(p.calls.iter().any(|c| c.name() == "clBuildProgram"));
+        assert!(p.calls.iter().any(|c| c.name() == "clCreateKernel"));
+    }
+
+    #[test]
+    fn invocation_and_sync_counting() {
+        let mut b = HostScriptBuilder::new("app", one_kernel_source());
+        b.set_arg(KernelId(0), 0, ArgValue::Scalar(8))
+            .launch(KernelId(0), 1024)
+            .launch(KernelId(0), 2048)
+            .sync(SyncCall::Finish);
+        let p = b.finish().unwrap();
+        assert_eq!(p.num_invocations(), 2);
+        assert_eq!(p.num_sync_calls(), 1);
+    }
+
+    #[test]
+    fn out_of_range_kernel_id_rejected() {
+        let mut b = HostScriptBuilder::new("app", one_kernel_source());
+        b.launch(KernelId(5), 64);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn kernel_lookup_by_name() {
+        let s = one_kernel_source();
+        assert_eq!(s.kernel_id("foo"), Some(KernelId(0)));
+        assert_eq!(s.kernel_id("bar"), None);
+        assert_eq!(s.kernel(KernelId(0)).unwrap().name, "foo");
+        assert!(s.kernel(KernelId(9)).is_none());
+    }
+
+    #[test]
+    fn program_check_propagates_ir_errors() {
+        let mut src = one_kernel_source();
+        src.kernels[0].body = vec![crate::ir::IrOp::LoopEnd];
+        let p = HostScriptBuilder::new("app", src).finish();
+        assert!(p.unwrap_err().contains("unmatched close"));
+    }
+}

@@ -1,0 +1,289 @@
+//! A mid-level kernel IR standing in for OpenCL C kernel source.
+//!
+//! Workload generators author kernels in this IR; the GPU driver's
+//! JIT (in the `gpu-device` crate) lowers it to GEN binaries at
+//! `clBuildProgram` time, exactly where GT-Pin's binary rewriter
+//! intercepts in Figure 1 of the paper.
+//!
+//! The IR deliberately exposes the knobs the paper's characterization
+//! measures: instruction mixes per category (Figure 4a), SIMD widths
+//! (Figure 4b), memory traffic (Figure 4c), loop/branch structure
+//! (basic-block counts, Figure 3b), and *argument-dependent* dynamic
+//! behaviour — trip counts and branches driven by kernel arguments —
+//! which is what gives programs the phases that subset selection
+//! exploits.
+
+use gen_isa::ExecSize;
+use serde::{Deserialize, Serialize};
+
+/// How a loop's trip count is determined at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TripCount {
+    /// A compile-time constant.
+    Const(u32),
+    /// The value of kernel argument `arg` (scalar).
+    Arg(u8),
+    /// `arg >> shift`, for scaling large arguments down.
+    ArgShifted {
+        /// Scalar argument index.
+        arg: u8,
+        /// Right shift applied.
+        shift: u8,
+    },
+}
+
+/// Memory access pattern of a load/store, which drives the cache
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Consecutive addresses across iterations.
+    Linear,
+    /// A fixed stride in bytes between accesses.
+    Strided(u32),
+    /// Pseudo-random addresses (hash of the iteration index).
+    Gather,
+}
+
+/// One IR statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IrOp {
+    /// Open a loop; must be matched by [`IrOp::LoopEnd`].
+    LoopBegin {
+        /// Trip count source.
+        trip: TripCount,
+    },
+    /// Close the innermost open loop.
+    LoopEnd,
+    /// `ops` arithmetic instructions at the given width.
+    Compute {
+        /// Number of instructions.
+        ops: u16,
+        /// SIMD width.
+        width: ExecSize,
+    },
+    /// `ops` transcendental math instructions (higher latency).
+    MathCompute {
+        /// Number of instructions.
+        ops: u16,
+        /// SIMD width.
+        width: ExecSize,
+    },
+    /// `ops` logic instructions.
+    Logic {
+        /// Number of instructions.
+        ops: u16,
+        /// SIMD width.
+        width: ExecSize,
+    },
+    /// `ops` move instructions.
+    Move {
+        /// Number of instructions.
+        ops: u16,
+        /// SIMD width.
+        width: ExecSize,
+    },
+    /// Read from the buffer bound to argument `arg`.
+    Load {
+        /// Buffer argument index.
+        arg: u8,
+        /// Bytes read per execution of the instruction.
+        bytes: u32,
+        /// SIMD width.
+        width: ExecSize,
+        /// Address pattern.
+        pattern: AccessPattern,
+    },
+    /// Write to the buffer bound to argument `arg`.
+    Store {
+        /// Buffer argument index.
+        arg: u8,
+        /// Bytes written per execution of the instruction.
+        bytes: u32,
+        /// SIMD width.
+        width: ExecSize,
+        /// Address pattern.
+        pattern: AccessPattern,
+    },
+    /// Open a branch taken only when scalar argument `arg` is below
+    /// `value`; must be matched by [`IrOp::EndIf`]. Creates extra
+    /// basic blocks and argument-dependent dynamic behaviour.
+    IfArgLt {
+        /// Scalar argument index.
+        arg: u8,
+        /// Threshold.
+        value: u32,
+    },
+    /// Close the innermost open `IfArgLt`.
+    EndIf,
+}
+
+/// A kernel in IR form: the "source" the host program carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelIr {
+    /// Kernel function name.
+    pub name: String,
+    /// Number of arguments the kernel declares.
+    pub num_args: u8,
+    /// Statement list.
+    pub body: Vec<IrOp>,
+}
+
+/// Structural problems in a kernel IR body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// `LoopEnd`/`EndIf` without a matching opener.
+    UnmatchedClose { position: usize },
+    /// `LoopBegin`/`IfArgLt` without a matching closer.
+    UnclosedRegion { position: usize },
+    /// An argument index at or past `num_args`.
+    BadArgIndex { position: usize, arg: u8 },
+    /// Nesting deeper than the JIT supports.
+    TooDeep { position: usize },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::UnmatchedClose { position } => {
+                write!(f, "unmatched close at statement {position}")
+            }
+            IrError::UnclosedRegion { position } => {
+                write!(f, "unclosed loop or if opened at statement {position}")
+            }
+            IrError::BadArgIndex { position, arg } => {
+                write!(f, "statement {position} references argument {arg} past num_args")
+            }
+            IrError::TooDeep { position } => {
+                write!(f, "nesting too deep at statement {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Maximum loop/if nesting depth the JIT lowers.
+pub const MAX_NESTING: usize = 8;
+
+impl KernelIr {
+    /// A new kernel IR with the given name and argument count.
+    pub fn new(name: impl Into<String>, num_args: u8) -> KernelIr {
+        KernelIr {
+            name: name.into(),
+            num_args,
+            body: Vec::new(),
+        }
+    }
+
+    /// Validate structural well-formedness (matched loops/ifs,
+    /// argument indices in range, bounded nesting).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IrError`] found.
+    pub fn check(&self) -> Result<(), IrError> {
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, op) in self.body.iter().enumerate() {
+            let arg_used = match *op {
+                IrOp::LoopBegin { trip: TripCount::Arg(a) }
+                | IrOp::LoopBegin { trip: TripCount::ArgShifted { arg: a, .. } } => Some(a),
+                IrOp::Load { arg, .. } | IrOp::Store { arg, .. } => Some(arg),
+                IrOp::IfArgLt { arg, .. } => Some(arg),
+                _ => None,
+            };
+            if let Some(a) = arg_used {
+                if a >= self.num_args {
+                    return Err(IrError::BadArgIndex { position: i, arg: a });
+                }
+            }
+            match op {
+                IrOp::LoopBegin { .. } | IrOp::IfArgLt { .. } => {
+                    stack.push(i);
+                    if stack.len() > MAX_NESTING {
+                        return Err(IrError::TooDeep { position: i });
+                    }
+                }
+                IrOp::LoopEnd | IrOp::EndIf
+                    if stack.pop().is_none() => {
+                        return Err(IrError::UnmatchedClose { position: i });
+                    }
+                _ => {}
+            }
+        }
+        if let Some(&open) = stack.first() {
+            return Err(IrError::UnclosedRegion { position: open });
+        }
+        Ok(())
+    }
+
+    /// Rough static size in IR statements (used by tests and reports).
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(ops: u16) -> IrOp {
+        IrOp::Compute { ops, width: ExecSize::S16 }
+    }
+
+    #[test]
+    fn well_formed_nested_ir_passes() {
+        let mut k = KernelIr::new("k", 2);
+        k.body = vec![
+            IrOp::LoopBegin { trip: TripCount::Arg(0) },
+            compute(4),
+            IrOp::IfArgLt { arg: 1, value: 10 },
+            compute(2),
+            IrOp::EndIf,
+            IrOp::LoopEnd,
+        ];
+        assert_eq!(k.check(), Ok(()));
+    }
+
+    #[test]
+    fn unmatched_close_detected() {
+        let mut k = KernelIr::new("k", 1);
+        k.body = vec![IrOp::LoopEnd];
+        assert_eq!(k.check(), Err(IrError::UnmatchedClose { position: 0 }));
+    }
+
+    #[test]
+    fn unclosed_loop_detected() {
+        let mut k = KernelIr::new("k", 1);
+        k.body = vec![IrOp::LoopBegin { trip: TripCount::Const(4) }, compute(1)];
+        assert_eq!(k.check(), Err(IrError::UnclosedRegion { position: 0 }));
+    }
+
+    #[test]
+    fn bad_arg_index_detected() {
+        let mut k = KernelIr::new("k", 1);
+        k.body = vec![IrOp::Load {
+            arg: 3,
+            bytes: 64,
+            width: ExecSize::S16,
+            pattern: AccessPattern::Linear,
+        }];
+        assert_eq!(k.check(), Err(IrError::BadArgIndex { position: 0, arg: 3 }));
+    }
+
+    #[test]
+    fn excessive_nesting_detected() {
+        let mut k = KernelIr::new("k", 0);
+        for _ in 0..=MAX_NESTING {
+            k.body.push(IrOp::LoopBegin { trip: TripCount::Const(2) });
+        }
+        for _ in 0..=MAX_NESTING {
+            k.body.push(IrOp::LoopEnd);
+        }
+        assert!(matches!(k.check(), Err(IrError::TooDeep { .. })));
+    }
+}

@@ -1,0 +1,45 @@
+//! # ocl-runtime
+//!
+//! A model of the OpenCL host/runtime stack that GT-Pin instruments
+//! (Section II and Figure 1 of *Fast Computational GPU Design with
+//! GT-Pin*, IISWC 2015).
+//!
+//! The crate provides:
+//!
+//! * the host-side [`ApiCall`] vocabulary, including the paper's seven
+//!   synchronization calls and `clEnqueueNDRangeKernel` ([`api`]),
+//! * a mid-level kernel IR ([`ir`]) standing in for OpenCL C kernel
+//!   source — the GPU driver JIT-compiles it to GEN binaries,
+//! * [`HostProgram`]s: deterministic scripts of API calls plus kernel
+//!   sources ([`host`]),
+//! * the [`Device`] trait the runtime dispatches kernel work to
+//!   ([`device`]),
+//! * the [`OclRuntime`] itself, which executes host programs,
+//!   maintains kernel argument state, and tracks synchronization
+//!   epochs ([`runtime`]), and
+//! * a CoFluent-CPR-style API tracer with deterministic record and
+//!   replay and per-kernel-invocation timing reports ([`cofluent`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ocl_runtime::api::{ApiCall, ApiCallKind, SyncCall};
+//!
+//! let call = ApiCall::Sync(SyncCall::Finish);
+//! assert_eq!(call.kind(), ApiCallKind::Synchronization);
+//! assert_eq!(call.name(), "clFinish");
+//! ```
+
+pub mod api;
+pub mod cofluent;
+pub mod device;
+pub mod host;
+pub mod ir;
+pub mod runtime;
+
+pub use api::{ApiCall, ApiCallKind, ArgValue, KernelId, SyncCall};
+pub use cofluent::{ApiTracer, CofluentReport, InvocationTiming, Recording};
+pub use device::{Device, DeviceError, KernelTiming};
+pub use host::{HostProgram, ProgramSource};
+pub use ir::{AccessPattern, IrOp, KernelIr, TripCount};
+pub use runtime::{OclRuntime, RunError, RunReport, Schedule};

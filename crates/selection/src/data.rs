@@ -1,0 +1,252 @@
+//! The merged per-application dataset subset selection operates on:
+//! GT-Pin profile data (instruction counts, block counts, memory
+//! bytes) joined with CoFluent timing data (per-invocation seconds,
+//! synchronization epochs) by launch order.
+
+use gtpin_core::profile::ProgramProfile;
+use ocl_runtime::cofluent::CofluentReport;
+use serde::{Deserialize, Serialize};
+
+/// One kernel invocation with everything selection needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvRecord {
+    /// Launch order position.
+    pub index: u32,
+    /// Kernel index within the program.
+    pub kernel_index: u32,
+    /// Global work size.
+    pub global_work_size: u64,
+    /// Digest of bound argument values.
+    pub args_digest: u64,
+    /// Dynamic executions per static basic block of the kernel.
+    pub bb_counts: Vec<u64>,
+    /// Dynamic application instructions.
+    pub instructions: u64,
+    /// Application bytes read.
+    pub bytes_read: u64,
+    /// Application bytes written.
+    pub bytes_written: u64,
+    /// Measured wall-clock seconds (CoFluent timing).
+    pub seconds: f64,
+    /// Synchronization epoch the invocation belongs to.
+    pub sync_epoch: u32,
+}
+
+/// Per-kernel static block sizes, needed for instruction-weighted
+/// basic-block features.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelShape {
+    /// Kernel name.
+    pub name: String,
+    /// Static instruction count per basic block.
+    pub block_sizes: Vec<u64>,
+}
+
+/// The full dataset for one application execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppData {
+    /// Application name.
+    pub app: String,
+    /// Static kernel shapes, in program order.
+    pub kernels: Vec<KernelShape>,
+    /// Invocations in launch order.
+    pub invocations: Vec<InvRecord>,
+}
+
+/// Problems joining a profile with a timing report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two sources saw different invocation counts.
+    LengthMismatch { profile: usize, timing: usize },
+    /// Invocation `index` names different kernels in the two sources.
+    KernelMismatch { index: usize },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::LengthMismatch { profile, timing } => write!(
+                f,
+                "profile has {profile} invocations but timing report has {timing}"
+            ),
+            MergeError::KernelMismatch { index } => {
+                write!(f, "invocation {index} names different kernels in profile and timing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl AppData {
+    /// Join a GT-Pin profile with a CoFluent timing report.
+    ///
+    /// Both must come from replays of the same recording so launch
+    /// order matches (exactly the paper's use of CoFluent record
+    /// and replay, Section V-E).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError`] when the two sources disagree.
+    pub fn merge(profile: &ProgramProfile, timing: &CofluentReport) -> Result<AppData, MergeError> {
+        if profile.invocations.len() != timing.invocations.len() {
+            return Err(MergeError::LengthMismatch {
+                profile: profile.invocations.len(),
+                timing: timing.invocations.len(),
+            });
+        }
+        let mut invocations = Vec::with_capacity(profile.invocations.len());
+        for (i, (p, t)) in profile
+            .invocations
+            .iter()
+            .zip(&timing.invocations)
+            .enumerate()
+        {
+            if p.kernel_index != t.kernel.0 {
+                return Err(MergeError::KernelMismatch { index: i });
+            }
+            invocations.push(InvRecord {
+                index: i as u32,
+                kernel_index: p.kernel_index,
+                global_work_size: p.global_work_size,
+                args_digest: p.args_digest,
+                bb_counts: p.bb_counts.clone(),
+                instructions: p.instructions,
+                bytes_read: p.bytes_read,
+                bytes_written: p.bytes_written,
+                seconds: t.seconds,
+                sync_epoch: t.sync_epoch,
+            });
+        }
+        Ok(AppData {
+            app: profile.app.clone(),
+            kernels: profile
+                .kernels
+                .iter()
+                .map(|k| KernelShape {
+                    name: k.name.clone(),
+                    block_sizes: k.blocks.iter().map(|b| b.instructions).collect(),
+                })
+                .collect(),
+            invocations,
+        })
+    }
+
+    /// Replace per-invocation timings with those of another trial
+    /// (replayed recording on possibly different hardware). Counts
+    /// stay — replays are architecturally deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::LengthMismatch`] when the new report's
+    /// invocation count differs.
+    pub fn with_timings(&self, timing: &CofluentReport) -> Result<AppData, MergeError> {
+        if self.invocations.len() != timing.invocations.len() {
+            return Err(MergeError::LengthMismatch {
+                profile: self.invocations.len(),
+                timing: timing.invocations.len(),
+            });
+        }
+        let mut out = self.clone();
+        for (inv, t) in out.invocations.iter_mut().zip(&timing.invocations) {
+            inv.seconds = t.seconds;
+            inv.sync_epoch = t.sync_epoch;
+        }
+        Ok(out)
+    }
+
+    /// Total dynamic instructions across invocations.
+    pub fn total_instructions(&self) -> u64 {
+        self.invocations.iter().map(|i| i.instructions).sum()
+    }
+
+    /// Total kernel seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.invocations.iter().map(|i| i.seconds).sum()
+    }
+
+    /// Whole-program measured seconds-per-instruction (the
+    /// denominator of Equation 1).
+    pub fn measured_spi(&self) -> f64 {
+        let instrs = self.total_instructions();
+        if instrs == 0 {
+            0.0
+        } else {
+            self.total_seconds() / instrs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A synthetic app with `epochs` sync epochs, each containing
+    /// `per_epoch` invocations alternating between two kernels with
+    /// different SPIs. Kernel 0 is "fast compute", kernel 1 is
+    /// "slow memory".
+    pub fn synthetic_app(epochs: u32, per_epoch: u32) -> AppData {
+        let mut invocations = Vec::new();
+        for e in 0..epochs {
+            for i in 0..per_epoch {
+                let k = i % 2;
+                let instructions = if k == 0 { 10_000 } else { 4_000 };
+                let spi = if k == 0 { 1e-9 } else { 5e-9 };
+                invocations.push(InvRecord {
+                    index: invocations.len() as u32,
+                    kernel_index: k,
+                    global_work_size: 256,
+                    args_digest: (e as u64) << 8 | i as u64,
+                    bb_counts: if k == 0 { vec![1, 100, 1] } else { vec![1, 40] },
+                    instructions,
+                    bytes_read: if k == 0 { 1_000 } else { 64_000 },
+                    bytes_written: 500,
+                    seconds: instructions as f64 * spi,
+                    sync_epoch: e,
+                });
+            }
+        }
+        AppData {
+            app: "synthetic".into(),
+            kernels: vec![
+                KernelShape { name: "compute".into(), block_sizes: vec![5, 95, 3] },
+                KernelShape { name: "memory".into(), block_sizes: vec![5, 98] },
+            ],
+            invocations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::synthetic_app;
+    use super::*;
+
+    #[test]
+    fn measured_spi_is_time_over_instructions() {
+        let d = synthetic_app(2, 4);
+        let spi = d.measured_spi();
+        assert!(spi > 0.0);
+        assert!(
+            (spi - d.total_seconds() / d.total_instructions() as f64).abs() < 1e-18
+        );
+    }
+
+    #[test]
+    fn with_timings_rejects_mismatched_lengths() {
+        let d = synthetic_app(1, 4);
+        let timing = CofluentReport {
+            app: "x".into(),
+            device: "dev".into(),
+            total_api_calls: 0,
+            kind_counts: [0; 3],
+            per_call_counts: Default::default(),
+            invocations: Vec::new(),
+            num_sync_epochs: 0,
+        };
+        assert!(matches!(
+            d.with_timings(&timing),
+            Err(MergeError::LengthMismatch { .. })
+        ));
+    }
+}

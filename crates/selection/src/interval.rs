@@ -1,0 +1,244 @@
+//! Interval schemes — Table II of the paper.
+//!
+//! GPU intervals are subject to hard constraints the paper's
+//! simulator teams imposed: an interval is **at least one whole
+//! kernel invocation** and **never spans a synchronization call**.
+//! Three schemes satisfy them at different granularities:
+//!
+//! | scheme | relative size |
+//! |---|---|
+//! | synchronization-bounded | large |
+//! | ~N instructions (paper: ~100M) | medium |
+//! | single kernel invocation | small |
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::AppData;
+
+/// How to divide a program trace into intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntervalScheme {
+    /// Split at each synchronization call (largest intervals).
+    SyncBounded,
+    /// Subdivide sync epochs into runs of approximately this many
+    /// dynamic instructions, without splitting invocations (the
+    /// paper's "approximately 100M instructions").
+    ApproxInstructions(u64),
+    /// Every kernel invocation is its own interval (smallest).
+    SingleKernel,
+}
+
+impl IntervalScheme {
+    /// Short label used in tables and reports.
+    pub fn label(&self) -> String {
+        match self {
+            IntervalScheme::SyncBounded => "sync".to_string(),
+            IntervalScheme::ApproxInstructions(n) => format!("approx-{n}"),
+            IntervalScheme::SingleKernel => "single-kernel".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for IntervalScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A half-open range of invocation indices `[start, end)` — always
+/// whole invocations, never crossing a sync epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// First invocation index.
+    pub start: usize,
+    /// One past the last invocation index.
+    pub end: usize,
+}
+
+impl Interval {
+    /// Number of invocations covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty (never produced by
+    /// [`build_intervals`]).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Dynamic instructions in this interval.
+    pub fn instructions(&self, data: &AppData) -> u64 {
+        data.invocations[self.start..self.end]
+            .iter()
+            .map(|i| i.instructions)
+            .sum()
+    }
+
+    /// Measured seconds in this interval.
+    pub fn seconds(&self, data: &AppData) -> f64 {
+        data.invocations[self.start..self.end]
+            .iter()
+            .map(|i| i.seconds)
+            .sum()
+    }
+
+    /// Seconds-per-instruction of the interval.
+    pub fn spi(&self, data: &AppData) -> f64 {
+        let n = self.instructions(data);
+        if n == 0 {
+            0.0
+        } else {
+            self.seconds(data) / n as f64
+        }
+    }
+}
+
+/// The default medium-interval target for an application — the
+/// analogue of the paper's fixed "~100M instructions" at our workload
+/// scale: roughly two sub-intervals per synchronization epoch, which
+/// reproduces Table II's sync : approx ratio.
+pub fn default_approx_target(data: &AppData) -> u64 {
+    let epochs = data
+        .invocations
+        .last()
+        .map(|i| i.sync_epoch as u64 + 1)
+        .unwrap_or(1);
+    (data.total_instructions() / (2 * epochs).max(1)).max(1_000)
+}
+
+/// Divide `data` into intervals under `scheme`.
+///
+/// The result partitions the invocation sequence exactly: intervals
+/// are contiguous, non-empty, cover every invocation once, and never
+/// straddle a synchronization epoch.
+pub fn build_intervals(data: &AppData, scheme: IntervalScheme) -> Vec<Interval> {
+    let n = data.invocations.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+
+    // Epoch boundaries first: indices where a new epoch starts.
+    let mut epoch_starts = vec![0usize];
+    for i in 1..n {
+        if data.invocations[i].sync_epoch != data.invocations[i - 1].sync_epoch {
+            epoch_starts.push(i);
+        }
+    }
+    epoch_starts.push(n);
+
+    match scheme {
+        IntervalScheme::SyncBounded => {
+            for w in epoch_starts.windows(2) {
+                out.push(Interval { start: w[0], end: w[1] });
+            }
+        }
+        IntervalScheme::SingleKernel => {
+            for i in 0..n {
+                out.push(Interval { start: i, end: i + 1 });
+            }
+        }
+        IntervalScheme::ApproxInstructions(target) => {
+            let target = target.max(1);
+            for w in epoch_starts.windows(2) {
+                let (mut start, end) = (w[0], w[1]);
+                let mut acc = 0u64;
+                for i in w[0]..end {
+                    acc += data.invocations[i].instructions;
+                    if acc >= target {
+                        out.push(Interval { start, end: i + 1 });
+                        start = i + 1;
+                        acc = 0;
+                    }
+                }
+                if start < end {
+                    out.push(Interval { start, end });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::test_support::synthetic_app;
+
+    fn assert_partition(data: &AppData, intervals: &[Interval]) {
+        assert!(!intervals.is_empty());
+        let mut cursor = 0;
+        for iv in intervals {
+            assert_eq!(iv.start, cursor, "contiguous");
+            assert!(!iv.is_empty(), "non-empty");
+            cursor = iv.end;
+            // Never straddles an epoch.
+            let e = data.invocations[iv.start].sync_epoch;
+            for i in iv.start..iv.end {
+                assert_eq!(data.invocations[i].sync_epoch, e, "single epoch per interval");
+            }
+        }
+        assert_eq!(cursor, data.invocations.len(), "covers everything");
+    }
+
+    #[test]
+    fn sync_bounded_matches_epochs() {
+        let d = synthetic_app(5, 6);
+        let ivs = build_intervals(&d, IntervalScheme::SyncBounded);
+        assert_eq!(ivs.len(), 5);
+        assert_partition(&d, &ivs);
+    }
+
+    #[test]
+    fn single_kernel_is_one_per_invocation() {
+        let d = synthetic_app(3, 4);
+        let ivs = build_intervals(&d, IntervalScheme::SingleKernel);
+        assert_eq!(ivs.len(), 12);
+        assert_partition(&d, &ivs);
+    }
+
+    #[test]
+    fn approx_instructions_sits_between() {
+        let d = synthetic_app(4, 8);
+        // Each epoch ≈ 4×10k + 4×4k = 56k instructions.
+        let sync = build_intervals(&d, IntervalScheme::SyncBounded).len();
+        let approx = build_intervals(&d, IntervalScheme::ApproxInstructions(20_000)).len();
+        let single = build_intervals(&d, IntervalScheme::SingleKernel).len();
+        assert!(sync <= approx && approx <= single, "{sync} <= {approx} <= {single}");
+        assert_partition(&d, &build_intervals(&d, IntervalScheme::ApproxInstructions(20_000)));
+    }
+
+    #[test]
+    fn oversized_invocations_get_their_own_interval() {
+        let d = synthetic_app(1, 6);
+        // Target far below any single invocation.
+        let ivs = build_intervals(&d, IntervalScheme::ApproxInstructions(1));
+        assert_eq!(ivs.len(), 6, "every invocation exceeds the target alone");
+        assert_partition(&d, &ivs);
+    }
+
+    #[test]
+    fn huge_target_collapses_to_sync_bounds() {
+        let d = synthetic_app(3, 5);
+        let ivs = build_intervals(&d, IntervalScheme::ApproxInstructions(u64::MAX));
+        assert_eq!(ivs.len(), 3, "target never reached within an epoch");
+    }
+
+    #[test]
+    fn interval_spi_matches_hand_computation() {
+        let d = synthetic_app(1, 2);
+        let iv = Interval { start: 0, end: 2 };
+        let spi = iv.spi(&d);
+        let secs = d.invocations[0].seconds + d.invocations[1].seconds;
+        let instrs = d.invocations[0].instructions + d.invocations[1].instructions;
+        assert!((spi - secs / instrs as f64).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_data_yields_no_intervals() {
+        let mut d = synthetic_app(1, 1);
+        d.invocations.clear();
+        assert!(build_intervals(&d, IntervalScheme::SyncBounded).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Validation of selections across trials, frequencies, and
+//! architecture generations — Figure 8 of the paper.
+//!
+//! One set of selections (intervals + representation ratios) is made
+//! from a single recorded trial; replays of the same recording on
+//! other trials/machines produce new per-invocation timings, and the
+//! old selections must still project the new whole-program SPI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::AppData;
+use crate::evaluate::{error_pct, projected_spi, Evaluation};
+
+/// The error of applying an existing selection to a new trial's
+/// timing data.
+///
+/// `new_data` must be the same recording replayed (same invocation
+/// order and counts, new seconds); the intervals and ratios of
+/// `selection` are reused verbatim.
+pub fn cross_error_pct(selection: &Evaluation, new_data: &AppData) -> f64 {
+    let measured = new_data.measured_spi();
+    let projected = projected_spi(new_data, &selection.intervals, &selection.selection);
+    error_pct(measured, projected)
+}
+
+/// One validation row of Figure 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationPoint {
+    /// What varied ("trial 3", "700MHz", "Haswell HD4600").
+    pub label: String,
+    /// Error of the original selections on the new execution
+    /// (percent).
+    pub error_pct: f64,
+}
+
+/// Validate a selection against several replayed executions.
+pub fn validate_against(
+    selection: &Evaluation,
+    replays: &[(String, AppData)],
+) -> Vec<ValidationPoint> {
+    replays
+        .iter()
+        .map(|(label, data)| ValidationPoint {
+            label: label.clone(),
+            error_pct: cross_error_pct(selection, data),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::test_support::synthetic_app;
+    use crate::evaluate::{evaluate_config, SelectionConfig};
+    use crate::features::FeatureKind;
+    use crate::interval::IntervalScheme;
+    use simpoint::SimpointConfig;
+
+    fn base_selection() -> (Evaluation, AppData) {
+        let d = synthetic_app(5, 6);
+        let e = evaluate_config(
+            &d,
+            SelectionConfig {
+                interval: IntervalScheme::SyncBounded,
+                features: FeatureKind::Bb,
+            },
+            &SimpointConfig::default(),
+        )
+        .unwrap();
+        (e, d)
+    }
+
+    #[test]
+    fn same_data_reproduces_same_error() {
+        let (e, d) = base_selection();
+        let err = cross_error_pct(&e, &d);
+        assert!((err - e.error_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_slowdown_cancels_in_relative_error() {
+        // A frequency change scaling every invocation equally leaves
+        // relative projection error unchanged.
+        let (e, d) = base_selection();
+        let mut slow = d.clone();
+        for inv in &mut slow.invocations {
+            inv.seconds *= 3.0;
+        }
+        let err = cross_error_pct(&e, &slow);
+        assert!((err - e.error_pct).abs() < 1e-6, "{err} vs {}", e.error_pct);
+    }
+
+    #[test]
+    fn selective_perturbation_of_unselected_work_shows_up_as_error() {
+        let (e, d) = base_selection();
+        let selected: std::collections::HashSet<usize> = e
+            .selection
+            .picks
+            .iter()
+            .flat_map(|p| {
+                let iv = e.intervals[p.interval];
+                iv.start..iv.end
+            })
+            .collect();
+        let mut skewed = d.clone();
+        for inv in &mut skewed.invocations {
+            if !selected.contains(&(inv.index as usize)) {
+                inv.seconds *= 4.0;
+            }
+        }
+        let err = cross_error_pct(&e, &skewed);
+        assert!(
+            err > e.error_pct + 5.0,
+            "skewing only unselected intervals must hurt: {err} vs {}",
+            e.error_pct
+        );
+    }
+
+    #[test]
+    fn validate_against_labels_every_replay() {
+        let (e, d) = base_selection();
+        let replays = vec![("trial 2".to_string(), d.clone()), ("trial 3".to_string(), d)];
+        let points = validate_against(&e, &replays);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].label, "trial 2");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the selection methodology over randomly
+//! generated application datasets.
+
+use proptest::prelude::*;
+use simpoint::SimpointConfig;
+use subset_select::{
+    all_configs, build_intervals, evaluate_config, AppData, FeatureKind, InvRecord,
+    IntervalScheme, KernelShape, SelectionConfig,
+};
+
+prop_compose! {
+    fn arb_invocation(index: u32, epoch: u32)(
+        kernel in 0u32..3,
+        gws in prop::sample::select(vec![64u64, 256, 512]),
+        trip in 1u64..20,
+        spi_scale in 1u64..6,
+    ) -> InvRecord {
+        let instructions = 500 + trip * 120;
+        InvRecord {
+            index,
+            kernel_index: kernel,
+            global_work_size: gws,
+            args_digest: trip.wrapping_mul(0x9E37_79B9) ^ kernel as u64,
+            bb_counts: vec![1, trip, trip / 2 + 1],
+            instructions,
+            bytes_read: instructions * 3,
+            bytes_written: instructions / 2,
+            seconds: instructions as f64 * spi_scale as f64 * 1e-9,
+            sync_epoch: epoch,
+        }
+    }
+}
+
+fn arb_app() -> impl Strategy<Value = AppData> {
+    (2u32..6, 2u32..8).prop_flat_map(|(epochs, per_epoch)| {
+        let mut strategies = Vec::new();
+        for e in 0..epochs {
+            for i in 0..per_epoch {
+                strategies.push(arb_invocation(e * per_epoch + i, e));
+            }
+        }
+        strategies.prop_map(|invocations| AppData {
+            app: "prop".into(),
+            kernels: (0..3)
+                .map(|k| KernelShape {
+                    name: format!("k{k}"),
+                    block_sizes: vec![6, 40, 12],
+                })
+                .collect(),
+            invocations,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every interval scheme partitions the trace exactly and never
+    /// straddles a synchronization epoch.
+    #[test]
+    fn interval_schemes_partition(data in arb_app(), target in 1_000u64..50_000) {
+        for scheme in [
+            IntervalScheme::SyncBounded,
+            IntervalScheme::ApproxInstructions(target),
+            IntervalScheme::SingleKernel,
+        ] {
+            let intervals = build_intervals(&data, scheme);
+            let mut cursor = 0;
+            for iv in &intervals {
+                prop_assert_eq!(iv.start, cursor);
+                prop_assert!(!iv.is_empty());
+                let epoch = data.invocations[iv.start].sync_epoch;
+                for i in iv.start..iv.end {
+                    prop_assert_eq!(data.invocations[i].sync_epoch, epoch);
+                }
+                cursor = iv.end;
+            }
+            prop_assert_eq!(cursor, data.invocations.len());
+        }
+    }
+
+    /// Ratios always sum to one, errors are finite, selections are
+    /// subsets — for every one of the 30 configurations.
+    #[test]
+    fn evaluations_are_well_formed(data in arb_app()) {
+        for config in all_configs(20_000) {
+            let e = evaluate_config(&data, config, &SimpointConfig::default())
+                .expect("evaluates");
+            prop_assert!((e.selection.total_ratio() - 1.0).abs() < 1e-9, "{}", config);
+            prop_assert!(e.error_pct.is_finite());
+            prop_assert!(e.selected_instructions <= e.total_instructions);
+            prop_assert!(e.selection.k >= 1 && e.selection.k <= 10);
+            for pick in &e.selection.picks {
+                prop_assert!(pick.interval < e.intervals.len());
+            }
+        }
+    }
+
+    /// With one cluster per interval, projection is exact (the
+    /// weighted-mean identity behind Equation 1).
+    #[test]
+    fn full_selection_projects_exactly(data in arb_app()) {
+        let sp = SimpointConfig { max_k: 10_000, bic_fraction: 1.0, ..Default::default() };
+        let e = evaluate_config(
+            &data,
+            SelectionConfig {
+                interval: IntervalScheme::SingleKernel,
+                features: FeatureKind::KnArgsGws,
+            },
+            &sp,
+        )
+        .expect("evaluates");
+        if e.selection.k == e.intervals.len() {
+            prop_assert!(e.error_pct < 1e-6, "error {}", e.error_pct);
+        }
+    }
+
+    /// Scaling every invocation's time by a constant leaves the
+    /// relative projection error unchanged (SPI error is
+    /// scale-invariant).
+    #[test]
+    fn error_is_time_scale_invariant(data in arb_app(), scale in 1u32..20) {
+        let cfg = SelectionConfig {
+            interval: IntervalScheme::SyncBounded,
+            features: FeatureKind::Bb,
+        };
+        let base = evaluate_config(&data, cfg, &SimpointConfig::default()).expect("evaluates");
+        let mut scaled = data.clone();
+        for inv in &mut scaled.invocations {
+            inv.seconds *= scale as f64;
+        }
+        let after = evaluate_config(&scaled, cfg, &SimpointConfig::default()).expect("evaluates");
+        prop_assert!((base.error_pct - after.error_pct).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,95 @@
+//! Random projection of sparse feature vectors to a small dense
+//! space, as SimPoint 3.0 does before clustering (15 dimensions by
+//! default; Hamerly et al. 2005).
+//!
+//! Each sparse key is deterministically hashed to a ±1 vector, so
+//! the projection needs no stored matrix and is stable across runs.
+
+use crate::vector::FeatureVector;
+
+/// Default projected dimensionality (SimPoint's choice).
+pub const DEFAULT_DIMS: usize = 15;
+
+/// Project one sparse vector to `dims` dense dimensions under `seed`.
+pub fn project(v: &FeatureVector, dims: usize, seed: u64) -> Vec<f64> {
+    let mut out = vec![0.0; dims];
+    for (key, value) in v.iter() {
+        for (d, slot) in out.iter_mut().enumerate() {
+            let h = mix(seed ^ key, d as u64);
+            let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
+            *slot += value * sign;
+        }
+    }
+    out
+}
+
+/// Project a batch of vectors.
+pub fn project_all(vectors: &[FeatureVector], dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    vectors.iter().map(|v| project(v, dims, seed)).collect()
+}
+
+/// Squared Euclidean distance between dense points.
+pub fn distance2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut v = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    v ^= v >> 30;
+    v = v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    v ^= v >> 27;
+    v = v.wrapping_mul(0x94D0_49BB_1331_11EB);
+    v ^= v >> 31;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(pairs: &[(u64, f64)]) -> FeatureVector {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let v = vec_of(&[(1, 0.5), (7, 0.5)]);
+        assert_eq!(project(&v, 15, 42), project(&v, 15, 42));
+    }
+
+    #[test]
+    fn different_seeds_give_different_projections() {
+        let v = vec_of(&[(1, 0.5), (7, 0.5)]);
+        assert_ne!(project(&v, 15, 1), project(&v, 15, 2));
+    }
+
+    #[test]
+    fn identical_vectors_project_identically() {
+        let a = vec_of(&[(3, 1.0)]);
+        let b = vec_of(&[(3, 1.0)]);
+        assert_eq!(distance2(&project(&a, 15, 9), &project(&b, 15, 9)), 0.0);
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let a = vec_of(&[(3, 1.0)]);
+        let b = vec_of(&[(5, 2.0)]);
+        let sum = vec_of(&[(3, 1.0), (5, 2.0)]);
+        let pa = project(&a, 8, 7);
+        let pb = project(&b, 8, 7);
+        let ps = project(&sum, 8, 7);
+        for d in 0..8 {
+            assert!((pa[d] + pb[d] - ps[d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_roughly_preserved_for_distinct_vectors() {
+        // Vectors far apart in the sparse space stay apart in the
+        // projected space (Johnson–Lindenstrauss, qualitatively).
+        let a = vec_of(&[(1, 1.0)]);
+        let b = vec_of(&[(2, 1.0)]);
+        let d = distance2(&project(&a, 15, 3), &project(&b, 15, 3));
+        assert!(d > 0.0, "distinct keys must not collapse");
+    }
+}

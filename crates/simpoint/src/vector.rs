@@ -1,0 +1,159 @@
+//! Sparse feature vectors.
+//!
+//! A feature vector summarizes one execution interval as a set of
+//! `(key, value)` pairs, where keys are program events ("calls to
+//! kernel foo", "executions of basic block 12 of kernel 3") and
+//! values are instruction-weighted dynamic counts (Section V-B of
+//! the paper).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse, high-dimensional feature vector with `u64` keys.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    entries: BTreeMap<u64, f64>,
+}
+
+impl FeatureVector {
+    /// An empty vector.
+    pub fn new() -> FeatureVector {
+        FeatureVector::default()
+    }
+
+    /// Add `value` to the entry for `key` (creating it at zero).
+    pub fn add(&mut self, key: u64, value: f64) {
+        *self.entries.entry(key).or_insert(0.0) += value;
+    }
+
+    /// The value for `key` (zero when absent).
+    pub fn get(&self, key: u64) -> f64 {
+        self.entries.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all values (the L1 mass).
+    pub fn l1(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Normalize to unit L1 mass, so intervals of different lengths
+    /// become comparable. No-op on empty or zero vectors.
+    pub fn normalize(&mut self) {
+        let mass = self.l1();
+        if mass > 0.0 {
+            for v in self.entries.values_mut() {
+                *v /= mass;
+            }
+        }
+    }
+
+    /// Iterate `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Squared Euclidean distance in the sparse space (mostly used
+    /// by tests; clustering runs in the projected space).
+    pub fn sparse_distance2(&self, other: &FeatureVector) -> f64 {
+        let mut sum = 0.0;
+        let mut it_a = self.entries.iter().peekable();
+        let mut it_b = other.entries.iter().peekable();
+        loop {
+            match (it_a.peek(), it_b.peek()) {
+                (Some((&ka, &va)), Some((&kb, &vb))) => {
+                    if ka == kb {
+                        sum += (va - vb) * (va - vb);
+                        it_a.next();
+                        it_b.next();
+                    } else if ka < kb {
+                        sum += va * va;
+                        it_a.next();
+                    } else {
+                        sum += vb * vb;
+                        it_b.next();
+                    }
+                }
+                (Some((_, &va)), None) => {
+                    sum += va * va;
+                    it_a.next();
+                }
+                (None, Some((_, &vb))) => {
+                    sum += vb * vb;
+                    it_b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        sum
+    }
+}
+
+impl FromIterator<(u64, f64)> for FeatureVector {
+    fn from_iter<T: IntoIterator<Item = (u64, f64)>>(iter: T) -> FeatureVector {
+        let mut v = FeatureVector::new();
+        for (k, val) in iter {
+            v.add(k, val);
+        }
+        v
+    }
+}
+
+impl Extend<(u64, f64)> for FeatureVector {
+    fn extend<T: IntoIterator<Item = (u64, f64)>>(&mut self, iter: T) {
+        for (k, val) in iter {
+            self.add(k, val);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut v = FeatureVector::new();
+        v.add(3, 2.0);
+        v.add(3, 1.5);
+        v.add(9, 1.0);
+        assert_eq!(v.get(3), 3.5);
+        assert_eq!(v.get(9), 1.0);
+        assert_eq!(v.get(42), 0.0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn normalize_produces_unit_mass() {
+        let mut v: FeatureVector = [(1, 3.0), (2, 1.0)].into_iter().collect();
+        v.normalize();
+        assert!((v.l1() - 1.0).abs() < 1e-12);
+        assert!((v.get(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_of_empty_is_noop() {
+        let mut v = FeatureVector::new();
+        v.normalize();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn sparse_distance_merges_keys() {
+        let a: FeatureVector = [(1, 1.0), (2, 2.0)].into_iter().collect();
+        let b: FeatureVector = [(2, 2.0), (3, 3.0)].into_iter().collect();
+        // (1-0)² + (2-2)² + (0-3)² = 10
+        assert!((a.sparse_distance2(&b) - 10.0).abs() < 1e-12);
+        assert_eq!(a.sparse_distance2(&a), 0.0);
+    }
+}

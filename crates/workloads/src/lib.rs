@@ -1,0 +1,35 @@
+//! # workloads
+//!
+//! The 25 commercial and benchmark OpenCL applications of the GT-Pin
+//! study (Table I), reproduced as calibrated synthetic programs:
+//! 15 CompuBench CL 1.2 apps (desktop + mobile), 3 SiSoftware Sandra
+//! 2014 apps, and 7 Sony Vegas Pro press-project regions.
+//!
+//! Each application is generated from a [`WorkloadSpec`] whose knobs
+//! are calibrated to the shapes the paper reports: API-call
+//! breakdowns (Figure 3a), program structures (3b), dynamic work
+//! (3c, scaled to ~1e-5), instruction mixes (4a), SIMD widths (4b),
+//! and memory byte intensities (4c). Programs have genuine *phase*
+//! structure — per-phase kernel subsets, argument scales, selector
+//! branches, and work sizes — which is what simulation subset
+//! selection exploits.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{build_program, spec_by_name, Scale};
+//!
+//! let spec = spec_by_name("cb-throughput-juliaset").expect("known app");
+//! let program = build_program(&spec, Scale::Test);
+//! assert!(program.num_invocations() > 0);
+//! ```
+
+pub mod builder;
+pub mod luxmark;
+pub mod spec;
+pub mod suite;
+
+pub use builder::build_program;
+pub use luxmark::luxmark_score;
+pub use spec::{MixProfile, Scale, SimdProfile, Suite, WorkloadSpec};
+pub use suite::{all_specs, figure5_sample_names, spec_by_name};

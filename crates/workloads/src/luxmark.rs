@@ -1,0 +1,83 @@
+//! A LuxMark-style raw-throughput score, used in Section V-E of the
+//! paper to compare generations: the HD 4000 scored 269 and the
+//! HD 4600 scored 351 (higher is better).
+
+use gen_isa::ExecSize;
+use gpu_device::{Gpu, GpuConfig};
+use ocl_runtime::api::{ArgValue, KernelId, SyncCall};
+use ocl_runtime::host::{HostScriptBuilder, ProgramSource};
+use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+use ocl_runtime::runtime::{OclRuntime, Schedule};
+
+/// Run the render-like scoring workload on `config` and return the
+/// score (work per second, scaled to LuxMark-like magnitudes).
+///
+/// # Panics
+///
+/// Panics if the fixed internal workload fails to run — that would
+/// be a bug in the device model.
+pub fn luxmark_score(config: GpuConfig) -> f64 {
+    let mut trace = KernelIr::new("trace_rays", 2);
+    trace.body = vec![
+        IrOp::LoopBegin { trip: TripCount::Arg(0) },
+        IrOp::Compute { ops: 30, width: ExecSize::S16 },
+        IrOp::MathCompute { ops: 6, width: ExecSize::S8 },
+        IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopEnd,
+    ];
+    let mut shade = KernelIr::new("shade", 2);
+    shade.body = vec![
+        IrOp::LoopBegin { trip: TripCount::Arg(0) },
+        IrOp::Compute { ops: 20, width: ExecSize::S16 },
+        IrOp::Store { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopEnd,
+    ];
+    let source = ProgramSource { kernels: vec![trace, shade] };
+    let mut b = HostScriptBuilder::new("luxmark", source);
+    b.create_buffer(0, 1 << 20);
+    for scene in 0..6u64 {
+        for _ in 0..4 {
+            for k in 0..2u32 {
+                b.set_arg(KernelId(k), 0, ArgValue::Scalar(20 + scene * 4));
+                b.set_arg(KernelId(k), 1, ArgValue::Buffer(0));
+                b.launch(KernelId(k), 2048);
+            }
+        }
+        b.sync(SyncCall::Finish);
+    }
+    let program = b.finish().expect("luxmark program is well-formed");
+
+    let mut rt = OclRuntime::new(Gpu::new(GpuConfig { noise: 0.0, ..config }));
+    let report = rt.run(&program, Schedule::Replay).expect("luxmark runs");
+    let gpu = rt.into_device();
+    let work: u64 = gpu.total_stats().instructions;
+    let seconds = report.cofluent.total_kernel_seconds();
+    // Scaled so the HD 4000 lands near its published score of 269.
+    work as f64 / seconds / 3.1e7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_device::GpuConfig;
+
+    #[test]
+    fn haswell_beats_ivy_bridge_as_in_the_paper() {
+        let ivy = luxmark_score(GpuConfig::hd4000());
+        let hsw = luxmark_score(GpuConfig::hd4600());
+        assert!(
+            hsw > ivy,
+            "HD4600 ({hsw:.0}) must outscore HD4000 ({ivy:.0}), as 351 vs 269 in the paper"
+        );
+        let ratio = hsw / ivy;
+        assert!(
+            (1.05..1.8).contains(&ratio),
+            "speedup ratio {ratio:.2} should be modest, like 351/269 ≈ 1.30"
+        );
+    }
+
+    #[test]
+    fn score_is_deterministic() {
+        assert_eq!(luxmark_score(GpuConfig::hd4000()), luxmark_score(GpuConfig::hd4000()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Workload specifications: the calibration knobs that shape each of
+//! the 25 applications of Table I.
+//!
+//! Every knob traces to a figure in the paper: API-call fractions to
+//! Figure 3a, kernel/block counts to Figure 3b, invocation and
+//! instruction counts to Figure 3c (scaled by [`Scale`]),
+//! instruction mixes to Figure 4a, SIMD widths to Figure 4b, and
+//! byte intensities to Figure 4c.
+
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark suite an application comes from (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// CompuBench CL 1.2 Desktop.
+    CompuBenchDesktop,
+    /// CompuBench CL 1.2 Mobile.
+    CompuBenchMobile,
+    /// SiSoftware Sandra 2014.
+    Sandra,
+    /// Sony Vegas Pro 2013 press-project regions.
+    SonyVegas,
+}
+
+impl Suite {
+    /// Display name as in Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::CompuBenchDesktop => "CompuBench CL 1.2 Desktop",
+            Suite::CompuBenchMobile => "CompuBench CL 1.2 Mobile",
+            Suite::Sandra => "SiSoftware Sandra 2014",
+            Suite::SonyVegas => "Sony Vegas Pro 2013",
+        }
+    }
+}
+
+/// Dynamic instruction-mix targets (fractions of Figure 4a; sums to
+/// ~1, the generator treats them as proportions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixProfile {
+    /// `mov`/`sel` fraction.
+    pub moves: f64,
+    /// Logic fraction.
+    pub logic: f64,
+    /// Control fraction.
+    pub control: f64,
+    /// Computation fraction.
+    pub compute: f64,
+    /// Send fraction.
+    pub send: f64,
+}
+
+/// SIMD-width mix targets (fractions of Figure 4b; widths 16/8/4/1 —
+/// width 2 is never used, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimdProfile {
+    /// 16-wide fraction.
+    pub w16: f64,
+    /// 8-wide fraction.
+    pub w8: f64,
+    /// 4-wide fraction.
+    pub w4: f64,
+    /// Scalar fraction.
+    pub w1: f64,
+}
+
+/// Execution scale: divides instruction and invocation targets so
+/// tests stay fast while benches run the calibrated sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// ÷8 on both instructions and invocations (per-invocation size
+    /// is preserved) — unit/integration tests.
+    Test,
+    /// The calibrated size (~1e-5 of the paper's dynamic counts).
+    Default,
+}
+
+impl Scale {
+    /// Divisor applied to the instruction target.
+    pub fn instruction_divisor(self) -> u64 {
+        match self {
+            Scale::Test => 8,
+            Scale::Default => 1,
+        }
+    }
+
+    /// Divisor applied to the invocation count.
+    pub fn invocation_divisor(self) -> u32 {
+        match self {
+            Scale::Test => 8,
+            Scale::Default => 1,
+        }
+    }
+}
+
+/// The full knob set for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Application name (paper's x-axis labels).
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Unique kernels (Figure 3b: 1–50, mean 10.2).
+    pub unique_kernels: u32,
+    /// Approximate unique basic blocks across kernels (Figure 3b:
+    /// 7–11500, mean 1139).
+    pub total_bbs: u32,
+    /// Kernel invocations (Figure 3c, scaled ÷8 from the paper).
+    pub invocations: u32,
+    /// Total dynamic instruction target (Figure 3c, ~1e-5 of paper).
+    pub target_instructions: u64,
+    /// Fraction of API calls that are kernel launches (Figure 3a;
+    /// bitcoin 4.5%, part-sim-32k 76.5%, typical ~15%).
+    pub kernel_call_frac: f64,
+    /// Fraction that are synchronization calls (juliaset 25.7%,
+    /// average 6.8%, most below 3%).
+    pub sync_frac: f64,
+    /// Instruction-mix targets.
+    pub mix: MixProfile,
+    /// SIMD-width targets.
+    pub simd: SimdProfile,
+    /// Bytes read per dynamic instruction (Figure 4c).
+    pub read_intensity: f64,
+    /// Bytes written per dynamic instruction.
+    pub write_intensity: f64,
+    /// Global work size per launch.
+    pub gws: u64,
+    /// Number of distinct program phases the host script cycles
+    /// through (drives the subset-selection structure).
+    pub phases: u32,
+    /// Whether memory accesses tend to gather (cache-hostile) or
+    /// stream.
+    pub gather_heavy: bool,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Scaled instruction target.
+    pub fn instructions_at(&self, scale: Scale) -> u64 {
+        (self.target_instructions / scale.instruction_divisor()).max(10_000)
+    }
+
+    /// Scaled invocation count.
+    pub fn invocations_at(&self, scale: Scale) -> u32 {
+        (self.invocations / scale.invocation_divisor()).max(8)
+    }
+}

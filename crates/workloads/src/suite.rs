@@ -1,0 +1,468 @@
+//! The 25 applications of Table I, with knobs calibrated to the
+//! shapes reported in Figures 3 and 4 (at ~1e-5 dynamic scale; see
+//! DESIGN.md for the scale note).
+
+use crate::spec::{MixProfile, SimdProfile, Suite, WorkloadSpec};
+
+const MIX_TYPICAL: MixProfile =
+    MixProfile { moves: 0.28, logic: 0.23, control: 0.073, compute: 0.365, send: 0.052 };
+const MIX_COMPUTE: MixProfile =
+    MixProfile { moves: 0.18, logic: 0.15, control: 0.06, compute: 0.56, send: 0.05 };
+const MIX_CRYPTO: MixProfile =
+    MixProfile { moves: 0.20, logic: 0.45, control: 0.05, compute: 0.22, send: 0.08 };
+const MIX_STRESS: MixProfile =
+    MixProfile { moves: 0.03, logic: 0.02, control: 0.02, compute: 0.91, send: 0.02 };
+const MIX_BRANCHY: MixProfile =
+    MixProfile { moves: 0.26, logic: 0.25, control: 0.11, compute: 0.33, send: 0.05 };
+
+const SIMD_TYPICAL: SimdProfile = SimdProfile { w16: 0.55, w8: 0.42, w4: 0.0, w1: 0.03 };
+const SIMD_WIDE: SimdProfile = SimdProfile { w16: 0.80, w8: 0.17, w4: 0.0, w1: 0.03 };
+const SIMD_NARROW: SimdProfile = SimdProfile { w16: 0.30, w8: 0.62, w4: 0.05, w1: 0.03 };
+
+/// The 25 benchmark specifications, in the paper's x-axis order.
+pub fn all_specs() -> Vec<WorkloadSpec> {
+    let mut specs = Vec::with_capacity(25);
+    let mut push = |s: WorkloadSpec| specs.push(s);
+
+    // --- CompuBench CL 1.2 Desktop -------------------------------
+    push(WorkloadSpec {
+        name: "cb-graphics-t-rex",
+        suite: Suite::CompuBenchDesktop,
+        unique_kernels: 24,
+        total_bbs: 2000,
+        invocations: 1500,
+        target_instructions: 6_000_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.02,
+        mix: MIX_TYPICAL,
+        simd: SIMD_WIDE,
+        read_intensity: 4.0,
+        write_intensity: 0.8,
+        gws: 512,
+        phases: 6,
+        gather_heavy: false,
+        seed: 0xA101,
+    });
+    push(WorkloadSpec {
+        name: "cb-physics-ocean-surf",
+        suite: Suite::CompuBenchDesktop,
+        unique_kernels: 12,
+        total_bbs: 900,
+        invocations: 800,
+        target_instructions: 5_000_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.03,
+        mix: MIX_COMPUTE,
+        simd: SIMD_TYPICAL,
+        read_intensity: 3.0,
+        write_intensity: 0.6,
+        gws: 512,
+        phases: 5,
+        gather_heavy: false,
+        seed: 0xA102,
+    });
+    push(WorkloadSpec {
+        name: "cb-physics-part-sim-64k",
+        suite: Suite::CompuBenchDesktop,
+        unique_kernels: 8,
+        total_bbs: 600,
+        invocations: 2000,
+        target_instructions: 8_000_000,
+        kernel_call_frac: 0.20,
+        sync_frac: 0.03,
+        mix: MIX_COMPUTE,
+        simd: SIMD_TYPICAL,
+        read_intensity: 2.5,
+        write_intensity: 1.0,
+        gws: 1024,
+        phases: 5,
+        gather_heavy: false,
+        seed: 0xA103,
+    });
+    push(WorkloadSpec {
+        name: "cb-throughput-bitcoin",
+        suite: Suite::CompuBenchDesktop,
+        unique_kernels: 3,
+        total_bbs: 400,
+        invocations: 700,
+        target_instructions: 12_000_000,
+        kernel_call_frac: 0.045,
+        sync_frac: 0.01,
+        mix: MIX_CRYPTO,
+        simd: SIMD_TYPICAL,
+        read_intensity: 1.0,
+        write_intensity: 0.1,
+        gws: 2048,
+        phases: 3,
+        gather_heavy: false,
+        seed: 0xA104,
+    });
+    push(WorkloadSpec {
+        name: "cb-vision-facedetect",
+        suite: Suite::CompuBenchDesktop,
+        unique_kernels: 20,
+        total_bbs: 1500,
+        invocations: 1200,
+        target_instructions: 4_000_000,
+        kernel_call_frac: 0.12,
+        sync_frac: 0.04,
+        mix: MIX_BRANCHY,
+        simd: SIMD_NARROW,
+        read_intensity: 5.0,
+        write_intensity: 0.4,
+        gws: 256,
+        phases: 6,
+        gather_heavy: true,
+        seed: 0xA105,
+    });
+    push(WorkloadSpec {
+        name: "cb-vision-tv-l1-of",
+        suite: Suite::CompuBenchDesktop,
+        unique_kernels: 15,
+        total_bbs: 1200,
+        invocations: 1800,
+        target_instructions: 7_000_000,
+        kernel_call_frac: 0.14,
+        sync_frac: 0.03,
+        mix: MIX_TYPICAL,
+        simd: SIMD_TYPICAL,
+        read_intensity: 6.0,
+        write_intensity: 0.8,
+        gws: 512,
+        phases: 6,
+        gather_heavy: true,
+        seed: 0xA106,
+    });
+
+    // --- CompuBench CL 1.2 Mobile --------------------------------
+    push(WorkloadSpec {
+        name: "cb-graphics-provence",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 30,
+        total_bbs: 2500,
+        invocations: 1000,
+        target_instructions: 5_000_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.02,
+        mix: MIX_TYPICAL,
+        simd: SIMD_WIDE,
+        read_intensity: 4.5,
+        write_intensity: 0.9,
+        gws: 512,
+        phases: 6,
+        gather_heavy: false,
+        seed: 0xB201,
+    });
+    push(WorkloadSpec {
+        name: "cb-gaussian-buffer",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 2,
+        total_bbs: 30,
+        invocations: 250,
+        target_instructions: 1_500_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.05,
+        mix: MIX_TYPICAL,
+        simd: SIMD_TYPICAL,
+        read_intensity: 5.5,
+        write_intensity: 2.0,
+        gws: 512,
+        phases: 3,
+        gather_heavy: false,
+        seed: 0xB202,
+    });
+    push(WorkloadSpec {
+        name: "cb-gaussian-image",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 1,
+        total_bbs: 12,
+        invocations: 55,
+        target_instructions: 600_000,
+        kernel_call_frac: 0.12,
+        sync_frac: 0.06,
+        mix: MIX_TYPICAL,
+        simd: SIMD_TYPICAL,
+        read_intensity: 5.0,
+        write_intensity: 2.2,
+        gws: 512,
+        phases: 2,
+        gather_heavy: false,
+        seed: 0xB203,
+    });
+    push(WorkloadSpec {
+        name: "cb-histogram-buffer",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 2,
+        total_bbs: 16,
+        invocations: 300,
+        target_instructions: 1_000_000,
+        kernel_call_frac: 0.18,
+        sync_frac: 0.05,
+        mix: MIX_BRANCHY,
+        simd: SIMD_NARROW,
+        read_intensity: 6.5,
+        write_intensity: 0.3,
+        gws: 256,
+        phases: 3,
+        gather_heavy: true,
+        seed: 0xB204,
+    });
+    push(WorkloadSpec {
+        name: "cb-histogram-image",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 1,
+        total_bbs: 7,
+        invocations: 200,
+        target_instructions: 800_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.05,
+        mix: MIX_BRANCHY,
+        simd: SIMD_NARROW,
+        read_intensity: 6.0,
+        write_intensity: 0.3,
+        gws: 256,
+        phases: 3,
+        gather_heavy: true,
+        seed: 0xB205,
+    });
+    push(WorkloadSpec {
+        name: "cb-physics-part-sim-32k",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 8,
+        total_bbs: 600,
+        invocations: 2200,
+        target_instructions: 6_000_000,
+        kernel_call_frac: 0.765,
+        sync_frac: 0.02,
+        mix: MIX_COMPUTE,
+        simd: SIMD_TYPICAL,
+        read_intensity: 2.0,
+        write_intensity: 0.9,
+        gws: 512,
+        phases: 5,
+        gather_heavy: false,
+        seed: 0xB206,
+    });
+    push(WorkloadSpec {
+        name: "cb-throughput-ao",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 4,
+        total_bbs: 250,
+        invocations: 400,
+        target_instructions: 5_000_000,
+        kernel_call_frac: 0.20,
+        sync_frac: 0.04,
+        mix: MIX_COMPUTE,
+        simd: SIMD_WIDE,
+        read_intensity: 2.0,
+        write_intensity: 0.5,
+        gws: 1024,
+        phases: 4,
+        gather_heavy: false,
+        seed: 0xB207,
+    });
+    push(WorkloadSpec {
+        name: "cb-throughput-juliaset",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 1,
+        total_bbs: 60,
+        invocations: 100,
+        target_instructions: 3_000_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.257,
+        mix: MIX_COMPUTE,
+        simd: SIMD_WIDE,
+        read_intensity: 0.5,
+        write_intensity: 0.4,
+        gws: 2048,
+        phases: 4,
+        gather_heavy: false,
+        seed: 0xB208,
+    });
+    push(WorkloadSpec {
+        name: "cb-vision-facedetect-m",
+        suite: Suite::CompuBenchMobile,
+        unique_kernels: 18,
+        total_bbs: 1300,
+        invocations: 900,
+        target_instructions: 3_000_000,
+        kernel_call_frac: 0.13,
+        sync_frac: 0.04,
+        mix: MIX_BRANCHY,
+        simd: SIMD_NARROW,
+        read_intensity: 4.5,
+        write_intensity: 0.4,
+        gws: 256,
+        phases: 6,
+        gather_heavy: true,
+        seed: 0xB209,
+    });
+
+    // --- SiSoftware Sandra 2014 ----------------------------------
+    push(WorkloadSpec {
+        name: "sandra-crypt-aes128",
+        suite: Suite::Sandra,
+        unique_kernels: 4,
+        total_bbs: 5000,
+        invocations: 900,
+        target_instructions: 10_000_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.02,
+        mix: MIX_CRYPTO,
+        simd: SIMD_NARROW,
+        read_intensity: 8.0,
+        write_intensity: 1.0,
+        gws: 1024,
+        phases: 4,
+        gather_heavy: false,
+        seed: 0xC301,
+    });
+    push(WorkloadSpec {
+        name: "sandra-crypt-aes256",
+        suite: Suite::Sandra,
+        unique_kernels: 4,
+        total_bbs: 7000,
+        invocations: 900,
+        target_instructions: 12_000_000,
+        kernel_call_frac: 0.15,
+        sync_frac: 0.02,
+        mix: MIX_CRYPTO,
+        simd: SIMD_NARROW,
+        read_intensity: 15.0,
+        write_intensity: 1.2,
+        gws: 1024,
+        phases: 4,
+        gather_heavy: false,
+        seed: 0xC302,
+    });
+    push(WorkloadSpec {
+        name: "sandra-proc-gpu",
+        suite: Suite::Sandra,
+        unique_kernels: 6,
+        total_bbs: 300,
+        invocations: 600,
+        target_instructions: 15_000_000,
+        kernel_call_frac: 0.20,
+        sync_frac: 0.02,
+        mix: MIX_STRESS,
+        simd: SIMD_WIDE,
+        read_intensity: 0.3,
+        write_intensity: 0.1,
+        gws: 1024,
+        phases: 3,
+        gather_heavy: false,
+        seed: 0xC303,
+    });
+
+    // --- Sony Vegas Pro 2013 press-project regions ---------------
+    let sony = [
+        // (region, inv, instr, read, write, phases)
+        (1u32, 1200u32, 5_000_000u64, 0.8, 2.0, 6u32),
+        (2, 1500, 6_000_000, 0.6, 2.5, 7),
+        (3, 1800, 7_000_000, 0.5, 3.0, 7),
+        (4, 2000, 8_000_000, 0.7, 2.2, 8),
+        (5, 2300, 9_000_000, 0.01, 5.25, 8),
+        (6, 1400, 6_000_000, 0.9, 1.8, 6),
+        (7, 1600, 7_000_000, 0.4, 2.8, 7),
+    ];
+    for (r, inv, instr, read, write, phases) in sony {
+        push(WorkloadSpec {
+            name: match r {
+                1 => "sonyvegas-proj-r1",
+                2 => "sonyvegas-proj-r2",
+                3 => "sonyvegas-proj-r3",
+                4 => "sonyvegas-proj-r4",
+                5 => "sonyvegas-proj-r5",
+                6 => "sonyvegas-proj-r6",
+                _ => "sonyvegas-proj-r7",
+            },
+            suite: Suite::SonyVegas,
+            unique_kernels: 10 + r,
+            total_bbs: 700 + 60 * r,
+            invocations: inv,
+            target_instructions: instr,
+            kernel_call_frac: 0.15,
+            sync_frac: 0.03,
+            mix: MIX_TYPICAL,
+            simd: SIMD_TYPICAL,
+            read_intensity: read,
+            write_intensity: write,
+            gws: 512,
+            phases,
+            gather_heavy: false,
+            seed: 0xD400 + r as u64,
+        });
+    }
+
+    specs
+}
+
+/// Look up a spec by name.
+pub fn spec_by_name(name: &str) -> Option<WorkloadSpec> {
+    all_specs().into_iter().find(|s| s.name == name)
+}
+
+/// The three sample applications Figure 5 plots in detail.
+pub fn figure5_sample_names() -> [&'static str; 3] {
+    ["cb-physics-ocean-surf", "sandra-crypt-aes128", "sonyvegas-proj-r3"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_distinct_apps() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 25);
+        let names: std::collections::HashSet<&str> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn suite_membership_matches_table_i() {
+        let specs = all_specs();
+        let count = |s: Suite| specs.iter().filter(|w| w.suite == s).count();
+        assert_eq!(count(Suite::CompuBenchDesktop), 6);
+        assert_eq!(count(Suite::CompuBenchMobile), 9);
+        assert_eq!(count(Suite::Sandra), 3);
+        assert_eq!(count(Suite::SonyVegas), 7);
+    }
+
+    #[test]
+    fn figure3b_shape_holds() {
+        let specs = all_specs();
+        let kernels: Vec<u32> = specs.iter().map(|s| s.unique_kernels).collect();
+        assert_eq!(*kernels.iter().min().unwrap(), 1);
+        assert!(*kernels.iter().max().unwrap() <= 50);
+        let mean = kernels.iter().sum::<u32>() as f64 / 25.0;
+        assert!((5.0..20.0).contains(&mean), "paper mean 10.2, ours {mean}");
+        let bbs: Vec<u32> = specs.iter().map(|s| s.total_bbs).collect();
+        assert!(*bbs.iter().min().unwrap() >= 7);
+        let bb_mean = bbs.iter().sum::<u32>() as f64 / 25.0;
+        assert!((600.0..2500.0).contains(&bb_mean), "paper mean 1139, ours {bb_mean}");
+    }
+
+    #[test]
+    fn extremes_match_the_paper() {
+        let bitcoin = spec_by_name("cb-throughput-bitcoin").unwrap();
+        assert!((bitcoin.kernel_call_frac - 0.045).abs() < 1e-9);
+        let partsim = spec_by_name("cb-physics-part-sim-32k").unwrap();
+        assert!((partsim.kernel_call_frac - 0.765).abs() < 1e-9);
+        let julia = spec_by_name("cb-throughput-juliaset").unwrap();
+        assert!((julia.sync_frac - 0.257).abs() < 1e-9);
+        let procgpu = spec_by_name("sandra-proc-gpu").unwrap();
+        assert!(procgpu.mix.compute > 0.9, "proc-gpu stresses computation");
+        let r5 = spec_by_name("sonyvegas-proj-r5").unwrap();
+        assert!(r5.write_intensity / r5.read_intensity > 100.0, "proj-r5 writes ≫ reads");
+        let gauss = spec_by_name("cb-gaussian-image").unwrap();
+        assert_eq!(gauss.invocations, 55, "the shortest app by invocations");
+    }
+
+    #[test]
+    fn sample_apps_exist() {
+        for name in figure5_sample_names() {
+            assert!(spec_by_name(name).is_some(), "{name}");
+        }
+    }
+}

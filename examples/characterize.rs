@@ -1,0 +1,51 @@
+//! Characterize one of the paper's 25 applications the way
+//! Section IV does: API-call breakdown, program structure, dynamic
+//! work, instruction mix, SIMD widths, memory activity.
+//!
+//! ```sh
+//! cargo run --release --example characterize [app-name]
+//! ```
+//!
+//! Run with no argument for `cb-physics-ocean-surf`, or pass any
+//! Table I name (see `workloads::all_specs`).
+
+use gtpin_suite::device::GpuConfig;
+use gtpin_suite::gtpin::AppCharacterization;
+use gtpin_suite::isa::{ExecSize, OpcodeCategory};
+use gtpin_suite::selection::profile_app;
+use gtpin_suite::workloads::{build_program, spec_by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cb-physics-ocean-surf".into());
+    let spec = spec_by_name(&name)
+        .ok_or_else(|| format!("unknown app {name}; see workloads::all_specs()"))?;
+
+    println!("building {} ({:?}) ...", spec.name, spec.suite);
+    let program = build_program(&spec, Scale::Default);
+    println!(
+        "profiling natively with GT-Pin ({} kernels, {} API calls) ...",
+        spec.unique_kernels,
+        program.calls.len()
+    );
+    let profiled = profile_app(&program, GpuConfig::hd4000(), 1)?;
+    let c = AppCharacterization::new(&profiled.cofluent, &profiled.profile);
+
+    println!();
+    println!("{c}");
+    println!();
+    println!("instruction mix (Figure 4a):");
+    for cat in OpcodeCategory::ALL {
+        println!("  {:12} {:6.1}%", cat.label(), c.category_fraction(cat) * 100.0);
+    }
+    println!("SIMD widths (Figure 4b):");
+    for w in ExecSize::ALL {
+        println!("  width {:2}     {:6.1}%", w.lanes(), c.width_fraction(w) * 100.0);
+    }
+    println!();
+    println!(
+        "whole-program SPI: {:.3e} s/instr over {} s of kernel time",
+        profiled.data.measured_spi(),
+        profiled.data.total_seconds()
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Writing a custom GT-Pin tool (Section III-B: "users may collect
+//! only the desired subset of these statistics by writing custom
+//! profiling tools").
+//!
+//! This example registers three tools:
+//! * a hand-written tool that tracks the hottest kernel by
+//!   instruction count,
+//! * the stock [`CacheSimTool`] (trace-driven cache simulation), and
+//! * the stock [`LatencyTool`] (per-send-site latency estimation),
+//!
+//! and enables memory tracing so the trace-driven tools have
+//! addresses to chew on.
+//!
+//! ```sh
+//! cargo run --release --example custom_tool
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use gtpin_suite::device::cache::CacheConfig;
+use gtpin_suite::device::{Gpu, GpuConfig};
+use gtpin_suite::gtpin::tools::{CacheSimTool, LatencyTool};
+use gtpin_suite::gtpin::{GtPin, InvocationProfile, RewriteConfig, Tool, ToolContext};
+use gtpin_suite::runtime::runtime::{OclRuntime, Schedule};
+use gtpin_suite::workloads::{build_program, spec_by_name, Scale};
+
+/// A user-written tool: who is the hottest kernel?
+#[derive(Default)]
+struct HotKernelTool {
+    per_kernel: HashMap<String, u64>,
+}
+
+impl Tool for HotKernelTool {
+    fn name(&self) -> &str {
+        "hot-kernel"
+    }
+
+    fn on_kernel_complete(&mut self, profile: &InvocationProfile, _ctx: &ToolContext<'_>) {
+        *self.per_kernel.entry(profile.kernel_name.clone()).or_insert(0) +=
+            profile.instructions;
+    }
+
+    fn report(&self) -> String {
+        let mut rows: Vec<(&String, &u64)> = self.per_kernel.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1));
+        let total: u64 = self.per_kernel.values().sum();
+        let mut out = String::from("hot-kernel report:\n");
+        for (name, instrs) in rows.into_iter().take(5) {
+            out.push_str(&format!(
+                "  {:40} {:>12} instrs ({:.1}%)\n",
+                name,
+                instrs,
+                *instrs as f64 / total.max(1) as f64 * 100.0
+            ));
+        }
+        out
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = spec_by_name("cb-vision-facedetect").expect("known app");
+    let program = build_program(&spec, Scale::Test);
+
+    // Enable memory tracing so trace-driven tools receive addresses.
+    let config = RewriteConfig {
+        count_basic_blocks: true,
+        time_kernels: true,
+        trace_memory: true,
+        naive_per_instruction_counters: false,
+    };
+    let gtpin = GtPin::new(config);
+
+    let hot = Rc::new(RefCell::new(HotKernelTool::default()));
+    let cache = Rc::new(RefCell::new(CacheSimTool::new(CacheConfig::llc_slice(256))));
+    let latency = Rc::new(RefCell::new(LatencyTool::new(CacheConfig::llc_slice(256), 50, 300)));
+    gtpin.add_tool(hot.clone());
+    gtpin.add_tool(cache.clone());
+    gtpin.add_tool(latency.clone());
+
+    let mut gpu = Gpu::new(GpuConfig::hd4000());
+    gtpin.attach(&mut gpu);
+    let mut runtime = OclRuntime::new(gpu);
+    runtime.run(&program, Schedule::Replay)?;
+
+    println!("{}", hot.borrow().report());
+    println!("{}", cache.borrow().report());
+    println!("{}", latency.borrow().report());
+
+    let profile = gtpin.profile(spec.name);
+    let timed: Vec<u64> = profile
+        .invocations
+        .iter()
+        .filter_map(|i| i.thread_cycles)
+        .collect();
+    println!(
+        "kernel timer: {} invocations timed, {} total thread-cycles",
+        timed.len(),
+        timed.iter().sum::<u64>()
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: write a tiny OpenCL-style program, run it on the
+//! modelled HD 4000 with GT-Pin attached, and print what the tool
+//! observed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gtpin_suite::device::{Gpu, GpuConfig};
+use gtpin_suite::gtpin::{AppCharacterization, GtPin, RewriteConfig};
+use gtpin_suite::isa::ExecSize;
+use gtpin_suite::runtime::api::{ArgValue, KernelId, SyncCall};
+use gtpin_suite::runtime::host::{HostScriptBuilder, ProgramSource};
+use gtpin_suite::runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+use gtpin_suite::runtime::runtime::{OclRuntime, Schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A kernel in IR form (standing in for OpenCL C source): a
+    //    saxpy-ish loop whose trip count comes from argument 0.
+    let mut kernel = KernelIr::new("saxpy", 3);
+    kernel.body = vec![
+        IrOp::LoopBegin { trip: TripCount::Arg(0) },
+        IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::Compute { ops: 8, width: ExecSize::S16 },
+        IrOp::Store { arg: 2, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopEnd,
+    ];
+
+    // 2. A host program: buffers, argument setup, launches with two
+    //    different problem sizes, and a synchronization call.
+    let source = ProgramSource { kernels: vec![kernel] };
+    let mut host = HostScriptBuilder::new("quickstart", source);
+    host.create_buffer(0, 1 << 20).create_buffer(1, 1 << 20);
+    host.set_arg(KernelId(0), 1, ArgValue::Buffer(0));
+    host.set_arg(KernelId(0), 2, ArgValue::Buffer(1));
+    for trip in [16u64, 64] {
+        host.set_arg(KernelId(0), 0, ArgValue::Scalar(trip));
+        host.launch(KernelId(0), 1024);
+        host.sync(SyncCall::Finish);
+    }
+    let program = host.finish()?;
+
+    // 3. A GPU with GT-Pin attached: the driver JIT-compiles the
+    //    kernel, the binary rewriter injects per-block counters, and
+    //    the injected code fills the trace buffer as the kernel runs.
+    let mut gpu = Gpu::new(GpuConfig::hd4000());
+    let gtpin = GtPin::new(RewriteConfig::default());
+    gtpin.attach(&mut gpu);
+    let mut runtime = OclRuntime::new(gpu);
+    let report = runtime.run(&program, Schedule::Replay)?;
+
+    // 4. What GT-Pin saw.
+    let profile = gtpin.profile("quickstart");
+    println!("{}", AppCharacterization::new(&report.cofluent, &profile));
+    println!();
+    for inv in &profile.invocations {
+        println!(
+            "launch {}: kernel {} gws {} → {} instructions, {} B read, {} B written",
+            inv.launch_index,
+            inv.kernel_name,
+            inv.global_work_size,
+            inv.instructions,
+            inv.bytes_read,
+            inv.bytes_written
+        );
+    }
+    println!();
+    println!(
+        "instrumentation overhead estimate: {:.2}x dynamic instructions",
+        profile.dynamic_overhead_factor()
+    );
+    Ok(())
+}

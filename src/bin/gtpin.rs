@@ -1,0 +1,163 @@
+//! `gtpin` — command-line front end for the GT-Pin reproduction.
+//!
+//! ```text
+//! gtpin list                          list the 25 benchmark applications
+//! gtpin run <app> [options]           profile an app with GT-Pin
+//!     --scale test|default            workload scale (default: default)
+//!     --time-kernels                  enable the kernel timer tool
+//!     --trace-memory                  enable memory tracing
+//!     --json <path>                   dump the profile as JSON
+//! gtpin select <app> [threshold%]     explore configs and print selections
+//! gtpin disasm <app> [kernel-index]   disassemble a JIT-compiled kernel
+//! gtpin luxmark                       compare HD4000 vs HD4600 scores
+//! ```
+
+use gtpin_suite::device::{Gpu, GpuConfig};
+use gtpin_suite::gtpin::{AppCharacterization, GtPin, RewriteConfig};
+use gtpin_suite::isa::disasm::disassemble_flat;
+use gtpin_suite::runtime::runtime::{OclRuntime, Schedule};
+use gtpin_suite::selection::{profile_app, Exploration};
+use gtpin_suite::simpoint::SimpointConfig;
+use gtpin_suite::workloads::{all_specs, build_program, luxmark_score, spec_by_name, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("select") => cmd_select(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("luxmark") => cmd_luxmark(),
+        _ => {
+            eprintln!("usage: gtpin <list|run|select|disasm|luxmark> [args]");
+            eprintln!("       see crate docs for options");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_list() -> CliResult {
+    for spec in all_specs() {
+        println!(
+            "{:28} {:26} {:>3} kernels {:>6} invocations",
+            spec.name,
+            format!("[{:?}]", spec.suite),
+            spec.unique_kernels,
+            spec.invocations
+        );
+    }
+    Ok(())
+}
+
+fn parse_app(args: &[String]) -> Result<gtpin_suite::workloads::WorkloadSpec, String> {
+    let name = args.first().ok_or("missing application name; try `gtpin list`")?;
+    spec_by_name(name).ok_or_else(|| format!("unknown application {name}; try `gtpin list`"))
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let spec = parse_app(args)?;
+    let scale = if args.iter().any(|a| a == "--scale") {
+        let i = args.iter().position(|a| a == "--scale").expect("just checked");
+        match args.get(i + 1).map(String::as_str) {
+            Some("test") => Scale::Test,
+            Some("default") | None => Scale::Default,
+            Some(other) => return Err(format!("unknown scale {other}").into()),
+        }
+    } else {
+        Scale::Default
+    };
+    let config = RewriteConfig {
+        count_basic_blocks: true,
+        time_kernels: args.iter().any(|a| a == "--time-kernels"),
+        trace_memory: args.iter().any(|a| a == "--trace-memory"),
+        naive_per_instruction_counters: false,
+    };
+
+    let program = build_program(&spec, scale);
+    let mut gpu = Gpu::new(GpuConfig::hd4000());
+    let gtpin = GtPin::new(config);
+    gtpin.attach(&mut gpu);
+    let mut rt = OclRuntime::new(gpu);
+    let report = rt.run(&program, Schedule::Replay)?;
+    let profile = gtpin.profile(spec.name);
+
+    println!("{}", AppCharacterization::new(&report.cofluent, &profile));
+    println!(
+        "\ninstrumentation: {:.2}x dynamic instruction overhead across {} kernels",
+        profile.dynamic_overhead_factor(),
+        profile.unique_kernels()
+    );
+
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).ok_or("--json needs a path")?;
+        std::fs::write(path, serde_json::to_string_pretty(&profile)?)?;
+        println!("profile written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_select(args: &[String]) -> CliResult {
+    let spec = parse_app(args)?;
+    let threshold: f64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(3.0);
+    let program = build_program(&spec, Scale::Default);
+    let profiled = profile_app(&program, GpuConfig::hd4000(), 1)?;
+    let data = &profiled.data;
+    let approx = gtpin_suite::selection::default_approx_target(data);
+    let ex = Exploration::run(data, approx, &SimpointConfig::default());
+
+    let best = ex.min_error().ok_or("no configurations evaluated")?;
+    println!(
+        "min-error:      {:24} error {:.3}%  speedup {:.1}x  k={}",
+        best.config.to_string(),
+        best.error_pct,
+        best.speedup(),
+        best.selection.k
+    );
+    let co = ex.co_optimize(threshold).ok_or("no configurations evaluated")?;
+    println!(
+        "co-opt @ {threshold:>4}%: {:24} error {:.3}%  speedup {:.1}x  k={}",
+        co.config.to_string(),
+        co.error_pct,
+        co.speedup(),
+        co.selection.k
+    );
+    for pick in &co.selection.picks {
+        let iv = co.intervals[pick.interval];
+        println!(
+            "  simulate invocations [{:>6}, {:>6})  ratio {:.2}%",
+            iv.start,
+            iv.end,
+            pick.ratio * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> CliResult {
+    let spec = parse_app(args)?;
+    let index: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(0);
+    let program = build_program(&spec, Scale::Test);
+    let mut gpu = Gpu::new(GpuConfig::hd4000());
+    use gtpin_suite::runtime::Device;
+    gpu.build_program(&program.source)?;
+    let kernel = gpu
+        .driver()
+        .kernel(index)
+        .ok_or_else(|| format!("kernel index {index} out of range"))?;
+    print!("{}", disassemble_flat(kernel));
+    Ok(())
+}
+
+fn cmd_luxmark() -> CliResult {
+    let ivy = luxmark_score(GpuConfig::hd4000());
+    let hsw = luxmark_score(GpuConfig::hd4600());
+    println!("HD4000 (Ivy Bridge): {ivy:.0}   (paper: 269)");
+    println!("HD4600 (Haswell):    {hsw:.0}   (paper: 351)");
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # gtpin-suite
+//!
+//! Facade crate for the GT-Pin reproduction. Re-exports every
+//! workspace crate under one roof so examples and integration tests
+//! can `use gtpin_suite::...`.
+//!
+//! See the individual crates for the real APIs:
+//!
+//! * [`isa`] — the GEN-flavoured GPU instruction set,
+//! * [`runtime`] — the OpenCL host/runtime model and CoFluent tracer,
+//! * [`device`] — the GPU device model (JIT, executor, timing,
+//!   detailed simulator),
+//! * [`gtpin`] — the GT-Pin binary instrumentation engine and tools,
+//! * [`simpoint`] — SimPoint-style clustering,
+//! * [`selection`] — simulation subset selection,
+//! * [`workloads`] — the 25 benchmark applications.
+
+pub use gen_isa as isa;
+pub use gpu_device as device;
+pub use gtpin_core as gtpin;
+pub use ocl_runtime as runtime;
+pub use simpoint;
+pub use subset_select as selection;
+pub use workloads;

@@ -1,0 +1,133 @@
+//! GT-Pin correctness against device ground truth: the profile
+//! reconstructed from injected per-block counters must equal the
+//! native hardware counters, and instrumentation must not perturb
+//! application-visible behaviour.
+
+use gtpin_suite::device::{Gpu, GpuConfig};
+use gtpin_suite::gtpin::{GtPin, RewriteConfig};
+use gtpin_suite::runtime::runtime::{OclRuntime, Schedule};
+use gtpin_suite::workloads::{build_program, spec_by_name, Scale};
+
+fn apps() -> [&'static str; 3] {
+    ["cb-histogram-buffer", "cb-throughput-juliaset", "sandra-crypt-aes128"]
+}
+
+#[test]
+fn gtpin_counts_equal_native_hardware_counters() {
+    for name in apps() {
+        let spec = spec_by_name(name).expect("known app");
+        let program = build_program(&spec, Scale::Test);
+
+        // Native ground truth.
+        let mut native = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
+        native.run(&program, Schedule::Replay).expect("native run");
+        let native_gpu = native.into_device();
+
+        // Instrumented run.
+        let mut gpu = Gpu::new(GpuConfig::hd4000());
+        let gtpin = GtPin::new(RewriteConfig::default());
+        gtpin.attach(&mut gpu);
+        let mut rt = OclRuntime::new(gpu);
+        rt.run(&program, Schedule::Replay).expect("instrumented run");
+        let profile = gtpin.profile(name);
+
+        assert_eq!(profile.num_invocations(), native_gpu.launches().len(), "{name}");
+        for (inv, launch) in profile.invocations.iter().zip(native_gpu.launches()) {
+            assert_eq!(
+                inv.instructions, launch.stats.instructions,
+                "{name} launch {}: instruction count",
+                inv.launch_index
+            );
+            assert_eq!(inv.per_category, launch.stats.per_category, "{name}: category mix");
+            assert_eq!(inv.per_width, launch.stats.per_width, "{name}: SIMD widths");
+            assert_eq!(inv.bytes_read, launch.stats.bytes_read, "{name}: bytes read");
+            assert_eq!(inv.bytes_written, launch.stats.bytes_written, "{name}: bytes written");
+        }
+    }
+}
+
+#[test]
+fn instrumentation_overhead_sits_in_a_sane_band() {
+    let spec = spec_by_name("cb-graphics-t-rex").expect("known app");
+    let program = build_program(&spec, Scale::Test);
+
+    let mut gpu = Gpu::new(GpuConfig::hd4000());
+    let gtpin = GtPin::new(RewriteConfig {
+        count_basic_blocks: true,
+        time_kernels: true,
+        trace_memory: true,
+        naive_per_instruction_counters: false,
+    });
+    gtpin.attach(&mut gpu);
+    let mut rt = OclRuntime::new(gpu);
+    rt.run(&program, Schedule::Replay).expect("runs");
+    let profile = gtpin.profile(spec.name);
+    let instrumented: u64 = rt.device().launches().iter().map(|l| l.stats.instructions).sum();
+    let factor = instrumented as f64 / profile.total_instructions() as f64;
+    assert!(
+        factor > 1.05 && factor < 10.0,
+        "dynamic instruction overhead {factor:.2}x should be visible but bounded"
+    );
+
+    // Modelled run-time overhead (paper: profiling takes 2–10× as
+    // long as uninstrumented execution).
+    let mut native = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
+    let native_report = native.run(&program, Schedule::Replay).expect("runs");
+    let instrumented_seconds: f64 = rt.device().launches().iter().map(|l| l.seconds).sum();
+    let time_factor = instrumented_seconds / native_report.cofluent.total_kernel_seconds();
+    assert!(
+        time_factor > 1.5 && time_factor < 12.0,
+        "modelled profiling overhead {time_factor:.2}x should sit near the paper's 2-10x"
+    );
+}
+
+#[test]
+fn per_kernel_timer_reports_cycles_when_enabled() {
+    let spec = spec_by_name("cb-gaussian-buffer").expect("known app");
+    let program = build_program(&spec, Scale::Test);
+    let mut gpu = Gpu::new(GpuConfig::hd4000());
+    let gtpin = GtPin::new(RewriteConfig {
+        count_basic_blocks: true,
+        time_kernels: true,
+        trace_memory: false,
+        naive_per_instruction_counters: false,
+    });
+    gtpin.attach(&mut gpu);
+    let mut rt = OclRuntime::new(gpu);
+    rt.run(&program, Schedule::Replay).expect("runs");
+    let profile = gtpin.profile(spec.name);
+    for inv in &profile.invocations {
+        let cycles = inv.thread_cycles.expect("timer enabled");
+        assert!(cycles > 0, "launch {} accumulated thread cycles", inv.launch_index);
+    }
+}
+
+#[test]
+fn memory_tracing_observes_every_global_send() {
+    let spec = spec_by_name("cb-histogram-image").expect("known app");
+    let program = build_program(&spec, Scale::Test);
+
+    let mut native = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
+    native.run(&program, Schedule::Replay).expect("native");
+    let native_gpu = native.into_device();
+
+    let mut gpu = Gpu::new(GpuConfig::hd4000());
+    let gtpin = GtPin::new(RewriteConfig {
+        count_basic_blocks: false,
+        time_kernels: false,
+        trace_memory: true,
+        naive_per_instruction_counters: false,
+    });
+    gtpin.attach(&mut gpu);
+    let mut rt = OclRuntime::new(gpu);
+    rt.run(&program, Schedule::Replay).expect("instrumented");
+    let profile = gtpin.profile(spec.name);
+
+    for (inv, launch) in profile.invocations.iter().zip(native_gpu.launches()) {
+        assert_eq!(
+            inv.mem_trace.len() as u64,
+            launch.stats.global_sends,
+            "every global send leaves one trace record"
+        );
+    }
+}
