@@ -12,9 +12,7 @@ use bench_suite::drivers::{approx_target, header, mean, profile_some, simpoint_c
 use gpu_device::{Gpu, GpuConfig};
 use gtpin_core::{GtPin, RewriteConfig};
 use ocl_runtime::runtime::{OclRuntime, Schedule};
-use subset_select::{
-    all_configs, evaluate_config_weighted, FeatureWeighting,
-};
+use subset_select::{all_configs, evaluate_config_weighted, FeatureWeighting};
 use workloads::{build_program, spec_by_name, Scale};
 
 fn main() {
@@ -29,7 +27,11 @@ fn ablation_counting() {
         "{:28} {:>12} {:>12} {:>12}",
         "app", "native", "per-block", "per-instr"
     );
-    for name in ["cb-gaussian-buffer", "cb-vision-facedetect", "sandra-proc-gpu"] {
+    for name in [
+        "cb-gaussian-buffer",
+        "cb-vision-facedetect",
+        "sandra-proc-gpu",
+    ] {
         let spec = spec_by_name(name).expect("known app");
         let program = build_program(&spec, Scale::Test);
 
@@ -43,7 +45,12 @@ fn ablation_counting() {
             let mut rt = OclRuntime::new(gpu);
             rt.run(&program, Schedule::Replay).expect("runs");
             let _ = gtpin;
-            let instrs: u64 = rt.device().launches().iter().map(|l| l.stats.instructions).sum();
+            let instrs: u64 = rt
+                .device()
+                .launches()
+                .iter()
+                .map(|l| l.stats.instructions)
+                .sum();
             let seconds: f64 = rt.device().launches().iter().map(|l| l.seconds).sum();
             (instrs, seconds)
         };

@@ -15,7 +15,10 @@ fn main() {
         .collect();
 
     header("Figure 3a: OpenCL API call breakdown");
-    println!("{:28} {:>10} {:>8} {:>8} {:>8}", "app", "calls", "kernel", "sync", "other");
+    println!(
+        "{:28} {:>10} {:>8} {:>8} {:>8}",
+        "app", "calls", "kernel", "sync", "other"
+    );
     for r in &rows {
         println!(
             "{:28} {:>10} {:>8} {:>8} {:>8}",
@@ -30,9 +33,24 @@ fn main() {
         "{:28} {:>10} {:>8} {:>8} {:>8}",
         "AVERAGE",
         "",
-        pct(mean(&rows.iter().map(|r| r.kernel_call_fraction).collect::<Vec<_>>())),
-        pct(mean(&rows.iter().map(|r| r.sync_call_fraction).collect::<Vec<_>>())),
-        pct(mean(&rows.iter().map(|r| r.other_call_fraction).collect::<Vec<_>>())),
+        pct(mean(
+            &rows
+                .iter()
+                .map(|r| r.kernel_call_fraction)
+                .collect::<Vec<_>>()
+        )),
+        pct(mean(
+            &rows
+                .iter()
+                .map(|r| r.sync_call_fraction)
+                .collect::<Vec<_>>()
+        )),
+        pct(mean(
+            &rows
+                .iter()
+                .map(|r| r.other_call_fraction)
+                .collect::<Vec<_>>()
+        )),
     );
     println!();
     println!("paper shape: kernel ≈15% typical (bitcoin 4.5%, part-sim-32k 76.5%),");
@@ -41,10 +59,23 @@ fn main() {
     header("Figure 3b: GPU program structures (static)");
     println!("{:28} {:>8} {:>10}", "app", "kernels", "basic blks");
     for r in &rows {
-        println!("{:28} {:>8} {:>10}", r.app, r.unique_kernels, r.unique_basic_blocks);
+        println!(
+            "{:28} {:>8} {:>10}",
+            r.app, r.unique_kernels, r.unique_basic_blocks
+        );
     }
-    let mk = mean(&rows.iter().map(|r| r.unique_kernels as f64).collect::<Vec<_>>());
-    let mb = mean(&rows.iter().map(|r| r.unique_basic_blocks as f64).collect::<Vec<_>>());
+    let mk = mean(
+        &rows
+            .iter()
+            .map(|r| r.unique_kernels as f64)
+            .collect::<Vec<_>>(),
+    );
+    let mb = mean(
+        &rows
+            .iter()
+            .map(|r| r.unique_basic_blocks as f64)
+            .collect::<Vec<_>>(),
+    );
     println!("{:28} {:>8.1} {:>10.0}", "AVERAGE", mk, mb);
     println!();
     println!("paper shape: 1–50 kernels (mean 10.2), 7–11500 blocks (mean 1139)");
@@ -63,9 +94,24 @@ fn main() {
             thousands(r.instructions),
         );
     }
-    let mi = mean(&rows.iter().map(|r| r.kernel_invocations as f64).collect::<Vec<_>>());
-    let mbb = mean(&rows.iter().map(|r| r.bb_executions as f64).collect::<Vec<_>>());
-    let min_ = mean(&rows.iter().map(|r| r.instructions as f64).collect::<Vec<_>>());
+    let mi = mean(
+        &rows
+            .iter()
+            .map(|r| r.kernel_invocations as f64)
+            .collect::<Vec<_>>(),
+    );
+    let mbb = mean(
+        &rows
+            .iter()
+            .map(|r| r.bb_executions as f64)
+            .collect::<Vec<_>>(),
+    );
+    let min_ = mean(
+        &rows
+            .iter()
+            .map(|r| r.instructions as f64)
+            .collect::<Vec<_>>(),
+    );
     println!("{:28} {:>10.0} {:>14.0} {:>14.0}", "AVERAGE", mi, mbb, min_);
     println!();
     println!("paper shape (unscaled): 55–18157 invocations (mean 4764),");

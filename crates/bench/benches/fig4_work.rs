@@ -38,7 +38,12 @@ fn main() {
         ("comp", OpcodeCategory::Computation),
         ("sends", OpcodeCategory::Send),
     ] {
-        let m = mean(&rows.iter().map(|r| r.category_fraction(cat)).collect::<Vec<_>>());
+        let m = mean(
+            &rows
+                .iter()
+                .map(|r| r.category_fraction(cat))
+                .collect::<Vec<_>>(),
+        );
         print!("AVG {label} {}  ", pct(m));
     }
     println!();
@@ -77,7 +82,10 @@ fn main() {
     println!("paper shape: 16-wide 52%, 8-wide 45%, 1-wide 4%, 4-wide <0.1%, 2-wide never");
 
     header("Figure 4c: GPU memory activity");
-    println!("{:28} {:>16} {:>16} {:>8}", "app", "bytes read", "bytes written", "R/W");
+    println!(
+        "{:28} {:>16} {:>16} {:>8}",
+        "app", "bytes read", "bytes written", "R/W"
+    );
     for r in &rows {
         let ratio = if r.bytes_written > 0 {
             format!("{:.1}", r.bytes_read as f64 / r.bytes_written as f64)
@@ -93,7 +101,12 @@ fn main() {
         );
     }
     let tr = mean(&rows.iter().map(|r| r.bytes_read as f64).collect::<Vec<_>>());
-    let tw = mean(&rows.iter().map(|r| r.bytes_written as f64).collect::<Vec<_>>());
+    let tw = mean(
+        &rows
+            .iter()
+            .map(|r| r.bytes_written as f64)
+            .collect::<Vec<_>>(),
+    );
     println!("{:28} {:>16.0} {:>16.0}", "AVERAGE", tr, tw);
     println!();
     println!("paper shape: crypto apps read the most; the Sony apps write far more");

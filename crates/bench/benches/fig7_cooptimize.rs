@@ -10,8 +10,7 @@ use workloads::Scale;
 
 fn main() {
     let suite = profile_suite(Scale::Default);
-    let explorations: Vec<Exploration> =
-        suite.iter().map(|w| explore(&w.profiled.data)).collect();
+    let explorations: Vec<Exploration> = suite.iter().map(|w| explore(&w.profiled.data)).collect();
 
     let thresholds: Vec<Option<f64>> = std::iter::once(None)
         .chain(std::iter::once(Some(0.5)))
@@ -20,13 +19,19 @@ fn main() {
     let points = threshold_sweep(&explorations, &thresholds);
 
     header("Figure 7: optimizing for both error and selection size");
-    println!("{:>12} {:>14} {:>14}", "threshold", "avg error", "avg speedup");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "threshold", "avg error", "avg speedup"
+    );
     for p in &points {
         let label = match p.threshold_pct {
             None => "min-error".to_string(),
             Some(t) => format!("{t:.1}%"),
         };
-        println!("{label:>12} {:>13.3}% {:>13.1}x", p.mean_error_pct, p.mean_speedup);
+        println!(
+            "{label:>12} {:>13.3}% {:>13.1}x",
+            p.mean_error_pct, p.mean_speedup
+        );
     }
 
     // Sanity: speedups rise monotonically once thresholds relax.
@@ -41,6 +46,9 @@ fn main() {
     let final_err = mean(&[points.last().unwrap().mean_error_pct]);
     println!();
     println!("paper: at 10% threshold, 3.0% average error and 223x average speedup;");
-    println!("ours at 10%: {:.2}% error, {:.0}x speedup (shape: error rises, speedup soars)",
-        final_err, points.last().unwrap().mean_speedup);
+    println!(
+        "ours at 10%: {:.2}% error, {:.0}x speedup (shape: error rises, speedup soars)",
+        final_err,
+        points.last().unwrap().mean_speedup
+    );
 }

@@ -86,8 +86,11 @@ fn main() {
     let mut all_gen_errors = Vec::new();
     let mut worst = ("", 0.0f64);
     for (w, sel) in suite.iter().zip(&selections) {
-        let timing = replay_timings(&w.profiled.recording, GpuConfig::hd4600().with_trial_seed(3))
-            .expect("replay runs");
+        let timing = replay_timings(
+            &w.profiled.recording,
+            GpuConfig::hd4600().with_trial_seed(3),
+        )
+        .expect("replay runs");
         let new_data = w.profiled.data.with_timings(&timing).expect("same order");
         let err = cross_error_pct(sel, &new_data);
         all_gen_errors.push(err);
@@ -97,7 +100,10 @@ fn main() {
         println!("{:28} {:>9.3}%", w.spec.name, err);
     }
     summarize(&all_gen_errors);
-    println!("worst app: {} at {:.2}% (paper's worst was gaussian-image at ~11%)", worst.0, worst.1);
+    println!(
+        "worst app: {} at {:.2}% (paper's worst was gaussian-image at ~11%)",
+        worst.0, worst.1
+    );
     println!();
     println!("paper shape: most errors below 3% in all three validations");
 }

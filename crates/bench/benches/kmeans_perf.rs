@@ -25,9 +25,7 @@ fn bench_kmeans(c: &mut Criterion) {
     for &n in &[100usize, 1000, 5000] {
         let (vectors, weights) = synthetic_vectors(n, 6);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                select(&vectors, &weights, &SimpointConfig::default()).expect("selects")
-            })
+            b.iter(|| select(&vectors, &weights, &SimpointConfig::default()).expect("selects"))
         });
     }
     group.finish();

@@ -15,13 +15,28 @@ use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
 fn kernel() -> gen_isa::DecodedKernel {
     let mut ir = KernelIr::new("simspeed", 2);
     ir.body = vec![
-        IrOp::LoopBegin { trip: TripCount::Arg(0) },
-        IrOp::Compute { ops: 24, width: ExecSize::S16 },
-        IrOp::MathCompute { ops: 4, width: ExecSize::S8 },
-        IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopBegin {
+            trip: TripCount::Arg(0),
+        },
+        IrOp::Compute {
+            ops: 24,
+            width: ExecSize::S16,
+        },
+        IrOp::MathCompute {
+            ops: 4,
+            width: ExecSize::S8,
+        },
+        IrOp::Load {
+            arg: 1,
+            bytes: 64,
+            width: ExecSize::S16,
+            pattern: AccessPattern::Linear,
+        },
         IrOp::LoopEnd,
     ];
-    gpu_device::jit::compile_kernel(&ir).expect("compiles").flatten()
+    gpu_device::jit::compile_kernel(&ir)
+        .expect("compiles")
+        .flatten()
 }
 
 fn bench_simspeed(c: &mut Criterion) {
@@ -63,9 +78,13 @@ fn bench_simspeed(c: &mut Criterion) {
     {
         let mut cache = Cache::new(CacheConfig::default());
         let mut trace = TraceBuffer::new();
-        Executor { cache: &mut cache, trace: &mut trace, config: ExecConfig::default() }
-            .execute_launch(&k, &args, gws)
-            .expect("runs");
+        Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig::default(),
+        }
+        .execute_launch(&k, &args, gws)
+        .expect("runs");
     }
     let functional = t0.elapsed();
     let t1 = std::time::Instant::now();

@@ -28,7 +28,10 @@ fn main() {
     }
 
     header("Table II: the program interval space (intervals per program)");
-    println!("{:28} {:>10} {:>12} {:>14}", "app", "sync", "~target", "single-kernel");
+    println!(
+        "{:28} {:>10} {:>12} {:>14}",
+        "app", "sync", "~target", "single-kernel"
+    );
     for (name, per_app) in &rows {
         println!(
             "{:28} {:>10} {:>12} {:>14}",
@@ -36,7 +39,10 @@ fn main() {
         );
     }
     println!();
-    println!("{:18} {:>10} {:>12} {:>14}", "summary", "sync", "~target", "single-kernel");
+    println!(
+        "{:18} {:>10} {:>12} {:>14}",
+        "summary", "sync", "~target", "single-kernel"
+    );
     let stat = |v: &[f64], f: fn(&[f64]) -> f64| f(v);
     let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);

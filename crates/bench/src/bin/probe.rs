@@ -1,8 +1,8 @@
 //! Quick timing probe for the full pipeline at Default scale.
+use gpu_device::GpuConfig;
+use simpoint::SimpointConfig;
 use std::time::Instant;
 use subset_select::{profile_app, Exploration};
-use simpoint::SimpointConfig;
-use gpu_device::GpuConfig;
 use workloads::{all_specs, build_program, Scale};
 
 fn main() {
@@ -11,7 +11,9 @@ fn main() {
     let t_all = Instant::now();
     for spec in all_specs() {
         if let Some(name) = only {
-            if spec.name != name { continue; }
+            if spec.name != name {
+                continue;
+            }
         }
         let t0 = Instant::now();
         let program = build_program(&spec, Scale::Default);

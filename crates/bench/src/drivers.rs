@@ -25,17 +25,24 @@ pub fn profile_suite(scale: Scale) -> Vec<ProfiledWorkload> {
 }
 
 /// Profile a subset of the suite by name predicate.
-pub fn profile_some(scale: Scale, keep: impl Fn(&str) -> bool) -> Vec<ProfiledWorkload> {
-    all_specs()
-        .into_iter()
-        .filter(|s| keep(s.name))
-        .map(|spec| {
-            let program = build_program(&spec, scale);
-            let profiled = profile_app(&program, GpuConfig::hd4000(), 1)
-                .expect("suite programs profile cleanly");
-            ProfiledWorkload { spec, profiled }
-        })
-        .collect()
+///
+/// Applications are independent, so they fan out across
+/// `GTPIN_THREADS` workers (each app's device state is private);
+/// results come back in suite order regardless of thread count. Each
+/// per-app profile runs with device-internal parallelism disabled —
+/// across-app fan-out already uses the budget.
+pub fn profile_some(scale: Scale, keep: impl Fn(&str) -> bool + Sync) -> Vec<ProfiledWorkload> {
+    let specs: Vec<WorkloadSpec> = all_specs().into_iter().filter(|s| keep(s.name)).collect();
+    gtpin_par::parallel_map(&specs, gtpin_par::configured_threads(), |_, spec| {
+        let program = build_program(spec, scale);
+        let mut gpu = GpuConfig::hd4000();
+        gpu.exec.threads = 1;
+        let profiled = profile_app(&program, gpu, 1).expect("suite programs profile cleanly");
+        ProfiledWorkload {
+            spec: *spec,
+            profiled,
+        }
+    })
 }
 
 /// The medium (~100M-instruction analogue) interval target for an

@@ -53,7 +53,8 @@ impl Engine {
             self.site_table.insert(site.tag, *site);
         }
         for tool in &self.tools {
-            tool.borrow_mut().on_kernel_build(kernel_index, &rw.static_info);
+            tool.borrow_mut()
+                .on_kernel_build(kernel_index, &rw.static_info);
         }
         self.kernels.push(KernelRecord {
             overhead: KernelOverhead {
@@ -96,9 +97,7 @@ impl Engine {
             bytes_written += count * blk.bytes_written;
         }
 
-        let thread_cycles = layout
-            .timer_slot
-            .map(|slot| trace.slot(slot as usize));
+        let thread_cycles = layout.timer_slot.map(|slot| trace.slot(slot as usize));
 
         let mem_trace: Vec<(u32, u64)> = if self.config.trace_memory {
             trace.records().iter().map(|r| (r.tag, r.value)).collect()
@@ -122,8 +121,7 @@ impl Engine {
             mem_trace,
         };
 
-        let kernels: Vec<&StaticKernelInfo> =
-            self.kernels.iter().map(|k| &k.static_info).collect();
+        let kernels: Vec<&StaticKernelInfo> = self.kernels.iter().map(|k| &k.static_info).collect();
         let ctx = ToolContext {
             kernels: &kernels,
             send_sites: &self.site_table,
@@ -207,8 +205,12 @@ impl GtPin {
     /// Attach to a GPU: installs the binary rewriter on the driver
     /// and the trace-buffer post-processor on the launch path.
     pub fn attach(&self, gpu: &mut Gpu) {
-        gpu.set_rewriter(Box::new(RewriterAdapter { state: self.state.clone() }));
-        gpu.set_observer(Box::new(ObserverAdapter { state: self.state.clone() }));
+        gpu.set_rewriter(Box::new(RewriterAdapter {
+            state: self.state.clone(),
+        }));
+        gpu.set_observer(Box::new(ObserverAdapter {
+            state: self.state.clone(),
+        }));
     }
 
     /// Snapshot the profile collected so far.
@@ -255,14 +257,29 @@ mod tests {
     fn program() -> ocl_runtime::host::HostProgram {
         let mut k = KernelIr::new("stream", 2);
         k.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Arg(0) },
-            IrOp::Compute { ops: 6, width: ExecSize::S16 },
-            IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+            IrOp::LoopBegin {
+                trip: TripCount::Arg(0),
+            },
+            IrOp::Compute {
+                ops: 6,
+                width: ExecSize::S16,
+            },
+            IrOp::Load {
+                arg: 1,
+                bytes: 64,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Linear,
+            },
             IrOp::LoopEnd,
         ];
         let mut k2 = KernelIr::new("post", 0);
-        k2.body = vec![IrOp::Move { ops: 12, width: ExecSize::S8 }];
-        let source = ProgramSource { kernels: vec![k, k2] };
+        k2.body = vec![IrOp::Move {
+            ops: 12,
+            width: ExecSize::S8,
+        }];
+        let source = ProgramSource {
+            kernels: vec![k, k2],
+        };
         let mut b = HostScriptBuilder::new("app", source);
         for i in 1..=3u64 {
             b.set_arg(KernelId(0), 0, ArgValue::Scalar(4 * i));
@@ -306,8 +323,7 @@ mod tests {
             assert_eq!(inv.per_width, launch.stats.per_width);
         }
         // The instrumented run itself executed MORE than the app.
-        let instrumented_total: u64 =
-            gpu.launches().iter().map(|l| l.stats.instructions).sum();
+        let instrumented_total: u64 = gpu.launches().iter().map(|l| l.stats.instructions).sum();
         assert!(instrumented_total > profile.total_instructions());
     }
 
@@ -333,7 +349,10 @@ mod tests {
     #[test]
     fn args_digest_distinguishes_launches() {
         let (profile, _) = profiled_run();
-        assert_ne!(profile.invocations[0].args_digest, profile.invocations[1].args_digest);
+        assert_ne!(
+            profile.invocations[0].args_digest,
+            profile.invocations[1].args_digest
+        );
     }
 
     #[test]
@@ -345,7 +364,15 @@ mod tests {
         rt.run(&program(), Schedule::Replay).unwrap();
         rt.run(&program(), Schedule::Replay).unwrap();
         let profile = gtpin.profile("app");
-        assert_eq!(profile.unique_kernels(), 2, "second build replaced, not appended");
-        assert_eq!(profile.num_invocations(), 8, "invocations accumulate across runs");
+        assert_eq!(
+            profile.unique_kernels(),
+            2,
+            "second build replaced, not appended"
+        );
+        assert_eq!(
+            profile.num_invocations(),
+            8,
+            "invocations accumulate across runs"
+        );
     }
 }

@@ -89,7 +89,10 @@ impl ProgramProfile {
 
     /// Total dynamic basic-block executions (Figure 3c).
     pub fn total_bb_executions(&self) -> u64 {
-        self.invocations.iter().map(InvocationProfile::bb_executions).sum()
+        self.invocations
+            .iter()
+            .map(InvocationProfile::bb_executions)
+            .sum()
     }
 
     /// Total dynamic application instructions (Figure 3c).
@@ -113,7 +116,10 @@ impl ProgramProfile {
         if total == 0 {
             return 0.0;
         }
-        let idx = OpcodeCategory::ALL.iter().position(|&c| c == category).expect("in ALL");
+        let idx = OpcodeCategory::ALL
+            .iter()
+            .position(|&c| c == category)
+            .expect("in ALL");
         let n: u64 = self.invocations.iter().map(|i| i.per_category[idx]).sum();
         n as f64 / total as f64
     }
@@ -124,7 +130,10 @@ impl ProgramProfile {
         if total == 0 {
             return 0.0;
         }
-        let idx = ExecSize::ALL.iter().position(|&w| w == width).expect("in ALL");
+        let idx = ExecSize::ALL
+            .iter()
+            .position(|&w| w == width)
+            .expect("in ALL");
         let n: u64 = self.invocations.iter().map(|i| i.per_width[idx]).sum();
         n as f64 / total as f64
     }
@@ -164,7 +173,10 @@ mod tests {
                 static_instructions: 7,
                 blocks: vec![block(3), block(4)],
             }],
-            overheads: vec![KernelOverhead { original_static: 7, instrumented_static: 13 }],
+            overheads: vec![KernelOverhead {
+                original_static: 7,
+                instrumented_static: 13,
+            }],
             invocations: vec![InvocationProfile {
                 launch_index: 0,
                 kernel_index: 0,

@@ -84,7 +84,10 @@ impl AppCharacterization {
 
     /// Fraction for one SIMD width.
     pub fn width_fraction(&self, width: ExecSize) -> f64 {
-        let i = ExecSize::ALL.iter().position(|&w| w == width).expect("width in ALL");
+        let i = ExecSize::ALL
+            .iter()
+            .position(|&w| w == width)
+            .expect("width in ALL");
         self.width_fractions[i]
     }
 }

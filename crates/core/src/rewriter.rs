@@ -228,9 +228,7 @@ pub fn rewrite_binary(
     for (i, instr) in instrs.iter().enumerate() {
         out.extend(insert_before[i].iter().copied());
         let mut instr = *instr;
-        if instr.opcode.is_control()
-            && !matches!(instr.opcode, Opcode::Eot | Opcode::Ret)
-        {
+        if instr.opcode.is_control() && !matches!(instr.opcode, Opcode::Eot | Opcode::Ret) {
             let old_target = (i as i64 + 1 + instr.branch_offset as i64) as usize;
             let new_target = pos[old_target] - insert_before[old_target].len();
             instr.branch_offset = (new_target as i64 - (pos[i] as i64 + 1)) as i32;
@@ -271,7 +269,12 @@ fn timer_exit_sequence(slot: u32) -> [Instruction; 4] {
     let mut sub = Instruction::new(Opcode::Sub, ExecSize::S1);
     sub.dst = Some(R_DELTA);
     sub.srcs = [Src::Reg(R_T1), Src::Reg(R_T0), Src::Null];
-    [read_timer(R_T1), sub, mov_imm(R_SLOT, slot), atomic_add(R_SLOT, R_DELTA)]
+    [
+        read_timer(R_T1),
+        sub,
+        mov_imm(R_SLOT, slot),
+        atomic_add(R_SLOT, R_DELTA),
+    ]
 }
 
 /// `mov r125, tag; send.write trace[tag] ← addr_reg`
@@ -336,15 +339,29 @@ mod tests {
     fn loop_kernel_bytes(trip: u32) -> Vec<u8> {
         let mut ir = KernelIr::new("loopy", 1);
         ir.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Const(trip) },
-            IrOp::Compute { ops: 5, width: ExecSize::S16 },
-            IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+            IrOp::LoopBegin {
+                trip: TripCount::Const(trip),
+            },
+            IrOp::Compute {
+                ops: 5,
+                width: ExecSize::S16,
+            },
+            IrOp::Load {
+                arg: 0,
+                bytes: 64,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Linear,
+            },
             IrOp::LoopEnd,
         ];
         gpu_device::jit::compile_kernel(&ir).unwrap().encode()
     }
 
-    fn execute(bytes: &[u8], args: &[ArgValue], gws: u64) -> (gpu_device::ExecutionStats, TraceBuffer) {
+    fn execute(
+        bytes: &[u8],
+        args: &[ArgValue],
+        gws: u64,
+    ) -> (gpu_device::ExecutionStats, TraceBuffer) {
         let flat = decode_flat(bytes).unwrap();
         let mut cache = Cache::new(CacheConfig::default());
         let mut trace = TraceBuffer::new();
@@ -376,7 +393,10 @@ mod tests {
         // Reconstructed app instruction count equals a native run of
         // the ORIGINAL binary.
         let (native, _) = execute(&bytes, &args, 32);
-        assert_eq!(total_app, native.instructions, "per-BB counters reconstruct instr counts");
+        assert_eq!(
+            total_app, native.instructions,
+            "per-BB counters reconstruct instr counts"
+        );
         assert!(flat.num_blocks() >= 3);
     }
 
@@ -385,7 +405,12 @@ mod tests {
         let bytes = loop_kernel_bytes(5);
         let rw = rewrite_binary(
             &bytes,
-            &RewriteConfig { count_basic_blocks: true, time_kernels: true, trace_memory: true, naive_per_instruction_counters: false },
+            &RewriteConfig {
+                count_basic_blocks: true,
+                time_kernels: true,
+                trace_memory: true,
+                naive_per_instruction_counters: false,
+            },
             0,
             0,
         )
@@ -396,23 +421,39 @@ mod tests {
         assert_eq!(inst.bytes_read, orig.bytes_read);
         assert_eq!(inst.bytes_written, orig.bytes_written);
         assert_eq!(inst.global_sends, orig.global_sends);
-        assert!(inst.instructions > orig.instructions, "instrumentation adds work");
+        assert!(
+            inst.instructions > orig.instructions,
+            "instrumentation adds work"
+        );
     }
 
     #[test]
     fn timer_slot_accumulates_positive_cycles() {
         let bytes = loop_kernel_bytes(5);
-        let cfg = RewriteConfig { count_basic_blocks: false, time_kernels: true, trace_memory: false, naive_per_instruction_counters: false };
+        let cfg = RewriteConfig {
+            count_basic_blocks: false,
+            time_kernels: true,
+            trace_memory: false,
+            naive_per_instruction_counters: false,
+        };
         let rw = rewrite_binary(&bytes, &cfg, 10, 0).unwrap();
         let slot = rw.layout.timer_slot.unwrap();
         let (_, trace) = execute(&rw.bytes, &[ArgValue::Buffer(0)], 48);
-        assert!(trace.slot(slot as usize) > 0, "three threads accumulated cycles");
+        assert!(
+            trace.slot(slot as usize) > 0,
+            "three threads accumulated cycles"
+        );
     }
 
     #[test]
     fn memory_trace_records_every_global_send() {
         let bytes = loop_kernel_bytes(4);
-        let cfg = RewriteConfig { count_basic_blocks: false, time_kernels: false, trace_memory: true, naive_per_instruction_counters: false };
+        let cfg = RewriteConfig {
+            count_basic_blocks: false,
+            time_kernels: false,
+            trace_memory: true,
+            naive_per_instruction_counters: false,
+        };
         let rw = rewrite_binary(&bytes, &cfg, 0, 100).unwrap();
         assert_eq!(rw.layout.send_sites.len(), 1);
         assert_eq!(rw.layout.send_sites[0].tag, 100);
@@ -433,9 +474,17 @@ mod tests {
     #[test]
     fn disabled_config_is_identity_up_to_metadata() {
         let bytes = loop_kernel_bytes(2);
-        let cfg = RewriteConfig { count_basic_blocks: false, time_kernels: false, trace_memory: false, naive_per_instruction_counters: false };
+        let cfg = RewriteConfig {
+            count_basic_blocks: false,
+            time_kernels: false,
+            trace_memory: false,
+            naive_per_instruction_counters: false,
+        };
         let rw = rewrite_binary(&bytes, &cfg, 0, 0).unwrap();
-        assert_eq!(rw.instrumented_instructions, rw.static_info.static_instructions);
+        assert_eq!(
+            rw.instrumented_instructions,
+            rw.static_info.static_instructions
+        );
         let orig = decode_flat(&bytes).unwrap();
         let new = decode_flat(&rw.bytes).unwrap();
         assert_eq!(orig.instrs, new.instrs);

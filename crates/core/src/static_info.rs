@@ -66,7 +66,10 @@ impl StaticKernelInfo {
                 info.bytes_read += instr.app_bytes_read();
                 info.bytes_written += instr.app_bytes_written();
                 if instr.opcode.is_send()
-                    && instr.send.map(|d| d.surface == Surface::Global).unwrap_or(false)
+                    && instr
+                        .send
+                        .map(|d| d.surface == Surface::Global)
+                        .unwrap_or(false)
                 {
                     info.global_sends += 1;
                 }

@@ -65,6 +65,10 @@ impl Tool for OpcodeHistogramTool {
                 self.totals[i] as f64 / total as f64 * 100.0
             ));
         }
-        format!("opcode-histogram over {} invocations: {}", self.invocations, parts.join(", "))
+        format!(
+            "opcode-histogram over {} invocations: {}",
+            self.invocations,
+            parts.join(", ")
+        )
     }
 }

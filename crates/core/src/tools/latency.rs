@@ -58,10 +58,9 @@ impl LatencyTool {
 
     /// Mean latency across all sites.
     pub fn mean_cycles(&self) -> f64 {
-        let (acc, cyc) = self
-            .per_site
-            .values()
-            .fold((0u64, 0u64), |(a, c), s| (a + s.accesses, c + s.total_cycles));
+        let (acc, cyc) = self.per_site.values().fold((0u64, 0u64), |(a, c), s| {
+            (a + s.accesses, c + s.total_cycles)
+        });
         if acc == 0 {
             0.0
         } else {

@@ -79,9 +79,7 @@ impl Tool for SimdUtilizationTool {
 
     fn report(&self) -> String {
         let mut rows: Vec<(&String, &Utilization)> = self.per_kernel.iter().collect();
-        rows.sort_by(|a, b| {
-            b.1.rate().partial_cmp(&a.1.rate()).expect("finite rates")
-        });
+        rows.sort_by(|a, b| b.1.rate().partial_cmp(&a.1.rate()).expect("finite rates"));
         let mut out = format!(
             "simd-utilization: {:.1}% of SIMD channels active overall\n",
             self.overall.rate() * 100.0
@@ -117,7 +115,10 @@ mod tests {
         }
     }
 
-    fn ctx_fixture() -> (Vec<&'static crate::static_info::StaticKernelInfo>, HashMap<u32, crate::rewriter::SendSite>) {
+    fn ctx_fixture() -> (
+        Vec<&'static crate::static_info::StaticKernelInfo>,
+        HashMap<u32, crate::rewriter::SendSite>,
+    ) {
         (Vec::new(), HashMap::new())
     }
 
@@ -125,7 +126,10 @@ mod tests {
     fn all_simd16_is_full_utilization() {
         let mut t = SimdUtilizationTool::new();
         let (kernels, sites) = ctx_fixture();
-        let ctx = ToolContext { kernels: &kernels, send_sites: &sites };
+        let ctx = ToolContext {
+            kernels: &kernels,
+            send_sites: &sites,
+        };
         // per_width indexed per ExecSize::ALL = [1, 2, 4, 8, 16]
         t.on_kernel_complete(&invocation("k", [0, 0, 0, 0, 100]), &ctx);
         assert!((t.overall().rate() - 1.0).abs() < 1e-12);
@@ -135,7 +139,10 @@ mod tests {
     fn scalar_code_wastes_fifteen_sixteenths() {
         let mut t = SimdUtilizationTool::new();
         let (kernels, sites) = ctx_fixture();
-        let ctx = ToolContext { kernels: &kernels, send_sites: &sites };
+        let ctx = ToolContext {
+            kernels: &kernels,
+            send_sites: &sites,
+        };
         t.on_kernel_complete(&invocation("k", [16, 0, 0, 0, 0]), &ctx);
         assert!((t.overall().rate() - 1.0 / 16.0).abs() < 1e-12);
     }
@@ -144,7 +151,10 @@ mod tests {
     fn mixed_widths_average_correctly_per_kernel() {
         let mut t = SimdUtilizationTool::new();
         let (kernels, sites) = ctx_fixture();
-        let ctx = ToolContext { kernels: &kernels, send_sites: &sites };
+        let ctx = ToolContext {
+            kernels: &kernels,
+            send_sites: &sites,
+        };
         t.on_kernel_complete(&invocation("a", [0, 0, 0, 100, 0]), &ctx); // all 8-wide
         t.on_kernel_complete(&invocation("b", [0, 0, 0, 0, 100]), &ctx); // all 16-wide
         assert!((t.kernel("a").unwrap().rate() - 0.5).abs() < 1e-12);

@@ -5,14 +5,19 @@
 
 use gen_isa::ExecSize;
 use gpu_device::driver::decode_flat;
-use gpu_device::{Cache, CacheConfig, ExecConfig, Executor, ExecutionStats, TraceBuffer};
+use gpu_device::{Cache, CacheConfig, ExecConfig, ExecutionStats, Executor, TraceBuffer};
 use gtpin_core::rewriter::{rewrite_binary, RewriteConfig};
 use ocl_runtime::api::ArgValue;
 use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
 use proptest::prelude::*;
 
 fn arb_width() -> impl Strategy<Value = ExecSize> {
-    prop::sample::select(vec![ExecSize::S1, ExecSize::S4, ExecSize::S8, ExecSize::S16])
+    prop::sample::select(vec![
+        ExecSize::S1,
+        ExecSize::S4,
+        ExecSize::S8,
+        ExecSize::S16,
+    ])
 }
 
 fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
@@ -31,7 +36,12 @@ fn arb_body() -> impl Strategy<Value = Vec<IrOp>> {
         ((1u16..8), arb_width()).prop_map(|(ops, width)| IrOp::Move { ops, width }),
         ((1u16..4), arb_width()).prop_map(|(ops, width)| IrOp::MathCompute { ops, width }),
         ((4u32..256), arb_width(), arb_pattern()).prop_map(|(bytes, width, pattern)| {
-            IrOp::Load { arg: 1, bytes: bytes * 4, width, pattern }
+            IrOp::Load {
+                arg: 1,
+                bytes: bytes * 4,
+                width,
+                pattern,
+            }
         }),
         ((4u32..128), arb_width()).prop_map(|(bytes, width)| IrOp::Store {
             arg: 2,
@@ -49,10 +59,15 @@ fn arb_body() -> impl Strategy<Value = Vec<IrOp>> {
             let mut body = Vec::new();
             if let Some(t) = if_thresh {
                 body.push(IrOp::IfArgLt { arg: 3, value: t });
-                body.push(IrOp::Move { ops: 2, width: ExecSize::S8 });
+                body.push(IrOp::Move {
+                    ops: 2,
+                    width: ExecSize::S8,
+                });
                 body.push(IrOp::EndIf);
             }
-            body.push(IrOp::LoopBegin { trip: TripCount::Const(trip) });
+            body.push(IrOp::LoopBegin {
+                trip: TripCount::Const(trip),
+            });
             body.extend(inner);
             body.push(IrOp::LoopEnd);
             body

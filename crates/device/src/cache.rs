@@ -82,7 +82,12 @@ impl Cache {
     /// A cold cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
         let sets = vec![vec![(u64::MAX, 0); config.ways as usize]; config.num_sets() as usize];
-        Cache { config, sets, tick: 0, stats: CacheStats::default() }
+        Cache {
+            config,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The geometry.
@@ -156,7 +161,11 @@ mod tests {
     use super::*;
 
     fn small_cache() -> Cache {
-        Cache::new(CacheConfig { capacity_bytes: 1024, line_bytes: 64, ways: 2 })
+        Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -179,7 +188,7 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         let mut c = small_cache(); // 8 sets, 2 ways
-        // Three lines mapping to the same set (stride = sets*line = 512).
+                                   // Three lines mapping to the same set (stride = sets*line = 512).
         c.access(0, 4);
         c.access(512, 4);
         c.access(1024, 4); // evicts line 0
@@ -200,7 +209,10 @@ mod tests {
                 c.reset_stats();
             }
         }
-        assert!(c.stats().hit_rate() > 0.9, "second pass over 4 KiB fits easily");
+        assert!(
+            c.stats().hit_rate() > 0.9,
+            "second pass over 4 KiB fits easily"
+        );
     }
 
     #[test]

@@ -116,9 +116,19 @@ mod tests {
     fn streaming_kernel() -> DecodedKernel {
         let mut ir = KernelIr::new("stream", 2);
         ir.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Arg(0) },
-            IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
-            IrOp::Compute { ops: 4, width: ExecSize::S16 },
+            IrOp::LoopBegin {
+                trip: TripCount::Arg(0),
+            },
+            IrOp::Load {
+                arg: 1,
+                bytes: 64,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Linear,
+            },
+            IrOp::Compute {
+                ops: 4,
+                width: ExecSize::S16,
+            },
             IrOp::LoopEnd,
         ];
         compile_kernel(&ir).unwrap().flatten()
@@ -137,13 +147,9 @@ mod tests {
     #[test]
     fn snapshots_captured_at_requested_boundaries() {
         let kernels = vec![streaming_kernel()];
-        let lib = CheckpointLibrary::build(
-            &kernels,
-            &launches(6),
-            CacheConfig::default(),
-            &[0, 3, 6],
-        )
-        .unwrap();
+        let lib =
+            CheckpointLibrary::build(&kernels, &launches(6), CacheConfig::default(), &[0, 3, 6])
+                .unwrap();
         assert_eq!(lib.len(), 3);
         assert!(lib.cache_before(0).is_some());
         assert!(lib.cache_before(3).is_some());
@@ -154,8 +160,7 @@ mod tests {
     fn warm_checkpoint_reduces_sample_misses() {
         let kernels = vec![streaming_kernel()];
         let ls = launches(6);
-        let lib =
-            CheckpointLibrary::build(&kernels, &ls, CacheConfig::default(), &[0, 3]).unwrap();
+        let lib = CheckpointLibrary::build(&kernels, &ls, CacheConfig::default(), &[0, 3]).unwrap();
         let topo = GpuGeneration::IvyBridgeHd4000.topology();
 
         // Detailed-simulate invocation 3 cold vs from the checkpoint.
@@ -180,13 +185,8 @@ mod tests {
     #[test]
     fn boundary_past_the_trace_snapshots_final_state() {
         let kernels = vec![streaming_kernel()];
-        let lib = CheckpointLibrary::build(
-            &kernels,
-            &launches(2),
-            CacheConfig::default(),
-            &[10],
-        )
-        .unwrap();
+        let lib = CheckpointLibrary::build(&kernels, &launches(2), CacheConfig::default(), &[10])
+            .unwrap();
         assert_eq!(lib.len(), 1);
         assert!(lib.cache_before(2).is_some(), "clamped to end of trace");
     }

@@ -133,7 +133,11 @@ pub struct DetailedSimulator {
 
 impl DetailedSimulator {
     /// A simulator of `topology` at `frequency_hz`.
-    pub fn new(topology: GpuTopology, frequency_hz: f64, config: DetailedConfig) -> DetailedSimulator {
+    pub fn new(
+        topology: GpuTopology,
+        frequency_hz: f64,
+        config: DetailedConfig,
+    ) -> DetailedSimulator {
         DetailedSimulator {
             topology,
             config,
@@ -165,15 +169,17 @@ impl DetailedSimulator {
     ) -> Result<DetailedResult, ExecError> {
         let num_threads = global_work_size.div_ceil(DISPATCH_WIDTH).max(1);
         let num_eus = self.topology.execution_units as u64;
-        let mut stats = ExecutionStats { hw_threads: num_threads, ..Default::default() };
+        let mut stats = ExecutionStats {
+            hw_threads: num_threads,
+            ..Default::default()
+        };
         let mut max_cycles = 0u64;
         let mut busy_cycles = 0u64;
         let mut eu_cycles = 0u64;
 
         for eu in 0..num_eus.min(num_threads) {
             // Threads assigned round-robin to EUs.
-            let thread_ids: Vec<u64> =
-                (eu..num_threads).step_by(num_eus as usize).collect();
+            let thread_ids: Vec<u64> = (eu..num_threads).step_by(num_eus as usize).collect();
             let (cycles, busy) = self.simulate_eu(kernel, args, &thread_ids, &mut stats)?;
             max_cycles = max_cycles.max(cycles);
             busy_cycles += busy;
@@ -204,7 +210,11 @@ impl DetailedSimulator {
     ) -> Result<(u64, u64), ExecError> {
         let slots = self.topology.threads_per_eu as usize;
         let mut waiting = thread_ids.iter().copied();
-        let mut active: Vec<ThreadCtx> = waiting.by_ref().take(slots).map(|t| ThreadCtx::new(t, args)).collect();
+        let mut active: Vec<ThreadCtx> = waiting
+            .by_ref()
+            .take(slots)
+            .map(|t| ThreadCtx::new(t, args))
+            .collect();
         let mut cycle = 0u64;
         let mut busy = 0u64;
         let mut rr = 0usize;
@@ -266,7 +276,9 @@ impl DetailedSimulator {
         stats: &mut ExecutionStats,
     ) -> Result<(), ExecError> {
         if t.executed >= self.config.thread_budget {
-            return Err(ExecError::BudgetExceeded { budget: self.config.thread_budget });
+            return Err(ExecError::BudgetExceeded {
+                budget: self.config.thread_budget,
+            });
         }
         if t.ip < 0 || t.ip as usize >= kernel.instrs.len() {
             return Err(ExecError::RanOffEnd { ip: t.ip });
@@ -278,7 +290,14 @@ impl DetailedSimulator {
         stats.count_instruction(instr.opcode.category(), instr.exec_size, issue);
 
         let misses_before = stats.cache_misses;
-        let outcome = step(&mut t.st, instr, &mut self.cache, &mut self.trace, stats);
+        let outcome = step(
+            &mut t.st,
+            instr,
+            &mut self.cache,
+            &mut self.trace,
+            stats,
+            None,
+        );
         let missed = stats.cache_misses > misses_before;
 
         let latency = match instr.opcode {
@@ -338,9 +357,19 @@ mod tests {
     fn architectural_results_match_functional_execution() {
         let k = kernel(
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(7) },
-                IrOp::Compute { ops: 6, width: ExecSize::S16 },
-                IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(7),
+                },
+                IrOp::Compute {
+                    ops: 6,
+                    width: ExecSize::S16,
+                },
+                IrOp::Load {
+                    arg: 0,
+                    bytes: 64,
+                    width: ExecSize::S16,
+                    pattern: AccessPattern::Linear,
+                },
                 IrOp::LoopEnd,
             ],
             1,
@@ -365,30 +394,60 @@ mod tests {
 
     #[test]
     fn cycles_grow_with_work() {
-        let small = kernel(vec![IrOp::Compute { ops: 10, width: ExecSize::S16 }], 0);
-        let large = kernel(vec![IrOp::Compute { ops: 200, width: ExecSize::S16 }], 0);
+        let small = kernel(
+            vec![IrOp::Compute {
+                ops: 10,
+                width: ExecSize::S16,
+            }],
+            0,
+        );
+        let large = kernel(
+            vec![IrOp::Compute {
+                ops: 200,
+                width: ExecSize::S16,
+            }],
+            0,
+        );
         let cs = sim().simulate_launch(&small, &[], 256).unwrap().cycles;
         let cl = sim().simulate_launch(&large, &[], 256).unwrap().cycles;
-        assert!(cl > 4 * cs, "20× more work should cost clearly more cycles: {cs} vs {cl}");
+        assert!(
+            cl > 4 * cs,
+            "20× more work should cost clearly more cycles: {cs} vs {cl}"
+        );
     }
 
     #[test]
     fn memory_bound_kernels_cost_more_cycles_per_instruction() {
         let compute = kernel(
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(50) },
-                IrOp::Compute { ops: 10, width: ExecSize::S16 },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(50),
+                },
+                IrOp::Compute {
+                    ops: 10,
+                    width: ExecSize::S16,
+                },
                 IrOp::LoopEnd,
             ],
             0,
         );
         let memory = kernel(
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(50) },
-                IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Gather },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(50),
+                },
+                IrOp::Load {
+                    arg: 0,
+                    bytes: 64,
+                    width: ExecSize::S16,
+                    pattern: AccessPattern::Gather,
+                },
                 // The compute consumes the loaded value, so the miss
                 // latency is actually on the critical path.
-                IrOp::Compute { ops: 2, width: ExecSize::S16 },
+                IrOp::Compute {
+                    ops: 2,
+                    width: ExecSize::S16,
+                },
                 IrOp::LoopEnd,
             ],
             1,
@@ -399,7 +458,10 @@ mod tests {
             .unwrap();
         let cpi_c = rc.cycles as f64 / rc.stats.instructions as f64;
         let cpi_m = rm.cycles as f64 / rm.stats.instructions as f64;
-        assert!(cpi_m > cpi_c, "gather kernel CPI {cpi_m} should exceed compute CPI {cpi_c}");
+        assert!(
+            cpi_m > cpi_c,
+            "gather kernel CPI {cpi_m} should exceed compute CPI {cpi_c}"
+        );
     }
 
     #[test]
@@ -408,8 +470,13 @@ mod tests {
         // fewer than 8× the cycles of one.
         let k = kernel(
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(20) },
-                IrOp::MathCompute { ops: 4, width: ExecSize::S8 },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(20),
+                },
+                IrOp::MathCompute {
+                    ops: 4,
+                    width: ExecSize::S8,
+                },
                 IrOp::LoopEnd,
             ],
             0,
@@ -426,9 +493,17 @@ mod tests {
     fn detailed_simulation_is_slower_than_functional_in_wall_clock() {
         let k = kernel(
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(400) },
-                IrOp::Compute { ops: 20, width: ExecSize::S16 },
-                IrOp::MathCompute { ops: 4, width: ExecSize::S16 },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(400),
+                },
+                IrOp::Compute {
+                    ops: 20,
+                    width: ExecSize::S16,
+                },
+                IrOp::MathCompute {
+                    ops: 4,
+                    width: ExecSize::S16,
+                },
                 IrOp::LoopEnd,
             ],
             0,
@@ -440,9 +515,13 @@ mod tests {
                 let t0 = std::time::Instant::now();
                 let mut cache = Cache::new(CacheConfig::default());
                 let mut trace = TraceBuffer::new();
-                Executor { cache: &mut cache, trace: &mut trace, config: ExecConfig::default() }
-                    .execute_launch(&k, &[], 4096)
-                    .unwrap();
+                Executor {
+                    cache: &mut cache,
+                    trace: &mut trace,
+                    config: ExecConfig::default(),
+                }
+                .execute_launch(&k, &[], 4096)
+                .unwrap();
                 t0.elapsed()
             })
             .min()

@@ -137,7 +137,10 @@ mod tests {
 
     fn source() -> ProgramSource {
         let mut k = KernelIr::new("k", 0);
-        k.body = vec![IrOp::Compute { ops: 4, width: ExecSize::S16 }];
+        k.body = vec![IrOp::Compute {
+            ops: 4,
+            width: ExecSize::S16,
+        }];
         ProgramSource { kernels: vec![k] }
     }
 
@@ -166,7 +169,9 @@ mod tests {
     fn rewriter_sees_every_kernel() {
         let calls = std::rc::Rc::new(std::cell::RefCell::new(0));
         let mut d = GpuDriver::new();
-        d.set_rewriter(Box::new(NopRewriter { calls: calls.clone() }));
+        d.set_rewriter(Box::new(NopRewriter {
+            calls: calls.clone(),
+        }));
         assert!(d.has_rewriter());
         let mut src = source();
         src.kernels.push(KernelIr::new("k2", 0));

@@ -91,11 +91,18 @@ impl std::error::Error for ExecError {}
 pub struct ExecConfig {
     /// Per-thread dynamic instruction budget.
     pub thread_budget: u64,
+    /// Worker threads for hardware-thread fan-out (`GTPIN_THREADS`
+    /// by default); `1` is the plain serial loop. Results are
+    /// bitwise identical at every value.
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> ExecConfig {
-        ExecConfig { thread_budget: 8_000_000 }
+        ExecConfig {
+            thread_budget: 8_000_000,
+            threads: gtpin_par::configured_threads(),
+        }
     }
 }
 
@@ -110,14 +117,50 @@ pub struct Executor<'d> {
     pub config: ExecConfig,
 }
 
+/// Whether any instruction reads the trace buffer back into a
+/// register. Such kernels see other hardware threads' counter writes
+/// in serial execution, so they cannot run against private shards —
+/// the executor falls back to the serial loop for them.
+fn reads_trace_buffer(kernel: &DecodedKernel) -> bool {
+    kernel.instrs.iter().any(|i| {
+        matches!(
+            i.send,
+            Some(d) if d.surface == gen_isa::Surface::TraceBuffer && d.op == gen_isa::SendOp::Read
+        )
+    })
+}
+
+/// Everything one hardware thread produced while running against
+/// private state: its counters, its trace-buffer shard, and the
+/// global-memory access log the main thread replays on the shared
+/// cache.
+struct ThreadRun {
+    result: Result<(), ExecError>,
+    stats: ExecutionStats,
+    shard: TraceBuffer,
+    accesses: Vec<(u64, u32)>,
+}
+
 impl<'d> Executor<'d> {
     /// Execute one kernel launch over `global_work_size` work items;
     /// returns aggregated statistics across hardware threads.
     ///
+    /// With `config.threads > 1` the hardware threads fan out across
+    /// workers, each against a scratch cache and a private trace
+    /// shard; shards and access logs merge back in hardware-thread
+    /// order, so statistics, cache state, and trace contents are
+    /// bitwise identical to the serial loop. Kernels that read the
+    /// trace buffer back into registers depend on cross-thread write
+    /// order and run serially regardless.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError`] on runaway loops, bad control flow, or
-    /// stray returns — all of which indicate a malformed binary.
+    /// stray returns — all of which indicate a malformed binary. On
+    /// error the cache and trace buffer hold the effects of every
+    /// hardware thread before the (lowest-numbered) failing one plus
+    /// the failing thread's partial run — the same state the serial
+    /// loop leaves.
     pub fn execute_launch(
         &mut self,
         kernel: &DecodedKernel,
@@ -125,47 +168,124 @@ impl<'d> Executor<'d> {
         global_work_size: u64,
     ) -> Result<ExecutionStats, ExecError> {
         let num_threads = global_work_size.div_ceil(DISPATCH_WIDTH).max(1);
-        let mut stats = ExecutionStats { hw_threads: num_threads, ..Default::default() };
-        for t in 0..num_threads {
-            self.execute_thread(kernel, args, t, &mut stats)?;
+        let mut stats = ExecutionStats {
+            hw_threads: num_threads,
+            ..Default::default()
+        };
+        let workers = self.config.threads.min(num_threads as usize);
+        if workers <= 1 || reads_trace_buffer(kernel) {
+            for t in 0..num_threads {
+                run_thread(
+                    kernel,
+                    args,
+                    t,
+                    self.config.thread_budget,
+                    self.cache,
+                    self.trace,
+                    &mut stats,
+                    None,
+                )?;
+            }
+            return Ok(stats);
+        }
+
+        let budget = self.config.thread_budget;
+        let proto_cache = self.cache.clone();
+        let record_cap = self.trace.record_capacity();
+        let runs = gtpin_par::parallel_indexed(num_threads as usize, workers, |t| {
+            let mut cache = proto_cache.clone();
+            let mut shard = TraceBuffer::new().with_record_capacity(record_cap);
+            let mut tstats = ExecutionStats::default();
+            let mut accesses = Vec::new();
+            let result = run_thread(
+                kernel,
+                args,
+                t as u64,
+                budget,
+                &mut cache,
+                &mut shard,
+                &mut tstats,
+                Some(&mut accesses),
+            );
+            ThreadRun {
+                result,
+                stats: tstats,
+                shard,
+                accesses,
+            }
+        });
+
+        for run in runs {
+            // Replay this thread's global accesses on the shared
+            // cache: hit/miss counts and cache state come out exactly
+            // as the serial loop's (the scratch-cache counts in the
+            // worker's stats are discarded below).
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for &(addr, bytes) in &run.accesses {
+                let (h, m) = self.cache.access(addr, bytes);
+                hits += h as u64;
+                misses += m as u64;
+            }
+            self.trace.merge_shard(run.shard);
+            run.result?;
+            let mut s = run.stats;
+            s.cache_hits = hits;
+            s.cache_misses = misses;
+            stats.merge(&s);
         }
         Ok(stats)
     }
+}
 
-    fn execute_thread(
-        &mut self,
-        kernel: &DecodedKernel,
-        args: &[ArgValue],
-        thread_id: u64,
-        stats: &mut ExecutionStats,
-    ) -> Result<(), ExecError> {
-        let mut st = ThreadState::new(thread_id, args);
-        let mut ip: i64 = 0;
-        let mut executed: u64 = 0;
-        let instrs = &kernel.instrs;
+/// Run one hardware thread to completion against the given cache and
+/// trace buffer (shared in serial execution, private in parallel).
+#[allow(clippy::too_many_arguments)]
+fn run_thread(
+    kernel: &DecodedKernel,
+    args: &[ArgValue],
+    thread_id: u64,
+    thread_budget: u64,
+    cache: &mut Cache,
+    trace: &mut TraceBuffer,
+    stats: &mut ExecutionStats,
+    mut access_log: Option<&mut Vec<(u64, u32)>>,
+) -> Result<(), ExecError> {
+    let mut st = ThreadState::new(thread_id, args);
+    let mut ip: i64 = 0;
+    let mut executed: u64 = 0;
+    let instrs = &kernel.instrs;
 
-        loop {
-            if executed >= self.config.thread_budget {
-                return Err(ExecError::BudgetExceeded { budget: self.config.thread_budget });
-            }
-            if ip < 0 || ip as usize >= instrs.len() {
-                return Err(ExecError::RanOffEnd { ip });
-            }
-            let instr = &instrs[ip as usize];
-            executed += 1;
-            let cost = instruction_cost(instr);
-            st.issue_cycles += cost;
-            stats.count_instruction(instr.opcode.category(), instr.exec_size, cost);
-
-            match step(&mut st, instr, self.cache, self.trace, stats) {
-                StepOutcome::Done => break,
-                StepOutcome::Fault => return Err(ExecError::StrayReturn { ip: ip as usize }),
-                StepOutcome::Branch(off) => ip += 1 + off as i64,
-                StepOutcome::Next => ip += 1,
-            }
+    loop {
+        if executed >= thread_budget {
+            return Err(ExecError::BudgetExceeded {
+                budget: thread_budget,
+            });
         }
-        Ok(())
+        if ip < 0 || ip as usize >= instrs.len() {
+            return Err(ExecError::RanOffEnd { ip });
+        }
+        let instr = &instrs[ip as usize];
+        executed += 1;
+        let cost = instruction_cost(instr);
+        st.issue_cycles += cost;
+        stats.count_instruction(instr.opcode.category(), instr.exec_size, cost);
+
+        match step(
+            &mut st,
+            instr,
+            cache,
+            trace,
+            stats,
+            access_log.as_deref_mut(),
+        ) {
+            StepOutcome::Done => break,
+            StepOutcome::Fault => return Err(ExecError::StrayReturn { ip: ip as usize }),
+            StepOutcome::Branch(off) => ip += 1 + off as i64,
+            StepOutcome::Next => ip += 1,
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -200,7 +320,15 @@ mod tests {
 
     #[test]
     fn one_thread_per_sixteen_work_items() {
-        let (s, _) = run(vec![IrOp::Compute { ops: 1, width: ExecSize::S16 }], 0, &[], 64);
+        let (s, _) = run(
+            vec![IrOp::Compute {
+                ops: 1,
+                width: ExecSize::S16,
+            }],
+            0,
+            &[],
+            64,
+        );
         assert_eq!(s.hw_threads, 4);
         let (s, _) = run(vec![], 0, &[], 1);
         assert_eq!(s.hw_threads, 1, "tiny launches still dispatch one thread");
@@ -209,8 +337,13 @@ mod tests {
     #[test]
     fn loop_trip_count_follows_argument() {
         let body = vec![
-            IrOp::LoopBegin { trip: TripCount::Arg(0) },
-            IrOp::Compute { ops: 10, width: ExecSize::S16 },
+            IrOp::LoopBegin {
+                trip: TripCount::Arg(0),
+            },
+            IrOp::Compute {
+                ops: 10,
+                width: ExecSize::S16,
+            },
             IrOp::LoopEnd,
         ];
         let (s5, _) = run(body.clone(), 1, &[ArgValue::Scalar(5)], 16);
@@ -222,7 +355,10 @@ mod tests {
 
     #[test]
     fn instruction_count_scales_with_threads() {
-        let body = vec![IrOp::Compute { ops: 7, width: ExecSize::S8 }];
+        let body = vec![IrOp::Compute {
+            ops: 7,
+            width: ExecSize::S8,
+        }];
         let (s1, _) = run(body.clone(), 0, &[], 16);
         let (s4, _) = run(body, 0, &[], 64);
         assert_eq!(s4.instructions, 4 * s1.instructions);
@@ -231,9 +367,21 @@ mod tests {
     #[test]
     fn memory_bytes_accounted_per_execution() {
         let body = vec![
-            IrOp::LoopBegin { trip: TripCount::Const(3) },
-            IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
-            IrOp::Store { arg: 1, bytes: 32, width: ExecSize::S16, pattern: AccessPattern::Linear },
+            IrOp::LoopBegin {
+                trip: TripCount::Const(3),
+            },
+            IrOp::Load {
+                arg: 0,
+                bytes: 64,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Linear,
+            },
+            IrOp::Store {
+                arg: 1,
+                bytes: 32,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Linear,
+            },
             IrOp::LoopEnd,
         ];
         let (s, _) = run(body, 2, &[ArgValue::Buffer(0), ArgValue::Buffer(1)], 16);
@@ -246,8 +394,15 @@ mod tests {
     fn gather_misses_more_than_linear() {
         let mk = |pattern| {
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(200) },
-                IrOp::Load { arg: 0, bytes: 16, width: ExecSize::S16, pattern },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(200),
+                },
+                IrOp::Load {
+                    arg: 0,
+                    bytes: 16,
+                    width: ExecSize::S16,
+                    pattern,
+                },
                 IrOp::LoopEnd,
             ]
         };
@@ -265,8 +420,13 @@ mod tests {
     fn runaway_loop_hits_budget_guard() {
         let mut ir = KernelIr::new("r", 0);
         ir.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Const(1 << 30) },
-            IrOp::Compute { ops: 1, width: ExecSize::S1 },
+            IrOp::LoopBegin {
+                trip: TripCount::Const(1 << 30),
+            },
+            IrOp::Compute {
+                ops: 1,
+                width: ExecSize::S1,
+            },
             IrOp::LoopEnd,
         ];
         let bin = compile_kernel(&ir).unwrap().flatten();
@@ -275,7 +435,10 @@ mod tests {
         let err = Executor {
             cache: &mut cache,
             trace: &mut trace,
-            config: ExecConfig { thread_budget: 1000 },
+            config: ExecConfig {
+                thread_budget: 1000,
+                ..Default::default()
+            },
         }
         .execute_launch(&bin, &[], 16)
         .unwrap_err();
@@ -286,7 +449,10 @@ mod tests {
     fn if_region_skipped_when_condition_fails() {
         let body = vec![
             IrOp::IfArgLt { arg: 0, value: 100 },
-            IrOp::Compute { ops: 50, width: ExecSize::S16 },
+            IrOp::Compute {
+                ops: 50,
+                width: ExecSize::S16,
+            },
             IrOp::EndIf,
         ];
         let (taken, _) = run(body.clone(), 1, &[ArgValue::Scalar(5)], 16);
@@ -344,12 +510,146 @@ mod tests {
         assert_eq!(stats.global_sends, 0);
     }
 
+    fn run_with_threads(
+        ir_body: Vec<IrOp>,
+        num_args: u8,
+        args: &[ArgValue],
+        gws: u64,
+        threads: usize,
+    ) -> (ExecutionStats, TraceBuffer, Cache) {
+        let mut ir = KernelIr::new("t", num_args);
+        ir.body = ir_body;
+        let bin = compile_kernel(&ir).unwrap();
+        let flat = bin.flatten();
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        let stats = Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig {
+                threads,
+                ..Default::default()
+            },
+        }
+        .execute_launch(&flat, args, gws)
+        .unwrap();
+        (stats, trace, cache)
+    }
+
+    #[test]
+    fn parallel_launch_is_bit_identical_to_serial() {
+        let body = vec![
+            IrOp::LoopBegin {
+                trip: TripCount::Const(7),
+            },
+            IrOp::Compute {
+                ops: 3,
+                width: ExecSize::S16,
+            },
+            IrOp::Load {
+                arg: 0,
+                bytes: 64,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Gather,
+            },
+            IrOp::Store {
+                arg: 1,
+                bytes: 32,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Linear,
+            },
+            IrOp::LoopEnd,
+        ];
+        let args = [ArgValue::Buffer(0), ArgValue::Buffer(1)];
+        let (s1, t1, c1) = run_with_threads(body.clone(), 2, &args, 8 * 16, 1);
+        for threads in 2..=5 {
+            let (sp, tp, cp) = run_with_threads(body.clone(), 2, &args, 8 * 16, threads);
+            assert_eq!(sp, s1, "stats at {threads} threads");
+            assert_eq!(tp.records(), t1.records());
+            assert_eq!(tp.num_slots(), t1.num_slots());
+            assert_eq!(
+                cp.stats(),
+                c1.stats(),
+                "replayed cache state at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_trace_shards_merge_to_serial_counters() {
+        use gen_isa::builder::KernelBuilder;
+        use gen_isa::{Reg, Src, Surface};
+        let mut b = KernelBuilder::new("counter");
+        let e = b.entry_block();
+        b.block_mut(e)
+            .mov(ExecSize::S1, Reg(100), Src::Imm(3))
+            .mov(ExecSize::S1, Reg(101), Src::Imm(1))
+            .atomic_add(Reg(100), Reg(101), Surface::TraceBuffer)
+            .eot();
+        let flat = b.build().unwrap().flatten();
+        for threads in [1usize, 4] {
+            let mut cache = Cache::new(CacheConfig::default());
+            let mut trace = TraceBuffer::new();
+            let stats = Executor {
+                cache: &mut cache,
+                trace: &mut trace,
+                config: ExecConfig {
+                    threads,
+                    ..Default::default()
+                },
+            }
+            .execute_launch(&flat, &[], 8 * 16)
+            .unwrap();
+            assert_eq!(trace.slot(3), 8, "threads = {threads}");
+            assert_eq!(stats.trace_bytes, 8 * 64);
+        }
+    }
+
+    #[test]
+    fn budget_error_surfaces_from_parallel_path() {
+        let mut ir = KernelIr::new("r", 0);
+        ir.body = vec![
+            IrOp::LoopBegin {
+                trip: TripCount::Const(1 << 30),
+            },
+            IrOp::Compute {
+                ops: 1,
+                width: ExecSize::S1,
+            },
+            IrOp::LoopEnd,
+        ];
+        let bin = compile_kernel(&ir).unwrap().flatten();
+        let mut cache = Cache::new(CacheConfig::default());
+        let mut trace = TraceBuffer::new();
+        let err = Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig {
+                thread_budget: 1000,
+                threads: 4,
+            },
+        }
+        .execute_launch(&bin, &[], 4 * 16)
+        .unwrap_err();
+        assert_eq!(err, ExecError::BudgetExceeded { budget: 1000 });
+    }
+
     #[test]
     fn execution_is_deterministic() {
         let body = vec![
-            IrOp::LoopBegin { trip: TripCount::Const(9) },
-            IrOp::Compute { ops: 5, width: ExecSize::S16 },
-            IrOp::Load { arg: 0, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Gather },
+            IrOp::LoopBegin {
+                trip: TripCount::Const(9),
+            },
+            IrOp::Compute {
+                ops: 5,
+                width: ExecSize::S16,
+            },
+            IrOp::Load {
+                arg: 0,
+                bytes: 64,
+                width: ExecSize::S16,
+                pattern: AccessPattern::Gather,
+            },
             IrOp::LoopEnd,
         ];
         let (a, _) = run(body.clone(), 1, &[ArgValue::Buffer(2)], 128);

@@ -265,8 +265,13 @@ mod tests {
     fn program() -> ocl_runtime::host::HostProgram {
         let mut k = KernelIr::new("work", 1);
         k.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Arg(0) },
-            IrOp::Compute { ops: 40, width: ExecSize::S16 },
+            IrOp::LoopBegin {
+                trip: TripCount::Arg(0),
+            },
+            IrOp::Compute {
+                ops: 40,
+                width: ExecSize::S16,
+            },
             IrOp::LoopEnd,
         ];
         let source = ProgramSource { kernels: vec![k] };
@@ -347,7 +352,10 @@ mod tests {
         let run_at = |hz| {
             let cfg = GpuConfig::hd4000().with_frequency_hz(hz);
             let mut rt = OclRuntime::new(Gpu::new(GpuConfig { noise: 0.0, ..cfg }));
-            rt.run(&program(), Schedule::Replay).unwrap().cofluent.total_kernel_seconds()
+            rt.run(&program(), Schedule::Replay)
+                .unwrap()
+                .cofluent
+                .total_kernel_seconds()
         };
         let fast = run_at(1.15e9);
         let slow = run_at(0.35e9);

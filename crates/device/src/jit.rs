@@ -47,7 +47,10 @@ impl std::fmt::Display for JitError {
         match self {
             JitError::BadIr(s) => write!(f, "malformed kernel IR: {s}"),
             JitError::TooManyArgs { num_args } => {
-                write!(f, "{num_args} arguments exceed the register convention (max 9)")
+                write!(
+                    f,
+                    "{num_args} arguments exceed the register convention (max 9)"
+                )
             }
             JitError::Validation(s) => write!(f, "lowered binary failed validation: {s}"),
         }
@@ -143,16 +146,32 @@ impl Lowerer {
                     .block_mut(self.cur)
                     .mov(ExecSize::S16, counter, Src::Imm(0));
                 let head = self.b.new_block();
-                self.b.set_terminator(self.cur, Terminator::FallThrough(head));
+                self.b
+                    .set_terminator(self.cur, Terminator::FallThrough(head));
                 self.cur = head;
-                self.loops.push(LoopCtx { head, counter, trip: trip_src });
+                self.loops.push(LoopCtx {
+                    head,
+                    counter,
+                    trip: trip_src,
+                });
             }
             IrOp::LoopEnd => {
                 let ctx = self.loops.pop().expect("checked IR has matched loops");
                 self.b
                     .block_mut(self.cur)
-                    .add(ExecSize::S16, ctx.counter, Src::Reg(ctx.counter), Src::Imm(1))
-                    .cmp(ExecSize::S16, CondMod::Lt, FlagReg::F0, Src::Reg(ctx.counter), ctx.trip);
+                    .add(
+                        ExecSize::S16,
+                        ctx.counter,
+                        Src::Reg(ctx.counter),
+                        Src::Imm(1),
+                    )
+                    .cmp(
+                        ExecSize::S16,
+                        CondMod::Lt,
+                        FlagReg::F0,
+                        Src::Reg(ctx.counter),
+                        ctx.trip,
+                    );
                 let exit = self.b.new_block();
                 self.b.set_terminator(
                     self.cur,
@@ -239,14 +258,24 @@ impl Lowerer {
                     }
                 }
             }
-            IrOp::Load { arg, bytes, width, pattern } => {
+            IrOp::Load {
+                arg,
+                bytes,
+                width,
+                pattern,
+            } => {
                 let addr = self.lower_address(arg, bytes, pattern);
                 let dst = self.data_reg();
                 self.b
                     .block_mut(self.cur)
                     .send_read(width, dst, addr, Surface::Global, bytes);
             }
-            IrOp::Store { arg, bytes, width, pattern } => {
+            IrOp::Store {
+                arg,
+                bytes,
+                width,
+                pattern,
+            } => {
                 let addr = self.lower_address(arg, bytes, pattern);
                 let data = match self.data_src(1) {
                     Src::Reg(r) => r,
@@ -282,7 +311,8 @@ impl Lowerer {
             }
             IrOp::EndIf => {
                 let ctx = self.ifs.pop().expect("checked IR has matched ifs");
-                self.b.set_terminator(self.cur, Terminator::FallThrough(ctx.end));
+                self.b
+                    .set_terminator(self.cur, Terminator::FallThrough(ctx.end));
                 self.cur = ctx.end;
             }
         }
@@ -295,21 +325,57 @@ impl Lowerer {
         let counter = self.innermost_counter();
         let blk = self.b.block_mut(self.cur);
         // addr = arg_base + gid * 4
-        blk.mad(ExecSize::S16, addr, Src::Reg(GID_REG), Src::Imm(4), Src::Reg(arg_reg(arg)));
+        blk.mad(
+            ExecSize::S16,
+            addr,
+            Src::Reg(GID_REG),
+            Src::Imm(4),
+            Src::Reg(arg_reg(arg)),
+        );
         match pattern {
             AccessPattern::Linear => {
                 // addr += iter * bytes (consecutive chunks per iteration)
-                blk.mad(ExecSize::S16, addr, counter, Src::Imm(bytes.max(1)), Src::Reg(addr));
+                blk.mad(
+                    ExecSize::S16,
+                    addr,
+                    counter,
+                    Src::Imm(bytes.max(1)),
+                    Src::Reg(addr),
+                );
             }
             AccessPattern::Strided(stride) => {
-                blk.mad(ExecSize::S16, addr, counter, Src::Imm(stride), Src::Reg(addr));
+                blk.mad(
+                    ExecSize::S16,
+                    addr,
+                    counter,
+                    Src::Imm(stride),
+                    Src::Reg(addr),
+                );
             }
             AccessPattern::Gather => {
                 let h = self.addr_reg();
                 let blk = self.b.block_mut(self.cur);
-                blk.alu2(Opcode::Mul, ExecSize::S16, h, counter, Src::Imm(0x9E37_79B1));
-                blk.alu2(Opcode::Xor, ExecSize::S16, h, Src::Reg(h), Src::Reg(GID_REG));
-                blk.alu2(Opcode::And, ExecSize::S16, h, Src::Reg(h), Src::Imm(0x003F_FFC0));
+                blk.alu2(
+                    Opcode::Mul,
+                    ExecSize::S16,
+                    h,
+                    counter,
+                    Src::Imm(0x9E37_79B1),
+                );
+                blk.alu2(
+                    Opcode::Xor,
+                    ExecSize::S16,
+                    h,
+                    Src::Reg(h),
+                    Src::Reg(GID_REG),
+                );
+                blk.alu2(
+                    Opcode::And,
+                    ExecSize::S16,
+                    h,
+                    Src::Reg(h),
+                    Src::Imm(0x003F_FFC0),
+                );
                 blk.add(ExecSize::S16, addr, Src::Reg(addr), Src::Reg(h));
             }
         }
@@ -328,7 +394,9 @@ impl Lowerer {
 pub fn compile_kernel(ir: &KernelIr) -> Result<KernelBinary, JitError> {
     ir.check().map_err(|e| JitError::BadIr(e.to_string()))?;
     if ir.num_args > 9 {
-        return Err(JitError::TooManyArgs { num_args: ir.num_args });
+        return Err(JitError::TooManyArgs {
+            num_args: ir.num_args,
+        });
     }
 
     let mut b = KernelBuilder::new(ir.name.clone());
@@ -346,14 +414,20 @@ pub fn compile_kernel(ir: &KernelIr) -> Result<KernelBinary, JitError> {
     // Seed the data pool so generated arithmetic has varied inputs.
     lo.b.block_mut(entry)
         .mov(ExecSize::S16, Reg(DATA_BASE), Src::Reg(GID_REG))
-        .add(ExecSize::S16, Reg(DATA_BASE + 1), Src::Reg(GID_REG), Src::Imm(0x55));
+        .add(
+            ExecSize::S16,
+            Reg(DATA_BASE + 1),
+            Src::Reg(GID_REG),
+            Src::Imm(0x55),
+        );
     lo.data_cursor = 2;
 
     for op in &ir.body {
         lo.lower_op(op);
     }
     lo.b.block_mut(lo.cur).eot();
-    lo.b.build().map_err(|e| JitError::Validation(e.to_string()))
+    lo.b.build()
+        .map_err(|e| JitError::Validation(e.to_string()))
 }
 
 /// Lower every kernel of a program source.
@@ -381,7 +455,10 @@ mod tests {
     #[test]
     fn straight_line_kernel_compiles_and_validates() {
         let k = compile_kernel(&ir_with(
-            vec![IrOp::Compute { ops: 10, width: ExecSize::S16 }],
+            vec![IrOp::Compute {
+                ops: 10,
+                width: ExecSize::S16,
+            }],
             0,
         ))
         .unwrap();
@@ -395,17 +472,28 @@ mod tests {
     fn loop_creates_head_and_exit_blocks() {
         let k = compile_kernel(&ir_with(
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(4) },
-                IrOp::Compute { ops: 2, width: ExecSize::S8 },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(4),
+                },
+                IrOp::Compute {
+                    ops: 2,
+                    width: ExecSize::S8,
+                },
                 IrOp::LoopEnd,
             ],
             0,
         ))
         .unwrap();
-        assert!(k.num_blocks() >= 3, "pre-loop, head, exit: {}", k.num_blocks());
+        assert!(
+            k.num_blocks() >= 3,
+            "pre-loop, head, exit: {}",
+            k.num_blocks()
+        );
         let flat = k.flatten();
         assert!(
-            flat.instrs.iter().any(|i| i.opcode == Opcode::Brc && i.branch_offset < 0),
+            flat.instrs
+                .iter()
+                .any(|i| i.opcode == Opcode::Brc && i.branch_offset < 0),
             "loop has a backward branch"
         );
     }
@@ -415,7 +503,10 @@ mod tests {
         let k = compile_kernel(&ir_with(
             vec![
                 IrOp::IfArgLt { arg: 0, value: 5 },
-                IrOp::Compute { ops: 3, width: ExecSize::S16 },
+                IrOp::Compute {
+                    ops: 3,
+                    width: ExecSize::S16,
+                },
                 IrOp::EndIf,
             ],
             1,
@@ -462,8 +553,13 @@ mod tests {
     fn app_code_never_touches_instrumentation_registers() {
         let k = compile_kernel(&ir_with(
             vec![
-                IrOp::LoopBegin { trip: TripCount::ArgShifted { arg: 0, shift: 3 } },
-                IrOp::Compute { ops: 50, width: ExecSize::S16 },
+                IrOp::LoopBegin {
+                    trip: TripCount::ArgShifted { arg: 0, shift: 3 },
+                },
+                IrOp::Compute {
+                    ops: 50,
+                    width: ExecSize::S16,
+                },
                 IrOp::Load {
                     arg: 1,
                     bytes: 64,
@@ -495,9 +591,16 @@ mod tests {
     fn nested_loops_use_distinct_counters() {
         let k = compile_kernel(&ir_with(
             vec![
-                IrOp::LoopBegin { trip: TripCount::Const(3) },
-                IrOp::LoopBegin { trip: TripCount::Const(5) },
-                IrOp::Compute { ops: 1, width: ExecSize::S4 },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(3),
+                },
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(5),
+                },
+                IrOp::Compute {
+                    ops: 1,
+                    width: ExecSize::S4,
+                },
                 IrOp::LoopEnd,
                 IrOp::LoopEnd,
             ],

@@ -76,12 +76,19 @@ pub(crate) enum StepOutcome {
 /// Updates registers/flags, feeds the cache and trace buffer, and
 /// accounts application memory traffic in `stats`. The caller counts
 /// the instruction itself and manages the instruction pointer.
+///
+/// `access_log`, when present, records every global-memory cache
+/// access as `(addr, bytes)` — the parallel executor replays the log
+/// against the shared cache in hardware-thread order, which is why a
+/// worker running against a scratch cache still produces the serial
+/// execution's hit/miss counts.
 pub(crate) fn step(
     st: &mut ThreadState,
     instr: &Instruction,
     cache: &mut Cache,
     trace: &mut TraceBuffer,
     stats: &mut ExecutionStats,
+    access_log: Option<&mut Vec<(u64, u32)>>,
 ) -> StepOutcome {
     match instr.opcode {
         Opcode::Eot => StepOutcome::Done,
@@ -100,7 +107,7 @@ pub(crate) fn step(
             StepOutcome::Next
         }
         Opcode::Send | Opcode::Sendc => {
-            exec_send(st, instr, cache, trace, stats);
+            exec_send(st, instr, cache, trace, stats, access_log);
             StepOutcome::Next
         }
         _ => {
@@ -150,7 +157,9 @@ fn exec_alu(st: &mut ThreadState, instr: &Instruction) {
 
 fn exec_cmp(st: &mut ThreadState, instr: &Instruction) {
     let lanes = instr.exec_size.lanes();
-    let (Some(cond), Some(flag)) = (instr.cond, instr.flag) else { return };
+    let (Some(cond), Some(flag)) = (instr.cond, instr.flag) else {
+        return;
+    };
     for lane in 0..lanes {
         if !st.lane_active(instr.pred, lane) {
             continue;
@@ -167,11 +176,17 @@ fn exec_send(
     cache: &mut Cache,
     trace: &mut TraceBuffer,
     stats: &mut ExecutionStats,
+    access_log: Option<&mut Vec<(u64, u32)>>,
 ) {
     let Some(desc) = instr.send else { return };
     match desc.surface {
         Surface::Global => {
             let addr = st.read(instr.srcs[0], 0) as u64;
+            if let Some(log) = access_log {
+                if !matches!(desc.op, SendOp::ReadTimer) {
+                    log.push((addr, desc.bytes));
+                }
+            }
             match desc.op {
                 SendOp::Read => {
                     let (hits, misses) = cache.access(addr, desc.bytes);

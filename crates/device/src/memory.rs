@@ -105,6 +105,41 @@ impl TraceBuffer {
         self.dropped_records
     }
 
+    /// The append-stream capacity.
+    pub fn record_capacity(&self) -> usize {
+        self.record_cap
+    }
+
+    /// Merge a per-hardware-thread shard into this (shared) buffer —
+    /// the drain step of sharded parallel execution.
+    ///
+    /// Counter slots add element-wise (addition commutes, but shards
+    /// are merged in hardware-thread order anyway); records append in
+    /// shard order under this buffer's capacity. Called in thread
+    /// order with each shard's capacity equal to this buffer's, the
+    /// result is exactly the serial execution's buffer: a record the
+    /// shard dropped had ≥ `record_cap` same-thread predecessors, so
+    /// the serial path (which sees at least those predecessors first)
+    /// would have dropped it too, and the drop counts telescope.
+    pub fn merge_shard(&mut self, shard: TraceBuffer) {
+        // Match serial slot growth: `slot_add` resizes even for
+        // zero-valued adds, and every slot in the shard was touched.
+        if shard.slots.len() > self.slots.len() {
+            self.slots.resize(shard.slots.len(), 0);
+        }
+        for (dst, v) in self.slots.iter_mut().zip(&shard.slots) {
+            *dst += v;
+        }
+        for r in shard.records {
+            if self.records.len() < self.record_cap {
+                self.records.push(r);
+            } else {
+                self.dropped_records += 1;
+            }
+        }
+        self.dropped_records += shard.dropped_records;
+    }
+
     /// Number of live counter slots.
     pub fn num_slots(&self) -> usize {
         self.slots.len()
@@ -155,6 +190,57 @@ mod tests {
         t.append(1, 12);
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.dropped_records(), 1);
+    }
+
+    #[test]
+    fn merge_shard_matches_serial_interleaving() {
+        // Serial: thread 0 then thread 1 write directly.
+        let mut serial = TraceBuffer::new().with_record_capacity(3);
+        serial.slot_add(1, 5);
+        serial.append(0, 100);
+        serial.append(0, 101);
+        serial.slot_add(4, 2);
+        serial.append(1, 200);
+        serial.append(1, 201); // dropped: cap 3
+
+        // Sharded: each thread fills its own buffer, merged in order.
+        let mut merged = TraceBuffer::new().with_record_capacity(3);
+        let mut s0 = TraceBuffer::new().with_record_capacity(3);
+        s0.slot_add(1, 5);
+        s0.append(0, 100);
+        s0.append(0, 101);
+        let mut s1 = TraceBuffer::new().with_record_capacity(3);
+        s1.slot_add(4, 2);
+        s1.append(1, 200);
+        s1.append(1, 201);
+        merged.merge_shard(s0);
+        merged.merge_shard(s1);
+
+        assert_eq!(merged.num_slots(), serial.num_slots());
+        for s in 0..serial.num_slots() {
+            assert_eq!(merged.slot(s), serial.slot(s));
+        }
+        assert_eq!(merged.records(), serial.records());
+        assert_eq!(merged.dropped_records(), serial.dropped_records());
+    }
+
+    #[test]
+    fn merge_shard_counts_shard_local_drops() {
+        // A shard that overflowed its own (equal) capacity: drops
+        // carry over on top of merge-time drops.
+        let mut shared = TraceBuffer::new().with_record_capacity(2);
+        shared.append(9, 0);
+        let mut shard = TraceBuffer::new().with_record_capacity(2);
+        shard.append(1, 1);
+        shard.append(1, 2);
+        shard.append(1, 3); // shard-local drop
+        shared.merge_shard(shard);
+        assert_eq!(shared.records().len(), 2);
+        assert_eq!(
+            shared.dropped_records(),
+            2,
+            "one merge-time + one shard-local"
+        );
     }
 
     #[test]

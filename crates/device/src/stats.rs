@@ -114,7 +114,10 @@ mod tests {
         s.count_instruction(OpcodeCategory::Computation, ExecSize::S16, 1);
         s.count_instruction(OpcodeCategory::Send, ExecSize::S8, 2);
         assert_eq!(s.instructions, 2);
-        assert_eq!(s.per_category[category_index(OpcodeCategory::Computation)], 1);
+        assert_eq!(
+            s.per_category[category_index(OpcodeCategory::Computation)],
+            1
+        );
         assert_eq!(s.per_width[width_index(ExecSize::S8)], 1);
         assert_eq!(s.issue_cycles, 3);
         assert!((s.category_fraction(OpcodeCategory::Send) - 0.5).abs() < 1e-12);

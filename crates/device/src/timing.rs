@@ -91,8 +91,7 @@ impl TimingModel {
         let compute_s = stats.issue_cycles as f64 / parallel / self.config.frequency_hz;
         let line = 64.0;
         let l3_bytes = stats.cache_hits as f64 * line;
-        let l3_s = l3_bytes
-            / (self.topology.l3_bytes_per_cycle * self.config.frequency_hz);
+        let l3_s = l3_bytes / (self.topology.l3_bytes_per_cycle * self.config.frequency_hz);
         let dram_bytes = stats.cache_misses as f64 * line;
         let dram_s = dram_bytes / self.topology.dram_bytes_per_second;
         // Instrumentation traffic to the CPU/GPU-shared trace buffer
@@ -177,7 +176,11 @@ mod tests {
         let s = stats(100, 128, 0, 1_000_000);
         let fast = model(1.15e9, 1, 0.0).launch_seconds_ideal(&s);
         let slow = model(0.35e9, 1, 0.0).launch_seconds_ideal(&s);
-        assert!(slow / fast < 1.1, "memory-bound kernels barely slow down: {}", slow / fast);
+        assert!(
+            slow / fast < 1.1,
+            "memory-bound kernels barely slow down: {}",
+            slow / fast
+        );
     }
 
     #[test]
@@ -201,7 +204,10 @@ mod tests {
         for i in 0..100 {
             let a = m1.launch_seconds(&s, i);
             let b = m2.launch_seconds(&s, i);
-            assert!((a / ideal - 1.0).abs() <= 0.02 + 1e-9, "noise bounded at 2σ");
+            assert!(
+                (a / ideal - 1.0).abs() <= 0.02 + 1e-9,
+                "noise bounded at 2σ"
+            );
             if (a - b).abs() > 1e-15 {
                 differs = true;
             }
@@ -219,11 +225,18 @@ mod tests {
         let s = stats(10_000_000, 160, 0, 0);
         let ivy = TimingModel::new(
             GpuGeneration::IvyBridgeHd4000.topology(),
-            TimingConfig { noise: 0.0, ..Default::default() },
+            TimingConfig {
+                noise: 0.0,
+                ..Default::default()
+            },
         );
         let hsw = TimingModel::new(
             GpuGeneration::HaswellHd4600.topology(),
-            TimingConfig { noise: 0.0, frequency_hz: 1.25e9, ..Default::default() },
+            TimingConfig {
+                noise: 0.0,
+                frequency_hz: 1.25e9,
+                ..Default::default()
+            },
         );
         assert!(hsw.launch_seconds_ideal(&s) < ivy.launch_seconds_ideal(&s));
     }

@@ -99,7 +99,11 @@ mod tests {
         assert_eq!(t.subslices, 2);
         assert_eq!(t.eus_per_subslice(), 8);
         assert_eq!(t.threads_per_eu, 8);
-        assert_eq!(t.total_hw_threads(), 128, "128 simultaneous hardware threads");
+        assert_eq!(
+            t.total_hw_threads(),
+            128,
+            "128 simultaneous hardware threads"
+        );
         assert!((t.max_frequency_hz - 1.15e9).abs() < 1.0);
     }
 

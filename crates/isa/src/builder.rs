@@ -23,13 +23,7 @@ impl BlockBuilder {
         self
     }
 
-    fn alu(
-        &mut self,
-        opcode: Opcode,
-        exec_size: ExecSize,
-        dst: Reg,
-        srcs: [Src; 3],
-    ) -> &mut Self {
+    fn alu(&mut self, opcode: Opcode, exec_size: ExecSize, dst: Reg, srcs: [Src; 3]) -> &mut Self {
         let mut i = Instruction::new(opcode, exec_size);
         i.dst = Some(dst);
         i.srcs = srcs;
@@ -80,14 +74,7 @@ impl BlockBuilder {
     }
 
     /// `cmp.<cond> flag, a, b`
-    pub fn cmp(
-        &mut self,
-        w: ExecSize,
-        cond: CondMod,
-        flag: FlagReg,
-        a: Src,
-        b: Src,
-    ) -> &mut Self {
+    pub fn cmp(&mut self, w: ExecSize, cond: CondMod, flag: FlagReg, a: Src, b: Src) -> &mut Self {
         let mut i = Instruction::new(Opcode::Cmp, w);
         i.cond = Some(cond);
         i.flag = Some(flag);
@@ -107,7 +94,11 @@ impl BlockBuilder {
         let mut i = Instruction::new(Opcode::Send, w);
         i.dst = Some(dst);
         i.srcs[0] = Src::Reg(addr);
-        i.send = Some(SendDescriptor { op: SendOp::Read, surface, bytes });
+        i.send = Some(SendDescriptor {
+            op: SendOp::Read,
+            surface,
+            bytes,
+        });
         self.raw(i)
     }
 
@@ -124,7 +115,11 @@ impl BlockBuilder {
         i.dst = None;
         i.srcs[0] = Src::Reg(addr);
         i.srcs[1] = Src::Reg(data);
-        i.send = Some(SendDescriptor { op: SendOp::Write, surface, bytes });
+        i.send = Some(SendDescriptor {
+            op: SendOp::Write,
+            surface,
+            bytes,
+        });
         self.raw(i)
     }
 
@@ -134,7 +129,11 @@ impl BlockBuilder {
         i.dst = None;
         i.srcs[0] = Src::Reg(addr);
         i.srcs[1] = Src::Reg(data);
-        i.send = Some(SendDescriptor { op: SendOp::AtomicAdd, surface, bytes: 4 });
+        i.send = Some(SendDescriptor {
+            op: SendOp::AtomicAdd,
+            surface,
+            bytes: 4,
+        });
         self.raw(i)
     }
 
@@ -276,8 +275,10 @@ mod tests {
         let e = b.entry_block();
         let m = b.new_block();
         let x = b.new_block();
-        b.block_mut(e).add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
-        b.block_mut(m).add(ExecSize::S8, Reg(2), Src::Reg(Reg(1)), Src::Imm(1));
+        b.block_mut(e)
+            .add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
+        b.block_mut(m)
+            .add(ExecSize::S8, Reg(2), Src::Reg(Reg(1)), Src::Imm(1));
         b.block_mut(x).eot();
         let k = b.build().unwrap();
         assert_eq!(k.blocks[0].term, Terminator::FallThrough(m));
@@ -289,8 +290,12 @@ mod tests {
     fn missing_final_terminator_is_an_error() {
         let mut b = KernelBuilder::new("bad");
         let e = b.entry_block();
-        b.block_mut(e).add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
-        assert_eq!(b.build().unwrap_err(), ValidateError::MissingFinalTerminator);
+        b.block_mut(e)
+            .add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidateError::MissingFinalTerminator
+        );
     }
 
     #[test]

@@ -23,9 +23,15 @@ impl std::fmt::Display for Instruction {
             Some(r) => write!(f, " {r}")?,
             None => write!(f, " null")?,
         }
-        for s in self.srcs.iter().take(self.opcode.num_sources().max(
-            if self.opcode.is_send() { 2 } else { 0 },
-        )) {
+        for s in self
+            .srcs
+            .iter()
+            .take(
+                self.opcode
+                    .num_sources()
+                    .max(if self.opcode.is_send() { 2 } else { 0 }),
+            )
+        {
             write!(f, ", {s}")?;
         }
         if self.opcode.is_control() && !matches!(self.opcode, Opcode::Eot | Opcode::Ret) {
@@ -53,7 +59,10 @@ impl std::fmt::Display for Instruction {
 /// basic-block labels.
 pub fn disassemble_flat(kernel: &DecodedKernel) -> String {
     let mut out = String::new();
-    out.push_str(&format!("kernel {} ({} args)\n", kernel.name, kernel.metadata.num_args));
+    out.push_str(&format!(
+        "kernel {} ({} args)\n",
+        kernel.name, kernel.metadata.num_args
+    ));
     for b in 0..kernel.num_blocks() {
         out.push_str(&format!("bb{b}:\n"));
         for (i, instr) in kernel.block_instrs(b).iter().enumerate() {
@@ -85,7 +94,13 @@ mod tests {
         let exit = b.new_block();
         b.block_mut(head)
             .add(ExecSize::S16, Reg(1), Src::Reg(Reg(1)), Src::Imm(1))
-            .cmp(ExecSize::S1, CondMod::Lt, FlagReg::F0, Src::Reg(Reg(1)), Src::Imm(8));
+            .cmp(
+                ExecSize::S1,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(1)),
+                Src::Imm(8),
+            );
         b.set_terminator(
             head,
             Terminator::CondJump {
@@ -102,7 +117,10 @@ mod tests {
         assert!(text.contains("brc"), "{text}");
         assert!(text.contains("eot"), "{text}");
         assert!(text.contains("bb0:"), "{text}");
-        assert!(text.contains("ip-3"), "negative branch offset rendered: {text}");
+        assert!(
+            text.contains("ip-3"),
+            "negative branch offset rendered: {text}"
+        );
     }
 
     #[test]
@@ -121,7 +139,10 @@ mod tests {
         let mut i = Instruction::new(crate::Opcode::Mov, ExecSize::S8);
         i.dst = Some(Reg(3));
         i.srcs[0] = Src::Imm(9);
-        i.pred = Some(crate::Predicate { flag: FlagReg::F1, invert: true });
+        i.pred = Some(crate::Predicate {
+            flag: FlagReg::F1,
+            invert: true,
+        });
         assert!(i.to_string().starts_with("(-f1) mov"), "{i}");
     }
 }

@@ -27,9 +27,7 @@
 //! b12..b16 u32 LE: branch offset (control) or send descriptor (send)
 //! ```
 
-use crate::instruction::{
-    CondMod, FlagReg, Instruction, Predicate, SendDescriptor, Src,
-};
+use crate::instruction::{CondMod, FlagReg, Instruction, Predicate, SendDescriptor, Src};
 use crate::kernel::{BasicBlock, BlockId, KernelBinary, KernelMetadata, Terminator};
 use crate::opcode::{ExecSize, Opcode};
 use crate::register::Reg;
@@ -54,10 +52,22 @@ pub fn encode_instruction(instr: &Instruction, out: &mut Vec<u8>) {
     bytes[0] = instr.opcode.to_byte();
     let pred_code = match instr.pred {
         None => 0u8,
-        Some(Predicate { flag: FlagReg::F0, invert: false }) => 1,
-        Some(Predicate { flag: FlagReg::F0, invert: true }) => 2,
-        Some(Predicate { flag: FlagReg::F1, invert: false }) => 3,
-        Some(Predicate { flag: FlagReg::F1, invert: true }) => 4,
+        Some(Predicate {
+            flag: FlagReg::F0,
+            invert: false,
+        }) => 1,
+        Some(Predicate {
+            flag: FlagReg::F0,
+            invert: true,
+        }) => 2,
+        Some(Predicate {
+            flag: FlagReg::F1,
+            invert: false,
+        }) => 3,
+        Some(Predicate {
+            flag: FlagReg::F1,
+            invert: true,
+        }) => 4,
     };
     bytes[1] = instr.exec_size.to_code() | (pred_code << 3);
     bytes[2] = instr.dst.map(|r| r.0).unwrap_or(0xFF);
@@ -102,35 +112,66 @@ pub fn encode_instruction(instr: &Instruction, out: &mut Vec<u8>) {
 /// operand fields. `offset` is only used for error reporting.
 pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Instruction, DecodeError> {
     debug_assert_eq!(bytes.len(), INSTRUCTION_BYTES);
-    let opcode = Opcode::from_byte(bytes[0])
-        .ok_or(DecodeError::UnknownOpcode { offset, byte: bytes[0] })?;
-    let exec_size = ExecSize::from_code(bytes[1] & 0b111)
-        .ok_or(DecodeError::BadOperand { offset, detail: "bad exec size" })?;
+    let opcode = Opcode::from_byte(bytes[0]).ok_or(DecodeError::UnknownOpcode {
+        offset,
+        byte: bytes[0],
+    })?;
+    let exec_size = ExecSize::from_code(bytes[1] & 0b111).ok_or(DecodeError::BadOperand {
+        offset,
+        detail: "bad exec size",
+    })?;
     let pred = match bytes[1] >> 3 {
         0 => None,
-        1 => Some(Predicate { flag: FlagReg::F0, invert: false }),
-        2 => Some(Predicate { flag: FlagReg::F0, invert: true }),
-        3 => Some(Predicate { flag: FlagReg::F1, invert: false }),
-        4 => Some(Predicate { flag: FlagReg::F1, invert: true }),
-        _ => return Err(DecodeError::BadOperand { offset, detail: "bad predicate" }),
+        1 => Some(Predicate {
+            flag: FlagReg::F0,
+            invert: false,
+        }),
+        2 => Some(Predicate {
+            flag: FlagReg::F0,
+            invert: true,
+        }),
+        3 => Some(Predicate {
+            flag: FlagReg::F1,
+            invert: false,
+        }),
+        4 => Some(Predicate {
+            flag: FlagReg::F1,
+            invert: true,
+        }),
+        _ => {
+            return Err(DecodeError::BadOperand {
+                offset,
+                detail: "bad predicate",
+            })
+        }
     };
     let dst = match bytes[2] {
         0xFF => None,
         r if Reg(r).is_valid() => Some(Reg(r)),
-        _ => return Err(DecodeError::BadOperand { offset, detail: "bad dst register" }),
+        _ => {
+            return Err(DecodeError::BadOperand {
+                offset,
+                detail: "bad dst register",
+            })
+        }
     };
     let cond = match bytes[3] & 0x0F {
         0 => None,
-        c => Some(
-            CondMod::from_byte(c)
-                .ok_or(DecodeError::BadOperand { offset, detail: "bad cond modifier" })?,
-        ),
+        c => Some(CondMod::from_byte(c).ok_or(DecodeError::BadOperand {
+            offset,
+            detail: "bad cond modifier",
+        })?),
     };
     let flag = match bytes[3] >> 4 {
         0 => None,
         1 => Some(FlagReg::F0),
         2 => Some(FlagReg::F1),
-        _ => return Err(DecodeError::BadOperand { offset, detail: "bad flag register" }),
+        _ => {
+            return Err(DecodeError::BadOperand {
+                offset,
+                detail: "bad flag register",
+            })
+        }
     };
 
     let imm = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
@@ -143,7 +184,10 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Instruction, De
             SRC_REG => {
                 let r = Reg(bytes[5 + i]);
                 if !r.is_valid() {
-                    return Err(DecodeError::BadOperand { offset, detail: "bad src register" });
+                    return Err(DecodeError::BadOperand {
+                        offset,
+                        detail: "bad src register",
+                    });
                 }
                 Src::Reg(r)
             }
@@ -157,14 +201,21 @@ pub fn decode_instruction(bytes: &[u8], offset: usize) -> Result<Instruction, De
                 imm_seen = true;
                 Src::Imm(imm)
             }
-            _ => return Err(DecodeError::BadOperand { offset, detail: "bad source kind" }),
+            _ => {
+                return Err(DecodeError::BadOperand {
+                    offset,
+                    detail: "bad source kind",
+                })
+            }
         };
     }
 
     let tail = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
     let (branch_offset, send) = if opcode.is_send() {
-        let desc = SendDescriptor::from_word(tail)
-            .ok_or(DecodeError::BadOperand { offset, detail: "bad send descriptor" })?;
+        let desc = SendDescriptor::from_word(tail).ok_or(DecodeError::BadOperand {
+            offset,
+            detail: "bad send descriptor",
+        })?;
         (0, Some(desc))
     } else {
         (tail as i32, None)
@@ -230,16 +281,26 @@ pub fn decode_stream(bytes: &[u8]) -> Result<DecodedStream, DecodeError> {
     let take = |range: std::ops::Range<usize>| bytes.get(range).ok_or(()).map_err(fail);
 
     if take(0..4)? != MAGIC {
-        return Err(DecodeError::BadOperand { offset: 0, detail: "bad magic" });
+        return Err(DecodeError::BadOperand {
+            offset: 0,
+            detail: "bad magic",
+        });
     }
     let version = u16::from_le_bytes(take(4..6)?.try_into().unwrap());
     if version != VERSION {
-        return Err(DecodeError::BadOperand { offset: 4, detail: "unsupported version" });
+        return Err(DecodeError::BadOperand {
+            offset: 4,
+            detail: "unsupported version",
+        });
     }
     let flags = u16::from_le_bytes(take(6..8)?.try_into().unwrap());
     let name_len = u16::from_le_bytes(take(8..10)?.try_into().unwrap()) as usize;
-    let name = String::from_utf8(take(10..10 + name_len)?.to_vec())
-        .map_err(|_| DecodeError::BadOperand { offset: 10, detail: "kernel name is not UTF-8" })?;
+    let name = String::from_utf8(take(10..10 + name_len)?.to_vec()).map_err(|_| {
+        DecodeError::BadOperand {
+            offset: 10,
+            detail: "kernel name is not UTF-8",
+        }
+    })?;
     let mut cursor = 10 + name_len;
     let num_args = *bytes.get(cursor).ok_or(()).map_err(fail)?;
     let max_app_reg = *bytes.get(cursor + 1).ok_or(()).map_err(fail)?;
@@ -281,8 +342,7 @@ pub fn leaders(instrs: &[Instruction]) -> Result<Vec<u32>, DecodeError> {
         set.insert(0u32);
     }
     for (i, instr) in instrs.iter().enumerate() {
-        if instr.opcode.is_control() && instr.opcode != Opcode::Eot && instr.opcode != Opcode::Ret
-        {
+        if instr.opcode.is_control() && instr.opcode != Opcode::Eot && instr.opcode != Opcode::Ret {
             let target = i as i64 + 1 + instr.branch_offset as i64;
             if target < 0 || target > instrs.len() as i64 - 1 {
                 return Err(DecodeError::BadBranchTarget {
@@ -328,7 +388,10 @@ pub fn decode_kernel(bytes: &[u8]) -> Result<KernelBinary, DecodeError> {
 
     let mut blocks = Vec::with_capacity(starts.len());
     for (b, &start) in starts.iter().enumerate() {
-        let end = starts.get(b + 1).map(|&s| s as usize).unwrap_or(instrs.len());
+        let end = starts
+            .get(b + 1)
+            .map(|&s| s as usize)
+            .unwrap_or(instrs.len());
         let body = &instrs[start as usize..end];
         let (body_instrs, term) = split_terminator(body, end, b, starts.len(), &block_of)?;
         blocks.push(BasicBlock {
@@ -359,7 +422,10 @@ fn split_terminator(
     let term = match last.opcode {
         Opcode::Eot => Some(Terminator::Eot),
         Opcode::Ret => Some(Terminator::Return),
-        Opcode::Jmpi => Some(Terminator::Jump(block_of(target_of(at, last.branch_offset)))),
+        Opcode::Jmpi => Some(Terminator::Jump(block_of(target_of(
+            at,
+            last.branch_offset,
+        )))),
         Opcode::Brc => {
             let pred = last.pred.ok_or(DecodeError::BadOperand {
                 offset: at * INSTRUCTION_BYTES,
@@ -391,7 +457,10 @@ fn split_terminator(
             if block_index + 1 >= num_blocks {
                 return Err(DecodeError::MissingTerminator);
             }
-            Ok((body.to_vec(), Terminator::FallThrough(BlockId(block_index as u32 + 1))))
+            Ok((
+                body.to_vec(),
+                Terminator::FallThrough(BlockId(block_index as u32 + 1)),
+            ))
         }
     }
 }
@@ -407,7 +476,10 @@ mod tests {
         let mut i = Instruction::new(Opcode::Mad, ExecSize::S16);
         i.dst = Some(Reg(7));
         i.srcs = [Src::Reg(Reg(1)), Src::Imm(0xDEAD_BEEF), Src::Reg(Reg(2))];
-        i.pred = Some(Predicate { flag: FlagReg::F1, invert: true });
+        i.pred = Some(Predicate {
+            flag: FlagReg::F1,
+            invert: true,
+        });
         i
     }
 
@@ -485,7 +557,13 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let err = KernelBinary::decode(b"NOPE....").unwrap_err();
-        assert!(matches!(err, DecodeError::BadOperand { detail: "bad magic", .. }));
+        assert!(matches!(
+            err,
+            DecodeError::BadOperand {
+                detail: "bad magic",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -503,7 +581,10 @@ mod tests {
         let mut add = Instruction::new(Opcode::Add, ExecSize::S1);
         add.dst = Some(Reg(1));
         let mut br = Instruction::new(Opcode::Brc, ExecSize::S1);
-        br.pred = Some(Predicate { flag: FlagReg::F0, invert: false });
+        br.pred = Some(Predicate {
+            flag: FlagReg::F0,
+            invert: false,
+        });
         br.branch_offset = -2;
         let eot = Instruction::new(Opcode::Eot, ExecSize::S1);
         let l = leaders(&[add, br, eot]).unwrap();

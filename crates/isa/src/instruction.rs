@@ -299,7 +299,10 @@ impl Instruction {
 
     /// Number of immediate source operands.
     pub fn immediate_count(&self) -> usize {
-        self.srcs.iter().filter(|s| matches!(s, Src::Imm(_))).count()
+        self.srcs
+            .iter()
+            .filter(|s| matches!(s, Src::Imm(_)))
+            .count()
     }
 
     /// Bytes this instruction reads from application-visible memory
@@ -347,7 +350,14 @@ mod tests {
 
     #[test]
     fn cond_mod_round_trip_and_semantics() {
-        for c in [CondMod::Eq, CondMod::Ne, CondMod::Lt, CondMod::Le, CondMod::Gt, CondMod::Ge] {
+        for c in [
+            CondMod::Eq,
+            CondMod::Ne,
+            CondMod::Lt,
+            CondMod::Le,
+            CondMod::Gt,
+            CondMod::Ge,
+        ] {
             assert_eq!(CondMod::from_byte(c.to_byte()), Some(c));
         }
         assert!(CondMod::Lt.eval(1, 2));

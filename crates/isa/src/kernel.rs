@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::instruction::{FlagReg, Instruction, Predicate};
 use crate::opcode::{ExecSize, Opcode};
-use crate::{DecodeError, encode};
+use crate::{encode, DecodeError};
 
 /// Identifies a basic block within one kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -56,7 +56,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match *self {
             Terminator::FallThrough(b) | Terminator::Jump(b) => vec![b],
-            Terminator::CondJump { taken, fallthrough, .. } => vec![taken, fallthrough],
+            Terminator::CondJump {
+                taken, fallthrough, ..
+            } => vec![taken, fallthrough],
             Terminator::Return | Terminator::Eot => Vec::new(),
         }
     }
@@ -176,7 +178,10 @@ impl DecodedKernel {
     ///
     /// Panics if `idx` is past the end of the stream.
     pub fn block_of(&self, idx: usize) -> usize {
-        assert!(idx < self.instrs.len(), "instruction index {idx} out of range");
+        assert!(
+            idx < self.instrs.len(),
+            "instruction index {idx} out of range"
+        );
         match self.bb_starts.binary_search(&(idx as u32)) {
             Ok(b) => b,
             Err(b) => b - 1,
@@ -232,7 +237,12 @@ fn flatten(kernel: &KernelBinary) -> DecodedKernel {
                 let at = instrs.len();
                 instrs.push(jmpi(offset_to(t, at)));
             }
-            Terminator::CondJump { flag, invert, taken, fallthrough } => {
+            Terminator::CondJump {
+                flag,
+                invert,
+                taken,
+                fallthrough,
+            } => {
                 let at = instrs.len();
                 instrs.push(brc(flag, invert, offset_to(taken, at)));
                 if !next_is(fallthrough) {
@@ -295,7 +305,8 @@ mod tests {
         let mut b = KernelBuilder::new("k");
         let entry = b.entry_block();
         let exit = b.new_block();
-        b.block_mut(entry).add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
+        b.block_mut(entry)
+            .add(ExecSize::S8, Reg(1), Src::Reg(Reg(0)), Src::Imm(1));
         b.set_terminator(entry, Terminator::FallThrough(exit));
         b.block_mut(exit).eot();
         b.build().unwrap()
@@ -320,7 +331,10 @@ mod tests {
         let flat = b.build().unwrap().flatten();
         assert_eq!(flat.instrs.len(), 2);
         assert_eq!(flat.instrs[0].opcode, Opcode::Jmpi);
-        assert_eq!(flat.instrs[0].branch_offset, 0, "jump to the next instruction");
+        assert_eq!(
+            flat.instrs[0].branch_offset, 0,
+            "jump to the next instruction"
+        );
     }
 
     #[test]
@@ -331,7 +345,13 @@ mod tests {
         let exit = b.new_block();
         b.block_mut(head)
             .add(ExecSize::S1, Reg(1), Src::Reg(Reg(1)), Src::Imm(1))
-            .cmp(ExecSize::S1, crate::CondMod::Lt, FlagReg::F0, Src::Reg(Reg(1)), Src::Imm(10));
+            .cmp(
+                ExecSize::S1,
+                crate::CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(1)),
+                Src::Imm(10),
+            );
         b.set_terminator(
             head,
             Terminator::CondJump {

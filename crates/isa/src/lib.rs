@@ -72,7 +72,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::TruncatedStream { len } => {
-                write!(f, "byte stream of length {len} is not a whole number of instructions")
+                write!(
+                    f,
+                    "byte stream of length {len} is not a whole number of instructions"
+                )
             }
             DecodeError::UnknownOpcode { offset, byte } => {
                 write!(f, "unknown opcode byte {byte:#04x} at offset {offset}")
@@ -81,10 +84,16 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "bad operand at offset {offset}: {detail}")
             }
             DecodeError::BadBranchTarget { offset, target } => {
-                write!(f, "branch at offset {offset} targets instruction {target}, outside the stream")
+                write!(
+                    f,
+                    "branch at offset {offset} targets instruction {target}, outside the stream"
+                )
             }
             DecodeError::MissingTerminator => {
-                write!(f, "instruction stream has a path that does not end in EOT or return")
+                write!(
+                    f,
+                    "instruction stream has a path that does not end in EOT or return"
+                )
             }
         }
     }

@@ -351,10 +351,18 @@ mod tests {
         assert_eq!(Opcode::Add.eval_binary(2, 3), 5);
         assert_eq!(Opcode::Sub.eval_binary(2, 3), u32::MAX);
         assert_eq!(Opcode::And.eval_binary(0b1100, 0b1010), 0b1000);
-        assert_eq!(Opcode::Shl.eval_binary(1, 35), 8, "shift counts are masked to 5 bits");
+        assert_eq!(
+            Opcode::Shl.eval_binary(1, 35),
+            8,
+            "shift counts are masked to 5 bits"
+        );
         assert_eq!(Opcode::Not.eval_unary(0), u32::MAX);
         assert_eq!(Opcode::Mad.eval_ternary(2, 3, 4), 10);
-        assert_eq!(Opcode::Inv.eval_unary(0), u32::MAX, "inverse of zero saturates");
+        assert_eq!(
+            Opcode::Inv.eval_unary(0),
+            u32::MAX,
+            "inverse of zero saturates"
+        );
         assert_eq!(Opcode::Log.eval_unary(0), 0, "log clamps its argument to 1");
     }
 

@@ -92,7 +92,11 @@ pub fn validate(kernel: &KernelBinary) -> Result<(), ValidateError> {
             }
             for reg in instr.reads().chain(instr.writes()) {
                 if !reg.is_valid() {
-                    return Err(ValidateError::BadRegister { block: b, instr: i, reg });
+                    return Err(ValidateError::BadRegister {
+                        block: b,
+                        instr: i,
+                        reg,
+                    });
                 }
                 if !kernel.metadata.instrumented && reg.0 >= FIRST_INSTRUMENTATION_REG {
                     return Err(ValidateError::InstrumentationRegUsed {
@@ -124,12 +128,13 @@ pub fn validate(kernel: &KernelBinary) -> Result<(), ValidateError> {
         }
         for target in block.term.successors() {
             if target.0 >= num_blocks {
-                return Err(ValidateError::BadBlockTarget { block: b, target: target.0 });
+                return Err(ValidateError::BadBlockTarget {
+                    block: b,
+                    target: target.0,
+                });
             }
         }
-        if matches!(block.term, Terminator::Return)
-            && kernel.blocks.len() == 1
-        {
+        if matches!(block.term, Terminator::Return) && kernel.blocks.len() == 1 {
             // A kernel whose only exit is `ret` never ends the thread;
             // tolerated for subroutines, but flagged for single-block
             // kernels where it is certainly a bug.
@@ -181,7 +186,11 @@ mod tests {
     fn raw_kernel(instrs: Vec<Instruction>, term: Terminator) -> KernelBinary {
         KernelBinary {
             name: "raw".into(),
-            blocks: vec![BasicBlock { id: BlockId(0), instrs, term }],
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                instrs,
+                term,
+            }],
             metadata: KernelMetadata::default(),
         }
     }
@@ -230,7 +239,13 @@ mod tests {
     #[test]
     fn bad_terminator_target_rejected() {
         let err = validate(&raw_kernel(vec![], Terminator::Jump(BlockId(7)))).unwrap_err();
-        assert_eq!(err, ValidateError::BadBlockTarget { block: 0, target: 7 });
+        assert_eq!(
+            err,
+            ValidateError::BadBlockTarget {
+                block: 0,
+                target: 7
+            }
+        );
     }
 
     #[test]
@@ -249,7 +264,12 @@ mod tests {
         let e = b.entry_block();
         b.block_mut(e)
             .mov(ExecSize::S8, Reg(1), crate::Src::Imm(0))
-            .add(ExecSize::S8, Reg(2), crate::Src::Reg(Reg(1)), crate::Src::Imm(1))
+            .add(
+                ExecSize::S8,
+                Reg(2),
+                crate::Src::Reg(Reg(1)),
+                crate::Src::Imm(1),
+            )
             .send_read(ExecSize::S8, Reg(3), Reg(2), Surface::Global, 32)
             .eot();
         let k = b.build().unwrap();

@@ -3,8 +3,8 @@
 use gen_isa::builder::KernelBuilder;
 use gen_isa::encode::{decode_instruction, encode_instruction, INSTRUCTION_BYTES};
 use gen_isa::{
-    CondMod, ExecSize, FlagReg, Instruction, KernelBinary, Opcode, Predicate, Reg,
-    SendDescriptor, SendOp, Src, Surface, Terminator,
+    CondMod, ExecSize, FlagReg, Instruction, KernelBinary, Opcode, Predicate, Reg, SendDescriptor,
+    SendOp, Src, Surface, Terminator,
 };
 use proptest::prelude::*;
 
@@ -30,11 +30,7 @@ fn arb_src(allow_imm: bool) -> impl Strategy<Value = Src> {
         ]
         .boxed()
     } else {
-        prop_oneof![
-            Just(Src::Null),
-            (0u8..120).prop_map(|r| Src::Reg(Reg(r))),
-        ]
-        .boxed()
+        prop_oneof![Just(Src::Null), (0u8..120).prop_map(|r| Src::Reg(Reg(r))),].boxed()
     }
 }
 

@@ -1,0 +1,181 @@
+//! Deterministic parallel execution primitives.
+//!
+//! Everything in this workspace that fans out across threads goes
+//! through this crate, and everything here preserves one contract:
+//! **the result is bitwise identical to the serial execution at any
+//! thread count**. That holds because
+//!
+//! - tasks are pure with respect to each other (no shared mutable
+//!   state inside a fan-out; each task owns its RNG and scratch), and
+//! - results are collected **by task index**, never by completion
+//!   order, so every reduction downstream sees the serial order.
+//!
+//! The thread count comes from the `GTPIN_THREADS` environment
+//! variable (or an explicit argument); `threads <= 1` falls back to a
+//! plain serial loop with no thread machinery at all. Workers are
+//! `std::thread::scope` scoped threads — no pool, no queues, no
+//! external dependencies — which keeps the fan-out cheap enough for
+//! per-kernel-launch use.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The environment variable controlling workspace-wide parallelism.
+pub const THREADS_ENV: &str = "GTPIN_THREADS";
+
+/// The thread count to use: `GTPIN_THREADS` when set (values that
+/// fail to parse, or `0`, fall back to `1` — the serial path);
+/// otherwise the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Run `f(0..n)` across up to `threads` workers and return results in
+/// index order.
+///
+/// Tasks are claimed through a shared counter (work stealing), so
+/// uneven task costs balance; results are scattered back by index, so
+/// the output is independent of claiming order. With `threads <= 1`
+/// or `n <= 1` this is exactly `(0..n).map(f).collect()`.
+pub fn parallel_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let counter = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let counter = &counter;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Map a slice in parallel, preserving order: `parallel_map(items,
+/// t, f)[i] == f(i, &items[i])` for every `i` and every `t`.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_indexed(items.len(), threads, |i| f(i, &items[i]))
+}
+
+/// Fill `out[i] = f(i)` with contiguous chunks fanned across
+/// `threads` workers — the cheap shape for very large `out` (one
+/// chunk per worker, no per-item claiming). Below `min_len` items the
+/// serial loop runs instead; either way the result is identical.
+pub fn parallel_fill<R, F>(out: &mut [R], threads: usize, min_len: usize, f: F)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = out.len();
+    if threads <= 1 || n < min_len.max(2) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (c, piece) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = c * chunk;
+                for (j, slot) in piece.iter_mut().enumerate() {
+                    *slot = f(base + j);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_matches_serial_at_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = parallel_map(&items, 1, |i, &x| x * x + i as u64);
+        for threads in 2..=8 {
+            let par = parallel_map(&items, threads, |i, &x| x * x + i as u64);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial() {
+        let mut serial = vec![0u64; 10_000];
+        parallel_fill(&mut serial, 1, 0, |i| (i as u64).wrapping_mul(0x9E37));
+        for threads in 2..=8 {
+            let mut par = vec![0u64; 10_000];
+            parallel_fill(&mut par, threads, 0, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_collects_in_order() {
+        // Make early tasks slow so late tasks finish first.
+        let out = parallel_indexed(16, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<usize> = parallel_indexed(0, 8, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_indexed(1, 8, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn configured_threads_is_at_least_one() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -242,7 +242,11 @@ mod tests {
     #[test]
     fn classification_matches_the_paper() {
         assert_eq!(
-            ApiCall::EnqueueNDRangeKernel { kernel: KernelId(0), global_work_size: 1024 }.kind(),
+            ApiCall::EnqueueNDRangeKernel {
+                kernel: KernelId(0),
+                global_work_size: 1024
+            }
+            .kind(),
             ApiCallKind::Kernel
         );
         for s in SyncCall::ALL {
@@ -259,7 +263,11 @@ mod tests {
             ApiCallKind::Other
         );
         assert_eq!(
-            ApiCall::EnqueueWriteBuffer { buffer: 0, bytes: 64 }.kind(),
+            ApiCall::EnqueueWriteBuffer {
+                buffer: 0,
+                bytes: 64
+            }
+            .kind(),
             ApiCallKind::Other,
             "write-buffer is not one of the seven synchronization calls"
         );
@@ -275,9 +283,16 @@ mod tests {
     fn names_follow_opencl_convention() {
         assert_eq!(ApiCall::BuildProgram.name(), "clBuildProgram");
         assert_eq!(
-            ApiCall::EnqueueNDRangeKernel { kernel: KernelId(0), global_work_size: 1 }.name(),
+            ApiCall::EnqueueNDRangeKernel {
+                kernel: KernelId(0),
+                global_work_size: 1
+            }
+            .name(),
             "clEnqueueNDRangeKernel"
         );
-        assert_eq!(ApiCall::Sync(SyncCall::EnqueueReadBuffer).name(), "clEnqueueReadBuffer");
+        assert_eq!(
+            ApiCall::Sync(SyncCall::EnqueueReadBuffer).name(),
+            "clEnqueueReadBuffer"
+        );
     }
 }

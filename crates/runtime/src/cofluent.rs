@@ -41,11 +41,9 @@ impl InvocationTiming {
     /// A stable digest of the bound argument values, used by
     /// KN-ARGS feature vectors.
     pub fn args_digest(&self) -> u64 {
-        self.args
-            .iter()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, a| {
-                (h ^ a.digest()).wrapping_mul(0x0000_0100_0000_01B3)
-            })
+        self.args.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, a| {
+            (h ^ a.digest()).wrapping_mul(0x0000_0100_0000_01B3)
+        })
     }
 }
 
@@ -75,7 +73,10 @@ impl CofluentReport {
         if self.total_api_calls == 0 {
             return 0.0;
         }
-        let i = ApiCallKind::ALL.iter().position(|&k| k == kind).expect("kind");
+        let i = ApiCallKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind");
         self.kind_counts[i] as f64 / self.total_api_calls as f64
     }
 
@@ -161,7 +162,10 @@ impl ApiTracer {
             .position(|&k| k == call.kind())
             .expect("kind in ALL");
         self.kind_counts[i] += 1;
-        *self.per_call_counts.entry(call.name().to_string()).or_insert(0) += 1;
+        *self
+            .per_call_counts
+            .entry(call.name().to_string())
+            .or_insert(0) += 1;
         self.total += 1;
     }
 
@@ -230,7 +234,11 @@ mod tests {
                 .map(|i| (i.kernel, i.args.clone()))
                 .collect::<Vec<_>>()
         };
-        assert_eq!(order(&replay1), order(&replay2), "replays agree with each other");
+        assert_eq!(
+            order(&replay1),
+            order(&replay2),
+            "replays agree with each other"
+        );
         assert_eq!(
             order(&replay1),
             order(&capture_report),

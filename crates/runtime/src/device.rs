@@ -119,8 +119,11 @@ pub(crate) mod test_support {
             if kernel.index() >= self.num_kernels {
                 return Err(DeviceError::UnknownKernel { kernel });
             }
-            self.launches.push((kernel, args.to_vec(), global_work_size));
-            Ok(KernelTiming { seconds: global_work_size as f64 * 1e-9 })
+            self.launches
+                .push((kernel, args.to_vec(), global_work_size));
+            Ok(KernelTiming {
+                seconds: global_work_size as f64 * 1e-9,
+            })
         }
 
         fn synchronize(&mut self, call: SyncCall) {

@@ -77,7 +77,10 @@ impl HostProgram {
 
     /// Number of synchronization calls in the script.
     pub fn num_sync_calls(&self) -> usize {
-        self.calls.iter().filter(|c| matches!(c, ApiCall::Sync(_))).count()
+        self.calls
+            .iter()
+            .filter(|c| matches!(c, ApiCall::Sync(_)))
+            .count()
     }
 
     /// Validate the program: IR well-formedness and kernel-id ranges
@@ -133,7 +136,9 @@ impl HostScriptBuilder {
             ApiCall::BuildProgram,
         ]);
         for k in 0..num_kernels {
-            program.calls.push(ApiCall::CreateKernel { kernel: KernelId(k as u32) });
+            program.calls.push(ApiCall::CreateKernel {
+                kernel: KernelId(k as u32),
+            });
         }
         HostScriptBuilder {
             args_set: vec![0; num_kernels],
@@ -153,16 +158,28 @@ impl HostScriptBuilder {
     }
 
     /// Set one kernel argument.
-    pub fn set_arg(&mut self, kernel: KernelId, index: u8, value: crate::api::ArgValue) -> &mut Self {
+    pub fn set_arg(
+        &mut self,
+        kernel: KernelId,
+        index: u8,
+        value: crate::api::ArgValue,
+    ) -> &mut Self {
         if let Some(slot) = self.args_set.get_mut(kernel.index()) {
             *slot = (*slot).max(index + 1);
         }
-        self.call(ApiCall::SetKernelArg { kernel, index, value })
+        self.call(ApiCall::SetKernelArg {
+            kernel,
+            index,
+            value,
+        })
     }
 
     /// Launch a kernel.
     pub fn launch(&mut self, kernel: KernelId, global_work_size: u64) -> &mut Self {
-        self.call(ApiCall::EnqueueNDRangeKernel { kernel, global_work_size })
+        self.call(ApiCall::EnqueueNDRangeKernel {
+            kernel,
+            global_work_size,
+        })
     }
 
     /// Emit a synchronization call.
@@ -177,7 +194,9 @@ impl HostScriptBuilder {
     /// Propagates [`HostProgram::check`] failures.
     pub fn finish(mut self) -> Result<HostProgram, String> {
         for k in 0..self.program.source.kernels.len() {
-            self.program.calls.push(ApiCall::ReleaseKernel { kernel: KernelId(k as u32) });
+            self.program.calls.push(ApiCall::ReleaseKernel {
+                kernel: KernelId(k as u32),
+            });
         }
         self.program.calls.push(ApiCall::ReleaseProgram);
         self.program.calls.push(ApiCall::ReleaseContext);
@@ -193,7 +212,9 @@ mod tests {
     use crate::ir::KernelIr;
 
     fn one_kernel_source() -> ProgramSource {
-        ProgramSource { kernels: vec![KernelIr::new("foo", 2)] }
+        ProgramSource {
+            kernels: vec![KernelIr::new("foo", 2)],
+        }
     }
 
     #[test]

@@ -151,7 +151,10 @@ impl std::fmt::Display for IrError {
                 write!(f, "unclosed loop or if opened at statement {position}")
             }
             IrError::BadArgIndex { position, arg } => {
-                write!(f, "statement {position} references argument {arg} past num_args")
+                write!(
+                    f,
+                    "statement {position} references argument {arg} past num_args"
+                )
             }
             IrError::TooDeep { position } => {
                 write!(f, "nesting too deep at statement {position}")
@@ -185,15 +188,22 @@ impl KernelIr {
         let mut stack: Vec<usize> = Vec::new();
         for (i, op) in self.body.iter().enumerate() {
             let arg_used = match *op {
-                IrOp::LoopBegin { trip: TripCount::Arg(a) }
-                | IrOp::LoopBegin { trip: TripCount::ArgShifted { arg: a, .. } } => Some(a),
+                IrOp::LoopBegin {
+                    trip: TripCount::Arg(a),
+                }
+                | IrOp::LoopBegin {
+                    trip: TripCount::ArgShifted { arg: a, .. },
+                } => Some(a),
                 IrOp::Load { arg, .. } | IrOp::Store { arg, .. } => Some(arg),
                 IrOp::IfArgLt { arg, .. } => Some(arg),
                 _ => None,
             };
             if let Some(a) = arg_used {
                 if a >= self.num_args {
-                    return Err(IrError::BadArgIndex { position: i, arg: a });
+                    return Err(IrError::BadArgIndex {
+                        position: i,
+                        arg: a,
+                    });
                 }
             }
             match op {
@@ -203,10 +213,9 @@ impl KernelIr {
                         return Err(IrError::TooDeep { position: i });
                     }
                 }
-                IrOp::LoopEnd | IrOp::EndIf
-                    if stack.pop().is_none() => {
-                        return Err(IrError::UnmatchedClose { position: i });
-                    }
+                IrOp::LoopEnd | IrOp::EndIf if stack.pop().is_none() => {
+                    return Err(IrError::UnmatchedClose { position: i });
+                }
                 _ => {}
             }
         }
@@ -232,14 +241,19 @@ mod tests {
     use super::*;
 
     fn compute(ops: u16) -> IrOp {
-        IrOp::Compute { ops, width: ExecSize::S16 }
+        IrOp::Compute {
+            ops,
+            width: ExecSize::S16,
+        }
     }
 
     #[test]
     fn well_formed_nested_ir_passes() {
         let mut k = KernelIr::new("k", 2);
         k.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Arg(0) },
+            IrOp::LoopBegin {
+                trip: TripCount::Arg(0),
+            },
             compute(4),
             IrOp::IfArgLt { arg: 1, value: 10 },
             compute(2),
@@ -259,7 +273,12 @@ mod tests {
     #[test]
     fn unclosed_loop_detected() {
         let mut k = KernelIr::new("k", 1);
-        k.body = vec![IrOp::LoopBegin { trip: TripCount::Const(4) }, compute(1)];
+        k.body = vec![
+            IrOp::LoopBegin {
+                trip: TripCount::Const(4),
+            },
+            compute(1),
+        ];
         assert_eq!(k.check(), Err(IrError::UnclosedRegion { position: 0 }));
     }
 
@@ -272,14 +291,22 @@ mod tests {
             width: ExecSize::S16,
             pattern: AccessPattern::Linear,
         }];
-        assert_eq!(k.check(), Err(IrError::BadArgIndex { position: 0, arg: 3 }));
+        assert_eq!(
+            k.check(),
+            Err(IrError::BadArgIndex {
+                position: 0,
+                arg: 3
+            })
+        );
     }
 
     #[test]
     fn excessive_nesting_detected() {
         let mut k = KernelIr::new("k", 0);
         for _ in 0..=MAX_NESTING {
-            k.body.push(IrOp::LoopBegin { trip: TripCount::Const(2) });
+            k.body.push(IrOp::LoopBegin {
+                trip: TripCount::Const(2),
+            });
         }
         for _ in 0..=MAX_NESTING {
             k.body.push(IrOp::LoopEnd);

@@ -96,7 +96,11 @@ impl<D: Device> OclRuntime<D> {
     ///
     /// Returns [`RunError::BadProgram`] for malformed programs and
     /// [`RunError::Device`] when the device faults.
-    pub fn run(&mut self, program: &HostProgram, schedule: Schedule) -> Result<RunReport, RunError> {
+    pub fn run(
+        &mut self,
+        program: &HostProgram,
+        schedule: Schedule,
+    ) -> Result<RunReport, RunError> {
         program.check().map_err(RunError::BadProgram)?;
         let calls = match schedule {
             Schedule::Replay => program.calls.clone(),
@@ -117,7 +121,10 @@ impl<D: Device> OclRuntime<D> {
 
         for call in &calls {
             let kind = call.kind();
-            let kidx = ApiCallKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+            let kidx = ApiCallKind::ALL
+                .iter()
+                .position(|&k| k == kind)
+                .expect("kind in ALL");
             kind_counts[kidx] += 1;
             *per_call_counts.entry(call.name().to_string()).or_insert(0) += 1;
 
@@ -125,7 +132,11 @@ impl<D: Device> OclRuntime<D> {
                 ApiCall::BuildProgram => {
                     self.device.build_program(&program.source)?;
                 }
-                ApiCall::SetKernelArg { kernel, index, value } => {
+                ApiCall::SetKernelArg {
+                    kernel,
+                    index,
+                    value,
+                } => {
                     let slots = &mut args[kernel.index()];
                     let i = *index as usize;
                     if i >= slots.len() {
@@ -135,9 +146,14 @@ impl<D: Device> OclRuntime<D> {
                     }
                     slots[i] = Some(*value);
                 }
-                ApiCall::EnqueueNDRangeKernel { kernel, global_work_size } => {
+                ApiCall::EnqueueNDRangeKernel {
+                    kernel,
+                    global_work_size,
+                } => {
                     let bound = bind_args(*kernel, &args[kernel.index()])?;
-                    let timing = self.device.launch_kernel(*kernel, &bound, *global_work_size)?;
+                    let timing = self
+                        .device
+                        .launch_kernel(*kernel, &bound, *global_work_size)?;
                     let kernel_name = program
                         .source
                         .kernel(*kernel)
@@ -185,7 +201,12 @@ fn bind_args(kernel: KernelId, slots: &[Option<ArgValue>]) -> Result<Vec<ArgValu
     slots
         .iter()
         .enumerate()
-        .map(|(i, v)| v.ok_or(DeviceError::MissingArg { kernel, index: i as u8 }))
+        .map(|(i, v)| {
+            v.ok_or(DeviceError::MissingArg {
+                kernel,
+                index: i as u8,
+            })
+        })
         .collect()
 }
 
@@ -214,16 +235,15 @@ fn natural_order(calls: &[ApiCall], seed: u64) -> Vec<ApiCall> {
     let mut pending: Vec<ApiCall> = Vec::new();
     let mut epoch_index = 0u64;
 
-    let flush_epoch =
-        |groups: &mut Vec<Vec<ApiCall>>, out: &mut Vec<ApiCall>, epoch_index: u64| {
-            if groups.len() > 1 {
-                let rot = (mix(seed, epoch_index) as usize) % groups.len();
-                groups.rotate_left(rot);
-            }
-            for g in groups.drain(..) {
-                out.extend(g);
-            }
-        };
+    let flush_epoch = |groups: &mut Vec<Vec<ApiCall>>, out: &mut Vec<ApiCall>, epoch_index: u64| {
+        if groups.len() > 1 {
+            let rot = (mix(seed, epoch_index) as usize) % groups.len();
+            groups.rotate_left(rot);
+        }
+        for g in groups.drain(..) {
+            out.extend(g);
+        }
+    };
 
     for call in calls {
         match call {
@@ -339,7 +359,10 @@ mod tests {
         let mut b: Vec<_> = replay.cofluent.invocations.iter().map(key).collect();
         a.sort();
         b.sort();
-        assert_eq!(a, b, "scheduling never separates a launch from its arguments");
+        assert_eq!(
+            a, b,
+            "scheduling never separates a launch from its arguments"
+        );
     }
 
     #[test]
@@ -362,14 +385,18 @@ mod tests {
         let p = two_kernel_program(6, 2);
         let run = |seed| {
             let mut rt = OclRuntime::new(FakeDevice::default());
-            rt.run(&p, Schedule::Natural { seed }).unwrap().resolved_calls
+            rt.run(&p, Schedule::Natural { seed })
+                .unwrap()
+                .resolved_calls
         };
         assert_eq!(run(3), run(3));
     }
 
     #[test]
     fn missing_argument_is_a_device_error() {
-        let source = ProgramSource { kernels: vec![KernelIr::new("a", 2)] };
+        let source = ProgramSource {
+            kernels: vec![KernelIr::new("a", 2)],
+        };
         let mut b = HostScriptBuilder::new("app", source);
         b.set_arg(KernelId(0), 0, ArgValue::Scalar(1));
         b.launch(KernelId(0), 64);
@@ -378,7 +405,10 @@ mod tests {
         let err = rt.run(&p, Schedule::Replay).unwrap_err();
         assert_eq!(
             err,
-            RunError::Device(DeviceError::MissingArg { kernel: KernelId(0), index: 1 })
+            RunError::Device(DeviceError::MissingArg {
+                kernel: KernelId(0),
+                index: 1
+            })
         );
     }
 
@@ -435,7 +465,9 @@ mod tests {
 
     #[test]
     fn trailing_unsynced_work_counts_as_an_epoch() {
-        let source = ProgramSource { kernels: vec![KernelIr::new("a", 0)] };
+        let source = ProgramSource {
+            kernels: vec![KernelIr::new("a", 0)],
+        };
         let mut b = HostScriptBuilder::new("app", source);
         b.launch(KernelId(0), 64);
         let p = b.finish().unwrap();

@@ -70,7 +70,10 @@ impl std::fmt::Display for MergeError {
                 "profile has {profile} invocations but timing report has {timing}"
             ),
             MergeError::KernelMismatch { index } => {
-                write!(f, "invocation {index} names different kernels in profile and timing")
+                write!(
+                    f,
+                    "invocation {index} names different kernels in profile and timing"
+                )
             }
         }
     }
@@ -209,8 +212,14 @@ pub(crate) mod test_support {
         AppData {
             app: "synthetic".into(),
             kernels: vec![
-                KernelShape { name: "compute".into(), block_sizes: vec![5, 95, 3] },
-                KernelShape { name: "memory".into(), block_sizes: vec![5, 98] },
+                KernelShape {
+                    name: "compute".into(),
+                    block_sizes: vec![5, 95, 3],
+                },
+                KernelShape {
+                    name: "memory".into(),
+                    block_sizes: vec![5, 98],
+                },
             ],
             invocations,
         }
@@ -227,9 +236,7 @@ mod tests {
         let d = synthetic_app(2, 4);
         let spi = d.measured_spi();
         assert!(spi > 0.0);
-        assert!(
-            (spi - d.total_seconds() / d.total_instructions() as f64).abs() < 1e-18
-        );
+        assert!((spi - d.total_seconds() / d.total_instructions() as f64).abs() < 1e-18);
     }
 
     #[test]

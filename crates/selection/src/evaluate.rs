@@ -7,7 +7,7 @@ use simpoint::{select, SelectError, Selection, SimpointConfig};
 
 use crate::data::AppData;
 use crate::features::FeatureKind;
-use crate::interval::{build_intervals, Interval, IntervalScheme};
+use crate::interval::{Interval, IntervalScheme, SchemeTable};
 
 /// One point of the 30-configuration space (3 interval schemes ×
 /// 10 feature kinds).
@@ -37,7 +37,10 @@ pub fn all_configs(approx_target: u64) -> Vec<SelectionConfig> {
     let mut out = Vec::with_capacity(30);
     for scheme in schemes {
         for features in FeatureKind::ALL {
-            out.push(SelectionConfig { interval: scheme, features });
+            out.push(SelectionConfig {
+                interval: scheme,
+                features,
+            });
         }
     }
     out
@@ -155,18 +158,56 @@ pub fn evaluate_config_weighted(
     simpoint_config: &SimpointConfig,
     weighting: crate::features::FeatureWeighting,
 ) -> Result<Evaluation, SelectError> {
-    let intervals = build_intervals(data, config.interval);
-    let vectors =
-        crate::features::feature_vectors_weighted(data, &intervals, config.features, weighting);
-    let weights: Vec<u64> = intervals.iter().map(|iv| iv.instructions(data)).collect();
-    let selection = select(&vectors, &weights, simpoint_config)?;
+    let table = SchemeTable::build(data, config.interval);
+    evaluate_config_with_table(data, config, &table, simpoint_config, weighting)
+}
+
+/// Evaluate one configuration against a pre-built [`SchemeTable`],
+/// reusing its interval division and per-interval base profiles.
+///
+/// This is the memoized core `Exploration::run` fans out over: the
+/// 3 tables are built once and shared by the 10 feature kinds each,
+/// so 30 evaluations cost 3 trace divisions instead of 30. Results
+/// are bitwise identical to [`evaluate_config_weighted`] because the
+/// table accumulates its sums in the same order the direct path does.
+///
+/// # Panics
+///
+/// Debug-asserts that `table` was built under `config.interval`.
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] when the trace yields no usable
+/// intervals.
+pub fn evaluate_config_with_table(
+    data: &AppData,
+    config: SelectionConfig,
+    table: &SchemeTable,
+    simpoint_config: &SimpointConfig,
+    weighting: crate::features::FeatureWeighting,
+) -> Result<Evaluation, SelectError> {
+    debug_assert_eq!(
+        config.interval, table.scheme,
+        "table built under a different scheme"
+    );
+    let vectors = crate::features::feature_vectors_weighted(
+        data,
+        &table.intervals,
+        config.features,
+        weighting,
+    );
+    let selection = select(&vectors, table.weights(), simpoint_config)?;
 
     let measured = data.measured_spi();
-    let projected = projected_spi(data, &intervals, &selection);
+    let projected: f64 = selection
+        .picks
+        .iter()
+        .map(|p| p.ratio * table.spi(p.interval))
+        .sum();
     let selected_instructions: u64 = selection
         .picks
         .iter()
-        .map(|p| intervals[p.interval].instructions(data))
+        .map(|p| table.instructions(p.interval))
         .sum();
 
     Ok(Evaluation {
@@ -177,7 +218,7 @@ pub fn evaluate_config_weighted(
         error_pct: error_pct(measured, projected),
         selected_instructions,
         total_instructions: data.total_instructions(),
-        intervals,
+        intervals: table.intervals.clone(),
     })
 }
 
@@ -207,10 +248,18 @@ mod tests {
             features: FeatureKind::KnArgs,
         };
         // Force one cluster per interval.
-        let sp = SimpointConfig { max_k: 16, bic_fraction: 1.0, ..spcfg() };
+        let sp = SimpointConfig {
+            max_k: 16,
+            bic_fraction: 1.0,
+            ..spcfg()
+        };
         let e = evaluate_config(&d, cfg, &sp).unwrap();
         if e.selection.k == e.intervals.len() {
-            assert!(e.error_pct < 1e-9, "full selection projects exactly: {}", e.error_pct);
+            assert!(
+                e.error_pct < 1e-9,
+                "full selection projects exactly: {}",
+                e.error_pct
+            );
         }
         // Regardless of k, the weighted-mean identity bounds sanity:
         assert!(e.projected_spi > 0.0);

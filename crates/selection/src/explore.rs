@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use simpoint::SimpointConfig;
 
 use crate::data::AppData;
-use crate::evaluate::{all_configs, evaluate_config, Evaluation};
+use crate::evaluate::{all_configs, evaluate_config_with_table, Evaluation, SelectionConfig};
+use crate::features::FeatureWeighting;
+use crate::interval::SchemeTable;
 
 /// The outcome of evaluating every configuration for one app.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,12 +32,67 @@ impl Exploration {
     ///
     /// Configurations that fail (e.g. zero-weight traces) are
     /// skipped; an empty result means the app has no kernel work.
+    ///
+    /// The trace is divided **once per interval scheme** (3 divisions
+    /// for 30 configurations, with per-interval base profiles shared
+    /// across the 10 feature kinds), and the evaluations fan out
+    /// across `GTPIN_THREADS` workers. The result is bitwise
+    /// identical at every thread count — see [`Self::run_with_threads`].
     pub fn run(data: &AppData, approx_target: u64, simpoint: &SimpointConfig) -> Exploration {
-        let evaluations = all_configs(approx_target)
+        Self::run_with_threads(
+            data,
+            approx_target,
+            simpoint,
+            gtpin_par::configured_threads(),
+        )
+    }
+
+    /// [`Self::run`] with an explicit worker count.
+    ///
+    /// Each of the 30 evaluations is independent (SimPoint seeds
+    /// derive from the configuration, never from shared mutable
+    /// state) and results are collected in configuration order, so
+    /// `run_with_threads(d, t, s, n)` returns the same bits for
+    /// every `n ≥ 1`; `n = 1` is a plain serial loop.
+    pub fn run_with_threads(
+        data: &AppData,
+        approx_target: u64,
+        simpoint: &SimpointConfig,
+        threads: usize,
+    ) -> Exploration {
+        // Divide once per scheme; tables are shared read-only below.
+        let configs = all_configs(approx_target);
+        let mut tables: Vec<SchemeTable> = Vec::new();
+        for cfg in &configs {
+            if !tables.iter().any(|t| t.scheme == cfg.interval) {
+                tables.push(SchemeTable::build(data, cfg.interval));
+            }
+        }
+        let tasks: Vec<(usize, SelectionConfig)> = configs
             .into_iter()
-            .filter_map(|cfg| evaluate_config(data, cfg, simpoint).ok())
+            .map(|cfg| {
+                let ti = tables
+                    .iter()
+                    .position(|t| t.scheme == cfg.interval)
+                    .expect("table built for every scheme");
+                (ti, cfg)
+            })
             .collect();
-        Exploration { app: data.app.clone(), evaluations }
+
+        let evaluations = gtpin_par::parallel_map(&tasks, threads, |_, &(ti, cfg)| {
+            evaluate_config_with_table(
+                data,
+                cfg,
+                &tables[ti],
+                simpoint,
+                FeatureWeighting::InstructionWeighted,
+            )
+            .ok()
+        });
+        Exploration {
+            app: data.app.clone(),
+            evaluations: evaluations.into_iter().flatten().collect(),
+        }
     }
 
     /// The error-minimizing configuration (Figure 6's policy).
@@ -166,8 +223,9 @@ mod tests {
     #[test]
     fn threshold_sweep_speedup_is_monotone() {
         let exs = vec![explored()];
-        let thresholds: Vec<Option<f64>> =
-            std::iter::once(None).chain((1..=10).map(|t| Some(t as f64))).collect();
+        let thresholds: Vec<Option<f64>> = std::iter::once(None)
+            .chain((1..=10).map(|t| Some(t as f64)))
+            .collect();
         let points = threshold_sweep(&exs, &thresholds);
         assert_eq!(points.len(), 11);
         for w in points.windows(2).skip(1) {

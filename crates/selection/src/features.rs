@@ -247,8 +247,17 @@ mod tests {
         assert!(FeatureKind::KnRw.uses_memory());
         assert!(FeatureKind::BbRPlusW.uses_memory());
         assert!(!FeatureKind::Bb.uses_memory());
-        assert_eq!(FeatureKind::ALL.iter().filter(|k| k.uses_memory()).count(), 5);
-        assert_eq!(FeatureKind::ALL.iter().filter(|k| k.is_block_based()).count(), 5);
+        assert_eq!(
+            FeatureKind::ALL.iter().filter(|k| k.uses_memory()).count(),
+            5
+        );
+        assert_eq!(
+            FeatureKind::ALL
+                .iter()
+                .filter(|k| k.is_block_based())
+                .count(),
+            5
+        );
     }
 
     #[test]
@@ -265,7 +274,11 @@ mod tests {
         let d = synthetic_app(1, 6);
         let iv = Interval { start: 0, end: 6 };
         let v = feature_vector(&d, iv, FeatureKind::KnArgs);
-        assert!(v.len() > 2, "distinct args per launch split the keys: {}", v.len());
+        assert!(
+            v.len() > 2,
+            "distinct args per launch split the keys: {}",
+            v.len()
+        );
     }
 
     #[test]

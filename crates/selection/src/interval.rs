@@ -94,6 +94,74 @@ impl Interval {
     }
 }
 
+/// A scheme's interval division plus per-interval base profiles
+/// (instruction and time sums), computed **once** and shared across
+/// every feature kind that evaluates under the scheme.
+///
+/// `Exploration::run` evaluates 10 feature kinds per scheme; without
+/// this table each evaluation re-divides the trace and re-walks the
+/// invocations (30 divisions per app). With it, the division and the
+/// per-interval sums happen 3 times and are read 30 times — and the
+/// sums are accumulated in exactly the order [`Interval::instructions`]
+/// and [`Interval::seconds`] use, so every derived quantity
+/// (weights, SPI, projections) is bitwise identical to the
+/// un-memoized path.
+#[derive(Debug, Clone)]
+pub struct SchemeTable {
+    /// The scheme this table divides under.
+    pub scheme: IntervalScheme,
+    /// The division (same contents as [`build_intervals`]).
+    pub intervals: Vec<Interval>,
+    instructions: Vec<u64>,
+    seconds: Vec<f64>,
+}
+
+impl SchemeTable {
+    /// Divide `data` under `scheme` and profile every interval.
+    pub fn build(data: &AppData, scheme: IntervalScheme) -> SchemeTable {
+        let intervals = build_intervals(data, scheme);
+        let instructions = intervals.iter().map(|iv| iv.instructions(data)).collect();
+        let seconds = intervals.iter().map(|iv| iv.seconds(data)).collect();
+        SchemeTable {
+            scheme,
+            intervals,
+            instructions,
+            seconds,
+        }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the division is empty (no invocations).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Per-interval dynamic instruction counts — SimPoint's
+    /// clustering weights.
+    pub fn weights(&self) -> &[u64] {
+        &self.instructions
+    }
+
+    /// Dynamic instructions in interval `i`.
+    pub fn instructions(&self, i: usize) -> u64 {
+        self.instructions[i]
+    }
+
+    /// Seconds-per-instruction of interval `i`; bitwise equal to
+    /// [`Interval::spi`] on the same data.
+    pub fn spi(&self, i: usize) -> f64 {
+        if self.instructions[i] == 0 {
+            0.0
+        } else {
+            self.seconds[i] / self.instructions[i] as f64
+        }
+    }
+}
+
 /// The default medium-interval target for an application — the
 /// analogue of the paper's fixed "~100M instructions" at our workload
 /// scale: roughly two sub-intervals per synchronization epoch, which
@@ -131,12 +199,18 @@ pub fn build_intervals(data: &AppData, scheme: IntervalScheme) -> Vec<Interval> 
     match scheme {
         IntervalScheme::SyncBounded => {
             for w in epoch_starts.windows(2) {
-                out.push(Interval { start: w[0], end: w[1] });
+                out.push(Interval {
+                    start: w[0],
+                    end: w[1],
+                });
             }
         }
         IntervalScheme::SingleKernel => {
             for i in 0..n {
-                out.push(Interval { start: i, end: i + 1 });
+                out.push(Interval {
+                    start: i,
+                    end: i + 1,
+                });
             }
         }
         IntervalScheme::ApproxInstructions(target) => {
@@ -176,7 +250,10 @@ mod tests {
             // Never straddles an epoch.
             let e = data.invocations[iv.start].sync_epoch;
             for i in iv.start..iv.end {
-                assert_eq!(data.invocations[i].sync_epoch, e, "single epoch per interval");
+                assert_eq!(
+                    data.invocations[i].sync_epoch, e,
+                    "single epoch per interval"
+                );
             }
         }
         assert_eq!(cursor, data.invocations.len(), "covers everything");
@@ -205,8 +282,14 @@ mod tests {
         let sync = build_intervals(&d, IntervalScheme::SyncBounded).len();
         let approx = build_intervals(&d, IntervalScheme::ApproxInstructions(20_000)).len();
         let single = build_intervals(&d, IntervalScheme::SingleKernel).len();
-        assert!(sync <= approx && approx <= single, "{sync} <= {approx} <= {single}");
-        assert_partition(&d, &build_intervals(&d, IntervalScheme::ApproxInstructions(20_000)));
+        assert!(
+            sync <= approx && approx <= single,
+            "{sync} <= {approx} <= {single}"
+        );
+        assert_partition(
+            &d,
+            &build_intervals(&d, IntervalScheme::ApproxInstructions(20_000)),
+        );
     }
 
     #[test]
@@ -240,5 +323,61 @@ mod tests {
         let mut d = synthetic_app(1, 1);
         d.invocations.clear();
         assert!(build_intervals(&d, IntervalScheme::SyncBounded).is_empty());
+    }
+
+    #[test]
+    fn scheme_table_matches_interval_methods_bitwise() {
+        let d = synthetic_app(5, 7);
+        for scheme in [
+            IntervalScheme::SyncBounded,
+            IntervalScheme::ApproxInstructions(25_000),
+            IntervalScheme::SingleKernel,
+        ] {
+            let table = SchemeTable::build(&d, scheme);
+            let intervals = build_intervals(&d, scheme);
+            assert_eq!(table.intervals, intervals);
+            assert_eq!(table.len(), intervals.len());
+            for (i, iv) in intervals.iter().enumerate() {
+                assert_eq!(table.instructions(i), iv.instructions(&d));
+                assert_eq!(table.weights()[i], iv.instructions(&d));
+                assert_eq!(
+                    table.spi(i).to_bits(),
+                    iv.spi(&d).to_bits(),
+                    "memoized SPI must be bit-identical ({scheme})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_division_never_straddles_sync_calls() {
+        // Eight epochs → seven synchronization calls between them;
+        // every scheme's memoized division must respect all seven
+        // boundaries exactly as the direct division does.
+        let d = synthetic_app(8, 5);
+        let sync_calls = 7;
+        assert_eq!(
+            d.invocations.last().unwrap().sync_epoch as usize,
+            sync_calls
+        );
+        for scheme in [
+            IntervalScheme::SyncBounded,
+            IntervalScheme::ApproxInstructions(15_000),
+            IntervalScheme::SingleKernel,
+        ] {
+            let table = SchemeTable::build(&d, scheme);
+            assert_partition(&d, &table.intervals);
+            // Each of the 7 boundaries coincides with an interval edge.
+            let edges: std::collections::HashSet<usize> =
+                table.intervals.iter().map(|iv| iv.start).collect();
+            for i in 1..d.invocations.len() {
+                if d.invocations[i].sync_epoch != d.invocations[i - 1].sync_epoch {
+                    assert!(
+                        edges.contains(&i),
+                        "sync boundary at {i} must start an interval"
+                    );
+                }
+            }
+        }
     }
 }

@@ -33,14 +33,16 @@ pub mod validate;
 
 pub use data::{AppData, InvRecord, KernelShape, MergeError};
 pub use evaluate::{
-    all_configs, error_pct, evaluate_config, evaluate_config_weighted, projected_spi,
-    Evaluation, SelectionConfig,
+    all_configs, error_pct, evaluate_config, evaluate_config_weighted, evaluate_config_with_table,
+    projected_spi, Evaluation, SelectionConfig,
 };
 pub use explore::{threshold_sweep, Exploration, ThresholdPoint};
 pub use features::{
     feature_vector, feature_vector_weighted, feature_vectors, feature_vectors_weighted,
     FeatureKind, FeatureWeighting,
 };
-pub use interval::{build_intervals, default_approx_target, Interval, IntervalScheme};
+pub use interval::{build_intervals, default_approx_target, Interval, IntervalScheme, SchemeTable};
 pub use pipeline::{profile_app, replay_timings, PipelineError, ProfiledApp};
-pub use validate::{cross_error_pct, validate_against, ValidationPoint};
+pub use validate::{
+    cross_error_pct, validate_against, validate_against_with_threads, ValidationPoint,
+};

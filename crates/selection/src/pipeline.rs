@@ -129,8 +129,13 @@ mod tests {
     fn program() -> HostProgram {
         let mut k = KernelIr::new("w", 1);
         k.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Arg(0) },
-            IrOp::Compute { ops: 10, width: ExecSize::S16 },
+            IrOp::LoopBegin {
+                trip: TripCount::Arg(0),
+            },
+            IrOp::Compute {
+                ops: 10,
+                width: ExecSize::S16,
+            },
             IrOp::LoopEnd,
         ];
         let mut b = HostScriptBuilder::new("pipe-app", ProgramSource { kernels: vec![k] });
@@ -162,7 +167,10 @@ mod tests {
         let p = profile_app(&program(), GpuConfig::hd4000(), 7).unwrap();
         let replay = replay_timings(&p.recording, GpuConfig::hd4000()).unwrap();
         for (a, b) in p.cofluent.invocations.iter().zip(&replay.invocations) {
-            assert_eq!(a.seconds, b.seconds, "same machine, same trial seed, same time");
+            assert_eq!(
+                a.seconds, b.seconds,
+                "same machine, same trial seed, same time"
+            );
         }
     }
 

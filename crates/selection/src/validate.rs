@@ -34,17 +34,28 @@ pub struct ValidationPoint {
 }
 
 /// Validate a selection against several replayed executions.
+///
+/// Replays are independent of one another, so they fan out across
+/// `GTPIN_THREADS` workers; points come back in replay order either
+/// way.
 pub fn validate_against(
     selection: &Evaluation,
     replays: &[(String, AppData)],
 ) -> Vec<ValidationPoint> {
-    replays
-        .iter()
-        .map(|(label, data)| ValidationPoint {
-            label: label.clone(),
-            error_pct: cross_error_pct(selection, data),
-        })
-        .collect()
+    validate_against_with_threads(selection, replays, gtpin_par::configured_threads())
+}
+
+/// [`validate_against`] with an explicit worker count; bitwise
+/// identical at every count.
+pub fn validate_against_with_threads(
+    selection: &Evaluation,
+    replays: &[(String, AppData)],
+    threads: usize,
+) -> Vec<ValidationPoint> {
+    gtpin_par::parallel_map(replays, threads, |_, (label, data)| ValidationPoint {
+        label: label.clone(),
+        error_pct: cross_error_pct(selection, data),
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +130,10 @@ mod tests {
     #[test]
     fn validate_against_labels_every_replay() {
         let (e, d) = base_selection();
-        let replays = vec![("trial 2".to_string(), d.clone()), ("trial 3".to_string(), d)];
+        let replays = vec![
+            ("trial 2".to_string(), d.clone()),
+            ("trial 3".to_string(), d),
+        ];
         let points = validate_against(&e, &replays);
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].label, "trial 2");

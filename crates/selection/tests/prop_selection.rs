@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use simpoint::SimpointConfig;
 use subset_select::{
-    all_configs, build_intervals, evaluate_config, AppData, FeatureKind, InvRecord,
-    IntervalScheme, KernelShape, SelectionConfig,
+    all_configs, build_intervals, evaluate_config, AppData, FeatureKind, IntervalScheme, InvRecord,
+    KernelShape, SelectionConfig,
 };
 
 prop_compose! {

@@ -60,7 +60,10 @@ mod tests {
         let (pts, w) = blobs(&[0.0, 50.0, 100.0], 12);
         let b1 = bic_score(&pts, &w, &kmeans(&pts, &w, 1, 7, 100));
         let b3 = bic_score(&pts, &w, &kmeans(&pts, &w, 3, 7, 100));
-        assert!(b3 > b1, "three real blobs: BIC(3)={b3} must beat BIC(1)={b1}");
+        assert!(
+            b3 > b1,
+            "three real blobs: BIC(3)={b3} must beat BIC(1)={b1}"
+        );
     }
 
     #[test]
@@ -72,7 +75,10 @@ mod tests {
         let w = vec![1.0; 24];
         let b1 = bic_score(&pts, &w, &kmeans(&pts, &w, 1, 7, 100));
         let b6 = bic_score(&pts, &w, &kmeans(&pts, &w, 6, 7, 100));
-        assert!(b1 >= b6, "equal fit: BIC(1)={b1} should not lose to BIC(6)={b6}");
+        assert!(
+            b1 >= b6,
+            "equal fit: BIC(1)={b1} should not lose to BIC(6)={b6}"
+        );
     }
 
     #[test]

@@ -57,7 +57,43 @@ impl KmeansResult {
 /// # Panics
 ///
 /// Panics if `points` is empty or `weights.len() != points.len()`.
-pub fn kmeans(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64, max_iters: usize) -> KmeansResult {
+pub fn kmeans(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+) -> KmeansResult {
+    kmeans_with_threads(
+        points,
+        weights,
+        k,
+        seed,
+        max_iters,
+        gtpin_par::configured_threads(),
+    )
+}
+
+/// Point count below which the Lloyd assignment step stays serial:
+/// under this, thread spawn cost exceeds the distance arithmetic.
+pub const PAR_MIN_POINTS: usize = 1024;
+
+/// [`kmeans`] with an explicit worker count for the Lloyd assignment
+/// step (and the final assignment/SSE pass).
+///
+/// Only the per-point `nearest` searches are chunked across threads —
+/// each is pure in the previous iteration's centroids. The centroid
+/// update (the floating-point accumulation) and the k-means++ seeding
+/// (a sequential RNG dependency chain) stay serial in point order, so
+/// the result is bitwise identical at every thread count.
+pub fn kmeans_with_threads(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+    threads: usize,
+) -> KmeansResult {
     assert!(!points.is_empty(), "kmeans needs at least one point");
     assert_eq!(points.len(), weights.len(), "one weight per point");
     let k = k.clamp(1, points.len());
@@ -66,16 +102,14 @@ pub fn kmeans(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64, max_ite
     let mut centroids = plus_plus_seed(points, weights, k, &mut rng);
     let mut assignments = vec![0usize; points.len()];
 
+    let mut scratch = vec![0usize; points.len()];
     for _ in 0..max_iters {
-        // Assign.
-        let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let (best, _) = nearest(p, &centroids);
-            if assignments[i] != best {
-                assignments[i] = best;
-                changed = true;
-            }
-        }
+        // Assign: each point's nearest-centroid search is independent.
+        gtpin_par::parallel_fill(&mut scratch, threads, PAR_MIN_POINTS, |i| {
+            nearest(&points[i], &centroids).0
+        });
+        let mut changed = assignments != scratch;
+        std::mem::swap(&mut assignments, &mut scratch);
 
         // Update.
         let dims = points[0].len();
@@ -113,15 +147,23 @@ pub fn kmeans(points: &[Vec<f64>], weights: &[f64], k: usize, seed: u64, max_ite
         }
     }
 
-    // Final assignment + SSE.
+    // Final assignment + SSE: nearest searches fan out, the SSE
+    // reduction stays serial in point order (fixed f64 fold order).
+    let mut finals = vec![(0usize, 0.0f64); points.len()];
+    gtpin_par::parallel_fill(&mut finals, threads, PAR_MIN_POINTS, |i| {
+        nearest(&points[i], &centroids)
+    });
     let mut sse = 0.0;
-    for (i, p) in points.iter().enumerate() {
-        let (best, d2) = nearest(p, &centroids);
+    for (i, &(best, d2)) in finals.iter().enumerate() {
         assignments[i] = best;
         sse += weights[i] * d2;
     }
 
-    KmeansResult { assignments, centroids, sse }
+    KmeansResult {
+        assignments,
+        centroids,
+        sse,
+    }
 }
 
 fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
@@ -151,10 +193,7 @@ fn plus_plus_seed(
     let first = weighted_pick(weights, total_w, rng);
     centroids.push(points[first].clone());
 
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| distance2(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| distance2(p, &centroids[0])).collect();
 
     while centroids.len() < k {
         let scores: Vec<f64> = d2.iter().zip(weights).map(|(d, w)| d * w).collect();
@@ -240,7 +279,10 @@ mod tests {
         // the heavy point.
         let pts = vec![vec![0.0], vec![10.0]];
         let r = kmeans(&pts, &[9.0, 1.0], 1, 3, 50);
-        assert!((r.centroids[0][0] - 1.0).abs() < 1e-9, "weighted mean is 1.0");
+        assert!(
+            (r.centroids[0][0] - 1.0).abs() < 1e-9,
+            "weighted mean is 1.0"
+        );
     }
 
     #[test]

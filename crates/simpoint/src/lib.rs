@@ -41,7 +41,9 @@ pub mod project;
 pub mod simpoint;
 pub mod vector;
 
-pub use kmeans::{kmeans, KmeansResult};
+pub use kmeans::{kmeans, kmeans_with_threads, KmeansResult, PAR_MIN_POINTS};
 pub use project::{project, project_all, DEFAULT_DIMS};
-pub use simpoint::{select, SelectError, Selection, SimpointConfig, SimpointPick};
+pub use simpoint::{
+    select, select_with_threads, SelectError, Selection, SimpointConfig, SimpointPick,
+};
 pub use vector::FeatureVector;

@@ -6,7 +6,6 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bic::bic_score;
-use crate::kmeans::kmeans;
 use crate::project::{project_all, DEFAULT_DIMS};
 use crate::vector::FeatureVector;
 
@@ -115,6 +114,30 @@ pub fn select(
     weights: &[u64],
     config: &SimpointConfig,
 ) -> Result<Selection, SelectError> {
+    select_with_threads(vectors, weights, config, gtpin_par::configured_threads())
+}
+
+/// [`select`] with an explicit worker count.
+///
+/// The k = 1..=`max_k` sweep fans out across threads — each run owns
+/// its RNG (seeded from `config.seed` and `k` alone) and its BIC
+/// score, and runs are collected back in k order, so the BIC
+/// threshold rule sees exactly the serial sequence. For large
+/// interval populations the sweep instead stays serial and the
+/// thread budget goes to chunking each run's Lloyd assignment step
+/// (see [`crate::kmeans::kmeans_with_threads`]). Either way the
+/// selection is bitwise identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`SelectError`] on empty input, length mismatch, or
+/// all-zero weights.
+pub fn select_with_threads(
+    vectors: &[FeatureVector],
+    weights: &[u64],
+    config: &SimpointConfig,
+    threads: usize,
+) -> Result<Selection, SelectError> {
     if vectors.is_empty() {
         return Err(SelectError::NoIntervals);
     }
@@ -139,18 +162,38 @@ pub fn select(
     let w: Vec<f64> = weights.iter().map(|&x| x as f64).collect();
 
     // Sweep k, score with BIC, keep the smallest k clearing the
-    // fraction-of-best threshold.
+    // fraction-of-best threshold. Small populations spend the thread
+    // budget on concurrent k runs; large ones keep the sweep serial
+    // and chunk each run's assignment step instead (nesting both
+    // would oversubscribe).
     let max_k = config.max_k.min(points.len()).max(1);
-    let mut runs = Vec::with_capacity(max_k);
-    for k in 1..=max_k {
-        let r = kmeans(&points, &w, k, config.seed ^ (k as u64) << 32, config.max_iters);
-        let bic = bic_score(&points, &w, &r);
-        runs.push((r, bic));
-    }
+    let (sweep_threads, lloyd_threads) = if points.len() >= crate::kmeans::PAR_MIN_POINTS {
+        (1, threads)
+    } else {
+        (threads, 1)
+    };
+    let runs: Vec<(crate::kmeans::KmeansResult, f64)> =
+        gtpin_par::parallel_indexed(max_k, sweep_threads, |i| {
+            let k = i + 1;
+            let r = crate::kmeans::kmeans_with_threads(
+                &points,
+                &w,
+                k,
+                config.seed ^ (k as u64) << 32,
+                config.max_iters,
+                lloyd_threads,
+            );
+            let bic = bic_score(&points, &w, &r);
+            (r, bic)
+        });
     // SimPoint 3.0's rule: normalize BIC scores to [min, max] across
     // the k sweep and keep the smallest k whose normalized score
     // reaches the threshold fraction.
-    let finite: Vec<f64> = runs.iter().map(|(_, b)| *b).filter(|b| b.is_finite()).collect();
+    let finite: Vec<f64> = runs
+        .iter()
+        .map(|(_, b)| *b)
+        .filter(|b| b.is_finite())
+        .collect();
     let best_bic = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min_bic = finite.iter().cloned().fold(f64::INFINITY, f64::min);
     let span = (best_bic - min_bic).max(1e-12);
@@ -230,7 +273,11 @@ mod tests {
     fn recovers_phase_structure() {
         let (v, w) = phased_vectors(3, 8);
         let s = select(&v, &w, &SimpointConfig::default()).unwrap();
-        assert!(s.k >= 3, "three behaviours need at least three clusters, got {}", s.k);
+        assert!(
+            s.k >= 3,
+            "three behaviours need at least three clusters, got {}",
+            s.k
+        );
         // Intervals of the same phase share a cluster.
         for p in 0..3 {
             let base = s.assignments[p * 8];
@@ -243,7 +290,10 @@ mod tests {
     #[test]
     fn respects_max_k() {
         let (v, w) = phased_vectors(6, 5);
-        let cfg = SimpointConfig { max_k: 4, ..Default::default() };
+        let cfg = SimpointConfig {
+            max_k: 4,
+            ..Default::default()
+        };
         let s = select(&v, &w, &cfg).unwrap();
         assert!(s.k <= 4);
     }
@@ -267,11 +317,16 @@ mod tests {
 
     #[test]
     fn uniform_population_selects_few() {
-        let v: Vec<FeatureVector> =
-            (0..20).map(|_| [(1u64, 1.0), (2, 2.0)].into_iter().collect()).collect();
+        let v: Vec<FeatureVector> = (0..20)
+            .map(|_| [(1u64, 1.0), (2, 2.0)].into_iter().collect())
+            .collect();
         let w = vec![100u64; 20];
         let s = select(&v, &w, &SimpointConfig::default()).unwrap();
-        assert!(s.k <= 2, "identical intervals should collapse, got k={}", s.k);
+        assert!(
+            s.k <= 2,
+            "identical intervals should collapse, got k={}",
+            s.k
+        );
     }
 
     #[test]

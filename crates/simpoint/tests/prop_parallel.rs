@@ -1,0 +1,88 @@
+//! Determinism properties of the parallel SimPoint paths: the BIC
+//! k-sweep and the chunked Lloyd assignment must produce bitwise
+//! identical selections at every thread count.
+
+use proptest::prelude::*;
+use simpoint::{kmeans_with_threads, select_with_threads, FeatureVector, SimpointConfig};
+
+prop_compose! {
+    fn arb_population()(
+        entries in prop::collection::vec(
+            (prop::collection::vec((0u64..40, 1u64..100), 1..6), 1u64..10_000),
+            2..40,
+        ),
+    ) -> (Vec<FeatureVector>, Vec<u64>) {
+        let mut vectors = Vec::with_capacity(entries.len());
+        let mut weights = Vec::with_capacity(entries.len());
+        for (keys, w) in entries {
+            let v: FeatureVector =
+                keys.into_iter().map(|(k, x)| (k, x as f64)).collect();
+            vectors.push(v);
+            weights.push(w);
+        }
+        (vectors, weights)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel BIC sweep returns the serial selection — same
+    /// picks, same assignments, same k — at every thread count, and
+    /// ratios always sum to one.
+    #[test]
+    fn bic_sweep_is_thread_count_invariant(
+        pop in arb_population(),
+        seed in 0u64..1_000,
+    ) {
+        let (vectors, weights) = pop;
+        let cfg = SimpointConfig { seed, ..Default::default() };
+        let serial = select_with_threads(&vectors, &weights, &cfg, 1).expect("selects");
+        prop_assert!((serial.total_ratio() - 1.0).abs() < 1e-9);
+        for threads in 2..=8usize {
+            let par = select_with_threads(&vectors, &weights, &cfg, threads)
+                .expect("selects");
+            prop_assert_eq!(&par, &serial, "threads = {}", threads);
+            for (a, b) in par.picks.iter().zip(&serial.picks) {
+                prop_assert_eq!(
+                    a.ratio.to_bits(),
+                    b.ratio.to_bits(),
+                    "ratio bits at {} threads", threads
+                );
+            }
+        }
+    }
+
+}
+
+/// Chunking the Lloyd assignment step never changes a k-means run:
+/// assignments, centroids, and SSE are bit-identical. The population
+/// exceeds [`simpoint::PAR_MIN_POINTS`] so the chunked path actually
+/// engages.
+#[test]
+fn lloyd_chunking_is_thread_count_invariant_on_large_populations() {
+    let n = simpoint::PAR_MIN_POINTS + 500;
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let x = ((i as u64).wrapping_mul(0x9E37_79B9) % 1000) as f64 / 10.0;
+            vec![x, (i % 7) as f64]
+        })
+        .collect();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    for k in [1usize, 3, 6] {
+        let serial = kmeans_with_threads(&points, &weights, k, 0xD1CE ^ k as u64, 50, 1);
+        for threads in 2..=8usize {
+            let par = kmeans_with_threads(&points, &weights, k, 0xD1CE ^ k as u64, 50, threads);
+            assert_eq!(
+                par.assignments, serial.assignments,
+                "k={k} threads={threads}"
+            );
+            assert_eq!(par.centroids, serial.centroids, "k={k} threads={threads}");
+            assert_eq!(
+                par.sse.to_bits(),
+                serial.sse.to_bits(),
+                "k={k} threads={threads}"
+            );
+        }
+    }
+}

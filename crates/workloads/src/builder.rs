@@ -99,8 +99,7 @@ fn gen_kernel(spec: &WorkloadSpec, index: u32, rng: &mut StdRng) -> KernelIr {
     // are used, both get at least one send site, split by intensity.
     let rw_total = spec.read_intensity + spec.write_intensity;
     let both = spec.read_intensity > 0.0 && spec.write_intensity > 0.0;
-    let send_ops = ((t as f64 * spec.mix.send).round() as usize)
-        .max(if both { 2 } else { 1 });
+    let send_ops = ((t as f64 * spec.mix.send).round() as usize).max(if both { 2 } else { 1 });
     let loads = if spec.read_intensity <= 0.0 {
         0
     } else if spec.write_intensity <= 0.0 {
@@ -116,8 +115,7 @@ fn gen_kernel(spec: &WorkloadSpec, index: u32, rng: &mut StdRng) -> KernelIr {
         0
     };
     let bytes_per_store = if stores > 0 {
-        ((spec.write_intensity * t as f64 / stores as f64 / 4.0).round() as u32 * 4)
-            .clamp(4, 16384)
+        ((spec.write_intensity * t as f64 / stores as f64 / 4.0).round() as u32 * 4).clamp(4, 16384)
     } else {
         0
     };
@@ -125,7 +123,9 @@ fn gen_kernel(spec: &WorkloadSpec, index: u32, rng: &mut StdRng) -> KernelIr {
     // ALU allocation (address math is emitted by the JIT per send,
     // roughly two ops each, so discount it from compute).
     let moves = ((t as f64 * spec.mix.moves).round() as usize).max(1);
-    let logic = ((t as f64 * spec.mix.logic).round() as usize).saturating_sub(1).max(1);
+    let logic = ((t as f64 * spec.mix.logic).round() as usize)
+        .saturating_sub(1)
+        .max(1);
     let addr_overhead = send_ops * 2 + if spec.gather_heavy { loads * 3 } else { 0 };
     let compute = ((t as f64 * spec.mix.compute).round() as usize)
         .saturating_sub(1 + addr_overhead)
@@ -152,36 +152,64 @@ fn gen_kernel(spec: &WorkloadSpec, index: u32, rng: &mut StdRng) -> KernelIr {
             arg: ARG_SELECTOR,
             value: ((j * 89 + 17) % 100) as u32,
         });
-        ir.body.push(IrOp::Move { ops: 2, width: ExecSize::S8 });
+        ir.body.push(IrOp::Move {
+            ops: 2,
+            width: ExecSize::S8,
+        });
         ir.body.push(IrOp::EndIf);
     }
     if cold_regions > 0 {
         // `arg3 < 0` is never true for unsigned selectors: the whole
         // region is statically present but dynamically skipped.
-        ir.body.push(IrOp::IfArgLt { arg: ARG_SELECTOR, value: 0 });
+        ir.body.push(IrOp::IfArgLt {
+            arg: ARG_SELECTOR,
+            value: 0,
+        });
         for _ in 0..cold_regions {
-            ir.body.push(IrOp::IfArgLt { arg: ARG_SELECTOR, value: 1 });
-            ir.body.push(IrOp::Compute { ops: 2, width: ExecSize::S8 });
+            ir.body.push(IrOp::IfArgLt {
+                arg: ARG_SELECTOR,
+                value: 1,
+            });
+            ir.body.push(IrOp::Compute {
+                ops: 2,
+                width: ExecSize::S8,
+            });
             ir.body.push(IrOp::EndIf);
         }
         ir.body.push(IrOp::EndIf);
     }
 
     // The hot loop.
-    ir.body.push(IrOp::LoopBegin { trip: TripCount::Arg(ARG_TRIP) });
+    ir.body.push(IrOp::LoopBegin {
+        trip: TripCount::Arg(ARG_TRIP),
+    });
     for j in 0..n_if_inner {
         ir.body.push(IrOp::IfArgLt {
             arg: ARG_SELECTOR,
             value: ((j * 53 + 29) % 100) as u32,
         });
-        ir.body.push(IrOp::Compute { ops: 2, width: ExecSize::S16 });
+        ir.body.push(IrOp::Compute {
+            ops: 2,
+            width: ExecSize::S16,
+        });
         ir.body.push(IrOp::EndIf);
     }
-    emit_mixed(&mut ir.body, moves, &profile, |ops, width| IrOp::Move { ops, width });
-    emit_mixed(&mut ir.body, logic, &profile, |ops, width| IrOp::Logic { ops, width });
-    emit_mixed(&mut ir.body, compute, &profile, |ops, width| IrOp::Compute { ops, width });
+    emit_mixed(&mut ir.body, moves, &profile, |ops, width| IrOp::Move {
+        ops,
+        width,
+    });
+    emit_mixed(&mut ir.body, logic, &profile, |ops, width| IrOp::Logic {
+        ops,
+        width,
+    });
+    emit_mixed(&mut ir.body, compute, &profile, |ops, width| {
+        IrOp::Compute { ops, width }
+    });
     if math > 0 {
-        ir.body.push(IrOp::MathCompute { ops: math as u16, width: ExecSize::S8 });
+        ir.body.push(IrOp::MathCompute {
+            ops: math as u16,
+            width: ExecSize::S8,
+        });
     }
     let pattern = if spec.gather_heavy {
         AccessPattern::Gather
@@ -250,7 +278,10 @@ fn calibrate(kernels: &[KernelIr]) -> Vec<TripFit> {
             let i2 = run(2);
             let i6 = run(6);
             let b = (i6 - i2) / 4.0;
-            TripFit { a: i2 - 2.0 * b, b: b.max(1.0) }
+            TripFit {
+                a: i2 - 2.0 * b,
+                b: b.max(1.0),
+            }
         })
         .collect()
 }
@@ -268,8 +299,7 @@ fn gen_host(
 
     // Phase parameters (deterministic from the seed).
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x505);
-    let phase_trip_mult: Vec<f64> =
-        (0..phases).map(|_| rng.gen_range(0.5..2.2)).collect();
+    let phase_trip_mult: Vec<f64> = (0..phases).map(|_| rng.gen_range(0.5..2.2)).collect();
     let phase_gws_mult: Vec<u64> = (0..phases)
         .map(|p| if p % 3 == 2 { 2 } else { 1 })
         .collect();
@@ -306,14 +336,16 @@ fn gen_host(
         b.create_buffer(2 * k + 1, 1 << 20);
         b.set_arg(KernelId(k), ARG_SRC, ArgValue::Buffer(2 * k));
         b.set_arg(KernelId(k), ARG_DST, ArgValue::Buffer(2 * k + 1));
-        b.call(ocl_runtime::api::ApiCall::EnqueueWriteBuffer { buffer: 2 * k, bytes: 1 << 20 });
+        b.call(ocl_runtime::api::ApiCall::EnqueueWriteBuffer {
+            buffer: 2 * k,
+            bytes: 1 << 20,
+        });
     }
 
     // Call-fraction bookkeeping: decide whether scalar args are set
     // per launch or per phase, and how many filler calls are needed.
-    let n_sync = ((invocations as f64 * spec.sync_frac / spec.kernel_call_frac).round()
-        as usize)
-        .max(1);
+    let n_sync =
+        ((invocations as f64 * spec.sync_frac / spec.kernel_call_frac).round() as usize).max(1);
     let args_per_phase = spec.kernel_call_frac > 0.3;
     let sync_kinds = [
         SyncCall::Finish,
@@ -329,14 +361,22 @@ fn gen_host(
     ];
 
     // Estimate the call budget for filler "other" calls.
-    let arg_calls = if args_per_phase { 2 * phases * uk.min(4) } else { 2 * invocations };
+    let arg_calls = if args_per_phase {
+        2 * phases * uk.min(4)
+    } else {
+        2 * invocations
+    };
     let skeleton = 6 + uk * 6 + 2 + arg_calls + invocations + n_sync.min(4 * invocations);
     let total_target = (invocations as f64 / spec.kernel_call_frac) as usize;
     let filler = total_target.saturating_sub(skeleton);
 
     let sync_every = invocations.div_ceil(n_sync.max(1)).max(1);
     let extra_syncs_per_point = n_sync / invocations.max(1); // when syncs outnumber launches
-    let filler_every = if filler > 0 { invocations.div_ceil(filler).max(1) } else { usize::MAX };
+    let filler_every = if filler > 0 {
+        invocations.div_ceil(filler).max(1)
+    } else {
+        usize::MAX
+    };
     let mut filler_left = filler;
     let mut sync_cursor = 0usize;
 
@@ -345,7 +385,9 @@ fn gen_host(
         let p = i * phases / invocations;
         let k = subset(p, i);
         let kid = KernelId(k as u32);
-        let trip = (base_trip * phase_trip_mult[p] * jitter[i % 3]).round().max(1.0) as u64;
+        let trip = (base_trip * phase_trip_mult[p] * jitter[i % 3])
+            .round()
+            .max(1.0) as u64;
 
         if args_per_phase {
             if p != last_phase {
@@ -406,7 +448,11 @@ mod tests {
 
     #[test]
     fn api_call_fractions_track_the_spec() {
-        for name in ["cb-throughput-bitcoin", "cb-physics-part-sim-32k", "cb-graphics-t-rex"] {
+        for name in [
+            "cb-throughput-bitcoin",
+            "cb-physics-part-sim-32k",
+            "cb-graphics-t-rex",
+        ] {
             let spec = spec_by_name(name).unwrap();
             let p = build_program(&spec, Scale::Test);
             let total = p.calls.len() as f64;
@@ -424,7 +470,10 @@ mod tests {
         let spec = spec_by_name("cb-throughput-juliaset").unwrap();
         let p = build_program(&spec, Scale::Test);
         let sfrac = p.num_sync_calls() as f64 / p.calls.len() as f64;
-        assert!(sfrac > 0.12, "juliaset sync fraction {sfrac:.3} should be high");
+        assert!(
+            sfrac > 0.12,
+            "juliaset sync fraction {sfrac:.3} should be high"
+        );
     }
 
     #[test]
@@ -451,6 +500,9 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(trips.len() >= 3, "phases produce distinct trip counts: {trips:?}");
+        assert!(
+            trips.len() >= 3,
+            "phases produce distinct trip counts: {trips:?}"
+        );
     }
 }

@@ -19,20 +19,45 @@ use ocl_runtime::runtime::{OclRuntime, Schedule};
 pub fn luxmark_score(config: GpuConfig) -> f64 {
     let mut trace = KernelIr::new("trace_rays", 2);
     trace.body = vec![
-        IrOp::LoopBegin { trip: TripCount::Arg(0) },
-        IrOp::Compute { ops: 30, width: ExecSize::S16 },
-        IrOp::MathCompute { ops: 6, width: ExecSize::S8 },
-        IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopBegin {
+            trip: TripCount::Arg(0),
+        },
+        IrOp::Compute {
+            ops: 30,
+            width: ExecSize::S16,
+        },
+        IrOp::MathCompute {
+            ops: 6,
+            width: ExecSize::S8,
+        },
+        IrOp::Load {
+            arg: 1,
+            bytes: 64,
+            width: ExecSize::S16,
+            pattern: AccessPattern::Linear,
+        },
         IrOp::LoopEnd,
     ];
     let mut shade = KernelIr::new("shade", 2);
     shade.body = vec![
-        IrOp::LoopBegin { trip: TripCount::Arg(0) },
-        IrOp::Compute { ops: 20, width: ExecSize::S16 },
-        IrOp::Store { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopBegin {
+            trip: TripCount::Arg(0),
+        },
+        IrOp::Compute {
+            ops: 20,
+            width: ExecSize::S16,
+        },
+        IrOp::Store {
+            arg: 1,
+            bytes: 64,
+            width: ExecSize::S16,
+            pattern: AccessPattern::Linear,
+        },
         IrOp::LoopEnd,
     ];
-    let source = ProgramSource { kernels: vec![trace, shade] };
+    let source = ProgramSource {
+        kernels: vec![trace, shade],
+    };
     let mut b = HostScriptBuilder::new("luxmark", source);
     b.create_buffer(0, 1 << 20);
     for scene in 0..6u64 {
@@ -47,7 +72,10 @@ pub fn luxmark_score(config: GpuConfig) -> f64 {
     }
     let program = b.finish().expect("luxmark program is well-formed");
 
-    let mut rt = OclRuntime::new(Gpu::new(GpuConfig { noise: 0.0, ..config }));
+    let mut rt = OclRuntime::new(Gpu::new(GpuConfig {
+        noise: 0.0,
+        ..config
+    }));
     let report = rt.run(&program, Schedule::Replay).expect("luxmark runs");
     let gpu = rt.into_device();
     let work: u64 = gpu.total_stats().instructions;
@@ -78,6 +106,9 @@ mod tests {
 
     #[test]
     fn score_is_deterministic() {
-        assert_eq!(luxmark_score(GpuConfig::hd4000()), luxmark_score(GpuConfig::hd4000()));
+        assert_eq!(
+            luxmark_score(GpuConfig::hd4000()),
+            luxmark_score(GpuConfig::hd4000())
+        );
     }
 }

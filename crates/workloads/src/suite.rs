@@ -4,20 +4,60 @@
 
 use crate::spec::{MixProfile, SimdProfile, Suite, WorkloadSpec};
 
-const MIX_TYPICAL: MixProfile =
-    MixProfile { moves: 0.28, logic: 0.23, control: 0.073, compute: 0.365, send: 0.052 };
-const MIX_COMPUTE: MixProfile =
-    MixProfile { moves: 0.18, logic: 0.15, control: 0.06, compute: 0.56, send: 0.05 };
-const MIX_CRYPTO: MixProfile =
-    MixProfile { moves: 0.20, logic: 0.45, control: 0.05, compute: 0.22, send: 0.08 };
-const MIX_STRESS: MixProfile =
-    MixProfile { moves: 0.03, logic: 0.02, control: 0.02, compute: 0.91, send: 0.02 };
-const MIX_BRANCHY: MixProfile =
-    MixProfile { moves: 0.26, logic: 0.25, control: 0.11, compute: 0.33, send: 0.05 };
+const MIX_TYPICAL: MixProfile = MixProfile {
+    moves: 0.28,
+    logic: 0.23,
+    control: 0.073,
+    compute: 0.365,
+    send: 0.052,
+};
+const MIX_COMPUTE: MixProfile = MixProfile {
+    moves: 0.18,
+    logic: 0.15,
+    control: 0.06,
+    compute: 0.56,
+    send: 0.05,
+};
+const MIX_CRYPTO: MixProfile = MixProfile {
+    moves: 0.20,
+    logic: 0.45,
+    control: 0.05,
+    compute: 0.22,
+    send: 0.08,
+};
+const MIX_STRESS: MixProfile = MixProfile {
+    moves: 0.03,
+    logic: 0.02,
+    control: 0.02,
+    compute: 0.91,
+    send: 0.02,
+};
+const MIX_BRANCHY: MixProfile = MixProfile {
+    moves: 0.26,
+    logic: 0.25,
+    control: 0.11,
+    compute: 0.33,
+    send: 0.05,
+};
 
-const SIMD_TYPICAL: SimdProfile = SimdProfile { w16: 0.55, w8: 0.42, w4: 0.0, w1: 0.03 };
-const SIMD_WIDE: SimdProfile = SimdProfile { w16: 0.80, w8: 0.17, w4: 0.0, w1: 0.03 };
-const SIMD_NARROW: SimdProfile = SimdProfile { w16: 0.30, w8: 0.62, w4: 0.05, w1: 0.03 };
+const SIMD_TYPICAL: SimdProfile = SimdProfile {
+    w16: 0.55,
+    w8: 0.42,
+    w4: 0.0,
+    w1: 0.03,
+};
+const SIMD_WIDE: SimdProfile = SimdProfile {
+    w16: 0.80,
+    w8: 0.17,
+    w4: 0.0,
+    w1: 0.03,
+};
+const SIMD_NARROW: SimdProfile = SimdProfile {
+    w16: 0.30,
+    w8: 0.62,
+    w4: 0.05,
+    w1: 0.03,
+};
 
 /// The 25 benchmark specifications, in the paper's x-axis order.
 pub fn all_specs() -> Vec<WorkloadSpec> {
@@ -404,7 +444,11 @@ pub fn spec_by_name(name: &str) -> Option<WorkloadSpec> {
 
 /// The three sample applications Figure 5 plots in detail.
 pub fn figure5_sample_names() -> [&'static str; 3] {
-    ["cb-physics-ocean-surf", "sandra-crypt-aes128", "sonyvegas-proj-r3"]
+    [
+        "cb-physics-ocean-surf",
+        "sandra-crypt-aes128",
+        "sonyvegas-proj-r3",
+    ]
 }
 
 #[cfg(test)]
@@ -440,7 +484,10 @@ mod tests {
         let bbs: Vec<u32> = specs.iter().map(|s| s.total_bbs).collect();
         assert!(*bbs.iter().min().unwrap() >= 7);
         let bb_mean = bbs.iter().sum::<u32>() as f64 / 25.0;
-        assert!((600.0..2500.0).contains(&bb_mean), "paper mean 1139, ours {bb_mean}");
+        assert!(
+            (600.0..2500.0).contains(&bb_mean),
+            "paper mean 1139, ours {bb_mean}"
+        );
     }
 
     #[test]
@@ -454,7 +501,10 @@ mod tests {
         let procgpu = spec_by_name("sandra-proc-gpu").unwrap();
         assert!(procgpu.mix.compute > 0.9, "proc-gpu stresses computation");
         let r5 = spec_by_name("sonyvegas-proj-r5").unwrap();
-        assert!(r5.write_intensity / r5.read_intensity > 100.0, "proj-r5 writes ≫ reads");
+        assert!(
+            r5.write_intensity / r5.read_intensity > 100.0,
+            "proj-r5 writes ≫ reads"
+        );
         let gauss = spec_by_name("cb-gaussian-image").unwrap();
         assert_eq!(gauss.invocations, 55, "the shortest app by invocations");
     }

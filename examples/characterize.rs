@@ -16,7 +16,9 @@ use gtpin_suite::selection::profile_app;
 use gtpin_suite::workloads::{build_program, spec_by_name, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "cb-physics-ocean-surf".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cb-physics-ocean-surf".into());
     let spec = spec_by_name(&name)
         .ok_or_else(|| format!("unknown app {name}; see workloads::all_specs()"))?;
 
@@ -35,11 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("instruction mix (Figure 4a):");
     for cat in OpcodeCategory::ALL {
-        println!("  {:12} {:6.1}%", cat.label(), c.category_fraction(cat) * 100.0);
+        println!(
+            "  {:12} {:6.1}%",
+            cat.label(),
+            c.category_fraction(cat) * 100.0
+        );
     }
     println!("SIMD widths (Figure 4b):");
     for w in ExecSize::ALL {
-        println!("  width {:2}     {:6.1}%", w.lanes(), c.width_fraction(w) * 100.0);
+        println!(
+            "  width {:2}     {:6.1}%",
+            w.lanes(),
+            c.width_fraction(w) * 100.0
+        );
     }
     println!();
     println!(

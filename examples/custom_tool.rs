@@ -38,8 +38,10 @@ impl Tool for HotKernelTool {
     }
 
     fn on_kernel_complete(&mut self, profile: &InvocationProfile, _ctx: &ToolContext<'_>) {
-        *self.per_kernel.entry(profile.kernel_name.clone()).or_insert(0) +=
-            profile.instructions;
+        *self
+            .per_kernel
+            .entry(profile.kernel_name.clone())
+            .or_insert(0) += profile.instructions;
     }
 
     fn report(&self) -> String {
@@ -74,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let hot = Rc::new(RefCell::new(HotKernelTool::default()));
     let cache = Rc::new(RefCell::new(CacheSimTool::new(CacheConfig::llc_slice(256))));
-    let latency = Rc::new(RefCell::new(LatencyTool::new(CacheConfig::llc_slice(256), 50, 300)));
+    let latency = Rc::new(RefCell::new(LatencyTool::new(
+        CacheConfig::llc_slice(256),
+        50,
+        300,
+    )));
     gtpin.add_tool(hot.clone());
     gtpin.add_tool(cache.clone());
     gtpin.add_tool(latency.clone());

@@ -67,17 +67,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         l3_bytes_per_cycle: 32.0,
     };
     let designs: Vec<(String, GpuTopology, f64)> = vec![
-        ("Ivy Bridge HD4000 @ 1150MHz".into(), GpuGeneration::IvyBridgeHd4000.topology(), 1.15e9),
-        ("Ivy Bridge HD4000 @ 350MHz".into(), GpuGeneration::IvyBridgeHd4000.topology(), 0.35e9),
-        ("Haswell HD4600 @ 1250MHz".into(), GpuGeneration::HaswellHd4600.topology(), 1.25e9),
+        (
+            "Ivy Bridge HD4000 @ 1150MHz".into(),
+            GpuGeneration::IvyBridgeHd4000.topology(),
+            1.15e9,
+        ),
+        (
+            "Ivy Bridge HD4000 @ 350MHz".into(),
+            GpuGeneration::IvyBridgeHd4000.topology(),
+            0.35e9,
+        ),
+        (
+            "Haswell HD4600 @ 1250MHz".into(),
+            GpuGeneration::HaswellHd4600.topology(),
+            1.25e9,
+        ),
         ("8-EU value design @ 1000MHz".into(), value_design, 1.0e9),
     ];
 
     for (name, topology, freq) in designs {
         // Full-program detailed simulation (what the paper wants to avoid).
         let mut full_sim = DetailedSimulator::new(topology, freq, DetailedConfig::default());
-        let (full_cycles, full_instrs) =
-            simulate(&gpu, &mut full_sim, 0..data.invocations.len());
+        let (full_cycles, full_instrs) = simulate(&gpu, &mut full_sim, 0..data.invocations.len());
 
         // Subset-only detailed simulation, extrapolated by ratios.
         // Each sample starts from a PinPlay-style checkpoint: warm
@@ -140,11 +151,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 /// Detailed-simulate a range of invocations on a candidate design;
 /// returns (cycles, instructions).
-fn simulate(
-    gpu: &Gpu,
-    sim: &mut DetailedSimulator,
-    range: std::ops::Range<usize>,
-) -> (u64, u64) {
+fn simulate(gpu: &Gpu, sim: &mut DetailedSimulator, range: std::ops::Range<usize>) -> (u64, u64) {
     let mut cycles = 0u64;
     let mut instrs = 0u64;
     for launch in &gpu.launches()[range] {

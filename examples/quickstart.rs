@@ -19,16 +19,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    saxpy-ish loop whose trip count comes from argument 0.
     let mut kernel = KernelIr::new("saxpy", 3);
     kernel.body = vec![
-        IrOp::LoopBegin { trip: TripCount::Arg(0) },
-        IrOp::Load { arg: 1, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
-        IrOp::Compute { ops: 8, width: ExecSize::S16 },
-        IrOp::Store { arg: 2, bytes: 64, width: ExecSize::S16, pattern: AccessPattern::Linear },
+        IrOp::LoopBegin {
+            trip: TripCount::Arg(0),
+        },
+        IrOp::Load {
+            arg: 1,
+            bytes: 64,
+            width: ExecSize::S16,
+            pattern: AccessPattern::Linear,
+        },
+        IrOp::Compute {
+            ops: 8,
+            width: ExecSize::S16,
+        },
+        IrOp::Store {
+            arg: 2,
+            bytes: 64,
+            width: ExecSize::S16,
+            pattern: AccessPattern::Linear,
+        },
         IrOp::LoopEnd,
     ];
 
     // 2. A host program: buffers, argument setup, launches with two
     //    different problem sizes, and a synchronization call.
-    let source = ProgramSource { kernels: vec![kernel] };
+    let source = ProgramSource {
+        kernels: vec![kernel],
+    };
     let mut host = HostScriptBuilder::new("quickstart", source);
     host.create_buffer(0, 1 << 20).create_buffer(1, 1 << 20);
     host.set_arg(KernelId(0), 1, ArgValue::Buffer(0));

@@ -13,13 +13,22 @@ use gtpin_suite::simpoint::SimpointConfig;
 use gtpin_suite::workloads::{build_program, spec_by_name, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "sonyvegas-proj-r3".into());
-    let threshold: f64 = std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(3.0);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sonyvegas-proj-r3".into());
+    let threshold: f64 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(3.0);
     let spec = spec_by_name(&name)
         .ok_or_else(|| format!("unknown app {name}; see workloads::all_specs()"))?;
 
     let program = build_program(&spec, Scale::Default);
-    println!("profiling {} natively (no simulation required) ...", spec.name);
+    println!(
+        "profiling {} natively (no simulation required) ...",
+        spec.name
+    );
     let profiled = profile_app(&program, GpuConfig::hd4000(), 1)?;
     let data = &profiled.data;
 
@@ -50,9 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let co = exploration.co_optimize(threshold).expect("configurations evaluated");
+    let co = exploration
+        .co_optimize(threshold)
+        .expect("configurations evaluated");
     println!();
-    println!("co-optimized at {threshold}% error threshold: {}", co.config);
+    println!(
+        "co-optimized at {threshold}% error threshold: {}",
+        co.config
+    );
     println!(
         "  error {:.3}%   speedup {:.1}x   simulate only {:.2}% of {} instructions",
         co.error_pct,

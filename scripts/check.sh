@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, the tier-1 build+test pass, and the
+# parallel/serial determinism properties at both a forced-serial and a
+# forced-parallel thread count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== full workspace tests"
+cargo test --workspace -q
+
+echo "== determinism properties at GTPIN_THREADS=1"
+GTPIN_THREADS=1 cargo test -q -p simpoint --test prop_parallel
+GTPIN_THREADS=1 cargo test -q -p subset-select --test prop_parallel
+
+echo "== determinism properties at GTPIN_THREADS=4"
+GTPIN_THREADS=4 cargo test -q -p simpoint --test prop_parallel
+GTPIN_THREADS=4 cargo test -q -p subset-select --test prop_parallel
+
+echo "OK"

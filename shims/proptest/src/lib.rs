@@ -1,0 +1,365 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use:
+//! `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!`, `Strategy` with `prop_map`/`prop_flat_map`/
+//! `boxed`, `Just`, `any::<T>()`, integer-range strategies, tuple and
+//! `Vec<Strategy>` composition, `prop::sample::select`,
+//! `prop::collection::vec`, `prop::option::of`, `prop::bool::ANY`,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: no shrinking (a failure reports the
+//! case number and message only), and cases are generated from a
+//! fixed per-test seed (hash of the test name), so runs are fully
+//! deterministic and reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Deterministic random source for value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed via splitmix64 expansion (xoshiro256++ state).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut st = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arb_from(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arb_from(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arb_from(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy yielding any value of `A` (`any::<u32>()` etc.).
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arb_from(rng)
+    }
+}
+
+/// The canonical strategy for `A`: uniform over the whole domain.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy source modules (`prop::sample::select` and friends).
+pub mod prop {
+    /// Strategies drawing from explicit value lists.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice from a fixed list.
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Pick uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires options");
+            Select(options)
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Sizes a generated collection may take.
+        pub struct SizeRange {
+            min: usize,
+            max: usize, // inclusive
+        }
+
+        /// Conversions into [`SizeRange`].
+        pub trait IntoSizeRange {
+            /// Convert to the canonical size range.
+            fn into_size_range(self) -> SizeRange;
+        }
+
+        impl IntoSizeRange for usize {
+            fn into_size_range(self) -> SizeRange {
+                SizeRange {
+                    min: self,
+                    max: self,
+                }
+            }
+        }
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn into_size_range(self) -> SizeRange {
+                assert!(self.start < self.end, "empty size range");
+                SizeRange {
+                    min: self.start,
+                    max: self.end - 1,
+                }
+            }
+        }
+        impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+            fn into_size_range(self) -> SizeRange {
+                SizeRange {
+                    min: *self.start(),
+                    max: *self.end(),
+                }
+            }
+        }
+
+        /// Vec of values drawn from an element strategy.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.max - self.size.min + 1) as u64;
+                let len = self.size.min + rng.below(span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// `Vec` strategy with length drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into_size_range(),
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// `Option` of an inner strategy (3/4 `Some`).
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+
+        /// Sometimes-`None` wrapper around `inner`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+
+    /// `bool` strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform boolean strategy.
+        #[derive(Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Either boolean, equally likely.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------
+
+/// Define property tests: each `#[test] fn name(x in strat, ..)`
+/// runs `ProptestConfig.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($bind:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run_property(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |($($bind,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Define a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($argn:ident: $argt:ty),* $(,)?)
+        ($($bind:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argn: $argt),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($bind,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert inside a property test; failure reports the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}

@@ -1,0 +1,54 @@
+//! Deterministic property-test runner (no shrinking).
+
+use crate::{Strategy, TestRng};
+
+/// How a `proptest!` block executes.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Default config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Stable seed derived from the test name (FNV-1a), so each test's
+/// case stream is fixed across runs and machines.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `body` against `config.cases` generated inputs; panic with
+/// the case number and message on the first failure.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), String>,
+{
+    let seed = name_seed(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ ((case as u64) << 32 | case as u64));
+        let value = strategy.generate(&mut rng);
+        if let Err(msg) = body(value) {
+            panic!(
+                "property '{name}' failed at case {case}/{} (seed {seed:#x}):\n{msg}",
+                config.cases
+            );
+        }
+    }
+}

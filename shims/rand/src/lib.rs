@@ -1,0 +1,166 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the exact surface this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open
+//! integer and float ranges — backed by xoshiro256++ seeded through
+//! splitmix64. The stream differs from upstream rand's ChaCha-based
+//! `StdRng`, but every consumer in this workspace treats the RNG as
+//! an opaque deterministic source, which this is: the same seed
+//! always yields the same sequence, on every platform.
+
+use std::ops::Range;
+
+/// Sources of raw random words.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministically constructible generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Uniform draw from `range` (half-open).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_one(self)
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded draw (Lemire); bias over a
+                // 64-bit source is immaterial here and the result is
+                // deterministic, which is what the callers need.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits → u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = self.start + u * (self.end - self.start);
+        // Guard the open upper bound against rounding.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> f32 {
+        let wide = (self.start as f64)..(self.end as f64);
+        let x = wide.sample_one(rng) as f32;
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic default generator: xoshiro256++.
+    ///
+    /// Not the upstream ChaCha12 `StdRng`; same role, different
+    /// (still fixed, portable) stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut st = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0u64..1_000_000).to_le_bytes(),
+                b.gen_range(0u64..1_000_000).to_le_bytes()
+            );
+            assert_eq!(
+                a.gen_range(0.0f64..3.5).to_bits(),
+                b.gen_range(0.0f64..3.5).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(0.7f64..1.3);
+            assert!((0.7..1.3).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors a minimal replacement with the same import
+//! surface the codebase uses: `serde::{Serialize, Deserialize}` as
+//! derivable traits. Instead of serde's serializer/visitor
+//! machinery, both traits go through one concrete JSON document
+//! model ([`json::Value`]) — `serde_json` (also vendored) renders
+//! and parses it.
+//!
+//! Fidelity notes:
+//! - `u64`/`i64` round-trip exactly (no silent f64 conversion).
+//! - `f64` uses Rust's shortest-round-trip `Display`, so
+//!   serialize → parse reproduces bits for finite values.
+//! - Maps serialize as JSON objects with stringified keys, enums as
+//!   `"Variant"` / `{"Variant": ...}`, mirroring serde_json's
+//!   externally-tagged default.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Types renderable to a JSON document.
+pub trait Serialize {
+    /// Convert to the JSON document model.
+    fn to_json(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON document.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the JSON document model.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(json::Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<$t, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::ty(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(json::Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<$t, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::ty(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(json::Number::F(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<f64, Error> {
+        v.as_f64().ok_or_else(|| Error::ty("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(json::Number::F(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<f32, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::ty("f32", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::ty("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::ty("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Upstream serde borrows `&'de str` from the input document;
+    /// this model owns its strings, so reconstruct by leaking. Only
+    /// hit when deserializing config structs with literal names —
+    /// small, rare, and bounded by the number of parsed documents.
+    fn from_json(v: &Value) -> Result<&'static str, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::ty("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json(v: &Value) -> Result<char, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::ty("char", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Value) -> Result<Box<T>, Error> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_json(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(Error::ty("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Value) -> Result<[T; N], Error> {
+        let items: Vec<T> = Vec::from_json(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            $name::from_json(
+                                it.next().ok_or_else(|| Error::msg("tuple too short"))?,
+                            )?,
+                        )+))
+                    }
+                    other => Err(Error::ty("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys representable as JSON object keys.
+pub trait JsonKey: Sized + Ord {
+    /// Render as an object key.
+    fn key_string(&self) -> String;
+    /// Parse back from an object key.
+    fn key_parse(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn key_string(&self) -> String {
+        self.clone()
+    }
+    fn key_parse(s: &str) -> Result<String, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_json_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn key_string(&self) -> String {
+                self.to_string()
+            }
+            fn key_parse(s: &str) -> Result<$t, Error> {
+                s.parse().map_err(|_| Error::msg("bad integer map key"))
+            }
+        }
+    )*};
+}
+int_json_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.key_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+impl<K: JsonKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::key_parse(k)?, V::from_json(v)?)))
+                .collect(),
+            other => Err(Error::ty("object", other)),
+        }
+    }
+}
+
+impl<K: JsonKey + std::hash::Hash + Eq, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn to_json(&self) -> Value {
+        // Sort for stable output (HashMap iteration order varies).
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.key_string(), v.to_json()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(pairs)
+    }
+}
+impl<K: JsonKey + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::key_parse(k)?, V::from_json(v)?)))
+                .collect(),
+            other => Err(Error::ty("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! against the vendored `serde` shim's JSON-value traits. The parser
+//! walks the raw `TokenStream` (no `syn`/`quote` available offline)
+//! and supports what this workspace uses: non-generic named/tuple/
+//! unit structs and enums with unit, tuple, and struct variants
+//! (including explicit discriminants, which are ignored).
+//!
+//! JSON shapes match serde_json's externally-tagged defaults closely
+//! enough for round-tripping within this workspace:
+//! named struct → object, tuple struct → array, unit variant →
+//! `"Name"`, data variant → `{"Name": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parse the derive input down to (type name, shape).
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type {name}");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for {other}"),
+    };
+    (name, shape)
+}
+
+/// Field names of a named-struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        names.push(id.to_string());
+        // Expect ':', then consume the type until a top-level ','.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after field, got {other:?}"),
+        }
+        let mut angle: i32 = 0;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut any = false;
+    let mut angle: i32 = 0;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                any = false;
+            }
+            _ => any = true,
+        }
+    }
+    if any {
+        count += 1;
+    }
+    count
+}
+
+/// Variants of an enum body. Explicit discriminants are skipped.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let mut fields = VariantFields::Unit;
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            fields = match g.delimiter() {
+                Delimiter::Parenthesis => VariantFields::Tuple(count_tuple_fields(g.stream())),
+                Delimiter::Brace => VariantFields::Named(parse_named_fields(g.stream())),
+                _ => VariantFields::Unit,
+            };
+            iter.next();
+        }
+        // Skip "= <discriminant expr>" up to the separating comma.
+        loop {
+            match iter.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__o.push((\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __o: Vec<(String, ::serde::json::Value)> = Vec::new();\n{pushes}::serde::json::Value::Obj(__o)"
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::json::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::json::Value::Str(\"{vn}\".to_string()),\n"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::json::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::json::Value::Arr(vec![{items}]))]),\n",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::json::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::json::Value::Obj(vec![{pushes}]))]),\n",
+                                pushes = pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_json(&self) -> ::serde::json::Value {{\n {body}\n }}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(::serde::json::obj_get(__pairs, \"{f}\"))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let __pairs = __v.as_obj().ok_or_else(|| ::serde::json::Error::ty(\"{name} object\", __v))?;\nOk({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_json(__items.get({i}).unwrap_or(&::serde::json::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = __v.as_arr().ok_or_else(|| ::serde::json::Error::ty(\"{name} array\", __v))?;\nOk({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let str_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let obj_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "\"{vn}\" => return Ok({name}::{vn}),\n"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_json(__items.get({i}).unwrap_or(&::serde::json::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __items = __payload.as_arr().ok_or_else(|| ::serde::json::Error::ty(\"{vn} payload array\", __payload))?; return Ok({name}::{vn}({inits})); }}\n",
+                                inits = inits.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_json(::serde::json::obj_get(__vp, \"{f}\"))?,\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __vp = __payload.as_obj().ok_or_else(|| ::serde::json::Error::ty(\"{vn} payload object\", __payload))?; return Ok({name}::{vn} {{ {inits} }}); }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n ::serde::json::Value::Str(__s) => {{ match __s.as_str() {{\n{str_arms} _ => {{}} }} }}\n ::serde::json::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n let (__tag, __payload) = &__pairs[0];\n match __tag.as_str() {{\n{obj_arms} _ => {{}} }} }}\n _ => {{}}\n}}\nErr(::serde::json::Error::ty(\"{name} variant\", __v))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_json(__v: &::serde::json::Value) -> Result<{name}, ::serde::json::Error> {{\n {body}\n }}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl parses")
+}

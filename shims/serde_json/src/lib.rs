@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Thin façade over the vendored `serde` shim's JSON document model:
+//! `to_string`/`to_string_pretty` render a [`serde::Serialize`]
+//! value, `from_str` parses text and reconstructs a
+//! [`serde::Deserialize`] value. Finite `f64`s round-trip bitwise
+//! (shortest-round-trip rendering); `u64` keys and values stay exact.
+
+pub use serde::json::{Error, Number, Value};
+
+/// Render a value as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::render(&value.to_json(), &mut out);
+    Ok(out)
+}
+
+/// Render a value as human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::render_pretty(&value.to_json(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parse JSON text into a value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_json(&serde::json::parse(s)?)
+}
+
+/// Parse JSON text into the raw document model.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    serde::json::parse(s)
+}

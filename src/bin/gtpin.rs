@@ -56,14 +56,19 @@ fn cmd_list() -> CliResult {
 }
 
 fn parse_app(args: &[String]) -> Result<gtpin_suite::workloads::WorkloadSpec, String> {
-    let name = args.first().ok_or("missing application name; try `gtpin list`")?;
+    let name = args
+        .first()
+        .ok_or("missing application name; try `gtpin list`")?;
     spec_by_name(name).ok_or_else(|| format!("unknown application {name}; try `gtpin list`"))
 }
 
 fn cmd_run(args: &[String]) -> CliResult {
     let spec = parse_app(args)?;
     let scale = if args.iter().any(|a| a == "--scale") {
-        let i = args.iter().position(|a| a == "--scale").expect("just checked");
+        let i = args
+            .iter()
+            .position(|a| a == "--scale")
+            .expect("just checked");
         match args.get(i + 1).map(String::as_str) {
             Some("test") => Scale::Test,
             Some("default") | None => Scale::Default,
@@ -119,7 +124,9 @@ fn cmd_select(args: &[String]) -> CliResult {
         best.speedup(),
         best.selection.k
     );
-    let co = ex.co_optimize(threshold).ok_or("no configurations evaluated")?;
+    let co = ex
+        .co_optimize(threshold)
+        .ok_or("no configurations evaluated")?;
     println!(
         "co-opt @ {threshold:>4}%: {:24} error {:.3}%  speedup {:.1}x  k={}",
         co.config.to_string(),

@@ -40,9 +40,7 @@ fn ivy_bridge_selections_predict_haswell() {
 
         // The Haswell replay really is a different machine: totals move.
         assert!(
-            (haswell.total_seconds() - data.total_seconds()).abs()
-                / data.total_seconds()
-                > 1e-4,
+            (haswell.total_seconds() - data.total_seconds()).abs() / data.total_seconds() > 1e-4,
             "{name}: Haswell timings differ from Ivy Bridge"
         );
     }

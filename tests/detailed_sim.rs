@@ -60,8 +60,12 @@ fn subset_predicts_full_detailed_simulation() {
             global_work_size: l.global_work_size,
         })
         .collect();
-    let boundaries: Vec<usize> =
-        best.selection.picks.iter().map(|p| best.intervals[p.interval].start).collect();
+    let boundaries: Vec<usize> = best
+        .selection
+        .picks
+        .iter()
+        .map(|p| best.intervals[p.interval].start)
+        .collect();
     let checkpoints = gpu_device::CheckpointLibrary::build(
         &kernels,
         &descriptors,
@@ -105,11 +109,18 @@ fn detailed_and_analytic_models_agree_on_ordering() {
     let mk = |ops: u16| {
         let mut ir = KernelIr::new("k", 1);
         ir.body = vec![
-            IrOp::LoopBegin { trip: TripCount::Arg(0) },
-            IrOp::Compute { ops, width: ExecSize::S16 },
+            IrOp::LoopBegin {
+                trip: TripCount::Arg(0),
+            },
+            IrOp::Compute {
+                ops,
+                width: ExecSize::S16,
+            },
             IrOp::LoopEnd,
         ];
-        gpu_device::jit::compile_kernel(&ir).expect("compiles").flatten()
+        gpu_device::jit::compile_kernel(&ir)
+            .expect("compiles")
+            .flatten()
     };
     let light = mk(5);
     let heavy = mk(80);
@@ -118,19 +129,36 @@ fn detailed_and_analytic_models_agree_on_ordering() {
 
     let run = |k: &gen_isa::DecodedKernel| {
         let mut sim = DetailedSimulator::new(topo, 1.15e9, DetailedConfig::default());
-        sim.simulate_launch(k, &args, 512).expect("simulates").cycles
+        sim.simulate_launch(k, &args, 512)
+            .expect("simulates")
+            .cycles
     };
     assert!(run(&heavy) > 2 * run(&light), "detailed ordering");
 
     let analytic = |k: &gen_isa::DecodedKernel| {
-        use gpu_device::{Cache, CacheConfig, ExecConfig, Executor, TimingConfig, TimingModel, TraceBuffer};
+        use gpu_device::{
+            Cache, CacheConfig, ExecConfig, Executor, TimingConfig, TimingModel, TraceBuffer,
+        };
         let mut cache = Cache::new(CacheConfig::default());
         let mut trace = TraceBuffer::new();
-        let stats = Executor { cache: &mut cache, trace: &mut trace, config: ExecConfig::default() }
-            .execute_launch(k, &args, 512)
-            .expect("runs");
-        TimingModel::new(topo, TimingConfig { noise: 0.0, ..Default::default() })
-            .launch_seconds_ideal(&stats)
+        let stats = Executor {
+            cache: &mut cache,
+            trace: &mut trace,
+            config: ExecConfig::default(),
+        }
+        .execute_launch(k, &args, 512)
+        .expect("runs");
+        TimingModel::new(
+            topo,
+            TimingConfig {
+                noise: 0.0,
+                ..Default::default()
+            },
+        )
+        .launch_seconds_ideal(&stats)
     };
-    assert!(analytic(&heavy) > 2.0 * analytic(&light), "analytic ordering");
+    assert!(
+        analytic(&heavy) > 2.0 * analytic(&light),
+        "analytic ordering"
+    );
 }

@@ -3,7 +3,7 @@
 //! features → SimPoint → selection → SPI projection.
 
 use gtpin_suite::device::GpuConfig;
-use gtpin_suite::selection::{profile_app, Exploration, IntervalScheme, build_intervals};
+use gtpin_suite::selection::{build_intervals, profile_app, Exploration, IntervalScheme};
 use gtpin_suite::simpoint::SimpointConfig;
 use gtpin_suite::workloads::{build_program, spec_by_name, Scale};
 
@@ -13,7 +13,10 @@ fn explore(name: &str) -> (Exploration, subset_select::AppData) {
     let profiled = profile_app(&program, GpuConfig::hd4000(), 1).expect("profiles");
     let data = profiled.data;
     let approx = gtpin_suite::selection::default_approx_target(&data);
-    (Exploration::run(&data, approx, &SimpointConfig::default()), data)
+    (
+        Exploration::run(&data, approx, &SimpointConfig::default()),
+        data,
+    )
 }
 
 #[test]
@@ -27,7 +30,11 @@ fn full_pipeline_produces_accurate_selections() {
             "{name}: best error {:.2}% should be small at test scale",
             best.error_pct
         );
-        assert!(best.speedup() > 1.5, "{name}: speedup {:.1}", best.speedup());
+        assert!(
+            best.speedup() > 1.5,
+            "{name}: speedup {:.1}",
+            best.speedup()
+        );
         assert!(
             (best.selection.total_ratio() - 1.0).abs() < 1e-9,
             "{name}: representation ratios sum to 1"
@@ -43,7 +50,11 @@ fn every_config_projects_a_positive_spi() {
         assert!(e.projected_spi > 0.0, "{}: projected SPI", e.config);
         assert!(e.measured_spi > 0.0);
         assert!(e.error_pct.is_finite());
-        assert!(e.selection.k <= 10, "{}: max 10 clusters as in the paper", e.config);
+        assert!(
+            e.selection.k <= 10,
+            "{}: max 10 clusters as in the paper",
+            e.config
+        );
     }
 }
 
@@ -87,7 +98,11 @@ fn selecting_every_interval_projects_exactly() {
     let spec = spec_by_name("cb-gaussian-image").expect("known app");
     let program = build_program(&spec, Scale::Test);
     let profiled = profile_app(&program, GpuConfig::hd4000(), 1).expect("profiles");
-    let sp = SimpointConfig { max_k: 10_000, bic_fraction: 1.0, ..SimpointConfig::default() };
+    let sp = SimpointConfig {
+        max_k: 10_000,
+        bic_fraction: 1.0,
+        ..SimpointConfig::default()
+    };
     let e = evaluate_config(
         &profiled.data,
         SelectionConfig {

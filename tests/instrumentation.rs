@@ -9,7 +9,11 @@ use gtpin_suite::runtime::runtime::{OclRuntime, Schedule};
 use gtpin_suite::workloads::{build_program, spec_by_name, Scale};
 
 fn apps() -> [&'static str; 3] {
-    ["cb-histogram-buffer", "cb-throughput-juliaset", "sandra-crypt-aes128"]
+    [
+        "cb-histogram-buffer",
+        "cb-throughput-juliaset",
+        "sandra-crypt-aes128",
+    ]
 }
 
 #[test]
@@ -28,20 +32,34 @@ fn gtpin_counts_equal_native_hardware_counters() {
         let gtpin = GtPin::new(RewriteConfig::default());
         gtpin.attach(&mut gpu);
         let mut rt = OclRuntime::new(gpu);
-        rt.run(&program, Schedule::Replay).expect("instrumented run");
+        rt.run(&program, Schedule::Replay)
+            .expect("instrumented run");
         let profile = gtpin.profile(name);
 
-        assert_eq!(profile.num_invocations(), native_gpu.launches().len(), "{name}");
+        assert_eq!(
+            profile.num_invocations(),
+            native_gpu.launches().len(),
+            "{name}"
+        );
         for (inv, launch) in profile.invocations.iter().zip(native_gpu.launches()) {
             assert_eq!(
                 inv.instructions, launch.stats.instructions,
                 "{name} launch {}: instruction count",
                 inv.launch_index
             );
-            assert_eq!(inv.per_category, launch.stats.per_category, "{name}: category mix");
+            assert_eq!(
+                inv.per_category, launch.stats.per_category,
+                "{name}: category mix"
+            );
             assert_eq!(inv.per_width, launch.stats.per_width, "{name}: SIMD widths");
-            assert_eq!(inv.bytes_read, launch.stats.bytes_read, "{name}: bytes read");
-            assert_eq!(inv.bytes_written, launch.stats.bytes_written, "{name}: bytes written");
+            assert_eq!(
+                inv.bytes_read, launch.stats.bytes_read,
+                "{name}: bytes read"
+            );
+            assert_eq!(
+                inv.bytes_written, launch.stats.bytes_written,
+                "{name}: bytes written"
+            );
         }
     }
 }
@@ -62,7 +80,12 @@ fn instrumentation_overhead_sits_in_a_sane_band() {
     let mut rt = OclRuntime::new(gpu);
     rt.run(&program, Schedule::Replay).expect("runs");
     let profile = gtpin.profile(spec.name);
-    let instrumented: u64 = rt.device().launches().iter().map(|l| l.stats.instructions).sum();
+    let instrumented: u64 = rt
+        .device()
+        .launches()
+        .iter()
+        .map(|l| l.stats.instructions)
+        .sum();
     let factor = instrumented as f64 / profile.total_instructions() as f64;
     assert!(
         factor > 1.05 && factor < 10.0,
@@ -98,7 +121,11 @@ fn per_kernel_timer_reports_cycles_when_enabled() {
     let profile = gtpin.profile(spec.name);
     for inv in &profile.invocations {
         let cycles = inv.thread_cycles.expect("timer enabled");
-        assert!(cycles > 0, "launch {} accumulated thread cycles", inv.launch_index);
+        assert!(
+            cycles > 0,
+            "launch {} accumulated thread cycles",
+            inv.launch_index
+        );
     }
 }
 

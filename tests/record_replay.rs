@@ -35,7 +35,9 @@ fn natural_trials_can_reorder_but_replay_is_stable() {
 
     let resolved = |seed: u64| {
         let mut rt = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
-        rt.run(&program, Schedule::Natural { seed }).expect("runs").resolved_calls
+        rt.run(&program, Schedule::Natural { seed })
+            .expect("runs")
+            .resolved_calls
     };
     // At least one pair of seeds disagrees on order (the
     // non-determinism CoFluent recordings exist to pin down).
@@ -85,7 +87,9 @@ fn cross_frequency_validation_stays_accurate() {
     for freq in [1.0e9, 0.7e9, 0.35e9] {
         let timing = replay_timings(
             &profiled.recording,
-            GpuConfig::hd4000().with_trial_seed(2).with_frequency_hz(freq),
+            GpuConfig::hd4000()
+                .with_trial_seed(2)
+                .with_frequency_hz(freq),
         )
         .expect("replays");
         let new_data = data.with_timings(&timing).expect("same order");

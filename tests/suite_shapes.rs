@@ -55,9 +55,17 @@ fn sony_apps_write_more_than_they_read() {
 fn simd2_is_never_used_and_wide_simd_dominates() {
     // Figure 4b: 2-wide instructions are never used; 16- and 8-wide
     // together dominate.
-    for name in ["cb-graphics-t-rex", "cb-throughput-juliaset", "sandra-crypt-aes128"] {
+    for name in [
+        "cb-graphics-t-rex",
+        "cb-throughput-juliaset",
+        "sandra-crypt-aes128",
+    ] {
         let c = characterize(name);
-        assert_eq!(c.width_fraction(ExecSize::S2), 0.0, "{name}: width 2 never used");
+        assert_eq!(
+            c.width_fraction(ExecSize::S2),
+            0.0,
+            "{name}: width 2 never used"
+        );
         let wide = c.width_fraction(ExecSize::S16) + c.width_fraction(ExecSize::S8);
         assert!(wide > 0.6, "{name}: wide SIMD fraction {wide:.2}");
     }
@@ -86,7 +94,11 @@ fn juliaset_is_sync_heavy_with_few_calls() {
     // Figure 3a: juliaset has the highest sync share and the fewest
     // total API calls.
     let julia = characterize("cb-throughput-juliaset");
-    assert!(julia.sync_call_fraction > 0.12, "sync {:.3}", julia.sync_call_fraction);
+    assert!(
+        julia.sync_call_fraction > 0.12,
+        "sync {:.3}",
+        julia.sync_call_fraction
+    );
     let trex = characterize("cb-graphics-t-rex");
     assert!(julia.total_api_calls < trex.total_api_calls / 3);
 }
