@@ -169,6 +169,21 @@ fn bench_explore_par(c: &mut Criterion) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/explore_par.json");
     std::fs::write(path, &json).expect("write summary artifact");
     println!("\nexplore_par summary ({path}):\n{json}");
+
+    // With GTPIN_OBS=1, drop the telemetry view of the same runs next
+    // to the summary artifact: a Perfetto-loadable Chrome trace plus
+    // the per-stage rollup on stdout.
+    if gtpin_obs::enabled() {
+        let trace_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/explore_par_trace.json"
+        );
+        gtpin_obs::global()
+            .write_chrome_trace(std::path::Path::new(trace_path))
+            .expect("write telemetry trace");
+        println!("telemetry trace: {trace_path}");
+        print!("{}", gtpin_obs::global().summary());
+    }
 }
 
 criterion_group!(benches, bench_explore_par);

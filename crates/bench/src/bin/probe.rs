@@ -33,4 +33,19 @@ fn main() {
         );
     }
     println!("total: {:?}", t_all.elapsed());
+
+    // With GTPIN_OBS=1 the probe doubles as a telemetry report:
+    // per-stage span rollups plus the Chrome trace/journal artifacts.
+    if gtpin_obs::enabled() {
+        println!("\ntelemetry summary:");
+        print!("{}", gtpin_obs::global().summary());
+        match gtpin_obs::write_artifacts() {
+            Ok(paths) => {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => println!("failed to write telemetry artifacts: {e}"),
+        }
+    }
 }

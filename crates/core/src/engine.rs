@@ -41,12 +41,23 @@ impl Engine {
             self.next_tag = 0;
         }
         if kernel_index != self.kernels.len() {
+            gtpin_obs::warn!(
+                "kernel {kernel_index} rewritten out of order (have {})",
+                self.kernels.len()
+            );
             return Err(format!(
                 "kernel {kernel_index} rewritten out of order (have {})",
                 self.kernels.len()
             ));
         }
+        let mut span = gtpin_obs::span("engine.rewrite");
+        span.arg_u64("kernel_index", kernel_index as u64);
         let rw = rewrite_binary(binary, &self.config, self.next_slot, self.next_tag)?;
+        if span.active() {
+            span.arg_u64("static_instructions", rw.static_info.static_instructions);
+            span.arg_u64("instrumented_instructions", rw.instrumented_instructions);
+            span.arg_u64("send_sites", rw.layout.send_sites.len() as u64);
+        }
         self.next_slot += rw.layout.slots_used();
         self.next_tag += rw.layout.send_sites.len() as u32;
         for site in &rw.layout.send_sites {
@@ -69,8 +80,26 @@ impl Engine {
 
     fn post_process(&mut self, info: &LaunchInfo, trace: &mut TraceBuffer) {
         let Some(record) = self.kernels.get(info.kernel.index()) else {
+            gtpin_obs::warn!(
+                "launch {} references kernel {} with no rewrite record; skipping post-process",
+                info.launch_index,
+                info.kernel.index()
+            );
             return;
         };
+        let mut span = gtpin_obs::span("engine.post_process");
+        if span.active() {
+            span.arg_u64("launch_index", info.launch_index as u64);
+            span.arg_str("kernel", info.kernel_name.clone());
+            // The paper's headline self-measurement: how much slower
+            // this launch ran because of injected trace traffic.
+            let ratio = info.stats.overhead_ratio();
+            span.arg_f64("overhead_ratio", ratio);
+            span.arg_u64("trace_bytes", info.stats.trace_bytes);
+            gtpin_obs::counter_add("engine.launches", 1);
+            gtpin_obs::hist_ns("engine.overhead_ratio_pct", (ratio * 100.0) as u64);
+            gtpin_obs::gauge_set("engine.overhead_ratio", ratio);
+        }
         let layout = &record.layout;
         let st = &record.static_info;
 

@@ -144,6 +144,13 @@ impl ProgramProfile {
     pub fn dynamic_overhead_factor(&self) -> f64 {
         let app = self.total_instructions();
         if app == 0 {
+            if !self.invocations.is_empty() {
+                gtpin_obs::warn!(
+                    "profile `{}` recorded {} invocations but zero dynamic instructions; overhead factor defaults to 1.0",
+                    self.app,
+                    self.invocations.len()
+                );
+            }
             return 1.0;
         }
         // Each basic-block entry costs 3 extra instructions.

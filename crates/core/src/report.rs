@@ -42,6 +42,15 @@ pub struct AppCharacterization {
     pub bytes_read: u64,
     /// Bytes written (Figure 4c).
     pub bytes_written: u64,
+    /// Estimated dynamic instruction overhead of the instrumentation
+    /// (Section III's 2–10× framing), from the profile's block
+    /// execution counts.
+    pub dynamic_overhead_factor: f64,
+    /// Measured issue-cycle overhead ratio from the device's native
+    /// counters ([`gpu_device::stats::ExecutionStats::overhead_ratio`]),
+    /// when the caller supplies launch stats via
+    /// [`AppCharacterization::with_measured_overhead`].
+    pub measured_overhead_ratio: Option<f64>,
 }
 
 impl AppCharacterization {
@@ -70,7 +79,19 @@ impl AppCharacterization {
             width_fractions,
             bytes_read: profile.total_bytes_read(),
             bytes_written: profile.total_bytes_written(),
+            dynamic_overhead_factor: profile.dynamic_overhead_factor(),
+            measured_overhead_ratio: None,
         }
+    }
+
+    /// Attach the measured issue-cycle overhead ratio from aggregated
+    /// launch counters (instrumented vs. native issue+trace cycles).
+    pub fn with_measured_overhead(
+        mut self,
+        stats: &gpu_device::stats::ExecutionStats,
+    ) -> AppCharacterization {
+        self.measured_overhead_ratio = Some(stats.overhead_ratio());
+        self
     }
 
     /// Fraction for one category.
@@ -113,10 +134,19 @@ impl std::fmt::Display for AppCharacterization {
             "  dynamic:   {} invocations, {} bb execs, {} instructions",
             self.kernel_invocations, self.bb_executions, self.instructions
         )?;
-        write!(
+        writeln!(
             f,
             "  memory:    {} B read, {} B written",
             self.bytes_read, self.bytes_written
-        )
+        )?;
+        write!(
+            f,
+            "  overhead:  {:.2}x dynamic instructions",
+            self.dynamic_overhead_factor
+        )?;
+        if let Some(ratio) = self.measured_overhead_ratio {
+            write!(f, ", {ratio:.2}x issue cycles (measured)")?;
+        }
+        Ok(())
     }
 }

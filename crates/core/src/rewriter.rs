@@ -127,9 +127,21 @@ pub fn rewrite_binary(
     slot_base: u32,
     tag_base: u32,
 ) -> Result<Rewritten, String> {
-    let stream = decode_stream(bytes).map_err(|e| e.to_string())?;
+    let stream = decode_stream(bytes).map_err(|e| {
+        gtpin_obs::warn!(
+            "rewriter: undecodable kernel binary ({} bytes): {e}",
+            bytes.len()
+        );
+        e.to_string()
+    })?;
     let instrs = stream.instrs;
-    let bb_starts = leaders(&instrs).map_err(|e| e.to_string())?;
+    let bb_starts = leaders(&instrs).map_err(|e| {
+        gtpin_obs::warn!(
+            "rewriter: control-flow analysis failed for `{}`: {e}",
+            stream.name
+        );
+        e.to_string()
+    })?;
     let static_info = StaticKernelInfo::analyse(&stream.name, &instrs, &bb_starts);
 
     let n = instrs.len();

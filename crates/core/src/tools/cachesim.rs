@@ -57,7 +57,16 @@ impl Tool for CacheSimTool {
 
     fn on_kernel_complete(&mut self, profile: &InvocationProfile, ctx: &ToolContext<'_>) {
         for &(tag, addr) in &profile.mem_trace {
-            let bytes = ctx.send_sites.get(&tag).map(|s| s.bytes).unwrap_or(4);
+            let bytes = match ctx.send_sites.get(&tag) {
+                Some(s) => s.bytes,
+                None => {
+                    gtpin_obs::warn!(
+                        "cachesim: trace record with unknown send-site tag {tag} in launch {}; assuming 4-byte access",
+                        profile.launch_index
+                    );
+                    4
+                }
+            };
             let (h, m) = self.cache.access(addr, bytes);
             let site = self.per_site.entry(tag).or_default();
             site.accesses += 1;

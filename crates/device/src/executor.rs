@@ -173,7 +173,16 @@ impl<'d> Executor<'d> {
             ..Default::default()
         };
         let workers = self.config.threads.min(num_threads as usize);
-        if workers <= 1 || reads_trace_buffer(kernel) {
+        let serial = workers <= 1 || reads_trace_buffer(kernel);
+        let mut span = gtpin_obs::span("executor.launch");
+        if span.active() {
+            span.arg_str("kernel", kernel.name.clone());
+            span.arg_u64("hw_threads", num_threads);
+            span.arg_u64("workers", if serial { 1 } else { workers as u64 });
+        }
+        let records_before = self.trace.records().len() as u64;
+        let dropped_before = self.trace.dropped_records();
+        if serial {
             for t in 0..num_threads {
                 run_thread(
                     kernel,
@@ -186,6 +195,7 @@ impl<'d> Executor<'d> {
                     None,
                 )?;
             }
+            self.note_launch_telemetry(&mut span, &stats, records_before, dropped_before);
             return Ok(stats);
         }
 
@@ -215,6 +225,9 @@ impl<'d> Executor<'d> {
             }
         });
 
+        let obs = gtpin_obs::enabled();
+        let mut drain = gtpin_obs::span("executor.drain");
+        let mut replayed_accesses = 0u64;
         for run in runs {
             // Replay this thread's global accesses on the shared
             // cache: hit/miss counts and cache state come out exactly
@@ -227,6 +240,10 @@ impl<'d> Executor<'d> {
                 hits += h as u64;
                 misses += m as u64;
             }
+            if obs {
+                replayed_accesses += run.accesses.len() as u64;
+                gtpin_obs::hist_ns("executor.shard_records", run.shard.records().len() as u64);
+            }
             self.trace.merge_shard(run.shard);
             run.result?;
             let mut s = run.stats;
@@ -234,7 +251,38 @@ impl<'d> Executor<'d> {
             s.cache_misses = misses;
             stats.merge(&s);
         }
+        if drain.active() {
+            drain.arg_u64("replayed_accesses", replayed_accesses);
+            gtpin_obs::counter_add("executor.cache_replays", replayed_accesses);
+        }
+        drop(drain);
+        self.note_launch_telemetry(&mut span, &stats, records_before, dropped_before);
         Ok(stats)
+    }
+
+    /// Attach per-launch trace-buffer fill/drop and overhead numbers
+    /// to the launch span and the process-wide counters. A no-op
+    /// (beyond one branch) when telemetry is disabled.
+    fn note_launch_telemetry(
+        &self,
+        span: &mut gtpin_obs::SpanGuard<'_>,
+        stats: &ExecutionStats,
+        records_before: u64,
+        dropped_before: u64,
+    ) {
+        if !span.active() {
+            return;
+        }
+        let records = self.trace.records().len() as u64 - records_before;
+        let dropped = self.trace.dropped_records() - dropped_before;
+        span.arg_u64("trace_records", records);
+        span.arg_u64("trace_dropped", dropped);
+        span.arg_u64("trace_bytes", stats.trace_bytes);
+        span.arg_f64("overhead_ratio", stats.overhead_ratio());
+        gtpin_obs::counter_add("executor.launches", 1);
+        gtpin_obs::counter_add("executor.trace_records", records);
+        gtpin_obs::counter_add("executor.trace_dropped", dropped);
+        gtpin_obs::counter_add("executor.trace_bytes", stats.trace_bytes);
     }
 }
 
@@ -270,6 +318,9 @@ fn run_thread(
         let cost = instruction_cost(instr);
         st.issue_cycles += cost;
         stats.count_instruction(instr.opcode.category(), instr.exec_size, cost);
+        if matches!(instr.send, Some(d) if d.surface == gen_isa::Surface::TraceBuffer) {
+            stats.trace_cycles += cost;
+        }
 
         match step(
             &mut st,

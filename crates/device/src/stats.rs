@@ -38,6 +38,10 @@ pub struct ExecutionStats {
     /// uninstrumented binaries). This traffic is what makes GT-Pin
     /// profiling runs 2–10× slower than native execution.
     pub trace_bytes: u64,
+    /// Issue cycles spent on instrumentation sends to the trace
+    /// buffer — the subset of [`ExecutionStats::issue_cycles`] the
+    /// application would not pay natively.
+    pub trace_cycles: u64,
 }
 
 impl ExecutionStats {
@@ -69,6 +73,19 @@ impl ExecutionStats {
         self.hw_threads += other.hw_threads;
         self.issue_cycles += other.issue_cycles;
         self.trace_bytes += other.trace_bytes;
+        self.trace_cycles += other.trace_cycles;
+    }
+
+    /// Instrumented-over-native slowdown on the compute term:
+    /// `issue_cycles / (issue_cycles - trace_cycles)`. The paper
+    /// reports this ratio in the 2–10× band for full instrumentation
+    /// (Section III); uninstrumented launches report exactly 1.0.
+    pub fn overhead_ratio(&self) -> f64 {
+        let native = self.issue_cycles.saturating_sub(self.trace_cycles);
+        if native == 0 || self.trace_cycles == 0 {
+            return 1.0;
+        }
+        self.issue_cycles as f64 / native as f64
     }
 
     /// Fraction of instructions in the given category.
@@ -136,6 +153,18 @@ mod tests {
         assert_eq!(a.instructions, 2);
         assert_eq!(a.bytes_read, 10);
         assert_eq!(a.bytes_written, 20);
+    }
+
+    #[test]
+    fn overhead_ratio_covers_the_paper_band_and_degenerate_cases() {
+        let mut s = ExecutionStats::default();
+        assert_eq!(s.overhead_ratio(), 1.0, "empty stats");
+        s.issue_cycles = 100;
+        assert_eq!(s.overhead_ratio(), 1.0, "uninstrumented launch");
+        s.trace_cycles = 75;
+        assert!((s.overhead_ratio() - 4.0).abs() < 1e-12, "4x slowdown");
+        s.trace_cycles = 100;
+        assert_eq!(s.overhead_ratio(), 1.0, "all-trace degenerate case");
     }
 
     #[test]

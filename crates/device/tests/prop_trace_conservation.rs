@@ -1,0 +1,99 @@
+//! Trace-accounting properties of the sharded parallel executor:
+//! every record a hardware thread appends is either in the merged
+//! buffer or counted in `dropped_records` — never silently lost —
+//! and the merged result is bitwise identical to the serial loop at
+//! every worker count from 1 to 8.
+
+use gen_isa::builder::KernelBuilder;
+use gen_isa::{ExecSize, Reg, Src, Surface};
+use gpu_device::{Cache, CacheConfig, ExecConfig, Executor, TraceBuffer};
+use proptest::prelude::*;
+
+/// A straight-line kernel where each hardware thread appends
+/// `appends` records (tagged with its own global id via `r0`, so
+/// merge order is observable) and bumps one counter slot.
+fn trace_kernel(appends: u32) -> gen_isa::DecodedKernel {
+    let mut b = KernelBuilder::new("prop_trace");
+    let e = b.entry_block();
+    let blk = b.block_mut(e);
+    blk.mov(ExecSize::S1, Reg(100), Src::Imm(5)) // record tag / slot addr
+        .mov(ExecSize::S1, Reg(101), Src::Imm(1)); // slot increment
+    for _ in 0..appends {
+        // data = r0 lane 0 = thread_id * DISPATCH_WIDTH.
+        blk.send_write(ExecSize::S1, Reg(100), Reg(0), Surface::TraceBuffer, 8);
+    }
+    blk.atomic_add(Reg(100), Reg(101), Surface::TraceBuffer)
+        .eot();
+    b.build().expect("valid kernel").flatten()
+}
+
+fn run(
+    kernel: &gen_isa::DecodedKernel,
+    gws: u64,
+    cap: usize,
+    workers: usize,
+) -> (gpu_device::ExecutionStats, TraceBuffer) {
+    let mut cache = Cache::new(CacheConfig::default());
+    let mut trace = TraceBuffer::new().with_record_capacity(cap);
+    let stats = Executor {
+        cache: &mut cache,
+        trace: &mut trace,
+        config: ExecConfig {
+            threads: workers,
+            ..Default::default()
+        },
+    }
+    .execute_launch(kernel, &[], gws)
+    .expect("launch runs");
+    (stats, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// records + drops are conserved across shard merges, and the
+    /// merged buffer equals the serial one, at worker counts 1..=8 —
+    /// including capacities small enough to force drops mid-merge.
+    #[test]
+    fn records_and_drops_conserved_across_shard_merges(
+        appends in 0u32..9,
+        hw_threads in 1u64..24,
+        cap in prop::sample::select(vec![1usize, 3, 17, 64, 1 << 20]),
+    ) {
+        let kernel = trace_kernel(appends);
+        let gws = hw_threads * 16;
+        let total_appended = hw_threads * appends as u64;
+
+        let (serial_stats, serial_trace) = run(&kernel, gws, cap, 1);
+        prop_assert_eq!(
+            serial_trace.records().len() as u64 + serial_trace.dropped_records(),
+            total_appended,
+            "serial loop lost records"
+        );
+
+        for workers in 2..=8usize {
+            let (stats, trace) = run(&kernel, gws, cap, workers);
+            prop_assert_eq!(
+                trace.records().len() as u64 + trace.dropped_records(),
+                total_appended,
+                "shard merge lost records at {} workers", workers
+            );
+            prop_assert_eq!(
+                trace.records(), serial_trace.records(),
+                "record stream diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                trace.dropped_records(), serial_trace.dropped_records(),
+                "drop count diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                trace.slot(5), serial_trace.slot(5),
+                "counter slot diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                &stats, &serial_stats,
+                "execution stats (incl. trace_cycles) diverged at {} workers", workers
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Time sources for the telemetry registry.
+//!
+//! Production uses a monotonic clock anchored at registry creation;
+//! tests inject a [`ManualClock`] so every recorded timestamp — and
+//! therefore every exported artifact — is deterministic down to the
+//! byte (the golden-file exporter tests depend on this).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin. Must never decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall clock: `Instant` deltas from the moment of construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose zero is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: reads return the
+/// last value set, and [`ManualClock::advance`] moves time forward.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at t = 0.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+/// Shared clocks: tests hand the registry an `Arc<ManualClock>` and
+/// keep a second handle to crank time forward.
+impl<T: Clock + ?Sized> Clock for std::sync::Arc<T> {
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_explicit() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(1_500);
+        assert_eq!(c.now_ns(), 1_500);
+        c.advance(500);
+        assert_eq!(c.now_ns(), 2_000);
+    }
+}

@@ -1,0 +1,340 @@
+//! Exporters: JSONL journal lines, the Chrome `trace_event` file,
+//! and the human-readable per-stage summary table.
+//!
+//! Everything here is hand-rolled string assembly — the obs crate
+//! takes no dependencies, and both formats are simple enough that a
+//! serializer would be more code than the escaping below. The JSONL
+//! schema is stable and covered by golden-file tests:
+//!
+//! ```text
+//! {"type":"span","name":"engine.launch","tid":0,"ts_ns":120,"dur_ns":480,"args":{"kernel":"k0"}}
+//! {"type":"instant","name":"engine.attach","tid":0,"ts_ns":0}
+//! {"type":"warn","tid":0,"ts_ns":90,"msg":"..."}
+//! {"type":"counter","name":"executor.trace_records","value":4096}
+//! {"type":"gauge","name":"engine.overhead_ratio","value":3.25}
+//! {"type":"hist","name":"par.task_ns","count":8,"sum":1024,"min":96,"max":256,"p50":127,"p99":255}
+//! ```
+
+use crate::registry::{ArgVal, Event, EventKind, Snapshot};
+use std::fmt::Write as _;
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity; export them as null so consumers
+    // (and our own verifier) never see invalid syntax.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn fmt_arg(value: &ArgVal) -> String {
+    match value {
+        ArgVal::U64(v) => format!("{v}"),
+        ArgVal::I64(v) => format!("{v}"),
+        ArgVal::F64(v) => fmt_f64(*v),
+        ArgVal::Str(v) => format!("\"{}\"", json_escape(v)),
+        ArgVal::Bool(v) => format!("{v}"),
+    }
+}
+
+fn fmt_args(args: &[(&'static str, ArgVal)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), fmt_arg(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Render one event as a JSONL line (newline-terminated). This is
+/// also what the registry streams to the journal as events happen.
+pub fn event_jsonl_line(event: &Event) -> String {
+    let mut line = String::with_capacity(96);
+    match &event.kind {
+        EventKind::Span { dur_ns } => {
+            let _ = write!(
+                line,
+                "{{\"type\":\"span\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{},\"dur_ns\":{}",
+                json_escape(event.name),
+                event.tid,
+                event.ts_ns,
+                dur_ns
+            );
+        }
+        EventKind::Instant => {
+            let _ = write!(
+                line,
+                "{{\"type\":\"instant\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{}",
+                json_escape(event.name),
+                event.tid,
+                event.ts_ns
+            );
+        }
+        EventKind::Warn { msg } => {
+            let _ = write!(
+                line,
+                "{{\"type\":\"warn\",\"tid\":{},\"ts_ns\":{},\"msg\":\"{}\"",
+                event.tid,
+                event.ts_ns,
+                json_escape(msg)
+            );
+        }
+    }
+    if !event.args.is_empty() {
+        let _ = write!(line, ",\"args\":{}", fmt_args(&event.args));
+    }
+    line.push_str("}\n");
+    line
+}
+
+/// Render the counter/gauge/histogram totals as JSONL lines —
+/// appended to the journal when artifacts are written, so the journal
+/// ends with a self-contained summary of the run.
+pub fn totals_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            value
+        );
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            fmt_f64(*value)
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.quantile(0.5),
+            h.quantile(0.99)
+        );
+    }
+    if snap.dropped_events > 0 {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"obs.dropped_events\",\"value\":{}}}",
+            snap.dropped_events
+        );
+    }
+    out
+}
+
+/// Render the whole journal (events then totals) as one JSONL string.
+/// Used by tests and `write_artifacts` for private registries; the
+/// process-wide registry streams event lines as they happen instead.
+pub fn jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for event in &snap.events {
+        out.push_str(&event_jsonl_line(event));
+    }
+    out.push_str(&totals_jsonl(snap));
+    out
+}
+
+/// Microseconds with three decimals — Chrome's `ts`/`dur` unit.
+fn ns_to_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render the snapshot as a Chrome `trace_event` JSON document that
+/// loads in `about:tracing` and Perfetto. Spans become complete
+/// (`"ph":"X"`) events; instants become `"ph":"i"`; warnings become
+/// instants named after the message; counters become one `"ph":"C"`
+/// sample at the end of the trace.
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    let mut last_ts = 0u64;
+    for e in &snap.events {
+        last_ts = last_ts.max(e.ts_ns);
+        let entry = match &e.kind {
+            EventKind::Span { dur_ns } => {
+                last_ts = last_ts.max(e.ts_ns + dur_ns);
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":\"gtpin\",\"name\":\"{}\",\"args\":{}}}",
+                    e.tid,
+                    ns_to_us(e.ts_ns),
+                    ns_to_us(*dur_ns),
+                    json_escape(e.name),
+                    fmt_args(&e.args)
+                )
+            }
+            EventKind::Instant => format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"cat\":\"gtpin\",\"name\":\"{}\",\"args\":{}}}",
+                e.tid,
+                ns_to_us(e.ts_ns),
+                json_escape(e.name),
+                fmt_args(&e.args)
+            ),
+            EventKind::Warn { msg } => format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"cat\":\"warn\",\"name\":\"{}\",\"args\":{{}}}}",
+                e.tid,
+                ns_to_us(e.ts_ns),
+                json_escape(msg)
+            ),
+        };
+        push(entry, &mut out, &mut first);
+    }
+    for (name, value) in &snap.counters {
+        let entry = format!(
+            "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
+            ns_to_us(last_ts),
+            json_escape(name),
+            value
+        );
+        push(entry, &mut out, &mut first);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render the human-readable per-stage summary: span rollups first
+/// (count, total, mean per name), then counters, gauges, histograms.
+pub fn summary(snap: &Snapshot) -> String {
+    use std::collections::BTreeMap;
+    let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    let mut warns = 0u64;
+    for e in &snap.events {
+        match &e.kind {
+            EventKind::Span { dur_ns } => {
+                let entry = spans.entry(e.name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += dur_ns;
+            }
+            EventKind::Warn { .. } => warns += 1,
+            EventKind::Instant => {}
+        }
+    }
+    let mut out = String::new();
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>14} {:>14}",
+            "span", "count", "total_ms", "mean_us"
+        );
+        for (name, (count, total_ns)) in &spans {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>8} {:>14.3} {:>14.1}",
+                name,
+                count,
+                *total_ns as f64 / 1e6,
+                *total_ns as f64 / 1e3 / *count as f64
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "\n{:<34} {:>14}", "counter", "value");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "{:<34} {:>14}", name, value);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "\n{:<34} {:>14}", "gauge", "value");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "{:<34} {:>14.4}", name, value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<34} {:>8} {:>10} {:>10} {:>10}",
+            "histogram(ns)", "count", "mean", "p50", "p99"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>8} {:>10.0} {:>10} {:>10}",
+                name,
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+        }
+    }
+    if warns > 0 {
+        let _ = writeln!(out, "\n{warns} warning(s) in journal");
+    }
+    if snap.dropped_events > 0 {
+        let _ = writeln!(
+            out,
+            "{} event(s) dropped past buffer cap",
+            snap.dropped_events
+        );
+    }
+    if out.is_empty() {
+        out.push_str("no telemetry recorded\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_null() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn ns_to_us_keeps_three_decimals() {
+        assert_eq!(ns_to_us(0), "0.000");
+        assert_eq!(ns_to_us(1_500), "1.500");
+        assert_eq!(ns_to_us(123_456_789), "123456.789");
+    }
+}

@@ -1,0 +1,91 @@
+//! Golden-file tests for the exporters: a scripted run on a manual
+//! clock must serialize byte-for-byte identically across platforms
+//! and refactors (the JSONL schema is a published interface — the
+//! check.sh smoke gate and any downstream tooling parse it).
+
+use gtpin_obs::{ArgVal, ManualClock, Registry};
+use std::sync::Arc;
+
+/// A deterministic scripted run exercising every event kind and
+/// every aggregate type.
+fn scripted_run() -> Registry {
+    let clock = Arc::new(ManualClock::new());
+    let reg = Registry::new(true, Box::new(clock.clone()));
+
+    reg.instant("run.start", Vec::new());
+    clock.advance(100);
+    {
+        let mut span = reg.span("engine.launch");
+        span.arg_u64("invocation", 7);
+        span.arg("kernel", ArgVal::Str("k0".into()));
+        clock.advance(450);
+    }
+    clock.advance(50);
+    reg.warn("trace buffer dropped 3 records".into());
+    reg.counter_add("executor.trace_records", 4096);
+    reg.counter_add("executor.trace_dropped", 3);
+    reg.gauge_set("engine.overhead_ratio", 3.25);
+    for v in [96u64, 128, 256] {
+        reg.hist_record("par.task_ns", v);
+    }
+    reg
+}
+
+#[test]
+fn jsonl_matches_golden() {
+    let snap = scripted_run().snapshot();
+    assert_eq!(
+        gtpin_obs::jsonl(&snap),
+        include_str!("golden/journal.jsonl")
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let snap = scripted_run().snapshot();
+    assert_eq!(
+        gtpin_obs::chrome_trace(&snap),
+        include_str!("golden/trace.json").trim_end()
+    );
+}
+
+#[test]
+fn exports_are_valid_json() {
+    let snap = scripted_run().snapshot();
+    for line in gtpin_obs::jsonl(&snap).lines() {
+        serde_json::from_str_value(line)
+            .unwrap_or_else(|e| panic!("journal line is not valid JSON: {e}\n{line}"));
+    }
+    let trace = gtpin_obs::chrome_trace(&snap);
+    serde_json::from_str_value(&trace).expect("chrome trace is valid JSON");
+}
+
+#[test]
+fn summary_mentions_every_stage() {
+    let reg = scripted_run();
+    let summary = reg.summary();
+    for needle in [
+        "engine.launch",
+        "executor.trace_records",
+        "engine.overhead_ratio",
+        "par.task_ns",
+        "1 warning(s)",
+    ] {
+        assert!(
+            summary.contains(needle),
+            "summary missing {needle}:\n{summary}"
+        );
+    }
+}
+
+#[test]
+fn escaped_strings_round_trip_through_jsonl() {
+    let clock = Arc::new(ManualClock::new());
+    let reg = Registry::new(true, Box::new(clock));
+    reg.warn("quote \" backslash \\ newline \n tab \t done".into());
+    let snap = reg.snapshot();
+    let out = gtpin_obs::jsonl(&snap);
+    let line = out.lines().next().expect("one line");
+    serde_json::from_str_value(line).expect("escaped warn line is valid JSON");
+    assert!(line.contains("\\\"") && line.contains("\\\\") && line.contains("\\n"));
+}

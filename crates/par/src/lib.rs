@@ -17,7 +17,7 @@
 //! external dependencies — which keeps the fan-out cheap enough for
 //! per-kernel-launch use.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The environment variable controlling workspace-wide parallelism.
 pub const THREADS_ENV: &str = "GTPIN_THREADS";
@@ -55,6 +55,15 @@ where
         return (0..n).map(f).collect();
     }
     let workers = threads.min(n);
+    // Telemetry is observational only: timings and counts are
+    // recorded, but nothing about claiming or collection changes, so
+    // the determinism contract holds with GTPIN_OBS on or off.
+    let obs = gtpin_obs::enabled();
+    let mut fanout = gtpin_obs::span("par.fanout");
+    fanout.arg_u64("tasks", n as u64);
+    fanout.arg_u64("workers", workers as u64);
+    let start_ns = gtpin_obs::now_ns();
+    let busy_ns_total = AtomicU64::new(0);
     let counter = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
@@ -64,14 +73,31 @@ where
         for _ in 0..workers {
             let counter = &counter;
             let f = &f;
+            let busy_ns_total = &busy_ns_total;
             handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
+                let mut busy_ns = 0u64;
+                let mut first_claim = true;
                 loop {
                     let i = counter.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
+                    let t0 = gtpin_obs::now_ns();
+                    if obs && first_claim {
+                        first_claim = false;
+                        gtpin_obs::hist_ns("par.queue_wait_ns", t0.saturating_sub(start_ns));
+                    }
                     local.push((i, f(i)));
+                    if obs {
+                        let dt = gtpin_obs::now_ns().saturating_sub(t0);
+                        busy_ns += dt;
+                        gtpin_obs::hist_ns("par.task_ns", dt);
+                    }
+                }
+                if obs {
+                    busy_ns_total.fetch_add(busy_ns, Ordering::Relaxed);
+                    gtpin_obs::counter_add("par.tasks", local.len() as u64);
                 }
                 local
             }));
@@ -82,6 +108,19 @@ where
             }
         }
     });
+
+    if obs {
+        gtpin_obs::counter_add("par.fanouts", 1);
+        let elapsed = gtpin_obs::now_ns().saturating_sub(start_ns);
+        if elapsed > 0 {
+            // Pool occupancy: busy worker-time over available
+            // worker-time for this fan-out (1.0 = perfectly packed).
+            let occupancy =
+                busy_ns_total.load(Ordering::Relaxed) as f64 / (elapsed as f64 * workers as f64);
+            gtpin_obs::gauge_set("par.occupancy", occupancy);
+            gtpin_obs::hist_ns("par.occupancy_pct", (occupancy * 100.0) as u64);
+        }
+    }
 
     out.into_iter()
         .map(|r| r.expect("every index produced exactly once"))
@@ -117,6 +156,9 @@ where
     }
     let workers = threads.min(n);
     let chunk = n.div_ceil(workers);
+    let mut span = gtpin_obs::span("par.fill");
+    span.arg_u64("items", n as u64);
+    span.arg_u64("workers", workers as u64);
     std::thread::scope(|scope| {
         for (c, piece) in out.chunks_mut(chunk).enumerate() {
             let f = &f;

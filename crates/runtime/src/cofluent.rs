@@ -114,7 +114,19 @@ impl Recording {
         program: &HostProgram,
         seed: u64,
     ) -> Result<(Recording, RunReport), RunError> {
+        let mut span = gtpin_obs::span("cofluent.capture");
         let report = runtime.run(program, Schedule::Natural { seed })?;
+        if span.active() {
+            span.arg_str("app", program.name.clone());
+            span.arg_u64("api_calls", report.cofluent.total_api_calls);
+            span.arg_u64("invocations", report.cofluent.num_invocations() as u64);
+        }
+        if report.cofluent.invocations.is_empty() {
+            gtpin_obs::warn!(
+                "cofluent: recording of `{}` captured no kernel invocations; replays will do no device work",
+                program.name
+            );
+        }
         let recording = Recording {
             program: HostProgram {
                 name: program.name.clone(),
@@ -131,6 +143,10 @@ impl Recording {
     ///
     /// Propagates [`RunError`] from the replay run.
     pub fn replay<D: Device>(&self, runtime: &mut OclRuntime<D>) -> Result<RunReport, RunError> {
+        let mut span = gtpin_obs::span("cofluent.replay");
+        if span.active() {
+            span.arg_str("app", self.program.name.clone());
+        }
         runtime.run(&self.program, Schedule::Replay)
     }
 

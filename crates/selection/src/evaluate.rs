@@ -190,6 +190,11 @@ pub fn evaluate_config_with_table(
         config.interval, table.scheme,
         "table built under a different scheme"
     );
+    let mut span = gtpin_obs::span("selection.evaluate");
+    if span.active() {
+        span.arg_str("config", config.to_string());
+        span.arg_u64("intervals", table.intervals.len() as u64);
+    }
     let vectors = crate::features::feature_vectors_weighted(
         data,
         &table.intervals,
@@ -210,6 +215,10 @@ pub fn evaluate_config_with_table(
         .map(|p| table.instructions(p.interval))
         .sum();
 
+    if span.active() {
+        span.arg_u64("k", selection.k as u64);
+        span.arg_f64("error_pct", error_pct(measured, projected));
+    }
     Ok(Evaluation {
         config,
         selection,

@@ -60,6 +60,11 @@ impl Exploration {
         simpoint: &SimpointConfig,
         threads: usize,
     ) -> Exploration {
+        let mut span = gtpin_obs::span("selection.explore");
+        if span.active() {
+            span.arg_str("app", data.app.clone());
+            span.arg_u64("threads", threads as u64);
+        }
         // Divide once per scheme; tables are shared read-only below.
         let configs = all_configs(approx_target);
         let mut tables: Vec<SchemeTable> = Vec::new();
@@ -89,9 +94,14 @@ impl Exploration {
             )
             .ok()
         });
+        let evaluations: Vec<Evaluation> = evaluations.into_iter().flatten().collect();
+        if span.active() {
+            span.arg_u64("configs", 30);
+            span.arg_u64("evaluations", evaluations.len() as u64);
+        }
         Exploration {
             app: data.app.clone(),
-            evaluations: evaluations.into_iter().flatten().collect(),
+            evaluations,
         }
     }
 

@@ -79,21 +79,31 @@ pub fn profile_app(
     gpu_config: GpuConfig,
     capture_seed: u64,
 ) -> Result<ProfiledApp, PipelineError> {
+    let mut span = gtpin_obs::span("selection.profile_app");
+    if span.active() {
+        span.arg_str("app", program.name.clone());
+    }
+
     // 1. Native run with CoFluent recording: measured timings.
     let mut native = OclRuntime::new(Gpu::new(gpu_config));
     let (recording, native_report) = Recording::capture(&mut native, program, capture_seed)?;
 
     // 2. Instrumented replay: GT-Pin counts (timing perturbed by the
     //    2–10× overhead, so timings are taken from the native run).
+    let instrumented_span = gtpin_obs::span("selection.instrumented_replay");
     let mut gpu = Gpu::new(gpu_config);
     let gtpin = GtPin::new(RewriteConfig::default());
     gtpin.attach(&mut gpu);
     let mut instrumented = OclRuntime::new(gpu);
     recording.replay(&mut instrumented)?;
     let profile = gtpin.profile(&program.name);
+    drop(instrumented_span);
 
     // 3. Join by launch order.
     let data = AppData::merge(&profile, &native_report.cofluent)?;
+    if span.active() {
+        span.arg_u64("invocations", data.invocations.len() as u64);
+    }
     Ok(ProfiledApp {
         recording,
         data,

@@ -151,6 +151,11 @@ pub fn select_with_threads(
     if total_weight == 0 {
         return Err(SelectError::ZeroWeight);
     }
+    let mut obs_span = gtpin_obs::span("simpoint.select");
+    if obs_span.active() {
+        obs_span.arg_u64("intervals", vectors.len() as u64);
+        obs_span.arg_u64("threads", threads as u64);
+    }
 
     // Normalize per-vector so interval length does not dominate the
     // geometry; length re-enters through the clustering weights.
@@ -172,6 +177,7 @@ pub fn select_with_threads(
     } else {
         (threads, 1)
     };
+    let sweep_ns = gtpin_obs::now_ns();
     let runs: Vec<(crate::kmeans::KmeansResult, f64)> =
         gtpin_par::parallel_indexed(max_k, sweep_threads, |i| {
             let k = i + 1;
@@ -186,6 +192,13 @@ pub fn select_with_threads(
             let bic = bic_score(&points, &w, &r);
             (r, bic)
         });
+    if obs_span.active() {
+        obs_span.arg_u64("max_k", max_k as u64);
+        gtpin_obs::hist_ns(
+            "simpoint.bic_sweep_ns",
+            gtpin_obs::now_ns().saturating_sub(sweep_ns),
+        );
+    }
     // SimPoint 3.0's rule: normalize BIC scores to [min, max] across
     // the k sweep and keep the smallest k whose normalized score
     // reaches the threshold fraction.
@@ -224,12 +237,16 @@ pub fn select_with_threads(
             })
             .expect("non-empty members");
         let mass: u64 = members.iter().map(|&i| weights[i]).sum();
+        if obs_span.active() {
+            gtpin_obs::hist_ns("simpoint.cluster_size", members.len() as u64);
+        }
         picks.push(SimpointPick {
             interval: rep,
             cluster: c,
             ratio: mass as f64 / total_weight as f64,
         });
     }
+    obs_span.arg_u64("k", picks.len() as u64);
 
     Ok(Selection {
         k: picks.len(),

@@ -26,4 +26,15 @@ echo "== determinism properties at GTPIN_THREADS=4"
 GTPIN_THREADS=4 cargo test -q -p simpoint --test prop_parallel
 GTPIN_THREADS=4 cargo test -q -p subset-select --test prop_parallel
 
+echo "== telemetry smoke: tier-1 tests under GTPIN_OBS=1"
+# Absolute dir: test binaries run with per-crate working directories.
+OBS_DIR="$(pwd)/target/obs-check"
+rm -rf "$OBS_DIR"
+GTPIN_OBS=1 GTPIN_OBS_DIR="$OBS_DIR" cargo test -q
+test -s "$OBS_DIR/journal.jsonl" || {
+    echo "FAIL: GTPIN_OBS=1 test run left no journal at $OBS_DIR/journal.jsonl"
+    exit 1
+}
+cargo run -q --release --bin gtpin -- obs-verify "$OBS_DIR/journal.jsonl"
+
 echo "OK"

@@ -10,6 +10,12 @@
 //! gtpin select <app> [threshold%]     explore configs and print selections
 //! gtpin disasm <app> [kernel-index]   disassemble a JIT-compiled kernel
 //! gtpin luxmark                       compare HD4000 vs HD4600 scores
+//! gtpin obs-report [app]              run an instrumented exploration and
+//!                                     print the telemetry summary table
+//!                                     (artifacts land in GTPIN_OBS_DIR,
+//!                                     default target/obs)
+//! gtpin obs-verify <journal.jsonl>    check a journal is non-empty,
+//!                                     well-formed JSONL
 //! ```
 
 use gtpin_suite::device::{Gpu, GpuConfig};
@@ -28,8 +34,10 @@ fn main() {
         Some("select") => cmd_select(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("luxmark") => cmd_luxmark(),
+        Some("obs-report") => cmd_obs_report(&args[1..]),
+        Some("obs-verify") => cmd_obs_verify(&args[1..]),
         _ => {
-            eprintln!("usage: gtpin <list|run|select|disasm|luxmark> [args]");
+            eprintln!("usage: gtpin <list|run|select|disasm|luxmark|obs-report|obs-verify> [args]");
             eprintln!("       see crate docs for options");
             std::process::exit(2);
         }
@@ -91,8 +99,16 @@ fn cmd_run(args: &[String]) -> CliResult {
     let mut rt = OclRuntime::new(gpu);
     let report = rt.run(&program, Schedule::Replay)?;
     let profile = gtpin.profile(spec.name);
+    let device = rt.into_device();
+    let mut launch_stats = gtpin_suite::device::stats::ExecutionStats::default();
+    for launch in device.launches() {
+        launch_stats.merge(&launch.stats);
+    }
 
-    println!("{}", AppCharacterization::new(&report.cofluent, &profile));
+    println!(
+        "{}",
+        AppCharacterization::new(&report.cofluent, &profile).with_measured_overhead(&launch_stats)
+    );
     println!(
         "\ninstrumentation: {:.2}x dynamic instruction overhead across {} kernels",
         profile.dynamic_overhead_factor(),
@@ -158,6 +174,59 @@ fn cmd_disasm(args: &[String]) -> CliResult {
         .kernel(index)
         .ok_or_else(|| format!("kernel index {index} out of range"))?;
     print!("{}", disassemble_flat(kernel));
+    Ok(())
+}
+
+fn cmd_obs_report(args: &[String]) -> CliResult {
+    use gtpin_suite::obs;
+    // Force telemetry on before anything records, so the report works
+    // without the user exporting GTPIN_OBS.
+    if !obs::force_enable() {
+        return Err("telemetry registry was already initialized disabled".into());
+    }
+    let name = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("cb-gaussian-image");
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown application {name}"))?;
+
+    let program = build_program(&spec, Scale::Default);
+    let profiled = profile_app(&program, GpuConfig::hd4000(), 1)?;
+    let approx = gtpin_suite::selection::default_approx_target(&profiled.data);
+    let ex = Exploration::run(&profiled.data, approx, &SimpointConfig::default());
+
+    println!(
+        "telemetry for {} ({} invocations profiled, {} configurations evaluated)\n",
+        spec.name,
+        profiled.data.invocations.len(),
+        ex.evaluations.len()
+    );
+    print!("{}", obs::global().summary());
+    for path in obs::write_artifacts()? {
+        println!("wrote {}", path.display());
+    }
+    if let Some(journal) = obs::global().journal_path() {
+        println!("journal streamed to {}", journal.display());
+    }
+    Ok(())
+}
+
+fn cmd_obs_verify(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("obs-verify needs a journal path")?;
+    let text = std::fs::read_to_string(path)?;
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        serde_json::from_str_value(line)
+            .map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+        events += 1;
+    }
+    if events == 0 {
+        return Err(format!("{path}: journal is empty").into());
+    }
+    println!("{path}: {events} well-formed JSONL event(s)");
     Ok(())
 }
 

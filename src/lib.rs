@@ -11,6 +11,7 @@
 //! * [`device`] — the GPU device model (JIT, executor, timing,
 //!   detailed simulator),
 //! * [`gtpin`] — the GT-Pin binary instrumentation engine and tools,
+//! * [`obs`] — the `GTPIN_OBS` telemetry registry and exporters,
 //! * [`simpoint`] — SimPoint-style clustering,
 //! * [`selection`] — simulation subset selection,
 //! * [`workloads`] — the 25 benchmark applications.
@@ -18,6 +19,7 @@
 pub use gen_isa as isa;
 pub use gpu_device as device;
 pub use gtpin_core as gtpin;
+pub use gtpin_obs as obs;
 pub use ocl_runtime as runtime;
 pub use simpoint;
 pub use subset_select as selection;
