@@ -148,6 +148,8 @@ impl Engine {
             bytes_written,
             thread_cycles,
             mem_trace,
+            dropped_records: info.stats.trace_dropped,
+            quarantined_records: info.stats.trace_quarantined,
         };
 
         let kernels: Vec<&StaticKernelInfo> = self.kernels.iter().map(|k| &k.static_info).collect();

@@ -39,6 +39,22 @@ pub struct InvocationProfile {
     pub thread_cycles: Option<u64>,
     /// `(site tag, address)` pairs, when memory tracing ran.
     pub mem_trace: Vec<(u32, u64)>,
+    /// Trace records dropped at capacity during this launch. Zero in
+    /// healthy runs; non-zero marks this invocation's trace as
+    /// incomplete for downstream consumers.
+    pub dropped_records: u64,
+    /// Corrupted trace records quarantined during this launch. Zero
+    /// in healthy runs; non-zero marks the interval for exclusion
+    /// from subset selection.
+    pub quarantined_records: u64,
+}
+
+impl InvocationProfile {
+    /// Whether this invocation's trace lost or quarantined records —
+    /// selection skips degraded intervals and renormalizes weights.
+    pub fn is_degraded(&self) -> bool {
+        self.dropped_records > 0 || self.quarantined_records > 0
+    }
 }
 
 impl InvocationProfile {
@@ -198,6 +214,8 @@ mod tests {
                 bytes_written: 0,
                 thread_cycles: None,
                 mem_trace: Vec::new(),
+                dropped_records: 0,
+                quarantined_records: 0,
             }],
         }
     }

@@ -153,10 +153,6 @@ pub fn rewrite_binary(
             // Ablation: one counter bump in front of EVERY
             // instruction, attributed to its block's slot. Same
             // resulting profile, far more injected work.
-            let block_of = |i: usize| match bb_starts.binary_search(&(i as u32)) {
-                Ok(b) => b,
-                Err(b) => b - 1,
-            };
             #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 let first_of_block = bb_starts.binary_search(&(i as u32)).is_ok();
@@ -167,7 +163,7 @@ pub fn rewrite_binary(
                 // counter sequence at leaders and a scratch increment
                 // elsewhere.
                 if first_of_block {
-                    let slot = slot_base + block_of(i) as u32;
+                    let slot = slot_base + block_of(&bb_starts, i)? as u32;
                     insert_before[i].extend(counter_sequence(slot));
                 } else {
                     insert_before[i].extend(scratch_increment());
@@ -199,10 +195,6 @@ pub fn rewrite_binary(
     };
 
     if config.trace_memory {
-        let block_of = |i: usize| match bb_starts.binary_search(&(i as u32)) {
-            Ok(b) => b as u32,
-            Err(b) => b as u32 - 1,
-        };
         for (i, instr) in instrs.iter().enumerate() {
             let Some(desc) = instr.send else { continue };
             if desc.surface != Surface::Global {
@@ -216,7 +208,7 @@ pub fn rewrite_binary(
             insert_before[i].extend(trace_send_sequence(tag, addr_reg));
             send_sites.push(SendSite {
                 tag,
-                block: block_of(i),
+                block: block_of(&bb_starts, i)? as u32,
                 bytes: desc.bytes,
                 is_write: desc.op.is_write(),
             });
@@ -241,8 +233,14 @@ pub fn rewrite_binary(
         out.extend(insert_before[i].iter().copied());
         let mut instr = *instr;
         if instr.opcode.is_control() && !matches!(instr.opcode, Opcode::Eot | Opcode::Ret) {
-            let old_target = (i as i64 + 1 + instr.branch_offset as i64) as usize;
-            let new_target = pos[old_target] - insert_before[old_target].len();
+            let old_target = usize::try_from(i as i64 + 1 + i64::from(instr.branch_offset))
+                .map_err(|_| branch_error(&stream.name, i, instr.branch_offset))?;
+            let target_pos = *pos
+                .get(old_target)
+                .ok_or_else(|| branch_error(&stream.name, i, instr.branch_offset))?;
+            let new_target = target_pos
+                .checked_sub(insert_before[old_target].len())
+                .ok_or_else(|| branch_error(&stream.name, i, instr.branch_offset))?;
             instr.branch_offset = (new_target as i64 - (pos[i] as i64 + 1)) as i32;
         }
         out.push(instr);
@@ -264,6 +262,27 @@ pub fn rewrite_binary(
         },
         instrumented_instructions: total as u64,
     })
+}
+
+/// Basic block containing instruction `i`, or an error when `i`
+/// precedes the first leader — a malformed control-flow table that
+/// previously underflowed a `b - 1` here and panicked mid-rewrite.
+fn block_of(bb_starts: &[u32], i: usize) -> Result<usize, String> {
+    match bb_starts.binary_search(&(i as u32)) {
+        Ok(b) => Ok(b),
+        Err(0) => Err(format!(
+            "instruction {i} precedes the first basic-block leader"
+        )),
+        Err(b) => Ok(b - 1),
+    }
+}
+
+/// A control transfer whose repaired target falls outside the
+/// instruction stream — previously an out-of-bounds index panic.
+fn branch_error(kernel: &str, i: usize, offset: i32) -> String {
+    format!(
+        "kernel `{kernel}`: branch at instruction {i} (offset {offset}) targets outside the stream"
+    )
 }
 
 /// `mov r120, slot; mov r121, 1; send.atomic_add [r120] += r121`

@@ -112,6 +112,8 @@ mod tests {
             bytes_written: 0,
             thread_cycles: None,
             mem_trace: vec![],
+            dropped_records: 0,
+            quarantined_records: 0,
         }
     }
 

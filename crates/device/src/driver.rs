@@ -12,7 +12,58 @@ use gen_isa::DecodedKernel;
 use ocl_runtime::device::DeviceError;
 use ocl_runtime::host::ProgramSource;
 
-use crate::jit::compile_program;
+use crate::jit::compile_kernel;
+
+/// Build attempts per kernel: one initial try plus bounded retries
+/// on *transient* JIT failures (structural errors surface at once).
+const JIT_BUILD_ATTEMPTS: u32 = 3;
+
+/// Watchdog for hung kernel launches, on a **virtual** clock: waits
+/// and backoff are pure u64 nanosecond arithmetic, never wall time,
+/// so a trial that hits the watchdog replays bit-identically.
+///
+/// The hang itself is injected (`GTPIN_FAULTS` site
+/// `driver.launch_hang`); recovery is bounded retry with exponential
+/// backoff, and exhaustion surfaces as
+/// [`DeviceError::LaunchTimeout`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchWatchdog {
+    /// Virtual nanoseconds the watchdog waits before declaring one
+    /// attempt hung.
+    pub timeout_virtual_ns: u64,
+    /// Total launch attempts before giving up.
+    pub max_attempts: u32,
+    /// Base backoff added after attempt `n` is `backoff << n`.
+    pub backoff_base_ns: u64,
+}
+
+impl Default for LaunchWatchdog {
+    fn default() -> LaunchWatchdog {
+        LaunchWatchdog {
+            timeout_virtual_ns: 10_000_000, // 10 virtual ms
+            max_attempts: 4,
+            backoff_base_ns: 1_000_000, // 1 virtual ms
+        }
+    }
+}
+
+impl LaunchWatchdog {
+    /// Does the injected hang fire for this `(launch, attempt)` pair?
+    /// Deterministic per plan seed; each retry draws independently,
+    /// so any rate below 1 converges within a few attempts.
+    pub fn hang_injected(&self, launch_index: u64, attempt: u32) -> bool {
+        gtpin_faults::should_inject(
+            gtpin_faults::site::LAUNCH_HANG,
+            (launch_index << 8) | attempt as u64,
+        )
+    }
+
+    /// Virtual nanoseconds burned by a hung attempt `n`: the full
+    /// timeout plus the exponential backoff before the retry.
+    pub fn wait_ns(&self, attempt: u32) -> u64 {
+        self.timeout_virtual_ns + (self.backoff_base_ns << attempt.min(16))
+    }
+}
 
 /// A binary rewriter attached to the driver (GT-Pin's engine, in
 /// practice). The rewriter receives the encoded kernel binary and
@@ -86,10 +137,34 @@ impl GpuDriver {
     /// Returns [`DeviceError::Jit`] on lowering, rewriting, or
     /// re-decoding failures.
     pub fn build(&mut self, source: &ProgramSource) -> Result<(), DeviceError> {
-        let binaries = compile_program(source).map_err(|e| DeviceError::Jit {
-            kernel: String::new(),
-            detail: e.to_string(),
-        })?;
+        let mut binaries = Vec::with_capacity(source.kernels.len());
+        for ir in &source.kernels {
+            // Transient build failures (only ever injected) get a
+            // bounded retry; real lowering errors surface on the
+            // first attempt, exactly as before.
+            let mut attempt = 0u32;
+            let binary = loop {
+                match compile_kernel(ir) {
+                    Ok(b) => break b,
+                    Err(e) if e.is_transient() && attempt + 1 < JIT_BUILD_ATTEMPTS => {
+                        attempt += 1;
+                        gtpin_faults::note("recovered.jit_retry", 1);
+                        gtpin_obs::warn!(
+                            "driver: transient JIT failure for `{}`, retry {attempt}/{}",
+                            ir.name,
+                            JIT_BUILD_ATTEMPTS - 1
+                        );
+                    }
+                    Err(e) => {
+                        return Err(DeviceError::Jit {
+                            kernel: ir.name.clone(),
+                            detail: e.to_string(),
+                        })
+                    }
+                }
+            };
+            binaries.push(binary);
+        }
         self.kernels.clear();
         self.original_instruction_counts.clear();
         for (i, binary) in binaries.into_iter().enumerate() {

@@ -182,6 +182,8 @@ impl<'d> Executor<'d> {
         }
         let records_before = self.trace.records().len() as u64;
         let dropped_before = self.trace.dropped_records();
+        let appended_before = self.trace.appended_records();
+        let early_drains_before = self.trace.early_drains();
         if serial {
             for t in 0..num_threads {
                 run_thread(
@@ -195,6 +197,12 @@ impl<'d> Executor<'d> {
                     None,
                 )?;
             }
+            self.finalize_trace_accounting(
+                &mut stats,
+                records_before,
+                dropped_before,
+                early_drains_before,
+            );
             self.note_launch_telemetry(&mut span, &stats, records_before, dropped_before);
             return Ok(stats);
         }
@@ -202,9 +210,21 @@ impl<'d> Executor<'d> {
         let budget = self.config.thread_budget;
         let proto_cache = self.cache.clone();
         let record_cap = self.trace.record_capacity();
+        let faults_on = gtpin_faults::enabled();
         let runs = gtpin_par::parallel_indexed(num_threads as usize, workers, |t| {
             let mut cache = proto_cache.clone();
-            let mut shard = TraceBuffer::new().with_record_capacity(record_cap);
+            let mut shard = TraceBuffer::new()
+                .with_record_capacity(record_cap)
+                .with_fault_salt(t as u64 + 1);
+            if faults_on
+                && gtpin_faults::should_inject(gtpin_faults::site::SHARD_OVERFLOW, t as u64)
+            {
+                // Injected shard overflow: shrink the live stream so
+                // the shard early-drains. Records spill instead of
+                // dropping, so the merged trace is unchanged — the
+                // recovery the fault exists to prove.
+                shard = shard.with_soft_capacity(8);
+            }
             let mut tstats = ExecutionStats::default();
             let mut accesses = Vec::new();
             let result = run_thread(
@@ -256,8 +276,62 @@ impl<'d> Executor<'d> {
             gtpin_obs::counter_add("executor.cache_replays", replayed_accesses);
         }
         drop(drain);
+
+        // Conservation check on the shard-drain merge path: every
+        // record a hardware thread appended is now either stored or
+        // counted as dropped. A violation is a bug in the merge —
+        // fail loudly in debug builds, count it in release builds so
+        // long characterization runs degrade instead of aborting.
+        let appended_delta = self.trace.appended_records() - appended_before;
+        let stored_delta = self.trace.records().len() as u64 - records_before;
+        let dropped_delta = self.trace.dropped_records() - dropped_before;
+        if appended_delta != stored_delta + dropped_delta {
+            #[cfg(debug_assertions)]
+            panic!(
+                "shard-drain conservation violated: {appended_delta} appended != \
+                 {stored_delta} stored + {dropped_delta} dropped"
+            );
+            #[cfg(not(debug_assertions))]
+            {
+                gtpin_obs::counter_add("executor.conservation_violations", 1);
+                gtpin_faults::note("violation.trace_conservation", 1);
+            }
+        }
+
+        self.finalize_trace_accounting(
+            &mut stats,
+            records_before,
+            dropped_before,
+            early_drains_before,
+        );
         self.note_launch_telemetry(&mut span, &stats, records_before, dropped_before);
         Ok(stats)
+    }
+
+    /// Post-launch trace accounting: quarantine checksum-stale
+    /// records (fault-armed runs only — the scan is behind the single
+    /// `GTPIN_FAULTS` branch) and surface drop/drain/quarantine
+    /// deltas in the launch statistics.
+    fn finalize_trace_accounting(
+        &mut self,
+        stats: &mut ExecutionStats,
+        records_before: u64,
+        dropped_before: u64,
+        early_drains_before: u64,
+    ) {
+        if gtpin_faults::enabled() {
+            let quarantined = self.trace.quarantine_invalid(records_before as usize);
+            if quarantined > 0 {
+                stats.trace_quarantined = quarantined;
+                gtpin_faults::note("recovered.record_quarantine", quarantined);
+                gtpin_obs::counter_add("executor.trace_quarantined", quarantined);
+                gtpin_obs::warn!(
+                    "executor: quarantined {quarantined} corrupted trace record(s) before drain"
+                );
+            }
+        }
+        stats.trace_dropped = self.trace.dropped_records() - dropped_before;
+        stats.trace_early_drains = self.trace.early_drains() - early_drains_before;
     }
 
     /// Attach per-launch trace-buffer fill/drop and overhead numbers

@@ -14,7 +14,7 @@ use ocl_runtime::device::{Device, DeviceError, KernelTiming};
 use ocl_runtime::host::ProgramSource;
 
 use crate::cache::{Cache, CacheConfig};
-use crate::driver::{BinaryRewriter, GpuDriver};
+use crate::driver::{BinaryRewriter, GpuDriver, LaunchWatchdog};
 use crate::executor::{ExecConfig, Executor};
 use crate::memory::TraceBuffer;
 use crate::stats::ExecutionStats;
@@ -216,6 +216,35 @@ impl Device for Gpu {
             .kernel(kernel.index())
             .ok_or(DeviceError::UnknownKernel { kernel })?;
         let kernel_name = decoded.name.clone();
+
+        // Watchdog for hung launches. The hang is an injected fault;
+        // recovery is retry-with-backoff on a virtual clock, so the
+        // whole exchange replays bit-identically. One branch when
+        // `GTPIN_FAULTS` is unset.
+        if gtpin_faults::enabled() {
+            let watchdog = LaunchWatchdog::default();
+            let mut attempt = 0u32;
+            let mut waited_virtual_ns = 0u64;
+            while watchdog.hang_injected(self.launch_index as u64, attempt) {
+                waited_virtual_ns += watchdog.wait_ns(attempt);
+                attempt += 1;
+                if attempt >= watchdog.max_attempts {
+                    gtpin_faults::note("failed.launch_timeout", 1);
+                    return Err(DeviceError::LaunchTimeout {
+                        kernel: kernel_name,
+                        attempts: attempt,
+                        waited_virtual_ns,
+                    });
+                }
+                gtpin_faults::note("recovered.launch_retry", 1);
+                gtpin_obs::warn!(
+                    "gpu: launch {} of `{kernel_name}` hung, retry {attempt}/{} \
+                     after {waited_virtual_ns} virtual ns",
+                    self.launch_index,
+                    watchdog.max_attempts - 1
+                );
+            }
+        }
 
         let stats = Executor {
             cache: &mut self.cache,

@@ -40,6 +40,21 @@ pub enum JitError {
     TooManyArgs { num_args: u8 },
     /// Lowered code failed ISA validation (a JIT bug).
     Validation(String),
+    /// An injected transient build failure (`GTPIN_FAULTS` site
+    /// `jit.build_fail`). Retrying the same kernel may succeed —
+    /// the driver's bounded retry loop recovers from these.
+    Transient {
+        /// The kernel whose build transiently failed.
+        kernel: String,
+    },
+}
+
+impl JitError {
+    /// Is this failure worth retrying (as opposed to a structural
+    /// error that will fail identically every time)?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JitError::Transient { .. })
+    }
 }
 
 impl std::fmt::Display for JitError {
@@ -53,6 +68,12 @@ impl std::fmt::Display for JitError {
                 )
             }
             JitError::Validation(s) => write!(f, "lowered binary failed validation: {s}"),
+            JitError::Transient { kernel } => {
+                write!(
+                    f,
+                    "transient build failure for kernel `{kernel}` (injected)"
+                )
+            }
         }
     }
 }
@@ -392,6 +413,19 @@ impl Lowerer {
 /// [`JitError::Validation`] if the produced binary fails ISA
 /// validation (which would be a JIT bug).
 pub fn compile_kernel(ir: &KernelIr) -> Result<KernelBinary, JitError> {
+    if gtpin_faults::enabled() {
+        // Each build attempt of the same kernel draws an independent
+        // (but replay-identical) decision: the occurrence counter
+        // advances per attempt, so a bounded retry loop converges at
+        // any rate below 1.
+        let id = gtpin_faults::hash_str(&ir.name);
+        let attempt = gtpin_faults::occurrence(gtpin_faults::site::JIT_FAIL, id);
+        if gtpin_faults::should_inject(gtpin_faults::site::JIT_FAIL, id ^ (attempt + 1)) {
+            return Err(JitError::Transient {
+                kernel: ir.name.clone(),
+            });
+        }
+    }
     ir.check().map_err(|e| JitError::BadIr(e.to_string()))?;
     if ir.num_args > 9 {
         return Err(JitError::TooManyArgs {

@@ -38,7 +38,7 @@ pub mod topology;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use checkpoint::{CheckpointLibrary, LaunchDescriptor};
-pub use driver::{BinaryRewriter, GpuDriver};
+pub use driver::{BinaryRewriter, GpuDriver, LaunchWatchdog};
 pub use executor::{ExecConfig, ExecError, Executor, DISPATCH_WIDTH};
 pub use gpu::{Gpu, GpuConfig, LaunchInfo, LaunchObserver};
 pub use memory::{TraceBuffer, TraceRecord};

@@ -30,12 +30,43 @@ pub fn buffer_base(index: u32) -> u64 {
 
 /// One appended trace record (used by memory-trace and latency
 /// instrumentation).
+///
+/// Carries a checksum over `(tag, value)` so the CPU-side drain can
+/// detect records corrupted in flight (the shared-buffer hazard of
+/// Section III) and quarantine them instead of feeding garbage to the
+/// tools. Records built through [`TraceRecord::new`] are always
+/// valid; corruption (injected or real) leaves the checksum stale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceRecord {
     /// Record tag chosen by the tool that planted the instrumentation.
     pub tag: u32,
     /// Payload (an address, a timer delta, ...).
     pub value: u64,
+    /// Integrity checksum over `(tag, value)`.
+    pub checksum: u32,
+}
+
+impl TraceRecord {
+    /// A record with a checksum matching its content.
+    pub fn new(tag: u32, value: u64) -> TraceRecord {
+        TraceRecord {
+            tag,
+            value,
+            checksum: TraceRecord::checksum_of(tag, value),
+        }
+    }
+
+    fn checksum_of(tag: u32, value: u64) -> u32 {
+        let mut z = ((tag as u64) << 32) ^ value.rotate_left(17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u32
+    }
+
+    /// Does the checksum still match the content?
+    pub fn is_valid(&self) -> bool {
+        self.checksum == TraceRecord::checksum_of(self.tag, self.value)
+    }
 }
 
 /// The CPU/GPU-shared trace buffer: a slot array of 64-bit counters
@@ -46,12 +77,34 @@ pub struct TraceRecord {
 /// append stream by `send.write` messages on the same surface. The
 /// CPU side (GT-Pin post-processing) drains both after each kernel
 /// completes.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceBuffer {
     slots: Vec<u64>,
     records: Vec<TraceRecord>,
     record_cap: usize,
     dropped_records: u64,
+    /// Total `append` attempts, stored or not — the left-hand side of
+    /// the conservation invariant `appended == stored + dropped`.
+    appended: u64,
+    /// Early-drain threshold (the injected "shard overflow" point).
+    /// When the live stream reaches it, records spill to `spilled`
+    /// instead of being dropped: graceful degradation, not data loss.
+    soft_cap: usize,
+    /// Records preserved by early drains, in append order. Only
+    /// shards ever spill; `merge_shard` replays spill-then-live so
+    /// the merged stream is identical to a no-overflow run.
+    spilled: Vec<TraceRecord>,
+    early_drains: u64,
+    /// Mixed into record-corruption fault keys so each shard (and the
+    /// serial buffer) draws an independent, replayable decision
+    /// stream.
+    fault_salt: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> TraceBuffer {
+        TraceBuffer::new()
+    }
 }
 
 impl TraceBuffer {
@@ -62,6 +115,11 @@ impl TraceBuffer {
             records: Vec::new(),
             record_cap: 1 << 20,
             dropped_records: 0,
+            appended: 0,
+            soft_cap: usize::MAX,
+            spilled: Vec::new(),
+            early_drains: 0,
+            fault_salt: 0,
         }
     }
 
@@ -69,6 +127,21 @@ impl TraceBuffer {
     /// and counted, as a bounded hardware buffer would).
     pub fn with_record_capacity(mut self, cap: usize) -> TraceBuffer {
         self.record_cap = cap;
+        self
+    }
+
+    /// Set the early-drain threshold: once the live stream holds
+    /// `cap` records they are drained to the spill area (counted in
+    /// [`early_drains`](Self::early_drains)) rather than dropped.
+    /// Used by the executor when the shard-overflow fault fires.
+    pub fn with_soft_capacity(mut self, cap: usize) -> TraceBuffer {
+        self.soft_cap = cap.max(1);
+        self
+    }
+
+    /// Set the salt mixed into record-corruption fault keys.
+    pub fn with_fault_salt(mut self, salt: u64) -> TraceBuffer {
+        self.fault_salt = salt;
         self
     }
 
@@ -82,9 +155,32 @@ impl TraceBuffer {
     }
 
     /// GPU side: append a record to the stream.
+    ///
+    /// Every attempt is counted in `appended`; a record either lands
+    /// in the live stream, spills via an early drain, or is dropped
+    /// and counted — never silently lost. The two fault hooks here
+    /// (record corruption, shard overflow via `soft_cap`) cost one
+    /// never-taken branch each when `GTPIN_FAULTS` is unset.
     pub fn append(&mut self, tag: u32, value: u64) {
-        if self.records.len() < self.record_cap {
-            self.records.push(TraceRecord { tag, value });
+        self.appended += 1;
+        let mut record = TraceRecord::new(tag, value);
+        if gtpin_faults::should_inject(
+            gtpin_faults::site::RECORD_CORRUPT,
+            self.fault_salt ^ self.appended,
+        ) {
+            // Flip payload bits; the checksum goes stale, which is
+            // exactly what the CPU-side quarantine keys on.
+            record.value ^= 0xDEAD_BEEF_0BAD_F00D;
+        }
+        if self.records.len() >= self.soft_cap {
+            // Shard overflow: drain early into the spill area. The
+            // records survive; only the buffer-full *drop* path below
+            // loses data.
+            self.spilled.append(&mut self.records);
+            self.early_drains += 1;
+        }
+        if self.spilled.len() + self.records.len() < self.record_cap {
+            self.records.push(record);
         } else {
             self.dropped_records += 1;
         }
@@ -103,6 +199,16 @@ impl TraceBuffer {
     /// Records dropped because the stream was full.
     pub fn dropped_records(&self) -> u64 {
         self.dropped_records
+    }
+
+    /// Total append attempts (stored + spilled + dropped).
+    pub fn appended_records(&self) -> u64 {
+        self.appended
+    }
+
+    /// Early drains taken because the soft capacity was hit.
+    pub fn early_drains(&self) -> u64 {
+        self.early_drains
     }
 
     /// The append-stream capacity.
@@ -130,7 +236,10 @@ impl TraceBuffer {
         for (dst, v) in self.slots.iter_mut().zip(&shard.slots) {
             *dst += v;
         }
-        for r in shard.records {
+        // Spilled records precede the live stream in append order, so
+        // an early-drained shard merges to exactly the stream a
+        // no-overflow shard would have produced.
+        for r in shard.spilled.into_iter().chain(shard.records) {
             if self.records.len() < self.record_cap {
                 self.records.push(r);
             } else {
@@ -138,11 +247,37 @@ impl TraceBuffer {
             }
         }
         self.dropped_records += shard.dropped_records;
+        self.appended += shard.appended;
+        self.early_drains += shard.early_drains;
+    }
+
+    #[cfg(test)]
+    fn records_mut_for_tests(&mut self) -> &mut [TraceRecord] {
+        &mut self.records
     }
 
     /// Number of live counter slots.
     pub fn num_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// CPU side: drop every invalid (checksum-stale) record at index
+    /// `from` or later, preserving order, and return how many were
+    /// quarantined. The drain step runs this before any tool sees the
+    /// stream, so corrupted records degrade to an honest count rather
+    /// than poisoning the profile.
+    pub fn quarantine_invalid(&mut self, from: usize) -> u64 {
+        let start = from.min(self.records.len());
+        let mut write = start;
+        for read in start..self.records.len() {
+            if self.records[read].is_valid() {
+                self.records[write] = self.records[read];
+                write += 1;
+            }
+        }
+        let removed = self.records.len() - write;
+        self.records.truncate(write);
+        removed as u64
     }
 
     /// CPU side: zero the counters and clear the stream, ready for
@@ -151,6 +286,9 @@ impl TraceBuffer {
         self.slots.iter_mut().for_each(|s| *s = 0);
         self.records.clear();
         self.dropped_records = 0;
+        self.appended = 0;
+        self.spilled.clear();
+        self.early_drains = 0;
     }
 }
 
@@ -252,5 +390,82 @@ mod tests {
         assert_eq!(t.slot(2), 0);
         assert!(t.records().is_empty());
         assert_eq!(t.dropped_records(), 0);
+        assert_eq!(t.appended_records(), 0);
+        assert_eq!(t.early_drains(), 0);
+    }
+
+    #[test]
+    fn appends_are_conserved() {
+        let mut t = TraceBuffer::new().with_record_capacity(3);
+        for v in 0..7 {
+            t.append(1, v);
+        }
+        assert_eq!(t.appended_records(), 7);
+        assert_eq!(t.records().len() as u64 + t.dropped_records(), 7);
+    }
+
+    #[test]
+    fn soft_cap_spills_without_losing_records() {
+        // A shard that early-drains at 2 merges to the same stream a
+        // plain shard produces — overflow degrades gracefully.
+        let mut plain = TraceBuffer::new().with_record_capacity(16);
+        let mut soft = TraceBuffer::new()
+            .with_record_capacity(16)
+            .with_soft_capacity(2);
+        for v in 0..9 {
+            plain.append(4, v);
+            soft.append(4, v);
+        }
+        assert!(soft.early_drains() >= 1);
+        assert_eq!(soft.dropped_records(), 0);
+        let mut from_plain = TraceBuffer::new().with_record_capacity(16);
+        from_plain.merge_shard(plain);
+        let mut from_soft = TraceBuffer::new().with_record_capacity(16);
+        from_soft.merge_shard(soft);
+        assert_eq!(from_plain.records(), from_soft.records());
+        assert_eq!(from_soft.appended_records(), 9);
+    }
+
+    #[test]
+    fn soft_cap_still_drops_at_real_capacity() {
+        let mut t = TraceBuffer::new()
+            .with_record_capacity(4)
+            .with_soft_capacity(2);
+        for v in 0..9 {
+            t.append(4, v);
+        }
+        // spilled + live never exceeds the real capacity.
+        assert_eq!(t.dropped_records(), 5);
+        assert_eq!(t.appended_records(), 9);
+    }
+
+    #[test]
+    fn checksums_validate_and_quarantine() {
+        let good = TraceRecord::new(3, 77);
+        assert!(good.is_valid());
+        let mut bad = good;
+        bad.value ^= 1;
+        assert!(!bad.is_valid());
+
+        let mut t = TraceBuffer::new();
+        t.append(1, 10);
+        t.append(1, 11);
+        assert_eq!(t.quarantine_invalid(0), 0, "intact records survive");
+        // Simulate in-flight corruption: stale checksum, as the
+        // fault hook produces.
+        let mut t3 = TraceBuffer::new();
+        t3.append(1, 10);
+        t3.records_mut_for_tests()[0].value ^= 0xFF;
+        t3.append(1, 11);
+        assert_eq!(t3.quarantine_invalid(0), 1);
+        assert_eq!(t3.records().len(), 1);
+        assert_eq!(t3.records()[0].value, 11);
+        // `from` bounds the scan: an already-drained prefix is not
+        // re-examined.
+        let mut t4 = TraceBuffer::new();
+        t4.append(1, 10);
+        t4.records_mut_for_tests()[0].value ^= 0xFF;
+        t4.append(1, 11);
+        assert_eq!(t4.quarantine_invalid(1), 0);
     }
 }

@@ -42,6 +42,17 @@ pub struct ExecutionStats {
     /// buffer — the subset of [`ExecutionStats::issue_cycles`] the
     /// application would not pay natively.
     pub trace_cycles: u64,
+    /// Trace records dropped because the buffer was full — honest
+    /// data-loss accounting, always zero in fault-free runs with the
+    /// default capacity.
+    pub trace_dropped: u64,
+    /// Trace records quarantined by the CPU-side checksum drain
+    /// (corrupted in flight; zero unless corruption occurred).
+    pub trace_quarantined: u64,
+    /// Early shard drains taken when a per-thread trace shard hit its
+    /// soft capacity (the records survive via spill — degradation,
+    /// not loss).
+    pub trace_early_drains: u64,
 }
 
 impl ExecutionStats {
@@ -74,6 +85,9 @@ impl ExecutionStats {
         self.issue_cycles += other.issue_cycles;
         self.trace_bytes += other.trace_bytes;
         self.trace_cycles += other.trace_cycles;
+        self.trace_dropped += other.trace_dropped;
+        self.trace_quarantined += other.trace_quarantined;
+        self.trace_early_drains += other.trace_early_drains;
     }
 
     /// Instrumented-over-native slowdown on the compute term:

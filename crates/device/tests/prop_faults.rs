@@ -1,0 +1,134 @@
+//! Determinism properties of `GTPIN_FAULTS` injection at the
+//! executor seams: any fault schedule (seed × site × rate × worker
+//! count) yields identical results and identical drop/quarantine
+//! accounting across two replays, and a zero-rate (armed-but-
+//! quiescent) plan is bitwise identical to the disabled build.
+//!
+//! The fault registry is process-global, so every case serializes on
+//! one mutex and uninstalls before returning.
+
+use std::sync::Mutex;
+
+use gen_isa::builder::KernelBuilder;
+use gen_isa::{ExecSize, Reg, Src, Surface};
+use gpu_device::memory::TraceRecord;
+use gpu_device::{Cache, CacheConfig, ExecConfig, ExecutionStats, Executor, TraceBuffer};
+use gtpin_faults::{site, FaultPlan};
+use proptest::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// A straight-line kernel where each hardware thread appends
+/// `appends` trace records and bumps one counter slot.
+fn trace_kernel(appends: u32) -> gen_isa::DecodedKernel {
+    let mut b = KernelBuilder::new("prop_faults");
+    let e = b.entry_block();
+    let blk = b.block_mut(e);
+    blk.mov(ExecSize::S1, Reg(100), Src::Imm(5))
+        .mov(ExecSize::S1, Reg(101), Src::Imm(1));
+    for _ in 0..appends {
+        blk.send_write(ExecSize::S1, Reg(100), Reg(0), Surface::TraceBuffer, 8);
+    }
+    blk.atomic_add(Reg(100), Reg(101), Surface::TraceBuffer)
+        .eot();
+    b.build().expect("valid kernel").flatten()
+}
+
+struct Trial {
+    stats: ExecutionStats,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+    counter_slot: u64,
+    accounting: Vec<(String, u64)>,
+}
+
+/// One full trial: install `plan` (or disable), execute, drain the
+/// fault accounting.
+fn trial(
+    kernel: &gen_isa::DecodedKernel,
+    gws: u64,
+    workers: usize,
+    plan: Option<&FaultPlan>,
+) -> Trial {
+    match plan {
+        Some(p) => gtpin_faults::install(p.clone()),
+        None => gtpin_faults::disable(),
+    }
+    let mut cache = Cache::new(CacheConfig::default());
+    let mut trace = TraceBuffer::new().with_record_capacity(1 << 20);
+    let stats = Executor {
+        cache: &mut cache,
+        trace: &mut trace,
+        config: ExecConfig {
+            threads: workers,
+            ..Default::default()
+        },
+    }
+    .execute_launch(kernel, &[], gws)
+    .expect("launch runs");
+    let accounting = gtpin_faults::take_accounting();
+    gtpin_faults::disable();
+    Trial {
+        stats,
+        records: trace.records().to_vec(),
+        dropped: trace.dropped_records(),
+        counter_slot: trace.slot(5),
+        accounting,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two identically-seeded replays of any fault schedule agree on
+    /// everything observable: stats, record stream, drop count, and
+    /// the injection/recovery accounting.
+    #[test]
+    fn fault_schedules_replay_bit_identically(
+        seed in 0u64..1_000,
+        site_idx in 0usize..site::ALL.len(),
+        rate in prop::sample::select(vec![0.0f64, 0.3, 1.0]),
+        appends in 1u32..6,
+        hw_threads in 2u64..16,
+        workers in 1usize..=8,
+    ) {
+        let _guard = LOCK.lock().unwrap();
+        let kernel = trace_kernel(appends);
+        let gws = hw_threads * 16;
+        let plan = FaultPlan::single(site::ALL[site_idx], rate, seed);
+
+        let a = trial(&kernel, gws, workers, Some(&plan));
+        let b = trial(&kernel, gws, workers, Some(&plan));
+        prop_assert_eq!(&a.stats, &b.stats, "stats diverged across replays");
+        prop_assert_eq!(&a.records, &b.records, "record stream diverged");
+        prop_assert_eq!(a.dropped, b.dropped, "drop accounting diverged");
+        prop_assert_eq!(a.counter_slot, b.counter_slot, "counter slot diverged");
+        prop_assert_eq!(&a.accounting, &b.accounting, "fault accounting diverged");
+    }
+
+    /// An armed plan with rate zero is indistinguishable from the
+    /// disabled build — the instrumentation itself perturbs nothing.
+    #[test]
+    fn zero_rate_is_bitwise_identical_to_disabled(
+        seed in 0u64..1_000,
+        appends in 1u32..6,
+        hw_threads in 2u64..16,
+        workers in 1usize..=8,
+    ) {
+        let _guard = LOCK.lock().unwrap();
+        let kernel = trace_kernel(appends);
+        let gws = hw_threads * 16;
+
+        let off = trial(&kernel, gws, workers, None);
+        let quiescent = trial(&kernel, gws, workers, Some(&FaultPlan::quiescent(seed)));
+        prop_assert_eq!(&off.stats, &quiescent.stats, "stats diverged");
+        prop_assert_eq!(&off.records, &quiescent.records, "record stream diverged");
+        prop_assert_eq!(off.dropped, quiescent.dropped);
+        prop_assert_eq!(off.counter_slot, quiescent.counter_slot);
+        prop_assert!(
+            quiescent.accounting.is_empty(),
+            "a quiescent plan must fire nothing, got {:?}",
+            quiescent.accounting
+        );
+    }
+}

@@ -59,6 +59,13 @@ where
     // recorded, but nothing about claiming or collection changes, so
     // the determinism contract holds with GTPIN_OBS on or off.
     let obs = gtpin_obs::enabled();
+    // With faults armed, workers run tasks under `catch_unwind` so an
+    // injected (or genuine) panic loses one task, not the fan-out.
+    // Failed tasks are retried once, then fall back to an unguarded
+    // serial run with no injection — a pure task always completes,
+    // and because recovery happens by task index the output stays
+    // serial-identical at any panic rate. One branch when unarmed.
+    let faults_on = gtpin_faults::enabled();
     let mut fanout = gtpin_obs::span("par.fanout");
     fanout.arg_u64("tasks", n as u64);
     fanout.arg_u64("workers", workers as u64);
@@ -68,6 +75,7 @@ where
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
 
+    let mut failed: Vec<usize> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -76,6 +84,7 @@ where
             let busy_ns_total = &busy_ns_total;
             handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
+                let mut lost: Vec<usize> = Vec::new();
                 let mut busy_ns = 0u64;
                 let mut first_claim = true;
                 loop {
@@ -88,7 +97,14 @@ where
                         first_claim = false;
                         gtpin_obs::hist_ns("par.queue_wait_ns", t0.saturating_sub(start_ns));
                     }
-                    local.push((i, f(i)));
+                    if faults_on {
+                        match run_guarded(f, i, 0) {
+                            Some(r) => local.push((i, r)),
+                            None => lost.push(i),
+                        }
+                    } else {
+                        local.push((i, f(i)));
+                    }
                     if obs {
                         let dt = gtpin_obs::now_ns().saturating_sub(t0);
                         busy_ns += dt;
@@ -99,15 +115,36 @@ where
                     busy_ns_total.fetch_add(busy_ns, Ordering::Relaxed);
                     gtpin_obs::counter_add("par.tasks", local.len() as u64);
                 }
-                local
+                (local, lost)
             }));
         }
         for handle in handles {
-            for (i, r) in handle.join().expect("parallel worker panicked") {
+            let (local, lost) = handle.join().expect("parallel worker panicked");
+            for (i, r) in local {
                 out[i] = Some(r);
             }
+            failed.extend(lost);
         }
     });
+
+    if !failed.is_empty() {
+        // Degradation ladder, in task-index order so accounting and
+        // results replay identically: retry once (still guarded, a
+        // fresh injection decision), then unguarded serial with no
+        // injection.
+        failed.sort_unstable();
+        for i in failed {
+            gtpin_faults::note("recovered.worker_retry", 1);
+            match run_guarded(&f, i, 1) {
+                Some(r) => out[i] = Some(r),
+                None => {
+                    gtpin_faults::note("recovered.serial_fallback", 1);
+                    gtpin_obs::warn!("par: task {i} panicked twice, running serial unguarded");
+                    out[i] = Some(f(i));
+                }
+            }
+        }
+    }
 
     if obs {
         gtpin_obs::counter_add("par.fanouts", 1);
@@ -125,6 +162,26 @@ where
     out.into_iter()
         .map(|r| r.expect("every index produced exactly once"))
         .collect()
+}
+
+/// Run task `i` under `catch_unwind`, with the `par.worker_panic`
+/// fault able to fire per `(task, attempt)`. `None` means the task
+/// panicked (injected or genuine) and the caller should walk the
+/// recovery ladder.
+fn run_guarded<R, F>(f: &F, i: usize, attempt: u64) -> Option<R>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if gtpin_faults::should_inject(
+            gtpin_faults::site::WORKER_PANIC,
+            ((i as u64) << 8) | attempt,
+        ) {
+            std::panic::panic_any(gtpin_faults::INJECTED_PANIC_MARKER);
+        }
+        f(i)
+    }))
+    .ok()
 }
 
 /// Map a slice in parallel, preserving order: `parallel_map(items,
@@ -219,5 +276,29 @@ mod tests {
     #[test]
     fn configured_threads_is_at_least_one() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn injected_worker_panics_recover_to_serial_results() {
+        // Even at rate 1.0 (every guarded attempt panics) the ladder
+        // bottoms out in the unguarded serial fallback, so pure tasks
+        // always complete with serial-identical results. The faults
+        // registry is process-global; this is the only test in this
+        // crate that installs a plan.
+        gtpin_faults::install(gtpin_faults::FaultPlan::single(
+            gtpin_faults::site::WORKER_PANIC,
+            1.0,
+            42,
+        ));
+        let serial: Vec<u64> = (0..40u64).map(|i| i * i + 1).collect();
+        for threads in 2..=6 {
+            let par = parallel_indexed(40, threads, |i| (i as u64) * (i as u64) + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+        let acc: std::collections::BTreeMap<String, u64> =
+            gtpin_faults::take_accounting().into_iter().collect();
+        assert_eq!(acc["recovered.worker_retry"], 40 * 5);
+        assert_eq!(acc["recovered.serial_fallback"], 40 * 5);
+        gtpin_faults::disable();
     }
 }

@@ -26,6 +26,16 @@ pub enum DeviceError {
     /// The functional executor hit a fault (bad binary, runaway
     /// loop guard, ...).
     Execution { kernel: String, detail: String },
+    /// A launch hung past the watchdog on every allowed attempt.
+    LaunchTimeout {
+        /// The kernel that never completed.
+        kernel: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Virtual nanoseconds spent waiting across all attempts
+        /// (deterministic — not wall time).
+        waited_virtual_ns: u64,
+    },
 }
 
 impl std::fmt::Display for DeviceError {
@@ -41,6 +51,17 @@ impl std::fmt::Display for DeviceError {
             }
             DeviceError::Execution { kernel, detail } => {
                 write!(f, "execution fault in kernel {kernel}: {detail}")
+            }
+            DeviceError::LaunchTimeout {
+                kernel,
+                attempts,
+                waited_virtual_ns,
+            } => {
+                write!(
+                    f,
+                    "kernel {kernel} timed out after {attempts} attempt(s) \
+                     ({waited_virtual_ns} virtual ns waited)"
+                )
             }
         }
     }

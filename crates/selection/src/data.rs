@@ -30,6 +30,20 @@ pub struct InvRecord {
     pub seconds: f64,
     /// Synchronization epoch the invocation belongs to.
     pub sync_epoch: u32,
+    /// Trace records dropped at capacity while profiling this
+    /// invocation (zero in healthy runs).
+    pub dropped_records: u64,
+    /// Corrupted trace records quarantined while profiling this
+    /// invocation (zero in healthy runs).
+    pub quarantined_records: u64,
+}
+
+impl InvRecord {
+    /// Whether this invocation's profile lost or quarantined trace
+    /// records — subset selection skips degraded intervals.
+    pub fn is_degraded(&self) -> bool {
+        self.dropped_records > 0 || self.quarantined_records > 0
+    }
 }
 
 /// Per-kernel static block sizes, needed for instruction-weighted
@@ -119,6 +133,8 @@ impl AppData {
                 bytes_written: p.bytes_written,
                 seconds: t.seconds,
                 sync_epoch: t.sync_epoch,
+                dropped_records: p.dropped_records,
+                quarantined_records: p.quarantined_records,
             });
         }
         Ok(AppData {
@@ -206,6 +222,8 @@ pub(crate) mod test_support {
                     bytes_written: 500,
                     seconds: instructions as f64 * spi,
                     sync_epoch: e,
+                    dropped_records: 0,
+                    quarantined_records: 0,
                 });
             }
         }

@@ -3,7 +3,7 @@
 //! score the projection with Equation 1 of the paper.
 
 use serde::{Deserialize, Serialize};
-use simpoint::{select, SelectError, Selection, SimpointConfig};
+use simpoint::{select, select_filtered, SelectError, Selection, SimpointConfig};
 
 use crate::data::AppData;
 use crate::features::FeatureKind;
@@ -201,7 +201,20 @@ pub fn evaluate_config_with_table(
         config.features,
         weighting,
     );
-    let selection = select(&vectors, table.weights(), simpoint_config)?;
+    // Quarantined intervals (degraded traces) are excluded from
+    // clustering and the remaining weights renormalized; healthy runs
+    // have an all-false mask and take the bitwise-identical unfiltered
+    // path inside `select_filtered`.
+    let selection = if table.has_quarantined() {
+        select_filtered(
+            &vectors,
+            table.weights(),
+            table.quarantine_mask(),
+            simpoint_config,
+        )?
+    } else {
+        select(&vectors, table.weights(), simpoint_config)?
+    };
 
     let measured = data.measured_spi();
     let projected: f64 = selection
@@ -311,6 +324,29 @@ mod tests {
         let e = evaluate_config(&d, cfg, &spcfg()).unwrap();
         assert!((e.selection_fraction() * e.speedup() - 1.0).abs() < 1e-9);
         assert!(e.selected_instructions <= e.total_instructions);
+    }
+
+    #[test]
+    fn quarantined_intervals_are_skipped_and_ratios_renormalize() {
+        let mut d = synthetic_app(4, 4);
+        d.invocations[0].quarantined_records = 3;
+        d.invocations[5].dropped_records = 1;
+        let cfg = SelectionConfig {
+            interval: IntervalScheme::SingleKernel,
+            features: FeatureKind::Bb,
+        };
+        let e = evaluate_config(&d, cfg, &spcfg()).unwrap();
+        assert!(
+            e.selection
+                .picks
+                .iter()
+                .all(|p| p.interval != 0 && p.interval != 5),
+            "degraded intervals never picked as representatives"
+        );
+        assert!(
+            (e.selection.total_ratio() - 1.0).abs() < 1e-9,
+            "Eq. 1 weights renormalize over healthy intervals"
+        );
     }
 
     #[test]

@@ -114,6 +114,7 @@ pub struct SchemeTable {
     pub intervals: Vec<Interval>,
     instructions: Vec<u64>,
     seconds: Vec<f64>,
+    quarantined: Vec<bool>,
 }
 
 impl SchemeTable {
@@ -122,11 +123,20 @@ impl SchemeTable {
         let intervals = build_intervals(data, scheme);
         let instructions = intervals.iter().map(|iv| iv.instructions(data)).collect();
         let seconds = intervals.iter().map(|iv| iv.seconds(data)).collect();
+        let quarantined = intervals
+            .iter()
+            .map(|iv| {
+                data.invocations[iv.start..iv.end]
+                    .iter()
+                    .any(crate::data::InvRecord::is_degraded)
+            })
+            .collect();
         SchemeTable {
             scheme,
             intervals,
             instructions,
             seconds,
+            quarantined,
         }
     }
 
@@ -159,6 +169,19 @@ impl SchemeTable {
         } else {
             self.seconds[i] / self.instructions[i] as f64
         }
+    }
+
+    /// Per-interval quarantine mask: `true` where any invocation in
+    /// the interval dropped or quarantined trace records. All-false
+    /// in healthy runs, in which case selection takes the unfiltered
+    /// (bitwise-identical) path.
+    pub fn quarantine_mask(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Whether any interval is quarantined.
+    pub fn has_quarantined(&self) -> bool {
+        self.quarantined.iter().any(|&q| q)
     }
 }
 

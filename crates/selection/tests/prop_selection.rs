@@ -27,6 +27,8 @@ prop_compose! {
             bytes_written: instructions / 2,
             seconds: instructions as f64 * spi_scale as f64 * 1e-9,
             sync_epoch: epoch,
+            dropped_records: 0,
+            quarantined_records: 0,
         }
     }
 }

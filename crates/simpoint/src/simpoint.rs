@@ -85,6 +85,14 @@ pub enum SelectError {
     LengthMismatch { vectors: usize, weights: usize },
     /// All interval weights are zero.
     ZeroWeight,
+    /// The BIC sweep produced no run clearing its own threshold —
+    /// every clustering degenerated (a numerical pathology, surfaced
+    /// instead of panicking).
+    NoViableClustering,
+    /// A quarantine mask's length differs from the interval count.
+    MaskMismatch { vectors: usize, mask: usize },
+    /// Every interval was quarantined; nothing remains to select.
+    AllQuarantined,
 }
 
 impl std::fmt::Display for SelectError {
@@ -95,6 +103,15 @@ impl std::fmt::Display for SelectError {
                 write!(f, "{vectors} vectors but {weights} weights")
             }
             SelectError::ZeroWeight => write!(f, "all interval weights are zero"),
+            SelectError::NoViableClustering => {
+                write!(f, "no clustering run cleared the BIC threshold")
+            }
+            SelectError::MaskMismatch { vectors, mask } => {
+                write!(f, "{vectors} vectors but quarantine mask of length {mask}")
+            }
+            SelectError::AllQuarantined => {
+                write!(f, "every interval is quarantined; nothing to select")
+            }
         }
     }
 }
@@ -216,7 +233,7 @@ pub fn select_with_threads(
     let (result, _) = runs
         .into_iter()
         .find(|(_, b)| *b >= threshold || !threshold.is_finite())
-        .expect("at least the best run clears its own threshold");
+        .ok_or(SelectError::NoViableClustering)?;
 
     // Representatives: the member closest to each centroid; ratios:
     // cluster weight share.
@@ -224,18 +241,16 @@ pub fn select_with_threads(
     let mut picks = Vec::with_capacity(k);
     for c in 0..k {
         let members = result.members(c);
-        if members.is_empty() {
+        // `total_cmp` keeps the choice well-defined even if a
+        // distance degenerates to NaN (NaN orders last, so a finite
+        // member still wins).
+        let Some(rep) = members.iter().copied().min_by(|&a, &b| {
+            let da = crate::project::distance2(&points[a], &result.centroids[c]);
+            let db = crate::project::distance2(&points[b], &result.centroids[c]);
+            da.total_cmp(&db)
+        }) else {
             continue;
-        }
-        let rep = members
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let da = crate::project::distance2(&points[a], &result.centroids[c]);
-                let db = crate::project::distance2(&points[b], &result.centroids[c]);
-                da.partial_cmp(&db).expect("finite")
-            })
-            .expect("non-empty members");
+        };
         let mass: u64 = members.iter().map(|&i| weights[i]).sum();
         if obs_span.active() {
             gtpin_obs::hist_ns("simpoint.cluster_size", members.len() as u64);
@@ -252,6 +267,101 @@ pub fn select_with_threads(
         k: picks.len(),
         picks,
         assignments: result.assignments,
+    })
+}
+
+/// Cluster assignment given to quarantined intervals in
+/// [`select_filtered`]'s output: they belong to no cluster.
+pub const QUARANTINED: usize = usize::MAX;
+
+/// [`select`] over a population where some intervals are quarantined
+/// (their trace data was corrupted or dropped): the pipeline skips
+/// them, warns, and renormalizes representation ratios over the
+/// surviving weight (the Eq. 1 denominators shrink accordingly)
+/// instead of aborting the whole characterization.
+///
+/// Pick indices and assignments are reported in the *original*
+/// interval numbering; quarantined intervals get the [`QUARANTINED`]
+/// sentinel assignment. With an all-false mask this is exactly
+/// [`select`] — same decisions, bit for bit.
+///
+/// # Errors
+///
+/// [`SelectError::MaskMismatch`] when the mask length differs,
+/// [`SelectError::AllQuarantined`] when nothing survives, plus
+/// everything [`select`] returns.
+pub fn select_filtered(
+    vectors: &[FeatureVector],
+    weights: &[u64],
+    quarantined: &[bool],
+    config: &SimpointConfig,
+) -> Result<Selection, SelectError> {
+    select_filtered_with_threads(
+        vectors,
+        weights,
+        quarantined,
+        config,
+        gtpin_par::configured_threads(),
+    )
+}
+
+/// [`select_filtered`] with an explicit worker count.
+///
+/// # Errors
+///
+/// See [`select_filtered`].
+pub fn select_filtered_with_threads(
+    vectors: &[FeatureVector],
+    weights: &[u64],
+    quarantined: &[bool],
+    config: &SimpointConfig,
+    threads: usize,
+) -> Result<Selection, SelectError> {
+    if vectors.len() != quarantined.len() {
+        return Err(SelectError::MaskMismatch {
+            vectors: vectors.len(),
+            mask: quarantined.len(),
+        });
+    }
+    let skipped = quarantined.iter().filter(|&&q| q).count();
+    if skipped == 0 {
+        // Fast path: bitwise identical to the unfiltered pipeline.
+        return select_with_threads(vectors, weights, config, threads);
+    }
+    if skipped == vectors.len() {
+        return Err(SelectError::AllQuarantined);
+    }
+    gtpin_obs::warn!(
+        "simpoint: skipping {skipped}/{} quarantined interval(s) and \
+         renormalizing weights over the survivors",
+        vectors.len()
+    );
+    gtpin_obs::counter_add("simpoint.quarantined_intervals", skipped as u64);
+
+    // Select over the kept subset; `keep[j]` maps compacted index j
+    // back to the original interval numbering.
+    let keep: Vec<usize> = (0..vectors.len()).filter(|&i| !quarantined[i]).collect();
+    let kept_vectors: Vec<FeatureVector> = keep.iter().map(|&i| vectors[i].clone()).collect();
+    let kept_weights: Vec<u64> = keep.iter().map(|&i| weights[i]).collect();
+    let inner = select_with_threads(&kept_vectors, &kept_weights, config, threads)?;
+
+    let picks = inner
+        .picks
+        .iter()
+        .map(|p| SimpointPick {
+            interval: keep[p.interval],
+            cluster: p.cluster,
+            ratio: p.ratio,
+        })
+        .collect();
+    let mut assignments = vec![QUARANTINED; vectors.len()];
+    for (j, &orig) in keep.iter().enumerate() {
+        assignments[orig] = inner.assignments[j];
+    }
+    Ok(Selection {
+        picks,
+        assignments,
+        k: inner.k,
     })
 }
 
@@ -360,6 +470,56 @@ mod tests {
         assert_eq!(
             select(&v, &[0], &SimpointConfig::default()).unwrap_err(),
             SelectError::ZeroWeight
+        );
+    }
+
+    #[test]
+    fn filtered_with_empty_mask_is_bitwise_identical() {
+        let (v, w) = phased_vectors(3, 8);
+        let mask = vec![false; v.len()];
+        let plain = select(&v, &w, &SimpointConfig::default()).unwrap();
+        let filtered = select_filtered(&v, &w, &mask, &SimpointConfig::default()).unwrap();
+        assert_eq!(plain, filtered);
+    }
+
+    #[test]
+    fn filtered_skips_quarantined_and_renormalizes() {
+        let (v, w) = phased_vectors(3, 8);
+        let mut mask = vec![false; v.len()];
+        mask[0] = true;
+        mask[9] = true;
+        mask[17] = true;
+        let s = select_filtered(&v, &w, &mask, &SimpointConfig::default()).unwrap();
+        // Quarantined intervals get the sentinel and are never picked.
+        for (i, &q) in mask.iter().enumerate() {
+            if q {
+                assert_eq!(s.assignments[i], QUARANTINED);
+                assert!(s.picks.iter().all(|p| p.interval != i));
+            } else {
+                assert_ne!(s.assignments[i], QUARANTINED);
+            }
+        }
+        // Eq. 1 renormalization: ratios over the surviving weight
+        // still sum to one.
+        assert!((s.total_ratio() - 1.0).abs() < 1e-9);
+        // Picks are reported in original numbering and belong to
+        // their clusters.
+        for p in &s.picks {
+            assert_eq!(s.assignments[p.interval], p.cluster);
+        }
+    }
+
+    #[test]
+    fn filtered_error_cases() {
+        let (v, w) = phased_vectors(2, 4);
+        assert!(matches!(
+            select_filtered(&v, &w, &[false], &SimpointConfig::default()).unwrap_err(),
+            SelectError::MaskMismatch { .. }
+        ));
+        let all = vec![true; v.len()];
+        assert_eq!(
+            select_filtered(&v, &w, &all, &SimpointConfig::default()).unwrap_err(),
+            SelectError::AllQuarantined
         );
     }
 

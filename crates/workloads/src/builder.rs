@@ -254,9 +254,22 @@ fn calibrate(kernels: &[KernelIr]) -> Vec<TripFit> {
     kernels
         .iter()
         .map(|ir| {
-            let bin = gpu_device::jit::compile_kernel(ir)
-                .expect("generated IR compiles")
-                .flatten();
+            // Transient (injected) build failures are retried like the
+            // driver retries them; only persistent failures panic —
+            // generated IR is well-formed by construction. The retry
+            // bound only matters at injection rates near 1.0.
+            let mut attempts = 0u32;
+            let bin = loop {
+                match gpu_device::jit::compile_kernel(ir) {
+                    Ok(k) => break k,
+                    Err(e) if e.is_transient() && attempts < 32 => {
+                        attempts += 1;
+                        gtpin_faults::note("recovered.calibrate_retry", 1);
+                    }
+                    Err(e) => panic!("generated IR compiles: {e}"),
+                }
+            }
+            .flatten();
             let run = |trip: u64| -> f64 {
                 let mut cache = Cache::new(CacheConfig::default());
                 let mut trace = TraceBuffer::new();

@@ -37,4 +37,21 @@ test -s "$OBS_DIR/journal.jsonl" || {
 }
 cargo run -q --release --bin gtpin -- obs-verify "$OBS_DIR/journal.jsonl"
 
+echo "== fault-matrix smoke: tier-1 tests armed-but-quiescent under GTPIN_FAULTS=1"
+# Armed with all rates zero: every instrumented seam runs its check
+# path but nothing fires, so results must stay green and bit-identical.
+GTPIN_FAULTS=1 GTPIN_FAULTS_SEED=42 cargo test -q
+
+echo "== fault-matrix: every scenario twice, degradation contract asserted"
+MATRIX_OUT="$(cargo run -q --release --bin gtpin -- faults-matrix --seed 42 2>&1)" || {
+    echo "$MATRIX_OUT"
+    echo "FAIL: faults-matrix reported contract violations"
+    exit 1
+}
+echo "$MATRIX_OUT" | grep -q "honored the degradation contract" || {
+    echo "$MATRIX_OUT"
+    echo "FAIL: faults-matrix did not emit its degradation summary"
+    exit 1
+}
+
 echo "OK"

@@ -16,15 +16,20 @@
 //!                                     default target/obs)
 //! gtpin obs-verify <journal.jsonl>    check a journal is non-empty,
 //!                                     well-formed JSONL
+//! gtpin faults-matrix [--seed N]      run the workload suite under every
+//!                                     GTPIN_FAULTS scenario twice and
+//!                                     assert the degradation contract
 //! ```
 
 use gtpin_suite::device::{Gpu, GpuConfig};
+use gtpin_suite::faults;
 use gtpin_suite::gtpin::{AppCharacterization, GtPin, RewriteConfig};
 use gtpin_suite::isa::disasm::disassemble_flat;
 use gtpin_suite::runtime::runtime::{OclRuntime, Schedule};
 use gtpin_suite::selection::{profile_app, Exploration};
 use gtpin_suite::simpoint::SimpointConfig;
 use gtpin_suite::workloads::{all_specs, build_program, luxmark_score, spec_by_name, Scale};
+use gtpin_suite::GtPinError;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,19 +41,27 @@ fn main() {
         Some("luxmark") => cmd_luxmark(),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("obs-verify") => cmd_obs_verify(&args[1..]),
+        Some("faults-matrix") => cmd_faults_matrix(&args[1..]),
         _ => {
-            eprintln!("usage: gtpin <list|run|select|disasm|luxmark|obs-report|obs-verify> [args]");
+            eprintln!(
+                "usage: gtpin <list|run|select|disasm|luxmark|obs-report|obs-verify|faults-matrix> [args]"
+            );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
         }
     };
+    // With GTPIN_FAULTS armed, always report what fired and what was
+    // recovered — on success and on failure alike.
+    if let Some(summary) = faults::summary_if_enabled() {
+        eprintln!("{summary}");
+    }
     if let Err(e) = result {
-        eprintln!("error: {e}");
+        eprintln!("error[{}]: {e}", e.kind());
         std::process::exit(1);
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+type CliResult = Result<(), GtPinError>;
 
 fn cmd_list() -> CliResult {
     for spec in all_specs() {
@@ -236,4 +249,219 @@ fn cmd_luxmark() -> CliResult {
     println!("HD4000 (Ivy Bridge): {ivy:.0}   (paper: 269)");
     println!("HD4600 (Haswell):    {hsw:.0}   (paper: 351)");
     Ok(())
+}
+
+/// One deterministic trial of the suite under a fault plan: every app
+/// profiled with full instrumentation, outcomes digested.
+struct MatrixRun {
+    /// FNV digest over per-app profile JSON (or error string).
+    digest: u64,
+    /// Drained fault accounting for the trial.
+    accounting: Vec<(String, u64)>,
+    /// Apps that completed / failed with a typed error.
+    completed: usize,
+    failed: usize,
+    /// Degradation totals observed across all launches.
+    early_drains: u64,
+    dropped: u64,
+    quarantined: u64,
+}
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn matrix_run(
+    apps: &[gtpin_suite::workloads::WorkloadSpec],
+    plan: Option<&faults::FaultPlan>,
+) -> MatrixRun {
+    match plan {
+        Some(p) => faults::install(p.clone()),
+        None => faults::disable(),
+    }
+    let mut run = MatrixRun {
+        digest: 0xcbf2_9ce4_8422_2325,
+        accounting: Vec::new(),
+        completed: 0,
+        failed: 0,
+        early_drains: 0,
+        dropped: 0,
+        quarantined: 0,
+    };
+    for spec in apps {
+        let program = build_program(spec, Scale::Test);
+        let mut config = GpuConfig::hd4000();
+        // Force the parallel executor path so the shard-overflow and
+        // worker-panic seams are actually exercised.
+        config.exec.threads = 4;
+        let mut gpu = Gpu::new(config);
+        let gtpin = GtPin::new(RewriteConfig {
+            count_basic_blocks: true,
+            time_kernels: true,
+            trace_memory: true,
+            naive_per_instruction_counters: false,
+        });
+        gtpin.attach(&mut gpu);
+        let mut rt = OclRuntime::new(gpu);
+        match rt.run(&program, Schedule::Replay) {
+            Ok(_) => {
+                run.completed += 1;
+                let profile = gtpin.profile(spec.name);
+                for inv in &profile.invocations {
+                    run.dropped += inv.dropped_records;
+                    run.quarantined += inv.quarantined_records;
+                }
+                let json = serde_json::to_string(&profile)
+                    .unwrap_or_else(|e| format!("unserializable profile: {e}"));
+                run.digest = fnv_fold(run.digest, json.as_bytes());
+                let device = rt.into_device();
+                run.early_drains += device
+                    .launches()
+                    .iter()
+                    .map(|l| l.stats.trace_early_drains)
+                    .sum::<u64>();
+            }
+            Err(e) => {
+                run.failed += 1;
+                run.digest = fnv_fold(run.digest, e.to_string().as_bytes());
+            }
+        }
+    }
+    run.accounting = faults::take_accounting();
+    faults::disable();
+    run
+}
+
+fn cmd_faults_matrix(args: &[String]) -> CliResult {
+    let seed: u64 = if let Some(i) = args.iter().position(|a| a == "--seed") {
+        args.get(i + 1).ok_or("--seed needs a value")?.parse()?
+    } else {
+        faults::DEFAULT_SEED
+    };
+    let apps: Vec<gtpin_suite::workloads::WorkloadSpec> = all_specs().into_iter().take(3).collect();
+    let names: Vec<&str> = apps.iter().map(|s| s.name).collect();
+    println!("faults-matrix: seed {seed:#x}, apps {names:?}, each scenario run twice\n");
+
+    use faults::{site, FaultPlan};
+    let scenarios: Vec<(&str, Option<FaultPlan>)> = vec![
+        ("baseline", None),
+        ("zero-rate", Some(FaultPlan::quiescent(seed))),
+        (
+            "shard-overflow",
+            Some(FaultPlan::single(site::SHARD_OVERFLOW, 1.0, seed)),
+        ),
+        (
+            "record-corrupt",
+            Some(FaultPlan::single(site::RECORD_CORRUPT, 0.05, seed)),
+        ),
+        (
+            "jit-fail",
+            Some(FaultPlan::single(site::JIT_FAIL, 0.4, seed)),
+        ),
+        (
+            "launch-hang",
+            Some(FaultPlan::single(site::LAUNCH_HANG, 0.3, seed)),
+        ),
+        (
+            "worker-panic",
+            Some(FaultPlan::single(site::WORKER_PANIC, 0.5, seed)),
+        ),
+        ("all", Some(FaultPlan::uniform(0.2, seed))),
+    ];
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut baseline_digest = None;
+    println!(
+        "{:15} {:>4} {:>4} {:>7} {:>7} {:>7} {:>9}  contract",
+        "scenario", "ok", "err", "drains", "dropped", "quar", "injected"
+    );
+    for (name, plan) in &scenarios {
+        let first = matrix_run(&apps, plan.as_ref());
+        let second = matrix_run(&apps, plan.as_ref());
+
+        if first.digest != second.digest || first.accounting != second.accounting {
+            violations.push(format!(
+                "{name}: two identically-seeded trials disagree \
+                 (digest {:#x} vs {:#x})",
+                first.digest, second.digest
+            ));
+        }
+        let injected: u64 = first
+            .accounting
+            .iter()
+            .filter(|(k, _)| k.starts_with("injected."))
+            .map(|(_, v)| v)
+            .sum();
+        let mut notes: Vec<&str> = vec!["replayed"];
+        match *name {
+            "baseline" => {
+                baseline_digest = Some(first.digest);
+            }
+            // Scenarios whose recovery is lossless must be
+            // indistinguishable from the no-fault profile.
+            "zero-rate" | "shard-overflow" | "worker-panic" => {
+                if baseline_digest != Some(first.digest) {
+                    violations.push(format!("{name}: profile digest diverged from baseline"));
+                } else {
+                    notes.push("baseline-identical");
+                }
+                if *name == "shard-overflow" && first.early_drains == 0 {
+                    violations.push("shard-overflow: no early drains recorded".into());
+                }
+                if *name != "zero-rate" && injected == 0 {
+                    violations.push(format!("{name}: no faults fired at its configured rate"));
+                }
+            }
+            "record-corrupt" => {
+                if injected > 0 && first.quarantined == 0 {
+                    violations.push(
+                        "record-corrupt: corrupt records injected but none quarantined".into(),
+                    );
+                } else {
+                    notes.push("quarantined");
+                }
+            }
+            // Degraded-but-accounted: every app must either complete
+            // or fail with a typed error; nothing may panic (a panic
+            // would have aborted this process).
+            "jit-fail" | "launch-hang" | "all" => {
+                if first.completed + first.failed != apps.len() {
+                    violations.push(format!("{name}: some apps neither completed nor failed"));
+                } else {
+                    notes.push("all-accounted");
+                }
+                if injected == 0 {
+                    violations.push(format!("{name}: no faults fired at its configured rate"));
+                }
+            }
+            _ => {}
+        }
+        println!(
+            "{:15} {:>4} {:>4} {:>7} {:>7} {:>7} {:>9}  {}",
+            name,
+            first.completed,
+            first.failed,
+            first.early_drains,
+            first.dropped,
+            first.quarantined,
+            injected,
+            notes.join(", ")
+        );
+    }
+
+    if violations.is_empty() {
+        println!(
+            "\nfaults-matrix: all {} scenarios honored the degradation contract",
+            scenarios.len()
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("faults-matrix: {} contract violation(s)", violations.len()).into())
+    }
 }

@@ -1,0 +1,177 @@
+//! The suite-wide error taxonomy.
+//!
+//! Every layer of the stack reports failures through its own typed
+//! error — [`DeviceError`] from the driver, [`ExecError`] from the
+//! functional executor, [`RunError`] from the OpenCL runtime,
+//! [`SelectError`] from SimPoint, [`DecodeError`] from the ISA
+//! decoder, [`MergeError`]/[`PipelineError`] from selection.
+//! [`GtPinError`] unifies them behind one `From`-convertible type so
+//! the CLI (and any embedder) can match on a single enum, report a
+//! stable [`kind`](GtPinError::kind) label, and still reach the
+//! structured payload of the layer that actually failed.
+
+use gen_isa::DecodeError;
+use gpu_device::executor::ExecError;
+use gpu_device::jit::JitError;
+use ocl_runtime::device::DeviceError;
+use ocl_runtime::runtime::RunError;
+use simpoint::SelectError;
+use subset_select::{MergeError, PipelineError};
+
+/// Any failure the GT-Pin suite can report, by originating layer.
+#[derive(Debug)]
+pub enum GtPinError {
+    /// The device/driver layer failed (JIT, launch, watchdog).
+    Device(DeviceError),
+    /// The functional executor faulted.
+    Exec(ExecError),
+    /// JIT compilation failed outside a driver context.
+    Jit(JitError),
+    /// The OpenCL runtime rejected or failed the program.
+    Run(RunError),
+    /// SimPoint selection failed.
+    Select(SelectError),
+    /// A kernel binary failed to decode.
+    Decode(DecodeError),
+    /// Profile and timing data did not line up.
+    Merge(MergeError),
+    /// The profiling pipeline failed.
+    Pipeline(PipelineError),
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+    /// JSON serialization or parsing failed.
+    Json(serde_json::Error),
+    /// Anything else (CLI argument parsing, ad-hoc messages).
+    Msg(String),
+}
+
+impl GtPinError {
+    /// Stable short label for the failing layer — the CLI prints
+    /// `error[kind]: ...` so scripts can dispatch without parsing
+    /// prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GtPinError::Device(_) => "device",
+            GtPinError::Exec(_) => "exec",
+            GtPinError::Jit(_) => "jit",
+            GtPinError::Run(_) => "run",
+            GtPinError::Select(_) => "select",
+            GtPinError::Decode(_) => "decode",
+            GtPinError::Merge(_) => "merge",
+            GtPinError::Pipeline(_) => "pipeline",
+            GtPinError::Io(_) => "io",
+            GtPinError::Json(_) => "json",
+            GtPinError::Msg(_) => "cli",
+        }
+    }
+}
+
+impl std::fmt::Display for GtPinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GtPinError::Device(e) => write!(f, "{e}"),
+            GtPinError::Exec(e) => write!(f, "{e}"),
+            GtPinError::Jit(e) => write!(f, "{e}"),
+            GtPinError::Run(e) => write!(f, "{e}"),
+            GtPinError::Select(e) => write!(f, "{e}"),
+            GtPinError::Decode(e) => write!(f, "{e}"),
+            GtPinError::Merge(e) => write!(f, "{e}"),
+            GtPinError::Pipeline(e) => write!(f, "{e}"),
+            GtPinError::Io(e) => write!(f, "{e}"),
+            GtPinError::Json(e) => write!(f, "{e}"),
+            GtPinError::Msg(s) => f.write_str(s),
+        }
+    }
+}
+
+impl std::error::Error for GtPinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GtPinError::Device(e) => Some(e),
+            GtPinError::Exec(e) => Some(e),
+            GtPinError::Jit(e) => Some(e),
+            GtPinError::Run(e) => Some(e),
+            GtPinError::Select(e) => Some(e),
+            GtPinError::Decode(e) => Some(e),
+            GtPinError::Merge(e) => Some(e),
+            GtPinError::Pipeline(e) => Some(e),
+            GtPinError::Io(e) => Some(e),
+            GtPinError::Json(e) => Some(e),
+            GtPinError::Msg(_) => None,
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($source:ty => $variant:ident) => {
+        impl From<$source> for GtPinError {
+            fn from(e: $source) -> GtPinError {
+                GtPinError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(DeviceError => Device);
+from_impl!(ExecError => Exec);
+from_impl!(JitError => Jit);
+from_impl!(RunError => Run);
+from_impl!(SelectError => Select);
+from_impl!(DecodeError => Decode);
+from_impl!(MergeError => Merge);
+from_impl!(PipelineError => Pipeline);
+from_impl!(std::io::Error => Io);
+from_impl!(serde_json::Error => Json);
+from_impl!(String => Msg);
+
+impl From<&str> for GtPinError {
+    fn from(s: &str) -> GtPinError {
+        GtPinError::Msg(s.to_string())
+    }
+}
+
+impl From<std::num::ParseIntError> for GtPinError {
+    fn from(e: std::num::ParseIntError) -> GtPinError {
+        GtPinError::Msg(e.to_string())
+    }
+}
+
+impl From<std::num::ParseFloatError> for GtPinError {
+    fn from(e: std::num::ParseFloatError) -> GtPinError {
+        GtPinError::Msg(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let errs: Vec<GtPinError> = vec![
+            DeviceError::ProgramNotBuilt.into(),
+            ExecError::BudgetExceeded { budget: 1 }.into(),
+            RunError::BadProgram("x".into()).into(),
+            SelectError::NoIntervals.into(),
+            DecodeError::MissingTerminator.into(),
+            "oops".into(),
+        ];
+        let kinds: Vec<&str> = errs.iter().map(GtPinError::kind).collect();
+        assert_eq!(kinds, ["device", "exec", "run", "select", "decode", "cli"]);
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn nested_device_error_keeps_structure() {
+        let e: GtPinError = RunError::Device(DeviceError::LaunchTimeout {
+            kernel: "k".into(),
+            attempts: 4,
+            waited_virtual_ns: 123,
+        })
+        .into();
+        assert_eq!(e.kind(), "run");
+        assert!(e.to_string().contains("timed out after 4 attempt(s)"));
+    }
+}

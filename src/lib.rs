@@ -12,13 +12,21 @@
 //!   detailed simulator),
 //! * [`gtpin`] — the GT-Pin binary instrumentation engine and tools,
 //! * [`obs`] — the `GTPIN_OBS` telemetry registry and exporters,
+//! * [`faults`] — the `GTPIN_FAULTS` deterministic fault-injection
+//!   registry,
 //! * [`simpoint`] — SimPoint-style clustering,
 //! * [`selection`] — simulation subset selection,
 //! * [`workloads`] — the 25 benchmark applications.
+//!
+//! [`GtPinError`] unifies every layer's typed error behind one enum.
 
+pub mod error;
+
+pub use error::GtPinError;
 pub use gen_isa as isa;
 pub use gpu_device as device;
 pub use gtpin_core as gtpin;
+pub use gtpin_faults as faults;
 pub use gtpin_obs as obs;
 pub use ocl_runtime as runtime;
 pub use simpoint;
