@@ -1,0 +1,252 @@
+//! Dense bit-sets used as dataflow facts.
+//!
+//! Two shapes cover every analysis in this crate:
+//!
+//! * [`RegSet`] — a fixed-width set over the 128 GRF registers plus
+//!   the two flag registers (`f0`/`f1`), 136 bits total. Liveness
+//!   facts are `RegSet`s.
+//! * [`DefSet`] — a growable set over definition sites, sized once per
+//!   kernel. Reaching-definition facts are `DefSet`s.
+
+use gen_isa::{FlagReg, Reg, NUM_GRF};
+
+/// A set of GRF registers and flag registers.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet {
+    regs: u128,
+    flags: u8,
+}
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet { regs: 0, flags: 0 };
+
+    /// Insert a GRF register. Out-of-range registers (≥ [`NUM_GRF`])
+    /// are ignored; structural validation reports those separately.
+    pub fn insert_reg(&mut self, r: Reg) {
+        if r.0 < NUM_GRF {
+            self.regs |= 1u128 << r.0;
+        }
+    }
+
+    /// Remove a GRF register.
+    pub fn remove_reg(&mut self, r: Reg) {
+        if r.0 < NUM_GRF {
+            self.regs &= !(1u128 << r.0);
+        }
+    }
+
+    /// Whether the set contains a GRF register.
+    pub fn contains_reg(&self, r: Reg) -> bool {
+        r.0 < NUM_GRF && (self.regs >> r.0) & 1 == 1
+    }
+
+    /// Insert a flag register.
+    pub fn insert_flag(&mut self, f: FlagReg) {
+        self.flags |= 1 << f.index();
+    }
+
+    /// Remove a flag register.
+    pub fn remove_flag(&mut self, f: FlagReg) {
+        self.flags &= !(1 << f.index());
+    }
+
+    /// Whether the set contains a flag register.
+    pub fn contains_flag(&self, f: FlagReg) -> bool {
+        (self.flags >> f.index()) & 1 == 1
+    }
+
+    /// Union `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let before = (self.regs, self.flags);
+        self.regs |= other.regs;
+        self.flags |= other.flags;
+        (self.regs, self.flags) != before
+    }
+
+    /// Remove every member of `other` from `self`.
+    pub fn subtract(&mut self, other: &RegSet) {
+        self.regs &= !other.regs;
+        self.flags &= !other.flags;
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regs == 0 && self.flags == 0
+    }
+
+    /// Number of members (registers plus flags).
+    pub fn len(&self) -> usize {
+        (self.regs.count_ones() + self.flags.count_ones()) as usize
+    }
+
+    /// Iterate the GRF registers in the set, in index order.
+    pub fn iter_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        (0..NUM_GRF).map(Reg).filter(|r| self.contains_reg(*r))
+    }
+
+    /// Iterate the flag registers in the set.
+    pub fn iter_flags(&self) -> impl Iterator<Item = FlagReg> + '_ {
+        [FlagReg::F0, FlagReg::F1]
+            .into_iter()
+            .filter(|f| self.contains_flag(*f))
+    }
+}
+
+impl std::fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter_regs() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        for fl in self.iter_flags() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fl}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A growable bit-set over definition sites (or any small dense index
+/// space). All sets participating in one analysis share a capacity.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DefSet {
+    words: Vec<u64>,
+}
+
+impl DefSet {
+    /// The empty set with capacity for `len` indices.
+    pub fn empty(len: usize) -> DefSet {
+        DefSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Insert index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the capacity chosen at construction.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether the set contains index `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Union `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &DefSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let before = *w;
+            *w |= o;
+            changed |= *w != before;
+        }
+        changed
+    }
+
+    /// Remove every member of `other` from `self`.
+    pub fn subtract(&mut self, other: &DefSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterate the member indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64)
+                .filter(move |b| (w >> b) & 1 == 1)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+impl std::fmt::Debug for DefSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regset_insert_remove_contains() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert_reg(Reg(0));
+        s.insert_reg(Reg(127));
+        s.insert_flag(FlagReg::F1);
+        assert!(s.contains_reg(Reg(0)));
+        assert!(s.contains_reg(Reg(127)));
+        assert!(!s.contains_reg(Reg(64)));
+        assert!(s.contains_flag(FlagReg::F1));
+        assert!(!s.contains_flag(FlagReg::F0));
+        assert_eq!(s.len(), 3);
+        s.remove_reg(Reg(127));
+        s.remove_flag(FlagReg::F1);
+        assert_eq!(s.len(), 1);
+        // Out-of-range registers are ignored, not mis-filed.
+        s.insert_reg(Reg(200));
+        assert!(!s.contains_reg(Reg(200)));
+    }
+
+    #[test]
+    fn regset_union_and_subtract() {
+        let mut a = RegSet::EMPTY;
+        a.insert_reg(Reg(1));
+        let mut b = RegSet::EMPTY;
+        b.insert_reg(Reg(2));
+        b.insert_flag(FlagReg::F0);
+        assert!(a.union_with(&b), "union adds members");
+        assert!(!a.union_with(&b), "second union is a fixpoint");
+        assert_eq!(a.len(), 3);
+        a.subtract(&b);
+        assert!(a.contains_reg(Reg(1)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn regset_iterates_in_order() {
+        let mut s = RegSet::EMPTY;
+        s.insert_reg(Reg(5));
+        s.insert_reg(Reg(3));
+        let regs: Vec<u8> = s.iter_regs().map(|r| r.0).collect();
+        assert_eq!(regs, vec![3, 5]);
+    }
+
+    #[test]
+    fn defset_ops() {
+        let mut a = DefSet::empty(130);
+        a.insert(0);
+        a.insert(129);
+        assert!(a.contains(0) && a.contains(129) && !a.contains(64));
+        let mut b = DefSet::empty(130);
+        b.insert(64);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 129]);
+        assert!(!a.is_empty());
+    }
+}

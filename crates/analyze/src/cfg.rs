@@ -1,0 +1,293 @@
+//! Control-flow graphs over flattened instruction streams.
+//!
+//! Every analysis in this crate runs on the *flattened* kernel view —
+//! the same linear instruction stream the binary rewriter splices and
+//! the executor runs — so results apply to exactly the bytes that
+//! execute. Blocks are the half-open leader ranges computed by
+//! [`gen_isa::encode::leaders`]: index 0, every branch target, and
+//! every instruction following a control transfer.
+
+use gen_isa::encode::leaders;
+use gen_isa::{DecodeError, DecodedKernel, Instruction, KernelBinary, Opcode};
+
+/// A control-flow graph borrowed over an instruction stream:
+/// block ranges, predecessor/successor maps, a reverse post-order,
+/// and entry reachability.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    /// The instruction stream the graph describes.
+    pub instrs: &'a [Instruction],
+    /// Sorted leader indices; block `b` spans
+    /// `bb_starts[b]..bb_starts[b+1]` (or the stream end).
+    pub bb_starts: Vec<u32>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    rpo: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl<'a> Cfg<'a> {
+    /// Build a CFG from a raw instruction stream, computing leaders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadBranchTarget`] when a control
+    /// transfer targets an index outside the stream.
+    pub fn from_instrs(instrs: &'a [Instruction]) -> Result<Cfg<'a>, DecodeError> {
+        let bb_starts = leaders(instrs)?;
+        Ok(Cfg::build(instrs, bb_starts))
+    }
+
+    /// Build a CFG from a decoded kernel (re-deriving leaders from the
+    /// stream rather than trusting the carried table).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cfg::from_instrs`].
+    pub fn from_decoded(kernel: &'a DecodedKernel) -> Result<Cfg<'a>, DecodeError> {
+        Cfg::from_instrs(&kernel.instrs)
+    }
+
+    fn build(instrs: &'a [Instruction], bb_starts: Vec<u32>) -> Cfg<'a> {
+        let nb = bb_starts.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+
+        let block_of_target = |target: usize| -> usize {
+            // Branch targets are leaders by construction, so the
+            // search is exact; a miss would mean the leader table does
+            // not belong to this stream.
+            bb_starts
+                .binary_search(&(target as u32))
+                .expect("branch targets are block leaders")
+        };
+
+        for (b, out) in succs.iter_mut().enumerate() {
+            let end = bb_starts
+                .get(b + 1)
+                .map(|&s| s as usize)
+                .unwrap_or(instrs.len());
+            let last = &instrs[end - 1];
+            let target = || (end as i64 - 1 + 1 + last.branch_offset as i64) as usize;
+            match last.opcode {
+                Opcode::Jmpi => out.push(block_of_target(target())),
+                Opcode::Brc => {
+                    out.push(block_of_target(target()));
+                    if b + 1 < nb {
+                        out.push(b + 1);
+                    }
+                }
+                Opcode::Eot | Opcode::Ret => {}
+                // Anything else (including `call`, which validation
+                // rejects upstream) falls through to the next block.
+                _ => {
+                    if b + 1 < nb {
+                        out.push(b + 1);
+                    }
+                }
+            }
+            out.dedup();
+        }
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(b);
+            }
+        }
+
+        // Iterative DFS from the entry block: post-order reversed is
+        // the reverse post-order; visited marks are entry
+        // reachability.
+        let mut reachable = vec![false; nb];
+        let mut post = Vec::with_capacity(nb);
+        if nb > 0 {
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            reachable[0] = true;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                if *next < succs[b].len() {
+                    let s = succs[b][*next];
+                    *next += 1;
+                    if !reachable[s] {
+                        reachable[s] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        let mut rpo = post;
+        // Unreachable blocks are appended in layout order so analyses
+        // still assign them (vacuous) facts.
+        rpo.extend((0..nb).filter(|&b| !reachable[b]));
+
+        Cfg {
+            instrs,
+            bb_starts,
+            succs,
+            preds,
+            rpo,
+            reachable,
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.bb_starts.len()
+    }
+
+    /// Half-open instruction range of block `b`.
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let start = self.bb_starts[b] as usize;
+        let end = self
+            .bb_starts
+            .get(b + 1)
+            .map(|&s| s as usize)
+            .unwrap_or(self.instrs.len());
+        start..end
+    }
+
+    /// The block containing instruction `idx`.
+    pub fn block_of(&self, idx: usize) -> usize {
+        match self.bb_starts.binary_search(&(idx as u32)) {
+            Ok(b) => b,
+            Err(b) => b - 1,
+        }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: usize) -> &[usize] {
+        &self.succs[b]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: usize) -> &[usize] {
+        &self.preds[b]
+    }
+
+    /// Reverse post-order over reachable blocks, followed by
+    /// unreachable blocks in layout order.
+    pub fn rpo(&self) -> &[usize] {
+        &self.rpo
+    }
+
+    /// Entry reachability per block — the reachability analysis the
+    /// lint pass consumes (equivalent to a forward may-analysis with a
+    /// boolean fact; see the cross-check in [`crate::dataflow`]).
+    pub fn reachable(&self) -> &[bool] {
+        &self.reachable
+    }
+}
+
+/// Convenience: flatten a structured kernel and build its CFG, keeping
+/// the flattened stream alive alongside the graph indices.
+pub struct KernelCfg {
+    /// The flattened kernel.
+    pub flat: DecodedKernel,
+}
+
+impl KernelCfg {
+    /// Flatten `kernel`; borrow a [`Cfg`] via [`KernelCfg::cfg`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadBranchTarget`] when flattening
+    /// produced a branch outside the stream (cannot happen for
+    /// validated kernels).
+    pub fn new(kernel: &KernelBinary) -> Result<KernelCfg, DecodeError> {
+        let flat = kernel.flatten();
+        // Surface leader errors eagerly so `cfg()` cannot fail.
+        leaders(&flat.instrs)?;
+        Ok(KernelCfg { flat })
+    }
+
+    /// Borrow the CFG over the flattened stream.
+    pub fn cfg(&self) -> Cfg<'_> {
+        Cfg::from_instrs(&self.flat.instrs).expect("leaders checked at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::{CondMod, ExecSize, FlagReg, Reg, Src, Terminator};
+
+    fn loop_kernel() -> KernelBinary {
+        // bb0: add, cmp, brc -> bb0 | bb1 ; bb1: eot
+        let mut b = KernelBuilder::new("loop");
+        let head = b.entry_block();
+        let exit = b.new_block();
+        b.block_mut(head)
+            .add(ExecSize::S1, Reg(1), Src::Reg(Reg(1)), Src::Imm(1))
+            .cmp(
+                ExecSize::S1,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(1)),
+                Src::Imm(10),
+            );
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loop_edges_and_rpo() {
+        let flat = loop_kernel().flatten();
+        let cfg = Cfg::from_decoded(&flat).unwrap();
+        assert_eq!(cfg.num_blocks(), 2);
+        assert_eq!(cfg.succs(0), &[0, 1]);
+        assert_eq!(cfg.succs(1), &[] as &[usize]);
+        assert_eq!(cfg.preds(0), &[0]);
+        assert_eq!(cfg.preds(1), &[0]);
+        assert_eq!(cfg.rpo(), &[0, 1]);
+        assert_eq!(cfg.reachable(), &[true, true]);
+        assert_eq!(cfg.block_of(0), 0);
+        assert_eq!(cfg.block_of(3), 1);
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        // 0: jmpi +1 (skip bb1) ; 1: add (unreachable) ; 2: eot
+        let mut jmp = Instruction::new(Opcode::Jmpi, ExecSize::S1);
+        jmp.branch_offset = 1;
+        let mut add = Instruction::new(Opcode::Add, ExecSize::S1);
+        add.dst = Some(Reg(1));
+        add.srcs = [Src::Reg(Reg(1)), Src::Imm(1), Src::Null];
+        let eot = Instruction::new(Opcode::Eot, ExecSize::S1);
+        let instrs = vec![jmp, add, eot];
+        let cfg = Cfg::from_instrs(&instrs).unwrap();
+        assert_eq!(cfg.num_blocks(), 3);
+        assert_eq!(cfg.reachable(), &[true, false, true]);
+        assert_eq!(cfg.rpo(), &[0, 2, 1], "unreachable bb1 appended last");
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let mut jmp = Instruction::new(Opcode::Jmpi, ExecSize::S1);
+        jmp.branch_offset = 99;
+        let instrs = vec![jmp, Instruction::new(Opcode::Eot, ExecSize::S1)];
+        assert!(matches!(
+            Cfg::from_instrs(&instrs),
+            Err(DecodeError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_cfg_wraps_flattened_stream() {
+        let k = loop_kernel();
+        let kc = KernelCfg::new(&k).unwrap();
+        assert_eq!(kc.cfg().num_blocks(), 2);
+        assert_eq!(kc.flat.instrs.len(), 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! A small worklist dataflow framework.
+//!
+//! Analyses implement [`Analysis`]: a fact lattice (`Fact` with a
+//! `top` element and a `join`), a [`Direction`], a boundary fact for
+//! the entry (forward) or exit blocks (backward), and a per-block
+//! transfer function. [`solve`] iterates blocks to a fixpoint using a
+//! worklist ordered by reverse post-order (forward) or its reverse
+//! (backward), which reaches the fixpoint in a handful of sweeps for
+//! reducible CFGs.
+
+use crate::cfg::Cfg;
+
+/// Which way facts flow through the CFG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts propagate from predecessors to successors.
+    Forward,
+    /// Facts propagate from successors to predecessors.
+    Backward,
+}
+
+/// A dataflow analysis over basic blocks.
+pub trait Analysis {
+    /// The lattice element attached to each block boundary.
+    type Fact: Clone + PartialEq;
+
+    /// Flow direction.
+    fn direction(&self) -> Direction;
+
+    /// Fact at the CFG boundary: the entry block's input (forward) or
+    /// every exit block's output (backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// The neutral element of `join` — initial value for all facts.
+    fn top(&self) -> Self::Fact;
+
+    /// Merge `from` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Push a fact through block `block`: input fact in, output fact
+    /// out (in flow order — entry→exit for forward, exit→entry for
+    /// backward).
+    fn transfer(&self, cfg: &Cfg<'_>, block: usize, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// A fixpoint solution: one fact pair per block.
+#[derive(Debug)]
+pub struct Solution<F> {
+    /// Fact at each block's entry edge (in program order).
+    pub entry: Vec<F>,
+    /// Fact at each block's exit edge (in program order).
+    pub exit: Vec<F>,
+    /// Number of block transfers evaluated before the fixpoint.
+    pub iterations: usize,
+}
+
+/// Run `analysis` to a fixpoint over `cfg`.
+pub fn solve<A: Analysis>(cfg: &Cfg<'_>, analysis: &A) -> Solution<A::Fact> {
+    let nb = cfg.num_blocks();
+    let mut entry = vec![analysis.top(); nb];
+    let mut exit = vec![analysis.top(); nb];
+    let mut iterations = 0usize;
+
+    // Process blocks in flow order: RPO for forward analyses, reverse
+    // RPO for backward ones. `order_pos` maps block → queue priority.
+    let forward = analysis.direction() == Direction::Forward;
+    let order: Vec<usize> = if forward {
+        cfg.rpo().to_vec()
+    } else {
+        cfg.rpo().iter().rev().copied().collect()
+    };
+    let mut order_pos = vec![0usize; nb];
+    for (i, &b) in order.iter().enumerate() {
+        order_pos[b] = i;
+    }
+
+    let mut in_queue = vec![true; nb];
+    let mut queue = order.clone();
+    while let Some(b) = queue.first().copied() {
+        queue.remove(0);
+        in_queue[b] = false;
+        iterations += 1;
+
+        if forward {
+            let mut input = if cfg.preds(b).is_empty() || b == 0 {
+                analysis.boundary()
+            } else {
+                analysis.top()
+            };
+            for &p in cfg.preds(b) {
+                analysis.join(&mut input, &exit[p]);
+            }
+            entry[b] = input;
+            let output = analysis.transfer(cfg, b, &entry[b]);
+            if output != exit[b] {
+                exit[b] = output;
+                for &s in cfg.succs(b) {
+                    if !in_queue[s] {
+                        in_queue[s] = true;
+                        let pos = queue
+                            .iter()
+                            .position(|&q| order_pos[q] > order_pos[s])
+                            .unwrap_or(queue.len());
+                        queue.insert(pos, s);
+                    }
+                }
+            }
+        } else {
+            let mut output = if cfg.succs(b).is_empty() {
+                analysis.boundary()
+            } else {
+                analysis.top()
+            };
+            for &s in cfg.succs(b) {
+                analysis.join(&mut output, &entry[s]);
+            }
+            exit[b] = output;
+            let input = analysis.transfer(cfg, b, &exit[b]);
+            if input != entry[b] {
+                entry[b] = input;
+                for &p in cfg.preds(b) {
+                    if !in_queue[p] {
+                        in_queue[p] = true;
+                        let pos = queue
+                            .iter()
+                            .position(|&q| order_pos[q] > order_pos[p])
+                            .unwrap_or(queue.len());
+                        queue.insert(pos, p);
+                    }
+                }
+            }
+        }
+    }
+
+    Solution {
+        entry,
+        exit,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use gen_isa::{ExecSize, Instruction, Opcode, Reg, Src};
+
+    /// Forward may-analysis with a boolean fact: "is this block
+    /// reachable from entry". Cross-checks `Cfg::reachable`, which is
+    /// computed by DFS instead.
+    struct Reachable;
+
+    impl Analysis for Reachable {
+        type Fact = bool;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn boundary(&self) -> bool {
+            true
+        }
+
+        fn top(&self) -> bool {
+            false
+        }
+
+        fn join(&self, into: &mut bool, from: &bool) -> bool {
+            let before = *into;
+            *into |= *from;
+            *into != before
+        }
+
+        fn transfer(&self, _cfg: &Cfg<'_>, _block: usize, fact: &bool) -> bool {
+            *fact
+        }
+    }
+
+    #[test]
+    fn dataflow_reachability_matches_dfs() {
+        // 0: jmpi +2 (to 3) ; 1: add (dead) ; 2: jmpi -2 (to 1) ;
+        // 3: eot — blocks {1,2} form an unreachable cycle.
+        let mut j0 = Instruction::new(Opcode::Jmpi, ExecSize::S1);
+        j0.branch_offset = 2;
+        let mut add = Instruction::new(Opcode::Add, ExecSize::S1);
+        add.dst = Some(Reg(1));
+        add.srcs = [Src::Reg(Reg(1)), Src::Imm(1), Src::Null];
+        let mut j2 = Instruction::new(Opcode::Jmpi, ExecSize::S1);
+        j2.branch_offset = -2;
+        let eot = Instruction::new(Opcode::Eot, ExecSize::S1);
+        let instrs = vec![j0, add, j2, eot];
+
+        let cfg = Cfg::from_instrs(&instrs).unwrap();
+        let sol = solve(&cfg, &Reachable);
+        let via_dataflow: Vec<bool> = (0..cfg.num_blocks()).map(|b| sol.entry[b]).collect();
+        assert_eq!(via_dataflow, cfg.reachable().to_vec());
+        assert!(cfg.reachable().iter().any(|r| !r), "test has dead blocks");
+    }
+}

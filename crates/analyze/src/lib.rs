@@ -1,0 +1,42 @@
+//! # gtpin-analyze
+//!
+//! Static analysis for GEN kernel binaries: the correctness layer the
+//! GT-Pin pipeline runs over every compiled and rewritten artifact.
+//!
+//! Three layers:
+//!
+//! * **Framework** — [`cfg::Cfg`] builds predecessor/successor maps,
+//!   reverse post-order and reachability over a flattened instruction
+//!   stream; [`dataflow::solve`] runs any [`dataflow::Analysis`] to a
+//!   fixpoint with an RPO-ordered worklist. Concrete analyses:
+//!   [`liveness::Liveness`] (backward, registers *and* flag
+//!   registers, predication-aware) and [`reaching::ReachingDefs`]
+//!   (forward, with synthetic entry definitions for the dispatch
+//!   payload).
+//! * **Lints** — [`lint::lint_kernel`] emits [`lint::Diagnostic`]s
+//!   with stable `GTnnn` codes and severities, renderable for humans
+//!   and serializable to JSON. See the code table in [`lint`].
+//! * **Verifier** — [`verify::verify_rewrite`] proves a rewritten
+//!   binary safe: original code intact, every probe inert (writes
+//!   only reserved registers dead at its injection point, no control
+//!   transfer, no app-memory traffic), every repaired branch mapped
+//!   to its original target.
+//!
+//! The verifier is gated into the engine with `GTPIN_VERIFY=1` and
+//! exposed on the CLI as `gtpin lint`.
+
+pub mod bitset;
+pub mod cfg;
+pub mod dataflow;
+pub mod lint;
+pub mod liveness;
+pub mod reaching;
+pub mod verify;
+
+pub use bitset::{DefSet, RegSet};
+pub use cfg::{Cfg, KernelCfg};
+pub use dataflow::{solve, Analysis, Direction, Solution};
+pub use lint::{lint_flat, lint_kernel, Diagnostic, LintCode, LintConfig, Severity};
+pub use liveness::Liveness;
+pub use reaching::{Def, DefTarget, ReachingDefs};
+pub use verify::{is_probe, verify_rewrite, VerifyError, VerifyReport, Violation};

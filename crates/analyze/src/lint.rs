@@ -1,0 +1,559 @@
+//! Kernel lints with stable codes and severities.
+//!
+//! Each diagnostic carries a stable `GTnnn` code so tooling can
+//! filter and track them across versions:
+//!
+//! | code  | severity | meaning                                        |
+//! |-------|----------|------------------------------------------------|
+//! | GT000 | error    | structural validation failure                  |
+//! | GT001 | warning  | register read with no reaching definition      |
+//! | GT002 | warning  | register write never read                      |
+//! | GT003 | warning  | basic block unreachable from entry             |
+//! | GT004 | error    | no `eot` reachable from entry                  |
+//! | GT005 | error    | send byte count exceeds the descriptor limit   |
+//! | GT006 | warning  | predicated exec width exceeds producing `cmp`  |
+//!
+//! Diagnostics render as `severity[code] kernel bbN instr I: message`
+//! for humans and serialize to JSON objects for machines.
+
+use crate::bitset::RegSet;
+use crate::cfg::Cfg;
+use crate::liveness::Liveness;
+use crate::reaching::{DefTarget, ReachingDefs};
+use gen_isa::validate::validate_all;
+use gen_isa::{DecodeError, KernelBinary, KernelMetadata, Opcode, Reg, SendDescriptor};
+use serde::json::{Number, Value};
+use serde::Serialize;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not certainly wrong.
+    Warning,
+    /// The kernel is broken; the CLI exits nonzero.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in rendered diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable lint codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintCode {
+    /// Structural validation failure (see [`gen_isa::validate`]).
+    Structural,
+    /// A register is read with no reaching definition on any path.
+    UninitializedRead,
+    /// A register write is never read before being overwritten.
+    DeadWrite,
+    /// A basic block is unreachable from the entry block.
+    UnreachableBlock,
+    /// No `eot` instruction is reachable from entry: the kernel can
+    /// never end its thread.
+    EotUnreachable,
+    /// A send descriptor's byte count exceeds
+    /// [`SendDescriptor::MAX_BYTES`].
+    SendBytesOverflow,
+    /// A predicated instruction is wider than every `cmp` that can
+    /// produce its flag, so the high lanes run on stale flag bits.
+    ExecPredWidthMismatch,
+}
+
+impl LintCode {
+    /// The stable `GTnnn` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::Structural => "GT000",
+            LintCode::UninitializedRead => "GT001",
+            LintCode::DeadWrite => "GT002",
+            LintCode::UnreachableBlock => "GT003",
+            LintCode::EotUnreachable => "GT004",
+            LintCode::SendBytesOverflow => "GT005",
+            LintCode::ExecPredWidthMismatch => "GT006",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::Structural | LintCode::EotUnreachable | LintCode::SendBytesOverflow => {
+                Severity::Error
+            }
+            LintCode::UninitializedRead
+            | LintCode::DeadWrite
+            | LintCode::UnreachableBlock
+            | LintCode::ExecPredWidthMismatch => Severity::Warning,
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Kernel name the finding belongs to.
+    pub kernel: String,
+    /// Basic block, when the finding is block-scoped.
+    pub block: Option<u32>,
+    /// Flattened instruction index, when instruction-scoped.
+    pub instr: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(code: LintCode, kernel: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            kernel: kernel.to_string(),
+            block: None,
+            instr: None,
+            message,
+        }
+    }
+
+    fn at(mut self, block: u32, instr: Option<usize>) -> Diagnostic {
+        self.block = Some(block);
+        self.instr = instr;
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}",
+            self.severity.label(),
+            self.code.code(),
+            self.kernel
+        )?;
+        if let Some(b) = self.block {
+            write!(f, " bb{b}")?;
+        }
+        if let Some(i) = self.instr {
+            write!(f, " instr {i}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn to_json(&self) -> Value {
+        let mut obj = vec![
+            ("code".to_string(), Value::Str(self.code.code().to_string())),
+            (
+                "severity".to_string(),
+                Value::Str(self.severity.label().to_string()),
+            ),
+            ("kernel".to_string(), Value::Str(self.kernel.clone())),
+        ];
+        if let Some(b) = self.block {
+            obj.push(("block".to_string(), Value::Num(Number::U(u64::from(b)))));
+        }
+        if let Some(i) = self.instr {
+            obj.push(("instr".to_string(), Value::Num(Number::U(i as u64))));
+        }
+        obj.push(("message".to_string(), Value::Str(self.message.clone())));
+        Value::Obj(obj)
+    }
+}
+
+/// What the linter may assume about kernel entry state.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Registers (and flags) defined before the first instruction
+    /// runs — the dispatch payload.
+    pub entry_defined: RegSet,
+}
+
+impl LintConfig {
+    /// Entry state implied by kernel metadata: the thread-id register
+    /// `r0` plus one argument register per declared argument,
+    /// following the dispatch convention (arguments start at `r1`).
+    pub fn for_metadata(metadata: &KernelMetadata) -> LintConfig {
+        let mut entry_defined = RegSet::EMPTY;
+        entry_defined.insert_reg(Reg(0));
+        for a in 0..metadata.num_args {
+            entry_defined.insert_reg(Reg(1 + a));
+        }
+        LintConfig { entry_defined }
+    }
+}
+
+/// Lint a structured kernel: structural validation first (as `GT000`
+/// errors), then the dataflow lints over the flattened stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] only when the flattened stream has a
+/// branch outside the stream — a structural corruption the `GT000`
+/// pass cannot express.
+pub fn lint_kernel(
+    kernel: &KernelBinary,
+    config: &LintConfig,
+) -> Result<Vec<Diagnostic>, DecodeError> {
+    let mut diags: Vec<Diagnostic> = validate_all(kernel)
+        .into_iter()
+        .map(|e| Diagnostic::new(LintCode::Structural, &kernel.name, e.to_string()))
+        .collect();
+    if !diags.is_empty() {
+        // Structural breakage makes dataflow facts meaningless; stop
+        // at GT000 like a compiler stops at parse errors.
+        return Ok(diags);
+    }
+    let flat = kernel.flatten();
+    diags.extend(lint_flat(&kernel.name, &flat.instrs, config)?);
+    Ok(diags)
+}
+
+/// Lint a flattened instruction stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when a branch targets an index outside the
+/// stream.
+pub fn lint_flat(
+    kernel: &str,
+    instrs: &[gen_isa::Instruction],
+    config: &LintConfig,
+) -> Result<Vec<Diagnostic>, DecodeError> {
+    let cfg = Cfg::from_instrs(instrs)?;
+    let liveness = Liveness::compute(&cfg);
+    let reaching = ReachingDefs::compute(&cfg, &config.entry_defined);
+    let mut diags = Vec::new();
+
+    // GT003 — unreachable blocks.
+    for b in 0..cfg.num_blocks() {
+        if !cfg.reachable()[b] {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::UnreachableBlock,
+                    kernel,
+                    format!("basic block bb{b} is unreachable from entry"),
+                )
+                .at(b as u32, None),
+            );
+        }
+    }
+
+    // GT004 — no reachable eot.
+    let eot_reachable = (0..cfg.num_blocks())
+        .any(|b| cfg.reachable()[b] && cfg.block_range(b).any(|i| instrs[i].opcode == Opcode::Eot));
+    if !eot_reachable {
+        diags.push(Diagnostic::new(
+            LintCode::EotUnreachable,
+            kernel,
+            "no eot instruction is reachable from entry; the kernel never ends its thread"
+                .to_string(),
+        ));
+    }
+
+    for b in 0..cfg.num_blocks() {
+        let reachable = cfg.reachable()[b];
+        for i in cfg.block_range(b) {
+            let instr = &instrs[i];
+
+            // GT005 — descriptor byte overflow (even in dead code:
+            // the encoder would truncate it).
+            if let Some(desc) = instr.send {
+                if desc.bytes > SendDescriptor::MAX_BYTES {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::SendBytesOverflow,
+                            kernel,
+                            format!(
+                                "send transfers {} bytes, above the descriptor limit of {}",
+                                desc.bytes,
+                                SendDescriptor::MAX_BYTES
+                            ),
+                        )
+                        .at(b as u32, Some(i)),
+                    );
+                }
+            }
+
+            if !reachable {
+                // Dataflow facts on unreachable code are vacuous;
+                // GT003 already covers the block.
+                continue;
+            }
+
+            // GT001 — reads with no reaching definition.
+            for r in instr.reads() {
+                if !reaching.is_defined(i, DefTarget::Grf(r)) {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::UninitializedRead,
+                            kernel,
+                            format!("{r} is read but never written on any path from entry"),
+                        )
+                        .at(b as u32, Some(i)),
+                    );
+                }
+            }
+            if let Some(p) = instr.pred {
+                if !reaching.is_defined(i, DefTarget::Flag(p.flag)) {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::UninitializedRead,
+                            kernel,
+                            format!(
+                                "predicate flag {} is read but no cmp defines it on any path",
+                                p.flag
+                            ),
+                        )
+                        .at(b as u32, Some(i)),
+                    );
+                }
+            }
+
+            // GT002 — writes never read. Sends are skipped: even a
+            // dead-looking send has memory side effects.
+            if !instr.opcode.is_send() {
+                if let Some(d) = instr.dst {
+                    if !liveness.live_out[i].contains_reg(d) {
+                        diags.push(
+                            Diagnostic::new(
+                                LintCode::DeadWrite,
+                                kernel,
+                                format!("{d} is written but never read afterwards"),
+                            )
+                            .at(b as u32, Some(i)),
+                        );
+                    }
+                }
+            }
+
+            // GT006 — predicated width wider than every producing cmp.
+            if let Some(p) = instr.pred {
+                let producer_lanes = reaching
+                    .defs_of(i, DefTarget::Flag(p.flag))
+                    .filter_map(|d| d.site)
+                    .map(|s| instrs[s].exec_size.lanes())
+                    .max();
+                if let Some(max_lanes) = producer_lanes {
+                    if instr.exec_size.lanes() > max_lanes {
+                        diags.push(
+                            Diagnostic::new(
+                                LintCode::ExecPredWidthMismatch,
+                                kernel,
+                                format!(
+                                    "exec width {} exceeds the {}-lane cmp producing {}; high lanes use stale flag bits",
+                                    instr.exec_size.lanes(),
+                                    max_lanes,
+                                    p.flag
+                                ),
+                            )
+                            .at(b as u32, Some(i)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::{CondMod, ExecSize, FlagReg, Predicate, Src, Surface, Terminator};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn clean_kernel_has_no_diagnostics() {
+        let mut b = KernelBuilder::new("clean");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .add(ExecSize::S8, Reg(16), Src::Reg(Reg(1)), Src::Imm(1))
+            .send_write(ExecSize::S8, Reg(1), Reg(16), Surface::Global, 32)
+            .eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn uninitialized_read_warns() {
+        let mut b = KernelBuilder::new("uninit");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .add(ExecSize::S1, Reg(2), Src::Reg(Reg(9)), Src::Imm(1))
+            .send_write(ExecSize::S1, Reg(1), Reg(2), Surface::Global, 4)
+            .eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert_eq!(codes(&diags), vec!["GT001"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("r9"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn dead_write_warns() {
+        let mut b = KernelBuilder::new("dead");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .mov(ExecSize::S1, Reg(2), Src::Imm(7))
+            .mov(ExecSize::S1, Reg(2), Src::Imm(8))
+            .send_write(ExecSize::S1, Reg(1), Reg(2), Surface::Global, 4)
+            .eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert_eq!(codes(&diags), vec!["GT002"]);
+        assert_eq!(diags[0].instr, Some(0), "the first mov is dead");
+    }
+
+    #[test]
+    fn unreachable_block_and_eot_lints() {
+        // entry jumps straight to exit; a middle block is orphaned.
+        let mut b = KernelBuilder::new("orphan");
+        let entry = b.entry_block();
+        let orphan = b.new_block();
+        let exit = b.new_block();
+        b.set_terminator(entry, Terminator::Jump(exit));
+        b.block_mut(orphan).mov(ExecSize::S1, Reg(2), Src::Imm(0));
+        b.set_terminator(orphan, Terminator::Jump(exit));
+        b.block_mut(exit).eot();
+        let k = b.build().unwrap();
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert_eq!(codes(&diags), vec!["GT003"]);
+    }
+
+    #[test]
+    fn eot_unreachable_is_an_error() {
+        // Single block ending in an unconditional self-loop: no eot
+        // anywhere.
+        let mut b = KernelBuilder::new("spin");
+        let bb = b.entry_block();
+        b.block_mut(bb).mov(ExecSize::S1, Reg(2), Src::Imm(0));
+        b.set_terminator(bb, Terminator::Jump(bb));
+        let k = b.build().unwrap();
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(codes(&diags).contains(&"GT004"), "{diags:?}");
+        let gt004 = diags.iter().find(|d| d.code == LintCode::EotUnreachable);
+        assert_eq!(gt004.unwrap().severity, Severity::Error);
+    }
+
+    #[test]
+    fn send_bytes_overflow_is_an_error() {
+        let mut b = KernelBuilder::new("big");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .send_read(
+                ExecSize::S1,
+                Reg(2),
+                Reg(1),
+                Surface::Global,
+                SendDescriptor::MAX_BYTES + 1,
+            )
+            .eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(codes(&diags).contains(&"GT005"), "{diags:?}");
+    }
+
+    #[test]
+    fn exec_pred_width_mismatch_warns() {
+        // cmp at 4 lanes, predicated use at 16 lanes.
+        let mut b = KernelBuilder::new("width");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .cmp(
+                ExecSize::S4,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(1)),
+                Src::Imm(10),
+            )
+            .mov(ExecSize::S16, Reg(2), Src::Imm(1))
+            .send_write(ExecSize::S16, Reg(1), Reg(2), Surface::Global, 64)
+            .eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        k.blocks[0].instrs[1].pred = Some(Predicate {
+            flag: FlagReg::F0,
+            invert: false,
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(codes(&diags).contains(&"GT006"), "{diags:?}");
+        // Same widths → no warning.
+        k.blocks[0].instrs[1].exec_size = ExecSize::S4;
+        k.blocks[0].instrs[2].exec_size = ExecSize::S4;
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(!codes(&diags).contains(&"GT006"), "{diags:?}");
+    }
+
+    #[test]
+    fn structural_errors_short_circuit_as_gt000() {
+        let k = KernelBinary {
+            name: "bad".into(),
+            blocks: vec![],
+            metadata: KernelMetadata::default(),
+        };
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert_eq!(codes(&diags), vec!["GT000"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn diagnostics_render_and_serialize() {
+        let d = Diagnostic::new(
+            LintCode::UninitializedRead,
+            "k",
+            "r9 is read but never written on any path from entry".to_string(),
+        )
+        .at(0, Some(3));
+        assert_eq!(
+            d.to_string(),
+            "warning[GT001] k bb0 instr 3: r9 is read but never written on any path from entry"
+        );
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"code\":\"GT001\""), "{json}");
+        assert!(json.contains("\"severity\":\"warning\""), "{json}");
+        assert!(json.contains("\"instr\":3"), "{json}");
+    }
+
+    #[test]
+    fn predicate_without_producer_warns_uninitialized() {
+        let mut b = KernelBuilder::new("noflag");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .mov(ExecSize::S1, Reg(2), Src::Imm(1))
+            .send_write(ExecSize::S1, Reg(1), Reg(2), Surface::Global, 4)
+            .eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        k.blocks[0].instrs[0].pred = Some(Predicate {
+            flag: FlagReg::F1,
+            invert: false,
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == LintCode::UninitializedRead && d.message.contains("f1")),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Backward liveness over GRF and flag registers.
+//!
+//! The analysis is deliberately conservative about predication: a
+//! predicated write merges new lanes into the old value, so it both
+//! *uses* its destination and does **not** kill it. Kills are
+//! therefore under-approximated and the resulting deadness facts are
+//! sound — when liveness says a register is dead at a point, no
+//! execution reads it before an unpredicated redefinition. The
+//! instrumentation-safety verifier ([`crate::verify`]) relies on
+//! exactly that guarantee.
+
+use crate::bitset::RegSet;
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Analysis, Direction};
+use gen_isa::{Instruction, Opcode};
+
+/// Registers and flags an instruction reads.
+pub fn uses(instr: &Instruction) -> RegSet {
+    let mut set = RegSet::EMPTY;
+    for r in instr.reads() {
+        set.insert_reg(r);
+    }
+    if let Some(p) = instr.pred {
+        set.insert_flag(p.flag);
+        // Inactive lanes keep the old destination value, so a
+        // predicated write reads what it merges over.
+        if let Some(d) = instr.dst {
+            set.insert_reg(d);
+        }
+    }
+    set
+}
+
+/// Registers and flags an instruction writes (whether or not the
+/// write survives — see [`kills`] for the strong-update set).
+pub fn defs(instr: &Instruction) -> RegSet {
+    let mut set = RegSet::EMPTY;
+    if let Some(d) = instr.dst {
+        set.insert_reg(d);
+    }
+    // Only `cmp` writes its flag field; control opcodes carry `flag`
+    // as a read (mirrored in `pred`).
+    if instr.opcode == Opcode::Cmp {
+        if let Some(f) = instr.flag {
+            set.insert_flag(f);
+        }
+    }
+    set
+}
+
+/// Definitions that fully overwrite their target: [`defs`] when the
+/// instruction is unpredicated, empty otherwise.
+pub fn kills(instr: &Instruction) -> RegSet {
+    if instr.pred.is_none() {
+        defs(instr)
+    } else {
+        RegSet::EMPTY
+    }
+}
+
+struct LivenessAnalysis;
+
+impl Analysis for LivenessAnalysis {
+    type Fact = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> RegSet {
+        RegSet::EMPTY
+    }
+
+    fn top(&self) -> RegSet {
+        RegSet::EMPTY
+    }
+
+    fn join(&self, into: &mut RegSet, from: &RegSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn transfer(&self, cfg: &Cfg<'_>, block: usize, fact: &RegSet) -> RegSet {
+        let mut live = *fact;
+        for i in cfg.block_range(block).rev() {
+            let instr = &cfg.instrs[i];
+            live.subtract(&kills(instr));
+            live.union_with(&uses(instr));
+        }
+        live
+    }
+}
+
+/// Liveness facts at block and instruction granularity.
+#[derive(Debug)]
+pub struct Liveness {
+    /// Live set at each block entry.
+    pub block_in: Vec<RegSet>,
+    /// Live set at each block exit.
+    pub block_out: Vec<RegSet>,
+    /// Live set just before each instruction.
+    pub live_in: Vec<RegSet>,
+    /// Live set just after each instruction.
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Solve liveness over `cfg` and refine to per-instruction facts.
+    pub fn compute(cfg: &Cfg<'_>) -> Liveness {
+        let sol = solve(cfg, &LivenessAnalysis);
+        let n = cfg.instrs.len();
+        let mut live_in = vec![RegSet::EMPTY; n];
+        let mut live_out = vec![RegSet::EMPTY; n];
+        for b in 0..cfg.num_blocks() {
+            let mut live = sol.exit[b];
+            for i in cfg.block_range(b).rev() {
+                live_out[i] = live;
+                let instr = &cfg.instrs[i];
+                live.subtract(&kills(instr));
+                live.union_with(&uses(instr));
+                live_in[i] = live;
+            }
+        }
+        Liveness {
+            block_in: sol.entry,
+            block_out: sol.exit,
+            live_in,
+            live_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::{CondMod, ExecSize, FlagReg, Predicate, Reg, Src, Surface, Terminator};
+
+    #[test]
+    fn straight_line_liveness() {
+        // r2 = r1 + 1 ; r3 = r2 * r2 ; store r3 ; eot
+        let mut b = KernelBuilder::new("line");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .add(ExecSize::S8, Reg(2), Src::Reg(Reg(1)), Src::Imm(1))
+            .mul(ExecSize::S8, Reg(3), Src::Reg(Reg(2)), Src::Reg(Reg(2)))
+            .send_write(ExecSize::S8, Reg(4), Reg(3), Surface::Global, 32)
+            .eot();
+        let k = b.build().unwrap();
+        let flat = k.flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let lv = Liveness::compute(&cfg);
+
+        // r1 is live on entry; r2 dies after the mul; r3 dies after
+        // the send; nothing is live at eot.
+        assert!(lv.live_in[0].contains_reg(Reg(1)));
+        assert!(!lv.live_in[0].contains_reg(Reg(2)));
+        assert!(lv.live_out[0].contains_reg(Reg(2)));
+        assert!(!lv.live_out[1].contains_reg(Reg(2)));
+        assert!(lv.live_out[1].contains_reg(Reg(3)));
+        assert!(lv.live_out[2].is_empty() || !lv.live_out[2].contains_reg(Reg(3)));
+    }
+
+    #[test]
+    fn loop_carries_liveness_around_backedge() {
+        // bb0: r1 += 1 ; cmp f0 = r1 < r2 ; brc bb0 | bb1 ; bb1: eot
+        let mut b = KernelBuilder::new("loop");
+        let head = b.entry_block();
+        let exit = b.new_block();
+        b.block_mut(head)
+            .add(ExecSize::S1, Reg(1), Src::Reg(Reg(1)), Src::Imm(1))
+            .cmp(
+                ExecSize::S1,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(1)),
+                Src::Reg(Reg(2)),
+            );
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        let k = b.build().unwrap();
+        let flat = k.flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let lv = Liveness::compute(&cfg);
+
+        // The loop bound r2 and counter r1 stay live around the
+        // backedge; f0 is live between the cmp and the brc but dead at
+        // block entry (cmp fully redefines it).
+        assert!(lv.block_in[0].contains_reg(Reg(1)));
+        assert!(lv.block_in[0].contains_reg(Reg(2)));
+        assert!(!lv.block_in[0].contains_flag(FlagReg::F0));
+        let cmp_idx = 1;
+        assert!(lv.live_out[cmp_idx].contains_flag(FlagReg::F0));
+    }
+
+    #[test]
+    fn predicated_write_does_not_kill() {
+        // (+f0) mov r5, 7 ; store r5 — r5 must be live on entry
+        // because inactive lanes keep its old value.
+        let mut b = KernelBuilder::new("pred");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .mov(ExecSize::S8, Reg(5), Src::Imm(7))
+            .send_write(ExecSize::S8, Reg(6), Reg(5), Surface::Global, 32)
+            .eot();
+        let mut k = b.build().unwrap();
+        k.blocks[0].instrs[0].pred = Some(Predicate {
+            flag: FlagReg::F0,
+            invert: false,
+        });
+        let flat = k.flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let lv = Liveness::compute(&cfg);
+        assert!(lv.live_in[0].contains_reg(Reg(5)), "merge semantics");
+        assert!(lv.live_in[0].contains_flag(FlagReg::F0));
+
+        // Unpredicated, the mov kills r5.
+        k.blocks[0].instrs[0].pred = None;
+        let flat = k.flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let lv = Liveness::compute(&cfg);
+        assert!(!lv.live_in[0].contains_reg(Reg(5)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Forward reaching definitions over GRF and flag registers.
+//!
+//! Each definition site (instruction writing a register or a `cmp`
+//! writing a flag) gets a dense index; facts are [`DefSet`]s over
+//! those indices. Registers defined *before* the kernel runs — the
+//! thread-id register and argument registers, as configured by the
+//! caller — get synthetic entry definitions with no instruction site,
+//! so "no reaching definition" precisely means "read before any write
+//! on every path".
+
+use crate::bitset::{DefSet, RegSet};
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Analysis, Direction};
+use crate::liveness::defs;
+use gen_isa::{FlagReg, Reg, NUM_GRF};
+
+/// What a definition writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefTarget {
+    /// A GRF register.
+    Grf(Reg),
+    /// A flag register.
+    Flag(FlagReg),
+}
+
+impl DefTarget {
+    /// Dense index: registers first, then flags.
+    fn slot(self) -> usize {
+        match self {
+            DefTarget::Grf(r) => r.0 as usize,
+            DefTarget::Flag(f) => NUM_GRF as usize + f.index(),
+        }
+    }
+}
+
+/// One definition site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Def {
+    /// Instruction index, or `None` for a synthetic entry definition.
+    pub site: Option<usize>,
+    /// What the definition writes.
+    pub target: DefTarget,
+    /// Whether the write is predicated (merges rather than replaces).
+    pub predicated: bool,
+}
+
+struct ReachingAnalysis<'d> {
+    defs: &'d [Def],
+    /// Definition indices per target slot, for kill computation.
+    by_slot: Vec<Vec<usize>>,
+    entry_fact: DefSet,
+}
+
+impl Analysis for ReachingAnalysis<'_> {
+    type Fact = DefSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> DefSet {
+        self.entry_fact.clone()
+    }
+
+    fn top(&self) -> DefSet {
+        DefSet::empty(self.defs.len())
+    }
+
+    fn join(&self, into: &mut DefSet, from: &DefSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn transfer(&self, cfg: &Cfg<'_>, block: usize, fact: &DefSet) -> DefSet {
+        let mut reach = fact.clone();
+        for i in cfg.block_range(block) {
+            self.step(i, &mut reach);
+        }
+        reach
+    }
+}
+
+impl ReachingAnalysis<'_> {
+    /// Apply instruction `i`'s definitions to `reach`.
+    fn step(&self, i: usize, reach: &mut DefSet) {
+        for (d, def) in self.defs.iter().enumerate() {
+            if def.site != Some(i) {
+                continue;
+            }
+            if !def.predicated {
+                // Strong update: an unpredicated write kills every
+                // other definition of the same target.
+                for &other in &self.by_slot[def.target.slot()] {
+                    if other != d && reach.contains(other) {
+                        let mut one = DefSet::empty(self.defs.len());
+                        one.insert(other);
+                        reach.subtract(&one);
+                    }
+                }
+            }
+            reach.insert(d);
+        }
+    }
+}
+
+/// Reaching-definitions solution at instruction granularity.
+#[derive(Debug)]
+pub struct ReachingDefs {
+    /// All definition sites, entry pseudo-defs first.
+    pub defs: Vec<Def>,
+    /// Reaching set just before each instruction.
+    pub reach_in: Vec<DefSet>,
+}
+
+impl ReachingDefs {
+    /// Solve over `cfg`, seeding `entry_defined` registers/flags as
+    /// defined at kernel entry.
+    pub fn compute(cfg: &Cfg<'_>, entry_defined: &RegSet) -> ReachingDefs {
+        let mut defs = Vec::new();
+        for r in entry_defined.iter_regs() {
+            defs.push(Def {
+                site: None,
+                target: DefTarget::Grf(r),
+                predicated: false,
+            });
+        }
+        for f in entry_defined.iter_flags() {
+            defs.push(Def {
+                site: None,
+                target: DefTarget::Flag(f),
+                predicated: false,
+            });
+        }
+        for (i, instr) in cfg.instrs.iter().enumerate() {
+            let written = defs_targets(instr);
+            for target in written {
+                defs.push(Def {
+                    site: Some(i),
+                    target,
+                    predicated: instr.pred.is_some(),
+                });
+            }
+        }
+
+        let mut by_slot = vec![Vec::new(); NUM_GRF as usize + 2];
+        for (d, def) in defs.iter().enumerate() {
+            by_slot[def.target.slot()].push(d);
+        }
+        let mut entry_fact = DefSet::empty(defs.len());
+        for (d, def) in defs.iter().enumerate() {
+            if def.site.is_none() {
+                entry_fact.insert(d);
+            }
+        }
+
+        let analysis = ReachingAnalysis {
+            defs: &defs,
+            by_slot,
+            entry_fact,
+        };
+        let sol = solve(cfg, &analysis);
+
+        let n = cfg.instrs.len();
+        let mut reach_in = vec![DefSet::empty(defs.len()); n];
+        for b in 0..cfg.num_blocks() {
+            let mut reach = sol.entry[b].clone();
+            for i in cfg.block_range(b) {
+                reach_in[i] = reach.clone();
+                analysis.step(i, &mut reach);
+            }
+        }
+
+        ReachingDefs { defs, reach_in }
+    }
+
+    /// Whether any definition of `target` reaches instruction `i`.
+    pub fn is_defined(&self, i: usize, target: DefTarget) -> bool {
+        self.reach_in[i]
+            .iter()
+            .any(|d| self.defs[d].target == target)
+    }
+
+    /// Definitions of `target` reaching instruction `i`.
+    pub fn defs_of(&self, i: usize, target: DefTarget) -> impl Iterator<Item = &Def> + '_ {
+        self.reach_in[i]
+            .iter()
+            .map(|d| &self.defs[d])
+            .filter(move |d| d.target == target)
+    }
+}
+
+/// Targets written by an instruction, as [`DefTarget`]s.
+fn defs_targets(instr: &gen_isa::Instruction) -> Vec<DefTarget> {
+    let set = defs(instr);
+    let mut out: Vec<DefTarget> = set.iter_regs().map(DefTarget::Grf).collect();
+    out.extend(set.iter_flags().map(DefTarget::Flag));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::{ExecSize, Src};
+
+    #[test]
+    fn entry_defs_and_strong_updates() {
+        // r2 = r1 + 1 ; r2 = r2 * 2 ; eot — with r0/r1 entry-defined.
+        let mut b = KernelBuilder::new("k");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .add(ExecSize::S1, Reg(2), Src::Reg(Reg(1)), Src::Imm(1))
+            .mul(ExecSize::S1, Reg(2), Src::Reg(Reg(2)), Src::Imm(2))
+            .eot();
+        let flat = b.build().unwrap().flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let mut entry = RegSet::EMPTY;
+        entry.insert_reg(Reg(0));
+        entry.insert_reg(Reg(1));
+        let rd = ReachingDefs::compute(&cfg, &entry);
+
+        // r1 read at instr 0 is defined (entry pseudo-def); r2 is not.
+        assert!(rd.is_defined(0, DefTarget::Grf(Reg(1))));
+        assert!(!rd.is_defined(0, DefTarget::Grf(Reg(2))));
+        // At the mul, exactly one def of r2 reaches (the add).
+        let reaching: Vec<_> = rd.defs_of(1, DefTarget::Grf(Reg(2))).collect();
+        assert_eq!(reaching.len(), 1);
+        assert_eq!(reaching[0].site, Some(0));
+        // At the eot, the mul's strong update replaced the add's def.
+        let reaching: Vec<_> = rd.defs_of(2, DefTarget::Grf(Reg(2))).collect();
+        assert_eq!(reaching.len(), 1);
+        assert_eq!(reaching[0].site, Some(1));
+    }
+
+    #[test]
+    fn undefined_register_has_no_reaching_defs() {
+        let mut b = KernelBuilder::new("k");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .add(ExecSize::S1, Reg(3), Src::Reg(Reg(9)), Src::Imm(1))
+            .eot();
+        let flat = b.build().unwrap().flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let rd = ReachingDefs::compute(&cfg, &RegSet::EMPTY);
+        assert!(!rd.is_defined(0, DefTarget::Grf(Reg(9))));
+    }
+}

@@ -1,0 +1,666 @@
+//! Instrumentation-safety verification: prove a rewritten kernel
+//! binary is the original plus harmless probes.
+//!
+//! The rewriter only ever *inserts* instruction sequences in front of
+//! existing instructions, and injected code always touches at least
+//! one reserved instrumentation register (`r120..r127`) — registers
+//! validated application code can never use. That gives the verifier
+//! a sound classification: an instruction in the rewritten stream
+//! that reads or writes a reserved register is a probe; everything
+//! else must align, in order, with the original stream.
+//!
+//! On top of that alignment the verifier proves, independently of the
+//! rewriter's own bookkeeping:
+//!
+//! 1. **No app-code tampering** — the non-probe instructions equal
+//!    the originals field-for-field (control opcodes compared modulo
+//!    their repaired `branch_offset`).
+//! 2. **Probes are inert** — every probe writes only reserved
+//!    registers, never a register or flag that liveness (computed on
+//!    the *original* stream) proves live at the injection point,
+//!    never transfers control, and never touches application global
+//!    memory.
+//! 3. **Branches are repaired, not retargeted** — every control
+//!    transfer lands on the start of the probe group of its original
+//!    target, so the same original instruction executes next and
+//!    block-entry probes are never skipped.
+
+use crate::bitset::RegSet;
+use crate::cfg::Cfg;
+use crate::liveness::Liveness;
+use gen_isa::encode::decode_stream;
+use gen_isa::{DecodeError, Instruction, Opcode, Reg, Surface, FIRST_INSTRUMENTATION_REG};
+
+/// Whether `instr` is an injected probe: it reads or writes a
+/// reserved instrumentation register. Exact for validated inputs —
+/// application code never touches `r120..r127`.
+pub fn is_probe(instr: &Instruction) -> bool {
+    instr
+        .reads()
+        .chain(instr.writes())
+        .any(|r| r.0 >= FIRST_INSTRUMENTATION_REG)
+}
+
+/// One way a rewrite can be unsafe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A non-probe instruction differs from the original it should
+    /// mirror.
+    OriginalCodeAltered {
+        /// Original instruction index.
+        at: usize,
+        /// What changed.
+        detail: String,
+    },
+    /// The rewritten stream ran out before every original
+    /// instruction was accounted for.
+    MissingOriginalCode {
+        /// Originals matched before the stream ended.
+        matched: usize,
+        /// Originals expected.
+        expected: usize,
+    },
+    /// A probe writes a non-reserved register that is live at its
+    /// injection point.
+    ProbeClobbersLiveRegister {
+        /// Probe index in the rewritten stream.
+        probe_at: usize,
+        /// Original instruction the probe precedes.
+        owner: usize,
+        /// The clobbered register.
+        reg: Reg,
+    },
+    /// A probe writes a flag register that is live at its injection
+    /// point.
+    ProbeClobbersLiveFlag {
+        /// Probe index in the rewritten stream.
+        probe_at: usize,
+        /// Original instruction the probe precedes.
+        owner: usize,
+    },
+    /// A probe sends to application global memory.
+    ProbeTouchesAppMemory {
+        /// Probe index in the rewritten stream.
+        probe_at: usize,
+    },
+    /// A probe transfers control.
+    ProbeIsControl {
+        /// Probe index in the rewritten stream.
+        probe_at: usize,
+    },
+    /// A repaired branch lands on a different original instruction
+    /// than it used to.
+    BranchRetargeted {
+        /// Original index of the branch.
+        at: usize,
+        /// Original target index.
+        old_target: usize,
+        /// Original instruction the repaired branch now reaches.
+        maps_to: usize,
+    },
+    /// A repaired branch reaches the right original instruction but
+    /// jumps past probes inserted before it.
+    BranchSkipsProbes {
+        /// Original index of the branch.
+        at: usize,
+        /// Original target index.
+        target: usize,
+        /// Rewritten-stream index the branch should land on.
+        group_start: usize,
+    },
+    /// A branch in original or rewritten code targets outside its
+    /// stream.
+    BranchOutOfRange {
+        /// Original index of the branch.
+        at: usize,
+    },
+    /// The rewritten binary is not marked `instrumented`.
+    NotMarkedInstrumented,
+    /// The original binary already used reserved registers, so probes
+    /// cannot be distinguished from application code.
+    OriginalTouchesReservedRegs {
+        /// Offending original instruction.
+        at: usize,
+        /// The reserved register it touches.
+        reg: Reg,
+    },
+    /// Kernel name or metadata fields changed across the rewrite.
+    MetadataAltered {
+        /// What changed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::OriginalCodeAltered { at, detail } => {
+                write!(f, "original instruction {at} was altered: {detail}")
+            }
+            Violation::MissingOriginalCode { matched, expected } => write!(
+                f,
+                "rewritten stream covers only {matched} of {expected} original instructions"
+            ),
+            Violation::ProbeClobbersLiveRegister {
+                probe_at,
+                owner,
+                reg,
+            } => write!(
+                f,
+                "probe at rewritten index {probe_at} writes {reg}, live before original instruction {owner}"
+            ),
+            Violation::ProbeClobbersLiveFlag { probe_at, owner } => write!(
+                f,
+                "probe at rewritten index {probe_at} writes a flag live before original instruction {owner}"
+            ),
+            Violation::ProbeTouchesAppMemory { probe_at } => write!(
+                f,
+                "probe at rewritten index {probe_at} accesses application global memory"
+            ),
+            Violation::ProbeIsControl { probe_at } => write!(
+                f,
+                "probe at rewritten index {probe_at} transfers control"
+            ),
+            Violation::BranchRetargeted {
+                at,
+                old_target,
+                maps_to,
+            } => write!(
+                f,
+                "branch at original instruction {at} targeted {old_target} but now reaches {maps_to}"
+            ),
+            Violation::BranchSkipsProbes {
+                at,
+                target,
+                group_start,
+            } => write!(
+                f,
+                "branch at original instruction {at} skips probes inserted before its target {target} (should land at rewritten index {group_start})"
+            ),
+            Violation::BranchOutOfRange { at } => {
+                write!(f, "branch at original instruction {at} targets outside the stream")
+            }
+            Violation::NotMarkedInstrumented => {
+                write!(f, "rewritten binary is not marked instrumented")
+            }
+            Violation::OriginalTouchesReservedRegs { at, reg } => write!(
+                f,
+                "original instruction {at} touches reserved register {reg}; probes are indistinguishable"
+            ),
+            Violation::MetadataAltered { detail } => {
+                write!(f, "kernel metadata altered: {detail}")
+            }
+        }
+    }
+}
+
+/// The outcome of verifying one rewrite.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Instruction count of the original stream.
+    pub original_instructions: usize,
+    /// Instruction count of the rewritten stream.
+    pub instrumented_instructions: usize,
+    /// Probes identified in the rewritten stream.
+    pub probes: usize,
+    /// Control transfers whose displacement was repaired.
+    pub repaired_branches: usize,
+    /// Safety violations (empty for a safe rewrite).
+    pub violations: Vec<Violation>,
+    /// Non-fatal observations (e.g. a probe writing a provably dead
+    /// non-reserved register).
+    pub notes: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Whether the rewrite is proven safe.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kernel `{}`: {} original + {} probe instructions, {} repaired branches",
+            self.kernel, self.original_instructions, self.probes, self.repaired_branches,
+        )?;
+        if self.is_safe() {
+            write!(f, ": safe")
+        } else {
+            for v in &self.violations {
+                write!(f, "\n  violation: {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Why verification failed.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// One of the binaries did not decode.
+    Decode(DecodeError),
+    /// The rewrite decoded but is provably unsafe; the report lists
+    /// every violation found.
+    Unsafe(VerifyReport),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Decode(e) => write!(f, "verification could not decode binary: {e}"),
+            VerifyError::Unsafe(report) => write!(f, "unsafe rewrite: {report}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Decode(e) => Some(e),
+            VerifyError::Unsafe(_) => None,
+        }
+    }
+}
+
+impl From<DecodeError> for VerifyError {
+    fn from(e: DecodeError) -> VerifyError {
+        VerifyError::Decode(e)
+    }
+}
+
+/// Verify that `rewritten` is a safe instrumentation of `original`
+/// (both encoded kernel binaries).
+///
+/// # Errors
+///
+/// [`VerifyError::Decode`] when either binary fails to decode;
+/// [`VerifyError::Unsafe`] — carrying the full report — when any
+/// safety violation is found.
+pub fn verify_rewrite(original: &[u8], rewritten: &[u8]) -> Result<VerifyReport, VerifyError> {
+    let orig = decode_stream(original)?;
+    let rw = decode_stream(rewritten)?;
+
+    let mut report = VerifyReport {
+        kernel: orig.name.clone(),
+        original_instructions: orig.instrs.len(),
+        instrumented_instructions: rw.instrs.len(),
+        probes: 0,
+        repaired_branches: 0,
+        violations: Vec::new(),
+        notes: Vec::new(),
+    };
+
+    // Metadata invariants.
+    if !rw.metadata.instrumented {
+        report.violations.push(Violation::NotMarkedInstrumented);
+    }
+    if rw.name != orig.name {
+        report.violations.push(Violation::MetadataAltered {
+            detail: format!("name `{}` became `{}`", orig.name, rw.name),
+        });
+    }
+    if rw.metadata.num_args != orig.metadata.num_args {
+        report.violations.push(Violation::MetadataAltered {
+            detail: format!(
+                "num_args {} became {}",
+                orig.metadata.num_args, rw.metadata.num_args
+            ),
+        });
+    }
+    if rw.metadata.max_app_reg != orig.metadata.max_app_reg {
+        report.violations.push(Violation::MetadataAltered {
+            detail: format!(
+                "max_app_reg {} became {}",
+                orig.metadata.max_app_reg, rw.metadata.max_app_reg
+            ),
+        });
+    }
+
+    // Precondition: the probe classification is only exact when the
+    // original never touches reserved registers.
+    if orig.metadata.instrumented {
+        report.violations.push(Violation::MetadataAltered {
+            detail: "original binary is already instrumented".to_string(),
+        });
+    }
+    for (i, instr) in orig.instrs.iter().enumerate() {
+        if let Some(reg) = instr
+            .reads()
+            .chain(instr.writes())
+            .find(|r| r.0 >= FIRST_INSTRUMENTATION_REG)
+        {
+            report
+                .violations
+                .push(Violation::OriginalTouchesReservedRegs { at: i, reg });
+        }
+    }
+    if !report.violations.is_empty() {
+        return Err(VerifyError::Unsafe(report));
+    }
+
+    // Align non-probe instructions of the rewritten stream against the
+    // original, in order. `pos[i]` = rewritten index of original `i`;
+    // `group_start[i]` = rewritten index of the first probe inserted
+    // before original `i` (== pos[i] when none).
+    let n = orig.instrs.len();
+    let mut pos = vec![0usize; n];
+    let mut group_start = vec![0usize; n];
+    let mut next_orig = 0usize;
+    let mut current_group = 0usize;
+    let mut probes: Vec<usize> = Vec::new();
+    for (p, instr) in rw.instrs.iter().enumerate() {
+        if is_probe(instr) {
+            probes.push(p);
+            continue;
+        }
+        if next_orig == n {
+            report.violations.push(Violation::OriginalCodeAltered {
+                at: n,
+                detail: format!(
+                    "unexpected non-probe instruction `{instr}` past the end of the original stream"
+                ),
+            });
+            return Err(VerifyError::Unsafe(report));
+        }
+        let expected = &orig.instrs[next_orig];
+        if !matches_modulo_branch(expected, instr) {
+            report.violations.push(Violation::OriginalCodeAltered {
+                at: next_orig,
+                detail: format!("`{expected}` became `{instr}`"),
+            });
+            return Err(VerifyError::Unsafe(report));
+        }
+        pos[next_orig] = p;
+        group_start[next_orig] = current_group;
+        next_orig += 1;
+        current_group = p + 1;
+    }
+    if next_orig != n {
+        report.violations.push(Violation::MissingOriginalCode {
+            matched: next_orig,
+            expected: n,
+        });
+        return Err(VerifyError::Unsafe(report));
+    }
+    report.probes = probes.len();
+
+    // Owner of each rewritten index: the original instruction whose
+    // probe group (or own position) contains it. Trailing probes
+    // after the last original (the rewriter never emits them) get
+    // owner `n`, where nothing is live.
+    let owner_of = |p: usize| -> usize {
+        match pos.binary_search(&p) {
+            Ok(i) => i,
+            Err(i) => i, // between pos[i-1] and pos[i] → owned by i
+        }
+    };
+
+    // Liveness on the ORIGINAL stream: probes must not clobber
+    // anything the original program still needs at their injection
+    // point.
+    let cfg = Cfg::from_instrs(&orig.instrs).map_err(VerifyError::Decode)?;
+    let liveness = Liveness::compute(&cfg);
+    let live_before = |owner: usize| -> RegSet {
+        if owner < n {
+            liveness.live_in[owner]
+        } else {
+            RegSet::EMPTY
+        }
+    };
+
+    for &p in &probes {
+        let instr = &rw.instrs[p];
+        let owner = owner_of(p);
+        if instr.opcode.is_control() {
+            report
+                .violations
+                .push(Violation::ProbeIsControl { probe_at: p });
+        }
+        if let Some(desc) = instr.send {
+            if desc.surface == Surface::Global {
+                report
+                    .violations
+                    .push(Violation::ProbeTouchesAppMemory { probe_at: p });
+            }
+        }
+        let live = live_before(owner);
+        if let Some(dst) = instr.dst {
+            if dst.0 < FIRST_INSTRUMENTATION_REG {
+                if live.contains_reg(dst) {
+                    report
+                        .violations
+                        .push(Violation::ProbeClobbersLiveRegister {
+                            probe_at: p,
+                            owner,
+                            reg: dst,
+                        });
+                } else {
+                    report.notes.push(format!(
+                        "probe at rewritten index {p} writes non-reserved {dst}, dead before original instruction {owner}"
+                    ));
+                }
+            }
+        }
+        if instr.opcode == Opcode::Cmp {
+            if let Some(flag) = instr.flag {
+                if live.contains_flag(flag) {
+                    report
+                        .violations
+                        .push(Violation::ProbeClobbersLiveFlag { probe_at: p, owner });
+                }
+            }
+        }
+    }
+
+    // Branch repair: every control transfer must land exactly on the
+    // start of its original target's probe group — same original
+    // instruction next, no block-entry probe skipped.
+    for (i, instr) in orig.instrs.iter().enumerate() {
+        if !instr.opcode.is_control() || matches!(instr.opcode, Opcode::Eot | Opcode::Ret) {
+            continue;
+        }
+        let old_target = match usize::try_from(i as i64 + 1 + i64::from(instr.branch_offset)) {
+            Ok(t) if t < n => t,
+            _ => {
+                report
+                    .violations
+                    .push(Violation::BranchOutOfRange { at: i });
+                continue;
+            }
+        };
+        let repaired = &rw.instrs[pos[i]];
+        let new_target =
+            match usize::try_from(pos[i] as i64 + 1 + i64::from(repaired.branch_offset)) {
+                Ok(t) if t < rw.instrs.len() => t,
+                _ => {
+                    report
+                        .violations
+                        .push(Violation::BranchOutOfRange { at: i });
+                    continue;
+                }
+            };
+        if repaired.branch_offset != instr.branch_offset {
+            report.repaired_branches += 1;
+        }
+        if new_target == group_start[old_target] {
+            continue;
+        }
+        let maps_to = owner_of(new_target);
+        if maps_to != old_target {
+            report.violations.push(Violation::BranchRetargeted {
+                at: i,
+                old_target,
+                maps_to,
+            });
+        } else {
+            report.violations.push(Violation::BranchSkipsProbes {
+                at: i,
+                target: old_target,
+                group_start: group_start[old_target],
+            });
+        }
+    }
+
+    if report.is_safe() {
+        Ok(report)
+    } else {
+        Err(VerifyError::Unsafe(report))
+    }
+}
+
+/// Field-for-field equality, ignoring `branch_offset` on control
+/// opcodes (the rewriter legitimately repairs it).
+fn matches_modulo_branch(original: &Instruction, candidate: &Instruction) -> bool {
+    if original.opcode.is_control() && !matches!(original.opcode, Opcode::Eot | Opcode::Ret) {
+        let mut a = *original;
+        let mut b = *candidate;
+        a.branch_offset = 0;
+        b.branch_offset = 0;
+        a == b
+    } else {
+        original == candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::encode::encode_stream;
+    use gen_isa::{CondMod, ExecSize, FlagReg, Reg, Src, Surface, Terminator};
+
+    /// A two-block loop kernel with a global send, encoded.
+    fn sample_kernel() -> Vec<u8> {
+        let mut b = KernelBuilder::new("sample");
+        b.set_num_args(1);
+        let head = b.entry_block();
+        let exit = b.new_block();
+        b.block_mut(head)
+            .add(ExecSize::S8, Reg(16), Src::Reg(Reg(16)), Src::Imm(1))
+            .send_read(ExecSize::S8, Reg(17), Reg(1), Surface::Global, 64)
+            .cmp(
+                ExecSize::S1,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(16)),
+                Src::Imm(8),
+            );
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        b.build().unwrap().encode()
+    }
+
+    fn identity_rewrite(bytes: &[u8]) -> Vec<u8> {
+        let mut stream = decode_stream(bytes).unwrap();
+        stream.metadata.instrumented = true;
+        encode_stream(&stream.name, &stream.metadata, &stream.instrs)
+    }
+
+    #[test]
+    fn identity_rewrite_verifies() {
+        let orig = sample_kernel();
+        let rw = identity_rewrite(&orig);
+        let report = verify_rewrite(&orig, &rw).unwrap();
+        assert!(report.is_safe());
+        assert_eq!(report.probes, 0);
+        assert_eq!(report.repaired_branches, 0);
+    }
+
+    #[test]
+    fn unmarked_rewrite_rejected() {
+        let orig = sample_kernel();
+        let err = verify_rewrite(&orig, &orig).unwrap_err();
+        let VerifyError::Unsafe(report) = err else {
+            panic!("expected unsafe");
+        };
+        assert!(report
+            .violations
+            .contains(&Violation::NotMarkedInstrumented));
+    }
+
+    #[test]
+    fn altered_app_instruction_rejected() {
+        let orig = sample_kernel();
+        let mut stream = decode_stream(&orig).unwrap();
+        stream.metadata.instrumented = true;
+        // Tamper with an application instruction's immediate.
+        stream.instrs[0].srcs[1] = Src::Imm(2);
+        let rw = encode_stream(&stream.name, &stream.metadata, &stream.instrs);
+        let err = verify_rewrite(&orig, &rw).unwrap_err();
+        let VerifyError::Unsafe(report) = err else {
+            panic!("expected unsafe");
+        };
+        assert!(matches!(
+            report.violations[0],
+            Violation::OriginalCodeAltered { at: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn dropped_app_instruction_rejected() {
+        let orig = sample_kernel();
+        let mut stream = decode_stream(&orig).unwrap();
+        stream.metadata.instrumented = true;
+        stream.instrs.remove(1);
+        // Removing the send shifts the brc target; keep offsets legal
+        // by removing after the branch-carrying tail instead.
+        let rw = encode_stream(&stream.name, &stream.metadata, &stream.instrs);
+        let err = verify_rewrite(&orig, &rw).unwrap_err();
+        assert!(matches!(err, VerifyError::Unsafe(_)));
+    }
+
+    #[test]
+    fn garbage_bytes_fail_decode() {
+        let orig = sample_kernel();
+        assert!(matches!(
+            verify_rewrite(&orig, b"junk"),
+            Err(VerifyError::Decode(_))
+        ));
+        assert!(matches!(
+            verify_rewrite(b"junk", &orig),
+            Err(VerifyError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn original_using_reserved_regs_rejected() {
+        // Hand-built (the builder's validation would reject this):
+        // an "original" that already touches r120.
+        use gen_isa::{BasicBlock, BlockId, Instruction, KernelBinary, KernelMetadata, Opcode};
+        let mut mov = Instruction::new(Opcode::Mov, ExecSize::S1);
+        mov.dst = Some(Reg(120));
+        mov.srcs[0] = Src::Imm(0);
+        let k = KernelBinary {
+            name: "cheat".into(),
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                instrs: vec![mov],
+                term: Terminator::Eot,
+            }],
+            metadata: KernelMetadata::default(),
+        };
+        let bytes = k.encode();
+        let rw = identity_rewrite(&bytes);
+        let err = verify_rewrite(&bytes, &rw).unwrap_err();
+        let VerifyError::Unsafe(report) = err else {
+            panic!("expected unsafe");
+        };
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OriginalTouchesReservedRegs { .. })));
+    }
+}

@@ -61,8 +61,8 @@ impl StaticKernelInfo {
             let mut info = BlockStaticInfo::default();
             for instr in &instrs[start as usize..end] {
                 info.instructions += 1;
-                info.per_category[cat_idx(instr)] += 1;
-                info.per_width[width_idx(instr)] += 1;
+                info.per_category[instr.opcode.category().index()] += 1;
+                info.per_width[instr.exec_size.index()] += 1;
                 info.bytes_read += instr.app_bytes_read();
                 info.bytes_written += instr.app_bytes_written();
                 if instr.opcode.is_send()
@@ -82,20 +82,6 @@ impl StaticKernelInfo {
             blocks,
         }
     }
-}
-
-fn cat_idx(instr: &Instruction) -> usize {
-    gen_isa::OpcodeCategory::ALL
-        .iter()
-        .position(|&c| c == instr.opcode.category())
-        .expect("category in ALL")
-}
-
-fn width_idx(instr: &Instruction) -> usize {
-    gen_isa::ExecSize::ALL
-        .iter()
-        .position(|&w| w == instr.exec_size)
-        .expect("width in ALL")
 }
 
 #[cfg(test)]

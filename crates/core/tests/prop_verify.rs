@@ -1,0 +1,170 @@
+//! Property tests for the instrumentation-safety verifier: across
+//! randomly generated kernels and tool mixes, every rewrite the
+//! rewriter produces must verify safe — and a deliberately tampered
+//! probe that clobbers a live application register must be rejected.
+
+use gen_isa::encode::{decode_stream, encode_stream};
+use gen_isa::{ExecSize, Instruction, Opcode, Reg, Src, FIRST_INSTRUMENTATION_REG};
+use gtpin_analyze::{is_probe, verify_rewrite, Cfg, Liveness, VerifyError, Violation};
+use gtpin_core::rewriter::{rewrite_binary, RewriteConfig};
+use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = ExecSize> {
+    prop::sample::select(vec![
+        ExecSize::S1,
+        ExecSize::S4,
+        ExecSize::S8,
+        ExecSize::S16,
+    ])
+}
+
+/// A random kernel body: optional branch, one loop, mixed compute and
+/// memory traffic — the same shape the rewriter property tests use.
+fn arb_body() -> impl Strategy<Value = Vec<IrOp>> {
+    let inner_op = prop_oneof![
+        ((1u16..12), arb_width()).prop_map(|(ops, width)| IrOp::Compute { ops, width }),
+        ((1u16..8), arb_width()).prop_map(|(ops, width)| IrOp::Logic { ops, width }),
+        ((1u16..8), arb_width()).prop_map(|(ops, width)| IrOp::Move { ops, width }),
+        ((4u32..256), arb_width()).prop_map(|(bytes, width)| IrOp::Load {
+            arg: 1,
+            bytes: bytes * 4,
+            width,
+            pattern: AccessPattern::Linear,
+        }),
+        ((4u32..128), arb_width()).prop_map(|(bytes, width)| IrOp::Store {
+            arg: 2,
+            bytes: bytes * 4,
+            width,
+            pattern: AccessPattern::Linear,
+        }),
+    ];
+    (
+        prop::collection::vec(inner_op, 1..6),
+        1u32..8,
+        prop::option::of(0u32..100),
+    )
+        .prop_map(|(inner, trip, if_thresh)| {
+            let mut body = Vec::new();
+            if let Some(t) = if_thresh {
+                body.push(IrOp::IfArgLt { arg: 3, value: t });
+                body.push(IrOp::Move {
+                    ops: 2,
+                    width: ExecSize::S8,
+                });
+                body.push(IrOp::EndIf);
+            }
+            body.push(IrOp::LoopBegin {
+                trip: TripCount::Const(trip),
+            });
+            body.extend(inner);
+            body.push(IrOp::LoopEnd);
+            body
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = RewriteConfig> {
+    (
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(bb, t, m, naive)| RewriteConfig {
+            count_basic_blocks: bb,
+            time_kernels: t,
+            trace_memory: m,
+            naive_per_instruction_counters: naive,
+        })
+}
+
+fn compile(body: Vec<IrOp>) -> Vec<u8> {
+    let mut ir = KernelIr::new("prop", 4);
+    ir.body = body;
+    gpu_device::jit::compile_kernel(&ir)
+        .expect("compiles")
+        .encode()
+}
+
+/// Find a probe in the rewritten stream whose owner (the next original
+/// instruction) has a live non-reserved register, and tamper the probe
+/// into `add r_live, r121, 1` — still classified as a probe (it reads
+/// a reserved register) but now clobbering application state.
+fn tamper_clobbering_probe(original: &[u8], rewritten: &[u8]) -> Option<(Vec<u8>, Reg)> {
+    let orig = decode_stream(original).expect("original decodes");
+    let cfg = Cfg::from_instrs(&orig.instrs).expect("cfg builds");
+    let live = Liveness::compute(&cfg);
+    let rw = decode_stream(rewritten).expect("rewritten decodes");
+
+    let mut owner = 0usize; // index of the next original instruction
+    for (p, instr) in rw.instrs.iter().enumerate() {
+        if !is_probe(instr) {
+            owner += 1;
+            continue;
+        }
+        let Some(live_in) = live.live_in.get(owner) else {
+            continue;
+        };
+        let Some(reg) = live_in
+            .iter_regs()
+            .find(|r| r.0 < FIRST_INSTRUMENTATION_REG)
+        else {
+            continue;
+        };
+        let mut tampered = rw.instrs.clone();
+        let mut clobber = Instruction::new(Opcode::Add, ExecSize::S1);
+        clobber.dst = Some(reg);
+        clobber.srcs = [
+            Src::Reg(Reg(FIRST_INSTRUMENTATION_REG + 1)),
+            Src::Imm(1),
+            Src::Null,
+        ];
+        tampered[p] = clobber;
+        return Some((encode_stream(&rw.name, &rw.metadata, &tampered), reg));
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance: everything the rewriter emits proves safe, for
+    /// every tool mix.
+    #[test]
+    fn rewriter_output_always_verifies(body in arb_body(), config in arb_config()) {
+        let bytes = compile(body);
+        let rw = rewrite_binary(&bytes, &config, 0, 0).expect("rewrites");
+        let report = verify_rewrite(&bytes, &rw.bytes).expect("verifies");
+        prop_assert!(report.is_safe());
+        prop_assert!(report.violations.is_empty());
+    }
+
+    /// Rejection: flip one injected probe into a write of a register
+    /// that is live in the application at the injection point — the
+    /// verifier must name the clobbered register.
+    #[test]
+    fn clobbering_probe_is_rejected(body in arb_body()) {
+        let bytes = compile(body);
+        let config = RewriteConfig {
+            count_basic_blocks: true,
+            time_kernels: true,
+            trace_memory: true,
+            naive_per_instruction_counters: false,
+        };
+        let rw = rewrite_binary(&bytes, &config, 0, 0).expect("rewrites");
+        // Every generated kernel loops, so a counter register is live
+        // at the loop-head block counter probe; a miss would mean the
+        // tamper helper regressed, not the verifier.
+        let (tampered, reg) =
+            tamper_clobbering_probe(&bytes, &rw.bytes).expect("a live register exists at a probe");
+        match verify_rewrite(&bytes, &tampered) {
+            Err(VerifyError::Unsafe(report)) => {
+                prop_assert!(report.violations.iter().any(|v| matches!(
+                    v,
+                    Violation::ProbeClobbersLiveRegister { reg: r, .. } if *r == reg
+                )));
+            }
+            other => prop_assert!(false, "expected Unsafe, got {other:?}"),
+        }
+    }
+}

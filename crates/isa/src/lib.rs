@@ -51,7 +51,7 @@ pub use instruction::{
 pub use kernel::{BasicBlock, BlockId, DecodedKernel, KernelBinary, KernelMetadata, Terminator};
 pub use opcode::{ExecSize, Opcode, OpcodeCategory};
 pub use register::{Reg, FIRST_INSTRUMENTATION_REG, NUM_GRF, NUM_LANES};
-pub use validate::{validate, ValidateError};
+pub use validate::{validate, validate_all, ValidateError};
 
 /// Errors produced when decoding a kernel binary from bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]

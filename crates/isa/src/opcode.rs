@@ -28,6 +28,18 @@ impl OpcodeCategory {
         OpcodeCategory::Send,
     ];
 
+    /// Position of this category in [`OpcodeCategory::ALL`] — the
+    /// index used by per-category count arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpcodeCategory::Move => 0,
+            OpcodeCategory::Logic => 1,
+            OpcodeCategory::Control => 2,
+            OpcodeCategory::Computation => 3,
+            OpcodeCategory::Send => 4,
+        }
+    }
+
     /// Short lowercase label used in reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -244,6 +256,12 @@ impl ExecSize {
         ExecSize::S16,
     ];
 
+    /// Position of this width in [`ExecSize::ALL`] — the index used
+    /// by per-width count arrays (the discriminant doubles as it).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Number of SIMD lanes this width covers.
     pub fn lanes(self) -> usize {
         match self {
@@ -323,6 +341,16 @@ mod tests {
                 Opcode::ALL.iter().any(|o| o.category() == cat),
                 "no opcode in category {cat}"
             );
+        }
+    }
+
+    #[test]
+    fn category_and_width_indices_match_all_order() {
+        for (i, cat) in OpcodeCategory::ALL.into_iter().enumerate() {
+            assert_eq!(cat.index(), i, "{cat}");
+        }
+        for (i, w) in ExecSize::ALL.into_iter().enumerate() {
+            assert_eq!(w.index(), i, "{w}");
         }
     }
 

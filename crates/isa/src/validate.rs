@@ -2,7 +2,7 @@
 
 use crate::instruction::Src;
 use crate::kernel::{KernelBinary, Terminator};
-use crate::opcode::{Opcode, OpcodeCategory};
+use crate::opcode::Opcode;
 use crate::register::{Reg, FIRST_INSTRUMENTATION_REG};
 
 /// Problems [`validate`] can report.
@@ -70,36 +70,36 @@ impl std::fmt::Display for ValidateError {
 
 impl std::error::Error for ValidateError {}
 
-/// Validate a structured kernel binary.
+/// Validate a structured kernel binary, reporting *every* problem.
 ///
-/// # Errors
-///
-/// Returns the first [`ValidateError`] found, scanning blocks in
-/// layout order.
-pub fn validate(kernel: &KernelBinary) -> Result<(), ValidateError> {
+/// Errors are collected in layout order: per block, per instruction,
+/// then terminator targets. An empty kernel yields exactly
+/// [`ValidateError::EmptyKernel`]. The first element of the returned
+/// vector is what [`validate`] reports.
+pub fn validate_all(kernel: &KernelBinary) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
     if kernel.blocks.is_empty() {
-        return Err(ValidateError::EmptyKernel);
+        errors.push(ValidateError::EmptyKernel);
+        return errors;
     }
     let num_blocks = kernel.blocks.len() as u32;
     for block in &kernel.blocks {
         let b = block.id.0;
         for (i, instr) in block.instrs.iter().enumerate() {
             if instr.opcode == Opcode::Call {
-                return Err(ValidateError::CallUnsupported { block: b, instr: i });
-            }
-            if instr.opcode.is_control() {
-                return Err(ValidateError::ControlInBlockBody { block: b, instr: i });
+                errors.push(ValidateError::CallUnsupported { block: b, instr: i });
+            } else if instr.opcode.is_control() {
+                errors.push(ValidateError::ControlInBlockBody { block: b, instr: i });
             }
             for reg in instr.reads().chain(instr.writes()) {
                 if !reg.is_valid() {
-                    return Err(ValidateError::BadRegister {
+                    errors.push(ValidateError::BadRegister {
                         block: b,
                         instr: i,
                         reg,
                     });
-                }
-                if !kernel.metadata.instrumented && reg.0 >= FIRST_INSTRUMENTATION_REG {
-                    return Err(ValidateError::InstrumentationRegUsed {
+                } else if !kernel.metadata.instrumented && reg.0 >= FIRST_INSTRUMENTATION_REG {
+                    errors.push(ValidateError::InstrumentationRegUsed {
                         block: b,
                         instr: i,
                         reg,
@@ -107,28 +107,27 @@ pub fn validate(kernel: &KernelBinary) -> Result<(), ValidateError> {
                 }
             }
             if instr.immediate_count() > 1 {
-                return Err(ValidateError::TooManyImmediates { block: b, instr: i });
+                errors.push(ValidateError::TooManyImmediates { block: b, instr: i });
             }
             let has_desc = instr.send.is_some();
             if instr.opcode.is_send() != has_desc {
-                return Err(ValidateError::SendDescriptorMismatch { block: b, instr: i });
+                errors.push(ValidateError::SendDescriptorMismatch { block: b, instr: i });
             }
             if instr.opcode == Opcode::Cmp && (instr.cond.is_none() || instr.flag.is_none()) {
-                return Err(ValidateError::CmpWithoutCondition { block: b, instr: i });
+                errors.push(ValidateError::CmpWithoutCondition { block: b, instr: i });
             }
             // Sources past the opcode's arity must be null.
-            for (s, src) in instr.srcs.iter().enumerate() {
-                if s >= instr.opcode.num_sources()
+            if instr.srcs.iter().enumerate().any(|(s, src)| {
+                s >= instr.opcode.num_sources()
                     && !matches!(src, Src::Null)
                     && !instr.opcode.is_send()
-                {
-                    return Err(ValidateError::TooManyImmediates { block: b, instr: i });
-                }
+            }) {
+                errors.push(ValidateError::TooManyImmediates { block: b, instr: i });
             }
         }
         for target in block.term.successors() {
             if target.0 >= num_blocks {
-                return Err(ValidateError::BadBlockTarget {
+                errors.push(ValidateError::BadBlockTarget {
                     block: b,
                     target: target.0,
                 });
@@ -138,10 +137,23 @@ pub fn validate(kernel: &KernelBinary) -> Result<(), ValidateError> {
             // A kernel whose only exit is `ret` never ends the thread;
             // tolerated for subroutines, but flagged for single-block
             // kernels where it is certainly a bug.
-            return Err(ValidateError::MissingFinalTerminator);
+            errors.push(ValidateError::MissingFinalTerminator);
         }
     }
-    Ok(())
+    errors
+}
+
+/// Validate a structured kernel binary.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found, scanning blocks in
+/// layout order. Use [`validate_all`] to see every problem at once.
+pub fn validate(kernel: &KernelBinary) -> Result<(), ValidateError> {
+    match validate_all(kernel).into_iter().next() {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
 }
 
 /// Statistics over a kernel's static structure, used by tests and by
@@ -153,7 +165,7 @@ pub struct StaticStats {
     /// Encoded (flattened) instruction count.
     pub instructions: usize,
     /// Count of instructions per category, indexed per
-    /// [`OpcodeCategory::ALL`].
+    /// [`crate::opcode::OpcodeCategory::ALL`].
     pub per_category: [usize; 5],
 }
 
@@ -162,11 +174,7 @@ pub fn static_stats(kernel: &KernelBinary) -> StaticStats {
     let flat = kernel.flatten();
     let mut per_category = [0usize; 5];
     for instr in &flat.instrs {
-        let idx = OpcodeCategory::ALL
-            .iter()
-            .position(|&c| c == instr.opcode.category())
-            .expect("category is in ALL");
-        per_category[idx] += 1;
+        per_category[instr.opcode.category().index()] += 1;
     }
     StaticStats {
         blocks: flat.num_blocks(),
@@ -256,6 +264,44 @@ mod tests {
         let mut k = raw_kernel(vec![i], Terminator::Eot);
         k.metadata.instrumented = true;
         assert!(validate(&k).is_ok());
+    }
+
+    #[test]
+    fn validate_all_reports_every_error() {
+        // One instruction with two problems (control opcode in body,
+        // plus a send descriptor on a non-send) and a bad terminator
+        // target: three errors, in traversal order.
+        let mut i = Instruction::new(Opcode::Jmpi, ExecSize::S1);
+        i.send = Some(SendDescriptor {
+            op: SendOp::Read,
+            surface: Surface::Global,
+            bytes: 4,
+        });
+        let k = raw_kernel(vec![i], Terminator::Jump(BlockId(9)));
+        let errors = validate_all(&k);
+        assert_eq!(
+            errors,
+            vec![
+                ValidateError::ControlInBlockBody { block: 0, instr: 0 },
+                ValidateError::SendDescriptorMismatch { block: 0, instr: 0 },
+                ValidateError::BadBlockTarget {
+                    block: 0,
+                    target: 9
+                },
+            ]
+        );
+        // The first-error API reports exactly the head of the list.
+        assert_eq!(validate(&k).unwrap_err(), errors[0]);
+    }
+
+    #[test]
+    fn validate_all_empty_kernel_is_single_error() {
+        let k = KernelBinary {
+            name: "empty".into(),
+            blocks: vec![],
+            metadata: KernelMetadata::default(),
+        };
+        assert_eq!(validate_all(&k), vec![ValidateError::EmptyKernel]);
     }
 
     #[test]

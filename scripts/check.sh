@@ -37,6 +37,22 @@ test -s "$OBS_DIR/journal.jsonl" || {
 }
 cargo run -q --release --bin gtpin -- obs-verify "$OBS_DIR/journal.jsonl"
 
+echo "== static analysis: lint + instrumentation-safety verifier over all builtin workloads"
+LINT_OUT="$(cargo run -q --release --bin gtpin -- lint --all 2>&1)" || {
+    echo "$LINT_OUT"
+    echo "FAIL: gtpin lint --all reported errors or an unsafe rewrite"
+    exit 1
+}
+echo "$LINT_OUT" | grep -q "0 error(s)" || {
+    echo "$LINT_OUT"
+    echo "FAIL: gtpin lint --all did not emit its zero-error summary"
+    exit 1
+}
+
+echo "== verifier gate: tier-1 tests with GTPIN_VERIFY=1"
+# Every rewrite the test suite performs is re-proved safe in-line.
+GTPIN_VERIFY=1 cargo test -q
+
 echo "== fault-matrix smoke: tier-1 tests armed-but-quiescent under GTPIN_FAULTS=1"
 # Armed with all rates zero: every instrumented seam runs its check
 # path but nothing fires, so results must stay green and bit-identical.

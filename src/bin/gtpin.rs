@@ -9,6 +9,11 @@
 //!     --json <path>                   dump the profile as JSON
 //! gtpin select <app> [threshold%]     explore configs and print selections
 //! gtpin disasm <app> [kernel-index]   disassemble a JIT-compiled kernel
+//! gtpin lint <app>|--all [--json <p>] run the static lints over every
+//!                                     kernel of an app (or all apps) and
+//!                                     verify the instrumentation rewrite
+//!                                     is safe; nonzero exit on Error-
+//!                                     severity findings
 //! gtpin luxmark                       compare HD4000 vs HD4600 scores
 //! gtpin obs-report [app]              run an instrumented exploration and
 //!                                     print the telemetry summary table
@@ -38,13 +43,14 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("select") => cmd_select(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("luxmark") => cmd_luxmark(),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("obs-verify") => cmd_obs_verify(&args[1..]),
         Some("faults-matrix") => cmd_faults_matrix(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gtpin <list|run|select|disasm|luxmark|obs-report|obs-verify|faults-matrix> [args]"
+                "usage: gtpin <list|run|select|disasm|lint|luxmark|obs-report|obs-verify|faults-matrix> [args]"
             );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
@@ -187,6 +193,85 @@ fn cmd_disasm(args: &[String]) -> CliResult {
         .kernel(index)
         .ok_or_else(|| format!("kernel index {index} out of range"))?;
     print!("{}", disassemble_flat(kernel));
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> CliResult {
+    use gtpin_suite::analyze::{lint_kernel, verify_rewrite, LintConfig, Severity};
+    use gtpin_suite::device::jit::compile_kernel;
+    use gtpin_suite::gtpin::rewriter::rewrite_binary;
+
+    let specs: Vec<gtpin_suite::workloads::WorkloadSpec> =
+        if args.first().map(String::as_str) == Some("--all") {
+            all_specs()
+        } else {
+            vec![parse_app(args)?]
+        };
+    let verify_config = RewriteConfig {
+        count_basic_blocks: true,
+        time_kernels: true,
+        trace_memory: true,
+        naive_per_instruction_counters: false,
+    };
+
+    let mut all_diags = Vec::new();
+    let mut kernels = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut first_verify_failure: Option<GtPinError> = None;
+    for spec in &specs {
+        let program = build_program(spec, Scale::Test);
+        for ir in &program.source.kernels {
+            let kernel = compile_kernel(ir)?;
+            kernels += 1;
+
+            let diags = lint_kernel(&kernel, &LintConfig::for_metadata(&kernel.metadata))?;
+            for d in &diags {
+                match d.severity {
+                    Severity::Error => errors += 1,
+                    Severity::Warning => warnings += 1,
+                }
+                println!("{}: {d}", spec.name);
+            }
+            all_diags.extend(diags);
+
+            // Verifier leg: instrument with every tool enabled and
+            // prove the rewrite only touches dead reserved state.
+            let bytes = kernel.encode();
+            let rw = rewrite_binary(&bytes, &verify_config, 0, 0).map_err(GtPinError::Msg)?;
+            match verify_rewrite(&bytes, &rw.bytes) {
+                Ok(report) => println!(
+                    "{}: verify[ok] {} — {} probes, {} repaired branches",
+                    spec.name, kernel.name, report.probes, report.repaired_branches
+                ),
+                Err(e) => {
+                    eprintln!("{}: verify[FAIL] {}: {e}", spec.name, kernel.name);
+                    if first_verify_failure.is_none() {
+                        first_verify_failure = Some(e.into());
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nlint: {} kernel(s) across {} app(s): {} error(s), {} warning(s)",
+        kernels,
+        specs.len(),
+        errors,
+        warnings
+    );
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).ok_or("--json needs a path")?;
+        std::fs::write(path, serde_json::to_string_pretty(&all_diags)?)?;
+        println!("diagnostics written to {path}");
+    }
+    if let Some(e) = first_verify_failure {
+        return Err(e);
+    }
+    if errors > 0 {
+        return Err(format!("lint found {errors} error-severity finding(s)").into());
+    }
     Ok(())
 }
 

@@ -13,6 +13,7 @@
 use gen_isa::DecodeError;
 use gpu_device::executor::ExecError;
 use gpu_device::jit::JitError;
+use gtpin_analyze::VerifyError;
 use ocl_runtime::device::DeviceError;
 use ocl_runtime::runtime::RunError;
 use simpoint::SelectError;
@@ -33,6 +34,8 @@ pub enum GtPinError {
     Select(SelectError),
     /// A kernel binary failed to decode.
     Decode(DecodeError),
+    /// The instrumentation-safety verifier rejected a rewrite.
+    Verify(VerifyError),
     /// Profile and timing data did not line up.
     Merge(MergeError),
     /// The profiling pipeline failed.
@@ -57,6 +60,7 @@ impl GtPinError {
             GtPinError::Run(_) => "run",
             GtPinError::Select(_) => "select",
             GtPinError::Decode(_) => "decode",
+            GtPinError::Verify(_) => "verify",
             GtPinError::Merge(_) => "merge",
             GtPinError::Pipeline(_) => "pipeline",
             GtPinError::Io(_) => "io",
@@ -75,6 +79,7 @@ impl std::fmt::Display for GtPinError {
             GtPinError::Run(e) => write!(f, "{e}"),
             GtPinError::Select(e) => write!(f, "{e}"),
             GtPinError::Decode(e) => write!(f, "{e}"),
+            GtPinError::Verify(e) => write!(f, "{e}"),
             GtPinError::Merge(e) => write!(f, "{e}"),
             GtPinError::Pipeline(e) => write!(f, "{e}"),
             GtPinError::Io(e) => write!(f, "{e}"),
@@ -93,6 +98,7 @@ impl std::error::Error for GtPinError {
             GtPinError::Run(e) => Some(e),
             GtPinError::Select(e) => Some(e),
             GtPinError::Decode(e) => Some(e),
+            GtPinError::Verify(e) => Some(e),
             GtPinError::Merge(e) => Some(e),
             GtPinError::Pipeline(e) => Some(e),
             GtPinError::Io(e) => Some(e),
@@ -118,6 +124,7 @@ from_impl!(JitError => Jit);
 from_impl!(RunError => Run);
 from_impl!(SelectError => Select);
 from_impl!(DecodeError => Decode);
+from_impl!(VerifyError => Verify);
 from_impl!(MergeError => Merge);
 from_impl!(PipelineError => Pipeline);
 from_impl!(std::io::Error => Io);

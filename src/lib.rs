@@ -11,6 +11,8 @@
 //! * [`device`] — the GPU device model (JIT, executor, timing,
 //!   detailed simulator),
 //! * [`gtpin`] — the GT-Pin binary instrumentation engine and tools,
+//! * [`analyze`] — CFG dataflow analyses, kernel lints, and the
+//!   instrumentation-safety verifier (the `GTPIN_VERIFY` gate),
 //! * [`obs`] — the `GTPIN_OBS` telemetry registry and exporters,
 //! * [`faults`] — the `GTPIN_FAULTS` deterministic fault-injection
 //!   registry,
@@ -25,6 +27,7 @@ pub mod error;
 pub use error::GtPinError;
 pub use gen_isa as isa;
 pub use gpu_device as device;
+pub use gtpin_analyze as analyze;
 pub use gtpin_core as gtpin;
 pub use gtpin_faults as faults;
 pub use gtpin_obs as obs;
