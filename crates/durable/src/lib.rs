@@ -1,0 +1,717 @@
+//! Crash-consistent run journal for exploration and profiling sweeps.
+//!
+//! The paper's subset-selection study is the expensive path: 25 apps
+//! × 30 interval/feature configurations, each replaying a full
+//! instrumented execution. A production profiling service must
+//! survive preemption and partial failure *without* restarting that
+//! sweep from zero. This crate is the durability pillar: completed
+//! units of work (per-app profiles, per-config evaluations, selection
+//! summaries) are appended to a **write-ahead journal** on disk, and
+//! a resumed run recovers the completed-work set and recomputes only
+//! what is missing.
+//!
+//! ## Format and atomicity argument
+//!
+//! A journal is a directory of numbered **segments**
+//! (`seg-00000042.log`). Each segment starts with an 8-byte magic and
+//! holds one or more **records**: `[len: u32 LE][fnv64: u64 LE]
+//! [payload]`. Two mechanisms make appends crash-consistent:
+//!
+//! 1. **Write-to-temp + atomic rename.** A segment is staged as
+//!    `seg-N.log.tmp`, flushed, then renamed to `seg-N.log`. POSIX
+//!    rename is atomic, so a crash *before* the rename leaves only an
+//!    orphan `.tmp` (ignored and swept by recovery), and a crash
+//!    *after* leaves a fully-written segment.
+//! 2. **Length-prefix + checksum per record.** If the OS tears the
+//!    write anyway (power loss between rename and data reaching the
+//!    platter), recovery detects the torn tail — a record whose bytes
+//!    run out or whose checksum mismatches — and **truncates** the
+//!    segment back to its last intact record. A torn record is never
+//!    parsed as valid data; it is counted and recomputed.
+//!
+//! Under those two rules every record is either durably present and
+//! intact, or absent — the invariant resume correctness rests on.
+//!
+//! ## Fault injection
+//!
+//! The `journal.crash` site (see `gtpin-faults`) simulates both
+//! failure modes deterministically: process death between append and
+//! rename (orphan `.tmp`) and a torn partial write that survived the
+//! rename. [`Journal::append`] is the guarded single attempt;
+//! [`Journal::append_with_recovery`] walks the recovery ladder
+//! (repair + retry, then an unguarded append) for callers that must
+//! make progress in-process.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"GTJRNL01";
+/// Bytes of record framing before the payload: u32 length + u64 FNV.
+pub const RECORD_HEADER: usize = 12;
+
+/// Errors from the journal layer.
+#[derive(Debug)]
+pub enum JournalError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The directory is missing, not a directory, or unusable as a
+    /// journal (e.g. `create` over an existing journal).
+    NotAJournal {
+        /// The offending path.
+        path: PathBuf,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The `journal.crash` fault fired: the process is considered
+    /// dead between append and rename (or after a torn write). The
+    /// in-flight record is not durable.
+    InjectedCrash {
+        /// The segment index whose append "died".
+        segment: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { path, source } => {
+                write!(f, "journal I/O failed at {}: {source}", path.display())
+            }
+            JournalError::NotAJournal { path, reason } => {
+                write!(f, "{} is not a usable journal: {reason}", path.display())
+            }
+            JournalError::InjectedCrash { segment } => {
+                write!(
+                    f,
+                    "injected crash during append of segment {segment} \
+                     (simulated process death)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> JournalError {
+    JournalError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// FNV-1a over a byte slice — the per-record checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer, used to derive the injected failure mode
+/// from the decision key without consulting any global state.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What [`Journal::recover`] found on disk.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Every intact record payload, in (segment, record) order.
+    pub records: Vec<Vec<u8>>,
+    /// Segments that held at least one intact record.
+    pub segments: usize,
+    /// Torn tail records truncated away (never parsed as valid).
+    pub torn_records: usize,
+    /// Segments physically truncated back to their last intact record.
+    pub truncated_segments: usize,
+    /// Segments deleted because truncation left no intact record.
+    pub deleted_segments: usize,
+    /// Orphan `seg-*.log.tmp` files swept (crash before rename).
+    pub orphan_tmps: usize,
+}
+
+impl Recovery {
+    /// True when recovery had to repair anything at all.
+    pub fn repaired(&self) -> bool {
+        self.torn_records > 0 || self.orphan_tmps > 0 || self.deleted_segments > 0
+    }
+}
+
+/// How many injected crashes an [`Journal::append_with_recovery`]
+/// call survived before the record became durable.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AppendRecovery {
+    /// Guarded attempts that "died" (orphan tmp or torn write).
+    pub crashes_survived: u32,
+    /// True when the final attempt had to run unguarded.
+    pub unguarded: bool,
+}
+
+/// A crash-consistent append-only journal rooted at one directory.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    next_segment: u64,
+}
+
+fn segment_name(index: u64) -> String {
+    format!("seg-{index:08}.log")
+}
+
+/// Parse `seg-NNNNNNNN.log` back to its index.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+impl Journal {
+    /// Start a **fresh** journal at `dir` (created if absent). Fails
+    /// if the directory already holds journal segments — resuming an
+    /// existing journal must go through [`Journal::recover`] so torn
+    /// state is repaired, never silently appended after.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let entries = list_dir(&dir)?;
+        if entries
+            .iter()
+            .any(|n| parse_segment_name(n).is_some() || n.ends_with(".log.tmp"))
+        {
+            return Err(JournalError::NotAJournal {
+                path: dir,
+                reason: "directory already contains journal segments \
+                         (use recover to resume)"
+                    .into(),
+            });
+        }
+        Ok(Journal {
+            dir,
+            next_segment: 0,
+        })
+    }
+
+    /// Open an existing journal, repairing crash damage: orphan
+    /// `.tmp` files are swept, torn tail records are truncated (and
+    /// recounted, never parsed as valid records), and every intact
+    /// payload is returned in append order.
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<(Journal, Recovery), JournalError> {
+        let dir = dir.into();
+        let meta = fs::metadata(&dir).map_err(|_| JournalError::NotAJournal {
+            path: dir.clone(),
+            reason: "directory does not exist".into(),
+        })?;
+        if !meta.is_dir() {
+            return Err(JournalError::NotAJournal {
+                path: dir,
+                reason: "not a directory".into(),
+            });
+        }
+        let mut span = gtpin_obs::span("journal.recover");
+        let recovery = scan_and_repair(&dir)?;
+        let next_segment = max_segment_index(&dir)?.map_or(0, |m| m + 1);
+        if span.active() {
+            span.arg_u64("records", recovery.records.len() as u64);
+            span.arg_u64("torn", recovery.torn_records as u64);
+            span.arg_u64("orphan_tmps", recovery.orphan_tmps as u64);
+        }
+        gtpin_obs::counter_add("journal.recovered_records", recovery.records.len() as u64);
+        gtpin_obs::counter_add("journal.torn_truncated", recovery.torn_records as u64);
+        gtpin_obs::counter_add("journal.orphan_tmps", recovery.orphan_tmps as u64);
+        Ok((Journal { dir, next_segment }, recovery))
+    }
+
+    /// The journal's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The index the next sealed segment will take.
+    pub fn next_segment(&self) -> u64 {
+        self.next_segment
+    }
+
+    /// Append one record as a new sealed segment. This is the
+    /// **guarded single attempt**: with the `journal.crash` fault
+    /// armed it may "die" (orphan tmp or torn write) and return
+    /// [`JournalError::InjectedCrash`] — the record is then *not*
+    /// durable, exactly as if the process had been killed.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        self.append_batch(&[payload])
+    }
+
+    /// Append several records inside one sealed segment (one rename).
+    /// On an injected crash the batch is not durable as a whole, but
+    /// a torn write may leave a durable *prefix* of the batch —
+    /// callers that retry must dedupe by record identity.
+    pub fn append_batch(&mut self, payloads: &[&[u8]]) -> Result<(), JournalError> {
+        // Each retry of the same segment index (a crashed append that
+        // a resumed run re-attempts) must get an independent injection
+        // decision, or an orphan-mode crash would deterministically
+        // repeat forever and no resume loop could ever make progress.
+        let attempt = if gtpin_faults::enabled() {
+            gtpin_faults::occurrence(gtpin_faults::site::JOURNAL_CRASH, self.next_segment)
+        } else {
+            0
+        };
+        self.append_attempt(payloads, attempt, true)
+    }
+
+    /// Append with the in-process recovery ladder: a crashed guarded
+    /// attempt is repaired ([`Journal::repair`]) and retried once
+    /// (fresh injection decision); a second crash falls back to an
+    /// unguarded append. A record always becomes durable; the ladder
+    /// is accounted through `gtpin-faults`.
+    pub fn append_with_recovery(&mut self, payload: &[u8]) -> Result<AppendRecovery, JournalError> {
+        let mut stats = AppendRecovery::default();
+        for attempt in 0..2u64 {
+            match self.append_attempt(&[payload], attempt, true) {
+                Ok(()) => return Ok(stats),
+                Err(JournalError::InjectedCrash { .. }) => {
+                    stats.crashes_survived += 1;
+                    gtpin_faults::note("recovered.journal_repair", 1);
+                    self.repair()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        stats.unguarded = true;
+        gtpin_faults::note("recovered.journal_unguarded", 1);
+        self.append_attempt(&[payload], 2, false)?;
+        Ok(stats)
+    }
+
+    /// Sweep crash damage without reading records back: orphan tmps
+    /// removed, torn tails truncated, empty segments deleted. The
+    /// next append continues after the highest surviving index.
+    pub fn repair(&mut self) -> Result<Recovery, JournalError> {
+        let recovery = scan_and_repair(&self.dir)?;
+        if let Some(m) = max_segment_index(&self.dir)? {
+            self.next_segment = self.next_segment.max(m + 1);
+        }
+        Ok(recovery)
+    }
+
+    fn append_attempt(
+        &mut self,
+        payloads: &[&[u8]],
+        attempt: u64,
+        guarded: bool,
+    ) -> Result<(), JournalError> {
+        let index = self.next_segment;
+        let mut span = gtpin_obs::span("journal.append");
+        if span.active() {
+            span.arg_u64("segment", index);
+            span.arg_u64("records", payloads.len() as u64);
+        }
+        let mut bytes = Vec::with_capacity(
+            SEGMENT_MAGIC.len()
+                + payloads
+                    .iter()
+                    .map(|p| RECORD_HEADER + p.len())
+                    .sum::<usize>(),
+        );
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        for payload in payloads {
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&fnv64(payload).to_le_bytes());
+            bytes.extend_from_slice(payload);
+        }
+
+        let final_path = self.dir.join(segment_name(index));
+        let tmp_path = self.dir.join(format!("{}.tmp", segment_name(index)));
+        let crash = guarded
+            && gtpin_faults::should_inject(
+                gtpin_faults::site::JOURNAL_CRASH,
+                (index << 8) | attempt,
+            );
+        if crash {
+            // Failure mode derives from the same key the decision
+            // used, so a replayed schedule tears identically.
+            let torn = mix64((index << 8) | attempt) & 1 == 1;
+            if torn {
+                // Torn partial write that survived the rename: the
+                // final record's bytes run out mid-payload.
+                let last_payload = payloads.last().map_or(0, |p| p.len());
+                let cut = bytes.len() - (last_payload / 2 + 1);
+                write_file(&tmp_path, &bytes[..cut])?;
+                fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
+                self.next_segment = index + 1;
+            } else {
+                // Death between append and rename: orphan tmp only.
+                write_file(&tmp_path, &bytes)?;
+            }
+            return Err(JournalError::InjectedCrash { segment: index });
+        }
+
+        write_file(&tmp_path, &bytes)?;
+        fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
+        self.next_segment = index + 1;
+        gtpin_obs::counter_add("journal.records_appended", payloads.len() as u64);
+        gtpin_obs::counter_add("journal.segments_sealed", 1);
+        Ok(())
+    }
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<(), JournalError> {
+    let mut f = fs::File::create(path).map_err(|e| io_err(path, e))?;
+    f.write_all(bytes).map_err(|e| io_err(path, e))?;
+    f.sync_all().map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+fn list_dir(dir: &Path) -> Result<Vec<String>, JournalError> {
+    let mut names = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        if let Ok(name) = entry.file_name().into_string() {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn max_segment_index(dir: &Path) -> Result<Option<u64>, JournalError> {
+    Ok(list_dir(dir)?
+        .iter()
+        .filter_map(|n| parse_segment_name(n))
+        .max())
+}
+
+/// One segment's parse result: intact payloads plus where the intact
+/// prefix ends (for truncation).
+struct SegmentScan {
+    payloads: Vec<Vec<u8>>,
+    intact_len: usize,
+    torn: bool,
+}
+
+/// Walk a segment's bytes, stopping at the first torn record: not
+/// enough bytes for the header, a length overrunning the file, or a
+/// checksum mismatch.
+fn scan_segment(bytes: &[u8]) -> SegmentScan {
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return SegmentScan {
+            payloads: Vec::new(),
+            intact_len: 0,
+            torn: true,
+        };
+    }
+    let mut payloads = Vec::new();
+    let mut offset = SEGMENT_MAGIC.len();
+    loop {
+        if offset == bytes.len() {
+            return SegmentScan {
+                payloads,
+                intact_len: offset,
+                torn: false,
+            };
+        }
+        let rest = &bytes[offset..];
+        if rest.len() < RECORD_HEADER {
+            return SegmentScan {
+                payloads,
+                intact_len: offset,
+                torn: true,
+            };
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let want = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        if rest.len() - RECORD_HEADER < len {
+            return SegmentScan {
+                payloads,
+                intact_len: offset,
+                torn: true,
+            };
+        }
+        let payload = &rest[RECORD_HEADER..RECORD_HEADER + len];
+        if fnv64(payload) != want {
+            return SegmentScan {
+                payloads,
+                intact_len: offset,
+                torn: true,
+            };
+        }
+        payloads.push(payload.to_vec());
+        offset += RECORD_HEADER + len;
+    }
+}
+
+fn scan_and_repair(dir: &Path) -> Result<Recovery, JournalError> {
+    let mut recovery = Recovery::default();
+    let names = list_dir(dir)?;
+
+    // Orphan tmps first: a crash before rename leaves exactly these.
+    for name in names.iter().filter(|n| n.ends_with(".log.tmp")) {
+        let path = dir.join(name);
+        fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        recovery.orphan_tmps += 1;
+    }
+
+    let mut indexed: Vec<(u64, String)> = names
+        .iter()
+        .filter_map(|n| parse_segment_name(n).map(|i| (i, n.clone())))
+        .collect();
+    indexed.sort();
+
+    for (_, name) in indexed {
+        let path = dir.join(&name);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let scan = scan_segment(&bytes);
+        if scan.torn {
+            recovery.torn_records += 1;
+            if scan.payloads.is_empty() {
+                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+                recovery.deleted_segments += 1;
+            } else {
+                let f = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err(&path, e))?;
+                f.set_len(scan.intact_len as u64)
+                    .map_err(|e| io_err(&path, e))?;
+                f.sync_all().map_err(|e| io_err(&path, e))?;
+                recovery.truncated_segments += 1;
+            }
+        }
+        if !scan.payloads.is_empty() {
+            recovery.segments += 1;
+            recovery.records.extend(scan.payloads);
+        }
+    }
+    Ok(recovery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gtpin-durable-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_records_in_order() {
+        let dir = tmpdir("roundtrip");
+        let mut j = Journal::create(&dir).unwrap();
+        for i in 0..10u8 {
+            j.append(&[i; 5]).unwrap();
+        }
+        j.append_batch(&[b"alpha", b"beta"]).unwrap();
+        let (j2, rec) = Journal::recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 12);
+        assert_eq!(rec.records[3], vec![3u8; 5]);
+        assert_eq!(rec.records[10], b"alpha".to_vec());
+        assert_eq!(rec.records[11], b"beta".to_vec());
+        assert!(!rec.repaired());
+        assert_eq!(j2.next_segment(), 11);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_payloads_round_trip() {
+        let dir = tmpdir("empty");
+        let mut j = Journal::create(&dir).unwrap();
+        j.append(b"").unwrap();
+        j.append(b"x").unwrap();
+        let (_, rec) = Journal::recover(&dir).unwrap();
+        assert_eq!(rec.records, vec![b"".to_vec(), b"x".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_never_parsed() {
+        let dir = tmpdir("torn");
+        let mut j = Journal::create(&dir).unwrap();
+        j.append_batch(&[b"keep-me", b"also-keep", b"torn-away"])
+            .unwrap();
+        // Tear the final record mid-payload by hand.
+        let seg = dir.join(segment_name(0));
+        let bytes = fs::read(&seg).unwrap();
+        let f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(bytes.len() as u64 - 4).unwrap();
+        drop(f);
+        let (_, rec) = Journal::recover(&dir).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![b"keep-me".to_vec(), b"also-keep".to_vec()]
+        );
+        assert_eq!(rec.torn_records, 1);
+        assert_eq!(rec.truncated_segments, 1);
+        // Recovery physically repaired the file: a second recover is
+        // clean and byte-stable.
+        let (_, rec2) = Journal::recover(&dir).unwrap();
+        assert_eq!(rec2.records, rec.records);
+        assert!(!rec2.repaired());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checksum_truncates() {
+        let dir = tmpdir("crc");
+        let mut j = Journal::create(&dir).unwrap();
+        j.append(b"good").unwrap();
+        j.append(b"evil").unwrap();
+        // Flip a payload byte of segment 1.
+        let seg = dir.join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let (_, rec) = Journal::recover(&dir).unwrap();
+        assert_eq!(rec.records, vec![b"good".to_vec()]);
+        assert_eq!(rec.torn_records, 1);
+        assert_eq!(rec.deleted_segments, 1, "segment 1 had no intact record");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_tmp_is_swept_and_next_append_proceeds() {
+        let dir = tmpdir("orphan");
+        let mut j = Journal::create(&dir).unwrap();
+        j.append(b"one").unwrap();
+        fs::write(dir.join("seg-00000001.log.tmp"), b"half-written").unwrap();
+        let (mut j2, rec) = Journal::recover(&dir).unwrap();
+        assert_eq!(rec.orphan_tmps, 1);
+        assert_eq!(rec.records.len(), 1);
+        j2.append(b"two").unwrap();
+        let (_, rec2) = Journal::recover(&dir).unwrap();
+        assert_eq!(rec2.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_journal() {
+        let dir = tmpdir("refuse");
+        let mut j = Journal::create(&dir).unwrap();
+        j.append(b"x").unwrap();
+        match Journal::create(&dir) {
+            Err(JournalError::NotAJournal { .. }) => {}
+            other => panic!("expected NotAJournal, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_missing_dir() {
+        let dir = tmpdir("missing");
+        match Journal::recover(&dir) {
+            Err(JournalError::NotAJournal { .. }) => {}
+            other => panic!("expected NotAJournal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crashes_lose_the_record_and_recovery_repairs() {
+        let dir = tmpdir("inject");
+        gtpin_faults::install(gtpin_faults::FaultPlan::single(
+            gtpin_faults::site::JOURNAL_CRASH,
+            1.0,
+            7,
+        ));
+        let mut j = Journal::create(&dir).unwrap();
+        let mut crashed = 0;
+        for i in 0..6u8 {
+            match j.append(&[i; 9]) {
+                Ok(()) => {}
+                Err(JournalError::InjectedCrash { .. }) => {
+                    crashed += 1;
+                    // Simulated death: repair as a fresh process would.
+                    j.repair().unwrap();
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(crashed, 6, "rate 1.0 crashes every guarded append");
+        gtpin_faults::disable();
+        let (_, rec) = Journal::recover(&dir).unwrap();
+        assert!(
+            rec.records.is_empty(),
+            "crashed appends are never durable: {:?}",
+            rec.records.len()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_with_recovery_always_lands_the_record() {
+        let dir = tmpdir("ladder");
+        gtpin_faults::install(gtpin_faults::FaultPlan::single(
+            gtpin_faults::site::JOURNAL_CRASH,
+            1.0,
+            11,
+        ));
+        let mut j = Journal::create(&dir).unwrap();
+        for i in 0..4u8 {
+            let stats = j.append_with_recovery(&[i; 3]).unwrap();
+            assert_eq!(stats.crashes_survived, 2);
+            assert!(stats.unguarded, "rate 1.0 bottoms out unguarded");
+        }
+        let acc: std::collections::BTreeMap<String, u64> =
+            gtpin_faults::take_accounting().into_iter().collect();
+        assert_eq!(acc["recovered.journal_repair"], 8);
+        assert_eq!(acc["recovered.journal_unguarded"], 4);
+        gtpin_faults::disable();
+        let (_, rec) = Journal::recover(&dir).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(r, &vec![i as u8; 3]);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_schedule_replays_identically() {
+        let run = |seed: u64| -> Vec<bool> {
+            let dir = tmpdir(&format!("replay-{seed}"));
+            gtpin_faults::install(gtpin_faults::FaultPlan::single(
+                gtpin_faults::site::JOURNAL_CRASH,
+                0.5,
+                seed,
+            ));
+            let mut j = Journal::create(&dir).unwrap();
+            let mut outcomes = Vec::new();
+            for i in 0..32u8 {
+                match j.append(&[i]) {
+                    Ok(()) => outcomes.push(true),
+                    Err(JournalError::InjectedCrash { .. }) => {
+                        outcomes.push(false);
+                        j.repair().unwrap();
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            gtpin_faults::disable();
+            fs::remove_dir_all(&dir).unwrap();
+            outcomes
+        };
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a, b, "same seed, same crash schedule");
+    }
+}

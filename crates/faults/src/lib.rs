@@ -92,14 +92,21 @@ pub mod site {
     /// A fan-out worker task panics (recovered by catch_unwind +
     /// retry-once + serial fallback).
     pub const WORKER_PANIC: &str = "par.worker_panic";
+    /// The process dies mid-append to the durable run journal: either
+    /// between writing the segment temp file and the atomic rename
+    /// (orphan `.tmp` left behind) or after a torn partial write made
+    /// it into the renamed segment (recovered by `Journal::recover`
+    /// truncating the torn tail and the caller re-appending).
+    pub const JOURNAL_CRASH: &str = "journal.crash";
 
     /// Every named site, for matrix drivers.
-    pub const ALL: [&str; 5] = [
+    pub const ALL: [&str; 6] = [
         SHARD_OVERFLOW,
         RECORD_CORRUPT,
         JIT_FAIL,
         LAUNCH_HANG,
         WORKER_PANIC,
+        JOURNAL_CRASH,
     ];
 }
 

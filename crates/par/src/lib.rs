@@ -19,6 +19,10 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+pub mod supervisor;
+
+pub use supervisor::{Outcome, Supervisor, SupervisorConfig, SupervisorReport};
+
 /// The environment variable controlling workspace-wide parallelism.
 pub const THREADS_ENV: &str = "GTPIN_THREADS";
 

@@ -29,6 +29,7 @@ pub mod explore;
 pub mod features;
 pub mod interval;
 pub mod pipeline;
+pub mod sweep;
 pub mod validate;
 
 pub use data::{AppData, InvRecord, KernelShape, MergeError};
@@ -43,6 +44,9 @@ pub use features::{
 };
 pub use interval::{build_intervals, default_approx_target, Interval, IntervalScheme, SchemeTable};
 pub use pipeline::{profile_app, replay_timings, PipelineError, ProfiledApp};
+pub use sweep::{
+    run_sweep, AppSweepSummary, SweepOptions, SweepOutcome, SweepReport, SweepStats, UnitRecord,
+};
 pub use validate::{
     cross_error_pct, validate_against, validate_against_with_threads, ValidationPoint,
 };

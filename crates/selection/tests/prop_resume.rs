@@ -1,0 +1,121 @@
+//! Resume-after-crash identity: a sweep that is killed at random
+//! journal-append points (seeded `journal.crash` injections) and
+//! resumed until it completes must produce the **same report, bit
+//! for bit**, as an uninterrupted run — at every worker count.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use gen_isa::ExecSize;
+use gtpin_durable::JournalError;
+use gtpin_faults::{site, FaultPlan};
+use ocl_runtime::api::{ArgValue, KernelId, SyncCall};
+use ocl_runtime::host::{HostProgram, HostScriptBuilder, ProgramSource};
+use ocl_runtime::ir::{IrOp, KernelIr, TripCount};
+use proptest::prelude::*;
+use subset_select::{run_sweep, SweepOptions};
+
+/// The faults registry is process-global; serialize every trial so
+/// concurrently running tests cannot see each other's plans.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn program(name: &str, epochs: u64) -> HostProgram {
+    let mut k = KernelIr::new("w", 1);
+    k.body = vec![
+        IrOp::LoopBegin {
+            trip: TripCount::Arg(0),
+        },
+        IrOp::Compute {
+            ops: 10,
+            width: ExecSize::S16,
+        },
+        IrOp::LoopEnd,
+    ];
+    let mut b = HostScriptBuilder::new(name, ProgramSource { kernels: vec![k] });
+    for e in 0..epochs {
+        for i in 0..3u64 {
+            b.set_arg(KernelId(0), 0, ArgValue::Scalar(5 + 3 * ((e + i) % 3)));
+            b.launch(KernelId(0), 128);
+        }
+        b.sync(SyncCall::Finish);
+    }
+    b.finish().unwrap()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gtpin-prop-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(journal: Option<PathBuf>, resume: bool, threads: usize) -> SweepOptions {
+    SweepOptions {
+        journal_dir: journal,
+        resume,
+        threads,
+        ..SweepOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random kill points: install a seeded `journal.crash` plan, run
+    /// the sweep, and on every injected crash resume from the journal
+    /// — exactly what an operator re-invoking `gtpin explore --resume`
+    /// after a SIGKILL does. The completed report must equal the
+    /// fresh, never-interrupted baseline bitwise (struct equality,
+    /// rendered text, and serialized JSON), for workers 1..=8.
+    #[test]
+    fn resume_after_seeded_crashes_equals_fresh_run(
+        seed in 0u64..100_000,
+        rate_pct in prop::sample::select(vec![20u32, 45]),
+        workers in 1usize..=8,
+    ) {
+        let _guard = LOCK.lock().unwrap();
+        gtpin_faults::disable();
+
+        let programs = vec![program("pr-res-a", 3), program("pr-res-b", 4)];
+        let baseline = run_sweep(&programs, &opts(None, false, workers)).unwrap();
+
+        let dir = tmpdir(&format!("{seed}-{rate_pct}-{workers}"));
+        gtpin_faults::install(FaultPlan::single(
+            site::JOURNAL_CRASH,
+            f64::from(rate_pct) / 100.0,
+            seed,
+        ));
+        let mut o = opts(Some(dir.clone()), false, workers);
+        let mut crashes = 0u32;
+        let resumed = loop {
+            match run_sweep(&programs, &o) {
+                Ok(out) => break out,
+                Err(JournalError::InjectedCrash { .. }) => {
+                    crashes += 1;
+                    prop_assert!(crashes < 5_000, "crash-resume loop failed to converge");
+                    o.resume = true;
+                }
+                Err(e) => panic!("unexpected sweep error: {e}"),
+            }
+        };
+        let accounting = gtpin_faults::take_accounting();
+        gtpin_faults::disable();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(&resumed.report, &baseline.report);
+        prop_assert_eq!(resumed.report.render(), baseline.report.render());
+        prop_assert_eq!(
+            serde_json::to_string(&resumed.report).unwrap(),
+            serde_json::to_string(&baseline.report).unwrap()
+        );
+        // The schedule actually exercised the crash path (rates are
+        // high enough that a silent no-injection run would be a bug),
+        // and every crash the loop observed is accounted for.
+        prop_assert!(crashes > 0, "no crashes injected at rate {}%", rate_pct);
+        let injected: u64 = accounting
+            .iter()
+            .filter(|(k, _)| k.contains(site::JOURNAL_CRASH))
+            .map(|(_, v)| *v)
+            .sum();
+        prop_assert!(injected as u32 >= crashes);
+    }
+}

@@ -7,7 +7,23 @@
 //!     --time-kernels                  enable the kernel timer tool
 //!     --trace-memory                  enable memory tracing
 //!     --json <path>                   dump the profile as JSON
+//!     --journal <dir>                 journal the profile to a fresh dir
+//!     --resume <dir>                  recover <dir>; skip the run if its
+//!                                     profile is already journaled
 //! gtpin select <app> [threshold%]     explore configs and print selections
+//! gtpin explore <app>...|--all [opts] supervised exploration sweep over
+//!                                     many apps (crash-consistent)
+//!     --threshold <pct>               co-opt error threshold (default 3)
+//!     --scale test|default            workload scale (default: default)
+//!     --journal <dir>                 journal completed units to a fresh
+//!                                     directory as the sweep runs
+//!     --resume <dir>                  recover <dir>, skip journaled
+//!                                     units; the final report is
+//!                                     bit-identical to an uninterrupted
+//!                                     run
+//!     (supervision knobs come from GTPIN_DEADLINE_MS, GTPIN_BREAKER,
+//!     GTPIN_MAX_TASKS, GTPIN_MAX_VIRTUAL_MS; budget exhaustion prints
+//!     the partial report and exits nonzero with error[budget])
 //! gtpin disasm <app> [kernel-index]   disassemble a JIT-compiled kernel
 //! gtpin lint <app>|--all [--json <p>] run the static lints over every
 //!                                     kernel of an app (or all apps) and
@@ -27,14 +43,18 @@
 //! ```
 
 use gtpin_suite::device::{Gpu, GpuConfig};
+use gtpin_suite::durable::{Journal, JournalError};
 use gtpin_suite::faults;
 use gtpin_suite::gtpin::{AppCharacterization, GtPin, RewriteConfig};
 use gtpin_suite::isa::disasm::disassemble_flat;
+use gtpin_suite::par::SupervisorConfig;
 use gtpin_suite::runtime::runtime::{OclRuntime, Schedule};
-use gtpin_suite::selection::{profile_app, Exploration};
+use gtpin_suite::selection::{profile_app, run_sweep, Exploration, SweepOptions};
 use gtpin_suite::simpoint::SimpointConfig;
 use gtpin_suite::workloads::{all_specs, build_program, luxmark_score, spec_by_name, Scale};
 use gtpin_suite::GtPinError;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +62,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("select") => cmd_select(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("luxmark") => cmd_luxmark(),
@@ -50,7 +71,7 @@ fn main() {
         Some("faults-matrix") => cmd_faults_matrix(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gtpin <list|run|select|disasm|lint|luxmark|obs-report|obs-verify|faults-matrix> [args]"
+                "usage: gtpin <list|run|select|explore|disasm|lint|luxmark|obs-report|obs-verify|faults-matrix> [args]"
             );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
@@ -89,54 +110,128 @@ fn parse_app(args: &[String]) -> Result<gtpin_suite::workloads::WorkloadSpec, St
     spec_by_name(name).ok_or_else(|| format!("unknown application {name}; try `gtpin list`"))
 }
 
+/// The value following `--flag`, if the flag is present. A flag given
+/// without a value (end of args, or another flag in the value slot)
+/// is a typed CLI error, never a panic.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, GtPinError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.as_str())),
+            _ => Err(format!("{flag} needs a value").into()),
+        },
+    }
+}
+
+fn parse_scale(args: &[String]) -> Result<Scale, GtPinError> {
+    match flag_value(args, "--scale")? {
+        None | Some("default") => Ok(Scale::Default),
+        Some("test") => Ok(Scale::Test),
+        Some(other) => Err(format!("unknown scale {other} (known: test, default)").into()),
+    }
+}
+
+/// `--journal` / `--resume` directories for the durable commands.
+/// Mutually exclusive: `--journal` starts fresh, `--resume` recovers.
+fn parse_journal_flags(args: &[String]) -> Result<(Option<PathBuf>, bool), GtPinError> {
+    let journal = flag_value(args, "--journal")?;
+    let resume = flag_value(args, "--resume")?;
+    match (journal, resume) {
+        (Some(_), Some(_)) => Err("--journal and --resume are mutually exclusive \
+             (--resume already appends to the recovered journal)"
+            .into()),
+        (Some(dir), None) => Ok((Some(PathBuf::from(dir)), false)),
+        (None, Some(dir)) => Ok((Some(PathBuf::from(dir)), true)),
+        (None, None) => Ok((None, false)),
+    }
+}
+
+/// One durable `gtpin run` unit: everything needed to reprint the
+/// characterization (and re-dump `--json`) without re-running.
+#[derive(Debug, Serialize, Deserialize)]
+struct RunRecord {
+    /// Identity of the run this record caches.
+    key: String,
+    /// The exact report text the fresh run printed.
+    report: String,
+    /// The profile, pre-serialized for `--json` on resume.
+    profile_json: String,
+}
+
 fn cmd_run(args: &[String]) -> CliResult {
     let spec = parse_app(args)?;
-    let scale = if args.iter().any(|a| a == "--scale") {
-        let i = args
-            .iter()
-            .position(|a| a == "--scale")
-            .expect("just checked");
-        match args.get(i + 1).map(String::as_str) {
-            Some("test") => Scale::Test,
-            Some("default") | None => Scale::Default,
-            Some(other) => return Err(format!("unknown scale {other}").into()),
-        }
-    } else {
-        Scale::Default
-    };
+    let scale = parse_scale(args)?;
     let config = RewriteConfig {
         count_basic_blocks: true,
         time_kernels: args.iter().any(|a| a == "--time-kernels"),
         trace_memory: args.iter().any(|a| a == "--trace-memory"),
         naive_per_instruction_counters: false,
     };
+    let (journal_dir, resume) = parse_journal_flags(args)?;
+    let key = format!(
+        "run/{}/{:?}/tk={}/tm={}",
+        spec.name, scale, config.time_kernels, config.trace_memory
+    );
 
-    let program = build_program(&spec, scale);
-    let mut gpu = Gpu::new(GpuConfig::hd4000());
-    let gtpin = GtPin::new(config);
-    gtpin.attach(&mut gpu);
-    let mut rt = OclRuntime::new(gpu);
-    let report = rt.run(&program, Schedule::Replay)?;
-    let profile = gtpin.profile(spec.name);
-    let device = rt.into_device();
-    let mut launch_stats = gtpin_suite::device::stats::ExecutionStats::default();
-    for launch in device.launches() {
-        launch_stats.merge(&launch.stats);
+    let mut journal = None;
+    let mut cached: Option<RunRecord> = None;
+    if let Some(dir) = &journal_dir {
+        if resume {
+            let (j, recovery) = Journal::recover(dir)?;
+            for payload in &recovery.records {
+                let text = String::from_utf8_lossy(payload);
+                match serde_json::from_str::<RunRecord>(&text) {
+                    Ok(r) if r.key == key => cached = Some(r),
+                    _ => {}
+                }
+            }
+            journal = Some(j);
+        } else {
+            journal = Some(Journal::create(dir)?);
+        }
     }
 
-    println!(
-        "{}",
-        AppCharacterization::new(&report.cofluent, &profile).with_measured_overhead(&launch_stats)
-    );
-    println!(
-        "\ninstrumentation: {:.2}x dynamic instruction overhead across {} kernels",
-        profile.dynamic_overhead_factor(),
-        profile.unique_kernels()
-    );
+    let record = match cached {
+        Some(record) => {
+            eprintln!("resume: profile of {} replayed from the journal", spec.name);
+            record
+        }
+        None => {
+            let program = build_program(&spec, scale);
+            let mut gpu = Gpu::new(GpuConfig::hd4000());
+            let gtpin = GtPin::new(config);
+            gtpin.attach(&mut gpu);
+            let mut rt = OclRuntime::new(gpu);
+            let report = rt.run(&program, Schedule::Replay)?;
+            let profile = gtpin.profile(spec.name);
+            let device = rt.into_device();
+            let mut launch_stats = gtpin_suite::device::stats::ExecutionStats::default();
+            for launch in device.launches() {
+                launch_stats.merge(&launch.stats);
+            }
 
-    if let Some(i) = args.iter().position(|a| a == "--json") {
-        let path = args.get(i + 1).ok_or("--json needs a path")?;
-        std::fs::write(path, serde_json::to_string_pretty(&profile)?)?;
+            let text = format!(
+                "{}\n\ninstrumentation: {:.2}x dynamic instruction overhead across {} kernels\n",
+                AppCharacterization::new(&report.cofluent, &profile)
+                    .with_measured_overhead(&launch_stats),
+                profile.dynamic_overhead_factor(),
+                profile.unique_kernels()
+            );
+            let record = RunRecord {
+                key,
+                report: text,
+                profile_json: serde_json::to_string_pretty(&profile)?,
+            };
+            if let Some(j) = &mut journal {
+                j.append(serde_json::to_string(&record)?.as_bytes())?;
+            }
+            record
+        }
+    };
+
+    print!("{}", record.report);
+    if let Some(path) = flag_value(args, "--json")? {
+        std::fs::write(path, &record.profile_json)?;
         println!("profile written to {path}");
     }
     Ok(())
@@ -177,6 +272,87 @@ fn cmd_select(args: &[String]) -> CliResult {
             iv.end,
             pick.ratio * 100.0
         );
+    }
+    Ok(())
+}
+
+/// Positional (non-flag) arguments, skipping the value slot of every
+/// flag in `value_flags`.
+fn positional_args<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if value_flags.contains(&a) {
+                i += 1;
+            }
+        } else {
+            out.push(a);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn cmd_explore(args: &[String]) -> CliResult {
+    let threshold: f64 = flag_value(args, "--threshold")?
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(3.0);
+    let scale = parse_scale(args)?;
+    let (journal_dir, resume) = parse_journal_flags(args)?;
+
+    let specs: Vec<gtpin_suite::workloads::WorkloadSpec> = if args.iter().any(|a| a == "--all") {
+        all_specs()
+    } else {
+        let names = positional_args(args, &["--threshold", "--scale", "--journal", "--resume"]);
+        if names.is_empty() {
+            return Err("explore needs application names or --all; try `gtpin list`".into());
+        }
+        names
+            .iter()
+            .map(|n| {
+                spec_by_name(n).ok_or_else(|| format!("unknown application {n}; try `gtpin list`"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let programs: Vec<_> = specs.iter().map(|s| build_program(s, scale)).collect();
+
+    let opts = SweepOptions {
+        threshold_pct: threshold,
+        supervisor: SupervisorConfig::from_env(),
+        journal_dir,
+        resume,
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&programs, &opts)?;
+
+    // The report is the deterministic artifact — stdout only, so a
+    // resumed run diffs byte-identical against an uninterrupted one.
+    // Volatile run stats (what was replayed vs executed) go to stderr.
+    print!("{}", outcome.report.render());
+    if resume {
+        eprintln!(
+            "resume: {} unit(s) replayed from the journal, {} executed fresh",
+            outcome.stats.resumed_units, outcome.stats.executed_units
+        );
+        if let Some(rec) = &outcome.stats.recovery {
+            if rec.repaired() {
+                eprintln!(
+                    "resume: recovery repaired crash damage \
+                     ({} torn record(s) truncated, {} orphan tmp(s) swept)",
+                    rec.torn_records, rec.orphan_tmps
+                );
+            }
+        }
+    }
+    if outcome.report.budget_exhausted {
+        return Err(GtPinError::Budget(format!(
+            "run budget exhausted after {} task(s) / {} virtual ns; \
+             partial results above",
+            outcome.report.tasks_run, outcome.report.virtual_ns_spent
+        )));
     }
     Ok(())
 }
@@ -261,8 +437,7 @@ fn cmd_lint(args: &[String]) -> CliResult {
         errors,
         warnings
     );
-    if let Some(i) = args.iter().position(|a| a == "--json") {
-        let path = args.get(i + 1).ok_or("--json needs a path")?;
+    if let Some(path) = flag_value(args, "--json")? {
         std::fs::write(path, serde_json::to_string_pretty(&all_diags)?)?;
         println!("diagnostics written to {path}");
     }
@@ -420,12 +595,77 @@ fn matrix_run(
     run
 }
 
-fn cmd_faults_matrix(args: &[String]) -> CliResult {
-    let seed: u64 = if let Some(i) = args.iter().position(|a| a == "--seed") {
-        args.get(i + 1).ok_or("--seed needs a value")?.parse()?
-    } else {
-        faults::DEFAULT_SEED
+/// One kill-and-resume trial of a journaled mini-sweep under `plan`:
+/// each injected `journal.crash` "kills the process" (`run_sweep`
+/// returns `InjectedCrash` and all in-flight work is lost), the loop
+/// resumes from the journal until the sweep completes, and the final
+/// report is digested for the identity contracts.
+struct JournalMatrixRun {
+    /// FNV digest over the final report JSON.
+    digest: u64,
+    /// Drained fault accounting for the whole trial.
+    accounting: Vec<(String, u64)>,
+    /// Simulated process deaths survived.
+    crashes: u64,
+    /// Records the final resume recovered from the journal.
+    recovered_records: usize,
+}
+
+fn matrix_journal_run(
+    apps: &[gtpin_suite::workloads::WorkloadSpec],
+    plan: Option<&faults::FaultPlan>,
+    dir: &std::path::Path,
+) -> Result<JournalMatrixRun, GtPinError> {
+    match plan {
+        Some(p) => faults::install(p.clone()),
+        None => faults::disable(),
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    let programs: Vec<_> = apps.iter().map(|s| build_program(s, Scale::Test)).collect();
+    let mut opts = SweepOptions {
+        journal_dir: Some(dir.to_path_buf()),
+        threads: 2,
+        ..SweepOptions::default()
     };
+    let mut crashes = 0u64;
+    let outcome = loop {
+        match run_sweep(&programs, &opts) {
+            Ok(out) => break out,
+            Err(JournalError::InjectedCrash { .. }) => {
+                crashes += 1;
+                opts.resume = true;
+                if crashes > 10_000 {
+                    faults::disable();
+                    return Err("journal-crash scenario failed to converge".into());
+                }
+            }
+            Err(e) => {
+                faults::disable();
+                return Err(e.into());
+            }
+        }
+    };
+    let json = serde_json::to_string(&outcome.report)?;
+    let accounting = faults::take_accounting();
+    faults::disable();
+    let _ = std::fs::remove_dir_all(dir);
+    Ok(JournalMatrixRun {
+        digest: fnv_fold(0xcbf2_9ce4_8422_2325, json.as_bytes()),
+        accounting,
+        crashes,
+        recovered_records: outcome
+            .stats
+            .recovery
+            .as_ref()
+            .map_or(0, |r| r.records.len()),
+    })
+}
+
+fn cmd_faults_matrix(args: &[String]) -> CliResult {
+    let seed: u64 = flag_value(args, "--seed")?
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(faults::DEFAULT_SEED);
     let apps: Vec<gtpin_suite::workloads::WorkloadSpec> = all_specs().into_iter().take(3).collect();
     let names: Vec<&str> = apps.iter().map(|s| s.name).collect();
     println!("faults-matrix: seed {seed:#x}, apps {names:?}, each scenario run twice\n");
@@ -537,10 +777,76 @@ fn cmd_faults_matrix(args: &[String]) -> CliResult {
         );
     }
 
+    // Journal kill-and-resume scenarios: the sweep is repeatedly
+    // "killed" at injected crash points, resumed from the journal,
+    // and the final report must come out bit-identical to the
+    // uninterrupted baseline — torn tails truncated, never parsed.
+    let journal_apps: Vec<gtpin_suite::workloads::WorkloadSpec> =
+        all_specs().into_iter().take(2).collect();
+    let journal_scenarios: Vec<(&str, FaultPlan)> = vec![
+        (
+            "journal-crash",
+            FaultPlan::single(site::JOURNAL_CRASH, 0.3, seed),
+        ),
+        (
+            "journal-crash-heavy",
+            FaultPlan::single(site::JOURNAL_CRASH, 0.7, seed),
+        ),
+    ];
+    let dir = std::env::temp_dir().join(format!(
+        "gtpin-faults-matrix-journal-{}",
+        std::process::id()
+    ));
+    let journal_baseline = matrix_journal_run(&journal_apps, None, &dir)?;
+    println!(
+        "\n{:21} {:>7} {:>7} {:>9}  contract",
+        "journal scenario", "crashes", "records", "injected"
+    );
+    for (name, plan) in &journal_scenarios {
+        let first = matrix_journal_run(&journal_apps, Some(plan), &dir)?;
+        let second = matrix_journal_run(&journal_apps, Some(plan), &dir)?;
+        let mut notes: Vec<&str> = vec!["replayed"];
+        if first.digest != second.digest || first.accounting != second.accounting {
+            violations.push(format!(
+                "{name}: two identically-seeded trials disagree \
+                 (digest {:#x} vs {:#x})",
+                first.digest, second.digest
+            ));
+        }
+        if first.digest != journal_baseline.digest {
+            violations.push(format!(
+                "{name}: resumed report diverged from the uninterrupted baseline"
+            ));
+        } else {
+            notes.push("baseline-identical");
+        }
+        let injected: u64 = first
+            .accounting
+            .iter()
+            .filter(|(k, _)| k.starts_with("injected."))
+            .map(|(_, v)| v)
+            .sum();
+        if first.crashes == 0 || injected == 0 {
+            violations.push(format!(
+                "{name}: no journal crashes fired at its configured rate"
+            ));
+        } else {
+            notes.push("resumed");
+        }
+        println!(
+            "{:21} {:>7} {:>7} {:>9}  {}",
+            name,
+            first.crashes,
+            first.recovered_records,
+            injected,
+            notes.join(", ")
+        );
+    }
+
     if violations.is_empty() {
         println!(
             "\nfaults-matrix: all {} scenarios honored the degradation contract",
-            scenarios.len()
+            scenarios.len() + journal_scenarios.len()
         );
         Ok(())
     } else {

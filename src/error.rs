@@ -14,6 +14,7 @@ use gen_isa::DecodeError;
 use gpu_device::executor::ExecError;
 use gpu_device::jit::JitError;
 use gtpin_analyze::VerifyError;
+use gtpin_durable::JournalError;
 use ocl_runtime::device::DeviceError;
 use ocl_runtime::runtime::RunError;
 use simpoint::SelectError;
@@ -40,6 +41,12 @@ pub enum GtPinError {
     Merge(MergeError),
     /// The profiling pipeline failed.
     Pipeline(PipelineError),
+    /// The durable run journal could not be created, recovered, or
+    /// appended to.
+    Journal(JournalError),
+    /// The run budget was exhausted; the partial-result report was
+    /// already printed and the exit is nonzero by design.
+    Budget(String),
     /// A filesystem operation failed.
     Io(std::io::Error),
     /// JSON serialization or parsing failed.
@@ -63,6 +70,8 @@ impl GtPinError {
             GtPinError::Verify(_) => "verify",
             GtPinError::Merge(_) => "merge",
             GtPinError::Pipeline(_) => "pipeline",
+            GtPinError::Journal(_) => "journal",
+            GtPinError::Budget(_) => "budget",
             GtPinError::Io(_) => "io",
             GtPinError::Json(_) => "json",
             GtPinError::Msg(_) => "cli",
@@ -82,6 +91,8 @@ impl std::fmt::Display for GtPinError {
             GtPinError::Verify(e) => write!(f, "{e}"),
             GtPinError::Merge(e) => write!(f, "{e}"),
             GtPinError::Pipeline(e) => write!(f, "{e}"),
+            GtPinError::Journal(e) => write!(f, "{e}"),
+            GtPinError::Budget(s) => f.write_str(s),
             GtPinError::Io(e) => write!(f, "{e}"),
             GtPinError::Json(e) => write!(f, "{e}"),
             GtPinError::Msg(s) => f.write_str(s),
@@ -101,6 +112,8 @@ impl std::error::Error for GtPinError {
             GtPinError::Verify(e) => Some(e),
             GtPinError::Merge(e) => Some(e),
             GtPinError::Pipeline(e) => Some(e),
+            GtPinError::Journal(e) => Some(e),
+            GtPinError::Budget(_) => None,
             GtPinError::Io(e) => Some(e),
             GtPinError::Json(e) => Some(e),
             GtPinError::Msg(_) => None,
@@ -127,6 +140,7 @@ from_impl!(DecodeError => Decode);
 from_impl!(VerifyError => Verify);
 from_impl!(MergeError => Merge);
 from_impl!(PipelineError => Pipeline);
+from_impl!(JournalError => Journal);
 from_impl!(std::io::Error => Io);
 from_impl!(serde_json::Error => Json);
 from_impl!(String => Msg);

@@ -16,6 +16,8 @@
 //! * [`obs`] — the `GTPIN_OBS` telemetry registry and exporters,
 //! * [`faults`] — the `GTPIN_FAULTS` deterministic fault-injection
 //!   registry,
+//! * [`durable`] — the crash-consistent write-ahead run journal
+//!   behind `gtpin explore --resume`,
 //! * [`simpoint`] — SimPoint-style clustering,
 //! * [`selection`] — simulation subset selection,
 //! * [`workloads`] — the 25 benchmark applications.
@@ -29,8 +31,10 @@ pub use gen_isa as isa;
 pub use gpu_device as device;
 pub use gtpin_analyze as analyze;
 pub use gtpin_core as gtpin;
+pub use gtpin_durable as durable;
 pub use gtpin_faults as faults;
 pub use gtpin_obs as obs;
+pub use gtpin_par as par;
 pub use ocl_runtime as runtime;
 pub use simpoint;
 pub use subset_select as selection;
