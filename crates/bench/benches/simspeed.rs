@@ -5,12 +5,13 @@
 //! detailed simulator on identical launches, and the implied
 //! full-program simulation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gen_isa::ExecSize;
 use gpu_device::detailed::{DetailedConfig, DetailedSimulator};
 use gpu_device::{Cache, CacheConfig, ExecConfig, Executor, GpuGeneration, TraceBuffer};
 use ocl_runtime::api::ArgValue;
 use ocl_runtime::ir::{AccessPattern, IrOp, KernelIr, TripCount};
+use serde::Serialize;
 
 fn kernel() -> gen_isa::DecodedKernel {
     let mut ir = KernelIr::new("simspeed", 2);
@@ -37,6 +38,60 @@ fn kernel() -> gen_isa::DecodedKernel {
     gpu_device::jit::compile_kernel(&ir)
         .expect("compiles")
         .flatten()
+}
+
+/// A launch big enough that epoch phase A (per-EU cycle advancement)
+/// dominates the barrier/reconciliation overhead: 512 hardware
+/// threads spread over 16 EUs, each looping a compute+math+load body.
+const SHARD_GWS: u64 = 8192;
+const SHARD_ARGS: [ArgValue; 2] = [ArgValue::Scalar(160), ArgValue::Buffer(0)];
+const SHARD_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn simulate_sharded(
+    k: &gen_isa::DecodedKernel,
+    workers: usize,
+) -> gpu_device::detailed::DetailedResult {
+    let mut sim = DetailedSimulator::new(
+        GpuGeneration::IvyBridgeHd4000.topology(),
+        1.15e9,
+        DetailedConfig::default(),
+    )
+    .with_workers(workers);
+    sim.simulate_launch(k, &SHARD_ARGS, SHARD_GWS)
+        .expect("runs")
+}
+
+fn time<R>(f: impl Fn() -> R) -> (f64, R) {
+    // One warm-up, then the min of 3 timed runs (damps scheduler
+    // noise on shared hosts).
+    f();
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("ran at least once"))
+}
+
+#[derive(Serialize)]
+struct ShardPoint {
+    workers: usize,
+    secs: f64,
+    cycles_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct ShardSummary {
+    host_cores: usize,
+    global_work_size: u64,
+    simulated_cycles: u64,
+    epoch_cycles: u64,
+    bit_identical: bool,
+    points: Vec<ShardPoint>,
 }
 
 fn bench_simspeed(c: &mut Criterion) {
@@ -71,7 +126,59 @@ fn bench_simspeed(c: &mut Criterion) {
             sim.simulate_launch(&k, &args, gws).expect("runs")
         })
     });
+    for workers in SHARD_WORKERS {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_detailed", workers),
+            &workers,
+            |b, &w| b.iter(|| simulate_sharded(&k, w)),
+        );
+    }
     group.finish();
+
+    // Sharded-simulator summary artifact (`BENCH_simspeed.json` at the
+    // repo root): serial vs sharded cycles/sec at 1/2/4/8 workers,
+    // plus the bit-identity verdict the speedups are conditional on.
+    let serial = simulate_sharded(&k, 1);
+    let mut identical = true;
+    let points: Vec<ShardPoint> = SHARD_WORKERS
+        .iter()
+        .map(|&w| {
+            let (secs, r) = time(|| simulate_sharded(&k, w));
+            identical &= r == serial && r.seconds.to_bits() == serial.seconds.to_bits();
+            ShardPoint {
+                workers: w,
+                secs,
+                cycles_per_sec: serial.cycles as f64 / secs.max(1e-12),
+                speedup_vs_serial: 0.0, // filled below from point[0]
+            }
+        })
+        .collect();
+    let serial_secs = points[0].secs;
+    let points: Vec<ShardPoint> = points
+        .into_iter()
+        .map(|p| ShardPoint {
+            speedup_vs_serial: serial_secs / p.secs.max(1e-12),
+            ..p
+        })
+        .collect();
+    let summary = ShardSummary {
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        global_work_size: SHARD_GWS,
+        simulated_cycles: serial.cycles,
+        epoch_cycles: DetailedConfig::default().epoch_cycles,
+        bit_identical: identical,
+        points,
+    };
+    assert!(
+        summary.bit_identical,
+        "sharded detailed simulation diverged from serial"
+    );
+    let json = serde_json::to_string_pretty(&summary).expect("render summary");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simspeed.json");
+    std::fs::write(path, &json).expect("write summary artifact");
+    println!("\nsharded simspeed summary ({path}):\n{json}");
 
     // Report the measured ratio once.
     let t0 = std::time::Instant::now();

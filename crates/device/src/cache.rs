@@ -69,11 +69,18 @@ impl CacheStats {
 }
 
 /// A set-associative LRU cache.
+///
+/// The tag store is one flat `Vec` (set-major, `ways` entries per
+/// set) rather than a `Vec` per set: the epoch-sharded detailed
+/// simulator clones the whole cache once per EU per epoch, and a
+/// flat store makes that clone a single allocation + memcpy.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    // sets[set][way] = (tag, last_use); u64::MAX tag = invalid.
-    sets: Vec<Vec<(u64, u64)>>,
+    // ways[set * ways_per_set + way] = (tag, last_use);
+    // u64::MAX tag = invalid.
+    ways: Vec<(u64, u64)>,
+    num_sets: u64,
     tick: u64,
     stats: CacheStats,
 }
@@ -81,10 +88,12 @@ pub struct Cache {
 impl Cache {
     /// A cold cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
-        let sets = vec![vec![(u64::MAX, 0); config.ways as usize]; config.num_sets() as usize];
+        let num_sets = config.num_sets() as u64;
+        let ways = vec![(u64::MAX, 0); (num_sets * config.ways as u64) as usize];
         Cache {
             config,
-            sets,
+            ways,
+            num_sets,
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -117,10 +126,11 @@ impl Cache {
 
     fn access_line(&mut self, line_addr: u64) -> bool {
         self.tick += 1;
-        let num_sets = self.sets.len() as u64;
-        let set = (line_addr % num_sets) as usize;
-        let tag = line_addr / num_sets;
-        let ways = &mut self.sets[set];
+        let set = line_addr % self.num_sets;
+        let tag = line_addr / self.num_sets;
+        let ways_per_set = self.config.ways as usize;
+        let base = set as usize * ways_per_set;
+        let ways = &mut self.ways[base..base + ways_per_set];
         if let Some(way) = ways.iter_mut().find(|(t, _)| *t == tag) {
             way.1 = self.tick;
             return true;
@@ -146,13 +156,21 @@ impl Cache {
 
     /// Invalidate all contents and statistics.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                *way = (u64::MAX, 0);
-            }
+        for way in &mut self.ways {
+            *way = (u64::MAX, 0);
         }
         self.tick = 0;
         self.stats = CacheStats::default();
+    }
+
+    /// Overwrite this cache's contents (tags, recency, tick) from
+    /// `other`, which must share the same geometry — the reuse-an-
+    /// allocation form of `clone` the epoch loop leans on.
+    pub fn copy_state_from(&mut self, other: &Cache) {
+        debug_assert_eq!(self.config, other.config, "geometry mismatch");
+        self.ways.copy_from_slice(&other.ways);
+        self.tick = other.tick;
+        self.stats = other.stats;
     }
 }
 

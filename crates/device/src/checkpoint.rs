@@ -183,6 +183,27 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_is_bit_identical_under_sharding() {
+        // A restored checkpoint is just initial master-cache state;
+        // the epoch-sharded schedule must reproduce the serial result
+        // from a warm start exactly like it does from a cold one.
+        let kernels = vec![streaming_kernel()];
+        let ls = launches(6);
+        let lib = CheckpointLibrary::build(&kernels, &ls, CacheConfig::default(), &[3]).unwrap();
+        let topo = GpuGeneration::IvyBridgeHd4000.topology();
+        let run = |workers: usize| {
+            let mut sim = DetailedSimulator::new(topo, 1.15e9, DetailedConfig::default())
+                .with_workers(workers);
+            sim.restore_cache(lib.cache_before(3).unwrap().clone());
+            sim.simulate_launch(&kernels[0], &ls[3].args, 64).unwrap()
+        };
+        let serial = run(1);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn boundary_past_the_trace_snapshots_final_state() {
         let kernels = vec![streaming_kernel()];
         let lib = CheckpointLibrary::build(&kernels, &launches(2), CacheConfig::default(), &[10])

@@ -11,9 +11,30 @@
 //! with the functional engine (the internal `machine` module), so the two can
 //! never diverge on results — only on time.
 //!
+//! # Epoch-barrier sharding
+//!
+//! The machine model is **epoch-based**: every EU advances through a
+//! bounded window of virtual cycles (an *epoch*) against a private
+//! snapshot of the shared LLC taken at the epoch boundary, logging its
+//! global-memory accesses as it goes. At the barrier between epochs
+//! the logs are replayed into the master cache **in EU index order**.
+//! Each EU's behaviour is therefore a pure function of (its own
+//! state, the master snapshot), and the master's evolution is a pure
+//! function of the ordered logs — neither depends on how EUs are
+//! partitioned across host workers, which is why the sharded run is
+//! bit-identical to the serial run at any worker count (see DESIGN.md
+//! decision 11). The worker count comes from `GTPIN_SIM_THREADS`
+//! (falling back to `GTPIN_THREADS`); a shard worker that panics —
+//! genuinely or via the `sim.shard` fault site — abandons the
+//! parallel attempt and the launch re-simulates serially from the
+//! untouched master state, so degradation never changes results.
+//!
 //! Simulating a full program here is orders of magnitude slower than
 //! native functional execution; simulating only the intervals subset
 //! selection picks is the paper's remedy.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 use gen_isa::{DecodedKernel, Opcode};
 use ocl_runtime::api::ArgValue;
@@ -38,6 +59,12 @@ pub struct DetailedConfig {
     pub send_miss_latency: u64,
     /// Per-thread dynamic instruction budget (runaway guard).
     pub thread_budget: u64,
+    /// Virtual cycles per reconciliation epoch. Smaller epochs track
+    /// cross-EU cache sharing more tightly (and cost more barriers);
+    /// the value changes the *model*, not just the schedule, so it is
+    /// part of the config — results at a given `epoch_cycles` are
+    /// identical at every worker count.
+    pub epoch_cycles: u64,
 }
 
 impl Default for DetailedConfig {
@@ -48,6 +75,7 @@ impl Default for DetailedConfig {
             send_hit_latency: 50,
             send_miss_latency: 300,
             thread_budget: 8_000_000,
+            epoch_cycles: 8192,
         }
     }
 }
@@ -121,6 +149,210 @@ impl ThreadCtx {
     }
 }
 
+/// One EU's persistent simulation state: resident SMT threads, the
+/// wait queue behind them, its private virtual clock, trace-buffer
+/// shard, statistics, and the access log drained at each barrier.
+struct EuSim {
+    active: Vec<ThreadCtx>,
+    waiting: Vec<u64>,
+    next_admit: usize,
+    cycle: u64,
+    busy: u64,
+    rr: usize,
+    trace: TraceBuffer,
+    stats: ExecutionStats,
+    log: Vec<(u64, u32)>,
+    error: Option<ExecError>,
+}
+
+impl EuSim {
+    fn new(
+        eu: usize,
+        thread_ids: Vec<u64>,
+        args: &[ArgValue],
+        slots: usize,
+        trace_capacity: usize,
+    ) -> EuSim {
+        let active: Vec<ThreadCtx> = thread_ids
+            .iter()
+            .take(slots)
+            .map(|&t| ThreadCtx::new(t, args))
+            .collect();
+        let next_admit = active.len();
+        EuSim {
+            active,
+            waiting: thread_ids,
+            next_admit,
+            cycle: 0,
+            busy: 0,
+            rr: 0,
+            trace: TraceBuffer::new()
+                .with_record_capacity(trace_capacity)
+                .with_fault_salt(eu as u64),
+            stats: ExecutionStats::default(),
+            log: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// This EU has nothing left to do (all threads retired, or it
+    /// faulted).
+    fn done(&self) -> bool {
+        self.active.is_empty() || self.error.is_some()
+    }
+
+    /// Advance this EU until its clock reaches `epoch_end` (a stall
+    /// fast-forward may overshoot — the EU then idles through later
+    /// epochs until the global clock catches up), running every
+    /// access against `cache` (the private epoch snapshot) and
+    /// appending it to `self.log` for barrier replay.
+    fn advance_epoch(
+        &mut self,
+        kernel: &DecodedKernel,
+        args: &[ArgValue],
+        config: &DetailedConfig,
+        cache: &mut Cache,
+        epoch_end: u64,
+    ) {
+        while !self.done() && self.cycle < epoch_end {
+            // Find a ready thread, round-robin from rr.
+            let n = self.active.len();
+            let mut issued = false;
+            let mut next_ready = u64::MAX;
+            for k in 0..n {
+                let i = (self.rr + k) % n;
+                let ready_at = self.active[i]
+                    .ready_at(kernel)
+                    .expect("active threads not done");
+                if ready_at <= self.cycle {
+                    if let Err(e) = issue(
+                        kernel,
+                        &mut self.active[i],
+                        self.cycle,
+                        config,
+                        cache,
+                        &mut self.trace,
+                        &mut self.stats,
+                        &mut self.log,
+                    ) {
+                        self.error = Some(e);
+                        return;
+                    }
+                    self.rr = (i + 1) % n;
+                    issued = true;
+                    self.busy += 1;
+                    break;
+                }
+                next_ready = next_ready.min(ready_at);
+            }
+
+            if issued {
+                self.cycle += 1;
+            } else {
+                // Nothing ready: the EU stalls. A cycle-level
+                // simulator pays for every cycle — this is precisely
+                // why detailed simulation is so much slower than
+                // native execution, and what subset selection
+                // amortizes. (`next_ready` guards against pathological
+                // multi-thousand-cycle gaps.)
+                self.cycle = (self.cycle + 1).max(next_ready.min(self.cycle + 64));
+            }
+
+            // Retire finished threads, admit waiting ones.
+            let mut i = 0;
+            while i < self.active.len() {
+                if self.active[i].done {
+                    self.active.swap_remove(i);
+                    if self.next_admit < self.waiting.len() {
+                        self.active
+                            .push(ThreadCtx::new(self.waiting[self.next_admit], args));
+                        self.next_admit += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if !self.active.is_empty() {
+                self.rr %= self.active.len();
+            }
+        }
+    }
+}
+
+/// Issue one instruction from thread `t` at `cycle`: architectural
+/// step against the epoch-private cache (logging the access for
+/// barrier replay), then scoreboard updates from the modelled result
+/// latency.
+#[allow(clippy::too_many_arguments)]
+fn issue(
+    kernel: &DecodedKernel,
+    t: &mut ThreadCtx,
+    cycle: u64,
+    config: &DetailedConfig,
+    cache: &mut Cache,
+    trace: &mut TraceBuffer,
+    stats: &mut ExecutionStats,
+    log: &mut Vec<(u64, u32)>,
+) -> Result<(), ExecError> {
+    if t.executed >= config.thread_budget {
+        return Err(ExecError::BudgetExceeded {
+            budget: config.thread_budget,
+        });
+    }
+    if t.ip < 0 || t.ip as usize >= kernel.instrs.len() {
+        return Err(ExecError::RanOffEnd { ip: t.ip });
+    }
+    let instr = &kernel.instrs[t.ip as usize];
+    t.executed += 1;
+    let issue = crate::executor::instruction_cost(instr);
+    t.st.issue_cycles += issue;
+    stats.count_instruction(instr.opcode.category(), instr.exec_size, issue);
+
+    let misses_before = stats.cache_misses;
+    let outcome = step(&mut t.st, instr, cache, trace, stats, Some(log));
+    let missed = stats.cache_misses > misses_before;
+
+    let latency = match instr.opcode {
+        Opcode::Inv | Opcode::Sqrt | Opcode::Exp | Opcode::Log | Opcode::Sin | Opcode::Cos => {
+            config.math_latency
+        }
+        Opcode::Send | Opcode::Sendc => {
+            if missed {
+                config.send_miss_latency
+            } else {
+                config.send_hit_latency
+            }
+        }
+        _ => config.alu_latency,
+    };
+    if let Some(dst) = instr.dst {
+        t.reg_ready[dst.0 as usize] = cycle + latency;
+    }
+    if let Some(flag) = instr.flag {
+        t.flag_ready[flag.index()] = cycle + 2;
+    }
+
+    match outcome {
+        StepOutcome::Done => t.done = true,
+        StepOutcome::Fault => return Err(ExecError::StrayReturn { ip: t.ip as usize }),
+        StepOutcome::Branch(off) => t.ip += 1 + off as i64,
+        StepOutcome::Next => t.ip += 1,
+    }
+    Ok(())
+}
+
+/// How one pass of the epoch loop ended.
+enum EpochOutcome {
+    /// Every EU retired all its threads after this many epochs.
+    Completed { epochs: u64 },
+    /// The lowest-indexed EU that faulted in the failing epoch.
+    ExecFailed(ExecError),
+    /// A shard worker died (injected or genuine panic); the caller
+    /// falls back to the serial path. Never produced by the serial
+    /// path itself.
+    ShardFailed,
+}
+
 /// The cycle-level simulator. Owns its own cache so detailed runs
 /// don't disturb the native device's warm state.
 pub struct DetailedSimulator {
@@ -129,10 +361,14 @@ pub struct DetailedSimulator {
     frequency_hz: f64,
     cache: Cache,
     trace: TraceBuffer,
+    workers: usize,
 }
 
 impl DetailedSimulator {
-    /// A simulator of `topology` at `frequency_hz`.
+    /// A simulator of `topology` at `frequency_hz`. The shard worker
+    /// count comes from `GTPIN_SIM_THREADS` (falling back to
+    /// `GTPIN_THREADS`, then to the machine); results never depend on
+    /// it.
     pub fn new(
         topology: GpuTopology,
         frequency_hz: f64,
@@ -144,7 +380,16 @@ impl DetailedSimulator {
             frequency_hz,
             cache: Cache::new(CacheConfig::llc_slice(topology.llc_slice_kib)),
             trace: TraceBuffer::new(),
+            workers: gtpin_par::configured_sim_threads(),
         }
+    }
+
+    /// Override the shard worker count (`1` forces the serial epoch
+    /// loop). Results are bit-identical at every setting; only
+    /// wall-clock changes.
+    pub fn with_workers(mut self, workers: usize) -> DetailedSimulator {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Start from a captured warm cache (a
@@ -168,7 +413,57 @@ impl DetailedSimulator {
         global_work_size: u64,
     ) -> Result<DetailedResult, ExecError> {
         let num_threads = global_work_size.div_ceil(DISPATCH_WIDTH).max(1);
-        let num_eus = self.topology.execution_units as u64;
+        let num_eus = (self.topology.execution_units as u64).min(num_threads);
+        let slots = self.topology.threads_per_eu as usize;
+        let trace_capacity = self.trace.record_capacity();
+        let workers = self.workers.max(1).min(num_eus as usize);
+
+        let mut span = gtpin_obs::span("sim.launch");
+        if span.active() {
+            span.arg_str("kernel", kernel.name.clone());
+            span.arg_u64("hw_threads", num_threads);
+            span.arg_u64("eus", num_eus);
+            span.arg_u64("workers", workers as u64);
+        }
+
+        let build_shards = || -> Vec<EuSim> {
+            (0..num_eus)
+                .map(|eu| {
+                    // Threads assigned round-robin to EUs.
+                    let ids: Vec<u64> = (eu..num_threads).step_by(num_eus as usize).collect();
+                    EuSim::new(eu as usize, ids, args, slots, trace_capacity)
+                })
+                .collect()
+        };
+
+        let mut eus = build_shards();
+        let outcome = if workers <= 1 {
+            self.run_epochs_serial(kernel, args, &mut eus)
+        } else {
+            let (back, outcome) = self.run_epochs_parallel(kernel, args, eus, workers);
+            eus = back;
+            if matches!(outcome, EpochOutcome::ShardFailed) {
+                // Degradation contract: the parallel attempt never
+                // touched the master cache or trace, so re-running the
+                // whole launch serially reproduces the reference
+                // result exactly.
+                gtpin_faults::note("recovered.sim_serial_fallback", 1);
+                gtpin_obs::warn!(
+                    "sim: shard worker died; re-simulating launch serially from pristine state"
+                );
+                eus = build_shards();
+                self.run_epochs_serial(kernel, args, &mut eus)
+            } else {
+                outcome
+            }
+        };
+
+        let epochs = match outcome {
+            EpochOutcome::Completed { epochs } => epochs,
+            EpochOutcome::ExecFailed(e) => return Err(e),
+            EpochOutcome::ShardFailed => unreachable!("serial epochs cannot shard-fail"),
+        };
+
         let mut stats = ExecutionStats {
             hw_threads: num_threads,
             ..Default::default()
@@ -176,14 +471,18 @@ impl DetailedSimulator {
         let mut max_cycles = 0u64;
         let mut busy_cycles = 0u64;
         let mut eu_cycles = 0u64;
-
-        for eu in 0..num_eus.min(num_threads) {
-            // Threads assigned round-robin to EUs.
-            let thread_ids: Vec<u64> = (eu..num_threads).step_by(num_eus as usize).collect();
-            let (cycles, busy) = self.simulate_eu(kernel, args, &thread_ids, &mut stats)?;
-            max_cycles = max_cycles.max(cycles);
-            busy_cycles += busy;
-            eu_cycles += cycles;
+        let obs = span.active();
+        for eu in eus {
+            max_cycles = max_cycles.max(eu.cycle);
+            busy_cycles += eu.busy;
+            eu_cycles += eu.cycle;
+            if obs {
+                // Per-shard occupancy: how well each EU's issue slots
+                // were packed, before the cross-EU aggregate below.
+                gtpin_obs::hist_ns("sim.shard_occupancy_pct", eu.busy * 100 / eu.cycle.max(1));
+            }
+            stats.merge(&eu.stats);
+            self.trace.merge_shard(eu.trace);
         }
 
         // DRAM bandwidth floor: total miss traffic cannot beat the
@@ -192,141 +491,205 @@ impl DetailedSimulator {
         let dram_floor = (stats.cache_misses as f64 * 64.0 / dram_bytes_per_cycle) as u64;
         let cycles = max_cycles.max(dram_floor);
 
-        Ok(DetailedResult {
+        let result = DetailedResult {
             cycles,
             seconds: cycles as f64 / self.frequency_hz,
             busy_cycles,
             eu_cycles,
             stats,
-        })
+        };
+        if obs {
+            span.arg_u64("epochs", epochs);
+            span.arg_u64("cycles", cycles);
+            span.arg_f64("occupancy", result.occupancy());
+            gtpin_obs::counter_add("sim.launches", 1);
+            gtpin_obs::counter_add("sim.epochs", epochs);
+            gtpin_obs::gauge_set("sim.occupancy", result.occupancy());
+        }
+        Ok(result)
     }
 
-    fn simulate_eu(
+    /// The reference schedule: one host thread advances every EU
+    /// through each epoch in index order, then replays the access
+    /// logs into the master cache — also in index order.
+    fn run_epochs_serial(
         &mut self,
         kernel: &DecodedKernel,
         args: &[ArgValue],
-        thread_ids: &[u64],
-        stats: &mut ExecutionStats,
-    ) -> Result<(u64, u64), ExecError> {
-        let slots = self.topology.threads_per_eu as usize;
-        let mut waiting = thread_ids.iter().copied();
-        let mut active: Vec<ThreadCtx> = waiting
-            .by_ref()
-            .take(slots)
-            .map(|t| ThreadCtx::new(t, args))
-            .collect();
-        let mut cycle = 0u64;
-        let mut busy = 0u64;
-        let mut rr = 0usize;
-
-        while !active.is_empty() {
-            // Find a ready thread, round-robin from rr.
-            let n = active.len();
-            let mut issued = false;
-            let mut next_ready = u64::MAX;
-            for k in 0..n {
-                let i = (rr + k) % n;
-                let ready_at = active[i].ready_at(kernel).expect("active threads not done");
-                if ready_at <= cycle {
-                    self.issue(kernel, &mut active[i], cycle, stats)?;
-                    rr = (i + 1) % n;
-                    issued = true;
-                    busy += 1;
-                    break;
+        eus: &mut [EuSim],
+    ) -> EpochOutcome {
+        let epoch = self.config.epoch_cycles.max(1);
+        let mut scratch = self.cache.clone();
+        let mut round = 0u64;
+        loop {
+            let epoch_end = epoch * (round + 1);
+            for eu in eus.iter_mut() {
+                if eu.done() {
+                    continue;
                 }
-                next_ready = next_ready.min(ready_at);
+                scratch.copy_state_from(&self.cache);
+                eu.advance_epoch(kernel, args, &self.config, &mut scratch, epoch_end);
             }
-
-            if issued {
-                cycle += 1;
-            } else {
-                // Nothing ready: the EU stalls. A cycle-level
-                // simulator pays for every cycle — this is precisely
-                // why detailed simulation is so much slower than
-                // native execution, and what subset selection
-                // amortizes. (`next_ready` guards against pathological
-                // multi-thousand-cycle gaps.)
-                cycle = (cycle + 1).max(next_ready.min(cycle + 64));
+            if let Some(e) = eus.iter().find_map(|s| s.error.clone()) {
+                return EpochOutcome::ExecFailed(e);
             }
-
-            // Retire finished threads, admit waiting ones.
-            let mut i = 0;
-            while i < active.len() {
-                if active[i].done {
-                    active.swap_remove(i);
-                    if let Some(t) = waiting.next() {
-                        active.push(ThreadCtx::new(t, args));
-                    }
-                } else {
-                    i += 1;
+            let mut all_done = true;
+            for eu in eus.iter_mut() {
+                for &(addr, bytes) in &eu.log {
+                    self.cache.access(addr, bytes);
+                }
+                eu.log.clear();
+                if !eu.done() {
+                    all_done = false;
                 }
             }
-            if !active.is_empty() {
-                rr %= active.len();
+            round += 1;
+            if all_done {
+                return EpochOutcome::Completed { epochs: round };
             }
         }
-        Ok((cycle, busy))
     }
 
-    fn issue(
+    /// The sharded schedule: `workers` host threads own EUs by index
+    /// stride and advance them concurrently within each epoch; worker
+    /// 0 performs the same in-order log replay the serial path does
+    /// between two barrier waits. The master cache is only committed
+    /// back on success, so a shard failure leaves the simulator state
+    /// untouched for the serial fallback.
+    fn run_epochs_parallel(
         &mut self,
         kernel: &DecodedKernel,
-        t: &mut ThreadCtx,
-        cycle: u64,
-        stats: &mut ExecutionStats,
-    ) -> Result<(), ExecError> {
-        if t.executed >= self.config.thread_budget {
-            return Err(ExecError::BudgetExceeded {
-                budget: self.config.thread_budget,
-            });
-        }
-        if t.ip < 0 || t.ip as usize >= kernel.instrs.len() {
-            return Err(ExecError::RanOffEnd { ip: t.ip });
-        }
-        let instr = &kernel.instrs[t.ip as usize];
-        t.executed += 1;
-        let issue = crate::executor::instruction_cost(instr);
-        t.st.issue_cycles += issue;
-        stats.count_instruction(instr.opcode.category(), instr.exec_size, issue);
+        args: &[ArgValue],
+        eus: Vec<EuSim>,
+        workers: usize,
+    ) -> (Vec<EuSim>, EpochOutcome) {
+        let epoch = self.config.epoch_cycles.max(1);
+        let num_eus = eus.len();
+        let cells: Vec<Mutex<EuSim>> = eus.into_iter().map(Mutex::new).collect();
+        let master = RwLock::new(self.cache.clone());
+        let barrier = Barrier::new(workers);
+        let failed = AtomicBool::new(false);
+        let all_done = AtomicBool::new(false);
+        let epochs = AtomicU64::new(0);
+        let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
+        let config = &self.config;
 
-        let misses_before = stats.cache_misses;
-        let outcome = step(
-            &mut t.st,
-            instr,
-            &mut self.cache,
-            &mut self.trace,
-            stats,
-            None,
-        );
-        let missed = stats.cache_misses > misses_before;
-
-        let latency = match instr.opcode {
-            Opcode::Inv | Opcode::Sqrt | Opcode::Exp | Opcode::Log | Opcode::Sin | Opcode::Cos => {
-                self.config.math_latency
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let cells = &cells;
+                let master = &master;
+                let barrier = &barrier;
+                let failed = &failed;
+                let all_done = &all_done;
+                let epochs = &epochs;
+                let first_error = &first_error;
+                scope.spawn(move || {
+                    let obs = gtpin_obs::enabled();
+                    let faults_on = gtpin_faults::enabled();
+                    let mut scratch = master.read().expect("master lock").clone();
+                    let mut round = 0u64;
+                    loop {
+                        let epoch_end = epoch * (round + 1);
+                        for e in (w..num_eus).step_by(workers) {
+                            let mut eu = cells[e].lock().expect("shard lock");
+                            if eu.done() {
+                                continue;
+                            }
+                            {
+                                let m = master.read().expect("master lock");
+                                scratch.copy_state_from(&m);
+                            }
+                            // The fault key mixes (EU, epoch) only, so
+                            // injection decisions are independent of
+                            // the worker count and host schedule.
+                            let inject = faults_on
+                                && gtpin_faults::should_inject(
+                                    gtpin_faults::site::SIM_SHARD,
+                                    ((e as u64) << 32) | (round & 0xFFFF_FFFF),
+                                );
+                            let advanced =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if inject {
+                                        std::panic::panic_any(gtpin_faults::INJECTED_PANIC_MARKER);
+                                    }
+                                    eu.advance_epoch(kernel, args, config, &mut scratch, epoch_end);
+                                }));
+                            if advanced.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        let t0 = if obs { gtpin_obs::now_ns() } else { 0 };
+                        barrier.wait();
+                        if obs {
+                            gtpin_obs::hist_ns(
+                                "sim.barrier_wait_ns",
+                                gtpin_obs::now_ns().saturating_sub(t0),
+                            );
+                        }
+                        if w == 0 && !failed.load(Ordering::Relaxed) {
+                            // Same reconciliation the serial loop
+                            // runs, in the same EU order.
+                            let mut err: Option<ExecError> = None;
+                            for cell in cells.iter() {
+                                let eu = cell.lock().expect("shard lock");
+                                if let Some(e) = &eu.error {
+                                    err = Some(e.clone());
+                                    break;
+                                }
+                            }
+                            if let Some(e) = err {
+                                *first_error.lock().expect("error lock") = Some(e);
+                            } else {
+                                let mut m = master.write().expect("master lock");
+                                let mut done = true;
+                                for cell in cells.iter() {
+                                    let mut eu = cell.lock().expect("shard lock");
+                                    for &(addr, bytes) in &eu.log {
+                                        m.access(addr, bytes);
+                                    }
+                                    eu.log.clear();
+                                    if !eu.done() {
+                                        done = false;
+                                    }
+                                }
+                                if done {
+                                    all_done.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            epochs.store(round + 1, Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                        round += 1;
+                        if failed.load(Ordering::Relaxed)
+                            || all_done.load(Ordering::Relaxed)
+                            || first_error.lock().expect("error lock").is_some()
+                        {
+                            break;
+                        }
+                    }
+                });
             }
-            Opcode::Send | Opcode::Sendc => {
-                if missed {
-                    self.config.send_miss_latency
-                } else {
-                    self.config.send_hit_latency
-                }
-            }
-            _ => self.config.alu_latency,
-        };
-        if let Some(dst) = instr.dst {
-            t.reg_ready[dst.0 as usize] = cycle + latency;
-        }
-        if let Some(flag) = instr.flag {
-            t.flag_ready[flag.index()] = cycle + 2;
-        }
+        });
 
-        match outcome {
-            StepOutcome::Done => t.done = true,
-            StepOutcome::Fault => return Err(ExecError::StrayReturn { ip: t.ip as usize }),
-            StepOutcome::Branch(off) => t.ip += 1 + off as i64,
-            StepOutcome::Next => t.ip += 1,
+        let eus: Vec<EuSim> = cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("shard lock"))
+            .collect();
+        if failed.load(Ordering::Relaxed) {
+            return (eus, EpochOutcome::ShardFailed);
         }
-        Ok(())
+        if let Some(e) = first_error.lock().expect("error lock").take() {
+            return (eus, EpochOutcome::ExecFailed(e));
+        }
+        // Commit the reconciled master state only now that the
+        // parallel attempt is known good.
+        self.cache = master.into_inner().expect("master lock");
+        (
+            eus,
+            EpochOutcome::Completed {
+                epochs: epochs.load(Ordering::Relaxed),
+            },
+        )
     }
 }
 
@@ -490,6 +853,86 @@ mod tests {
     }
 
     #[test]
+    fn sharded_simulation_is_bit_identical_to_serial() {
+        let k = kernel(
+            vec![
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(11),
+                },
+                IrOp::Compute {
+                    ops: 9,
+                    width: ExecSize::S16,
+                },
+                IrOp::Load {
+                    arg: 0,
+                    bytes: 64,
+                    width: ExecSize::S16,
+                    pattern: AccessPattern::Gather,
+                },
+                IrOp::MathCompute {
+                    ops: 2,
+                    width: ExecSize::S8,
+                },
+                IrOp::LoopEnd,
+            ],
+            1,
+        );
+        let args = [ArgValue::Buffer(0)];
+        let serial = sim()
+            .with_workers(1)
+            .simulate_launch(&k, &args, 48 * 16)
+            .unwrap();
+        for workers in 2..=8 {
+            let par = sim()
+                .with_workers(workers)
+                .simulate_launch(&k, &args, 48 * 16)
+                .unwrap();
+            assert_eq!(par, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn shard_panics_degrade_to_the_serial_result() {
+        // Rate 1.0 on sim.shard: the very first parallel epoch dies,
+        // and the launch must fall back to a serial re-run that
+        // reproduces the reference result exactly. The faults
+        // registry is process-global; a sim.shard-only plan is
+        // quiescent for every other site, so concurrently running
+        // tests are unaffected.
+        let k = kernel(
+            vec![
+                IrOp::LoopBegin {
+                    trip: TripCount::Const(5),
+                },
+                IrOp::Compute {
+                    ops: 4,
+                    width: ExecSize::S16,
+                },
+                IrOp::LoopEnd,
+            ],
+            0,
+        );
+        let baseline = sim().with_workers(1).simulate_launch(&k, &[], 256).unwrap();
+        gtpin_faults::install(gtpin_faults::FaultPlan::single(
+            gtpin_faults::site::SIM_SHARD,
+            1.0,
+            7,
+        ));
+        let degraded = sim().with_workers(4).simulate_launch(&k, &[], 256).unwrap();
+        let acc: std::collections::BTreeMap<String, u64> =
+            gtpin_faults::take_accounting().into_iter().collect();
+        gtpin_faults::disable();
+        assert_eq!(degraded, baseline, "fallback must reproduce serial result");
+        assert!(
+            acc.get("recovered.sim_serial_fallback")
+                .copied()
+                .unwrap_or(0)
+                >= 1,
+            "fallback recovery must be accounted, got {acc:?}"
+        );
+    }
+
+    #[test]
     fn detailed_simulation_is_slower_than_functional_in_wall_clock() {
         let k = kernel(
             vec![
@@ -508,8 +951,8 @@ mod tests {
             ],
             0,
         );
-        // Best-of-three on each side to keep the comparison robust
-        // against scheduler noise in debug builds.
+        // Serial on both sides, best-of-three, to keep the comparison
+        // robust against scheduler noise in debug builds.
         let functional = (0..3)
             .map(|_| {
                 let t0 = std::time::Instant::now();
@@ -518,7 +961,10 @@ mod tests {
                 Executor {
                     cache: &mut cache,
                     trace: &mut trace,
-                    config: ExecConfig::default(),
+                    config: ExecConfig {
+                        threads: 1,
+                        ..Default::default()
+                    },
                 }
                 .execute_launch(&k, &[], 4096)
                 .unwrap();
@@ -529,7 +975,10 @@ mod tests {
         let detailed = (0..3)
             .map(|_| {
                 let t1 = std::time::Instant::now();
-                sim().simulate_launch(&k, &[], 4096).unwrap();
+                sim()
+                    .with_workers(1)
+                    .simulate_launch(&k, &[], 4096)
+                    .unwrap();
                 t1.elapsed()
             })
             .min()

@@ -78,10 +78,12 @@ pub(crate) enum StepOutcome {
 /// the instruction itself and manages the instruction pointer.
 ///
 /// `access_log`, when present, records every global-memory cache
-/// access as `(addr, bytes)` — the parallel executor replays the log
-/// against the shared cache in hardware-thread order, which is why a
-/// worker running against a scratch cache still produces the serial
-/// execution's hit/miss counts.
+/// access as `(addr, bytes)`. Two consumers replay these logs against
+/// a shared cache in a fixed order: the parallel executor (in
+/// hardware-thread order, per launch) and the epoch-sharded detailed
+/// simulator (in EU index order, per epoch barrier). The fixed replay
+/// order is what makes a worker running against a scratch cache
+/// still produce the serial schedule's hit/miss counts.
 pub(crate) fn step(
     st: &mut ThreadState,
     instr: &Instruction,

@@ -217,7 +217,9 @@ impl TraceBuffer {
     }
 
     /// Merge a per-hardware-thread shard into this (shared) buffer —
-    /// the drain step of sharded parallel execution.
+    /// the drain step of sharded parallel execution. The epoch-sharded
+    /// detailed simulator drains the same way, one shard per EU merged
+    /// in EU index order at launch end.
     ///
     /// Counter slots add element-wise (addition commutes, but shards
     /// are merged in hardware-thread order anyway); records append in

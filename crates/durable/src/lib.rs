@@ -508,6 +508,16 @@ fn scan_and_repair(dir: &Path) -> Result<Recovery, JournalError> {
 mod tests {
     use super::*;
 
+    /// The faults registry is process-global, and several tests here
+    /// arm it at rate 1.0: without serialization those plans bleed
+    /// into concurrently-running siblings as spurious
+    /// `InjectedCrash` errors. Every test takes this lock.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn tmpdir(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("gtpin-durable-test-{}-{tag}", std::process::id()));
@@ -517,6 +527,7 @@ mod tests {
 
     #[test]
     fn round_trip_records_in_order() {
+        let _guard = guard();
         let dir = tmpdir("roundtrip");
         let mut j = Journal::create(&dir).unwrap();
         for i in 0..10u8 {
@@ -535,6 +546,7 @@ mod tests {
 
     #[test]
     fn empty_payloads_round_trip() {
+        let _guard = guard();
         let dir = tmpdir("empty");
         let mut j = Journal::create(&dir).unwrap();
         j.append(b"").unwrap();
@@ -546,6 +558,7 @@ mod tests {
 
     #[test]
     fn torn_tail_is_truncated_never_parsed() {
+        let _guard = guard();
         let dir = tmpdir("torn");
         let mut j = Journal::create(&dir).unwrap();
         j.append_batch(&[b"keep-me", b"also-keep", b"torn-away"])
@@ -573,6 +586,7 @@ mod tests {
 
     #[test]
     fn corrupted_checksum_truncates() {
+        let _guard = guard();
         let dir = tmpdir("crc");
         let mut j = Journal::create(&dir).unwrap();
         j.append(b"good").unwrap();
@@ -592,6 +606,7 @@ mod tests {
 
     #[test]
     fn orphan_tmp_is_swept_and_next_append_proceeds() {
+        let _guard = guard();
         let dir = tmpdir("orphan");
         let mut j = Journal::create(&dir).unwrap();
         j.append(b"one").unwrap();
@@ -607,6 +622,7 @@ mod tests {
 
     #[test]
     fn create_refuses_existing_journal() {
+        let _guard = guard();
         let dir = tmpdir("refuse");
         let mut j = Journal::create(&dir).unwrap();
         j.append(b"x").unwrap();
@@ -619,6 +635,7 @@ mod tests {
 
     #[test]
     fn recover_rejects_missing_dir() {
+        let _guard = guard();
         let dir = tmpdir("missing");
         match Journal::recover(&dir) {
             Err(JournalError::NotAJournal { .. }) => {}
@@ -628,6 +645,7 @@ mod tests {
 
     #[test]
     fn injected_crashes_lose_the_record_and_recovery_repairs() {
+        let _guard = guard();
         let dir = tmpdir("inject");
         gtpin_faults::install(gtpin_faults::FaultPlan::single(
             gtpin_faults::site::JOURNAL_CRASH,
@@ -660,6 +678,7 @@ mod tests {
 
     #[test]
     fn append_with_recovery_always_lands_the_record() {
+        let _guard = guard();
         let dir = tmpdir("ladder");
         gtpin_faults::install(gtpin_faults::FaultPlan::single(
             gtpin_faults::site::JOURNAL_CRASH,
@@ -687,6 +706,7 @@ mod tests {
 
     #[test]
     fn injected_crash_schedule_replays_identically() {
+        let _guard = guard();
         let run = |seed: u64| -> Vec<bool> {
             let dir = tmpdir(&format!("replay-{seed}"));
             gtpin_faults::install(gtpin_faults::FaultPlan::single(

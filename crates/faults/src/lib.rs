@@ -98,15 +98,21 @@ pub mod site {
     /// it into the renamed segment (recovered by `Journal::recover`
     /// truncating the torn tail and the caller re-appending).
     pub const JOURNAL_CRASH: &str = "journal.crash";
+    /// A detailed-simulator shard worker panics mid-epoch (recovered
+    /// by abandoning the parallel run and re-simulating the launch
+    /// serially from a pristine snapshot — results stay bit-identical
+    /// because serial IS the reference schedule).
+    pub const SIM_SHARD: &str = "sim.shard";
 
     /// Every named site, for matrix drivers.
-    pub const ALL: [&str; 6] = [
+    pub const ALL: [&str; 7] = [
         SHARD_OVERFLOW,
         RECORD_CORRUPT,
         JIT_FAIL,
         LAUNCH_HANG,
         WORKER_PANIC,
         JOURNAL_CRASH,
+        SIM_SHARD,
     ];
 }
 

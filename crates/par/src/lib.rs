@@ -26,9 +26,18 @@ pub use supervisor::{Outcome, Supervisor, SupervisorConfig, SupervisorReport};
 /// The environment variable controlling workspace-wide parallelism.
 pub const THREADS_ENV: &str = "GTPIN_THREADS";
 
+/// The environment variable overriding the worker count of the
+/// detailed cycle-level simulator specifically. Unset, the simulator
+/// inherits [`THREADS_ENV`].
+pub const SIM_THREADS_ENV: &str = "GTPIN_SIM_THREADS";
+
 /// The thread count to use: `GTPIN_THREADS` when set (values that
 /// fail to parse, or `0`, fall back to `1` — the serial path);
 /// otherwise the machine's available parallelism.
+///
+/// The lenient fallback keeps library embedders running; the CLI
+/// rejects malformed values up front via [`validate_threads_env`] so
+/// users are never silently clamped.
 pub fn configured_threads() -> usize {
     match std::env::var(THREADS_ENV) {
         Ok(s) => s
@@ -40,6 +49,48 @@ pub fn configured_threads() -> usize {
         Err(_) => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+    }
+}
+
+/// The detailed simulator's worker count: `GTPIN_SIM_THREADS` when
+/// set (same lenient fallback as [`configured_threads`]), otherwise
+/// whatever [`configured_threads`] says.
+pub fn configured_sim_threads() -> usize {
+    match std::env::var(SIM_THREADS_ENV) {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(1),
+        Err(_) => configured_threads(),
+    }
+}
+
+/// Strict validation of both thread-count variables, for front ends
+/// that should fail loudly instead of clamping: `Err` describes the
+/// first malformed value (not a positive integer) and names the
+/// variable, ready for an `error[cli]` report.
+pub fn validate_threads_env() -> Result<(), String> {
+    for var in [THREADS_ENV, SIM_THREADS_ENV] {
+        if let Ok(raw) = std::env::var(var) {
+            validate_thread_count(var, &raw)?;
+        }
+    }
+    Ok(())
+}
+
+/// The strict check behind [`validate_threads_env`], separated so it
+/// is testable without touching process environment.
+fn validate_thread_count(var: &str, raw: &str) -> Result<(), String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(()),
+        Ok(_) => Err(format!(
+            "{var}={raw:?} is not a valid thread count (must be >= 1)"
+        )),
+        Err(_) => Err(format!(
+            "{var}={raw:?} is not a valid thread count (expected a positive integer)"
+        )),
     }
 }
 
@@ -233,12 +284,26 @@ where
     });
 }
 
+/// The faults registry is process-global and one test in this crate
+/// arms it at rate 1.0; any sibling test running `parallel_*`
+/// concurrently (including the supervisor's) would both hit injected
+/// panics and pollute the recovery accounting. Every test in this
+/// crate takes this lock.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use super::test_guard as guard;
+
     #[test]
     fn parallel_map_matches_serial_at_every_thread_count() {
+        let _guard = guard();
         let items: Vec<u64> = (0..97).collect();
         let serial = parallel_map(&items, 1, |i, &x| x * x + i as u64);
         for threads in 2..=8 {
@@ -249,6 +314,7 @@ mod tests {
 
     #[test]
     fn parallel_fill_matches_serial() {
+        let _guard = guard();
         let mut serial = vec![0u64; 10_000];
         parallel_fill(&mut serial, 1, 0, |i| (i as u64).wrapping_mul(0x9E37));
         for threads in 2..=8 {
@@ -260,6 +326,7 @@ mod tests {
 
     #[test]
     fn uneven_work_still_collects_in_order() {
+        let _guard = guard();
         // Make early tasks slow so late tasks finish first.
         let out = parallel_indexed(16, 4, |i| {
             if i < 4 {
@@ -272,6 +339,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_inputs() {
+        let _guard = guard();
         let empty: Vec<usize> = parallel_indexed(0, 8, |i| i);
         assert!(empty.is_empty());
         assert_eq!(parallel_indexed(1, 8, |i| i + 7), vec![7]);
@@ -279,11 +347,30 @@ mod tests {
 
     #[test]
     fn configured_threads_is_at_least_one() {
+        let _guard = guard();
         assert!(configured_threads() >= 1);
+        assert!(configured_sim_threads() >= 1);
+    }
+
+    #[test]
+    fn strict_validation_rejects_what_the_lenient_getters_clamp() {
+        let _guard = guard();
+        for good in ["1", "4", " 8 ", "128"] {
+            assert!(validate_thread_count(THREADS_ENV, good).is_ok(), "{good}");
+        }
+        for bad in ["0", "-1", "four", "4.5", "", "  "] {
+            let err = validate_thread_count(SIM_THREADS_ENV, bad)
+                .expect_err("malformed counts must be rejected");
+            assert!(
+                err.contains(SIM_THREADS_ENV),
+                "error names the variable: {err}"
+            );
+        }
     }
 
     #[test]
     fn injected_worker_panics_recover_to_serial_results() {
+        let _guard = guard();
         // Even at rate 1.0 (every guarded attempt panics) the ladder
         // bottoms out in the unguarded serial fallback, so pure tasks
         // always complete with serial-identical results. The faults

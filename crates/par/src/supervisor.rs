@@ -393,6 +393,7 @@ mod tests {
 
     #[test]
     fn breaker_opens_after_consecutive_failures_and_skips_the_rest() {
+        let _guard = crate::test_guard();
         let items: Vec<u64> = (0..16).collect();
         let mut sup = Supervisor::new(SupervisorConfig {
             breaker_threshold: 3,
@@ -431,6 +432,7 @@ mod tests {
 
     #[test]
     fn success_resets_the_consecutive_counter() {
+        let _guard = crate::test_guard();
         let items: Vec<u64> = (0..12).collect();
         let mut sup = Supervisor::new(SupervisorConfig {
             breaker_threshold: 3,
@@ -457,6 +459,7 @@ mod tests {
 
     #[test]
     fn deadline_demotes_slow_tasks() {
+        let _guard = crate::test_guard();
         let items: Vec<u64> = (0..6).collect();
         let mut sup = Supervisor::new(SupervisorConfig {
             deadline_virtual_ns: Some(100),
@@ -479,6 +482,7 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_skips_cleanly() {
+        let _guard = crate::test_guard();
         let items: Vec<u64> = (0..10).collect();
         let mut sup = Supervisor::new(SupervisorConfig {
             max_tasks: Some(4),
@@ -515,6 +519,7 @@ mod tests {
 
     #[test]
     fn virtual_budget_spans_groups() {
+        let _guard = crate::test_guard();
         let mut sup = Supervisor::new(SupervisorConfig {
             max_virtual_ns: Some(100),
             batch: 4,
@@ -542,6 +547,7 @@ mod tests {
 
     #[test]
     fn outcomes_identical_at_every_thread_count() {
+        let _guard = crate::test_guard();
         let items: Vec<u64> = (0..23).collect();
         let run_at = |threads: usize| {
             let mut sup = Supervisor::new(SupervisorConfig {
@@ -573,6 +579,7 @@ mod tests {
 
     #[test]
     fn cached_outcomes_replay_the_same_policy_trajectory() {
+        let _guard = crate::test_guard();
         let items: Vec<u64> = (0..16).collect();
         let config = SupervisorConfig {
             breaker_threshold: 3,

@@ -26,6 +26,26 @@ echo "== determinism properties at GTPIN_THREADS=4"
 GTPIN_THREADS=4 cargo test -q -p simpoint --test prop_parallel
 GTPIN_THREADS=4 cargo test -q -p subset-select --test prop_parallel
 
+echo "== sharded-simulator gate: detailed sim serial vs 4 workers, digests diffed"
+SIM_DIR="$(pwd)/target/sim-check"
+rm -rf "$SIM_DIR"
+mkdir -p "$SIM_DIR"
+SIM_APP=sandra-crypt-aes128
+GTPIN_SIM_THREADS=1 ./target/release/gtpin sim "$SIM_APP" \
+    > "$SIM_DIR/serial.txt" 2>/dev/null
+GTPIN_SIM_THREADS=4 ./target/release/gtpin sim "$SIM_APP" \
+    > "$SIM_DIR/sharded.txt" 2>/dev/null
+diff -u "$SIM_DIR/serial.txt" "$SIM_DIR/sharded.txt" || {
+    echo "FAIL: 4-worker detailed simulation diverged from serial"
+    exit 1
+}
+grep -q "stats digest:" "$SIM_DIR/serial.txt" || {
+    cat "$SIM_DIR/serial.txt"
+    echo "FAIL: gtpin sim did not emit a stats digest"
+    exit 1
+}
+echo "4-worker stats digest is byte-identical to serial"
+
 echo "== telemetry smoke: tier-1 tests under GTPIN_OBS=1"
 # Absolute dir: test binaries run with per-crate working directories.
 OBS_DIR="$(pwd)/target/obs-check"

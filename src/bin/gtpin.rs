@@ -24,6 +24,14 @@
 //!     (supervision knobs come from GTPIN_DEADLINE_MS, GTPIN_BREAKER,
 //!     GTPIN_MAX_TASKS, GTPIN_MAX_VIRTUAL_MS; budget exhaustion prints
 //!     the partial report and exits nonzero with error[budget])
+//! gtpin sim <app> [options]           detailed-simulate an app's launches
+//!                                     and print a deterministic stats
+//!                                     digest (worker count from
+//!                                     GTPIN_SIM_THREADS, falling back to
+//!                                     GTPIN_THREADS; the digest is
+//!                                     bit-identical at every count)
+//!     --scale test|default            workload scale (default: test)
+//!     --launches <n>                  simulate only the first n launches
 //! gtpin disasm <app> [kernel-index]   disassemble a JIT-compiled kernel
 //! gtpin lint <app>|--all [--json <p>] run the static lints over every
 //!                                     kernel of an app (or all apps) and
@@ -58,11 +66,20 @@ use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Malformed thread-count variables fail loudly before any work
+    // runs — the library getters clamp leniently, but a user who set
+    // GTPIN_THREADS=four deserves an error, not a silent serial run.
+    if let Err(e) = gtpin_suite::par::validate_threads_env() {
+        let e: GtPinError = e.into();
+        eprintln!("error[{}]: {e}", e.kind());
+        std::process::exit(1);
+    }
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("select") => cmd_select(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("luxmark") => cmd_luxmark(),
@@ -71,7 +88,7 @@ fn main() {
         Some("faults-matrix") => cmd_faults_matrix(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gtpin <list|run|select|explore|disasm|lint|luxmark|obs-report|obs-verify|faults-matrix> [args]"
+                "usage: gtpin <list|run|select|explore|sim|disasm|lint|luxmark|obs-report|obs-verify|faults-matrix> [args]"
             );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
@@ -273,6 +290,81 @@ fn cmd_select(args: &[String]) -> CliResult {
             pick.ratio * 100.0
         );
     }
+    Ok(())
+}
+
+/// `gtpin sim`: run every launch of an app through the epoch-sharded
+/// detailed simulator and print a deterministic digest of the
+/// results. The worker count comes from `GTPIN_SIM_THREADS` (falling
+/// back to `GTPIN_THREADS`); stdout is bit-identical at every count,
+/// which is exactly what the `scripts/check.sh` serial-vs-sharded
+/// gate diffs.
+fn cmd_sim(args: &[String]) -> CliResult {
+    use gtpin_suite::device::detailed::{DetailedConfig, DetailedSimulator};
+    use gtpin_suite::device::GpuGeneration;
+
+    let spec = parse_app(args)?;
+    // Detailed simulation is the slow path by design; default to the
+    // test scale so the gate stays cheap.
+    let scale = match flag_value(args, "--scale")? {
+        None | Some("test") => Scale::Test,
+        Some("default") => Scale::Default,
+        Some(other) => return Err(format!("unknown scale {other} (known: test, default)").into()),
+    };
+    let limit: usize = flag_value(args, "--launches")?
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(usize::MAX);
+
+    let program = build_program(&spec, scale);
+    let mut rt = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
+    rt.run(&program, Schedule::Replay)?;
+    let gpu = rt.into_device();
+
+    let topo = GpuGeneration::IvyBridgeHd4000.topology();
+    let mut sim = DetailedSimulator::new(topo, 1.15e9, DetailedConfig::default());
+    // Worker count on stderr only: stdout must diff clean across
+    // thread counts.
+    eprintln!(
+        "sim: {} workers (GTPIN_SIM_THREADS / GTPIN_THREADS)",
+        gtpin_suite::par::configured_sim_threads()
+    );
+
+    let launches = gpu.launches();
+    let n = launches.len().min(limit);
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut busy_cycles = 0u64;
+    let mut eu_cycles = 0u64;
+    for launch in &launches[..n] {
+        let kernel = gpu
+            .driver()
+            .kernel(launch.kernel.index())
+            .ok_or("launch references an unbuilt kernel")?;
+        let r = sim.simulate_launch(kernel, &launch.args, launch.global_work_size)?;
+        cycles += r.cycles;
+        instructions += r.stats.instructions;
+        busy_cycles += r.busy_cycles;
+        eu_cycles += r.eu_cycles;
+        digest = fnv_fold(digest, &r.cycles.to_le_bytes());
+        digest = fnv_fold(digest, &r.busy_cycles.to_le_bytes());
+        digest = fnv_fold(digest, &r.eu_cycles.to_le_bytes());
+        digest = fnv_fold(digest, serde_json::to_string(&r.stats)?.as_bytes());
+    }
+    println!(
+        "{}: {} launch(es) detailed-simulated at {:?} scale",
+        spec.name, n, scale
+    );
+    println!(
+        "cycles {cycles}  instructions {instructions}  occupancy {:.4}",
+        if eu_cycles == 0 {
+            0.0
+        } else {
+            busy_cycles as f64 / eu_cycles as f64
+        }
+    );
+    println!("stats digest: {digest:016x}");
     Ok(())
 }
 
@@ -661,6 +753,46 @@ fn matrix_journal_run(
     })
 }
 
+/// Detailed-simulate a few launches of one app at 4 workers under the
+/// given plan (or with faults disabled), returning the stats digest
+/// and the drained fault accounting.
+fn matrix_sim_run(
+    plan: Option<&faults::FaultPlan>,
+) -> Result<(u64, Vec<(String, u64)>), GtPinError> {
+    use gtpin_suite::device::detailed::{DetailedConfig, DetailedSimulator};
+    use gtpin_suite::device::GpuGeneration;
+
+    match plan {
+        Some(p) => faults::install(p.clone()),
+        None => faults::disable(),
+    }
+    let spec = all_specs().into_iter().next().ok_or("no workloads")?;
+    let program = build_program(&spec, Scale::Test);
+    let mut rt = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
+    rt.run(&program, Schedule::Replay)?;
+    let gpu = rt.into_device();
+    let mut sim = DetailedSimulator::new(
+        GpuGeneration::IvyBridgeHd4000.topology(),
+        1.15e9,
+        DetailedConfig::default(),
+    )
+    .with_workers(4);
+    let launches = gpu.launches();
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    for launch in launches.iter().take(6) {
+        let kernel = gpu
+            .driver()
+            .kernel(launch.kernel.index())
+            .ok_or("launch references an unbuilt kernel")?;
+        let r = sim.simulate_launch(kernel, &launch.args, launch.global_work_size)?;
+        digest = fnv_fold(digest, &r.cycles.to_le_bytes());
+        digest = fnv_fold(digest, serde_json::to_string(&r.stats)?.as_bytes());
+    }
+    let accounting = faults::take_accounting();
+    faults::disable();
+    Ok((digest, accounting))
+}
+
 fn cmd_faults_matrix(args: &[String]) -> CliResult {
     let seed: u64 = flag_value(args, "--seed")?
         .map(str::parse)
@@ -843,10 +975,60 @@ fn cmd_faults_matrix(args: &[String]) -> CliResult {
         );
     }
 
+    // Sim-shard scenario: kill every parallel epoch of a 4-worker
+    // detailed simulation; the serial fallback must reproduce the
+    // no-fault digest exactly, and every fallback must be accounted.
+    println!(
+        "\n{:21} {:>9} {:>9}  contract",
+        "sim scenario", "injected", "fallbacks"
+    );
+    {
+        let baseline = matrix_sim_run(None)?;
+        let plan = FaultPlan::single(site::SIM_SHARD, 1.0, seed);
+        let first = matrix_sim_run(Some(&plan))?;
+        let second = matrix_sim_run(Some(&plan))?;
+        let mut notes: Vec<&str> = vec!["replayed"];
+        if first.0 != second.0 || first.1 != second.1 {
+            violations.push(format!(
+                "sim-shard: two identically-seeded trials disagree \
+                 (digest {:#x} vs {:#x})",
+                first.0, second.0
+            ));
+        }
+        if first.0 != baseline.0 {
+            violations.push("sim-shard: degraded digest diverged from baseline".into());
+        } else {
+            notes.push("baseline-identical");
+        }
+        let injected: u64 = first
+            .1
+            .iter()
+            .filter(|(k, _)| k.starts_with("injected."))
+            .map(|(_, v)| v)
+            .sum();
+        let fallbacks = first
+            .1
+            .iter()
+            .find(|(k, _)| k.as_str() == "recovered.sim_serial_fallback")
+            .map_or(0, |(_, v)| *v);
+        if injected == 0 || fallbacks == 0 {
+            violations.push("sim-shard: no shard deaths fired at rate 1.0".into());
+        } else {
+            notes.push("serial-fallback");
+        }
+        println!(
+            "{:21} {:>9} {:>9}  {}",
+            "sim-shard",
+            injected,
+            fallbacks,
+            notes.join(", ")
+        );
+    }
+
     if violations.is_empty() {
         println!(
             "\nfaults-matrix: all {} scenarios honored the degradation contract",
-            scenarios.len() + journal_scenarios.len()
+            scenarios.len() + journal_scenarios.len() + 1
         );
         Ok(())
     } else {
