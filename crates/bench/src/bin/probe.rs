@@ -45,7 +45,7 @@ fn main() {
                     println!("wrote {}", p.display());
                 }
             }
-            Err(e) => println!("failed to write telemetry artifacts: {e}"),
+            Err(e) => eprintln!("failed to write telemetry artifacts: {e}"),
         }
     }
 }

@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
 use gen_isa::{DecodedKernel, Opcode};
+use gtpin_obs::ArgVal;
 use ocl_runtime::api::ArgValue;
 
 use crate::cache::{Cache, CacheConfig};
@@ -353,6 +354,46 @@ enum EpochOutcome {
     ShardFailed,
 }
 
+/// Per-EU, per-epoch provenance instant: the virtual-cycle facts
+/// `gtpin obs-timeline` aggregates. All values are schedule-invariant
+/// (epoch deltas of the EU's own counters), so the aggregate report
+/// is identical at every `GTPIN_SIM_THREADS` setting.
+fn eu_epoch_instant(launch: u64, eu: u64, epoch: u64, busy: u64, cycles: u64) {
+    gtpin_obs::global().instant(
+        "sim.eu_epoch",
+        vec![
+            ("launch", ArgVal::U64(launch)),
+            ("eu", ArgVal::U64(eu)),
+            ("epoch", ArgVal::U64(epoch)),
+            ("busy", ArgVal::U64(busy)),
+            ("cycles", ArgVal::U64(cycles)),
+        ],
+    );
+}
+
+/// The sharded-schedule variant of [`eu_epoch_instant`], tagging the
+/// host worker that advanced the shard (wall-clock context only).
+fn eu_epoch_instant_on_worker(
+    launch: u64,
+    eu: u64,
+    epoch: u64,
+    busy: u64,
+    cycles: u64,
+    worker: u64,
+) {
+    gtpin_obs::global().instant(
+        "sim.eu_epoch",
+        vec![
+            ("launch", ArgVal::U64(launch)),
+            ("eu", ArgVal::U64(eu)),
+            ("epoch", ArgVal::U64(epoch)),
+            ("busy", ArgVal::U64(busy)),
+            ("cycles", ArgVal::U64(cycles)),
+            ("worker", ArgVal::U64(worker)),
+        ],
+    );
+}
+
 /// The cycle-level simulator. Owns its own cache so detailed runs
 /// don't disturb the native device's warm state.
 pub struct DetailedSimulator {
@@ -362,6 +403,9 @@ pub struct DetailedSimulator {
     cache: Cache,
     trace: TraceBuffer,
     workers: usize,
+    /// Launches simulated so far — provenance tag on per-EU telemetry
+    /// so `gtpin obs-timeline` can separate launches in one journal.
+    launches: u64,
 }
 
 impl DetailedSimulator {
@@ -381,6 +425,7 @@ impl DetailedSimulator {
             cache: Cache::new(CacheConfig::llc_slice(topology.llc_slice_kib)),
             trace: TraceBuffer::new(),
             workers: gtpin_par::configured_sim_threads(),
+            launches: 0,
         }
     }
 
@@ -417,10 +462,13 @@ impl DetailedSimulator {
         let slots = self.topology.threads_per_eu as usize;
         let trace_capacity = self.trace.record_capacity();
         let workers = self.workers.max(1).min(num_eus as usize);
+        self.launches += 1;
+        let launch = self.launches;
 
         let mut span = gtpin_obs::span("sim.launch");
         if span.active() {
             span.arg_str("kernel", kernel.name.clone());
+            span.arg_u64("launch", launch);
             span.arg_u64("hw_threads", num_threads);
             span.arg_u64("eus", num_eus);
             span.arg_u64("workers", workers as u64);
@@ -438,9 +486,9 @@ impl DetailedSimulator {
 
         let mut eus = build_shards();
         let outcome = if workers <= 1 {
-            self.run_epochs_serial(kernel, args, &mut eus)
+            self.run_epochs_serial(kernel, args, &mut eus, launch)
         } else {
-            let (back, outcome) = self.run_epochs_parallel(kernel, args, eus, workers);
+            let (back, outcome) = self.run_epochs_parallel(kernel, args, eus, workers, launch);
             eus = back;
             if matches!(outcome, EpochOutcome::ShardFailed) {
                 // Degradation contract: the parallel attempt never
@@ -452,7 +500,7 @@ impl DetailedSimulator {
                     "sim: shard worker died; re-simulating launch serially from pristine state"
                 );
                 eus = build_shards();
-                self.run_epochs_serial(kernel, args, &mut eus)
+                self.run_epochs_serial(kernel, args, &mut eus, launch)
             } else {
                 outcome
             }
@@ -517,18 +565,24 @@ impl DetailedSimulator {
         kernel: &DecodedKernel,
         args: &[ArgValue],
         eus: &mut [EuSim],
+        launch: u64,
     ) -> EpochOutcome {
+        let obs = gtpin_obs::enabled();
         let epoch = self.config.epoch_cycles.max(1);
         let mut scratch = self.cache.clone();
         let mut round = 0u64;
         loop {
             let epoch_end = epoch * (round + 1);
-            for eu in eus.iter_mut() {
+            for (e, eu) in eus.iter_mut().enumerate() {
                 if eu.done() {
                     continue;
                 }
                 scratch.copy_state_from(&self.cache);
+                let (busy0, cycle0) = (eu.busy, eu.cycle);
                 eu.advance_epoch(kernel, args, &self.config, &mut scratch, epoch_end);
+                if obs {
+                    eu_epoch_instant(launch, e as u64, round, eu.busy - busy0, eu.cycle - cycle0);
+                }
             }
             if let Some(e) = eus.iter().find_map(|s| s.error.clone()) {
                 return EpochOutcome::ExecFailed(e);
@@ -562,6 +616,7 @@ impl DetailedSimulator {
         args: &[ArgValue],
         eus: Vec<EuSim>,
         workers: usize,
+        launch: u64,
     ) -> (Vec<EuSim>, EpochOutcome) {
         let epoch = self.config.epoch_cycles.max(1);
         let num_eus = eus.len();
@@ -607,6 +662,7 @@ impl DetailedSimulator {
                                     gtpin_faults::site::SIM_SHARD,
                                     ((e as u64) << 32) | (round & 0xFFFF_FFFF),
                                 );
+                            let (busy0, cycle0) = (eu.busy, eu.cycle);
                             let advanced =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     if inject {
@@ -614,16 +670,40 @@ impl DetailedSimulator {
                                     }
                                     eu.advance_epoch(kernel, args, config, &mut scratch, epoch_end);
                                 }));
-                            if advanced.is_err() {
-                                failed.store(true, Ordering::Relaxed);
+                            match advanced {
+                                Ok(()) if obs => {
+                                    // Same virtual-cycle provenance the
+                                    // serial loop records — the extra
+                                    // `worker` arg is wall-clock-only
+                                    // context the timeline ignores.
+                                    eu_epoch_instant_on_worker(
+                                        launch,
+                                        e as u64,
+                                        round,
+                                        eu.busy - busy0,
+                                        eu.cycle - cycle0,
+                                        w as u64,
+                                    );
+                                }
+                                Ok(()) => {}
+                                Err(_) => failed.store(true, Ordering::Relaxed),
                             }
                         }
                         let t0 = if obs { gtpin_obs::now_ns() } else { 0 };
                         barrier.wait();
                         if obs {
-                            gtpin_obs::hist_ns(
-                                "sim.barrier_wait_ns",
-                                gtpin_obs::now_ns().saturating_sub(t0),
+                            let wait_ns = gtpin_obs::now_ns().saturating_sub(t0);
+                            gtpin_obs::hist_ns("sim.barrier_wait_ns", wait_ns);
+                            // Wall-clock provenance: which worker waited
+                            // how long at this epoch's barrier.
+                            gtpin_obs::global().instant(
+                                "sim.barrier",
+                                vec![
+                                    ("launch", ArgVal::U64(launch)),
+                                    ("worker", ArgVal::U64(w as u64)),
+                                    ("epoch", ArgVal::U64(round)),
+                                    ("wait_ns", ArgVal::U64(wait_ns)),
+                                ],
                             );
                         }
                         if w == 0 && !failed.load(Ordering::Relaxed) {

@@ -48,8 +48,11 @@ use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"GTJRNL01";
-/// Bytes of record framing before the payload: u32 length + u64 FNV.
-pub const RECORD_HEADER: usize = 12;
+// Record framing (length-prefix + FNV-1a checksum) is shared with the
+// GTOBS01 binary telemetry journal; both formats frame and tear-check
+// payloads identically, so the helpers live in `gtpin_obs::frame`.
+pub use gtpin_obs::frame::{fnv64, RECORD_HEADER};
+use gtpin_obs::frame::{frame_record, split_record, RecordSplit};
 
 /// Errors from the journal layer.
 #[derive(Debug)]
@@ -112,15 +115,6 @@ fn io_err(path: &Path, source: std::io::Error) -> JournalError {
         path: path.to_path_buf(),
         source,
     }
-}
-
-/// FNV-1a over a byte slice — the per-record checksum.
-pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// splitmix64 finalizer, used to derive the injected failure mode
@@ -334,9 +328,7 @@ impl Journal {
         );
         bytes.extend_from_slice(SEGMENT_MAGIC);
         for payload in payloads {
-            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            bytes.extend_from_slice(&fnv64(payload).to_le_bytes());
-            bytes.extend_from_slice(payload);
+            frame_record(payload, &mut bytes);
         }
 
         let final_path = self.dir.join(segment_name(index));
@@ -422,40 +414,26 @@ fn scan_segment(bytes: &[u8]) -> SegmentScan {
     let mut payloads = Vec::new();
     let mut offset = SEGMENT_MAGIC.len();
     loop {
-        if offset == bytes.len() {
-            return SegmentScan {
-                payloads,
-                intact_len: offset,
-                torn: false,
-            };
+        match split_record(&bytes[offset..]) {
+            RecordSplit::Done => {
+                return SegmentScan {
+                    payloads,
+                    intact_len: offset,
+                    torn: false,
+                };
+            }
+            RecordSplit::Torn => {
+                return SegmentScan {
+                    payloads,
+                    intact_len: offset,
+                    torn: true,
+                };
+            }
+            RecordSplit::Record { payload, consumed } => {
+                payloads.push(payload.to_vec());
+                offset += consumed;
+            }
         }
-        let rest = &bytes[offset..];
-        if rest.len() < RECORD_HEADER {
-            return SegmentScan {
-                payloads,
-                intact_len: offset,
-                torn: true,
-            };
-        }
-        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
-        let want = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
-        if rest.len() - RECORD_HEADER < len {
-            return SegmentScan {
-                payloads,
-                intact_len: offset,
-                torn: true,
-            };
-        }
-        let payload = &rest[RECORD_HEADER..RECORD_HEADER + len];
-        if fnv64(payload) != want {
-            return SegmentScan {
-                payloads,
-                intact_len: offset,
-                torn: true,
-            };
-        }
-        payloads.push(payload.to_vec());
-        offset += RECORD_HEADER + len;
     }
 }
 

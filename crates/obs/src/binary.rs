@@ -1,0 +1,521 @@
+//! The GTOBS01 binary journal: format definition and the single-pass
+//! ring-buffered writer.
+//!
+//! # Why a binary journal
+//!
+//! The original journal streamed one formatted JSONL line per event:
+//! every span close paid for JSON escaping, a `String` allocation,
+//! and a `write(2)` syscall. GTOBS01 replaces that hot path with a
+//! fixed-width append into a per-thread ring buffer that drains to
+//! disk in bulk; the JSONL and Chrome `trace_event` forms still exist
+//! but are *converters* over the binary journal (see
+//! [`crate::reader`]), not second writers — so the published text
+//! schemas cannot drift from what was recorded.
+//!
+//! # Layout
+//!
+//! A journal file is a concatenation of **streams**, one per writing
+//! process (the file is opened in append mode; a new process pads to
+//! a 64-byte boundary and begins a fresh stream, resetting the string
+//! table). Every structure below starts 64-byte aligned:
+//!
+//! ```text
+//! stream  := header section*
+//! header  := magic "GTOBS01\0" | version u32 LE | pad u32 |
+//!            fnv64(bytes[0..16]) u64 LE | zeros to 64
+//! section := kind u32 | pad_len u32 | payload_len u64 |
+//!            fnv64(payload) u64 | zeros to 64,
+//!            then payload, then `pad_len` zeros to realign
+//! ```
+//!
+//! Section kinds: `1` = string-table delta, `2` = event records,
+//! `3` = totals records. A string-table delta carries
+//! `first_id u32 | count u32 | (count+1) offsets u32 | blob` — the
+//! sentinel extra offset means length lookups are `off[i+1]-off[i]`
+//! with no per-string length field, and `first_id` pins the delta to
+//! its position in the stream-wide id space so names are interned
+//! exactly once per stream. Record sections are arrays of fixed
+//! 40-byte little-endian records ([`RawRecord`]); an event's argument
+//! records follow it contiguously in the same section (the writer
+//! never splits an event group across a drain).
+//!
+//! # Torn tails
+//!
+//! Sections carry their own checksum, so recovery granularity is the
+//! section: a partial tail write invalidates exactly the section it
+//! tore, and [`crate::reader::recover`] truncates from there — the
+//! same contract as `gtpin-durable`, built on the same
+//! [`crate::frame::fnv64`].
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::frame::fnv64;
+use crate::registry::{ArgVal, Event, EventKind, Snapshot};
+
+/// Leading magic of every stream header.
+pub const MAGIC: [u8; 8] = *b"GTOBS01\0";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Bytes in a stream header (and the alignment of every structure).
+pub const HEADER_LEN: usize = 64;
+
+/// Bytes in a section header.
+pub const SECTION_HEADER_LEN: usize = 64;
+
+/// Bytes in one fixed-width record.
+pub const RECORD_LEN: usize = 40;
+
+/// Section kind: string-table delta.
+pub const SECT_STRINGS: u32 = 1;
+/// Section kind: event records.
+pub const SECT_EVENTS: u32 = 2;
+/// Section kind: totals records (counters/gauges/histograms).
+pub const SECT_TOTALS: u32 = 3;
+
+/// Record kind: span opened (name, tid, `w0` = start ts).
+pub const REC_SPAN_ENTER: u8 = 1;
+/// Record kind: span closed (`w0` = start ts, `w1` = duration ns,
+/// `w2` = following argument-record count).
+pub const REC_SPAN_EXIT: u8 = 2;
+/// Record kind: point-in-time marker (`w0` = ts, `w2` = arg count).
+pub const REC_INSTANT: u8 = 3;
+/// Record kind: warning (`name` = interned message id, `w0` = ts,
+/// `w2` = arg count).
+pub const REC_WARN: u8 = 4;
+/// Record kind: one argument of the preceding event (`name` = key
+/// id, `flags` = value type, `w0` = value bits).
+pub const REC_ARG: u8 = 5;
+/// Record kind: counter total (`w0` = value; `flags` bit 0 marks the
+/// synthetic `obs.dropped_events` counter, which the Chrome converter
+/// skips to match the legacy exporter).
+pub const REC_COUNTER: u8 = 6;
+/// Record kind: gauge total (`w0` = f64 bits).
+pub const REC_GAUGE: u8 = 7;
+/// Record kind: histogram totals (`w0` = count, `w1` = sum,
+/// `w2` = min, `w3` = max); its non-zero buckets follow.
+pub const REC_HIST_SUMMARY: u8 = 8;
+/// Record kind: one non-zero histogram bucket (`w0` = bucket index,
+/// `w1` = count) of the preceding summary.
+pub const REC_HIST_BUCKET: u8 = 9;
+
+/// [`REC_ARG`] value type: unsigned integer.
+pub const ARG_U64: u8 = 0;
+/// [`REC_ARG`] value type: signed integer (two's-complement bits).
+pub const ARG_I64: u8 = 1;
+/// [`REC_ARG`] value type: float (IEEE-754 bits).
+pub const ARG_F64: u8 = 2;
+/// [`REC_ARG`] value type: interned string id.
+pub const ARG_STR: u8 = 3;
+/// [`REC_ARG`] value type: boolean (0/1).
+pub const ARG_BOOL: u8 = 4;
+
+/// Flag bit on [`REC_COUNTER`]: synthetic (writer-generated) total.
+pub const FLAG_SYNTHETIC: u8 = 1;
+
+/// Per-thread ring capacity in bytes. Small enough that a crash
+/// loses at most a couple hundred records per thread, large enough
+/// that draining amortizes the write syscall over ~200 records.
+const RING_CAPACITY: usize = 8 * 1024;
+
+/// One fixed-width journal record, decoded. The four `w` words are
+/// kind-specific (see the `REC_*` constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawRecord {
+    /// One of the `REC_*` kinds.
+    pub kind: u8,
+    /// Kind-specific flags (`ARG_*` type for arguments).
+    pub flags: u8,
+    /// Registry-scoped thread id (truncated to 16 bits).
+    pub tid: u16,
+    /// Interned string id: event name, warn message, or arg key.
+    pub name: u32,
+    /// Kind-specific payload words.
+    pub w: [u64; 4],
+}
+
+impl RawRecord {
+    /// Append the 40-byte little-endian encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.kind);
+        out.push(self.flags);
+        out.extend_from_slice(&self.tid.to_le_bytes());
+        out.extend_from_slice(&self.name.to_le_bytes());
+        for w in self.w {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Decode one record from a 40-byte slice.
+    pub fn decode(bytes: &[u8]) -> RawRecord {
+        debug_assert_eq!(bytes.len(), RECORD_LEN);
+        RawRecord {
+            kind: bytes[0],
+            flags: bytes[1],
+            tid: u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")),
+            name: u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+            w: [
+                u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+                u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+                u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+                u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")),
+            ],
+        }
+    }
+}
+
+/// Zero padding needed after `len` payload bytes to restore 64-byte
+/// alignment.
+pub fn pad_to_align(len: usize) -> usize {
+    (HEADER_LEN - len % HEADER_LEN) % HEADER_LEN
+}
+
+/// Render a stream header (64 bytes).
+pub fn stream_header() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    let crc = fnv64(&h[0..16]);
+    h[16..24].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+enum Sink {
+    File(std::fs::File),
+    Buffer(Arc<Mutex<Vec<u8>>>),
+}
+
+impl Sink {
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            Sink::File(f) => f.write_all(bytes),
+            Sink::Buffer(b) => {
+                b.lock()
+                    .expect("obs sink poisoned")
+                    .extend_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        match self {
+            Sink::File(f) => f.sync_data(),
+            Sink::Buffer(_) => Ok(()),
+        }
+    }
+}
+
+struct SinkState {
+    out: Sink,
+    /// Reused section-assembly buffer so a drain is one `write_all`.
+    scratch: Vec<u8>,
+}
+
+#[derive(Default)]
+struct StringState {
+    ids: HashMap<String, u32>,
+    /// Interned but not yet written to a string-table delta.
+    pending: Vec<String>,
+}
+
+struct Ring {
+    buf: Vec<u8>,
+}
+
+/// The GTOBS01 writer: a shared sink, a stream-wide string interner,
+/// and one ring buffer per registry thread id. Recording threads
+/// touch only their own ring (uncontended in the steady state); the
+/// sink and interner locks are taken when a ring drains.
+///
+/// Lock order, where nested: ring → sink → strings.
+pub(crate) struct BinaryWriter {
+    sink: Mutex<SinkState>,
+    strings: Mutex<StringState>,
+    rings: RwLock<Vec<Arc<Mutex<Ring>>>>,
+}
+
+impl BinaryWriter {
+    fn new(mut out: Sink) -> std::io::Result<BinaryWriter> {
+        out.write_all(&stream_header())?;
+        Ok(BinaryWriter {
+            sink: Mutex::new(SinkState {
+                out,
+                scratch: Vec::with_capacity(RING_CAPACITY + 2 * SECTION_HEADER_LEN),
+            }),
+            strings: Mutex::new(StringState::default()),
+            rings: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Open (append mode) `path` and start a new stream in it. If the
+    /// file's existing length is not 64-byte aligned — a previous
+    /// writer died mid-section — zero-pad first so this stream's
+    /// header lands aligned and the reader can resynchronize past the
+    /// torn tail.
+    pub fn open_file(path: &Path) -> std::io::Result<BinaryWriter> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let mut out = Sink::File(file);
+        let pad = pad_to_align(len);
+        if pad > 0 {
+            out.write_all(&[0u8; HEADER_LEN][..pad])?;
+        }
+        BinaryWriter::new(out)
+    }
+
+    /// An in-memory writer for tests and benches; the returned buffer
+    /// holds the journal bytes.
+    pub fn buffer() -> (BinaryWriter, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let writer =
+            BinaryWriter::new(Sink::Buffer(buf.clone())).expect("buffer sink is infallible");
+        (writer, buf)
+    }
+
+    /// Intern `s`, returning its stream-wide id. First interning of a
+    /// name allocates once and queues it for the next string-table
+    /// delta; every later lookup is a hash probe.
+    fn intern(&self, s: &str) -> u32 {
+        let mut strings = self.strings.lock().expect("obs strings poisoned");
+        if let Some(&id) = strings.ids.get(s) {
+            return id;
+        }
+        let id = strings.ids.len() as u32;
+        strings.ids.insert(s.to_string(), id);
+        strings.pending.push(s.to_string());
+        id
+    }
+
+    fn ring(&self, tid: u32) -> Arc<Mutex<Ring>> {
+        let tid = tid as usize;
+        {
+            let rings = self.rings.read().expect("obs rings poisoned");
+            if let Some(r) = rings.get(tid) {
+                return r.clone();
+            }
+        }
+        let mut rings = self.rings.write().expect("obs rings poisoned");
+        while rings.len() <= tid {
+            rings.push(Arc::new(Mutex::new(Ring {
+                buf: Vec::with_capacity(RING_CAPACITY),
+            })));
+        }
+        rings[tid].clone()
+    }
+
+    /// Record a span open.
+    pub fn span_enter(&self, name: &str, tid: u32, ts_ns: u64) {
+        let name = self.intern(name);
+        let ring = self.ring(tid);
+        let mut ring = ring.lock().expect("obs ring poisoned");
+        if ring.buf.len() + RECORD_LEN > RING_CAPACITY {
+            self.drain_ring(&mut ring);
+        }
+        RawRecord {
+            kind: REC_SPAN_ENTER,
+            flags: 0,
+            tid: tid as u16,
+            name,
+            w: [ts_ns, 0, 0, 0],
+        }
+        .encode_into(&mut ring.buf);
+    }
+
+    /// Record a completed event (span exit, instant, or warn) with
+    /// its arguments. The whole group is encoded contiguously so a
+    /// drain can never split an event from its arguments.
+    pub fn append_event(&self, event: &Event) {
+        let (kind, name_id, dur) = match &event.kind {
+            EventKind::Span { dur_ns } => (REC_SPAN_EXIT, self.intern(event.name), *dur_ns),
+            EventKind::Instant => (REC_INSTANT, self.intern(event.name), 0),
+            EventKind::Warn { msg } => (REC_WARN, self.intern(msg), 0),
+        };
+        let ring = self.ring(event.tid);
+        let mut ring = ring.lock().expect("obs ring poisoned");
+        let needed = RECORD_LEN * (1 + event.args.len());
+        if ring.buf.len() + needed > RING_CAPACITY && !ring.buf.is_empty() {
+            self.drain_ring(&mut ring);
+        }
+        RawRecord {
+            kind,
+            flags: 0,
+            tid: event.tid as u16,
+            name: name_id,
+            w: [event.ts_ns, dur, event.args.len() as u64, 0],
+        }
+        .encode_into(&mut ring.buf);
+        for (key, value) in &event.args {
+            let (flags, bits) = match value {
+                ArgVal::U64(v) => (ARG_U64, *v),
+                ArgVal::I64(v) => (ARG_I64, *v as u64),
+                ArgVal::F64(v) => (ARG_F64, v.to_bits()),
+                ArgVal::Str(s) => (ARG_STR, self.intern(s) as u64),
+                ArgVal::Bool(b) => (ARG_BOOL, *b as u64),
+            };
+            RawRecord {
+                kind: REC_ARG,
+                flags,
+                tid: event.tid as u16,
+                name: self.intern(key),
+                w: [bits, 0, 0, 0],
+            }
+            .encode_into(&mut ring.buf);
+        }
+    }
+
+    /// Drain one ring into the sink: any pending string-table delta
+    /// first (so every id a record references is already defined),
+    /// then the ring contents as an events section. Telemetry never
+    /// takes the program down, so sink errors are swallowed here; the
+    /// explicit [`BinaryWriter::flush`] surfaces them.
+    fn drain_ring(&self, ring: &mut Ring) {
+        let _ = self.drain_ring_into_sink(ring);
+    }
+
+    fn drain_ring_into_sink(&self, ring: &mut Ring) -> std::io::Result<()> {
+        if ring.buf.is_empty() {
+            return Ok(());
+        }
+        let mut sink = self.sink.lock().expect("obs sink poisoned");
+        self.write_pending_strings(&mut sink)?;
+        let result = write_section_payload(&mut sink, SECT_EVENTS, &ring.buf);
+        ring.buf.clear();
+        result
+    }
+
+    fn write_pending_strings(&self, sink: &mut SinkState) -> std::io::Result<()> {
+        let (first_id, pending) = {
+            let mut strings = self.strings.lock().expect("obs strings poisoned");
+            if strings.pending.is_empty() {
+                return Ok(());
+            }
+            let pending = std::mem::take(&mut strings.pending);
+            (strings.ids.len() as u32 - pending.len() as u32, pending)
+        };
+        let mut payload = Vec::with_capacity(
+            8 + 4 * (pending.len() + 1) + pending.iter().map(|s| s.len()).sum::<usize>(),
+        );
+        payload.extend_from_slice(&first_id.to_le_bytes());
+        payload.extend_from_slice(&(pending.len() as u32).to_le_bytes());
+        let mut off = 0u32;
+        for s in &pending {
+            payload.extend_from_slice(&off.to_le_bytes());
+            off += s.len() as u32;
+        }
+        payload.extend_from_slice(&off.to_le_bytes());
+        for s in &pending {
+            payload.extend_from_slice(s.as_bytes());
+        }
+        write_section_payload(sink, SECT_STRINGS, &payload)
+    }
+
+    /// Drain every ring, then (optionally) append a totals section
+    /// from `snapshot`, then sync the sink.
+    pub fn flush(&self, totals: Option<&Snapshot>) -> std::io::Result<()> {
+        let rings: Vec<Arc<Mutex<Ring>>> = self.rings.read().expect("obs rings poisoned").clone();
+        for ring in rings {
+            let mut ring = ring.lock().expect("obs ring poisoned");
+            self.drain_ring_into_sink(&mut ring)?;
+        }
+        if let Some(snap) = totals {
+            let payload = self.encode_totals(snap);
+            let mut sink = self.sink.lock().expect("obs sink poisoned");
+            // Totals names may be new to the stream — flush the
+            // string delta they created before the section that
+            // references it.
+            self.write_pending_strings(&mut sink)?;
+            write_section_payload(&mut sink, SECT_TOTALS, &payload)?;
+        }
+        self.sink.lock().expect("obs sink poisoned").out.sync()
+    }
+
+    /// Encode the counter/gauge/histogram totals, in exactly the
+    /// order the legacy JSONL totals used (counters, gauges,
+    /// histograms — each in BTreeMap name order — then the synthetic
+    /// dropped-events counter), so the converter reproduces the text
+    /// journal byte-for-byte by replaying records in order.
+    fn encode_totals(&self, snap: &Snapshot) -> Vec<u8> {
+        let mut payload = Vec::new();
+        for (name, value) in &snap.counters {
+            RawRecord {
+                kind: REC_COUNTER,
+                flags: 0,
+                tid: 0,
+                name: self.intern(name),
+                w: [*value, 0, 0, 0],
+            }
+            .encode_into(&mut payload);
+        }
+        for (name, value) in &snap.gauges {
+            RawRecord {
+                kind: REC_GAUGE,
+                flags: 0,
+                tid: 0,
+                name: self.intern(name),
+                w: [value.to_bits(), 0, 0, 0],
+            }
+            .encode_into(&mut payload);
+        }
+        for (name, h) in &snap.histograms {
+            let name = self.intern(name);
+            RawRecord {
+                kind: REC_HIST_SUMMARY,
+                flags: 0,
+                tid: 0,
+                name,
+                w: [h.count, h.sum, h.min, h.max],
+            }
+            .encode_into(&mut payload);
+            for (i, &count) in h.buckets.iter().enumerate() {
+                if count > 0 {
+                    RawRecord {
+                        kind: REC_HIST_BUCKET,
+                        flags: 0,
+                        tid: 0,
+                        name,
+                        w: [i as u64, count, 0, 0],
+                    }
+                    .encode_into(&mut payload);
+                }
+            }
+        }
+        if snap.dropped_events > 0 {
+            RawRecord {
+                kind: REC_COUNTER,
+                flags: FLAG_SYNTHETIC,
+                tid: 0,
+                name: self.intern("obs.dropped_events"),
+                w: [snap.dropped_events, 0, 0, 0],
+            }
+            .encode_into(&mut payload);
+        }
+        payload
+    }
+}
+
+/// Assemble one section (header + payload + alignment padding) in
+/// `sink.scratch` and write it with a single call.
+fn write_section_payload(sink: &mut SinkState, kind: u32, payload: &[u8]) -> std::io::Result<()> {
+    let pad = pad_to_align(payload.len());
+    let scratch = &mut sink.scratch;
+    scratch.clear();
+    scratch.extend_from_slice(&kind.to_le_bytes());
+    scratch.extend_from_slice(&(pad as u32).to_le_bytes());
+    scratch.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    scratch.extend_from_slice(&fnv64(payload).to_le_bytes());
+    scratch.resize(SECTION_HEADER_LEN, 0);
+    scratch.extend_from_slice(payload);
+    scratch.resize(SECTION_HEADER_LEN + payload.len() + pad, 0);
+    let bytes = std::mem::take(scratch);
+    let result = sink.out.write_all(&bytes);
+    sink.scratch = bytes;
+    result
+}

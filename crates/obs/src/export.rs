@@ -14,8 +14,15 @@
 //! {"type":"gauge","name":"engine.overhead_ratio","value":3.25}
 //! {"type":"hist","name":"par.task_ns","count":8,"sum":1024,"min":96,"max":256,"p50":127,"p99":255}
 //! ```
+//!
+//! The line-level formatters are shared between two producers: the
+//! legacy snapshot exporters here ([`jsonl`], [`chrome_trace`]) and
+//! the binary-journal converters in [`crate::reader`]. That sharing
+//! is what makes the binary→JSONL conversion byte-identical to the
+//! direct writer by construction.
 
-use crate::registry::{ArgVal, Event, EventKind, Snapshot};
+use crate::registry::{ArgVal, Event, EventKind, Histogram, Snapshot};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escape `s` for inclusion inside a JSON string literal.
@@ -47,67 +54,164 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn fmt_arg(value: &ArgVal) -> String {
-    match value {
-        ArgVal::U64(v) => format!("{v}"),
-        ArgVal::I64(v) => format!("{v}"),
-        ArgVal::F64(v) => fmt_f64(*v),
-        ArgVal::Str(v) => format!("\"{}\"", json_escape(v)),
-        ArgVal::Bool(v) => format!("{v}"),
+/// A borrowed argument value — the common currency between snapshot
+/// events (owned [`ArgVal`]) and binary-journal records (values
+/// decoded in place).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ArgRef<'a> {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(&'a str),
+    Bool(bool),
+}
+
+impl<'a> From<&'a ArgVal> for ArgRef<'a> {
+    fn from(v: &'a ArgVal) -> ArgRef<'a> {
+        match v {
+            ArgVal::U64(v) => ArgRef::U64(*v),
+            ArgVal::I64(v) => ArgRef::I64(*v),
+            ArgVal::F64(v) => ArgRef::F64(*v),
+            ArgVal::Str(v) => ArgRef::Str(v),
+            ArgVal::Bool(v) => ArgRef::Bool(*v),
+        }
     }
 }
 
-fn fmt_args(args: &[(&'static str, ArgVal)]) -> String {
+fn fmt_arg_ref(value: &ArgRef<'_>) -> String {
+    match value {
+        ArgRef::U64(v) => format!("{v}"),
+        ArgRef::I64(v) => format!("{v}"),
+        ArgRef::F64(v) => fmt_f64(*v),
+        ArgRef::Str(v) => format!("\"{}\"", json_escape(v)),
+        ArgRef::Bool(v) => format!("{v}"),
+    }
+}
+
+pub(crate) fn fmt_args_ref(args: &[(&str, ArgRef<'_>)]) -> String {
     let mut out = String::from("{");
     for (i, (k, v)) in args.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\"{}\":{}", json_escape(k), fmt_arg(v));
+        let _ = write!(out, "\"{}\":{}", json_escape(k), fmt_arg_ref(v));
     }
     out.push('}');
     out
 }
 
-/// Render one event as a JSONL line (newline-terminated). This is
-/// also what the registry streams to the journal as events happen.
-pub fn event_jsonl_line(event: &Event) -> String {
-    let mut line = String::with_capacity(96);
-    match &event.kind {
-        EventKind::Span { dur_ns } => {
-            let _ = write!(
-                line,
-                "{{\"type\":\"span\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{},\"dur_ns\":{}",
-                json_escape(event.name),
-                event.tid,
-                event.ts_ns,
-                dur_ns
-            );
-        }
-        EventKind::Instant => {
-            let _ = write!(
-                line,
-                "{{\"type\":\"instant\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{}",
-                json_escape(event.name),
-                event.tid,
-                event.ts_ns
-            );
-        }
-        EventKind::Warn { msg } => {
-            let _ = write!(
-                line,
-                "{{\"type\":\"warn\",\"tid\":{},\"ts_ns\":{},\"msg\":\"{}\"",
-                event.tid,
-                event.ts_ns,
-                json_escape(msg)
-            );
-        }
+/// The rendered args object, or `None` when there are no args (JSONL
+/// lines omit the `args` field entirely in that case).
+pub(crate) fn fmt_args_opt(args: &[(&str, ArgRef<'_>)]) -> Option<String> {
+    if args.is_empty() {
+        None
+    } else {
+        Some(fmt_args_ref(args))
     }
-    if !event.args.is_empty() {
-        let _ = write!(line, ",\"args\":{}", fmt_args(&event.args));
+}
+
+/// One `"type":"span"` JSONL line (newline-terminated); `args` is the
+/// pre-rendered args object, absent when the span had none.
+pub(crate) fn jsonl_span(
+    name: &str,
+    tid: u32,
+    ts_ns: u64,
+    dur_ns: u64,
+    args: Option<&str>,
+) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"type\":\"span\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{},\"dur_ns\":{}",
+        json_escape(name),
+        tid,
+        ts_ns,
+        dur_ns
+    );
+    finish_jsonl(line, args)
+}
+
+/// One `"type":"instant"` JSONL line.
+pub(crate) fn jsonl_instant(name: &str, tid: u32, ts_ns: u64, args: Option<&str>) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"type\":\"instant\",\"name\":\"{}\",\"tid\":{},\"ts_ns\":{}",
+        json_escape(name),
+        tid,
+        ts_ns
+    );
+    finish_jsonl(line, args)
+}
+
+/// One `"type":"warn"` JSONL line.
+pub(crate) fn jsonl_warn(tid: u32, ts_ns: u64, msg: &str, args: Option<&str>) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"type\":\"warn\",\"tid\":{},\"ts_ns\":{},\"msg\":\"{}\"",
+        tid,
+        ts_ns,
+        json_escape(msg)
+    );
+    finish_jsonl(line, args)
+}
+
+fn finish_jsonl(mut line: String, args: Option<&str>) -> String {
+    if let Some(args) = args {
+        let _ = write!(line, ",\"args\":{args}");
     }
     line.push_str("}\n");
     line
+}
+
+/// One `"type":"counter"` totals line.
+pub(crate) fn jsonl_counter(name: &str, value: u64) -> String {
+    format!(
+        "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+        json_escape(name),
+        value
+    )
+}
+
+/// One `"type":"gauge"` totals line.
+pub(crate) fn jsonl_gauge(name: &str, value: f64) -> String {
+    format!(
+        "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+        json_escape(name),
+        fmt_f64(value)
+    )
+}
+
+/// One `"type":"hist"` totals line.
+pub(crate) fn jsonl_hist(name: &str, h: &Histogram) -> String {
+    format!(
+        "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}\n",
+        json_escape(name),
+        h.count,
+        h.sum,
+        if h.count == 0 { 0 } else { h.min },
+        h.max,
+        h.quantile(0.5),
+        h.quantile(0.99)
+    )
+}
+
+/// Render one event as a JSONL line (newline-terminated).
+pub fn event_jsonl_line(event: &Event) -> String {
+    let refs: Vec<(&str, ArgRef)> = event
+        .args
+        .iter()
+        .map(|(k, v)| (*k, ArgRef::from(v)))
+        .collect();
+    let args = fmt_args_opt(&refs);
+    match &event.kind {
+        EventKind::Span { dur_ns } => {
+            jsonl_span(event.name, event.tid, event.ts_ns, *dur_ns, args.as_deref())
+        }
+        EventKind::Instant => jsonl_instant(event.name, event.tid, event.ts_ns, args.as_deref()),
+        EventKind::Warn { msg } => jsonl_warn(event.tid, event.ts_ns, msg, args.as_deref()),
+    }
 }
 
 /// Render the counter/gauge/histogram totals as JSONL lines —
@@ -116,47 +220,24 @@ pub fn event_jsonl_line(event: &Event) -> String {
 pub fn totals_jsonl(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snap.counters {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
-            json_escape(name),
-            value
-        );
+        out.push_str(&jsonl_counter(name, *value));
     }
     for (name, value) in &snap.gauges {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
-            json_escape(name),
-            fmt_f64(*value)
-        );
+        out.push_str(&jsonl_gauge(name, *value));
     }
     for (name, h) in &snap.histograms {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
-            json_escape(name),
-            h.count,
-            h.sum,
-            if h.count == 0 { 0 } else { h.min },
-            h.max,
-            h.quantile(0.5),
-            h.quantile(0.99)
-        );
+        out.push_str(&jsonl_hist(name, h));
     }
     if snap.dropped_events > 0 {
-        let _ = writeln!(
-            out,
-            "{{\"type\":\"counter\",\"name\":\"obs.dropped_events\",\"value\":{}}}",
-            snap.dropped_events
-        );
+        out.push_str(&jsonl_counter("obs.dropped_events", snap.dropped_events));
     }
     out
 }
 
 /// Render the whole journal (events then totals) as one JSONL string.
-/// Used by tests and `write_artifacts` for private registries; the
-/// process-wide registry streams event lines as they happen instead.
+/// Used by tests and the proptests pinning converter identity; the
+/// process-wide registry records to the binary journal instead and
+/// derives this form via [`crate::reader::to_jsonl`].
 pub fn jsonl(snap: &Snapshot) -> String {
     let mut out = String::new();
     for event in &snap.events {
@@ -169,6 +250,61 @@ pub fn jsonl(snap: &Snapshot) -> String {
 /// Microseconds with three decimals — Chrome's `ts`/`dur` unit.
 fn ns_to_us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// One complete (`"ph":"X"`) Chrome trace entry.
+pub(crate) fn chrome_span(
+    tid: u32,
+    ts_ns: u64,
+    dur_ns: u64,
+    name: &str,
+    args: &[(&str, ArgRef<'_>)],
+) -> String {
+    format!(
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":\"gtpin\",\"name\":\"{}\",\"args\":{}}}",
+        tid,
+        ns_to_us(ts_ns),
+        ns_to_us(dur_ns),
+        json_escape(name),
+        fmt_args_ref(args)
+    )
+}
+
+/// One instant (`"ph":"i"`) Chrome trace entry.
+pub(crate) fn chrome_instant(
+    tid: u32,
+    ts_ns: u64,
+    name: &str,
+    args: &[(&str, ArgRef<'_>)],
+) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"cat\":\"gtpin\",\"name\":\"{}\",\"args\":{}}}",
+        tid,
+        ns_to_us(ts_ns),
+        json_escape(name),
+        fmt_args_ref(args)
+    )
+}
+
+/// One warning Chrome trace entry (an instant named after the
+/// message, in the `warn` category).
+pub(crate) fn chrome_warn(tid: u32, ts_ns: u64, msg: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"cat\":\"warn\",\"name\":\"{}\",\"args\":{{}}}}",
+        tid,
+        ns_to_us(ts_ns),
+        json_escape(msg)
+    )
+}
+
+/// One counter sample (`"ph":"C"`) Chrome trace entry.
+pub(crate) fn chrome_counter(ts_ns: u64, name: &str, value: u64) -> String {
+    format!(
+        "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
+        ns_to_us(ts_ns),
+        json_escape(name),
+        value
+    )
 }
 
 /// Render the snapshot as a Chrome `trace_event` JSON document that
@@ -189,72 +325,48 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
     let mut last_ts = 0u64;
     for e in &snap.events {
         last_ts = last_ts.max(e.ts_ns);
+        let refs: Vec<(&str, ArgRef)> = e.args.iter().map(|(k, v)| (*k, ArgRef::from(v))).collect();
         let entry = match &e.kind {
             EventKind::Span { dur_ns } => {
                 last_ts = last_ts.max(e.ts_ns + dur_ns);
-                format!(
-                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":\"gtpin\",\"name\":\"{}\",\"args\":{}}}",
-                    e.tid,
-                    ns_to_us(e.ts_ns),
-                    ns_to_us(*dur_ns),
-                    json_escape(e.name),
-                    fmt_args(&e.args)
-                )
+                chrome_span(e.tid, e.ts_ns, *dur_ns, e.name, &refs)
             }
-            EventKind::Instant => format!(
-                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"cat\":\"gtpin\",\"name\":\"{}\",\"args\":{}}}",
-                e.tid,
-                ns_to_us(e.ts_ns),
-                json_escape(e.name),
-                fmt_args(&e.args)
-            ),
-            EventKind::Warn { msg } => format!(
-                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"cat\":\"warn\",\"name\":\"{}\",\"args\":{{}}}}",
-                e.tid,
-                ns_to_us(e.ts_ns),
-                json_escape(msg)
-            ),
+            EventKind::Instant => chrome_instant(e.tid, e.ts_ns, e.name, &refs),
+            EventKind::Warn { msg } => chrome_warn(e.tid, e.ts_ns, msg),
         };
         push(entry, &mut out, &mut first);
     }
     for (name, value) in &snap.counters {
-        let entry = format!(
-            "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
-            ns_to_us(last_ts),
-            json_escape(name),
-            value
-        );
-        push(entry, &mut out, &mut first);
+        push(chrome_counter(last_ts, name, *value), &mut out, &mut first);
     }
     out.push_str("]}");
     out
 }
 
-/// Render the human-readable per-stage summary: span rollups first
-/// (count, total, mean per name), then counters, gauges, histograms.
-pub fn summary(snap: &Snapshot) -> String {
-    use std::collections::BTreeMap;
-    let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
-    let mut warns = 0u64;
-    for e in &snap.events {
-        match &e.kind {
-            EventKind::Span { dur_ns } => {
-                let entry = spans.entry(e.name).or_insert((0, 0));
-                entry.0 += 1;
-                entry.1 += dur_ns;
-            }
-            EventKind::Warn { .. } => warns += 1,
-            EventKind::Instant => {}
-        }
-    }
+/// The material of a per-stage summary, keyed by borrowed names so
+/// both snapshot and binary-journal paths can fill it.
+#[derive(Debug, Default)]
+pub(crate) struct SummaryData<'a> {
+    pub spans: BTreeMap<&'a str, (u64, u64)>,
+    pub warns: u64,
+    pub counters: BTreeMap<&'a str, u64>,
+    pub gauges: BTreeMap<&'a str, f64>,
+    pub hists: BTreeMap<&'a str, Histogram>,
+    pub dropped: u64,
+}
+
+/// Render the human-readable per-stage summary table from collected
+/// data: span rollups first (count, total, mean per name), then
+/// counters, gauges, and histograms with p50/p95/p99 percentiles.
+pub(crate) fn render_summary(data: &SummaryData<'_>) -> String {
     let mut out = String::new();
-    if !spans.is_empty() {
+    if !data.spans.is_empty() {
         let _ = writeln!(
             out,
             "{:<34} {:>8} {:>14} {:>14}",
             "span", "count", "total_ms", "mean_us"
         );
-        for (name, (count, total_ns)) in &spans {
+        for (name, (count, total_ns)) in &data.spans {
             let _ = writeln!(
                 out,
                 "{:<34} {:>8} {:>14.3} {:>14.1}",
@@ -265,50 +377,77 @@ pub fn summary(snap: &Snapshot) -> String {
             );
         }
     }
-    if !snap.counters.is_empty() {
+    if !data.counters.is_empty() {
         let _ = writeln!(out, "\n{:<34} {:>14}", "counter", "value");
-        for (name, value) in &snap.counters {
+        for (name, value) in &data.counters {
             let _ = writeln!(out, "{:<34} {:>14}", name, value);
         }
     }
-    if !snap.gauges.is_empty() {
+    if !data.gauges.is_empty() {
         let _ = writeln!(out, "\n{:<34} {:>14}", "gauge", "value");
-        for (name, value) in &snap.gauges {
+        for (name, value) in &data.gauges {
             let _ = writeln!(out, "{:<34} {:>14.4}", name, value);
         }
     }
-    if !snap.histograms.is_empty() {
+    if !data.hists.is_empty() {
         let _ = writeln!(
             out,
-            "\n{:<34} {:>8} {:>10} {:>10} {:>10}",
-            "histogram(ns)", "count", "mean", "p50", "p99"
+            "\n{:<34} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "histogram(ns)", "count", "mean", "p50", "p95", "p99"
         );
-        for (name, h) in &snap.histograms {
+        for (name, h) in &data.hists {
             let _ = writeln!(
                 out,
-                "{:<34} {:>8} {:>10.0} {:>10} {:>10}",
+                "{:<34} {:>8} {:>10.0} {:>10} {:>10} {:>10}",
                 name,
                 h.count,
                 h.mean(),
                 h.quantile(0.5),
+                h.quantile(0.95),
                 h.quantile(0.99)
             );
         }
     }
-    if warns > 0 {
-        let _ = writeln!(out, "\n{warns} warning(s) in journal");
+    if data.warns > 0 {
+        let _ = writeln!(out, "\n{} warning(s) in journal", data.warns);
     }
-    if snap.dropped_events > 0 {
-        let _ = writeln!(
-            out,
-            "{} event(s) dropped past buffer cap",
-            snap.dropped_events
-        );
+    if data.dropped > 0 {
+        let _ = writeln!(out, "{} event(s) dropped past buffer cap", data.dropped);
     }
     if out.is_empty() {
         out.push_str("no telemetry recorded\n");
     }
     out
+}
+
+/// Render the per-stage summary from a snapshot (see
+/// [`render_summary`] for the layout).
+pub fn summary(snap: &Snapshot) -> String {
+    let mut data = SummaryData {
+        dropped: snap.dropped_events,
+        ..SummaryData::default()
+    };
+    for e in &snap.events {
+        match &e.kind {
+            EventKind::Span { dur_ns } => {
+                let entry = data.spans.entry(e.name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += dur_ns;
+            }
+            EventKind::Warn { .. } => data.warns += 1,
+            EventKind::Instant => {}
+        }
+    }
+    for (name, value) in &snap.counters {
+        data.counters.insert(name, *value);
+    }
+    for (name, value) in &snap.gauges {
+        data.gauges.insert(name, *value);
+    }
+    for (name, h) in &snap.histograms {
+        data.hists.insert(name, h.clone());
+    }
+    render_summary(&data)
 }
 
 #[cfg(test)]
@@ -336,5 +475,17 @@ mod tests {
         assert_eq!(ns_to_us(0), "0.000");
         assert_eq!(ns_to_us(1_500), "1.500");
         assert_eq!(ns_to_us(123_456_789), "123456.789");
+    }
+
+    #[test]
+    fn summary_includes_all_three_percentiles() {
+        let mut h = Histogram::default();
+        for v in [100u64, 200, 400, 800, 1600] {
+            h.record(v);
+        }
+        let mut data = SummaryData::default();
+        data.hists.insert("x.ns", h);
+        let table = render_summary(&data);
+        assert!(table.contains("p50") && table.contains("p95") && table.contains("p99"));
     }
 }

@@ -1,9 +1,11 @@
 //! # gtpin-obs — telemetry for the GT-Pin reproduction
 //!
 //! A dependency-free observability layer: scoped spans, typed
-//! counters/gauges, fixed-bucket latency histograms, and two
-//! exporters — a streaming JSONL event journal and a Chrome
-//! `trace_event` JSON viewable in `about:tracing` / Perfetto.
+//! counters/gauges, fixed-bucket latency histograms, and a binary
+//! event journal (GTOBS01, see [`binary`]) from which the text
+//! artifacts — a JSONL journal and a Chrome `trace_event` JSON
+//! viewable in `about:tracing` / Perfetto — are derived by the
+//! converters in [`reader`].
 //!
 //! ## Enablement
 //!
@@ -13,9 +15,10 @@
 //! no clock reads, no allocation, no locking — so instrumented code
 //! costs effectively nothing in production and outputs stay bitwise
 //! identical at any thread count. Artifacts land in `GTPIN_OBS_DIR`
-//! (default `target/obs`): the journal streams to `journal.jsonl`
-//! as events happen, and [`write_artifacts`] adds `trace.json` plus
-//! the counter/gauge/histogram totals.
+//! (default `target/obs`): events drain to `journal.gtobs` through
+//! per-thread ring buffers as they happen, and [`write_artifacts`]
+//! flushes it (adding the counter/gauge/histogram totals) and
+//! converts it to `journal.jsonl` plus `trace.json`.
 //!
 //! ## Usage
 //!
@@ -29,14 +32,19 @@
 //! ```
 //!
 //! Tests construct private [`Registry`] instances with a
-//! [`ManualClock`] so exported artifacts are byte-deterministic.
+//! [`ManualClock`] so exported artifacts are byte-deterministic;
+//! [`Registry::with_buffer_sink`] additionally captures the binary
+//! journal in memory.
 
+pub mod binary;
 mod clock;
 mod export;
+pub mod frame;
+pub mod reader;
 mod registry;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use export::{chrome_trace, json_escape, jsonl, summary, totals_jsonl};
+pub use export::{chrome_trace, event_jsonl_line, json_escape, jsonl, summary, totals_jsonl};
 pub use registry::{
     ArgVal, Event, EventKind, Histogram, Registry, Snapshot, SpanGuard, MAX_BUFFERED_EVENTS,
     OBS_DIR_ENV, OBS_ENV,

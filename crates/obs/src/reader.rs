@@ -1,0 +1,934 @@
+//! Zero-copy reader for the GTOBS01 binary journal, plus the
+//! converters that derive the text artifacts from it.
+//!
+//! [`scan`] walks a byte slice without copying payloads: sections are
+//! borrowed subslices, strings are `&str` views into the string-table
+//! blobs, and records decode on the fly from their fixed 40-byte
+//! cells — no per-record allocation. The scan is lenient: damaged
+//! regions are skipped by resynchronizing on the next stream header,
+//! and a torn tail is measured so [`recover`] can truncate it (the
+//! same contract as `gtpin-durable`). [`verify`] is the strict form:
+//! the first anomaly — bad magic, unknown version, checksum mismatch,
+//! malformed section — becomes an [`ObsError`].
+//!
+//! The JSONL and Chrome `trace_event` exporters live on top of this
+//! reader ([`to_jsonl`], [`to_chrome_trace`]): the text forms are
+//! *converted* from the binary journal, not written alongside it, so
+//! they can never disagree with what was recorded. [`timeline`]
+//! aggregates the simulator's per-EU provenance events into a
+//! deterministic utilization report (see `gtpin obs-timeline`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::binary::{
+    pad_to_align, RawRecord, ARG_BOOL, ARG_F64, ARG_I64, ARG_STR, FLAG_SYNTHETIC, HEADER_LEN,
+    MAGIC, RECORD_LEN, REC_ARG, REC_COUNTER, REC_GAUGE, REC_HIST_BUCKET, REC_HIST_SUMMARY,
+    REC_INSTANT, REC_SPAN_EXIT, REC_WARN, SECTION_HEADER_LEN, SECT_EVENTS, SECT_STRINGS,
+    SECT_TOTALS, VERSION,
+};
+use crate::export;
+use crate::frame::fnv64;
+use crate::registry::Histogram;
+
+/// What can go wrong reading a binary journal.
+#[derive(Debug)]
+pub enum ObsError {
+    /// The journal file could not be read or written.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The bytes at `offset` are not a GTOBS01 stream header where
+    /// one was required.
+    BadMagic {
+        /// Byte offset of the failure.
+        offset: usize,
+    },
+    /// A stream header declares a version this reader does not know.
+    BadVersion {
+        /// Byte offset of the header.
+        offset: usize,
+        /// The declared version.
+        found: u32,
+    },
+    /// A checksum did not match its bytes.
+    BadCrc {
+        /// Byte offset of the failing structure.
+        offset: usize,
+        /// Which structure failed (`"stream header"` / `"section"`).
+        what: &'static str,
+    },
+    /// A structurally invalid section.
+    Malformed {
+        /// Byte offset of the section header.
+        offset: usize,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// The journal ends mid-structure (a torn tail).
+    TornTail {
+        /// Offset where the intact prefix ends.
+        offset: usize,
+        /// Bytes of torn data after it.
+        bytes: usize,
+    },
+    /// The journal holds no records at all.
+    Empty,
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsError::Io { path, source } => {
+                write!(f, "obs journal {}: {}", path.display(), source)
+            }
+            ObsError::BadMagic { offset } => {
+                write!(f, "not a GTOBS01 journal (bad magic at byte {offset})")
+            }
+            ObsError::BadVersion { offset, found } => write!(
+                f,
+                "unsupported GTOBS journal version {found} at byte {offset} (reader supports {VERSION})"
+            ),
+            ObsError::BadCrc { offset, what } => {
+                write!(f, "checksum mismatch in {what} at byte {offset}")
+            }
+            ObsError::Malformed { offset, reason } => {
+                write!(f, "malformed section at byte {offset}: {reason}")
+            }
+            ObsError::TornTail { offset, bytes } => write!(
+                f,
+                "torn tail: {bytes} trailing byte(s) after intact prefix of {offset}"
+            ),
+            ObsError::Empty => write!(f, "journal holds no records"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One section, borrowed from the journal bytes.
+#[derive(Debug)]
+pub struct Section<'a> {
+    /// `SECT_EVENTS` or `SECT_TOTALS` (string sections are folded
+    /// into [`Stream::strings`] during the scan).
+    pub kind: u32,
+    /// The checksummed payload: an array of 40-byte records.
+    pub payload: &'a [u8],
+}
+
+impl<'a> Section<'a> {
+    /// Number of records in this section.
+    pub fn record_count(&self) -> usize {
+        self.payload.len() / RECORD_LEN
+    }
+
+    /// Decode record `i`.
+    pub fn record(&self, i: usize) -> RawRecord {
+        RawRecord::decode(&self.payload[i * RECORD_LEN..(i + 1) * RECORD_LEN])
+    }
+}
+
+/// One stream (one writing process) of the journal.
+#[derive(Debug, Default)]
+pub struct Stream<'a> {
+    /// The accumulated string table: index is the interned id.
+    pub strings: Vec<&'a str>,
+    /// Record sections in file order.
+    pub sections: Vec<Section<'a>>,
+}
+
+impl<'a> Stream<'a> {
+    /// Resolve an interned string id ("" when out of range, which
+    /// only happens in damaged journals).
+    pub fn string(&self, id: u32) -> &'a str {
+        self.strings.get(id as usize).copied().unwrap_or("")
+    }
+}
+
+/// The parse of a whole journal file.
+#[derive(Debug, Default)]
+pub struct Journal<'a> {
+    /// Streams in file order.
+    pub streams: Vec<Stream<'a>>,
+    /// Mid-file bytes skipped while resynchronizing past damage.
+    pub skipped_bytes: usize,
+    /// Trailing bytes that could not be parsed (truncation target).
+    pub torn_tail_bytes: usize,
+}
+
+impl Journal<'_> {
+    /// Total records across all streams and sections.
+    pub fn record_count(&self) -> usize {
+        self.streams
+            .iter()
+            .flat_map(|s| s.sections.iter())
+            .map(|s| s.record_count())
+            .sum()
+    }
+
+    /// Total interned strings across all streams.
+    pub fn string_count(&self) -> usize {
+        self.streams.iter().map(|s| s.strings.len()).sum()
+    }
+
+    /// Total record sections across all streams.
+    pub fn section_count(&self) -> usize {
+        self.streams.iter().map(|s| s.sections.len()).sum()
+    }
+}
+
+/// Lenient parse: returns whatever is intact, measuring damage
+/// instead of failing on it.
+pub fn scan(bytes: &[u8]) -> Journal<'_> {
+    scan_inner(bytes).0
+}
+
+fn looks_like_header(bytes: &[u8], pos: usize) -> bool {
+    pos + HEADER_LEN <= bytes.len()
+        && bytes[pos..pos + 8] == MAGIC
+        && fnv64(&bytes[pos..pos + 16])
+            == u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().expect("8 bytes"))
+}
+
+fn scan_inner(bytes: &[u8]) -> (Journal<'_>, Option<ObsError>) {
+    let mut journal = Journal::default();
+    let mut anomaly: Option<ObsError> = None;
+    fn note(slot: &mut Option<ObsError>, e: ObsError) {
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+    let mut pos = 0usize;
+    'walk: while pos < bytes.len() {
+        let rem = bytes.len() - pos;
+        // Classify the 64-byte block at `pos`; on damage fall through
+        // to the resync loop below.
+        let failure: ObsError = 'block: {
+            if rem < HEADER_LEN {
+                break 'block ObsError::TornTail {
+                    offset: pos,
+                    bytes: rem,
+                };
+            }
+            if bytes[pos..pos + 8] == MAGIC {
+                let version =
+                    u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes"));
+                let crc =
+                    u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().expect("8 bytes"));
+                if fnv64(&bytes[pos..pos + 16]) != crc {
+                    break 'block ObsError::BadCrc {
+                        offset: pos,
+                        what: "stream header",
+                    };
+                }
+                if version != VERSION {
+                    break 'block ObsError::BadVersion {
+                        offset: pos,
+                        found: version,
+                    };
+                }
+                journal.streams.push(Stream::default());
+                pos += HEADER_LEN;
+                continue 'walk;
+            }
+            if journal.streams.is_empty() {
+                // Zero padding before the first header (an aligned
+                // restart after a torn predecessor) is not an error.
+                if bytes[pos..pos + HEADER_LEN].iter().all(|&b| b == 0) {
+                    pos += HEADER_LEN;
+                    continue 'walk;
+                }
+                break 'block ObsError::BadMagic { offset: pos };
+            }
+            let kind = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let pad =
+                u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            let plen = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8 bytes"));
+            let crc = u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().expect("8 bytes"));
+            if !(SECT_STRINGS..=SECT_TOTALS).contains(&kind) {
+                break 'block ObsError::Malformed {
+                    offset: pos,
+                    reason: format!("unknown section kind {kind}"),
+                };
+            }
+            if plen > (rem - SECTION_HEADER_LEN) as u64 {
+                break 'block ObsError::TornTail {
+                    offset: pos,
+                    bytes: rem,
+                };
+            }
+            let plen = plen as usize;
+            if pad != pad_to_align(plen) {
+                break 'block ObsError::Malformed {
+                    offset: pos,
+                    reason: format!("padding {pad} does not realign payload of {plen}"),
+                };
+            }
+            if SECTION_HEADER_LEN + plen + pad > rem {
+                break 'block ObsError::TornTail {
+                    offset: pos,
+                    bytes: rem,
+                };
+            }
+            let payload = &bytes[pos + SECTION_HEADER_LEN..pos + SECTION_HEADER_LEN + plen];
+            if fnv64(payload) != crc {
+                break 'block ObsError::BadCrc {
+                    offset: pos,
+                    what: "section",
+                };
+            }
+            let stream = journal.streams.last_mut().expect("checked non-empty");
+            match kind {
+                SECT_STRINGS => {
+                    if let Err(reason) = parse_strings(payload, &mut stream.strings) {
+                        break 'block ObsError::Malformed {
+                            offset: pos,
+                            reason,
+                        };
+                    }
+                }
+                _ => {
+                    if !plen.is_multiple_of(RECORD_LEN) {
+                        break 'block ObsError::Malformed {
+                            offset: pos,
+                            reason: format!("payload of {plen} is not whole records"),
+                        };
+                    }
+                    stream.sections.push(Section { kind, payload });
+                }
+            }
+            pos += SECTION_HEADER_LEN + plen + pad;
+            continue 'walk;
+        };
+        note(&mut anomaly, failure);
+        // Resynchronize: look for the next intact stream header; if
+        // none, everything from `pos` is the torn tail.
+        let mut next = pos + HEADER_LEN;
+        let resumed = loop {
+            if next + HEADER_LEN > bytes.len() {
+                break None;
+            }
+            if looks_like_header(bytes, next) {
+                break Some(next);
+            }
+            next += HEADER_LEN;
+        };
+        match resumed {
+            Some(p) => {
+                journal.skipped_bytes += p - pos;
+                pos = p;
+            }
+            None => {
+                journal.torn_tail_bytes = bytes.len() - pos;
+                break;
+            }
+        }
+    }
+    (journal, anomaly)
+}
+
+fn parse_strings<'a>(payload: &'a [u8], strings: &mut Vec<&'a str>) -> Result<(), String> {
+    if payload.len() < 8 {
+        return Err("string delta shorter than its fixed header".into());
+    }
+    let first_id = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+    let count = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
+    let table_end = 8 + 4 * (count + 1);
+    if payload.len() < table_end {
+        return Err(format!(
+            "offset table for {count} string(s) overruns the delta"
+        ));
+    }
+    if first_id != strings.len() {
+        return Err(format!(
+            "string delta starts at id {first_id} but table holds {}",
+            strings.len()
+        ));
+    }
+    let blob = &payload[table_end..];
+    let off = |i: usize| {
+        u32::from_le_bytes(payload[8 + 4 * i..12 + 4 * i].try_into().expect("4 bytes")) as usize
+    };
+    if off(count) != blob.len() {
+        return Err("sentinel offset does not match blob length".into());
+    }
+    for i in 0..count {
+        let (start, end) = (off(i), off(i + 1));
+        if start > end || end > blob.len() {
+            return Err(format!("string {i} has inverted or overrunning offsets"));
+        }
+        let s = std::str::from_utf8(&blob[start..end])
+            .map_err(|_| format!("string {i} is not UTF-8"))?;
+        strings.push(s);
+    }
+    Ok(())
+}
+
+/// A strict verification summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Total journal bytes.
+    pub bytes: usize,
+    /// Streams (one per writing process).
+    pub streams: usize,
+    /// Record sections.
+    pub sections: usize,
+    /// Records.
+    pub records: usize,
+    /// Interned strings.
+    pub strings: usize,
+}
+
+/// Strict parse: the first anomaly (bad magic, unknown version, CRC
+/// mismatch, malformed or torn section) is an error, and a journal
+/// with no records at all is [`ObsError::Empty`].
+pub fn verify(bytes: &[u8]) -> Result<VerifyReport, ObsError> {
+    let (journal, anomaly) = scan_inner(bytes);
+    if let Some(e) = anomaly {
+        return Err(e);
+    }
+    let records = journal.record_count();
+    if records == 0 {
+        return Err(ObsError::Empty);
+    }
+    Ok(VerifyReport {
+        bytes: bytes.len(),
+        streams: journal.streams.len(),
+        sections: journal.section_count(),
+        records,
+        strings: journal.string_count(),
+    })
+}
+
+/// What [`recover`] did to a journal file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Bytes kept.
+    pub valid_bytes: u64,
+    /// Torn trailing bytes physically truncated.
+    pub truncated_bytes: u64,
+    /// Mid-file damaged bytes skipped (not repairable by truncation).
+    pub skipped_bytes: u64,
+    /// Streams in the surviving journal.
+    pub streams: usize,
+    /// Records in the surviving journal.
+    pub records: usize,
+}
+
+/// Read `path` for conversion, wrapping IO failures.
+pub fn read_journal(path: &Path) -> Result<Vec<u8>, ObsError> {
+    std::fs::read(path).map_err(|source| ObsError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Truncate the torn tail of a journal file, like
+/// `gtpin-durable`'s repair: after recovery the file re-verifies
+/// clean (modulo mid-file damage, which truncation cannot fix and is
+/// reported instead).
+pub fn recover(path: &Path) -> Result<Recovery, ObsError> {
+    let bytes = read_journal(path)?;
+    let journal = scan(&bytes);
+    let keep = (bytes.len() - journal.torn_tail_bytes) as u64;
+    if journal.torn_tail_bytes > 0 {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|source| ObsError::Io {
+                path: path.to_path_buf(),
+                source,
+            })?;
+        file.set_len(keep).map_err(|source| ObsError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+    }
+    Ok(Recovery {
+        valid_bytes: keep,
+        truncated_bytes: journal.torn_tail_bytes as u64,
+        skipped_bytes: journal.skipped_bytes as u64,
+        streams: journal.streams.len(),
+        records: journal.record_count(),
+    })
+}
+
+fn decode_arg<'a>(rec: &RawRecord, stream: &Stream<'a>) -> (&'a str, export::ArgRef<'a>) {
+    let value = match rec.flags {
+        ARG_I64 => export::ArgRef::I64(rec.w[0] as i64),
+        ARG_F64 => export::ArgRef::F64(f64::from_bits(rec.w[0])),
+        ARG_STR => export::ArgRef::Str(stream.string(rec.w[0] as u32)),
+        ARG_BOOL => export::ArgRef::Bool(rec.w[0] != 0),
+        _ => export::ArgRef::U64(rec.w[0]),
+    };
+    (stream.string(rec.name), value)
+}
+
+/// Walk the event groups of an events section: for each non-arg
+/// record, hand the callback the record and its decoded arguments.
+fn for_each_event<'a>(
+    section: &Section<'a>,
+    stream: &Stream<'a>,
+    mut f: impl FnMut(&RawRecord, &[(&'a str, export::ArgRef<'a>)]),
+) {
+    let n = section.record_count();
+    let mut args: Vec<(&str, export::ArgRef)> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let rec = section.record(i);
+        let argc = match rec.kind {
+            REC_SPAN_EXIT | REC_INSTANT | REC_WARN => (rec.w[2] as usize).min(n - i - 1),
+            _ => 0,
+        };
+        args.clear();
+        for k in 0..argc {
+            let a = section.record(i + 1 + k);
+            if a.kind == REC_ARG {
+                args.push(decode_arg(&a, stream));
+            }
+        }
+        f(&rec, &args);
+        i += 1 + argc;
+    }
+}
+
+fn hist_from_records(section: &Section<'_>, summary_idx: usize) -> (Histogram, usize) {
+    let rec = section.record(summary_idx);
+    let mut h = Histogram {
+        buckets: [0; 41],
+        count: rec.w[0],
+        sum: rec.w[1],
+        min: rec.w[2],
+        max: rec.w[3],
+    };
+    let mut i = summary_idx + 1;
+    while i < section.record_count() {
+        let b = section.record(i);
+        if b.kind != REC_HIST_BUCKET || b.name != rec.name {
+            break;
+        }
+        if let Some(slot) = h.buckets.get_mut(b.w[0] as usize) {
+            *slot = b.w[1];
+        }
+        i += 1;
+    }
+    (h, i)
+}
+
+/// Convert a binary journal to the JSONL text form — byte-identical
+/// to what the legacy direct JSONL writer produced for the same
+/// events and totals (golden-file and proptest covered).
+pub fn to_jsonl(bytes: &[u8]) -> String {
+    let journal = scan(bytes);
+    let mut out = String::new();
+    for stream in &journal.streams {
+        for section in &stream.sections {
+            match section.kind {
+                SECT_EVENTS => for_each_event(section, stream, |rec, args| {
+                    let args = export::fmt_args_opt(args);
+                    match rec.kind {
+                        REC_SPAN_EXIT => out.push_str(&export::jsonl_span(
+                            stream.string(rec.name),
+                            rec.tid as u32,
+                            rec.w[0],
+                            rec.w[1],
+                            args.as_deref(),
+                        )),
+                        REC_INSTANT => out.push_str(&export::jsonl_instant(
+                            stream.string(rec.name),
+                            rec.tid as u32,
+                            rec.w[0],
+                            args.as_deref(),
+                        )),
+                        REC_WARN => out.push_str(&export::jsonl_warn(
+                            rec.tid as u32,
+                            rec.w[0],
+                            stream.string(rec.name),
+                            args.as_deref(),
+                        )),
+                        // Span-enter records have no legacy JSONL
+                        // equivalent; the exit line carries the span.
+                        _ => {}
+                    }
+                }),
+                SECT_TOTALS => {
+                    let mut i = 0;
+                    while i < section.record_count() {
+                        let rec = section.record(i);
+                        match rec.kind {
+                            REC_COUNTER => {
+                                out.push_str(&export::jsonl_counter(
+                                    stream.string(rec.name),
+                                    rec.w[0],
+                                ));
+                                i += 1;
+                            }
+                            REC_GAUGE => {
+                                out.push_str(&export::jsonl_gauge(
+                                    stream.string(rec.name),
+                                    f64::from_bits(rec.w[0]),
+                                ));
+                                i += 1;
+                            }
+                            REC_HIST_SUMMARY => {
+                                let (h, next) = hist_from_records(section, i);
+                                out.push_str(&export::jsonl_hist(stream.string(rec.name), &h));
+                                i = next;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Convert a binary journal to the Chrome `trace_event` form. Spans
+/// and instants come from the event sections; the counter samples at
+/// the end come from the journal's final totals section (skipping
+/// synthetic totals, which the legacy exporter never emitted there).
+pub fn to_chrome_trace(bytes: &[u8]) -> String {
+    let journal = scan(bytes);
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&s);
+    };
+    let mut last_ts = 0u64;
+    let mut last_totals: Option<(&Stream<'_>, &Section<'_>)> = None;
+    for stream in &journal.streams {
+        for section in &stream.sections {
+            match section.kind {
+                SECT_EVENTS => for_each_event(section, stream, |rec, args| {
+                    last_ts = last_ts.max(rec.w[0]);
+                    match rec.kind {
+                        REC_SPAN_EXIT => {
+                            last_ts = last_ts.max(rec.w[0] + rec.w[1]);
+                            push(
+                                export::chrome_span(
+                                    rec.tid as u32,
+                                    rec.w[0],
+                                    rec.w[1],
+                                    stream.string(rec.name),
+                                    args,
+                                ),
+                                &mut out,
+                            );
+                        }
+                        REC_INSTANT => push(
+                            export::chrome_instant(
+                                rec.tid as u32,
+                                rec.w[0],
+                                stream.string(rec.name),
+                                args,
+                            ),
+                            &mut out,
+                        ),
+                        REC_WARN => push(
+                            export::chrome_warn(rec.tid as u32, rec.w[0], stream.string(rec.name)),
+                            &mut out,
+                        ),
+                        _ => {}
+                    }
+                }),
+                SECT_TOTALS => last_totals = Some((stream, section)),
+                _ => {}
+            }
+        }
+    }
+    if let Some((stream, section)) = last_totals {
+        for i in 0..section.record_count() {
+            let rec = section.record(i);
+            if rec.kind == REC_COUNTER && rec.flags & FLAG_SYNTHETIC == 0 {
+                push(
+                    export::chrome_counter(last_ts, stream.string(rec.name), rec.w[0]),
+                    &mut out,
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render the per-stage summary (the `gtpin obs-report` table) from a
+/// binary journal: span rollups from the event sections, aggregate
+/// totals from the journal's final totals section.
+pub fn summarize(bytes: &[u8]) -> String {
+    let journal = scan(bytes);
+    let mut data = export::SummaryData::default();
+    let mut last_totals: Option<(&Stream<'_>, &Section<'_>)> = None;
+    for stream in &journal.streams {
+        for section in &stream.sections {
+            match section.kind {
+                SECT_EVENTS => for_each_event(section, stream, |rec, _args| match rec.kind {
+                    REC_SPAN_EXIT => {
+                        let entry = data.spans.entry(stream.string(rec.name)).or_insert((0, 0));
+                        entry.0 += 1;
+                        entry.1 += rec.w[1];
+                    }
+                    REC_WARN => data.warns += 1,
+                    _ => {}
+                }),
+                SECT_TOTALS => last_totals = Some((stream, section)),
+                _ => {}
+            }
+        }
+    }
+    if let Some((stream, section)) = last_totals {
+        let mut i = 0;
+        while i < section.record_count() {
+            let rec = section.record(i);
+            match rec.kind {
+                REC_COUNTER if rec.flags & FLAG_SYNTHETIC != 0 => {
+                    data.dropped = rec.w[0];
+                    i += 1;
+                }
+                REC_COUNTER => {
+                    data.counters.insert(stream.string(rec.name), rec.w[0]);
+                    i += 1;
+                }
+                REC_GAUGE => {
+                    data.gauges
+                        .insert(stream.string(rec.name), f64::from_bits(rec.w[0]));
+                    i += 1;
+                }
+                REC_HIST_SUMMARY => {
+                    let (h, next) = hist_from_records(section, i);
+                    data.hists.insert(stream.string(rec.name), h);
+                    i = next;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    export::render_summary(&data)
+}
+
+/// Per-EU utilization over the whole journal, summed across epochs
+/// and launches. All fields derive from virtual-cycle provenance
+/// events, so the report is bit-identical at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EuRow {
+    /// EU index.
+    pub eu: u64,
+    /// Epoch records aggregated into this row.
+    pub epochs: u64,
+    /// Cycles the EU issued an instruction.
+    pub busy: u64,
+    /// Virtual cycles the EU was simulated.
+    pub cycles: u64,
+}
+
+/// Per-epoch utilization across EUs (summed across launches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochRow {
+    /// Epoch index within its launch.
+    pub epoch: u64,
+    /// EU-epoch records aggregated into this row.
+    pub active_eus: u64,
+    /// Busy cycles summed over the epoch's EUs.
+    pub busy: u64,
+    /// Virtual cycles summed over the epoch's EUs.
+    pub cycles: u64,
+}
+
+/// Wall-clock barrier-wait telemetry from the parallel simulator.
+/// Nondeterministic by nature — `gtpin obs-timeline` prints it to
+/// stderr only, keeping stdout diffable across worker counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BarrierStats {
+    /// Barrier waits recorded.
+    pub waits: u64,
+    /// Distinct workers that recorded one.
+    pub workers: u64,
+    /// Total nanoseconds spent waiting.
+    pub total_ns: u64,
+    /// Longest single wait.
+    pub max_ns: u64,
+}
+
+/// The aggregated `gtpin obs-timeline` report.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    /// Streams in the journal.
+    pub streams: usize,
+    /// Kernel launches simulated (distinct launch ids seen).
+    pub launches: u64,
+    /// Per-EU rollup, sorted by EU index.
+    pub per_eu: Vec<EuRow>,
+    /// Per-epoch rollup, sorted by epoch index.
+    pub per_epoch: Vec<EpochRow>,
+    /// Wall-clock barrier waits (stderr-only material).
+    pub barrier: BarrierStats,
+}
+
+/// Aggregate the simulator's `sim.eu_epoch` / `sim.barrier`
+/// provenance instants into a deterministic timeline report.
+pub fn timeline(bytes: &[u8]) -> Timeline {
+    let journal = scan(bytes);
+    let mut eus: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    let mut epochs: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    let mut launches: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut workers: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut barrier = BarrierStats::default();
+    for stream in &journal.streams {
+        for section in stream.sections.iter().filter(|s| s.kind == SECT_EVENTS) {
+            for_each_event(section, stream, |rec, args| {
+                if rec.kind != REC_INSTANT {
+                    return;
+                }
+                let arg = |key: &str| {
+                    args.iter().find(|(k, _)| *k == key).map(|(_, v)| match v {
+                        export::ArgRef::U64(v) => *v,
+                        export::ArgRef::I64(v) => *v as u64,
+                        _ => 0,
+                    })
+                };
+                match stream.string(rec.name) {
+                    "sim.eu_epoch" => {
+                        let eu = arg("eu").unwrap_or(0);
+                        let epoch = arg("epoch").unwrap_or(0);
+                        let busy = arg("busy").unwrap_or(0);
+                        let cycles = arg("cycles").unwrap_or(0);
+                        if let Some(launch) = arg("launch") {
+                            launches.insert(launch);
+                        }
+                        let e = eus.entry(eu).or_insert((0, 0, 0));
+                        e.0 += 1;
+                        e.1 += busy;
+                        e.2 += cycles;
+                        let p = epochs.entry(epoch).or_insert((0, 0, 0));
+                        p.0 += 1;
+                        p.1 += busy;
+                        p.2 += cycles;
+                    }
+                    "sim.barrier" => {
+                        let wait = arg("wait_ns").unwrap_or(0);
+                        if let Some(w) = arg("worker") {
+                            workers.insert(w);
+                        }
+                        barrier.waits += 1;
+                        barrier.total_ns += wait;
+                        barrier.max_ns = barrier.max_ns.max(wait);
+                    }
+                    _ => {}
+                }
+            });
+        }
+    }
+    barrier.workers = workers.len() as u64;
+    Timeline {
+        streams: journal.streams.len(),
+        launches: launches.len() as u64,
+        per_eu: eus
+            .into_iter()
+            .map(|(eu, (epochs, busy, cycles))| EuRow {
+                eu,
+                epochs,
+                busy,
+                cycles,
+            })
+            .collect(),
+        per_epoch: epochs
+            .into_iter()
+            .map(|(epoch, (active_eus, busy, cycles))| EpochRow {
+                epoch,
+                active_eus,
+                busy,
+                cycles,
+            })
+            .collect(),
+        barrier,
+    }
+}
+
+/// Render the deterministic (stdout) half of the timeline report.
+pub fn render_timeline(t: &Timeline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "obs-timeline: {} stream(s), {} launch(es), {} EU(s), {} epoch(s)",
+        t.streams,
+        t.launches,
+        t.per_eu.len(),
+        t.per_epoch.len()
+    );
+    if t.per_eu.is_empty() {
+        let _ = writeln!(
+            out,
+            "no sim.eu_epoch provenance in journal (run the detailed simulator with GTPIN_OBS=1)"
+        );
+        return out;
+    }
+    let pct = |busy: u64, cycles: u64| {
+        if cycles == 0 {
+            0.0
+        } else {
+            busy as f64 * 100.0 / cycles as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "\n{:>4} {:>8} {:>12} {:>12} {:>7}",
+        "eu", "epochs", "busy", "cycles", "util%"
+    );
+    let (mut tb, mut tc) = (0u64, 0u64);
+    for r in &t.per_eu {
+        tb += r.busy;
+        tc += r.cycles;
+        let _ = writeln!(
+            out,
+            "{:>4} {:>8} {:>12} {:>12} {:>7.2}",
+            r.eu,
+            r.epochs,
+            r.busy,
+            r.cycles,
+            pct(r.busy, r.cycles)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>4} {:>8} {:>12} {:>12} {:>7.2}",
+        "all",
+        t.per_eu.iter().map(|r| r.epochs).sum::<u64>(),
+        tb,
+        tc,
+        pct(tb, tc)
+    );
+    let _ = writeln!(
+        out,
+        "\n{:>6} {:>10} {:>12} {:>12} {:>7}",
+        "epoch", "active_eus", "busy", "cycles", "util%"
+    );
+    for r in &t.per_epoch {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>12} {:>12} {:>7.2}",
+            r.epoch,
+            r.active_eus,
+            r.busy,
+            r.cycles,
+            pct(r.busy, r.cycles)
+        );
+    }
+    out
+}

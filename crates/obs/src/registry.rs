@@ -8,16 +8,17 @@
 //! one bool and an immediate return.
 
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 
+use crate::binary::BinaryWriter;
 use crate::clock::{Clock, MonotonicClock};
 use crate::export;
+use crate::reader;
 
 /// Cap on buffered events; past it, events are dropped and counted
-/// (the journal stream, when present, still receives every event).
+/// (the binary journal, when present, still receives every event).
 pub const MAX_BUFFERED_EVENTS: usize = 1 << 20;
 
 /// The environment variable enabling telemetry (`1`/`true`/`yes`/`on`).
@@ -183,9 +184,10 @@ pub struct Registry {
     enabled: bool,
     clock: Box<dyn Clock>,
     inner: Mutex<Inner>,
-    /// Streaming JSONL journal (the process-wide registry opens one
-    /// when enabled; private test registries leave it `None`).
-    stream: Option<Mutex<std::fs::File>>,
+    /// The GTOBS01 binary journal writer (the process-wide registry
+    /// opens one when enabled; plain test registries leave it `None`,
+    /// and [`Registry::with_buffer_sink`] records to memory).
+    binary: Option<BinaryWriter>,
     journal_path: Option<PathBuf>,
     artifact_dir: Option<PathBuf>,
 }
@@ -214,17 +216,32 @@ impl Registry {
             enabled,
             clock,
             inner: Mutex::new(Inner::default()),
-            stream: None,
+            binary: None,
             journal_path: None,
             artifact_dir: None,
         }
     }
 
+    /// A registry recording its binary journal to an in-memory
+    /// buffer — what the golden tests, proptests, and benches use to
+    /// inspect GTOBS01 bytes without touching disk.
+    pub fn with_buffer_sink(
+        enabled: bool,
+        clock: Box<dyn Clock>,
+    ) -> (Registry, Arc<Mutex<Vec<u8>>>) {
+        let mut reg = Registry::new(enabled, clock);
+        let (writer, buf) = BinaryWriter::buffer();
+        reg.binary = Some(writer);
+        (reg, buf)
+    }
+
     /// The process-wide configuration: enabled iff `GTPIN_OBS` is
     /// truthy (or `force` is set), artifacts under `GTPIN_OBS_DIR`
-    /// (default `target/obs`). When enabled, the JSONL journal is
-    /// opened in append mode immediately so every event is on disk
-    /// even if the process never flushes explicitly.
+    /// (default `target/obs`). When enabled, the GTOBS01 binary
+    /// journal (`journal.gtobs`) is opened in append mode immediately
+    /// and events drain to it through per-thread ring buffers; the
+    /// JSONL and Chrome trace artifacts are derived from it at
+    /// [`Registry::write_artifacts`] time.
     pub fn from_env(force: bool) -> Registry {
         let enabled = force
             || std::env::var(OBS_ENV)
@@ -238,15 +255,11 @@ impl Registry {
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target/obs"));
         // Telemetry must never take the program down: an unwritable
-        // directory just means no journal stream.
+        // directory just means no journal.
         if std::fs::create_dir_all(&dir).is_ok() {
-            let path = dir.join("journal.jsonl");
-            if let Ok(file) = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-            {
-                reg.stream = Some(Mutex::new(file));
+            let path = dir.join("journal.gtobs");
+            if let Ok(writer) = BinaryWriter::open_file(&path) {
+                reg.binary = Some(writer);
                 reg.journal_path = Some(path);
             }
         }
@@ -269,7 +282,7 @@ impl Registry {
         }
     }
 
-    /// The streamed journal path, when a stream is open.
+    /// The binary journal path, when one is open.
     pub fn journal_path(&self) -> Option<&Path> {
         self.journal_path.as_deref()
     }
@@ -282,10 +295,20 @@ impl Registry {
     /// Open a scoped span; it records itself when dropped. Attach
     /// arguments via [`SpanGuard::arg`] before it closes.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let start_ns = self.now_ns();
+        if self.enabled {
+            if let Some(bin) = &self.binary {
+                let tid = {
+                    let mut inner = self.inner.lock().expect("obs registry poisoned");
+                    inner.tid(std::thread::current().id())
+                };
+                bin.span_enter(name, tid, start_ns);
+            }
+        }
         SpanGuard {
             reg: if self.enabled { Some(self) } else { None },
             name,
-            start_ns: self.now_ns(),
+            start_ns,
             args: Vec::new(),
         }
     }
@@ -361,12 +384,11 @@ impl Registry {
             }
             event
         };
-        // Stream outside the inner lock; one write per line keeps
-        // concurrent processes from tearing each other's lines.
-        if let Some(stream) = &self.stream {
-            let line = export::event_jsonl_line(&event);
-            let mut file = stream.lock().expect("obs stream poisoned");
-            let _ = file.write_all(line.as_bytes());
+        // Journal outside the inner lock: the binary writer appends
+        // to this thread's own ring buffer (uncontended) and drains
+        // to the sink in section-sized batches.
+        if let Some(bin) = &self.binary {
+            bin.append_event(&event);
         }
     }
 
@@ -387,28 +409,55 @@ impl Registry {
         export::summary(&self.snapshot())
     }
 
-    /// Append the counter/gauge/histogram totals to the journal
-    /// stream (no-op without a stream) and write the Chrome trace to
-    /// `<artifact_dir>/trace.json`. Returns the paths written.
+    /// Drain every ring buffer and append the counter/gauge/histogram
+    /// totals section to the binary journal (no-op without one).
+    /// Telemetry stays on disk even if the process never calls
+    /// [`Registry::write_artifacts`].
+    pub fn flush(&self) -> std::io::Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        match &self.binary {
+            Some(bin) => bin.flush(Some(&self.snapshot())),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush the binary journal (rings plus a totals section), then
+    /// derive the text artifacts from it: `journal.jsonl` and
+    /// `trace.json` under the artifact directory are *conversions* of
+    /// the binary journal, so they can never disagree with it.
+    /// Returns the paths written.
     pub fn write_artifacts(&self) -> std::io::Result<Vec<PathBuf>> {
         if !self.enabled {
             return Ok(Vec::new());
         }
-        let snap = self.snapshot();
+        self.flush()?;
         let mut written = Vec::new();
-        if let Some(stream) = &self.stream {
-            let totals = export::totals_jsonl(&snap);
-            let mut file = stream.lock().expect("obs stream poisoned");
-            file.write_all(totals.as_bytes())?;
-            file.flush()?;
+        if self.binary.is_some() {
             if let Some(p) = &self.journal_path {
                 written.push(p.clone());
             }
         }
         if let Some(dir) = &self.artifact_dir {
-            let trace_path = dir.join("trace.json");
-            self.write_chrome_trace(&trace_path)?;
-            written.push(trace_path);
+            match &self.journal_path {
+                Some(journal) => {
+                    let bytes = std::fs::read(journal)?;
+                    let jsonl_path = dir.join("journal.jsonl");
+                    std::fs::write(&jsonl_path, reader::to_jsonl(&bytes))?;
+                    written.push(jsonl_path);
+                    let trace_path = dir.join("trace.json");
+                    std::fs::write(&trace_path, reader::to_chrome_trace(&bytes))?;
+                    written.push(trace_path);
+                }
+                None => {
+                    // No journal on disk (the directory was not
+                    // writable): fall back to the snapshot exporter.
+                    let trace_path = dir.join("trace.json");
+                    self.write_chrome_trace(&trace_path)?;
+                    written.push(trace_path);
+                }
+            }
         }
         Ok(written)
     }

@@ -11,7 +11,11 @@ use std::sync::Arc;
 fn scripted_run() -> Registry {
     let clock = Arc::new(ManualClock::new());
     let reg = Registry::new(true, Box::new(clock.clone()));
+    script(&reg, &clock);
+    reg
+}
 
+fn script(reg: &Registry, clock: &ManualClock) {
     reg.instant("run.start", Vec::new());
     clock.advance(100);
     {
@@ -28,7 +32,17 @@ fn scripted_run() -> Registry {
     for v in [96u64, 128, 256] {
         reg.hist_record("par.task_ns", v);
     }
-    reg
+}
+
+/// The same scripted run recorded through the GTOBS01 binary journal
+/// (in-memory sink), flushed so the totals section is present.
+fn scripted_binary_run() -> (Registry, Vec<u8>) {
+    let clock = Arc::new(ManualClock::new());
+    let (reg, buf) = Registry::with_buffer_sink(true, Box::new(clock.clone()));
+    script(&reg, &clock);
+    reg.flush().expect("buffer sink never fails");
+    let bytes = buf.lock().unwrap().clone();
+    (reg, bytes)
 }
 
 #[test]
@@ -58,6 +72,40 @@ fn exports_are_valid_json() {
     }
     let trace = gtpin_obs::chrome_trace(&snap);
     serde_json::from_str_value(&trace).expect("chrome trace is valid JSON");
+}
+
+#[test]
+fn binary_jsonl_conversion_matches_golden_and_direct_writer() {
+    let (reg, bytes) = scripted_binary_run();
+    let converted = gtpin_obs::reader::to_jsonl(&bytes);
+    // Byte-identical to the legacy direct writer over the same run —
+    // and therefore to the pinned golden file.
+    assert_eq!(converted, gtpin_obs::jsonl(&reg.snapshot()));
+    assert_eq!(converted, include_str!("golden/journal.jsonl"));
+}
+
+#[test]
+fn binary_chrome_conversion_matches_golden_and_direct_exporter() {
+    let (reg, bytes) = scripted_binary_run();
+    let converted = gtpin_obs::reader::to_chrome_trace(&bytes);
+    assert_eq!(converted, gtpin_obs::chrome_trace(&reg.snapshot()));
+    assert_eq!(converted, include_str!("golden/trace.json").trim_end());
+}
+
+#[test]
+fn binary_journal_verifies_clean() {
+    let (_reg, bytes) = scripted_binary_run();
+    let report = gtpin_obs::reader::verify(&bytes).expect("clean journal verifies");
+    assert_eq!(report.streams, 1);
+    assert!(report.records > 0, "events and totals recorded");
+    assert!(report.strings > 0, "names interned");
+    assert_eq!(report.bytes % 64, 0, "everything stays 64-byte aligned");
+}
+
+#[test]
+fn binary_summary_matches_snapshot_summary() {
+    let (reg, bytes) = scripted_binary_run();
+    assert_eq!(gtpin_obs::reader::summarize(&bytes), reg.summary());
 }
 
 #[test]

@@ -133,7 +133,7 @@ where
     let mut failed: Vec<usize> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let counter = &counter;
             let f = &f;
             let busy_ns_total = &busy_ns_total;
@@ -169,6 +169,17 @@ where
                 if obs {
                     busy_ns_total.fetch_add(busy_ns, Ordering::Relaxed);
                     gtpin_obs::counter_add("par.tasks", local.len() as u64);
+                    // Per-worker provenance: which pool worker did how
+                    // much of this fan-out (wall-clock context; the
+                    // deterministic outputs never depend on it).
+                    gtpin_obs::global().instant(
+                        "par.worker",
+                        vec![
+                            ("worker", gtpin_obs::ArgVal::U64(w as u64)),
+                            ("tasks", gtpin_obs::ArgVal::U64(local.len() as u64)),
+                            ("busy_ns", gtpin_obs::ArgVal::U64(busy_ns)),
+                        ],
+                    );
                 }
                 (local, lost)
             }));

@@ -51,11 +51,72 @@ echo "== telemetry smoke: tier-1 tests under GTPIN_OBS=1"
 OBS_DIR="$(pwd)/target/obs-check"
 rm -rf "$OBS_DIR"
 GTPIN_OBS=1 GTPIN_OBS_DIR="$OBS_DIR" cargo test -q
-test -s "$OBS_DIR/journal.jsonl" || {
-    echo "FAIL: GTPIN_OBS=1 test run left no journal at $OBS_DIR/journal.jsonl"
+test -s "$OBS_DIR/journal.gtobs" || {
+    echo "FAIL: GTPIN_OBS=1 test run left no binary journal at $OBS_DIR/journal.gtobs"
     exit 1
 }
-cargo run -q --release --bin gtpin -- obs-verify "$OBS_DIR/journal.jsonl"
+
+echo "== GTOBS01 gate: flushed sim journal verifies, converts, matches artifacts"
+OBS_SIM_DIR="$(pwd)/target/obs-sim-check"
+rm -rf "$OBS_SIM_DIR"
+mkdir -p "$OBS_SIM_DIR"
+GTPIN_OBS=1 GTPIN_OBS_DIR="$OBS_SIM_DIR" GTPIN_SIM_THREADS=4 \
+    ./target/release/gtpin sim sandra-crypt-aes128 >/dev/null 2>&1
+# CRC + version + structure verification of the binary journal.
+./target/release/gtpin obs-verify "$OBS_SIM_DIR/journal.gtobs"
+# Legacy JSONL verification still works on the converted artifact.
+./target/release/gtpin obs-verify "$OBS_SIM_DIR/journal.jsonl"
+# The standalone converter must reproduce the artifact writer's output
+# byte-for-byte (both derive from the same binary journal).
+./target/release/gtpin obs-convert "$OBS_SIM_DIR/journal.gtobs" \
+    --jsonl "$OBS_SIM_DIR/converted.jsonl" --trace "$OBS_SIM_DIR/converted-trace.json" \
+    2>/dev/null
+diff -q "$OBS_SIM_DIR/journal.jsonl" "$OBS_SIM_DIR/converted.jsonl" || {
+    echo "FAIL: obs-convert JSONL differs from the write_artifacts journal"
+    exit 1
+}
+diff -q "$OBS_SIM_DIR/trace.json" "$OBS_SIM_DIR/converted-trace.json" || {
+    echo "FAIL: obs-convert Chrome trace differs from the write_artifacts trace"
+    exit 1
+}
+# Pinned goldens: the binary->text converters must stay byte-identical
+# to the legacy direct exporters.
+cargo test -q -p gtpin-obs --test golden
+
+echo "== obs-timeline determinism: per-EU report diffed across 1/2/4/8 sim threads"
+TL_DIR="$(pwd)/target/obs-timeline-check"
+rm -rf "$TL_DIR"
+mkdir -p "$TL_DIR"
+for T in 1 2 4 8; do
+    rm -rf "$TL_DIR/run-$T"
+    mkdir -p "$TL_DIR/run-$T"
+    GTPIN_OBS=1 GTPIN_OBS_DIR="$TL_DIR/run-$T" GTPIN_SIM_THREADS=$T \
+        ./target/release/gtpin sim sandra-crypt-aes128 >/dev/null 2>&1
+    ./target/release/gtpin obs-timeline "$TL_DIR/run-$T/journal.gtobs" \
+        > "$TL_DIR/timeline-$T.txt" 2>/dev/null
+done
+for T in 2 4 8; do
+    diff -u "$TL_DIR/timeline-1.txt" "$TL_DIR/timeline-$T.txt" || {
+        echo "FAIL: obs-timeline at GTPIN_SIM_THREADS=$T diverged from serial"
+        exit 1
+    }
+done
+grep -q "eu" "$TL_DIR/timeline-1.txt" || {
+    cat "$TL_DIR/timeline-1.txt"
+    echo "FAIL: obs-timeline emitted no per-EU table"
+    exit 1
+}
+echo "obs-timeline is byte-identical at 1/2/4/8 sim threads"
+
+echo "== obs drain bench: binary >=3x legacy JSONL, disabled path ~free"
+# The bench asserts speedup >= 3x, byte-identical conversion, and a
+# single-branch disabled path, then refreshes BENCH_obsdrain.json.
+cargo bench -q -p bench-suite --bench obsdrain >/dev/null
+grep -q '"jsonl_identical": true' BENCH_obsdrain.json || {
+    cat BENCH_obsdrain.json
+    echo "FAIL: BENCH_obsdrain.json does not attest byte-identical conversion"
+    exit 1
+}
 
 echo "== static analysis: lint + instrumentation-safety verifier over all builtin workloads"
 LINT_OUT="$(cargo run -q --release --bin gtpin -- lint --all 2>&1)" || {

@@ -43,8 +43,21 @@
 //!                                     print the telemetry summary table
 //!                                     (artifacts land in GTPIN_OBS_DIR,
 //!                                     default target/obs)
-//! gtpin obs-verify <journal.jsonl>    check a journal is non-empty,
-//!                                     well-formed JSONL
+//!     --journal <journal.gtobs>       summarize an existing binary journal
+//!                                     instead of running anything
+//! gtpin obs-verify <journal>          verify a journal: GTOBS01 binary
+//!                                     journals get full CRC + version +
+//!                                     structure checks, JSONL journals the
+//!                                     legacy well-formedness check
+//! gtpin obs-convert <journal.gtobs>   convert a binary journal to text
+//!     [--jsonl <path>]                write the JSONL journal here
+//!     [--trace <path>]                write the Chrome trace_event JSON
+//!                                     (no flags: JSONL to stdout)
+//! gtpin obs-timeline <journal.gtobs>  per-EU / per-epoch utilization from
+//!                                     the detailed simulator's provenance
+//!                                     events (virtual cycles on stdout —
+//!                                     identical at every thread count —
+//!                                     wall-clock barrier stats on stderr)
 //! gtpin faults-matrix [--seed N]      run the workload suite under every
 //!                                     GTPIN_FAULTS scenario twice and
 //!                                     assert the degradation contract
@@ -85,10 +98,12 @@ fn main() {
         Some("luxmark") => cmd_luxmark(),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("obs-verify") => cmd_obs_verify(&args[1..]),
+        Some("obs-convert") => cmd_obs_convert(&args[1..]),
+        Some("obs-timeline") => cmd_obs_timeline(&args[1..]),
         Some("faults-matrix") => cmd_faults_matrix(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gtpin <list|run|select|explore|sim|disasm|lint|luxmark|obs-report|obs-verify|faults-matrix> [args]"
+                "usage: gtpin <list|run|select|explore|sim|disasm|lint|luxmark|obs-report|obs-verify|obs-convert|obs-timeline|faults-matrix> [args]"
             );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
@@ -365,6 +380,13 @@ fn cmd_sim(args: &[String]) -> CliResult {
         }
     );
     println!("stats digest: {digest:016x}");
+    // Artifact paths on stderr only: stdout must diff clean across
+    // thread counts, and telemetry file names are machine context.
+    if gtpin_suite::obs::enabled() {
+        for path in gtpin_suite::obs::write_artifacts()? {
+            eprintln!("obs: wrote {}", path.display());
+        }
+    }
     Ok(())
 }
 
@@ -544,6 +566,15 @@ fn cmd_lint(args: &[String]) -> CliResult {
 
 fn cmd_obs_report(args: &[String]) -> CliResult {
     use gtpin_suite::obs;
+    // Offline mode: summarize an existing binary journal without
+    // running anything.
+    if let Some(journal) = flag_value(args, "--journal")? {
+        let bytes =
+            obs::reader::read_journal(std::path::Path::new(journal)).map_err(GtPinError::from)?;
+        obs::reader::verify(&bytes).map_err(GtPinError::from)?;
+        print!("{}", obs::reader::summarize(&bytes));
+        return Ok(());
+    }
     // Force telemetry on before anything records, so the report works
     // without the user exporting GTPIN_OBS.
     if !obs::force_enable() {
@@ -577,8 +608,22 @@ fn cmd_obs_report(args: &[String]) -> CliResult {
 }
 
 fn cmd_obs_verify(args: &[String]) -> CliResult {
+    use gtpin_suite::obs::{binary, reader};
     let path = args.first().ok_or("obs-verify needs a journal path")?;
-    let text = std::fs::read_to_string(path)?;
+    let bytes = std::fs::read(path)?;
+    // Sniff the 8-byte magic: GTOBS01 binary journals get the full
+    // CRC/version/structure verification, anything else the legacy
+    // line-oriented JSONL check.
+    if bytes.starts_with(&binary::MAGIC) {
+        let report = reader::verify(&bytes).map_err(GtPinError::from)?;
+        println!(
+            "{path}: GTOBS01 intact — {} stream(s), {} section(s), {} record(s), \
+             {} string(s), {} byte(s)",
+            report.streams, report.sections, report.records, report.strings, report.bytes
+        );
+        return Ok(());
+    }
+    let text = String::from_utf8(bytes).map_err(|e| format!("{path}: not UTF-8: {e}"))?;
     let mut events = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -592,6 +637,49 @@ fn cmd_obs_verify(args: &[String]) -> CliResult {
         return Err(format!("{path}: journal is empty").into());
     }
     println!("{path}: {events} well-formed JSONL event(s)");
+    Ok(())
+}
+
+fn cmd_obs_convert(args: &[String]) -> CliResult {
+    use gtpin_suite::obs::reader;
+    let positional = positional_args(args, &["--jsonl", "--trace"]);
+    let path = *positional
+        .first()
+        .ok_or("obs-convert needs a binary journal path")?;
+    let bytes = reader::read_journal(std::path::Path::new(path)).map_err(GtPinError::from)?;
+    reader::verify(&bytes).map_err(GtPinError::from)?;
+    let jsonl_out = flag_value(args, "--jsonl")?;
+    let trace_out = flag_value(args, "--trace")?;
+    if let Some(p) = jsonl_out {
+        std::fs::write(p, reader::to_jsonl(&bytes))?;
+        eprintln!("wrote {p}");
+    }
+    if let Some(p) = trace_out {
+        std::fs::write(p, reader::to_chrome_trace(&bytes))?;
+        eprintln!("wrote {p}");
+    }
+    if jsonl_out.is_none() && trace_out.is_none() {
+        print!("{}", reader::to_jsonl(&bytes));
+    }
+    Ok(())
+}
+
+fn cmd_obs_timeline(args: &[String]) -> CliResult {
+    use gtpin_suite::obs::reader;
+    let path = args.first().ok_or("obs-timeline needs a journal path")?;
+    let bytes = reader::read_journal(std::path::Path::new(path)).map_err(GtPinError::from)?;
+    reader::verify(&bytes).map_err(GtPinError::from)?;
+    let t = reader::timeline(&bytes);
+    // Virtual-cycle report on stdout: byte-identical at every
+    // GTPIN_SIM_THREADS setting. Wall-clock barrier stats are host
+    // context, so they go to stderr.
+    print!("{}", reader::render_timeline(&t));
+    if t.barrier.waits > 0 {
+        eprintln!(
+            "barrier: {} wait(s) across {} worker(s), total {} ns, max {} ns",
+            t.barrier.waits, t.barrier.workers, t.barrier.total_ns, t.barrier.max_ns
+        );
+    }
     Ok(())
 }
 

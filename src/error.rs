@@ -15,6 +15,7 @@ use gpu_device::executor::ExecError;
 use gpu_device::jit::JitError;
 use gtpin_analyze::VerifyError;
 use gtpin_durable::JournalError;
+use gtpin_obs::reader::ObsError;
 use ocl_runtime::device::DeviceError;
 use ocl_runtime::runtime::RunError;
 use simpoint::SelectError;
@@ -44,6 +45,9 @@ pub enum GtPinError {
     /// The durable run journal could not be created, recovered, or
     /// appended to.
     Journal(JournalError),
+    /// The GTOBS01 telemetry journal failed CRC, version, or
+    /// structural checks.
+    Obs(ObsError),
     /// The run budget was exhausted; the partial-result report was
     /// already printed and the exit is nonzero by design.
     Budget(String),
@@ -71,6 +75,7 @@ impl GtPinError {
             GtPinError::Merge(_) => "merge",
             GtPinError::Pipeline(_) => "pipeline",
             GtPinError::Journal(_) => "journal",
+            GtPinError::Obs(_) => "obs",
             GtPinError::Budget(_) => "budget",
             GtPinError::Io(_) => "io",
             GtPinError::Json(_) => "json",
@@ -92,6 +97,7 @@ impl std::fmt::Display for GtPinError {
             GtPinError::Merge(e) => write!(f, "{e}"),
             GtPinError::Pipeline(e) => write!(f, "{e}"),
             GtPinError::Journal(e) => write!(f, "{e}"),
+            GtPinError::Obs(e) => write!(f, "{e}"),
             GtPinError::Budget(s) => f.write_str(s),
             GtPinError::Io(e) => write!(f, "{e}"),
             GtPinError::Json(e) => write!(f, "{e}"),
@@ -113,6 +119,7 @@ impl std::error::Error for GtPinError {
             GtPinError::Merge(e) => Some(e),
             GtPinError::Pipeline(e) => Some(e),
             GtPinError::Journal(e) => Some(e),
+            GtPinError::Obs(e) => Some(e),
             GtPinError::Budget(_) => None,
             GtPinError::Io(e) => Some(e),
             GtPinError::Json(e) => Some(e),
@@ -141,6 +148,7 @@ from_impl!(VerifyError => Verify);
 from_impl!(MergeError => Merge);
 from_impl!(PipelineError => Pipeline);
 from_impl!(JournalError => Journal);
+from_impl!(ObsError => Obs);
 from_impl!(std::io::Error => Io);
 from_impl!(serde_json::Error => Json);
 from_impl!(String => Msg);
