@@ -103,9 +103,20 @@ pub mod site {
     /// serially from a pristine snapshot — results stay bit-identical
     /// because serial IS the reference schedule).
     pub const SIM_SHARD: &str = "sim.shard";
+    /// The client connection of a `gtpin serve` session drops while
+    /// the daemon is streaming the response (recovered by abandoning
+    /// delivery only: the computed response is already journaled and
+    /// cached, the session is accounted, and the daemon keeps
+    /// serving its other sessions).
+    pub const SERVE_CONN_DROP: &str = "serve.conn_drop";
+    /// A `gtpin serve` session handler panics mid-request (recovered
+    /// by catch_unwind isolation: the session is demoted to a typed
+    /// `error[session]` response and the daemon — and every sibling
+    /// session — keeps running).
+    pub const SERVE_SESSION_CRASH: &str = "serve.session_crash";
 
     /// Every named site, for matrix drivers.
-    pub const ALL: [&str; 7] = [
+    pub const ALL: [&str; 9] = [
         SHARD_OVERFLOW,
         RECORD_CORRUPT,
         JIT_FAIL,
@@ -113,6 +124,8 @@ pub mod site {
         WORKER_PANIC,
         JOURNAL_CRASH,
         SIM_SHARD,
+        SERVE_CONN_DROP,
+        SERVE_SESSION_CRASH,
     ];
 }
 

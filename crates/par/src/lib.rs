@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 pub mod supervisor;
 
-pub use supervisor::{Outcome, Supervisor, SupervisorConfig, SupervisorReport};
+pub use supervisor::{Admission, Outcome, Supervisor, SupervisorConfig, SupervisorReport};
 
 /// The environment variable controlling workspace-wide parallelism.
 pub const THREADS_ENV: &str = "GTPIN_THREADS";
@@ -67,29 +67,71 @@ pub fn configured_sim_threads() -> usize {
     }
 }
 
-/// Strict validation of both thread-count variables, for front ends
-/// that should fail loudly instead of clamping: `Err` describes the
-/// first malformed value (not a positive integer) and names the
-/// variable, ready for an `error[cli]` report.
-pub fn validate_threads_env() -> Result<(), String> {
-    for var in [THREADS_ENV, SIM_THREADS_ENV] {
+/// How strict parsing should treat a numeric `GTPIN_*` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvKnobKind {
+    /// A worker count: a positive integer (`0` is malformed — use
+    /// `1` for the serial path).
+    ThreadCount,
+    /// A budget/limit: any unsigned integer (`0` conventionally
+    /// means "disabled" and is accepted).
+    Limit,
+}
+
+/// Every numeric `GTPIN_*` environment knob the suite reads, with
+/// the strictness class its value must satisfy. One table, one
+/// parser: a front end that calls [`validate_env`] rejects every
+/// malformed knob up front as an `error[cli]`, instead of each
+/// consumer silently clamping to its own default.
+pub const NUMERIC_ENV_KNOBS: [(&str, EnvKnobKind); 6] = [
+    (THREADS_ENV, EnvKnobKind::ThreadCount),
+    (SIM_THREADS_ENV, EnvKnobKind::ThreadCount),
+    (supervisor::DEADLINE_ENV, EnvKnobKind::Limit),
+    (supervisor::BREAKER_ENV, EnvKnobKind::Limit),
+    (supervisor::MAX_TASKS_ENV, EnvKnobKind::Limit),
+    (supervisor::MAX_VIRTUAL_ENV, EnvKnobKind::Limit),
+];
+
+/// Strict validation of every numeric `GTPIN_*` knob
+/// ([`NUMERIC_ENV_KNOBS`]), for front ends that should fail loudly
+/// instead of clamping: `Err` describes the first malformed value
+/// and names the variable, ready for an `error[cli]` report. The
+/// library getters stay lenient so embedders keep running.
+pub fn validate_env() -> Result<(), String> {
+    for (var, kind) in NUMERIC_ENV_KNOBS {
         if let Ok(raw) = std::env::var(var) {
-            validate_thread_count(var, &raw)?;
+            validate_env_value(var, &raw, kind)?;
         }
     }
     Ok(())
 }
 
-/// The strict check behind [`validate_threads_env`], separated so it
-/// is testable without touching process environment.
-fn validate_thread_count(var: &str, raw: &str) -> Result<(), String> {
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n >= 1 => Ok(()),
-        Ok(_) => Err(format!(
+/// Strict validation of the two thread-count variables only. Kept
+/// for callers that tolerate lenient budget knobs; new front ends
+/// should call [`validate_env`].
+pub fn validate_threads_env() -> Result<(), String> {
+    for var in [THREADS_ENV, SIM_THREADS_ENV] {
+        if let Ok(raw) = std::env::var(var) {
+            validate_env_value(var, &raw, EnvKnobKind::ThreadCount)?;
+        }
+    }
+    Ok(())
+}
+
+/// The strict check behind [`validate_env`], separated so it is
+/// testable without touching process environment.
+fn validate_env_value(var: &str, raw: &str, kind: EnvKnobKind) -> Result<(), String> {
+    match (raw.trim().parse::<u64>(), kind) {
+        (Ok(n), EnvKnobKind::ThreadCount) if n >= 1 => Ok(()),
+        (Ok(_), EnvKnobKind::ThreadCount) => Err(format!(
             "{var}={raw:?} is not a valid thread count (must be >= 1)"
         )),
-        Err(_) => Err(format!(
+        (Ok(_), EnvKnobKind::Limit) => Ok(()),
+        (Err(_), EnvKnobKind::ThreadCount) => Err(format!(
             "{var}={raw:?} is not a valid thread count (expected a positive integer)"
+        )),
+        (Err(_), EnvKnobKind::Limit) => Err(format!(
+            "{var}={raw:?} is not a valid limit (expected an unsigned integer)"
         )),
     }
 }
@@ -367,15 +409,51 @@ mod tests {
     fn strict_validation_rejects_what_the_lenient_getters_clamp() {
         let _guard = guard();
         for good in ["1", "4", " 8 ", "128"] {
-            assert!(validate_thread_count(THREADS_ENV, good).is_ok(), "{good}");
+            assert!(
+                validate_env_value(THREADS_ENV, good, EnvKnobKind::ThreadCount).is_ok(),
+                "{good}"
+            );
         }
         for bad in ["0", "-1", "four", "4.5", "", "  "] {
-            let err = validate_thread_count(SIM_THREADS_ENV, bad)
+            let err = validate_env_value(SIM_THREADS_ENV, bad, EnvKnobKind::ThreadCount)
                 .expect_err("malformed counts must be rejected");
             assert!(
                 err.contains(SIM_THREADS_ENV),
                 "error names the variable: {err}"
             );
+        }
+    }
+
+    #[test]
+    fn limit_knobs_accept_zero_but_reject_garbage() {
+        let _guard = guard();
+        // Budget knobs: 0 means "disabled", so it parses.
+        for good in ["0", "1", "250", " 1000 "] {
+            assert!(
+                validate_env_value(supervisor::DEADLINE_ENV, good, EnvKnobKind::Limit).is_ok(),
+                "{good}"
+            );
+        }
+        for bad in ["-1", "fast", "2.5", "", "1e9"] {
+            let err = validate_env_value(supervisor::MAX_TASKS_ENV, bad, EnvKnobKind::Limit)
+                .expect_err("malformed limits must be rejected");
+            assert!(
+                err.contains(supervisor::MAX_TASKS_ENV),
+                "error names the variable: {err}"
+            );
+        }
+        // The knob table names every supervised env variable exactly
+        // once, so a new knob cannot dodge front-end validation.
+        let names: Vec<&str> = NUMERIC_ENV_KNOBS.iter().map(|(n, _)| *n).collect();
+        for var in [
+            THREADS_ENV,
+            SIM_THREADS_ENV,
+            supervisor::DEADLINE_ENV,
+            supervisor::BREAKER_ENV,
+            supervisor::MAX_TASKS_ENV,
+            supervisor::MAX_VIRTUAL_ENV,
+        ] {
+            assert_eq!(names.iter().filter(|n| **n == var).count(), 1, "{var}");
         }
     }
 

@@ -166,6 +166,23 @@ struct BreakerState {
     open: bool,
 }
 
+/// The supervisor's answer to "may this unit start right now?" —
+/// the admission-ticket half of the policy, usable one unit at a
+/// time (a served session) as well as in batches
+/// ([`Supervisor::run_units`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Run it; report the terminal [`Outcome`] back through
+    /// [`Supervisor::finish`].
+    Granted,
+    /// The group's circuit breaker is open — shed the unit instead
+    /// of running it.
+    RejectedBreakerOpen,
+    /// The global run budget is exhausted — shed the unit instead
+    /// of running it.
+    RejectedBudget,
+}
+
 /// Aggregate accounting for a supervised run, for reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SupervisorReport {
@@ -283,6 +300,55 @@ impl Supervisor {
         }
     }
 
+    /// One-unit admission ticket: may a unit of `group` start right
+    /// now? Pure policy read plus the budget-exhaustion latch — the
+    /// same gates [`Supervisor::run_units`] applies between rounds,
+    /// exposed so a long-running service can admit sessions one at a
+    /// time through identical policy state. Budget is checked before
+    /// the breaker, mirroring the between-round order.
+    pub fn admit(&mut self, group: &str) -> Admission {
+        if self.out_of_budget() {
+            if !self.report.budget_exhausted {
+                self.report.budget_exhausted = true;
+                gtpin_obs::counter_add("supervisor.budget_exhausted", 1);
+            }
+            return Admission::RejectedBudget;
+        }
+        if self.group_degraded(group) {
+            return Admission::RejectedBreakerOpen;
+        }
+        Admission::Granted
+    }
+
+    /// Judge one fresh result against the per-task deadline — the
+    /// demotion [`Supervisor::run_units`] applies to every fan-out
+    /// result, exposed for single-unit callers.
+    pub fn judge<R, E>(&self, result: Result<(R, u64), E>) -> Outcome<R, E> {
+        match result {
+            Ok((value, virtual_ns)) => {
+                if self
+                    .config
+                    .deadline_virtual_ns
+                    .is_some_and(|d| virtual_ns > d)
+                {
+                    Outcome::DeadlineExceeded { virtual_ns }
+                } else {
+                    Outcome::Done { value, virtual_ns }
+                }
+            }
+            Err(e) => Outcome::Failed(e),
+        }
+    }
+
+    /// Fold one terminal outcome into breaker, budget, and
+    /// accounting state. Every admitted unit must be finished
+    /// exactly once; replayed (journaled) outcomes go through here
+    /// too, so a resumed service walks the identical policy
+    /// trajectory.
+    pub fn finish<R, E>(&mut self, group: &str, outcome: &Outcome<R, E>) {
+        self.absorb(group, outcome);
+    }
+
     /// Run `items.len()` units of `group` under supervision,
     /// returning one [`Outcome`] per unit in index order.
     ///
@@ -346,21 +412,7 @@ impl Supervisor {
                 run(i, &items[i])
             });
             for (j, result) in fresh.iter().zip(results) {
-                let outcome = match result {
-                    Ok((value, virtual_ns)) => {
-                        if self
-                            .config
-                            .deadline_virtual_ns
-                            .is_some_and(|d| virtual_ns > d)
-                        {
-                            Outcome::DeadlineExceeded { virtual_ns }
-                        } else {
-                            Outcome::Done { value, virtual_ns }
-                        }
-                    }
-                    Err(e) => Outcome::Failed(e),
-                };
-                round[j - index] = Some(outcome);
+                round[j - index] = Some(self.judge(result));
             }
             for outcome in round {
                 let outcome = outcome.expect("every round slot resolved");
@@ -575,6 +627,58 @@ mod tests {
         for threads in 2..=8 {
             assert_eq!(run_at(threads), serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn single_unit_admission_matches_batch_policy() {
+        let _guard = crate::test_guard();
+        let config = SupervisorConfig {
+            breaker_threshold: 2,
+            max_tasks: Some(5),
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::new(config);
+        // Two consecutive failures open app-a's breaker.
+        for _ in 0..2 {
+            assert_eq!(sup.admit("app-a"), Admission::Granted);
+            let o: Outcome<u64, String> = sup.judge(Err("boom".to_string()));
+            sup.finish("app-a", &o);
+        }
+        assert_eq!(sup.admit("app-a"), Admission::RejectedBreakerOpen);
+        // Other groups still run — until the task budget (5) is gone.
+        for _ in 0..3 {
+            assert_eq!(sup.admit("app-b"), Admission::Granted);
+            let o: Outcome<u64, String> = sup.judge(Ok((1, 10)));
+            sup.finish("app-b", &o);
+        }
+        assert_eq!(sup.admit("app-b"), Admission::RejectedBudget);
+        assert!(sup.budget_exhausted());
+        // Budget outranks the breaker, mirroring run_units' gates.
+        assert_eq!(sup.admit("app-a"), Admission::RejectedBudget);
+        let report = sup.report();
+        assert_eq!(report.tasks_run, 5);
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.degraded_groups, vec!["app-a".to_string()]);
+    }
+
+    #[test]
+    fn judge_applies_the_deadline_demotion() {
+        let _guard = crate::test_guard();
+        let sup = Supervisor::new(SupervisorConfig {
+            deadline_virtual_ns: Some(100),
+            ..SupervisorConfig::default()
+        });
+        assert_eq!(
+            sup.judge(Ok::<_, String>((7u64, 99))),
+            Outcome::Done {
+                value: 7,
+                virtual_ns: 99
+            }
+        );
+        assert_eq!(
+            sup.judge(Ok::<_, String>((7u64, 101))),
+            Outcome::DeadlineExceeded { virtual_ns: 101 }
+        );
     }
 
     #[test]

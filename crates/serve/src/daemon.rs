@@ -1,0 +1,186 @@
+//! The Unix-socket daemon loop and the one-shot client.
+//!
+//! `serve` binds the socket, accepts connections on a nonblocking
+//! listener, and hands each connection to a thread that reads one
+//! framed [`Request`], runs it through the shared [`SessionEngine`],
+//! and streams the framed responses back. SIGTERM/SIGINT flip a
+//! drain flag: the accept loop stops, in-flight sessions finish and
+//! deliver, and the socket is removed. A SIGKILL skips all of that —
+//! which is exactly what the session journal plus `--resume` is for.
+
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::session::{ServeConfig, SessionEngine};
+use crate::wire::{self, Request, Response};
+use crate::{io_err, ServeError};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection read timeout: a client that connects and then
+/// never sends a frame cannot pin a worker thread past the drain.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Drain requested (SIGTERM/SIGINT or [`request_drain`]). Reset at
+/// every `serve` entry so one daemon's drain does not leak into the
+/// next.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // SIGTERM = 15, SIGINT = 2. Raw libc `signal` keeps the crate
+    // dependency-free; the handler only stores one atomic flag,
+    // which is async-signal-safe.
+    type SigHandler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+    unsafe {
+        signal(15, on_signal);
+        signal(2, on_signal);
+    }
+}
+
+/// Ask a running in-process daemon to drain (the test equivalent of
+/// `kill -TERM`).
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Run the daemon until drained. Lifecycle messages go to stderr;
+/// stdout stays clean.
+pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
+    let socket = config.socket.clone();
+    let (engine, resume) = SessionEngine::new(config)?;
+    let engine = Arc::new(engine);
+    if resume.replayed + resume.recomputed > 0 || resume.torn_records + resume.orphan_tmps > 0 {
+        eprintln!(
+            "serve: resume replayed {} session(s), recomputed {} interrupted, \
+             truncated {} torn record(s), swept {} orphan tmp(s)",
+            resume.replayed, resume.recomputed, resume.torn_records, resume.orphan_tmps
+        );
+    }
+
+    // A SIGKILL'd predecessor leaves its socket file behind; it is
+    // ours to replace.
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket)
+        .map_err(|e| io_err(format!("binding {}", socket.display()), e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("setting the listener nonblocking", e))?;
+    install_signal_handlers();
+    DRAIN.store(false, Ordering::SeqCst);
+    eprintln!("serve: listening on {}", socket.display());
+
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !DRAIN.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let engine = engine.clone();
+                workers.push(std::thread::spawn(move || {
+                    handle_connection(&engine, stream);
+                }));
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                let _ = std::fs::remove_file(&socket);
+                return Err(io_err("accepting a connection", e));
+            }
+        }
+    }
+
+    // Graceful drain: stop accepting, let in-flight sessions finish
+    // and deliver, then remove the socket.
+    eprintln!("serve: draining {} in-flight connection(s)", workers.len());
+    for handle in workers {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(&socket);
+    eprintln!("serve: drained");
+    Ok(())
+}
+
+/// One connection: read one request, serve it, stream the response.
+/// Panics are contained here as a last resort — the engine already
+/// isolates session panics, so anything reaching this guard is a
+/// wire-layer bug, and it still must not take the daemon down.
+fn handle_connection(engine: &SessionEngine, mut stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(engine, &mut stream)));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            gtpin_obs::counter_add("serve.connection_error", 1);
+            // Best effort: tell the client what went wrong before
+            // hanging up on it.
+            let _ = wire::write_message(
+                &mut stream,
+                &Response::Err {
+                    kind: "wire".to_string(),
+                    message: e.to_string(),
+                },
+            );
+        }
+        Err(_) => {
+            gtpin_obs::counter_add("serve.connection_panic", 1);
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn serve_connection(
+    engine: &SessionEngine,
+    stream: &mut UnixStream,
+) -> Result<(), wire::WireError> {
+    let Some(request) = wire::read_message::<_, Request>(stream)? else {
+        // Clean EOF before any frame: the peer connected and left.
+        return Ok(());
+    };
+    let key = request.session_key();
+    let result = engine.handle(&request);
+    match engine.deliver(&key, &result, stream) {
+        Ok(true) => {}
+        Ok(false) => {
+            // serve.conn_drop fired: this delivery is abandoned, but
+            // the result is journaled and cached — the daemon and its
+            // other sessions carry on.
+        }
+        Err(e) => return Err(e),
+    }
+    Ok(())
+}
+
+/// One-shot client: connect, submit `request`, collect the streamed
+/// responses until the terminal frame. The CLI's `gtpin request`
+/// subcommand is a thin wrapper over this.
+pub fn request_once(socket: &Path, request: &Request) -> Result<Vec<Response>, ServeError> {
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| io_err(format!("connecting to {}", socket.display()), e))?;
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    wire::write_message(&mut stream, request)?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+
+    let mut responses = Vec::new();
+    while let Some(response) = wire::read_message::<_, Response>(&mut stream)? {
+        let terminal = matches!(response, Response::Done | Response::Err { .. });
+        responses.push(response);
+        if terminal {
+            break;
+        }
+    }
+    Ok(responses)
+}

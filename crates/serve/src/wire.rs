@@ -1,0 +1,346 @@
+//! The `gtpin serve` wire protocol.
+//!
+//! One connection carries one session: the client writes a single
+//! framed [`Request`], the daemon streams framed [`Response`]
+//! messages back and closes. Frames reuse the workspace-wide
+//! `[len: u32 LE][fnv64: u64 LE][payload]` codec from
+//! [`gtpin_obs::frame`] — the exact framing the durable journal and
+//! the binary telemetry journal already tear-check — so a truncated
+//! or corrupted frame is always detected, never partially decoded.
+//! Payloads are externally-tagged JSON (the workspace serde).
+//!
+//! Robustness contract, pinned by `tests/prop_wire.rs`:
+//!
+//! - any request/response round-trips bit-exactly through
+//!   encode → decode;
+//! - truncating an encoded stream at **every** byte offset of its
+//!   final frame yields [`WireError::Torn`] for that frame (the
+//!   intact prefix still decodes) — never a panic, never a
+//!   partial decode;
+//! - flipping any payload byte is detected by the checksum.
+
+use gtpin_obs::frame::{frame_record, split_record, RecordSplit, RECORD_HEADER};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload. A daemon reading a
+/// length-prefix from an untrusted client must not allocate
+/// whatever the prefix claims; anything larger than this is a
+/// protocol violation, not an allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// One client request — one session of daemon work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Profile `app` once (native + instrumented) and report the
+    /// joined characterization.
+    Profile {
+        /// Application name (see `gtpin list`).
+        app: String,
+        /// Workload scale: `test` or `default`.
+        scale: String,
+    },
+    /// Explore all 30 interval/feature configurations of `app` and
+    /// report the error-minimizing and co-optimized selections.
+    Explore {
+        /// Application name.
+        app: String,
+        /// Workload scale: `test` or `default`.
+        scale: String,
+        /// Co-optimization error threshold, percent.
+        threshold_pct: f64,
+    },
+    /// Detailed-simulate the first `launches` launches of `app` and
+    /// report the deterministic stats digest.
+    Sim {
+        /// Application name.
+        app: String,
+        /// Max launches to simulate (0 = all).
+        launches: u64,
+    },
+    /// Run the static lints and the instrumentation-safety verifier
+    /// over every kernel of `app`.
+    Lint {
+        /// Application name.
+        app: String,
+    },
+}
+
+impl Request {
+    /// Stable label of the request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Profile { .. } => "profile",
+            Request::Explore { .. } => "explore",
+            Request::Sim { .. } => "sim",
+            Request::Lint { .. } => "lint",
+        }
+    }
+
+    /// The application this session is about — the supervisor's
+    /// breaker group, so one misbehaving app cannot poison the
+    /// daemon for every other app.
+    pub fn app(&self) -> &str {
+        match self {
+            Request::Profile { app, .. }
+            | Request::Explore { app, .. }
+            | Request::Sim { app, .. }
+            | Request::Lint { app } => app,
+        }
+    }
+
+    /// Deterministic session identity: equal requests share one key
+    /// (and therefore one journaled/memoized response), regardless
+    /// of which connection, thread, or daemon lifetime serves them.
+    pub fn session_key(&self) -> String {
+        match self {
+            Request::Profile { app, scale } => format!("profile/{app}/{scale}"),
+            Request::Explore {
+                app,
+                scale,
+                threshold_pct,
+            } => format!("explore/{app}/{scale}/{threshold_pct}"),
+            Request::Sim { app, launches } => format!("sim/{app}/{launches}"),
+            Request::Lint { app } => format!("lint/{app}"),
+        }
+    }
+}
+
+/// One framed daemon → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// One line-oriented piece of the session's report. The
+    /// concatenation of all chunks is the deterministic session
+    /// response — byte-identical between a fresh computation, a
+    /// memoized replay, and a crash-resumed daemon.
+    Chunk {
+        /// Report text (may span multiple lines).
+        text: String,
+    },
+    /// Terminal: the session completed. No volatile fields — a
+    /// resumed daemon's `Done` is bit-identical to a fresh one's.
+    Done,
+    /// Terminal: the session failed or was shed. `kind` matches the
+    /// CLI's `error[kind]` taxonomy (`busy`, `budget`, `deadline`,
+    /// `session`, `cli`, ...).
+    Err {
+        /// Stable error-kind label.
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Errors from the wire layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// A frame was truncated or failed its checksum.
+    Torn,
+    /// A frame's length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The claimed payload length.
+        claimed: usize,
+    },
+    /// A frame's payload was not a valid message.
+    BadPayload(String),
+    /// The underlying stream failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Torn => f.write_str("torn frame (truncated or checksum mismatch)"),
+            WireError::Oversized { claimed } => {
+                write!(f, "frame claims {claimed} bytes (max {MAX_FRAME})")
+            }
+            WireError::BadPayload(e) => write!(f, "bad frame payload: {e}"),
+            WireError::Io(e) => write!(f, "stream I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Encode one message as a single framed record.
+pub fn encode_message<T: Serialize>(message: &T) -> Result<Vec<u8>, WireError> {
+    let json = serde_json::to_string(message).map_err(|e| WireError::BadPayload(e.to_string()))?;
+    let mut out = Vec::with_capacity(RECORD_HEADER + json.len());
+    frame_record(json.as_bytes(), &mut out);
+    Ok(out)
+}
+
+/// Decode every framed payload in `bytes`. A torn tail fails the
+/// whole decode — byte-stream decoding is for tests and offline
+/// tooling; live connections read frame-at-a-time via
+/// [`read_message`].
+pub fn decode_payloads(bytes: &[u8]) -> Result<Vec<Vec<u8>>, WireError> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        match split_record(&bytes[offset..]) {
+            RecordSplit::Done => return Ok(out),
+            RecordSplit::Torn => return Err(WireError::Torn),
+            RecordSplit::Record { payload, consumed } => {
+                out.push(payload.to_vec());
+                offset += consumed;
+            }
+        }
+    }
+}
+
+/// Decode every framed message in `bytes`.
+pub fn decode_messages<T: Deserialize>(bytes: &[u8]) -> Result<Vec<T>, WireError> {
+    decode_payloads(bytes)?
+        .into_iter()
+        .map(|p| {
+            let text = std::str::from_utf8(&p).map_err(|e| WireError::BadPayload(e.to_string()))?;
+            serde_json::from_str(text).map_err(|e| WireError::BadPayload(e.to_string()))
+        })
+        .collect()
+}
+
+/// Write one framed message to a stream.
+pub fn write_message<W: Write, T: Serialize>(w: &mut W, message: &T) -> Result<(), WireError> {
+    let frame = encode_message(message)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one framed message off a stream. `Ok(None)` is a clean EOF
+/// *between* frames (the peer finished); EOF inside a frame, a
+/// checksum mismatch, or an oversized length prefix are errors —
+/// the torn-frame rules of the durable journal, applied to a live
+/// socket.
+pub fn read_message<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, WireError> {
+    let mut header = [0u8; RECORD_HEADER];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(WireError::Torn);
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { claimed: len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Torn
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let want = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    if gtpin_obs::frame::fnv64(&payload) != want {
+        return Err(WireError::Torn);
+    }
+    let text = std::str::from_utf8(&payload).map_err(|e| WireError::BadPayload(e.to_string()))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| WireError::BadPayload(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_a_stream() {
+        let req = Request::Explore {
+            app: "cb-gaussian-image".into(),
+            scale: "test".into(),
+            threshold_pct: 3.0,
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &req).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back: Request = read_message(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(back, req);
+        assert_eq!(read_message::<_, Request>(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn responses_stream_in_order() {
+        let msgs = vec![
+            Response::Chunk {
+                text: "line one\n".into(),
+            },
+            Response::Chunk {
+                text: "line two\n".into(),
+            },
+            Response::Done,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_message(&mut buf, m).unwrap();
+        }
+        let back: Vec<Response> = decode_messages(&buf).unwrap();
+        assert_eq!(back, msgs);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_message::<_, Response>(&mut cursor) {
+            Err(WireError::Oversized { .. }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_torn_not_a_panic() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Response::Done).unwrap();
+        for cut in 1..buf.len() {
+            let mut cursor = std::io::Cursor::new(&buf[..cut]);
+            match read_message::<_, Response>(&mut cursor) {
+                Err(WireError::Torn) => {}
+                other => panic!("cut {cut}: expected Torn, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn session_keys_are_identity() {
+        let a = Request::Sim {
+            app: "x".into(),
+            launches: 4,
+        };
+        let b = Request::Sim {
+            app: "x".into(),
+            launches: 4,
+        };
+        let c = Request::Sim {
+            app: "x".into(),
+            launches: 5,
+        };
+        assert_eq!(a.session_key(), b.session_key());
+        assert_ne!(a.session_key(), c.session_key());
+        assert_eq!(a.kind(), "sim");
+        assert_eq!(a.app(), "x");
+    }
+}

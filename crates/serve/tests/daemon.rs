@@ -1,0 +1,82 @@
+//! End-to-end daemon test: bind a real Unix socket, serve concurrent
+//! one-shot clients, then drain gracefully (the in-process version of
+//! `kill -TERM`).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gtpin_serve::wire::{Request, Response};
+use gtpin_serve::{request_drain, request_once, serve, ServeConfig};
+
+fn first_app() -> String {
+    workloads::all_specs()
+        .into_iter()
+        .next()
+        .expect("workloads exist")
+        .name
+        .to_string()
+}
+
+fn wait_for_socket(path: &PathBuf) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {path:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn daemon_serves_concurrent_clients_and_drains() {
+    let socket = std::env::temp_dir().join(format!("gtpin-serve-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let config = ServeConfig {
+        socket: socket.clone(),
+        ..ServeConfig::default()
+    };
+    let daemon = std::thread::spawn(move || serve(config));
+    wait_for_socket(&socket);
+
+    // Concurrent clients: two identical sims (second is a cache hit
+    // on the daemon side — same bytes either way) and one unknown app.
+    let app = first_app();
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let socket = socket.clone();
+            let app = app.clone();
+            std::thread::spawn(move || request_once(&socket, &Request::Sim { app, launches: 1 }))
+        })
+        .collect();
+    let sims: Vec<Vec<Response>> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread").expect("request succeeds"))
+        .collect();
+    assert_eq!(sims[0], sims[1], "identical requests get identical bytes");
+    assert!(matches!(sims[0].last(), Some(Response::Done)));
+    assert!(
+        sims[0]
+            .iter()
+            .any(|r| matches!(r, Response::Chunk { text } if text.contains("stats digest"))),
+        "sim report streamed: {:?}",
+        sims[0]
+    );
+
+    let err = request_once(
+        &socket,
+        &Request::Lint {
+            app: "no-such-app".to_string(),
+        },
+    )
+    .expect("request completes");
+    match err.last() {
+        Some(Response::Err { kind, .. }) => assert_eq!(kind, "cli"),
+        other => panic!("expected typed error frame, got {other:?}"),
+    }
+
+    // Graceful drain: the daemon exits cleanly and removes its socket.
+    request_drain();
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+    assert!(!socket.exists(), "drained daemon removes its socket");
+}

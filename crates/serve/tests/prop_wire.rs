@@ -1,0 +1,165 @@
+//! Property tests for the serve wire protocol: arbitrary payloads
+//! round-trip bit-exactly, truncation at every byte offset of the
+//! final frame is rejected as torn (never a panic, never a partial
+//! decode), and payload corruption is caught by the checksum.
+
+use gtpin_obs::frame::frame_record;
+use gtpin_serve::wire::{
+    decode_messages, decode_payloads, read_message, write_message, Request, Response, WireError,
+};
+use proptest::prelude::*;
+
+fn arb_payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..6)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u8..4, any::<u64>(), 0u64..1000).prop_map(|(kind, ident, n)| {
+        let app = format!("app-{}", ident % 37);
+        match kind {
+            0 => Request::Profile {
+                app,
+                scale: if ident % 2 == 0 { "test" } else { "default" }.to_string(),
+            },
+            1 => Request::Explore {
+                app,
+                scale: "test".to_string(),
+                threshold_pct: (n as f64) / 10.0,
+            },
+            2 => Request::Sim { app, launches: n },
+            _ => Request::Lint { app },
+        }
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..3,
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..120),
+    )
+        .prop_map(|(kind, ident, bytes)| {
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            match kind {
+                0 => Response::Chunk { text },
+                1 => Response::Done,
+                _ => Response::Err {
+                    kind: format!("kind-{}", ident % 7),
+                    message: text,
+                },
+            }
+        })
+}
+
+fn frame_all(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in payloads {
+        frame_record(p, &mut out);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_payloads_round_trip(payloads in arb_payloads()) {
+        let bytes = frame_all(&payloads);
+        let back = decode_payloads(&bytes).expect("intact stream decodes");
+        prop_assert_eq!(back, payloads);
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip(
+        requests in prop::collection::vec(arb_request(), 1..5),
+        responses in prop::collection::vec(arb_response(), 1..5),
+    ) {
+        let mut buf = Vec::new();
+        for r in &requests {
+            write_message(&mut buf, r).expect("encodes");
+        }
+        let back: Vec<Request> = decode_messages(&buf).expect("decodes");
+        prop_assert_eq!(back, requests);
+
+        let mut buf = Vec::new();
+        for r in &responses {
+            write_message(&mut buf, r).expect("encodes");
+        }
+        let back: Vec<Response> = decode_messages(&buf).expect("decodes");
+        prop_assert_eq!(back, responses);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_of_the_final_frame_is_torn(
+        payloads in arb_payloads(),
+    ) {
+        let bytes = frame_all(&payloads);
+        let intact_prefix = frame_all(&payloads[..payloads.len() - 1]);
+        // Every cut strictly inside the final frame: the intact
+        // prefix still decodes, the tail is rejected as torn — and
+        // nothing panics or partial-decodes the torn frame.
+        for cut in intact_prefix.len() + 1..bytes.len() {
+            match decode_payloads(&bytes[..cut]) {
+                Err(WireError::Torn) => {}
+                other => prop_assert!(false, "cut {cut}: expected Torn, got {other:?}"),
+            }
+        }
+        // Cutting exactly at the frame boundary is a clean stream.
+        let clean = decode_payloads(&intact_prefix).expect("boundary cut decodes");
+        prop_assert_eq!(clean.len(), payloads.len() - 1);
+    }
+
+    #[test]
+    fn streaming_reader_yields_intact_prefix_then_torn(
+        requests in prop::collection::vec(arb_request(), 1..5),
+    ) {
+        let mut bytes = Vec::new();
+        for r in &requests {
+            write_message(&mut bytes, r).expect("encodes");
+        }
+        let mut prefix = Vec::new();
+        for r in &requests[..requests.len() - 1] {
+            write_message(&mut prefix, r).expect("encodes");
+        }
+        // At every cut inside the final frame, the streaming reader
+        // yields exactly the intact prefix messages, then Torn —
+        // never a clean EOF, never a partial decode.
+        for cut in prefix.len() + 1..bytes.len() {
+            let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+            let mut decoded: Vec<Request> = Vec::new();
+            let torn = loop {
+                match read_message::<_, Request>(&mut cursor) {
+                    Ok(Some(msg)) => decoded.push(msg),
+                    Ok(None) => break false,
+                    Err(WireError::Torn) => break true,
+                    Err(other) => {
+                        prop_assert!(false, "cut {cut}: unexpected {other:?}");
+                        unreachable!()
+                    }
+                }
+            };
+            prop_assert!(torn, "cut {cut}: truncated stream read to clean EOF");
+            prop_assert_eq!(&decoded[..], &requests[..requests.len() - 1]);
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_detected(
+        request in arb_request(),
+        flip in any::<u64>(),
+    ) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &request).expect("encodes");
+        // Flip one bit somewhere in the payload region (past the
+        // 12-byte header): the checksum must catch it.
+        let header = 12usize;
+        if buf.len() > header {
+            let at = header + (flip as usize) % (buf.len() - header);
+            buf[at] ^= 1 << (flip % 8);
+            match decode_messages::<Request>(&buf) {
+                Err(WireError::Torn) => {}
+                other => prop_assert!(false, "expected Torn after corruption, got {other:?}"),
+            }
+        }
+    }
+}

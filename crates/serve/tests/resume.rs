@@ -1,0 +1,118 @@
+//! SIGKILL/resume bit-identity: a daemon killed mid-session and
+//! restarted with `--resume` must deliver responses byte-identical
+//! to an uninterrupted daemon, at every `GTPIN_THREADS` 1..=8.
+//!
+//! The kill is simulated the way a real SIGKILL manifests: the
+//! journal holds a Finish for the completed session and a Start
+//! without a Finish for the interrupted one.
+
+use gtpin_durable::Journal;
+use gtpin_serve::wire::{write_message, Request};
+use gtpin_serve::{ServeConfig, SessionEngine, SessionRecord, SessionResult};
+
+fn first_app() -> String {
+    workloads::all_specs()
+        .into_iter()
+        .next()
+        .expect("workloads exist")
+        .name
+        .to_string()
+}
+
+fn requests(app: &str) -> Vec<Request> {
+    vec![
+        Request::Explore {
+            app: app.to_string(),
+            scale: "test".to_string(),
+            threshold_pct: 3.0,
+        },
+        Request::Sim {
+            app: app.to_string(),
+            launches: 1,
+        },
+        Request::Lint {
+            app: app.to_string(),
+        },
+    ]
+}
+
+/// The exact bytes a client reads for `result`: every response frame,
+/// wire-encoded.
+fn delivered_bytes(result: &SessionResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    for frame in result.responses() {
+        write_message(&mut out, &frame).expect("encodes");
+    }
+    out
+}
+
+#[test]
+fn resumed_responses_are_bit_identical_at_every_thread_count() {
+    let app = first_app();
+    let reqs = requests(&app);
+
+    // Uninterrupted reference at threads=1. Exploration is
+    // deterministic across thread counts by contract (pinned by the
+    // selection crate's own proptests), so one reference serves all.
+    let (reference, _) = SessionEngine::new(ServeConfig::default()).expect("reference engine");
+    let expect: Vec<Vec<u8>> = reqs
+        .iter()
+        .map(|r| delivered_bytes(&reference.handle(r)))
+        .collect();
+
+    for threads in 1..=8usize {
+        let dir = std::env::temp_dir().join(format!(
+            "gtpin-serve-resume-{}-t{threads}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The pre-kill daemon: completes the explore session, then is
+        // "SIGKILL'd" while sim and lint are in flight — their Start
+        // records are journaled, their Finish records never land.
+        {
+            let (journaled, _) = SessionEngine::new(ServeConfig {
+                journal_dir: Some(dir.clone()),
+                threads,
+                ..ServeConfig::default()
+            })
+            .expect("journaled engine");
+            let r = journaled.handle(&reqs[0]);
+            assert!(!r.is_err(), "explore at threads={threads} failed: {r:?}");
+        }
+        {
+            let (mut j, _) = Journal::recover(&dir).expect("journal recovers");
+            for req in &reqs[1..] {
+                let start = SessionRecord::Start {
+                    key: req.session_key(),
+                    request: req.clone(),
+                };
+                j.append(serde_json::to_string(&start).unwrap().as_bytes())
+                    .expect("appends");
+            }
+        }
+
+        // Restart with --resume: the explore replays from its Finish
+        // record, the interrupted sessions recompute.
+        let (resumed, report) = SessionEngine::new(ServeConfig {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            threads,
+            ..ServeConfig::default()
+        })
+        .expect("resumed engine");
+        assert_eq!(report.replayed, 1, "threads={threads}");
+        assert_eq!(report.recomputed, 2, "threads={threads}");
+
+        for (req, want) in reqs.iter().zip(&expect) {
+            let got = delivered_bytes(&resumed.handle(req));
+            assert_eq!(
+                &got,
+                want,
+                "threads={threads}: resumed {} response differs from uninterrupted run",
+                req.kind()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -61,6 +61,26 @@
 //! gtpin faults-matrix [--seed N]      run the workload suite under every
 //!                                     GTPIN_FAULTS scenario twice and
 //!                                     assert the degradation contract
+//! gtpin serve [options]               run the profiling daemon on a Unix
+//!                                     socket until SIGTERM/SIGINT drains
+//!                                     it (admission knobs come from
+//!                                     GTPIN_DEADLINE_MS, GTPIN_BREAKER,
+//!                                     GTPIN_MAX_TASKS,
+//!                                     GTPIN_MAX_VIRTUAL_MS)
+//!     --socket <path>                 socket path (default
+//!                                     target/gtpin.sock)
+//!     --journal <dir>                 journal sessions to a fresh dir
+//!     --resume <dir>                  recover <dir>: replay completed
+//!                                     sessions, recompute interrupted
+//!                                     ones; responses are bit-identical
+//!                                     to an uninterrupted daemon
+//!     --max-sessions <n>              concurrent-session cap (default 8);
+//!                                     the n+1th sheds error[busy]
+//! gtpin request <kind> <app> [opts]   submit one request to a running
+//!                                     daemon and stream the response;
+//!                                     exits nonzero on error[*] payloads
+//!     kinds: profile [--scale s], explore [--scale s] [--threshold pct],
+//!            sim [--launches n], lint; --socket <path> selects the daemon
 //! ```
 
 use gtpin_suite::device::{Gpu, GpuConfig};
@@ -79,10 +99,11 @@ use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Malformed thread-count variables fail loudly before any work
+    // Malformed GTPIN_* numeric knobs fail loudly before any work
     // runs — the library getters clamp leniently, but a user who set
-    // GTPIN_THREADS=four deserves an error, not a silent serial run.
-    if let Err(e) = gtpin_suite::par::validate_threads_env() {
+    // GTPIN_THREADS=four or GTPIN_DEADLINE_MS=fast deserves an
+    // error, not a silently ignored knob.
+    if let Err(e) = gtpin_suite::par::validate_env() {
         let e: GtPinError = e.into();
         eprintln!("error[{}]: {e}", e.kind());
         std::process::exit(1);
@@ -101,9 +122,11 @@ fn main() {
         Some("obs-convert") => cmd_obs_convert(&args[1..]),
         Some("obs-timeline") => cmd_obs_timeline(&args[1..]),
         Some("faults-matrix") => cmd_faults_matrix(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gtpin <list|run|select|explore|sim|disasm|lint|luxmark|obs-report|obs-verify|obs-convert|obs-timeline|faults-matrix> [args]"
+                "usage: gtpin <list|run|select|explore|sim|disasm|lint|luxmark|obs-report|obs-verify|obs-convert|obs-timeline|faults-matrix|serve|request> [args]"
             );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
@@ -691,6 +714,86 @@ fn cmd_luxmark() -> CliResult {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> CliResult {
+    use gtpin_suite::serve::ServeConfig;
+    let socket = flag_value(args, "--socket")?
+        .map(PathBuf::from)
+        .unwrap_or_else(gtpin_suite::serve::default_socket);
+    let (journal_dir, resume) = parse_journal_flags(args)?;
+    let max_sessions: usize = flag_value(args, "--max-sessions")?
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(8);
+    gtpin_suite::serve::serve(ServeConfig {
+        socket,
+        journal_dir,
+        resume,
+        max_sessions,
+        supervisor: SupervisorConfig::from_env(),
+        threads: gtpin_suite::par::configured_threads(),
+    })?;
+    Ok(())
+}
+
+fn cmd_request(args: &[String]) -> CliResult {
+    use gtpin_suite::serve::wire::{Request, Response};
+    let kind = args
+        .first()
+        .map(String::as_str)
+        .ok_or("request needs a kind: profile, explore, sim, or lint")?;
+    let rest = &args[1..];
+    let socket = flag_value(rest, "--socket")?
+        .map(PathBuf::from)
+        .unwrap_or_else(gtpin_suite::serve::default_socket);
+    let positional = positional_args(rest, &["--socket", "--scale", "--threshold", "--launches"]);
+    let app = positional
+        .first()
+        .ok_or("request needs an application name; try `gtpin list`")?
+        .to_string();
+    // App and scale strings are validated daemon-side, where the
+    // typed error comes back as an in-band error[...] response.
+    let scale = flag_value(rest, "--scale")?
+        .unwrap_or("default")
+        .to_string();
+    let request = match kind {
+        "profile" => Request::Profile { app, scale },
+        "explore" => Request::Explore {
+            app,
+            scale,
+            threshold_pct: flag_value(rest, "--threshold")?
+                .map(str::parse)
+                .transpose()?
+                .unwrap_or(3.0),
+        },
+        "sim" => Request::Sim {
+            app,
+            launches: flag_value(rest, "--launches")?
+                .map(str::parse)
+                .transpose()?
+                .unwrap_or(0),
+        },
+        "lint" => Request::Lint { app },
+        other => {
+            return Err(format!(
+                "unknown request kind {other} (known: profile, explore, sim, lint)"
+            )
+            .into())
+        }
+    };
+
+    let responses = gtpin_suite::serve::request_once(&socket, &request)?;
+    for response in responses {
+        match response {
+            Response::Chunk { text } => print!("{text}"),
+            Response::Done => return Ok(()),
+            Response::Err { kind, message } => {
+                return Err(GtPinError::Remote { kind, message });
+            }
+        }
+    }
+    Err("connection closed before a terminal response".into())
+}
+
 /// One deterministic trial of the suite under a fault plan: every app
 /// profiled with full instrumentation, outcomes digested.
 struct MatrixRun {
@@ -879,6 +982,80 @@ fn matrix_sim_run(
     let accounting = faults::take_accounting();
     faults::disable();
     Ok((digest, accounting))
+}
+
+/// One deterministic trial of the serve engine under a fault plan: a
+/// fixed request list handled sequentially, every response delivered
+/// into a byte sink through the `serve.conn_drop` seam.
+struct ServeMatrixRun {
+    /// FNV digest over the engine's cached terminal results.
+    digest: u64,
+    /// Drained fault accounting for the trial.
+    accounting: Vec<(String, u64)>,
+    /// Sessions handled / completed / failed-with-typed-error.
+    sessions: usize,
+    done: usize,
+    failed: usize,
+    /// Deliveries abandoned by the conn-drop seam.
+    dropped_deliveries: usize,
+}
+
+fn matrix_serve_run(
+    apps: &[gtpin_suite::workloads::WorkloadSpec],
+    plan: Option<&faults::FaultPlan>,
+) -> Result<ServeMatrixRun, GtPinError> {
+    use gtpin_suite::serve::wire::Request;
+    use gtpin_suite::serve::{ServeConfig, SessionEngine};
+
+    match plan {
+        Some(p) => faults::install(p.clone()),
+        None => faults::disable(),
+    }
+    let (engine, _) = SessionEngine::new(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    })?;
+    let mut requests = Vec::new();
+    for spec in apps {
+        requests.push(Request::Sim {
+            app: spec.name.to_string(),
+            launches: 2,
+        });
+        requests.push(Request::Lint {
+            app: spec.name.to_string(),
+        });
+    }
+
+    let mut run = ServeMatrixRun {
+        digest: 0,
+        accounting: Vec::new(),
+        sessions: requests.len(),
+        done: 0,
+        failed: 0,
+        dropped_deliveries: 0,
+    };
+    for request in &requests {
+        let key = request.session_key();
+        let result = engine.handle(request);
+        if result.is_err() {
+            run.failed += 1;
+        } else {
+            run.done += 1;
+        }
+        let mut sink = Vec::new();
+        match engine.deliver(&key, &result, &mut sink) {
+            Ok(true) => {}
+            Ok(false) => run.dropped_deliveries += 1,
+            Err(e) => {
+                faults::disable();
+                return Err(GtPinError::Serve(e.into()));
+            }
+        }
+    }
+    run.digest = engine.response_digest();
+    run.accounting = faults::take_accounting();
+    faults::disable();
+    Ok(run)
 }
 
 fn cmd_faults_matrix(args: &[String]) -> CliResult {
@@ -1113,10 +1290,106 @@ fn cmd_faults_matrix(args: &[String]) -> CliResult {
         );
     }
 
+    // Serve scenarios: a fixed request list handled sequentially
+    // through one session engine, each response then delivered into
+    // a byte sink through the conn-drop seam. Crashed handlers must
+    // be isolated to typed error[session] results; dropped
+    // connections must not perturb the computed responses at all.
+    println!(
+        "\n{:21} {:>4} {:>4} {:>9} {:>9}  contract",
+        "serve scenario", "ok", "err", "injected", "recovered"
+    );
+    let serve_baseline = matrix_serve_run(&apps, None)?;
+    // Zero-rate equivalence: armed-but-quiescent serve seams run
+    // their check paths yet must reproduce the disabled baseline.
+    let serve_quiescent = matrix_serve_run(&apps, Some(&FaultPlan::quiescent(seed)))?;
+    if serve_quiescent.digest != serve_baseline.digest {
+        violations.push(
+            "serve zero-rate: armed-but-quiescent responses diverged from disabled baseline"
+                .to_string(),
+        );
+    }
+    let serve_scenarios: Vec<(&str, FaultPlan)> = vec![
+        (
+            "serve-session-crash",
+            FaultPlan::single(site::SERVE_SESSION_CRASH, 0.5, seed),
+        ),
+        (
+            "serve-conn-drop",
+            FaultPlan::single(site::SERVE_CONN_DROP, 0.5, seed),
+        ),
+    ];
+    for (name, plan) in &serve_scenarios {
+        let first = matrix_serve_run(&apps, Some(plan))?;
+        let second = matrix_serve_run(&apps, Some(plan))?;
+        let mut notes: Vec<&str> = vec!["replayed"];
+        if first.digest != second.digest || first.accounting != second.accounting {
+            violations.push(format!(
+                "{name}: two identically-seeded trials disagree \
+                 (digest {:#x} vs {:#x})",
+                first.digest, second.digest
+            ));
+        }
+        let injected: u64 = first
+            .accounting
+            .iter()
+            .filter(|(k, _)| k.starts_with("injected."))
+            .map(|(_, v)| v)
+            .sum();
+        let recovered: u64 = first
+            .accounting
+            .iter()
+            .filter(|(k, _)| k.starts_with("recovered.serve_"))
+            .map(|(_, v)| v)
+            .sum();
+        if injected == 0 || recovered == 0 {
+            violations.push(format!("{name}: no faults fired at its configured rate"));
+        }
+        match *name {
+            "serve-session-crash" => {
+                // Every request reaches exactly one terminal result:
+                // crashed handlers demote to error[session], nothing
+                // hangs, nothing takes a sibling session down.
+                if first.done + first.failed != first.sessions {
+                    violations.push(format!("{name}: some sessions never reached a terminal"));
+                } else {
+                    notes.push("all-accounted");
+                }
+                if first.failed == 0 {
+                    violations.push(format!("{name}: crashes fired but nothing was isolated"));
+                }
+            }
+            "serve-conn-drop" => {
+                // Drops are delivery-only: the computed responses are
+                // bit-identical to the no-fault baseline.
+                if first.digest != serve_baseline.digest {
+                    violations.push(format!(
+                        "{name}: computed responses diverged from the no-fault baseline"
+                    ));
+                } else {
+                    notes.push("baseline-identical");
+                }
+                if first.dropped_deliveries == 0 {
+                    violations.push(format!("{name}: no deliveries dropped at rate 0.5"));
+                }
+            }
+            _ => {}
+        }
+        println!(
+            "{:21} {:>4} {:>4} {:>9} {:>9}  {}",
+            name,
+            first.done,
+            first.failed,
+            injected,
+            recovered,
+            notes.join(", ")
+        );
+    }
+
     if violations.is_empty() {
         println!(
             "\nfaults-matrix: all {} scenarios honored the degradation contract",
-            scenarios.len() + journal_scenarios.len() + 1
+            scenarios.len() + journal_scenarios.len() + 1 + serve_scenarios.len()
         );
         Ok(())
     } else {

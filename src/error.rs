@@ -16,6 +16,7 @@ use gpu_device::jit::JitError;
 use gtpin_analyze::VerifyError;
 use gtpin_durable::JournalError;
 use gtpin_obs::reader::ObsError;
+use gtpin_serve::ServeError;
 use ocl_runtime::device::DeviceError;
 use ocl_runtime::runtime::RunError;
 use simpoint::SelectError;
@@ -48,6 +49,19 @@ pub enum GtPinError {
     /// The GTOBS01 telemetry journal failed CRC, version, or
     /// structural checks.
     Obs(ObsError),
+    /// The serving layer failed (socket, wire protocol, session
+    /// journal).
+    Serve(ServeError),
+    /// A served session failed on the daemon side; `kind` is the
+    /// daemon's `error[kind]` label reflected back through the
+    /// client, so scripts dispatch on remote failures exactly as on
+    /// local ones.
+    Remote {
+        /// The daemon's stable error-kind label.
+        kind: String,
+        /// The daemon's error message.
+        message: String,
+    },
     /// The run budget was exhausted; the partial-result report was
     /// already printed and the exit is nonzero by design.
     Budget(String),
@@ -62,8 +76,9 @@ pub enum GtPinError {
 impl GtPinError {
     /// Stable short label for the failing layer — the CLI prints
     /// `error[kind]: ...` so scripts can dispatch without parsing
-    /// prose.
-    pub fn kind(&self) -> &'static str {
+    /// prose. For [`GtPinError::Remote`] the label is whatever the
+    /// daemon reported, hence `&str` rather than `&'static str`.
+    pub fn kind(&self) -> &str {
         match self {
             GtPinError::Device(_) => "device",
             GtPinError::Exec(_) => "exec",
@@ -76,6 +91,8 @@ impl GtPinError {
             GtPinError::Pipeline(_) => "pipeline",
             GtPinError::Journal(_) => "journal",
             GtPinError::Obs(_) => "obs",
+            GtPinError::Serve(e) => e.kind(),
+            GtPinError::Remote { kind, .. } => kind,
             GtPinError::Budget(_) => "budget",
             GtPinError::Io(_) => "io",
             GtPinError::Json(_) => "json",
@@ -98,6 +115,8 @@ impl std::fmt::Display for GtPinError {
             GtPinError::Pipeline(e) => write!(f, "{e}"),
             GtPinError::Journal(e) => write!(f, "{e}"),
             GtPinError::Obs(e) => write!(f, "{e}"),
+            GtPinError::Serve(e) => write!(f, "{e}"),
+            GtPinError::Remote { message, .. } => f.write_str(message),
             GtPinError::Budget(s) => f.write_str(s),
             GtPinError::Io(e) => write!(f, "{e}"),
             GtPinError::Json(e) => write!(f, "{e}"),
@@ -120,6 +139,8 @@ impl std::error::Error for GtPinError {
             GtPinError::Pipeline(e) => Some(e),
             GtPinError::Journal(e) => Some(e),
             GtPinError::Obs(e) => Some(e),
+            GtPinError::Serve(e) => Some(e),
+            GtPinError::Remote { .. } => None,
             GtPinError::Budget(_) => None,
             GtPinError::Io(e) => Some(e),
             GtPinError::Json(e) => Some(e),
@@ -149,6 +170,7 @@ from_impl!(MergeError => Merge);
 from_impl!(PipelineError => Pipeline);
 from_impl!(JournalError => Journal);
 from_impl!(ObsError => Obs);
+from_impl!(ServeError => Serve);
 from_impl!(std::io::Error => Io);
 from_impl!(serde_json::Error => Json);
 from_impl!(String => Msg);

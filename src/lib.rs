@@ -18,6 +18,8 @@
 //!   registry,
 //! * [`durable`] — the crash-consistent write-ahead run journal
 //!   behind `gtpin explore --resume`,
+//! * [`serve`] — the `gtpin serve` profiling daemon: Unix-socket
+//!   protocol, admission control, journaled sessions with resume,
 //! * [`simpoint`] — SimPoint-style clustering,
 //! * [`selection`] — simulation subset selection,
 //! * [`workloads`] — the 25 benchmark applications.
@@ -35,6 +37,7 @@ pub use gtpin_durable as durable;
 pub use gtpin_faults as faults;
 pub use gtpin_obs as obs;
 pub use gtpin_par as par;
+pub use gtpin_serve as serve;
 pub use ocl_runtime as runtime;
 pub use simpoint;
 pub use subset_select as selection;
