@@ -81,8 +81,20 @@ impl RegSet {
     }
 
     /// Iterate the GRF registers in the set, in index order.
+    ///
+    /// Walks set bits directly via `trailing_zeros`, so iteration
+    /// cost is proportional to the population count, not the 128-bit
+    /// width — liveness and reaching facts are usually sparse.
     pub fn iter_regs(&self) -> impl Iterator<Item = Reg> + '_ {
-        (0..NUM_GRF).map(Reg).filter(|r| self.contains_reg(*r))
+        let mut bits = self.regs;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as u8;
+            bits &= bits - 1;
+            Some(Reg(i))
+        })
     }
 
     /// Iterate the flag registers in the set.
@@ -139,6 +151,13 @@ impl DefSet {
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
+    /// Remove index `i`. Out-of-capacity indices are a no-op.
+    pub fn remove(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+
     /// Whether the set contains index `i`.
     pub fn contains(&self, i: usize) -> bool {
         self.words
@@ -170,11 +189,21 @@ impl DefSet {
     }
 
     /// Iterate the member indices in ascending order.
+    ///
+    /// Per-word `trailing_zeros` walk: zero words cost one compare,
+    /// so sparse reaching facts iterate in O(members + words) rather
+    /// than O(capacity).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
-            (0..64)
-                .filter(move |b| (w >> b) & 1 == 1)
-                .map(move |b| wi * 64 + b)
+            let mut bits = *w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
         })
     }
 }
@@ -235,6 +264,21 @@ mod tests {
     }
 
     #[test]
+    fn iterators_walk_word_boundaries() {
+        let mut s = RegSet::EMPTY;
+        for i in [0u8, 63, 64, 127] {
+            s.insert_reg(Reg(i));
+        }
+        let regs: Vec<u8> = s.iter_regs().map(|r| r.0).collect();
+        assert_eq!(regs, vec![0, 63, 64, 127]);
+        let mut d = DefSet::empty(256);
+        for i in [0usize, 63, 64, 128, 255] {
+            d.insert(i);
+        }
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128, 255]);
+    }
+
+    #[test]
     fn defset_ops() {
         let mut a = DefSet::empty(130);
         a.insert(0);
@@ -248,5 +292,8 @@ mod tests {
         a.subtract(&b);
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 129]);
         assert!(!a.is_empty());
+        a.remove(0);
+        a.remove(10_000); // out of capacity: no-op, no panic
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![129]);
     }
 }

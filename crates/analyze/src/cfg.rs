@@ -68,7 +68,10 @@ impl<'a> Cfg<'a> {
                 .map(|&s| s as usize)
                 .unwrap_or(instrs.len());
             let last = &instrs[end - 1];
-            let target = || (end as i64 - 1 + 1 + last.branch_offset as i64) as usize;
+            let target = || {
+                last.branch_target(end - 1)
+                    .expect("jmpi/brc carry a branch target")
+            };
             match last.opcode {
                 Opcode::Jmpi => out.push(block_of_target(target())),
                 Opcode::Brc => {

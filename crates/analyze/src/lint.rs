@@ -12,13 +12,26 @@
 //! | GT004 | error    | no `eot` reachable from entry                  |
 //! | GT005 | error    | send byte count exceeds the descriptor limit   |
 //! | GT006 | warning  | predicated exec width exceeds producing `cmp`  |
+//! | GT007 | warning  | loop-invariant send repeats one message        |
+//! | GT008 | warning  | loop has no exit edge and no `eot`/`ret`       |
+//! | GT009 | warning  | loop-carried write dead on every loop exit     |
+//! | GT010 | warning  | exec width narrows inside a divergent loop     |
+//! | GT011 | warning  | proven trips × send bytes overflow descriptor  |
+//!
+//! GT007–GT011 are powered by the structural layer (dominators,
+//! natural loops, value ranges); GT011 tightens the per-message
+//! GT005 bound to the *cumulative* traffic of a loop whose trip
+//! count the range analysis proved.
 //!
 //! Diagnostics render as `severity[code] kernel bbN instr I: message`
 //! for humans and serialize to JSON objects for machines.
 
 use crate::bitset::RegSet;
 use crate::cfg::Cfg;
+use crate::dominators::Dominators;
 use crate::liveness::Liveness;
+use crate::loops::{LoopForest, TripCount};
+use crate::range::ValueRanges;
 use crate::reaching::{DefTarget, ReachingDefs};
 use gen_isa::validate::validate_all;
 use gen_isa::{DecodeError, KernelBinary, KernelMetadata, Opcode, Reg, SendDescriptor};
@@ -64,6 +77,25 @@ pub enum LintCode {
     /// A predicated instruction is wider than every `cmp` that can
     /// produce its flag, so the high lanes run on stale flag bits.
     ExecPredWidthMismatch,
+    /// A send inside a loop whose operands (and predicate) are all
+    /// loop-invariant: the identical message repeats every iteration
+    /// and could be hoisted.
+    LoopInvariantSend,
+    /// A natural loop with no edge leaving its body and no `eot` or
+    /// `ret` inside: once entered, the thread can never leave.
+    BackedgeNoExitCond,
+    /// An unpredicated register write inside a loop whose value is
+    /// dead on every loop-exit edge: the loop-carried work never
+    /// escapes the loop.
+    DeadLoopWrite,
+    /// An instruction narrower than the `cmp` steering a divergent
+    /// loop's backedge: the dropped lanes silently stop
+    /// participating.
+    NarrowingInDivergentLoop,
+    /// A loop with a range-proven trip count whose cumulative send
+    /// traffic (trips × bytes) overflows the descriptor limit, even
+    /// though each individual message is within bounds.
+    RangeProvenSendOverflow,
 }
 
 impl LintCode {
@@ -77,6 +109,11 @@ impl LintCode {
             LintCode::EotUnreachable => "GT004",
             LintCode::SendBytesOverflow => "GT005",
             LintCode::ExecPredWidthMismatch => "GT006",
+            LintCode::LoopInvariantSend => "GT007",
+            LintCode::BackedgeNoExitCond => "GT008",
+            LintCode::DeadLoopWrite => "GT009",
+            LintCode::NarrowingInDivergentLoop => "GT010",
+            LintCode::RangeProvenSendOverflow => "GT011",
         }
     }
 
@@ -89,7 +126,12 @@ impl LintCode {
             LintCode::UninitializedRead
             | LintCode::DeadWrite
             | LintCode::UnreachableBlock
-            | LintCode::ExecPredWidthMismatch => Severity::Warning,
+            | LintCode::ExecPredWidthMismatch
+            | LintCode::LoopInvariantSend
+            | LintCode::BackedgeNoExitCond
+            | LintCode::DeadLoopWrite
+            | LintCode::NarrowingInDivergentLoop
+            | LintCode::RangeProvenSendOverflow => Severity::Warning,
         }
     }
 }
@@ -364,6 +406,211 @@ pub fn lint_flat(
         }
     }
 
+    // GT007–GT011 — the structural lints, over the loop forest.
+    let dom = Dominators::compute(&cfg);
+    let mut forest = LoopForest::compute(&cfg, &dom);
+    let ranges = ValueRanges::compute(&cfg, &dom, &forest);
+    forest.resolve_trips(&cfg, &|block, src| ranges.entry_range(block, src));
+
+    let mut narrowing_seen = vec![false; instrs.len()];
+    let mut dead_loop_seen = vec![false; instrs.len()];
+    for l in &forest.loops {
+        // Registers serving loop control (read by a cmp or a control
+        // instruction in the body): counters and bounds, excluded
+        // from the loop-carried lints to keep them quiet on the
+        // canonical counted shape.
+        let mut control_regs = RegSet::EMPTY;
+        for &b in &l.body {
+            for i in cfg.block_range(b) {
+                let instr = &instrs[i];
+                if instr.opcode == Opcode::Cmp || instr.opcode.is_control() {
+                    for r in instr.reads() {
+                        control_regs.insert_reg(r);
+                    }
+                }
+            }
+        }
+        // Registers and flags written anywhere in the body.
+        let mut written = RegSet::EMPTY;
+        for &b in &l.body {
+            for i in cfg.block_range(b) {
+                written.union_with(&crate::liveness::defs(&instrs[i]));
+            }
+        }
+        // Exit edges: body block → block outside the body.
+        let exit_edges: Vec<(usize, usize)> = l
+            .body
+            .iter()
+            .flat_map(|&b| {
+                cfg.succs(b)
+                    .iter()
+                    .filter(|&&s| !l.contains(s))
+                    .map(move |&s| (b, s))
+            })
+            .collect();
+
+        // GT008 — no way out of the loop.
+        if exit_edges.is_empty() {
+            let has_terminal = l.body.iter().any(|&b| {
+                cfg.block_range(b)
+                    .any(|i| matches!(instrs[i].opcode, Opcode::Eot | Opcode::Ret))
+            });
+            if !has_terminal {
+                diags.push(
+                    Diagnostic::new(
+                        LintCode::BackedgeNoExitCond,
+                        kernel,
+                        format!(
+                            "loop headed at bb{} has no exit edge and no eot/ret in its body; \
+                             once entered the thread spins forever",
+                            l.head
+                        ),
+                    )
+                    .at(l.head as u32, None),
+                );
+            }
+        }
+
+        // GT010 setup — widest in-loop cmp steering a backedge brc.
+        let mut steering_lanes = 0usize;
+        for &t in &l.tails {
+            let range = cfg.block_range(t);
+            let brc_at = range.end - 1;
+            let brc = &instrs[brc_at];
+            if brc.opcode != Opcode::Brc {
+                continue;
+            }
+            let Some(p) = brc.pred else { continue };
+            let lanes = reaching
+                .defs_of(brc_at, DefTarget::Flag(p.flag))
+                .filter_map(|d| d.site)
+                .filter(|&s| l.contains(cfg.block_of(s)))
+                .map(|s| instrs[s].exec_size.lanes())
+                .max()
+                .unwrap_or(0);
+            steering_lanes = steering_lanes.max(lanes);
+        }
+
+        for &b in &l.body {
+            for i in cfg.block_range(b) {
+                let instr = &instrs[i];
+
+                // GT007 — loop-invariant send: every register operand
+                // and the predicate flag (if any) are written nowhere
+                // in the body, so each iteration repeats one message.
+                if instr.opcode.is_send() {
+                    let operands_invariant = instr.reads().all(|r| !written.contains_reg(r));
+                    let pred_invariant = instr.pred.is_none_or(|p| !written.contains_flag(p.flag));
+                    if operands_invariant && pred_invariant {
+                        diags.push(
+                            Diagnostic::new(
+                                LintCode::LoopInvariantSend,
+                                kernel,
+                                format!(
+                                    "send in the loop headed at bb{} has only loop-invariant \
+                                     operands; the identical message repeats every iteration",
+                                    l.head
+                                ),
+                            )
+                            .at(b as u32, Some(i)),
+                        );
+                    }
+                }
+
+                // GT009 — loop-carried write dead on every exit. The
+                // value survives iterations (GT002 stays quiet) but
+                // never escapes the loop.
+                if !dead_loop_seen[i]
+                    && !instr.opcode.is_send()
+                    && instr.pred.is_none()
+                    && !exit_edges.is_empty()
+                {
+                    if let Some(d) = instr.dst {
+                        let escapes = exit_edges
+                            .iter()
+                            .any(|&(_, s)| liveness.block_in[s].contains_reg(d));
+                        // Only the self-update may read the register:
+                        // a value consumed by another body instruction
+                        // (a send payload, say) is real work.
+                        let consumed_elsewhere = l.body.iter().any(|&bb| {
+                            cfg.block_range(bb)
+                                .any(|j| j != i && instrs[j].reads().any(|r| r == d))
+                        });
+                        if liveness.live_out[i].contains_reg(d)
+                            && !escapes
+                            && !consumed_elsewhere
+                            && !control_regs.contains_reg(d)
+                        {
+                            dead_loop_seen[i] = true;
+                            diags.push(
+                                Diagnostic::new(
+                                    LintCode::DeadLoopWrite,
+                                    kernel,
+                                    format!(
+                                        "{d} is carried around the loop headed at bb{} but is \
+                                         dead on every loop exit; the loop's work never escapes",
+                                        l.head
+                                    ),
+                                )
+                                .at(b as u32, Some(i)),
+                            );
+                        }
+                    }
+                }
+
+                // GT010 — width narrowing under a divergent backedge.
+                if !narrowing_seen[i]
+                    && steering_lanes > 1
+                    && !instr.opcode.is_control()
+                    && instr.dst.is_some()
+                    && instr.exec_size.lanes() < steering_lanes
+                    && !instr.dst.is_some_and(|d| control_regs.contains_reg(d))
+                {
+                    narrowing_seen[i] = true;
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::NarrowingInDivergentLoop,
+                            kernel,
+                            format!(
+                                "exec width {} is narrower than the {}-lane cmp steering the \
+                                 loop at bb{}; the dropped lanes stop participating",
+                                instr.exec_size.lanes(),
+                                steering_lanes,
+                                l.head
+                            ),
+                        )
+                        .at(b as u32, Some(i)),
+                    );
+                }
+
+                // GT011 — proven cumulative send overflow.
+                if let (Some(desc), TripCount::Exact(trips)) = (instr.send, l.trips) {
+                    let cumulative = trips.saturating_mul(desc.bytes as u64);
+                    if desc.bytes <= SendDescriptor::MAX_BYTES
+                        && cumulative > SendDescriptor::MAX_BYTES as u64
+                    {
+                        diags.push(
+                            Diagnostic::new(
+                                LintCode::RangeProvenSendOverflow,
+                                kernel,
+                                format!(
+                                    "send moves {} bytes per iteration and the loop at bb{} is \
+                                     proven to run {} times: {} cumulative bytes overflow the \
+                                     descriptor limit of {}",
+                                    desc.bytes,
+                                    l.head,
+                                    trips,
+                                    cumulative,
+                                    SendDescriptor::MAX_BYTES
+                                ),
+                            )
+                            .at(b as u32, Some(i)),
+                        );
+                    }
+                }
+            }
+        }
+    }
     Ok(diags)
 }
 
@@ -532,6 +779,187 @@ mod tests {
         assert!(json.contains("\"code\":\"GT001\""), "{json}");
         assert!(json.contains("\"severity\":\"warning\""), "{json}");
         assert!(json.contains("\"instr\":3"), "{json}");
+    }
+
+    /// entry(mov r2=0) → body(…, add r2+=1, cmp r2<bound, brc→body) → exit.
+    /// `fill_body` populates the loop block before the counter triad.
+    fn counted(
+        bound: u32,
+        fill_body: impl FnOnce(&mut gen_isa::builder::BlockBuilder),
+    ) -> KernelBinary {
+        let mut b = KernelBuilder::new("loopy");
+        let entry = b.entry_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.block_mut(entry).mov(ExecSize::S1, Reg(2), Src::Imm(0));
+        b.set_terminator(entry, Terminator::Jump(body));
+        {
+            let bb = b.block_mut(body);
+            fill_body(bb);
+            bb.add(ExecSize::S1, Reg(2), Src::Reg(Reg(2)), Src::Imm(1))
+                .cmp(
+                    ExecSize::S1,
+                    CondMod::Lt,
+                    FlagReg::F0,
+                    Src::Reg(Reg(2)),
+                    Src::Imm(bound),
+                );
+        }
+        b.set_terminator(
+            body,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: body,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        k
+    }
+
+    #[test]
+    fn loop_invariant_send_warns_gt007() {
+        // The send's address (r1, an argument) is never written in the
+        // loop: the identical message repeats every iteration.
+        let k = counted(8, |bb| {
+            bb.send_read(ExecSize::S8, Reg(16), Reg(1), Surface::Global, 32);
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(codes(&diags).contains(&"GT007"), "{diags:?}");
+        // A send whose address advances each iteration is not invariant.
+        let k = counted(8, |bb| {
+            bb.add(ExecSize::S1, Reg(3), Src::Reg(Reg(3)), Src::Imm(32))
+                .send_read(ExecSize::S8, Reg(16), Reg(3), Surface::Global, 32);
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(!codes(&diags).contains(&"GT007"), "{diags:?}");
+    }
+
+    #[test]
+    fn inescapable_loop_warns_gt008() {
+        // entry → spin → spin, with eot only in an orphaned block.
+        let mut b = KernelBuilder::new("spin2");
+        let entry = b.entry_block();
+        let spin = b.new_block();
+        let orphan = b.new_block();
+        b.block_mut(entry).mov(ExecSize::S1, Reg(2), Src::Imm(0));
+        b.set_terminator(entry, Terminator::Jump(spin));
+        b.block_mut(spin)
+            .add(ExecSize::S1, Reg(2), Src::Reg(Reg(2)), Src::Imm(1));
+        b.set_terminator(spin, Terminator::Jump(spin));
+        b.block_mut(orphan).eot();
+        let k = b.build().unwrap();
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(codes(&diags).contains(&"GT008"), "{diags:?}");
+        // A counted loop has an exit edge: no GT008.
+        let k = counted(8, |_| {});
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(!codes(&diags).contains(&"GT008"), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_loop_accumulator_warns_gt009() {
+        // r10 accumulates every iteration but nothing outside the loop
+        // (or inside it, besides the self-update) ever reads it.
+        let mut k = counted(8, |bb| {
+            bb.add(ExecSize::S1, Reg(10), Src::Reg(Reg(10)), Src::Imm(3));
+        });
+        // Initialize r10 so GT001 stays quiet.
+        k.blocks[0].instrs.insert(0, {
+            let mut m = gen_isa::Instruction::new(Opcode::Mov, ExecSize::S1);
+            m.dst = Some(Reg(10));
+            m.srcs[0] = Src::Imm(0);
+            m
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(codes(&diags).contains(&"GT009"), "{diags:?}");
+        // Same accumulator consumed by an in-loop send: real work.
+        let mut k = counted(8, |bb| {
+            bb.add(ExecSize::S1, Reg(10), Src::Reg(Reg(10)), Src::Imm(3))
+                .send_write(ExecSize::S1, Reg(10), Reg(2), Surface::Global, 4);
+        });
+        k.blocks[0].instrs.insert(0, {
+            let mut m = gen_isa::Instruction::new(Opcode::Mov, ExecSize::S1);
+            m.dst = Some(Reg(10));
+            m.srcs[0] = Src::Imm(0);
+            m
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(!codes(&diags).contains(&"GT009"), "{diags:?}");
+    }
+
+    #[test]
+    fn narrowing_in_divergent_loop_warns_gt010() {
+        // SIMD8 cmp steers the backedge; a SIMD1 add in the body drops
+        // seven lanes.
+        let mut b = KernelBuilder::new("narrow");
+        let entry = b.entry_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.block_mut(entry)
+            .mov(ExecSize::S8, Reg(2), Src::Imm(0))
+            .mov(ExecSize::S8, Reg(4), Src::Imm(0));
+        b.set_terminator(entry, Terminator::Jump(body));
+        b.block_mut(body)
+            .add(ExecSize::S1, Reg(4), Src::Reg(Reg(4)), Src::Imm(1))
+            .add(ExecSize::S8, Reg(2), Src::Reg(Reg(2)), Src::Imm(1))
+            .cmp(
+                ExecSize::S8,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(2)),
+                Src::Imm(8),
+            );
+        b.set_terminator(
+            body,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: body,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit)
+            .send_write(ExecSize::S8, Reg(1), Reg(4), Surface::Global, 32)
+            .eot();
+        let mut k = b.build().unwrap();
+        k.metadata.num_args = 1;
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        let gt010: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::NarrowingInDivergentLoop)
+            .collect();
+        assert_eq!(gt010.len(), 1, "{diags:?}");
+        assert!(gt010[0].message.contains("8-lane"), "{}", gt010[0].message);
+        // A single-lane steering cmp is convergent: no GT010.
+        let k = counted(8, |bb| {
+            bb.add(ExecSize::S1, Reg(4), Src::Reg(Reg(4)), Src::Imm(1))
+                .send_write(ExecSize::S1, Reg(1), Reg(4), Surface::Global, 4);
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(!codes(&diags).contains(&"GT010"), "{diags:?}");
+    }
+
+    #[test]
+    fn proven_cumulative_send_overflow_warns_gt011() {
+        // 1 MiB per message × 32 proven trips = 32 MiB cumulative,
+        // past the 16 MiB descriptor limit — though each individual
+        // message is fine (no GT005).
+        let k = counted(32, |bb| {
+            bb.send_read(ExecSize::S8, Reg(16), Reg(1), Surface::Global, 1 << 20);
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(codes(&diags).contains(&"GT011"), "{diags:?}");
+        assert!(!codes(&diags).contains(&"GT005"), "{diags:?}");
+        // 8 trips × 1 MiB stays under the limit.
+        let k = counted(8, |bb| {
+            bb.send_read(ExecSize::S8, Reg(16), Reg(1), Surface::Global, 1 << 20);
+        });
+        let diags = lint_kernel(&k, &LintConfig::for_metadata(&k.metadata)).unwrap();
+        assert!(!codes(&diags).contains(&"GT011"), "{diags:?}");
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! Natural-loop detection and trip-count bounds.
+//!
+//! A backedge is a CFG edge `t → h` between reachable blocks where
+//! `h` dominates `t`. The natural loop of head `h` is `h` plus every
+//! block that reaches some backedge tail without passing through `h`.
+//! Loops sharing a head are merged; nesting follows body inclusion
+//! (the parent of a loop is the smallest loop strictly containing
+//! it). Retreating edges whose target does *not* dominate the source
+//! (irreducible control flow) form no natural loop — the value-range
+//! layer handles them by havocking conservatively.
+//!
+//! Trip counts come from the canonical counted-loop shape the JIT
+//! emits — an induction register stepped by `add r, r, #step`, a
+//! `cmp` producing the flag, and the backedge `brc` predicated on
+//! that flag — with initial and bound values taken from
+//! [`crate::range::ValueRanges`], so a bound loaded into a register
+//! before the loop still resolves when the range analysis proves it
+//! constant.
+
+use crate::cfg::Cfg;
+use crate::dominators::Dominators;
+use gen_isa::{CondMod, Opcode, Src};
+
+/// How well the analysis pinned a loop's iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripCount {
+    /// Proven exact body-execution count.
+    Exact(u64),
+    /// Proven upper bound (initial value or bound known only as an
+    /// interval).
+    AtMost(u64),
+    /// The pattern did not match or the ranges were unbounded.
+    Unknown,
+}
+
+impl TripCount {
+    /// Whether the analysis proved anything at all.
+    pub fn is_proven(&self) -> bool {
+        !matches!(self, TripCount::Unknown)
+    }
+
+    /// The proven count or bound, if any.
+    pub fn bound(&self) -> Option<u64> {
+        match *self {
+            TripCount::Exact(n) | TripCount::AtMost(n) => Some(n),
+            TripCount::Unknown => None,
+        }
+    }
+}
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Head (dominating) block.
+    pub head: usize,
+    /// Member blocks in ascending order; always contains `head`.
+    pub body: Vec<usize>,
+    /// Backedge tail blocks in ascending order.
+    pub tails: Vec<usize>,
+    /// Index of the smallest strictly-containing loop in
+    /// [`LoopForest::loops`], if any.
+    pub parent: Option<usize>,
+    /// Nesting depth: 1 for an outermost loop.
+    pub depth: u32,
+    /// Iteration bound, filled in by [`LoopForest::resolve_trips`].
+    pub trips: TripCount,
+}
+
+impl NaturalLoop {
+    /// Whether `block` belongs to this loop's body.
+    pub fn contains(&self, block: usize) -> bool {
+        self.body.binary_search(&block).is_ok()
+    }
+}
+
+/// Every natural loop of one CFG, plus per-block membership.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Loops ordered by ascending head block.
+    pub loops: Vec<NaturalLoop>,
+    /// Innermost loop index per block, if the block is in any loop.
+    pub innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Detect the natural loops of `cfg` using its dominator tree.
+    /// Trip counts start [`TripCount::Unknown`]; call
+    /// [`LoopForest::resolve_trips`] once ranges are available.
+    pub fn compute(cfg: &Cfg<'_>, dom: &Dominators) -> LoopForest {
+        let nb = cfg.num_blocks();
+        // Backedge tails grouped per head.
+        let mut tails_of: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for t in 0..nb {
+            if !cfg.reachable()[t] {
+                continue;
+            }
+            for &h in cfg.succs(t) {
+                if dom.dominates(h, t) {
+                    tails_of[h].push(t);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for h in 0..nb {
+            if tails_of[h].is_empty() {
+                continue;
+            }
+            // Body: h plus everything reaching a tail backwards
+            // without passing through h.
+            let mut in_body = vec![false; nb];
+            in_body[h] = true;
+            let mut stack: Vec<usize> = Vec::new();
+            for &t in &tails_of[h] {
+                if !in_body[t] {
+                    in_body[t] = true;
+                    stack.push(t);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if cfg.reachable()[p] && !in_body[p] {
+                        in_body[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                head: h,
+                body: (0..nb).filter(|&b| in_body[b]).collect(),
+                tails: tails_of[h].clone(),
+                parent: None,
+                depth: 1,
+                trips: TripCount::Unknown,
+            });
+        }
+
+        // Nesting: parent = smallest strictly-larger loop containing
+        // this loop's head. Heads are unique after merging, so body
+        // inclusion reduces to head membership.
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j || !loops[j].contains(loops[i].head) || loops[j].head == loops[i].head {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(k) => loops[j].body.len() < loops[k].body.len(),
+                };
+                if better {
+                    best = Some(j);
+                }
+            }
+            loops[i].parent = best;
+        }
+        for i in 0..loops.len() {
+            let mut depth = 1u32;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        // Innermost membership: smallest containing body, ties broken
+        // by head for determinism.
+        let mut innermost = vec![None; nb];
+        for (b, slot) in innermost.iter_mut().enumerate() {
+            for (i, l) in loops.iter().enumerate() {
+                if !l.contains(b) {
+                    continue;
+                }
+                let better = match *slot {
+                    None => true,
+                    Some(k) => {
+                        let k: usize = k;
+                        (l.body.len(), l.head) < (loops[k].body.len(), loops[k].head)
+                    }
+                };
+                if better {
+                    *slot = Some(i);
+                }
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// Total trip multiplier for `block`: the product of the trips of
+    /// every loop containing it, with `Unknown` loops contributing
+    /// `assumed` iterations. Saturates rather than wraps.
+    pub fn block_trip_product(&self, block: usize, assumed: u64) -> u64 {
+        let mut product = 1u64;
+        let mut cur = self.innermost[block];
+        while let Some(i) = cur {
+            let l = &self.loops[i];
+            let trips = l.trips.bound().unwrap_or(assumed).max(1);
+            product = product.saturating_mul(trips);
+            cur = l.parent;
+        }
+        product
+    }
+
+    /// Resolve trip counts via the counted-loop pattern.
+    ///
+    /// `entry_range_of(head, src)` must return the `[lo, hi]`
+    /// interval of `src` at the *entry* of loop-head block `head` —
+    /// the pre-havoc join over forward edges, so the induction
+    /// variable's initial value and a register bound loaded before
+    /// the loop both resolve. Immediates must map to exact
+    /// singletons.
+    pub fn resolve_trips(
+        &mut self,
+        cfg: &Cfg<'_>,
+        entry_range_of: &dyn Fn(usize, Src) -> (u32, u32),
+    ) {
+        for l in &mut self.loops {
+            l.trips = match_counted_loop(cfg, l, entry_range_of);
+        }
+    }
+}
+
+/// Match one loop against the canonical counted shape and bound its
+/// trips. Conservative: any deviation yields `Unknown`.
+fn match_counted_loop(
+    cfg: &Cfg<'_>,
+    l: &NaturalLoop,
+    entry_range_of: &dyn Fn(usize, Src) -> (u32, u32),
+) -> TripCount {
+    // Single backedge whose tail ends in a predicated brc. The tail
+    // runs on every iteration (it sources the backedge), which is
+    // what lets a step instruction inside it count iterations.
+    let [tail] = l.tails[..] else {
+        return TripCount::Unknown;
+    };
+    let range = cfg.block_range(tail);
+    let brc_at = range.end.wrapping_sub(1);
+    let Some(brc) = cfg.instrs.get(brc_at) else {
+        return TripCount::Unknown;
+    };
+    if brc.opcode != Opcode::Brc {
+        return TripCount::Unknown;
+    }
+    let Some(pred) = brc.pred else {
+        return TripCount::Unknown;
+    };
+    // Which edge continues the loop: the taken target, or the
+    // fallthrough?
+    let taken_block = brc
+        .branch_target(brc_at)
+        .map(|t| cfg.block_of(t))
+        .unwrap_or(usize::MAX);
+    let continue_on_true = if taken_block == l.head {
+        true
+    } else if tail + 1 == l.head {
+        false
+    } else {
+        return TripCount::Unknown;
+    };
+
+    // The cmp producing the flag, searched backwards within the tail.
+    let mut cmp_at = None;
+    for i in range.clone().rev().skip(1) {
+        let instr = &cfg.instrs[i];
+        if instr.opcode == Opcode::Cmp && instr.flag == Some(pred.flag) {
+            cmp_at = Some(i);
+            break;
+        }
+    }
+    let Some(cmp_at) = cmp_at else {
+        return TripCount::Unknown;
+    };
+    let cmp = &cfg.instrs[cmp_at];
+    let Some(cond) = cmp.cond else {
+        return TripCount::Unknown;
+    };
+    let Src::Reg(ivar) = cmp.srcs[0] else {
+        return TripCount::Unknown;
+    };
+    // A register bound must be loop-invariant for its entry range to
+    // describe every iteration.
+    if let Src::Reg(bound_reg) = cmp.srcs[1] {
+        for &b in &l.body {
+            for i in cfg.block_range(b) {
+                if cfg.instrs[i].dst == Some(bound_reg) {
+                    return TripCount::Unknown;
+                }
+            }
+        }
+    }
+
+    // The induction step: exactly one write to `ivar` anywhere in the
+    // loop, an unpredicated `add ivar, ivar, #step` in the tail block
+    // (so it executes exactly once per iteration).
+    let mut step_site: Option<(usize, u64)> = None;
+    for &b in &l.body {
+        for i in cfg.block_range(b) {
+            let instr = &cfg.instrs[i];
+            if instr.dst != Some(ivar) {
+                continue;
+            }
+            if step_site.is_some()
+                || b != tail
+                || instr.opcode != Opcode::Add
+                || instr.pred.is_some()
+                || instr.srcs[0] != Src::Reg(ivar)
+            {
+                return TripCount::Unknown;
+            }
+            let Src::Imm(s) = instr.srcs[1] else {
+                return TripCount::Unknown;
+            };
+            if s == 0 {
+                return TripCount::Unknown;
+            }
+            step_site = Some((i, s as u64));
+        }
+    }
+    let Some((add_at, step)) = step_site else {
+        return TripCount::Unknown;
+    };
+
+    // Continue-condition on the compared value: `negate == false`
+    // means the loop continues while `ivar cond bound` holds; the
+    // predicate inversion and the exit-on-taken case both flip it.
+    let negate = !(pred.invert ^ continue_on_true);
+    let (init_lo, init_hi) = entry_range_of(l.head, Src::Reg(ivar));
+    let (bound_lo, bound_hi) = entry_range_of(l.head, cmp.srcs[1]);
+
+    // Value observed by the cmp at the k-th evaluation (k = 1, 2, …):
+    // `first + (k-1)·step`, where `first` includes the step when the
+    // add precedes the cmp in the tail.
+    let stepped_first = add_at < cmp_at;
+    let first_of = |init: u64| init + if stepped_first { step } else { 0 };
+    // Reject wrap-around: the model walks in u64 but the machine
+    // wraps in u32, so the walk must stay below 2³² until it crosses
+    // the bound.
+    let no_wrap = |bound: u64, slack: u64| bound + slack <= u32::MAX as u64 + 1;
+
+    // Trips = smallest k whose evaluation fails the
+    // continue-condition; the body always runs at least once (the
+    // decision sits at the tail).
+    let ceil_div = |a: u64, b: u64| a / b + u64::from(!a.is_multiple_of(b));
+    let trips_from = |init: u64, bound: u64| -> Option<u64> {
+        let first = first_of(init);
+        match (cond, negate) {
+            // while v < bound
+            (CondMod::Lt, false) | (CondMod::Ge, true) => {
+                if first >= bound {
+                    Some(1)
+                } else if no_wrap(bound, step) {
+                    Some(1 + ceil_div(bound - first, step))
+                } else {
+                    None
+                }
+            }
+            // while v <= bound
+            (CondMod::Le, false) | (CondMod::Gt, true) => {
+                if first > bound {
+                    Some(1)
+                } else if no_wrap(bound, step + 1) {
+                    Some(1 + ceil_div(bound + 1 - first, step))
+                } else {
+                    None
+                }
+            }
+            // while v != bound — bounded only when the walk hits it.
+            (CondMod::Ne, false) | (CondMod::Eq, true) => {
+                if bound < first || !(bound - first).is_multiple_of(step) {
+                    None
+                } else {
+                    Some(1 + (bound - first) / step)
+                }
+            }
+            _ => None,
+        }
+    };
+
+    if init_lo == init_hi && bound_lo == bound_hi {
+        match trips_from(init_lo as u64, bound_lo as u64) {
+            Some(n) => TripCount::Exact(n),
+            None => TripCount::Unknown,
+        }
+    } else if bound_hi == u32::MAX {
+        // A bound interval reaching u32::MAX is TOP-ish: the "upper
+        // bound" it would prove (≈2³² trips) is vacuous and would
+        // swamp the cost model, so report Unknown and let the assumed
+        // default apply.
+        TripCount::Unknown
+    } else {
+        // Worst case over the intervals: the smallest initial value
+        // against the largest bound runs longest.
+        match trips_from(init_lo as u64, bound_hi as u64) {
+            Some(n) => TripCount::AtMost(n),
+            None => TripCount::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::{ExecSize, FlagReg, KernelBinary, Reg, Terminator};
+
+    /// entry(mov r2=0) → head(add r2+=1; cmp r2<8; brc head|exit) → exit.
+    fn counted_loop(step: u32, bound: u32, cond: CondMod) -> KernelBinary {
+        let mut b = KernelBuilder::new("counted");
+        let entry = b.entry_block();
+        let head = b.new_block();
+        let exit = b.new_block();
+        b.block_mut(entry).mov(ExecSize::S1, Reg(2), Src::Imm(0));
+        b.set_terminator(entry, Terminator::Jump(head));
+        b.block_mut(head)
+            .add(ExecSize::S1, Reg(2), Src::Reg(Reg(2)), Src::Imm(step))
+            .cmp(
+                ExecSize::S1,
+                cond,
+                FlagReg::F0,
+                Src::Reg(Reg(2)),
+                Src::Imm(bound),
+            );
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        b.build().unwrap()
+    }
+
+    /// Ranges oracle for the fixture: r2 starts exact 0, immediates
+    /// are exact, everything else TOP.
+    fn fixture_ranges(_i: usize, src: Src) -> (u32, u32) {
+        match src {
+            Src::Imm(v) => (v, v),
+            Src::Reg(Reg(2)) => (0, 0),
+            _ => (0, u32::MAX),
+        }
+    }
+
+    #[test]
+    fn detects_loop_and_exact_trips() {
+        let flat = counted_loop(1, 8, CondMod::Lt).flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let mut forest = LoopForest::compute(&cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.head, 1);
+        assert_eq!(l.body, vec![1]);
+        assert_eq!(l.tails, vec![1]);
+        assert_eq!(l.depth, 1);
+        assert_eq!(forest.innermost[0], None);
+        assert_eq!(forest.innermost[1], Some(0));
+
+        forest.resolve_trips(&cfg, &fixture_ranges);
+        // r2 walks 1..=8; cmp sees 1,2,…; continues while < 8 → the
+        // 8th evaluation (r2 = 8) exits. 8 trips.
+        assert_eq!(forest.loops[0].trips, TripCount::Exact(8));
+        assert_eq!(forest.block_trip_product(1, 16), 8);
+        assert_eq!(forest.block_trip_product(0, 16), 1);
+    }
+
+    #[test]
+    fn le_and_ne_conditions() {
+        let flat = counted_loop(1, 8, CondMod::Le).flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let mut forest = LoopForest::compute(&cfg, &dom);
+        forest.resolve_trips(&cfg, &fixture_ranges);
+        assert_eq!(forest.loops[0].trips, TripCount::Exact(9));
+
+        let flat = counted_loop(2, 8, CondMod::Ne).flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let mut forest = LoopForest::compute(&cfg, &dom);
+        forest.resolve_trips(&cfg, &fixture_ranges);
+        // r2 walks 2,4,6,8 → exits at the 4th evaluation.
+        assert_eq!(forest.loops[0].trips, TripCount::Exact(4));
+    }
+
+    #[test]
+    fn top_bound_interval_is_unknown_not_vacuous() {
+        // Same shape but the bound lives in r3, which the oracle only
+        // knows as TOP: no ≈2³² "bound", just Unknown.
+        let mut b = KernelBuilder::new("topbound");
+        let entry = b.entry_block();
+        let head = b.new_block();
+        let exit = b.new_block();
+        b.block_mut(entry).mov(ExecSize::S1, Reg(2), Src::Imm(0));
+        b.set_terminator(entry, Terminator::Jump(head));
+        b.block_mut(head)
+            .add(ExecSize::S1, Reg(2), Src::Reg(Reg(2)), Src::Imm(1))
+            .cmp(
+                ExecSize::S1,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(2)),
+                Src::Reg(Reg(3)),
+            );
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        let flat = b.build().unwrap().flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let mut forest = LoopForest::compute(&cfg, &dom);
+        forest.resolve_trips(&cfg, &fixture_ranges);
+        assert_eq!(forest.loops[0].trips, TripCount::Unknown);
+    }
+
+    #[test]
+    fn unknown_when_shape_deviates() {
+        let flat = counted_loop(1, 8, CondMod::Gt).flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let mut forest = LoopForest::compute(&cfg, &dom);
+        forest.resolve_trips(&cfg, &fixture_ranges);
+        // `while v > bound` with v counting up from 0: not a shape we
+        // bound (it would either exit immediately or never).
+        assert_eq!(forest.loops[0].trips, TripCount::Unknown);
+    }
+}

@@ -1,0 +1,450 @@
+//! Value-range analysis over GRF registers.
+//!
+//! A lightweight forward interval analysis feeding the trip-count
+//! matcher ([`crate::loops`]), the static cost model
+//! ([`crate::cost`]) and the range-powered lints. Facts are unsigned
+//! `[lo, hi]` intervals per register — the ISA compares unsigned
+//! ([`gen_isa::CondMod`]), so unsigned intervals match the machine.
+//!
+//! One forward pass in reverse post-order propagates facts along
+//! *forward* edges only; cyclic flow is made sound by havocking at
+//! the points where a retreating edge lands:
+//!
+//! * a natural-loop head havocs exactly the registers its loop
+//!   clobbers (loop-invariant registers keep their intervals through
+//!   the loop);
+//! * a block entered by a retreating edge that is *not* a backedge
+//!   (irreducible control flow) havocs everything.
+//!
+//! The pre-havoc join at each block — [`ValueRanges::entry_range`] —
+//! is the loop-*entry* state at a head: exactly what the trip-count
+//! matcher needs for induction-variable initial values and
+//! loop-invariant bounds.
+//!
+//! Registers model the per-lane-uniform approximation: a SIMD
+//! register gets one interval covering lane 0 (the lane branch
+//! decisions consult). Predicated writes join instead of replacing.
+
+use crate::cfg::Cfg;
+use crate::dominators::Dominators;
+use crate::liveness::defs;
+use crate::loops::LoopForest;
+use gen_isa::{Instruction, Opcode, OpcodeCategory, Src, NUM_GRF};
+
+/// An unsigned interval `[lo, hi]`, inclusive on both ends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u32,
+    /// Largest possible value.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// The unconstrained interval.
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u32::MAX,
+    };
+
+    /// A singleton interval.
+    pub fn exact(v: u32) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The value, when the interval is a singleton.
+    pub fn as_exact(&self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether nothing is known.
+    pub fn is_top(&self) -> bool {
+        *self == Interval::TOP
+    }
+
+    /// Least upper bound.
+    pub fn join(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.as_exact() {
+            Some(v) => write!(f, "{v}"),
+            None if self.is_top() => f.write_str("⊤"),
+            None => write!(f, "[{}, {}]", self.lo, self.hi),
+        }
+    }
+}
+
+/// Per-block register intervals for one kernel.
+#[derive(Debug, Clone)]
+pub struct ValueRanges {
+    /// Post-havoc fact at each block's entry: sound at every point in
+    /// the block.
+    block_in: Vec<Vec<Interval>>,
+    /// Pre-havoc forward-edge join at each block's entry: at a loop
+    /// head, the loop-*entry* values.
+    forward_in: Vec<Vec<Interval>>,
+}
+
+impl ValueRanges {
+    /// Run the analysis. `dom` and `forest` must come from the same
+    /// `cfg`.
+    pub fn compute(cfg: &Cfg<'_>, dom: &Dominators, forest: &LoopForest) -> ValueRanges {
+        let nb = cfg.num_blocks();
+        let top = vec![Interval::TOP; NUM_GRF as usize];
+        let mut block_in = vec![top.clone(); nb];
+        let mut forward_in = vec![top.clone(); nb];
+        let mut out: Vec<Vec<Interval>> = vec![top.clone(); nb];
+
+        let mut rpo_index = vec![usize::MAX; nb];
+        for (i, &b) in cfg.rpo().iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        // Registers clobbered per loop, for head havoc.
+        let clobbered: Vec<Vec<bool>> = forest
+            .loops
+            .iter()
+            .map(|l| {
+                let mut c = vec![false; NUM_GRF as usize];
+                for &b in &l.body {
+                    for i in cfg.block_range(b) {
+                        for r in defs(&cfg.instrs[i]).iter_regs() {
+                            c[r.0 as usize] = true;
+                        }
+                    }
+                }
+                c
+            })
+            .collect();
+
+        for &b in cfg.rpo() {
+            if !cfg.reachable()[b] {
+                continue;
+            }
+            // Join over already-processed (forward-edge) predecessors.
+            let mut fact: Option<Vec<Interval>> = if b == 0 { Some(top.clone()) } else { None };
+            for &p in cfg.preds(b) {
+                if !cfg.reachable()[p] || rpo_index[p] >= rpo_index[b] {
+                    continue;
+                }
+                fact = Some(match fact {
+                    None => out[p].clone(),
+                    Some(mut f) => {
+                        for (slot, o) in f.iter_mut().zip(&out[p]) {
+                            *slot = slot.join(*o);
+                        }
+                        f
+                    }
+                });
+            }
+            let mut fact = fact.unwrap_or_else(|| top.clone());
+            forward_in[b] = fact.clone();
+
+            // Havoc for cyclic inflow.
+            let irreducible_inflow = cfg.preds(b).iter().any(|&p| {
+                cfg.reachable()[p] && rpo_index[p] >= rpo_index[b] && !dom.dominates(b, p)
+            });
+            if irreducible_inflow {
+                fact = top.clone();
+            } else if let Some(li) = forest.loops.iter().position(|l| l.head == b) {
+                for (slot, hit) in fact.iter_mut().zip(&clobbered[li]) {
+                    if *hit {
+                        *slot = Interval::TOP;
+                    }
+                }
+            }
+            block_in[b] = fact.clone();
+
+            for i in cfg.block_range(b) {
+                transfer(&cfg.instrs[i], &mut fact);
+            }
+            out[b] = fact;
+        }
+
+        ValueRanges {
+            block_in,
+            forward_in,
+        }
+    }
+
+    /// The pre-havoc `[lo, hi]` of `src` at the entry of `block` — at
+    /// a loop head, the loop-entry value. Immediates are exact.
+    pub fn entry_range(&self, block: usize, src: Src) -> (u32, u32) {
+        match src {
+            Src::Imm(v) => (v, v),
+            Src::Reg(r) if r.0 < NUM_GRF => {
+                let iv = self.forward_in[block][r.0 as usize];
+                (iv.lo, iv.hi)
+            }
+            _ => (0, u32::MAX),
+        }
+    }
+
+    /// Sound (post-havoc) interval of `src` just before instruction
+    /// `i`, recomputed by walking the block prefix.
+    pub fn range_before(&self, cfg: &Cfg<'_>, i: usize, src: Src) -> Interval {
+        match src {
+            Src::Imm(v) => Interval::exact(v),
+            Src::Reg(r) if r.0 < NUM_GRF => {
+                let b = cfg.block_of(i);
+                let mut fact = self.block_in[b].clone();
+                for j in cfg.block_range(b) {
+                    if j == i {
+                        break;
+                    }
+                    transfer(&cfg.instrs[j], &mut fact);
+                }
+                fact[r.0 as usize]
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Sound intervals at the entry of `block` (after loop-head
+    /// havoc).
+    pub fn block_entry(&self, block: usize) -> &[Interval] {
+        &self.block_in[block]
+    }
+}
+
+/// Interval of one source operand under `fact`.
+fn src_interval(src: Src, fact: &[Interval]) -> Interval {
+    match src {
+        Src::Imm(v) => Interval::exact(v),
+        Src::Reg(r) if r.0 < NUM_GRF => fact[r.0 as usize],
+        _ => Interval::TOP,
+    }
+}
+
+/// Apply one instruction to `fact`.
+fn transfer(instr: &Instruction, fact: &mut [Interval]) {
+    let Some(dst) = instr.dst else {
+        return;
+    };
+    if dst.0 >= NUM_GRF {
+        return;
+    }
+    let computed = eval_interval(instr, fact);
+    let slot = dst.0 as usize;
+    // A predicated write merges with the incumbent value.
+    fact[slot] = if instr.pred.is_some() {
+        fact[slot].join(computed)
+    } else {
+        computed
+    };
+}
+
+/// Abstract evaluation of one instruction's destination value.
+fn eval_interval(instr: &Instruction, fact: &[Interval]) -> Interval {
+    let op = instr.opcode;
+    match op.category() {
+        OpcodeCategory::Send | OpcodeCategory::Control => return Interval::TOP,
+        _ => {}
+    }
+    let a = src_interval(instr.srcs[0], fact);
+    let b = src_interval(instr.srcs[1], fact);
+    let c = src_interval(instr.srcs[2], fact);
+
+    // Singleton operands fold exactly through the ISA's own ALU
+    // semantics — always sound, any opcode.
+    match op.num_sources() {
+        1 => {
+            if let Some(av) = a.as_exact() {
+                return Interval::exact(op.eval_unary(av));
+            }
+        }
+        2 => {
+            if let (Some(av), Some(bv)) = (a.as_exact(), b.as_exact()) {
+                return Interval::exact(op.eval_binary(av, bv));
+            }
+        }
+        3 => {
+            if let (Some(av), Some(bv), Some(cv)) = (a.as_exact(), b.as_exact(), c.as_exact()) {
+                return Interval::exact(op.eval_ternary(av, bv, cv));
+            }
+        }
+        _ => {}
+    }
+
+    // Interval rules for the monotonic operations.
+    match op {
+        Opcode::Mov => a,
+        Opcode::Add => {
+            if (a.hi as u64) + (b.hi as u64) <= u32::MAX as u64 {
+                Interval {
+                    lo: a.lo + b.lo,
+                    hi: a.hi + b.hi,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        Opcode::Sub => {
+            if a.lo >= b.hi {
+                Interval {
+                    lo: a.lo - b.hi,
+                    hi: a.hi - b.lo,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        Opcode::Mul => {
+            if (a.hi as u64) * (b.hi as u64) <= u32::MAX as u64 {
+                Interval {
+                    lo: a.lo * b.lo,
+                    hi: a.hi * b.hi,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        Opcode::Min => Interval {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.min(b.hi),
+        },
+        Opcode::Max => Interval {
+            lo: a.lo.max(b.lo),
+            hi: a.hi.max(b.hi),
+        },
+        // `a & b` never exceeds either operand.
+        Opcode::And => Interval {
+            lo: 0,
+            hi: a.hi.min(b.hi),
+        },
+        // A right shift by an exact amount shifts both bounds.
+        Opcode::Shr => match b.as_exact() {
+            Some(s) => Interval {
+                lo: a.lo.wrapping_shr(s & 31),
+                hi: a.hi.wrapping_shr(s & 31),
+            },
+            None => Interval { lo: 0, hi: a.hi },
+        },
+        _ => Interval::TOP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominators::Dominators;
+    use gen_isa::builder::KernelBuilder;
+    use gen_isa::{CondMod, ExecSize, FlagReg, Reg, Terminator};
+
+    fn analyze(bin: &gen_isa::KernelBinary) -> (Vec<gen_isa::Instruction>, ValueRanges) {
+        let flat = bin.flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let vr = ValueRanges::compute(&cfg, &dom, &forest);
+        (flat.instrs.clone(), vr)
+    }
+
+    #[test]
+    fn straightline_constant_folding() {
+        let mut b = KernelBuilder::new("k");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .mov(ExecSize::S1, Reg(2), Src::Imm(5))
+            .add(ExecSize::S1, Reg(3), Src::Reg(Reg(2)), Src::Imm(7))
+            .mul(ExecSize::S1, Reg(4), Src::Reg(Reg(3)), Src::Imm(2))
+            .eot();
+        let bin = b.build().unwrap();
+        let flat = bin.flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let vr = ValueRanges::compute(&cfg, &dom, &forest);
+        // Just before the eot, r4 = (5+7)*2 = 24.
+        assert_eq!(
+            vr.range_before(&cfg, 3, Src::Reg(Reg(4))),
+            Interval::exact(24)
+        );
+        // An unwritten register stays TOP.
+        assert!(vr.range_before(&cfg, 3, Src::Reg(Reg(9))).is_top());
+    }
+
+    #[test]
+    fn loop_head_havocs_only_clobbered_registers() {
+        // entry: r2 = 0, r3 = 99; loop head: r2 += 1, cmp, brc.
+        let mut b = KernelBuilder::new("k");
+        let entry = b.entry_block();
+        let head = b.new_block();
+        let exit = b.new_block();
+        b.block_mut(entry)
+            .mov(ExecSize::S1, Reg(2), Src::Imm(0))
+            .mov(ExecSize::S1, Reg(3), Src::Imm(99));
+        b.set_terminator(entry, Terminator::Jump(head));
+        b.block_mut(head)
+            .add(ExecSize::S1, Reg(2), Src::Reg(Reg(2)), Src::Imm(1))
+            .cmp(
+                ExecSize::S1,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(2)),
+                Src::Imm(8),
+            );
+        b.set_terminator(
+            head,
+            Terminator::CondJump {
+                flag: FlagReg::F0,
+                invert: false,
+                taken: head,
+                fallthrough: exit,
+            },
+        );
+        b.block_mut(exit).eot();
+        let (_, vr) = analyze(&b.build().unwrap());
+        // Loop-invariant r3 keeps its value through the loop …
+        assert_eq!(vr.block_entry(1)[3], Interval::exact(99));
+        // … while the induction variable r2 is havocked at the head …
+        assert!(vr.block_entry(1)[2].is_top());
+        // … but its loop-entry value is preserved pre-havoc.
+        assert_eq!(vr.entry_range(1, Src::Reg(Reg(2))), (0, 0));
+        assert_eq!(vr.entry_range(1, Src::Imm(8)), (8, 8));
+    }
+
+    #[test]
+    fn predicated_write_joins() {
+        let mut b = KernelBuilder::new("k");
+        let bb = b.entry_block();
+        b.block_mut(bb)
+            .mov(ExecSize::S1, Reg(2), Src::Imm(1))
+            .cmp(
+                ExecSize::S1,
+                CondMod::Lt,
+                FlagReg::F0,
+                Src::Reg(Reg(1)),
+                Src::Imm(4),
+            )
+            .raw({
+                let mut i = gen_isa::Instruction::new(Opcode::Mov, ExecSize::S1);
+                i.dst = Some(Reg(2));
+                i.srcs[0] = Src::Imm(9);
+                i.pred = Some(gen_isa::Predicate {
+                    flag: FlagReg::F0,
+                    invert: false,
+                });
+                i
+            })
+            .eot();
+        let bin = b.build().unwrap();
+        let flat = bin.flatten();
+        let cfg = Cfg::from_instrs(&flat.instrs).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let vr = ValueRanges::compute(&cfg, &dom, &forest);
+        // After the predicated mov, r2 ∈ [1, 9].
+        assert_eq!(
+            vr.range_before(&cfg, 3, Src::Reg(Reg(2))),
+            Interval { lo: 1, hi: 9 }
+        );
+    }
+}

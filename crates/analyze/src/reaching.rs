@@ -82,18 +82,21 @@ impl Analysis for ReachingAnalysis<'_> {
 impl ReachingAnalysis<'_> {
     /// Apply instruction `i`'s definitions to `reach`.
     fn step(&self, i: usize, reach: &mut DefSet) {
-        for (d, def) in self.defs.iter().enumerate() {
-            if def.site != Some(i) {
-                continue;
-            }
+        // `defs` is ordered: entry pseudo-defs (`site == None`, which
+        // sorts before every `Some`) first, then instruction defs by
+        // ascending site. Instruction `i`'s defs are therefore one
+        // contiguous run — binary-search its bounds instead of
+        // scanning the whole table once per instruction.
+        let lo = self.defs.partition_point(|d| d.site < Some(i));
+        let hi = self.defs.partition_point(|d| d.site <= Some(i));
+        for d in lo..hi {
+            let def = &self.defs[d];
             if !def.predicated {
                 // Strong update: an unpredicated write kills every
                 // other definition of the same target.
                 for &other in &self.by_slot[def.target.slot()] {
-                    if other != d && reach.contains(other) {
-                        let mut one = DefSet::empty(self.defs.len());
-                        one.insert(other);
-                        reach.subtract(&one);
+                    if other != d {
+                        reach.remove(other);
                     }
                 }
             }

@@ -86,6 +86,33 @@ impl GpuTopology {
     pub fn eus_per_subslice(&self) -> u32 {
         self.execution_units / self.subslices
     }
+
+    /// Pricing knobs for the static cycle estimator
+    /// ([`gtpin_analyze::StaticCost`]), derived from this topology so
+    /// the same kernel prices differently across generations:
+    ///
+    /// * the send base cost grows with hardware-thread pressure (more
+    ///   threads contending for the same message gateway);
+    /// * the payload bandwidth divisor is the per-cycle DRAM budget,
+    ///   `dram_bytes_per_second / max_frequency_hz`, floored at one
+    ///   byte per cycle;
+    /// * issue tables are fixed per [`gen_isa::OpcodeCategory`]: one
+    ///   cycle for moves and logic, two for control and computation.
+    ///
+    /// All derived knobs are integers so estimates stay bit-stable.
+    pub fn cost_params(&self) -> gtpin_analyze::CostParams {
+        let send_base = 16 + u64::from(self.total_hw_threads() / 8);
+        let bytes_per_cycle = (self.dram_bytes_per_second / self.max_frequency_hz) as u64;
+        gtpin_analyze::CostParams {
+            frequency_hz: self.max_frequency_hz,
+            // Move, Logic, Control, Computation, Send (base).
+            issue_cycles: [1, 1, 2, 2, send_base],
+            extended_math_cycles: 6,
+            send_bytes_per_cycle: bytes_per_cycle.max(1),
+            native_simd_lanes: 4,
+            assumed_trips: 16,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +132,20 @@ mod tests {
             "128 simultaneous hardware threads"
         );
         assert!((t.max_frequency_hz - 1.15e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cost_params_vary_across_generations() {
+        let ivy = GpuGeneration::IvyBridgeHd4000.topology().cost_params();
+        let hsw = GpuGeneration::HaswellHd4600.topology().cost_params();
+        // 128 threads / 8 = 16 extra send cycles on Ivy Bridge; 140/8
+        // = 17 on Haswell.
+        assert_eq!(ivy.issue_cycles[4], 32);
+        assert_eq!(hsw.issue_cycles[4], 33);
+        // 12e9 / 1.15e9 ≈ 10 bytes per cycle; 14e9 / 1.25e9 ≈ 11.
+        assert_eq!(ivy.send_bytes_per_cycle, 10);
+        assert_eq!(hsw.send_bytes_per_cycle, 11);
+        assert!(ivy != hsw);
     }
 
     #[test]

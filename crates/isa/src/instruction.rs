@@ -297,6 +297,20 @@ impl Instruction {
         self.dst
     }
 
+    /// Flat-stream index this instruction branches to when it sits at
+    /// index `at`: branch offsets are relative to the *next*
+    /// instruction, so the target is `at + 1 + branch_offset`.
+    /// `None` for opcodes that do not carry a target (including `ret`
+    /// and `eot`, which leave the kernel rather than jump within it).
+    pub fn branch_target(&self, at: usize) -> Option<usize> {
+        match self.opcode {
+            Opcode::Jmpi | Opcode::Brc | Opcode::Call => {
+                Some((at as i64 + 1 + self.branch_offset as i64) as usize)
+            }
+            _ => None,
+        }
+    }
+
     /// Number of immediate source operands.
     pub fn immediate_count(&self) -> usize {
         self.srcs

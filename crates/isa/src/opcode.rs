@@ -167,6 +167,16 @@ impl Opcode {
         self.category() == OpcodeCategory::Send
     }
 
+    /// Whether this opcode dispatches to the extended-math pipeline
+    /// (reciprocal, square root and the transcendentals), which on
+    /// GEN hardware issues at a fraction of the plain FPU rate.
+    pub fn is_extended_math(self) -> bool {
+        matches!(
+            self,
+            Opcode::Inv | Opcode::Sqrt | Opcode::Exp | Opcode::Log | Opcode::Sin | Opcode::Cos
+        )
+    }
+
     /// Evaluate a unary ALU operation on one 32-bit lane.
     ///
     /// Control and send opcodes are not ALU operations and return `a`

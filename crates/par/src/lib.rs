@@ -67,7 +67,7 @@ pub fn configured_sim_threads() -> usize {
     }
 }
 
-/// How strict parsing should treat a numeric `GTPIN_*` knob.
+/// How strict parsing should treat a `GTPIN_*` knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnvKnobKind {
     /// A worker count: a positive integer (`0` is malformed — use
@@ -76,13 +76,17 @@ pub enum EnvKnobKind {
     /// A budget/limit: any unsigned integer (`0` conventionally
     /// means "disabled" and is accepted).
     Limit,
+    /// An on/off switch: `1`/`true`/`yes`/`on` enable,
+    /// `0`/`false`/`no`/`off`/empty disable; anything else (e.g. the
+    /// typo `ture`) is malformed instead of silently off.
+    Flag,
+    /// A `GTPIN_FAULTS` plan spec, validated by
+    /// [`gtpin_faults::FaultPlan::parse`].
+    FaultPlan,
 }
 
 /// Every numeric `GTPIN_*` environment knob the suite reads, with
-/// the strictness class its value must satisfy. One table, one
-/// parser: a front end that calls [`validate_env`] rejects every
-/// malformed knob up front as an `error[cli]`, instead of each
-/// consumer silently clamping to its own default.
+/// the strictness class its value must satisfy.
 pub const NUMERIC_ENV_KNOBS: [(&str, EnvKnobKind); 6] = [
     (THREADS_ENV, EnvKnobKind::ThreadCount),
     (SIM_THREADS_ENV, EnvKnobKind::ThreadCount),
@@ -92,13 +96,24 @@ pub const NUMERIC_ENV_KNOBS: [(&str, EnvKnobKind); 6] = [
     (supervisor::MAX_VIRTUAL_ENV, EnvKnobKind::Limit),
 ];
 
-/// Strict validation of every numeric `GTPIN_*` knob
-/// ([`NUMERIC_ENV_KNOBS`]), for front ends that should fail loudly
+/// The non-numeric `GTPIN_*` knobs: on/off switches plus the fault
+/// plan. `GTPIN_OBS=ture` used to silently disable telemetry; the
+/// strict parser makes that an `error[cli]` instead.
+pub const FLAG_ENV_KNOBS: [(&str, EnvKnobKind); 4] = [
+    ("GTPIN_OBS", EnvKnobKind::Flag),
+    ("GTPIN_VERIFY", EnvKnobKind::Flag),
+    ("GTPIN_PRESCREEN", EnvKnobKind::Flag),
+    (gtpin_faults::FAULTS_ENV, EnvKnobKind::FaultPlan),
+];
+
+/// Strict validation of every `GTPIN_*` knob ([`NUMERIC_ENV_KNOBS`]
+/// and [`FLAG_ENV_KNOBS`]), for front ends that should fail loudly
 /// instead of clamping: `Err` describes the first malformed value
-/// and names the variable, ready for an `error[cli]` report. The
-/// library getters stay lenient so embedders keep running.
+/// and names the variable, ready for an `error[cli]` report. One
+/// table, one parser — the library getters stay lenient so embedders
+/// keep running.
 pub fn validate_env() -> Result<(), String> {
-    for (var, kind) in NUMERIC_ENV_KNOBS {
+    for (var, kind) in NUMERIC_ENV_KNOBS.into_iter().chain(FLAG_ENV_KNOBS) {
         if let Ok(raw) = std::env::var(var) {
             validate_env_value(var, &raw, kind)?;
         }
@@ -121,18 +136,30 @@ pub fn validate_threads_env() -> Result<(), String> {
 /// The strict check behind [`validate_env`], separated so it is
 /// testable without touching process environment.
 fn validate_env_value(var: &str, raw: &str, kind: EnvKnobKind) -> Result<(), String> {
-    match (raw.trim().parse::<u64>(), kind) {
-        (Ok(n), EnvKnobKind::ThreadCount) if n >= 1 => Ok(()),
-        (Ok(_), EnvKnobKind::ThreadCount) => Err(format!(
-            "{var}={raw:?} is not a valid thread count (must be >= 1)"
-        )),
-        (Ok(_), EnvKnobKind::Limit) => Ok(()),
-        (Err(_), EnvKnobKind::ThreadCount) => Err(format!(
-            "{var}={raw:?} is not a valid thread count (expected a positive integer)"
-        )),
-        (Err(_), EnvKnobKind::Limit) => Err(format!(
-            "{var}={raw:?} is not a valid limit (expected an unsigned integer)"
-        )),
+    match kind {
+        EnvKnobKind::Flag => match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "1" | "true" | "yes" | "on" | "0" | "false" | "no" | "off" => Ok(()),
+            _ => Err(format!(
+                "{var}={raw:?} is not a valid on/off flag \
+                 (expected 1/true/yes/on or 0/false/no/off)"
+            )),
+        },
+        EnvKnobKind::FaultPlan => gtpin_faults::FaultPlan::parse(raw)
+            .map(|_| ())
+            .map_err(|e| format!("{var}={raw:?} is not a valid fault plan: {e}")),
+        EnvKnobKind::ThreadCount | EnvKnobKind::Limit => match (raw.trim().parse::<u64>(), kind) {
+            (Ok(n), EnvKnobKind::ThreadCount) if n >= 1 => Ok(()),
+            (Ok(_), EnvKnobKind::ThreadCount) => Err(format!(
+                "{var}={raw:?} is not a valid thread count (must be >= 1)"
+            )),
+            (Ok(_), _) => Ok(()),
+            (Err(_), EnvKnobKind::ThreadCount) => Err(format!(
+                "{var}={raw:?} is not a valid thread count (expected a positive integer)"
+            )),
+            (Err(_), _) => Err(format!(
+                "{var}={raw:?} is not a valid limit (expected an unsigned integer)"
+            )),
+        },
     }
 }
 
@@ -454,6 +481,49 @@ mod tests {
             supervisor::MAX_VIRTUAL_ENV,
         ] {
             assert_eq!(names.iter().filter(|n| **n == var).count(), 1, "{var}");
+        }
+    }
+
+    #[test]
+    fn flag_knobs_accept_both_polarities_and_reject_typos() {
+        let _guard = guard();
+        for good in [
+            "1", "true", "yes", "on", "0", "false", "no", "off", "", " ON ", "True",
+        ] {
+            assert!(
+                validate_env_value("GTPIN_OBS", good, EnvKnobKind::Flag).is_ok(),
+                "{good:?}"
+            );
+        }
+        // `GTPIN_OBS=ture` used to silently disable telemetry; the
+        // strict parser now names the variable and rejects it.
+        for bad in ["ture", "2", "enable", "y", "1.0"] {
+            let err = validate_env_value("GTPIN_OBS", bad, EnvKnobKind::Flag)
+                .expect_err("typos must be rejected");
+            assert!(err.contains("GTPIN_OBS"), "error names the variable: {err}");
+        }
+        let err = validate_env_value("GTPIN_PRESCREEN", "ture", EnvKnobKind::Flag)
+            .expect_err("prescreen typo rejected");
+        assert!(err.contains("GTPIN_PRESCREEN"));
+    }
+
+    #[test]
+    fn fault_plan_knob_delegates_to_the_faults_parser() {
+        let _guard = guard();
+        let rated = format!("{}=1.0,seed=7", gtpin_faults::site::WORKER_PANIC);
+        for good in ["", "0", "1", "on", "all=0.5", rated.as_str()] {
+            assert!(
+                validate_env_value(gtpin_faults::FAULTS_ENV, good, EnvKnobKind::FaultPlan).is_ok(),
+                "{good:?}"
+            );
+        }
+        for bad in ["journal.crash", "rate=fast", "=0.5"] {
+            let err = validate_env_value(gtpin_faults::FAULTS_ENV, bad, EnvKnobKind::FaultPlan)
+                .expect_err("malformed fault specs must be rejected");
+            assert!(
+                err.contains(gtpin_faults::FAULTS_ENV),
+                "error names the variable: {err}"
+            );
         }
     }
 

@@ -197,6 +197,11 @@ pub struct SessionEngine {
     /// threshold only affects selection over the finished sweep, so
     /// explores at different thresholds share one entry.
     explorations: Mutex<BTreeMap<String, Arc<Exploration>>>,
+    /// Structural analyses by kernel **content hash** — apps sharing
+    /// a kernel binary share its dominator/loop/cost analysis, and a
+    /// re-request of the same app re-renders from the cache instead
+    /// of re-walking the CFG.
+    analyses: Mutex<BTreeMap<u64, Arc<gtpin_analyze::KernelReport>>>,
     /// Sessions currently computing (admission cap).
     active: AtomicUsize,
 }
@@ -235,6 +240,7 @@ impl SessionEngine {
             responses: Mutex::new(BTreeMap::new()),
             profiles: Mutex::new(BTreeMap::new()),
             explorations: Mutex::new(BTreeMap::new()),
+            analyses: Mutex::new(BTreeMap::new()),
             active: AtomicUsize::new(0),
             config,
         };
@@ -505,7 +511,64 @@ impl SessionEngine {
             } => self.compute_explore(app, scale, *threshold_pct),
             Request::Sim { app, launches } => compute_sim(app, *launches),
             Request::Lint { app } => compute_lint(app),
+            Request::Analyze { app } => self.compute_analyze(app),
         }
+    }
+
+    /// Structurally analyze every kernel of `app` at test scale,
+    /// memoizing each kernel's analysis by content hash. The
+    /// per-kernel text and the analysis digest match
+    /// `gtpin analyze <app>` exactly.
+    fn compute_analyze(&self, app: &str) -> Result<(String, u64), (String, String)> {
+        use gpu_device::jit::compile_kernel;
+
+        let spec = lookup_spec(app)?;
+        let program = build_program(&spec, Scale::Test);
+        let params = GpuGeneration::IvyBridgeHd4000.topology().cost_params();
+
+        let mut report = String::new();
+        let mut digest = 0xCBF2_9CE4_8422_2325u64;
+        digest = fnv_fold(digest, app.as_bytes());
+        let mut loops = 0usize;
+        let mut proven = 0usize;
+        let mut kernels = 0usize;
+        let mut virtual_ns = 0u64;
+        for ir in &program.source.kernels {
+            let bin = compile_kernel(ir).map_err(|e| ("jit".to_string(), e.to_string()))?;
+            let hash = gtpin_analyze::report::fnv64(&bin.encode());
+            let cached = lock(&self.analyses).get(&hash).cloned();
+            let analysis = match cached {
+                Some(a) => {
+                    gtpin_obs::counter_add("serve.memo_analyze_hit", 1);
+                    a
+                }
+                None => {
+                    let a = gtpin_analyze::analyze_kernel(&bin, &params)
+                        .map_err(|e| ("analyze".to_string(), e.to_string()))?;
+                    lock(&self.analyses)
+                        .entry(hash)
+                        .or_insert_with(|| Arc::new(a))
+                        .clone()
+                }
+            };
+            kernels += 1;
+            loops += analysis.loops.len();
+            proven += analysis
+                .loops
+                .iter()
+                .filter(|l| !l.trips.starts_with('?'))
+                .count();
+            virtual_ns += analysis.cost.cycles_per_invocation;
+            let text = analysis.render();
+            digest = fnv_fold(digest, text.as_bytes());
+            report.push_str(&text);
+        }
+        report.push_str(&format!(
+            "analyze {app}: {kernels} kernel(s): {loops} loop(s), \
+             {proven} with proven trip bounds\n\
+             analysis digest: {digest:016x}\n"
+        ));
+        Ok((report, virtual_ns))
     }
 
     /// The memoized one-time profiling pass for `(app, scale)`.
@@ -930,6 +993,38 @@ mod tests {
         // A fresh engine recomputes to the identical bytes.
         let e2 = engine(ServeConfig::default());
         assert_eq!(e2.handle(&req), first);
+    }
+
+    #[test]
+    fn analyze_session_is_deterministic_and_memoizes_per_kernel() {
+        let e = engine(ServeConfig::default());
+        let req = Request::Analyze { app: first_app() };
+        let first = e.handle(&req);
+        match &first {
+            SessionResult::Done { report, .. } => {
+                assert!(report.contains("analysis digest:"));
+                assert!(report.contains("kernel "));
+            }
+            other => panic!("analyze session failed: {other:?}"),
+        }
+        // Second identical request: response cache.
+        assert_eq!(e.handle(&req), first);
+        // A fresh engine recomputes to the identical bytes.
+        let e2 = engine(ServeConfig::default());
+        assert_eq!(e2.handle(&req), first);
+        // The per-kernel cache is keyed by content hash: after one
+        // analyze, every kernel of the app is cached.
+        assert!(!lock(&e.analyses).is_empty());
+        let before = lock(&e2.analyses).len();
+        // Re-analyzing via a *different* session key (unknown apps
+        // fail before compile, so reuse the same app through a fresh
+        // engine whose response cache is cold) does not grow the
+        // kernel cache: every kernel hits by hash.
+        let mut cold = lock(&e2.responses);
+        cold.clear();
+        drop(cold);
+        assert_eq!(e2.handle(&req), first);
+        assert_eq!(lock(&e2.analyses).len(), before);
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub enum Request {
         /// Application name.
         app: String,
     },
+    /// Run the structural analysis (dominators, loop forest, value
+    /// ranges, static cycle estimate) over every kernel of `app`.
+    /// Per-kernel analyses are memoized by kernel content hash, so
+    /// apps sharing kernels share the work across requests.
+    Analyze {
+        /// Application name.
+        app: String,
+    },
 }
 
 impl Request {
@@ -74,6 +82,7 @@ impl Request {
             Request::Explore { .. } => "explore",
             Request::Sim { .. } => "sim",
             Request::Lint { .. } => "lint",
+            Request::Analyze { .. } => "analyze",
         }
     }
 
@@ -85,7 +94,8 @@ impl Request {
             Request::Profile { app, .. }
             | Request::Explore { app, .. }
             | Request::Sim { app, .. }
-            | Request::Lint { app } => app,
+            | Request::Lint { app }
+            | Request::Analyze { app } => app,
         }
     }
 
@@ -102,6 +112,7 @@ impl Request {
             } => format!("explore/{app}/{scale}/{threshold_pct}"),
             Request::Sim { app, launches } => format!("sim/{app}/{launches}"),
             Request::Lint { app } => format!("lint/{app}"),
+            Request::Analyze { app } => format!("analyze/{app}"),
         }
     }
 }

@@ -130,6 +130,52 @@ echo "$LINT_OUT" | grep -q "0 error(s)" || {
     exit 1
 }
 
+echo "== analyze gate: structural analysis over all builtin workloads, digest pinned"
+# The digest folds every kernel's rendered analysis (dominators,
+# loop forest, trip bounds, value ranges, static cycle estimate), so
+# any behavioral drift in the analyzer shows up here. Re-pin only
+# after reviewing the new output.
+ANALYZE_DIGEST=11e584116b5aecc7
+ANALYZE_OUT="$(./target/release/gtpin analyze --all 2>&1)" || {
+    echo "$ANALYZE_OUT"
+    echo "FAIL: gtpin analyze --all reported an error"
+    exit 1
+}
+echo "$ANALYZE_OUT" | grep -q "across 25 app(s)" || {
+    echo "$ANALYZE_OUT" | tail -5
+    echo "FAIL: gtpin analyze --all did not cover all 25 builtin apps"
+    exit 1
+}
+echo "$ANALYZE_OUT" | grep -q "analysis digest: $ANALYZE_DIGEST" || {
+    echo "$ANALYZE_OUT" | tail -5
+    echo "FAIL: gtpin analyze --all digest drifted from pinned $ANALYZE_DIGEST"
+    exit 1
+}
+echo "analysis digest matches pinned $ANALYZE_DIGEST"
+
+echo "== unwrap/expect self-lint: crates/**/src vs scripts/unwrap_allowlist.txt"
+# Production code threads errors; unwrap()/expect( budgets are pinned
+# per file (test modules account for nearly all of them). A file over
+# budget — or a new file with any calls — fails the gate.
+UNWRAP_FAIL=0
+while IFS= read -r SRC; do
+    N=$(grep -c '\.unwrap()\|\.expect(' "$SRC" || true)
+    [ "$N" -eq 0 ] && continue
+    BUDGET=$(awk -v f="$SRC" '$1 == f { print $2 }' scripts/unwrap_allowlist.txt)
+    if [ -z "$BUDGET" ]; then
+        echo "FAIL: $SRC has $N unwrap()/expect( call(s) but no allowlist entry"
+        UNWRAP_FAIL=1
+    elif [ "$N" -gt "$BUDGET" ]; then
+        echo "FAIL: $SRC has $N unwrap()/expect( call(s), budget is $BUDGET"
+        UNWRAP_FAIL=1
+    fi
+done < <(find crates -path 'crates/*/src/*' -name '*.rs' | sort)
+if [ "$UNWRAP_FAIL" -ne 0 ]; then
+    echo "FAIL: unwrap/expect budget exceeded; thread the error or justify a budget bump"
+    exit 1
+fi
+echo "unwrap/expect budgets hold"
+
 echo "== verifier gate: tier-1 tests with GTPIN_VERIFY=1"
 # Every rewrite the test suite performs is re-proved safe in-line.
 GTPIN_VERIFY=1 cargo test -q

@@ -38,6 +38,14 @@
 //!                                     verify the instrumentation rewrite
 //!                                     is safe; nonzero exit on Error-
 //!                                     severity findings
+//! gtpin analyze <app>|--all           structural analysis of every kernel:
+//!                                     loop forest with nesting depth and
+//!                                     trip bounds, value ranges, and the
+//!                                     device-derived static cycle estimate
+//!                                     with per-block provenance; ends with
+//!                                     a deterministic digest (bit-identical
+//!                                     at every GTPIN_THREADS)
+//!     [--json <path>]                 also dump the reports as JSON
 //! gtpin luxmark                       compare HD4000 vs HD4600 scores
 //! gtpin obs-report [app]              run an instrumented exploration and
 //!                                     print the telemetry summary table
@@ -80,7 +88,8 @@
 //!                                     daemon and stream the response;
 //!                                     exits nonzero on error[*] payloads
 //!     kinds: profile [--scale s], explore [--scale s] [--threshold pct],
-//!            sim [--launches n], lint; --socket <path> selects the daemon
+//!            sim [--launches n], lint, analyze; --socket <path> selects
+//!            the daemon
 //! ```
 
 use gtpin_suite::device::{Gpu, GpuConfig};
@@ -116,6 +125,7 @@ fn main() {
         Some("sim") => cmd_sim(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("luxmark") => cmd_luxmark(),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("obs-verify") => cmd_obs_verify(&args[1..]),
@@ -126,7 +136,7 @@ fn main() {
         Some("request") => cmd_request(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gtpin <list|run|select|explore|sim|disasm|lint|luxmark|obs-report|obs-verify|obs-convert|obs-timeline|faults-matrix|serve|request> [args]"
+                "usage: gtpin <list|run|select|explore|sim|disasm|lint|analyze|luxmark|obs-report|obs-verify|obs-convert|obs-timeline|faults-matrix|serve|request> [args]"
             );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
@@ -587,6 +597,76 @@ fn cmd_lint(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `gtpin analyze`: the structural pipeline (dominators, natural
+/// loops, value-range trip bounds, static cycle cost) over every
+/// kernel of an app or the whole suite. Stdout is deterministic and
+/// thread-count invariant; the closing digest line is what the
+/// `scripts/check.sh` gate pins.
+fn cmd_analyze(args: &[String]) -> CliResult {
+    use gtpin_suite::analyze::analyze_kernels;
+    use gtpin_suite::device::jit::compile_kernel;
+    use gtpin_suite::device::GpuGeneration;
+
+    let specs: Vec<gtpin_suite::workloads::WorkloadSpec> =
+        if args.first().map(String::as_str) == Some("--all") {
+            all_specs()
+        } else {
+            vec![parse_app(args)?]
+        };
+    let params = GpuGeneration::IvyBridgeHd4000.topology().cost_params();
+    let threads = gtpin_suite::par::configured_threads();
+
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut kernels = 0usize;
+    let mut loops = 0usize;
+    let mut proven = 0usize;
+    let mut json_apps = Vec::new();
+    for spec in &specs {
+        let program = build_program(spec, Scale::Test);
+        let bins: Vec<gtpin_suite::isa::KernelBinary> = program
+            .source
+            .kernels
+            .iter()
+            .map(compile_kernel)
+            .collect::<Result<_, _>>()?;
+        let reports = analyze_kernels(&bins, &params, threads)?;
+        println!("== {} ==", spec.name);
+        digest = fnv_fold(digest, spec.name.as_bytes());
+        for r in &reports {
+            print!("{}", r.render());
+            digest = fnv_fold(digest, r.render().as_bytes());
+            kernels += 1;
+            loops += r.loops.len();
+            proven += r.loops.iter().filter(|l| !l.trips.starts_with('?')).count();
+        }
+        if flag_value(args, "--json")?.is_some() {
+            use serde::json::Value;
+            json_apps.push(Value::Obj(vec![
+                ("app".to_string(), Value::Str(spec.name.to_string())),
+                (
+                    "kernels".to_string(),
+                    Value::Arr(reports.iter().map(|r| r.to_json()).collect()),
+                ),
+            ]));
+        }
+    }
+    println!(
+        "\nanalyze: {} kernel(s) across {} app(s): {} loop(s), {} with proven trip bounds",
+        kernels,
+        specs.len(),
+        loops,
+        proven
+    );
+    println!("analysis digest: {digest:016x}");
+    if let Some(path) = flag_value(args, "--json")? {
+        let mut out = String::new();
+        serde::json::render(&serde::json::Value::Arr(json_apps), &mut out);
+        std::fs::write(path, out)?;
+        println!("reports written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_obs_report(args: &[String]) -> CliResult {
     use gtpin_suite::obs;
     // Offline mode: summarize an existing binary journal without
@@ -740,7 +820,7 @@ fn cmd_request(args: &[String]) -> CliResult {
     let kind = args
         .first()
         .map(String::as_str)
-        .ok_or("request needs a kind: profile, explore, sim, or lint")?;
+        .ok_or("request needs a kind: profile, explore, sim, lint, or analyze")?;
     let rest = &args[1..];
     let socket = flag_value(rest, "--socket")?
         .map(PathBuf::from)
@@ -773,9 +853,10 @@ fn cmd_request(args: &[String]) -> CliResult {
                 .unwrap_or(0),
         },
         "lint" => Request::Lint { app },
+        "analyze" => Request::Analyze { app },
         other => {
             return Err(format!(
-                "unknown request kind {other} (known: profile, explore, sim, lint)"
+                "unknown request kind {other} (known: profile, explore, sim, lint, analyze)"
             )
             .into())
         }
