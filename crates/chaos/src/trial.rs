@@ -1,0 +1,460 @@
+//! The chaos trial driver: run one scenario end-to-end through the
+//! pipeline and judge it against its oracle.
+//!
+//! A trial is one or two **passes** over the same three stages:
+//!
+//! 1. **Profile conservation** — profile one app natively under the
+//!    fault plan and check the trace-layer conservation identity
+//!    (every appended record is stored, dropped, or quarantined; the
+//!    executor surfaces violations as `violation.*` accounting keys).
+//! 2. **Sweep kill/resume** — only when `journal.crash` is armed:
+//!    drive the journaled exploration sweep through its injected
+//!    crash/resume loop until it converges, bounded by the restart
+//!    budget, and compare the final report to a fault-free baseline.
+//! 3. **Serve pipeline** — a fixed request list through one
+//!    `SessionEngine`; resume-identity scenarios kill the engine at
+//!    the scheduled request (drop it, reinstall the plan to model
+//!    process death clearing in-process fault state, resume from the
+//!    session journal) and must reproduce the uninterrupted pass's
+//!    responses and supervisor trajectory byte-for-byte.
+//!
+//! Everything folded into the trial digest is a pure function of the
+//! scenario, so `gtpin chaos` prints one digest that is identical at
+//! any `GTPIN_THREADS` and across a mid-run kill/resume of the chaos
+//! run itself.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use gpu_device::GpuConfig;
+use gtpin_durable::JournalError;
+use gtpin_faults::site;
+use gtpin_serve::wire::Request;
+use gtpin_serve::{ServeConfig, SessionEngine};
+use ocl_runtime::host::HostProgram;
+use subset_select::{profile_app, run_sweep, SweepOptions};
+use workloads::{all_specs, build_program, Scale};
+
+use crate::scenario::{OracleKind, Scenario};
+
+/// Default restart budget for the sweep crash/resume loop
+/// (`GTPIN_CHAOS_MAX_RESTARTS` overrides).
+pub const DEFAULT_MAX_RESTARTS: u64 = 200;
+
+/// FNV-1a fold, matching the digest idiom of the CLI drivers.
+pub fn fnv_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The judged result of one scenario trial.
+#[derive(Debug, Clone)]
+pub struct TrialReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Deterministic digest of the trial (reference pass only — the
+    /// checking pass exists to be compared against, not hashed).
+    pub digest: u64,
+    /// Oracle violations; empty means the scenario passed.
+    pub violations: Vec<String>,
+    /// Sweep restarts the crash/resume loop consumed.
+    pub restarts: u64,
+    /// Deterministic one-line summary (scenario + digest + verdict).
+    pub line: String,
+}
+
+impl TrialReport {
+    /// True when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One pass over the three stages.
+#[derive(Debug)]
+struct PassOutcome {
+    /// Fold of every stage digest (profile, sweep, serve, resume
+    /// accounting) — the replay-identity comparison unit.
+    digest: u64,
+    /// The serve stage's response digest alone — the resume-identity
+    /// comparison unit.
+    serve_digest: u64,
+    /// Rendered supervisor trajectory of the serve stage.
+    supervisor: String,
+    /// Accumulated fault accounting across every install/reinstall.
+    accounting: Vec<(String, u64)>,
+    /// Sweep restarts consumed.
+    restarts: u64,
+    /// Violations detected inside the pass (conservation, restart
+    /// budget, sweep divergence).
+    violations: Vec<String>,
+}
+
+/// Run one scenario to a judged report. `scratch` must be a
+/// directory the trial may create per-seed subdirectories in; they
+/// are removed before returning.
+pub fn run_trial(sc: &Scenario, max_restarts: u64, scratch: &Path) -> TrialReport {
+    let root = scratch.join(format!("seed-{:04x}", sc.seed));
+    let _ = std::fs::remove_dir_all(&root);
+    let reference = run_pass(sc, &root.join("ref"), None, max_restarts);
+    let mut violations = reference.violations.clone();
+
+    match sc.oracle {
+        OracleKind::ReplayIdentity => {
+            let again = run_pass(sc, &root.join("again"), None, max_restarts);
+            if again.digest != reference.digest {
+                violations.push(format!(
+                    "replay divergence: digest {:#018x} vs {:#018x}",
+                    reference.digest, again.digest
+                ));
+            }
+            if again.accounting != reference.accounting {
+                violations.push("replay divergence: fault accounting differs".to_string());
+            }
+            if again.supervisor != reference.supervisor {
+                violations.push("replay divergence: supervisor trajectory differs".to_string());
+            }
+            violations.extend(
+                again
+                    .violations
+                    .iter()
+                    .map(|v| format!("second replay: {v}")),
+            );
+        }
+        OracleKind::ResumeIdentity => {
+            let resumed = run_pass(sc, &root.join("killed"), Some(sc.kill_point), max_restarts);
+            if resumed.serve_digest != reference.serve_digest {
+                violations.push(format!(
+                    "resume divergence: responses {:#018x} (resumed) vs {:#018x} (uninterrupted)",
+                    resumed.serve_digest, reference.serve_digest
+                ));
+            }
+            if resumed.supervisor != reference.supervisor {
+                violations.push(
+                    "resume divergence: supervisor trajectory differs from uninterrupted run"
+                        .to_string(),
+                );
+            }
+            violations.extend(
+                resumed
+                    .violations
+                    .iter()
+                    .map(|v| format!("resumed run: {v}")),
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    let mut digest = reference.digest;
+    for (key, value) in &reference.accounting {
+        digest = fnv_fold(digest, key.as_bytes());
+        digest = fnv_fold(digest, &value.to_le_bytes());
+    }
+    let verdict = if violations.is_empty() { "ok" } else { "FAIL" };
+    let line = format!("{} -> digest {digest:#018x} {verdict}", sc.describe());
+    TrialReport {
+        scenario: sc.clone(),
+        digest,
+        violations,
+        restarts: reference.restarts,
+        line,
+    }
+}
+
+/// Fold freshly-taken fault accounting into the pass accumulator.
+/// Accounting accumulates *across* plan reinstalls: a kill clears
+/// in-process occurrence state (as a real SIGKILL would) but the
+/// trial's books keep every count.
+fn fold_accounting(acc: &mut BTreeMap<String, u64>, taken: Vec<(String, u64)>) {
+    for (key, value) in taken {
+        *acc.entry(key).or_insert(0) += value;
+    }
+}
+
+fn accounting_value(acc: &BTreeMap<String, u64>, key: &str) -> u64 {
+    acc.get(key).copied().unwrap_or(0)
+}
+
+fn run_pass(sc: &Scenario, dir: &Path, kill: Option<usize>, max_restarts: u64) -> PassOutcome {
+    let mut violations: Vec<String> = Vec::new();
+    let mut accounting: BTreeMap<String, u64> = BTreeMap::new();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let specs = all_specs();
+    let programs: Vec<HostProgram> = specs
+        .iter()
+        .take(2)
+        .map(|s| build_program(s, Scale::Test))
+        .collect();
+
+    // The scenario's thread count governs every executor the trial
+    // spawns — never the ambient GTPIN_THREADS — because which fault
+    // seams exist depends on the worker count (the serial loop has
+    // no shards to overflow), and the trial digest folds fault
+    // accounting.
+    let mut gpu = GpuConfig::hd4000();
+    gpu.exec.threads = sc.threads;
+
+    // Stage 1: profile conservation under the full plan.
+    gtpin_faults::install(sc.plan());
+    digest = fnv_fold(digest, b"profile:");
+    let (dropped, quarantined) = match profile_app(&programs[0], gpu, 1) {
+        Ok(profiled) => {
+            let dropped: u64 = profiled
+                .data
+                .invocations
+                .iter()
+                .map(|i| i.dropped_records)
+                .sum();
+            let quarantined: u64 = profiled
+                .data
+                .invocations
+                .iter()
+                .map(|i| i.quarantined_records)
+                .sum();
+            let instructions: u64 = profiled
+                .data
+                .invocations
+                .iter()
+                .map(|i| i.instructions)
+                .sum();
+            digest = fnv_fold(digest, profiled.data.app.as_bytes());
+            digest = fnv_fold(
+                digest,
+                &(profiled.data.invocations.len() as u64).to_le_bytes(),
+            );
+            digest = fnv_fold(digest, &instructions.to_le_bytes());
+            digest = fnv_fold(digest, &dropped.to_le_bytes());
+            digest = fnv_fold(digest, &quarantined.to_le_bytes());
+            (dropped, quarantined)
+        }
+        Err(e) => {
+            digest = fnv_fold(digest, format!("error: {e}").as_bytes());
+            (0, 0)
+        }
+    };
+    let stage = gtpin_faults::take_accounting();
+    fold_accounting(&mut accounting, stage);
+    if sc.arms(site::RECORD_CORRUPT)
+        && accounting_value(&accounting, "injected.trace.record_corrupt") > 0
+        && quarantined == 0
+    {
+        violations.push("conservation: corrupt records injected but none quarantined".into());
+    }
+    if !sc.arms(site::SHARD_OVERFLOW)
+        && !sc.arms(site::RECORD_CORRUPT)
+        && (dropped != 0 || quarantined != 0)
+    {
+        violations.push(format!(
+            "conservation: {dropped} dropped / {quarantined} quarantined with no trace faults armed"
+        ));
+    }
+
+    // Stage 2: journaled sweep through its crash/resume loop.
+    let mut restarts = 0u64;
+    if sc.arms(site::JOURNAL_CRASH) {
+        gtpin_faults::disable();
+        let baseline_opts = SweepOptions {
+            threads: sc.threads,
+            gpu,
+            prescreen: false,
+            ..SweepOptions::default()
+        };
+        let baseline = run_sweep(&programs[..1], &baseline_opts)
+            .map(|outcome| outcome.report.render())
+            .unwrap_or_else(|e| format!("error: {e}"));
+
+        gtpin_faults::install(sc.plan());
+        let sweep_dir = dir.join("sweep");
+        let mut opts = SweepOptions {
+            threads: sc.threads,
+            gpu,
+            prescreen: false,
+            journal_dir: Some(sweep_dir),
+            resume: false,
+            ..SweepOptions::default()
+        };
+        digest = fnv_fold(digest, b"sweep:");
+        loop {
+            match run_sweep(&programs[..1], &opts) {
+                Ok(outcome) => {
+                    let rendered = outcome.report.render();
+                    digest = fnv_fold(digest, rendered.as_bytes());
+                    if !sc.arms_lossy() && rendered != baseline {
+                        violations.push(
+                            "sweep: resumed report diverged from the fault-free baseline".into(),
+                        );
+                    }
+                    break;
+                }
+                Err(JournalError::InjectedCrash { .. }) => {
+                    restarts += 1;
+                    opts.resume = true;
+                    if restarts > max_restarts {
+                        violations.push(format!(
+                            "sweep: did not converge within {max_restarts} restart(s)"
+                        ));
+                        digest = fnv_fold(digest, b"unconverged");
+                        break;
+                    }
+                }
+                Err(e) => {
+                    digest = fnv_fold(digest, format!("error: {e}").as_bytes());
+                    break;
+                }
+            }
+        }
+        digest = fnv_fold(digest, &restarts.to_le_bytes());
+        fold_accounting(&mut accounting, gtpin_faults::take_accounting());
+    }
+
+    // Stage 3: the serve pipeline, optionally killed and resumed.
+    gtpin_faults::install(sc.serve_plan());
+    let requests = serve_requests(sc, &specs);
+    let serve_dir = dir.join("serve");
+    let config = ServeConfig {
+        journal_dir: Some(serve_dir.clone()),
+        resume: false,
+        threads: sc.threads,
+        ..ServeConfig::default()
+    };
+    digest = fnv_fold(digest, b"serve:");
+    let mut dropped_deliveries = 0u64;
+    let (serve_digest, supervisor) = match SessionEngine::new(config.clone()) {
+        Err(e) => {
+            let rendered = format!("error: {e}");
+            digest = fnv_fold(digest, rendered.as_bytes());
+            (fnv_fold(0, rendered.as_bytes()), rendered)
+        }
+        Ok((engine, _)) => {
+            let mut engine = engine;
+            let kill_at = kill.unwrap_or(requests.len()).min(requests.len());
+            for request in &requests[..kill_at] {
+                serve_one(&engine, request, &mut dropped_deliveries);
+            }
+            if kill.is_some() {
+                // The kill: drop the engine mid-pipeline, clear the
+                // in-process fault occurrence state (a SIGKILL takes
+                // that memory with it), and resume from the journal.
+                drop(engine);
+                fold_accounting(&mut accounting, gtpin_faults::take_accounting());
+                gtpin_faults::install(sc.serve_plan());
+                match SessionEngine::new(ServeConfig {
+                    resume: true,
+                    ..config
+                }) {
+                    Ok((resumed, report)) => {
+                        engine = resumed;
+                        digest = fnv_fold(
+                            digest,
+                            format!(
+                                "resume replayed {} recomputed {} reaped {}",
+                                report.replayed, report.recomputed, report.reaped
+                            )
+                            .as_bytes(),
+                        );
+                    }
+                    Err(e) => {
+                        let rendered = format!("resume error: {e}");
+                        violations.push(rendered.clone());
+                        digest = fnv_fold(digest, rendered.as_bytes());
+                        gtpin_faults::disable();
+                        let acc = std::mem::take(&mut accounting);
+                        return PassOutcome {
+                            digest,
+                            serve_digest: 0,
+                            supervisor: rendered,
+                            accounting: acc.into_iter().collect(),
+                            restarts,
+                            violations,
+                        };
+                    }
+                }
+            }
+            for request in &requests[kill_at..] {
+                serve_one(&engine, request, &mut dropped_deliveries);
+            }
+            let serve_digest = engine.response_digest();
+            let supervisor = format!("{:?}", engine.supervisor_report());
+            (serve_digest, supervisor)
+        }
+    };
+    digest = fnv_fold(digest, &serve_digest.to_le_bytes());
+    digest = fnv_fold(digest, supervisor.as_bytes());
+    digest = fnv_fold(digest, &dropped_deliveries.to_le_bytes());
+    fold_accounting(&mut accounting, gtpin_faults::take_accounting());
+    gtpin_faults::disable();
+
+    // Global conservation oracle: the executor's append = stored +
+    // dropped + quarantined identity is checked on every shard drain
+    // and surfaces breakage as `violation.*` accounting keys.
+    for key in accounting.keys() {
+        if key.starts_with("violation.") {
+            violations.push(format!("conservation: accounting reports {key}"));
+        }
+    }
+
+    PassOutcome {
+        digest,
+        serve_digest,
+        supervisor,
+        accounting: accounting.into_iter().collect(),
+        restarts,
+        violations,
+    }
+}
+
+/// The scenario's serve request list: two apps, each profiled,
+/// simulated, and linted, plus one exploration of the first app for
+/// `explore` scenarios. Keep [`crate::scenario`]'s `request_count`
+/// in sync with this shape.
+fn serve_requests(sc: &Scenario, specs: &[workloads::WorkloadSpec]) -> Vec<Request> {
+    let first = specs[0].name.to_string();
+    let second = specs[1].name.to_string();
+    let mut requests = vec![Request::Profile {
+        app: first.clone(),
+        scale: "test".to_string(),
+    }];
+    if sc.explore {
+        requests.push(Request::Explore {
+            app: first.clone(),
+            scale: "test".to_string(),
+            threshold_pct: 5.0,
+        });
+    }
+    requests.push(Request::Sim {
+        app: first.clone(),
+        launches: 2,
+    });
+    requests.push(Request::Lint { app: first });
+    requests.push(Request::Profile {
+        app: second.clone(),
+        scale: "test".to_string(),
+    });
+    requests.push(Request::Sim {
+        app: second.clone(),
+        launches: 2,
+    });
+    requests.push(Request::Lint { app: second });
+    requests
+}
+
+/// Handle one request and deliver its response into a byte sink
+/// through the `serve.conn_drop` seam (delivery loss must never
+/// perturb the journaled/cached responses).
+fn serve_one(engine: &SessionEngine, request: &Request, dropped: &mut u64) {
+    let key = request.session_key();
+    let result = engine.handle(request);
+    let mut sink = Vec::new();
+    match engine.deliver(&key, &result, &mut sink) {
+        Ok(true) | Err(_) => {}
+        Ok(false) => *dropped += 1,
+    }
+}
+
+/// Scratch root for chaos trials.
+pub fn default_scratch() -> PathBuf {
+    std::env::temp_dir().join(format!("gtpin-chaos-{}", std::process::id()))
+}

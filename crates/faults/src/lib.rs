@@ -42,6 +42,9 @@ use std::sync::{Mutex, OnceLock};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
+pub mod sealed;
+pub use sealed::Sealed;
+
 /// Environment variable that arms the registry.
 pub const FAULTS_ENV: &str = "GTPIN_FAULTS";
 /// Environment variable that overrides the seed for `GTPIN_FAULTS=1`.
@@ -114,9 +117,14 @@ pub mod site {
     /// `error[session]` response and the daemon — and every sibling
     /// session — keeps running).
     pub const SERVE_SESSION_CRASH: &str = "serve.session_crash";
+    /// A sealed memo-cache payload is corrupted at rest (recovered by
+    /// verify-on-read: the fnv64 digest mismatch quarantines the
+    /// entry and the caller recomputes it from source — results stay
+    /// bit-identical because recompute IS the reference path).
+    pub const CACHE_CORRUPT: &str = "cache.corrupt";
 
     /// Every named site, for matrix drivers.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 10] = [
         SHARD_OVERFLOW,
         RECORD_CORRUPT,
         JIT_FAIL,
@@ -126,6 +134,7 @@ pub mod site {
         SIM_SHARD,
         SERVE_CONN_DROP,
         SERVE_SESSION_CRASH,
+        CACHE_CORRUPT,
     ];
 }
 
@@ -291,8 +300,11 @@ pub fn disable() {
 }
 
 /// splitmix64-style finalizer: full-avalanche mix of one word.
+/// Public because key-derivation call sites (sealed caches, the
+/// chaos scenario generator) need the same avalanche the registry
+/// uses, and two subtly different mixers would be a trap.
 #[inline]
-fn mix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

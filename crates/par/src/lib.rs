@@ -86,14 +86,25 @@ pub enum EnvKnobKind {
 }
 
 /// Every numeric `GTPIN_*` environment knob the suite reads, with
-/// the strictness class its value must satisfy.
-pub const NUMERIC_ENV_KNOBS: [(&str, EnvKnobKind); 6] = [
+/// the strictness class its value must satisfy. The serve/chaos knob
+/// names are string literals here (not re-exported consts) because
+/// this crate sits below those layers — each owning crate defines a
+/// matching const and a test pins the spelling.
+pub const NUMERIC_ENV_KNOBS: [(&str, EnvKnobKind); 11] = [
     (THREADS_ENV, EnvKnobKind::ThreadCount),
     (SIM_THREADS_ENV, EnvKnobKind::ThreadCount),
     (supervisor::DEADLINE_ENV, EnvKnobKind::Limit),
     (supervisor::BREAKER_ENV, EnvKnobKind::Limit),
     (supervisor::MAX_TASKS_ENV, EnvKnobKind::Limit),
     (supervisor::MAX_VIRTUAL_ENV, EnvKnobKind::Limit),
+    // gtpin-serve: session lease length (virtual ms, 0 disables) and
+    // the client retry policy (attempt cap, base backoff ms).
+    ("GTPIN_LEASE_MS", EnvKnobKind::Limit),
+    ("GTPIN_RETRY_MAX", EnvKnobKind::Limit),
+    ("GTPIN_RETRY_BASE_MS", EnvKnobKind::Limit),
+    // gtpin-chaos: restart bound per scenario and the base seed.
+    ("GTPIN_CHAOS_MAX_RESTARTS", EnvKnobKind::Limit),
+    ("GTPIN_CHAOS_SEED", EnvKnobKind::Limit),
 ];
 
 /// The non-numeric `GTPIN_*` knobs: on/off switches plus the fault
@@ -176,7 +187,28 @@ where
     F: Fn(usize) -> R + Sync,
 {
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        if !gtpin_faults::enabled() {
+            return (0..n).map(f).collect();
+        }
+        // Faults armed: the worker-panic seam is keyed per
+        // `(task, attempt)`, never per worker, so the serial path
+        // must offer the identical injection points and recovery
+        // ladder as the fan-out below — otherwise whether the seam
+        // even exists would depend on the worker count, and any
+        // digest folding the injected accounting would move with
+        // the ambient `GTPIN_THREADS`.
+        return (0..n)
+            .map(|i| {
+                run_guarded(&f, i, 0).unwrap_or_else(|| {
+                    gtpin_faults::note("recovered.worker_retry", 1);
+                    run_guarded(&f, i, 1).unwrap_or_else(|| {
+                        gtpin_faults::note("recovered.serial_fallback", 1);
+                        gtpin_obs::warn!("par: task {i} panicked twice, running serial unguarded");
+                        f(i)
+                    })
+                })
+            })
+            .collect();
     }
     let workers = threads.min(n);
     // Telemetry is observational only: timings and counts are
@@ -479,8 +511,31 @@ mod tests {
             supervisor::BREAKER_ENV,
             supervisor::MAX_TASKS_ENV,
             supervisor::MAX_VIRTUAL_ENV,
+            "GTPIN_LEASE_MS",
+            "GTPIN_RETRY_MAX",
+            "GTPIN_RETRY_BASE_MS",
+            "GTPIN_CHAOS_MAX_RESTARTS",
+            "GTPIN_CHAOS_SEED",
         ] {
             assert_eq!(names.iter().filter(|n| **n == var).count(), 1, "{var}");
+        }
+    }
+
+    #[test]
+    fn serve_and_chaos_knobs_strict_parse_as_limits() {
+        let _guard = guard();
+        for var in [
+            "GTPIN_LEASE_MS",
+            "GTPIN_RETRY_MAX",
+            "GTPIN_RETRY_BASE_MS",
+            "GTPIN_CHAOS_MAX_RESTARTS",
+            "GTPIN_CHAOS_SEED",
+        ] {
+            assert!(validate_env_value(var, "0", EnvKnobKind::Limit).is_ok());
+            assert!(validate_env_value(var, " 25 ", EnvKnobKind::Limit).is_ok());
+            let err = validate_env_value(var, "soon", EnvKnobKind::Limit)
+                .expect_err("garbage must be rejected");
+            assert!(err.contains(var), "error names the variable: {err}");
         }
     }
 

@@ -13,7 +13,7 @@ use simpoint::SimpointConfig;
 use crate::data::AppData;
 use crate::evaluate::{all_configs, evaluate_config_with_table, Evaluation, SelectionConfig};
 use crate::features::FeatureWeighting;
-use crate::interval::SchemeTable;
+use crate::interval::SealedTable;
 
 /// The outcome of evaluating every configuration for one app.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,10 +67,10 @@ impl Exploration {
         }
         // Divide once per scheme; tables are shared read-only below.
         let configs = all_configs(approx_target);
-        let mut tables: Vec<SchemeTable> = Vec::new();
+        let mut tables: Vec<SealedTable> = Vec::new();
         for cfg in &configs {
-            if !tables.iter().any(|t| t.scheme == cfg.interval) {
-                tables.push(SchemeTable::build(data, cfg.interval));
+            if !tables.iter().any(|t| t.scheme() == cfg.interval) {
+                tables.push(SealedTable::build(data, cfg.interval));
             }
         }
         let tasks: Vec<(usize, SelectionConfig)> = configs
@@ -78,17 +78,25 @@ impl Exploration {
             .map(|cfg| {
                 let ti = tables
                     .iter()
-                    .position(|t| t.scheme == cfg.interval)
+                    .position(|t| t.scheme() == cfg.interval)
                     .expect("table built for every scheme");
                 (ti, cfg)
             })
             .collect();
 
+        // Verify-on-read at the serial point, before the read-only
+        // fan-out: a corrupted table heals here (rebuilt bitwise
+        // identical), so every worker sees proven bytes and the
+        // verification schedule is independent of the thread count.
+        for table in &mut tables {
+            table.verified(data);
+        }
+
         let evaluations = gtpin_par::parallel_map(&tasks, threads, |_, &(ti, cfg)| {
             evaluate_config_with_table(
                 data,
                 cfg,
-                &tables[ti],
+                tables[ti].table(),
                 simpoint,
                 FeatureWeighting::InstructionWeighted,
             )

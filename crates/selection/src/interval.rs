@@ -185,6 +185,79 @@ impl SchemeTable {
     }
 }
 
+/// A [`SchemeTable`] guarded by a verify-on-read canary seal.
+///
+/// The table is memoized state that every evaluation trusts; a
+/// corrupted entry would silently skew all 10 feature kinds under
+/// its scheme. The seal packs the table into canonical bytes and
+/// records their fnv64 ([`gtpin_faults::Sealed`]); callers verify at
+/// the serial point before fanning out read-only. On a mismatch
+/// (the `cache.corrupt` fault site, or real rot) the table is
+/// quarantined and rebuilt from the source `AppData` — recompute is
+/// the reference path, so the healed table is bitwise identical to
+/// the original and downstream results never change.
+#[derive(Debug, Clone)]
+pub struct SealedTable {
+    table: SchemeTable,
+    seal: gtpin_faults::Sealed,
+    ident: u64,
+}
+
+impl SealedTable {
+    /// Build and seal a table for `data` under `scheme`.
+    pub fn build(data: &AppData, scheme: IntervalScheme) -> SealedTable {
+        let table = SchemeTable::build(data, scheme);
+        let ident = gtpin_obs::frame::fnv64(format!("{}/{}", data.app, scheme.label()).as_bytes());
+        let seal = gtpin_faults::Sealed::new(pack_table(&table));
+        SealedTable { table, seal, ident }
+    }
+
+    /// The scheme this table divides under.
+    pub fn scheme(&self) -> IntervalScheme {
+        self.table.scheme
+    }
+
+    /// Verify-on-read: check the canary seal and heal on mismatch by
+    /// rebuilding from `data` and resealing (accounted through
+    /// `healed.selection.interval_table` / `cache.heal`). Returns the
+    /// (possibly freshly rebuilt) table.
+    pub fn verified(&mut self, data: &AppData) -> &SchemeTable {
+        if self.seal.read(self.ident).is_none() {
+            gtpin_faults::sealed::note_heal("selection.interval_table");
+            self.table = SchemeTable::build(data, self.table.scheme);
+            self.seal = gtpin_faults::Sealed::new(pack_table(&self.table));
+        }
+        &self.table
+    }
+
+    /// Access without verification — for read-only fan-out after a
+    /// serial [`Self::verified`] call.
+    pub fn table(&self) -> &SchemeTable {
+        &self.table
+    }
+}
+
+/// Canonical byte packing of a table for sealing: scheme label,
+/// interval bounds, instruction sums (LE), second sums as IEEE bits
+/// (LE), quarantine flags. Stable across runs — no pointers, no
+/// volatile state — so seals replay identically.
+fn pack_table(t: &SchemeTable) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + t.len() * 33);
+    out.extend_from_slice(t.scheme.label().as_bytes());
+    for iv in &t.intervals {
+        out.extend_from_slice(&(iv.start as u64).to_le_bytes());
+        out.extend_from_slice(&(iv.end as u64).to_le_bytes());
+    }
+    for i in 0..t.len() {
+        out.extend_from_slice(&t.instructions(i).to_le_bytes());
+        out.extend_from_slice(&t.seconds[i].to_bits().to_le_bytes());
+    }
+    for &q in t.quarantine_mask() {
+        out.push(u8::from(q));
+    }
+    out
+}
+
 /// The default medium-interval target for an application — the
 /// analogue of the paper's fixed "~100M instructions" at our workload
 /// scale: roughly two sub-intervals per synchronization epoch, which
@@ -370,6 +443,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    // The fault registry is process-global; serialize the one test
+    // that installs a plan (same discipline as the faults crate).
+    static FAULTS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn sealed_table_heals_corruption_to_identical_bits() {
+        let _g = FAULTS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let d = synthetic_app(5, 7);
+        let scheme = IntervalScheme::ApproxInstructions(25_000);
+        let reference = SchemeTable::build(&d, scheme);
+
+        // Corrupt on every read: the canary trips, the table heals.
+        gtpin_faults::install(gtpin_faults::FaultPlan::single(
+            gtpin_faults::site::CACHE_CORRUPT,
+            1.0,
+            77,
+        ));
+        let mut sealed = SealedTable::build(&d, scheme);
+        let healed = sealed.verified(&d);
+        assert_eq!(healed.intervals, reference.intervals);
+        for i in 0..reference.len() {
+            assert_eq!(healed.instructions(i), reference.instructions(i));
+            assert_eq!(
+                healed.spi(i).to_bits(),
+                reference.spi(i).to_bits(),
+                "healed table must be bitwise identical"
+            );
+        }
+        let acc: std::collections::BTreeMap<String, u64> =
+            gtpin_faults::take_accounting().into_iter().collect();
+        assert!(acc["injected.cache.corrupt"] >= 1);
+        assert!(acc["healed.selection.interval_table"] >= 1);
+        gtpin_faults::disable();
+
+        // Quiescent: the seal holds and no heal is accounted.
+        let mut clean = SealedTable::build(&d, scheme);
+        clean.verified(&d);
+        let acc: std::collections::BTreeMap<String, u64> =
+            gtpin_faults::take_accounting().into_iter().collect();
+        assert!(!acc.contains_key("healed.selection.interval_table"));
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use features::{
     feature_vector, feature_vector_weighted, feature_vectors, feature_vectors_weighted,
     FeatureKind, FeatureWeighting,
 };
-pub use interval::{build_intervals, default_approx_target, Interval, IntervalScheme, SchemeTable};
+pub use interval::{
+    build_intervals, default_approx_target, Interval, IntervalScheme, SchemeTable, SealedTable,
+};
 pub use pipeline::{profile_app, replay_timings, PipelineError, ProfiledApp};
 pub use prescreen::{PrescreenReport, PrescreenRow, PrescreenSample, StaticEstimator};
 pub use sweep::{

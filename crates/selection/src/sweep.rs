@@ -34,7 +34,7 @@ use crate::data::AppData;
 use crate::evaluate::{all_configs, evaluate_config_with_table, Evaluation};
 use crate::explore::Exploration;
 use crate::features::FeatureWeighting;
-use crate::interval::SchemeTable;
+use crate::interval::SealedTable;
 use crate::pipeline::profile_app;
 use crate::prescreen::{PrescreenReport, PrescreenSample, StaticEstimator};
 
@@ -679,16 +679,16 @@ fn sweep_one_app(
     // pays for trace division again.
     let approx = crate::interval::default_approx_target(&data);
     let configs = all_configs(approx);
-    let mut tables: Vec<SchemeTable> = Vec::new();
+    let mut tables: Vec<SealedTable> = Vec::new();
     let mut table_index: Vec<usize> = Vec::with_capacity(configs.len());
     let all_cached =
         (0..configs.len()).all(|i| store.cached(&format!("eval/{app}/{i:02}")).is_some());
     if !all_cached {
         for cfg in &configs {
-            let ti = match tables.iter().position(|t| t.scheme == cfg.interval) {
+            let ti = match tables.iter().position(|t| t.scheme() == cfg.interval) {
                 Some(ti) => ti,
                 None => {
-                    tables.push(SchemeTable::build(&data, cfg.interval));
+                    tables.push(SealedTable::build(&data, cfg.interval));
                     tables.len() - 1
                 }
             };
@@ -706,6 +706,15 @@ fn sweep_one_app(
     while chunk_start < configs.len() {
         let chunk_end = (chunk_start + batch).min(configs.len());
         let chunk = &configs[chunk_start..chunk_end];
+        // Verify the memoized tables at the chunk boundary — the
+        // serial point between dispatches. Tables live across all 30
+        // evaluations; a corrupted one heals here (rebuilt bitwise
+        // identical from `data`) before any worker reads it. The
+        // schedule is chunk-count-driven, so it replays identically
+        // at every thread count.
+        for table in &mut tables {
+            table.verified(&data);
+        }
         let chunk_outcomes = supervisor.run_units(
             app,
             chunk,
@@ -736,7 +745,7 @@ fn sweep_one_app(
                 evaluate_config_with_table(
                     &data,
                     *cfg,
-                    &tables[table_index[i]],
+                    tables[table_index[i]].table(),
                     &opts.simpoint,
                     FeatureWeighting::InstructionWeighted,
                 )

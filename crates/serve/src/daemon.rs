@@ -56,23 +56,54 @@ pub fn request_drain() {
     DRAIN.store(true, Ordering::SeqCst);
 }
 
+/// Probe an existing socket file: connect to tell a live daemon from
+/// a stale corpse. `Err(Busy)` if something answers; `Ok(())` after
+/// removing a dead socket (a SIGKILL'd predecessor's leftover) or
+/// when no socket exists. The probe connection sends no frame, so a
+/// live daemon sees a clean EOF and carries on.
+fn reclaim_socket(socket: &Path) -> Result<(), ServeError> {
+    if !socket.exists() {
+        return Ok(());
+    }
+    match UnixStream::connect(socket) {
+        Ok(_probe) => Err(ServeError::Busy(format!(
+            "a live daemon already serves {}; stop it first or use another --socket",
+            socket.display()
+        ))),
+        Err(_) => {
+            eprintln!(
+                "serve: removing stale socket {} (liveness probe got no answer)",
+                socket.display()
+            );
+            let _ = std::fs::remove_file(socket);
+            Ok(())
+        }
+    }
+}
+
 /// Run the daemon until drained. Lifecycle messages go to stderr;
 /// stdout stays clean.
 pub fn serve(config: ServeConfig) -> Result<(), ServeError> {
     let socket = config.socket.clone();
+    // Refuse to fight a live daemon *before* paying for resume; a
+    // dead predecessor's socket is reclaimed here.
+    reclaim_socket(&socket)?;
     let (engine, resume) = SessionEngine::new(config)?;
     let engine = Arc::new(engine);
-    if resume.replayed + resume.recomputed > 0 || resume.torn_records + resume.orphan_tmps > 0 {
+    if resume.replayed + resume.recomputed + resume.reaped > 0
+        || resume.torn_records + resume.orphan_tmps > 0
+    {
         eprintln!(
             "serve: resume replayed {} session(s), recomputed {} interrupted, \
-             truncated {} torn record(s), swept {} orphan tmp(s)",
-            resume.replayed, resume.recomputed, resume.torn_records, resume.orphan_tmps
+             reaped {} expired lease(s), truncated {} torn record(s), swept {} orphan tmp(s)",
+            resume.replayed,
+            resume.recomputed,
+            resume.reaped,
+            resume.torn_records,
+            resume.orphan_tmps
         );
     }
 
-    // A SIGKILL'd predecessor leaves its socket file behind; it is
-    // ours to replace.
-    let _ = std::fs::remove_file(&socket);
     let listener = UnixListener::bind(&socket)
         .map_err(|e| io_err(format!("binding {}", socket.display()), e))?;
     listener
@@ -183,4 +214,187 @@ pub fn request_once(socket: &Path, request: &Request) -> Result<Vec<Response>, S
         }
     }
     Ok(responses)
+}
+
+/// Env knob: retry attempt cap for the one-shot client
+/// (strict-parsed by `validate_env`).
+pub const RETRY_MAX_ENV: &str = "GTPIN_RETRY_MAX";
+
+/// Env knob: retry base backoff in milliseconds (strict-parsed by
+/// `validate_env`).
+pub const RETRY_BASE_ENV: &str = "GTPIN_RETRY_BASE_MS";
+
+/// Deterministic jittered-backoff retry policy for the one-shot
+/// client. Retryable outcomes are transport failures (connection
+/// refused or dropped mid-stream — `ServeError::Io`/`Wire`) and
+/// terminal `error[busy]` sheds (capacity or breaker — transient by
+/// construction); every other outcome returns immediately. The
+/// backoff schedule is a pure function of `(seed, session key,
+/// attempt)`, so a retried run replays identically — no wall-clock
+/// randomness ever reaches an output.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempt cap (first try included). 1 disables retry.
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds; attempt `n` waits
+    /// `base << min(n, 6)` halved plus deterministic jitter below
+    /// `base`.
+    pub base_ms: u64,
+    /// Jitter seed, mixed with the session key and attempt index.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_ms: 10,
+            seed: 0x6774_7069_6e21,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Read `GTPIN_RETRY_MAX` / `GTPIN_RETRY_BASE_MS` (lenient here;
+    /// `validate_env` strict-parses at CLI start).
+    pub fn from_env() -> RetryPolicy {
+        let mut policy = RetryPolicy::default();
+        if let Some(n) = std::env::var(RETRY_MAX_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+        {
+            policy.max_attempts = n;
+        }
+        if let Some(ms) = std::env::var(RETRY_BASE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+        {
+            policy.base_ms = ms;
+        }
+        policy
+    }
+
+    /// The wait before retry attempt `attempt` (1-based): capped
+    /// exponential backoff with deterministic jitter — pure in
+    /// `(seed, key, attempt)`.
+    pub fn backoff_ms(&self, key: &str, attempt: u32) -> u64 {
+        let ceiling = self.base_ms << attempt.min(6);
+        let jitter_src = gtpin_faults::mix64(
+            self.seed ^ gtpin_faults::hash_str(key) ^ u64::from(attempt).wrapping_mul(0x9E37),
+        );
+        let jitter = if self.base_ms == 0 {
+            0
+        } else {
+            jitter_src % self.base_ms
+        };
+        ceiling / 2 + jitter
+    }
+}
+
+/// Whether a terminal response is a retryable shed: `error[busy]`
+/// means capacity or an open breaker — both transient.
+fn is_busy_shed(responses: &[Response]) -> bool {
+    matches!(
+        responses.last(),
+        Some(Response::Err { kind, .. }) if kind == "busy"
+    )
+}
+
+/// [`request_once`] under a [`RetryPolicy`]: connection failures and
+/// `error[busy]` sheds are retried with deterministic jittered
+/// backoff, up to the attempt cap; the last attempt's outcome is
+/// returned as-is. Each retry bumps the `serve.retry_attempts`
+/// counter.
+pub fn request_with_retry(
+    socket: &Path,
+    request: &Request,
+    policy: &RetryPolicy,
+) -> Result<Vec<Response>, ServeError> {
+    let key = request.session_key();
+    let mut attempt = 1u32;
+    loop {
+        let outcome = request_once(socket, request);
+        let retryable = match &outcome {
+            Ok(responses) => is_busy_shed(responses),
+            Err(ServeError::Io { .. } | ServeError::Wire(_)) => true,
+            Err(_) => false,
+        };
+        if !retryable || attempt >= policy.max_attempts.max(1) {
+            return outcome;
+        }
+        gtpin_obs::counter_add("serve.retry_attempts", 1);
+        std::thread::sleep(Duration::from_millis(policy.backoff_ms(&key, attempt)));
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_socket_is_reclaimed_and_live_socket_refused() {
+        let dir = std::env::temp_dir().join(format!("gtpin-serve-probe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+
+        // A SIGKILL'd daemon's leftover: the file exists but nothing
+        // listens (dropping the listener leaves the socket file).
+        let stale = dir.join("stale.sock");
+        drop(UnixListener::bind(&stale).expect("binds"));
+        assert!(stale.exists(), "dropped listener leaves its socket file");
+        reclaim_socket(&stale).expect("dead socket is reclaimed");
+        assert!(!stale.exists(), "stale socket removed");
+
+        // A live daemon answers the probe: refuse, never remove.
+        let live = dir.join("live.sock");
+        let _listener = UnixListener::bind(&live).expect("binds");
+        match reclaim_socket(&live) {
+            Err(e) => {
+                assert_eq!(e.kind(), "busy");
+                assert!(e.to_string().contains("live daemon"));
+            }
+            Ok(()) => panic!("a live socket must refuse with error[busy]"),
+        }
+        assert!(live.exists(), "a live socket is never removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=8 {
+            let a = p.backoff_ms("explore/bitonic/5", attempt);
+            assert_eq!(
+                a,
+                p.backoff_ms("explore/bitonic/5", attempt),
+                "pure in (seed, key, attempt)"
+            );
+            assert!(a <= (p.base_ms << 6) / 2 + p.base_ms, "capped shift");
+        }
+        // The schedule grows: late attempts back off far longer than
+        // the first (jitter is bounded below base_ms).
+        assert!(p.backoff_ms("k", 1) < p.backoff_ms("k", 6));
+        // Different keys de-synchronize their jitter somewhere in the
+        // schedule (thundering-herd protection).
+        assert!((1..=6).any(|n| p.backoff_ms("key-a", n) != p.backoff_ms("key-b", n)));
+    }
+
+    #[test]
+    fn retry_gives_up_after_capped_attempts_on_dead_socket() {
+        let missing = std::env::temp_dir().join("gtpin-no-such-daemon.sock");
+        let _ = std::fs::remove_file(&missing);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_ms: 0,
+            seed: 1,
+        };
+        let req = Request::Lint {
+            app: "anything".to_string(),
+        };
+        match request_with_retry(&missing, &req, &policy) {
+            Err(e) => assert_eq!(e.kind(), "io"),
+            Ok(r) => panic!("expected io failure, got {r:?}"),
+        }
+    }
 }

@@ -36,7 +36,7 @@ pub mod daemon;
 pub mod session;
 pub mod wire;
 
-pub use daemon::{request_drain, request_once, serve};
+pub use daemon::{request_drain, request_once, request_with_retry, serve, RetryPolicy};
 pub use session::{ResumeReport, ServeConfig, SessionEngine, SessionRecord, SessionResult};
 
 use std::path::PathBuf;
@@ -62,6 +62,10 @@ pub enum ServeError {
     Journal(gtpin_durable::JournalError),
     /// Bad arguments (unknown request kind, malformed flag values).
     Cli(String),
+    /// Another live daemon already owns the socket — the startup
+    /// liveness probe got an answer, so this instance refuses to
+    /// replace it (only *dead* sockets are reclaimed).
+    Busy(String),
 }
 
 impl ServeError {
@@ -72,6 +76,7 @@ impl ServeError {
             ServeError::Wire(_) => "wire",
             ServeError::Journal(_) => "journal",
             ServeError::Cli(_) => "cli",
+            ServeError::Busy(_) => "busy",
         }
     }
 }
@@ -83,6 +88,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Wire(e) => write!(f, "{e}"),
             ServeError::Journal(e) => write!(f, "{e}"),
             ServeError::Cli(s) => f.write_str(s),
+            ServeError::Busy(s) => f.write_str(s),
         }
     }
 }
@@ -93,7 +99,7 @@ impl std::error::Error for ServeError {
             ServeError::Io { source, .. } => Some(source),
             ServeError::Wire(e) => Some(e),
             ServeError::Journal(e) => Some(e),
-            ServeError::Cli(_) => None,
+            ServeError::Cli(_) | ServeError::Busy(_) => None,
         }
     }
 }

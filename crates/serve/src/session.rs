@@ -52,6 +52,16 @@ use workloads::{build_program, spec_by_name, Scale};
 use crate::wire::{self, Request, Response};
 use crate::ServeError;
 
+/// Env knob: session lease length in **virtual** milliseconds
+/// (strict-parsed by `validate_env`; `0` disables leases).
+pub const LEASE_ENV: &str = "GTPIN_LEASE_MS";
+
+/// Default lease length in virtual milliseconds — generous relative
+/// to test-scale virtual time, so only genuinely stuck sessions
+/// (whose journal Start outlives this much of everyone else's
+/// virtual work) are reaped.
+pub const DEFAULT_LEASE_VIRTUAL_MS: u64 = 60_000;
+
 /// Daemon configuration. Supervision knobs come from
 /// [`SupervisorConfig::from_env`] (`GTPIN_DEADLINE_MS`,
 /// `GTPIN_BREAKER`, `GTPIN_MAX_TASKS`, `GTPIN_MAX_VIRTUAL_MS`).
@@ -68,8 +78,18 @@ pub struct ServeConfig {
     pub max_sessions: usize,
     /// Admission policy (deadline, breaker, budget).
     pub supervisor: SupervisorConfig,
-    /// Worker threads for per-session exploration fan-out.
+    /// Worker threads for per-session fan-out: exploration workers,
+    /// executor hardware-thread fan-out, and detailed-sim shard
+    /// workers are all pinned here, never to the ambient
+    /// `GTPIN_THREADS`, so a session's behavior (including which
+    /// fault seams it exercises) is a pure function of this config.
     pub threads: usize,
+    /// Session lease length in virtual milliseconds (`GTPIN_LEASE_MS`,
+    /// 0 disables): each journaled Start carries a virtual-clock
+    /// deadline, and the resume reaper reclaims pending sessions
+    /// whose deadline the clock has passed into `error[lease]`
+    /// instead of recomputing them.
+    pub lease_virtual_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +101,10 @@ impl Default for ServeConfig {
             max_sessions: 8,
             supervisor: SupervisorConfig::default(),
             threads: 1,
+            lease_virtual_ms: std::env::var(LEASE_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(DEFAULT_LEASE_VIRTUAL_MS),
         }
     }
 }
@@ -162,6 +186,19 @@ pub enum SessionRecord {
         /// The terminal result, replayed verbatim on resume.
         result: SessionResult,
     },
+    /// A lease on a started session: if the virtual clock passes
+    /// `deadline_virtual_ns` with no Finish journaled, the resume
+    /// reaper reclaims the session into `error[lease]` instead of
+    /// recomputing it. A separate record (not a `Start` field) so
+    /// pre-lease journals replay unchanged.
+    Lease {
+        /// The session key the lease covers.
+        key: String,
+        /// The supervisor group the reaped outcome is charged to.
+        app: String,
+        /// Virtual-clock deadline in nanoseconds.
+        deadline_virtual_ns: u64,
+    },
 }
 
 /// What resume recovered, for the daemon's stderr report.
@@ -175,12 +212,45 @@ pub struct ResumeReport {
     pub torn_records: usize,
     /// Orphan `.tmp` segments recovery swept.
     pub orphan_tmps: usize,
+    /// Pending sessions whose lease had expired, reclaimed into
+    /// `error[lease]` by the virtual-clock reaper.
+    pub reaped: usize,
 }
 
 /// Mutex guard that survives poisoning: a caught session panic must
 /// never wedge the daemon's shared state.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A memo-cache entry guarded by a verify-on-read canary seal.
+///
+/// The canary is a canonical byte rendering of the entry sealed with
+/// its fnv64 ([`gtpin_faults::Sealed`]); every cache read verifies it
+/// before trusting the `Arc`. A mismatch (the `cache.corrupt` fault
+/// site, or real rot) quarantines the whole entry — the caller
+/// removes it, accounts the heal, and recomputes from source, which
+/// is bitwise identical because recompute is the path that filled
+/// the cache. Verification costs one fnv64 pass over the canary, not
+/// a deserialization.
+struct SealedSlot<T> {
+    value: Arc<T>,
+    seal: gtpin_faults::Sealed,
+}
+
+impl<T> SealedSlot<T> {
+    fn new(value: Arc<T>, canary: Vec<u8>) -> SealedSlot<T> {
+        SealedSlot {
+            value,
+            seal: gtpin_faults::Sealed::new(canary),
+        }
+    }
+
+    /// Verify the canary under `ident`; `Some` shares the value,
+    /// `None` means the entry must be quarantined and recomputed.
+    fn verified(&mut self, ident: u64) -> Option<Arc<T>> {
+        self.seal.read(ident).map(|_| self.value.clone())
+    }
 }
 
 /// The shared state behind every connection of one daemon lifetime.
@@ -191,17 +261,18 @@ pub struct SessionEngine {
     /// Terminal results by session key — the response cache.
     responses: Mutex<BTreeMap<String, SessionResult>>,
     /// One-time profiling passes by `app/scale`, shared by `profile`
-    /// and `explore` sessions.
-    profiles: Mutex<BTreeMap<String, Arc<ProfiledApp>>>,
+    /// and `explore` sessions. Sealed: reads verify a canary over the
+    /// profiled trace data and heal on mismatch.
+    profiles: Mutex<BTreeMap<String, SealedSlot<ProfiledApp>>>,
     /// 30-configuration sweeps by `app/scale`; the co-optimization
     /// threshold only affects selection over the finished sweep, so
-    /// explores at different thresholds share one entry.
-    explorations: Mutex<BTreeMap<String, Arc<Exploration>>>,
+    /// explores at different thresholds share one entry. Sealed.
+    explorations: Mutex<BTreeMap<String, SealedSlot<Exploration>>>,
     /// Structural analyses by kernel **content hash** — apps sharing
     /// a kernel binary share its dominator/loop/cost analysis, and a
     /// re-request of the same app re-renders from the cache instead
-    /// of re-walking the CFG.
-    analyses: Mutex<BTreeMap<u64, Arc<gtpin_analyze::KernelReport>>>,
+    /// of re-walking the CFG. Sealed over the rendered report text.
+    analyses: Mutex<BTreeMap<u64, SealedSlot<gtpin_analyze::KernelReport>>>,
     /// Sessions currently computing (admission cap).
     active: AtomicUsize,
 }
@@ -247,8 +318,14 @@ impl SessionEngine {
 
         // Replay finished sessions in journal order so the resumed
         // supervisor walks the identical breaker/budget trajectory,
-        // then recompute the interrupted ones (Start, no Finish).
+        // then sweep the interrupted ones (Start, no Finish): a
+        // pending session whose lease deadline the virtual clock has
+        // passed is *reaped* into `error[lease]` — it was stuck, and
+        // recomputing it would re-run work the original owner may
+        // still be mid-flight on — while an unexpired (or unleased)
+        // one recomputes as before.
         let mut pending: Vec<(String, Request)> = Vec::new();
+        let mut leases: BTreeMap<String, u64> = BTreeMap::new();
         for record in replay {
             match record {
                 SessionRecord::Start { key, request } => {
@@ -258,20 +335,61 @@ impl SessionEngine {
                 }
                 SessionRecord::Finish { key, app, result } => {
                     pending.retain(|(k, _)| *k != key);
+                    leases.remove(&key);
                     engine.replay_finish(&app, &key, result);
                     report.replayed += 1;
                 }
+                SessionRecord::Lease {
+                    key,
+                    deadline_virtual_ns,
+                    ..
+                } => {
+                    leases.insert(key, deadline_virtual_ns);
+                }
             }
         }
+        let virtual_now = lock(&engine.supervisor).report().virtual_ns_spent;
         for (key, request) in pending {
             if lock(&engine.responses).contains_key(&key) {
                 continue;
+            }
+            if let Some(&deadline) = leases.get(&key) {
+                if deadline <= virtual_now {
+                    engine.reap(&key, &request, deadline, virtual_now);
+                    report.reaped += 1;
+                    continue;
+                }
             }
             gtpin_obs::counter_add("serve.resume_recomputed", 1);
             engine.handle(&request);
             report.recomputed += 1;
         }
         Ok((engine, report))
+    }
+
+    /// Reclaim a pending session whose lease expired: journal a
+    /// durable `error[lease]` Finish, charge the supervisor a
+    /// failure, and cache the typed result — all deterministic, so a
+    /// second resume replays the identical trajectory.
+    fn reap(&self, key: &str, request: &Request, deadline_virtual_ns: u64, virtual_now: u64) {
+        let app = request.app().to_string();
+        let result = SessionResult::Failed {
+            kind: "lease".to_string(),
+            message: format!(
+                "session lease expired at {deadline_virtual_ns} virtual ns \
+                 (clock {virtual_now}); reclaimed by the reaper"
+            ),
+            virtual_ns: 0,
+        };
+        lock(&self.supervisor).finish(&app, &Outcome::<(), ()>::Failed(()));
+        self.journal_append(&SessionRecord::Finish {
+            key: key.to_string(),
+            app,
+            result: result.clone(),
+        });
+        lock(&self.responses).insert(key.to_string(), result);
+        gtpin_obs::counter_add("lease.reaped", 1);
+        gtpin_faults::note("recovered.lease_reaped", 1);
     }
 
     /// The active configuration.
@@ -361,11 +479,22 @@ impl SessionEngine {
             }
         }
 
-        // 4. Journal the Start before any compute.
+        // 4. Journal the Start before any compute, then its lease: a
+        // virtual-clock deadline after which a resume may reap the
+        // session instead of recomputing it.
         self.journal_append(&SessionRecord::Start {
             key: key.clone(),
             request: request.clone(),
         });
+        if self.config.lease_virtual_ms > 0 {
+            let now_ns = lock(&self.supervisor).report().virtual_ns_spent;
+            self.journal_append(&SessionRecord::Lease {
+                key: key.clone(),
+                app: request.app().to_string(),
+                deadline_virtual_ns: now_ns
+                    .saturating_add(self.config.lease_virtual_ms.saturating_mul(1_000_000)),
+            });
+        }
 
         // 5. Compute in panic isolation. The `serve.session_crash`
         // seam fires at the top of `compute`, before any shared lock
@@ -509,7 +638,9 @@ impl SessionEngine {
                 scale,
                 threshold_pct,
             } => self.compute_explore(app, scale, *threshold_pct),
-            Request::Sim { app, launches } => compute_sim(app, *launches),
+            Request::Sim { app, launches } => {
+                compute_sim(app, *launches, self.config.threads.max(1))
+            }
             Request::Lint { app } => compute_lint(app),
             Request::Analyze { app } => self.compute_analyze(app),
         }
@@ -536,7 +667,23 @@ impl SessionEngine {
         for ir in &program.source.kernels {
             let bin = compile_kernel(ir).map_err(|e| ("jit".to_string(), e.to_string()))?;
             let hash = gtpin_analyze::report::fnv64(&bin.encode());
-            let cached = lock(&self.analyses).get(&hash).cloned();
+            let cached = {
+                let mut map = lock(&self.analyses);
+                match map.get_mut(&hash) {
+                    // Verify-on-read over the rendered report text;
+                    // a corrupted entry is quarantined and the CFG
+                    // re-analyzed (deterministic, so identical).
+                    Some(slot) => match slot.verified(hash) {
+                        Some(a) => Some(a),
+                        None => {
+                            map.remove(&hash);
+                            gtpin_faults::sealed::note_heal("serve.analysis");
+                            None
+                        }
+                    },
+                    None => None,
+                }
+            };
             let analysis = match cached {
                 Some(a) => {
                     gtpin_obs::counter_add("serve.memo_analyze_hit", 1);
@@ -545,9 +692,11 @@ impl SessionEngine {
                 None => {
                     let a = gtpin_analyze::analyze_kernel(&bin, &params)
                         .map_err(|e| ("analyze".to_string(), e.to_string()))?;
+                    let canary = a.render().into_bytes();
                     lock(&self.analyses)
                         .entry(hash)
-                        .or_insert_with(|| Arc::new(a))
+                        .or_insert_with(|| SealedSlot::new(Arc::new(a), canary))
+                        .value
                         .clone()
                 }
             };
@@ -572,32 +721,78 @@ impl SessionEngine {
     }
 
     /// The memoized one-time profiling pass for `(app, scale)`.
+    /// Verify-on-read: the cached entry's canary (the serialized
+    /// trace data) must prove itself on every hit; a corrupted entry
+    /// is quarantined and the pass recomputes — bitwise identical,
+    /// since profiling is deterministic.
     fn profiled(&self, app: &str, scale: &str) -> Result<Arc<ProfiledApp>, (String, String)> {
         let scale = parse_scale(scale)?;
         let memo_key = format!("{app}/{scale:?}");
-        if let Some(p) = lock(&self.profiles).get(&memo_key) {
+        let ident = gtpin_faults::hash_str(&memo_key);
+        let cached = {
+            let mut map = lock(&self.profiles);
+            match map.get_mut(&memo_key) {
+                Some(slot) => match slot.verified(ident) {
+                    Some(p) => Some(p),
+                    None => {
+                        map.remove(&memo_key);
+                        gtpin_faults::sealed::note_heal("serve.profile");
+                        None
+                    }
+                },
+                None => None,
+            }
+        };
+        if let Some(p) = cached {
             gtpin_obs::counter_add("serve.memo_profile_hit", 1);
-            return Ok(p.clone());
+            return Ok(p);
         }
         let spec = lookup_spec(app)?;
         let program = build_program(&spec, scale);
-        let profiled = profile_app(&program, GpuConfig::hd4000(), 1)
-            .map_err(|e| ("pipeline".to_string(), e.to_string()))?;
+        // The engine's configured thread count governs executor
+        // fan-out too — never the ambient GTPIN_THREADS — so fault
+        // accounting (which seams exist depends on worker count) is a
+        // pure function of the ServeConfig.
+        let mut gpu = GpuConfig::hd4000();
+        gpu.exec.threads = self.config.threads.max(1);
+        let profiled =
+            profile_app(&program, gpu, 1).map_err(|e| ("pipeline".to_string(), e.to_string()))?;
+        let canary = serde_json::to_string(&profiled.data)
+            .unwrap_or_default()
+            .into_bytes();
         // First writer wins on a duplicate-compute race; the work is
         // deterministic, so either Arc is the same data.
         Ok(lock(&self.profiles)
             .entry(memo_key)
-            .or_insert_with(|| Arc::new(profiled))
+            .or_insert_with(|| SealedSlot::new(Arc::new(profiled), canary))
+            .value
             .clone())
     }
 
     /// The memoized 30-configuration sweep for `(app, scale)`.
+    /// Verify-on-read with quarantine-and-recompute, like
+    /// [`Self::profiled`].
     fn exploration(&self, app: &str, scale: &str) -> Result<Arc<Exploration>, (String, String)> {
         let parsed = parse_scale(scale)?;
         let memo_key = format!("{app}/{parsed:?}");
-        if let Some(ex) = lock(&self.explorations).get(&memo_key) {
+        let ident = gtpin_faults::hash_str(&memo_key) ^ 0x5EED;
+        let cached = {
+            let mut map = lock(&self.explorations);
+            match map.get_mut(&memo_key) {
+                Some(slot) => match slot.verified(ident) {
+                    Some(ex) => Some(ex),
+                    None => {
+                        map.remove(&memo_key);
+                        gtpin_faults::sealed::note_heal("serve.exploration");
+                        None
+                    }
+                },
+                None => None,
+            }
+        };
+        if let Some(ex) = cached {
             gtpin_obs::counter_add("serve.memo_explore_hit", 1);
-            return Ok(ex.clone());
+            return Ok(ex);
         }
         let profiled = self.profiled(app, scale)?;
         let ex = Exploration::run_with_threads(
@@ -606,9 +801,11 @@ impl SessionEngine {
             &SimpointConfig::default(),
             self.config.threads.max(1),
         );
+        let canary = serde_json::to_string(&ex).unwrap_or_default().into_bytes();
         Ok(lock(&self.explorations)
             .entry(memo_key)
-            .or_insert_with(|| Arc::new(ex))
+            .or_insert_with(|| SealedSlot::new(Arc::new(ex), canary))
+            .value
             .clone())
     }
 
@@ -717,16 +914,28 @@ fn parse_scale(scale: &str) -> Result<Scale, (String, String)> {
 
 /// Detailed-simulate the first `launches` launches (0 = all) at test
 /// scale, mirroring `gtpin sim`'s deterministic digest.
-fn compute_sim(app: &str, launches: u64) -> Result<(String, u64), (String, String)> {
+fn compute_sim(
+    app: &str,
+    launches: u64,
+    threads: usize,
+) -> Result<(String, u64), (String, String)> {
     let spec = lookup_spec(app)?;
     let program = build_program(&spec, Scale::Test);
-    let mut rt = OclRuntime::new(Gpu::new(GpuConfig::hd4000()));
+    // Pin both the functional replay's executor fan-out and the
+    // detailed simulator's shard workers to the engine's configured
+    // thread count: results are bit-identical at any value by
+    // contract, and the fault seams exercised stay independent of
+    // the ambient GTPIN_THREADS / GTPIN_SIM_THREADS.
+    let mut gpu_config = GpuConfig::hd4000();
+    gpu_config.exec.threads = threads;
+    let mut rt = OclRuntime::new(Gpu::new(gpu_config));
     rt.run(&program, Schedule::Replay)
         .map_err(|e| ("run".to_string(), e.to_string()))?;
     let gpu = rt.into_device();
 
     let topo = GpuGeneration::IvyBridgeHd4000.topology();
-    let mut sim = DetailedSimulator::new(topo, 1.15e9, DetailedConfig::default());
+    let mut sim =
+        DetailedSimulator::new(topo, 1.15e9, DetailedConfig::default()).with_workers(threads);
     let all = gpu.launches();
     let n = if launches == 0 {
         all.len()
@@ -1078,5 +1287,160 @@ mod tests {
         // Policy trajectory matches the uninterrupted run too.
         assert_eq!(resumed.supervisor_report(), baseline.supervisor_report());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_reaper_reclaims_expired_sessions_into_error_lease() {
+        let app = first_app();
+        let dir = std::env::temp_dir().join(format!("gtpin-serve-lease-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stuck = Request::Lint { app: app.clone() };
+
+        // One completed session advances the virtual clock well past
+        // the tiny lease deadline appended below.
+        {
+            let journaled = engine(ServeConfig {
+                journal_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            });
+            let done = journaled.handle(&Request::Sim {
+                app: app.clone(),
+                launches: 1,
+            });
+            assert!(!done.is_err(), "clock-advancing session runs: {done:?}");
+        }
+        // A SIGKILL'd session: Start + Lease, no Finish.
+        {
+            let (mut j, _) = Journal::recover(&dir).expect("recovers");
+            let start = SessionRecord::Start {
+                key: stuck.session_key(),
+                request: stuck.clone(),
+            };
+            j.append(serde_json::to_string(&start).unwrap().as_bytes())
+                .expect("appends start");
+            let lease = SessionRecord::Lease {
+                key: stuck.session_key(),
+                app: app.clone(),
+                deadline_virtual_ns: 1,
+            };
+            j.append(serde_json::to_string(&lease).unwrap().as_bytes())
+                .expect("appends lease");
+        }
+
+        let (resumed, report) = SessionEngine::new(ServeConfig {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..ServeConfig::default()
+        })
+        .expect("resumes");
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.recomputed, 0, "reaped, not recomputed");
+        assert_eq!(report.reaped, 1);
+        match resumed.cached(&stuck.session_key()) {
+            Some(SessionResult::Failed { kind, message, .. }) => {
+                assert_eq!(kind, "lease");
+                assert!(message.contains("reaper"), "message: {message}");
+            }
+            other => panic!("expected reaped error[lease], got {other:?}"),
+        }
+        let digest = resumed.response_digest();
+
+        // The reaped Finish is durable: a second resume replays it
+        // verbatim — identical responses and policy trajectory,
+        // nothing left to reap.
+        let (again, second) = SessionEngine::new(ServeConfig {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..ServeConfig::default()
+        })
+        .expect("resumes again");
+        assert_eq!(second.reaped, 0);
+        assert_eq!(second.replayed, 2);
+        assert_eq!(again.response_digest(), digest);
+        assert_eq!(again.supervisor_report(), resumed.supervisor_report());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unexpired_lease_still_recomputes_on_resume() {
+        let app = first_app();
+        let dir = std::env::temp_dir().join(format!("gtpin-serve-lease-ok-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stuck = Request::Lint { app: app.clone() };
+
+        // Start + far-future Lease, no Finish, no prior virtual time:
+        // the lease has not expired, so resume recomputes as always.
+        {
+            let mut j = Journal::create(&dir).expect("creates");
+            let start = SessionRecord::Start {
+                key: stuck.session_key(),
+                request: stuck.clone(),
+            };
+            j.append(serde_json::to_string(&start).unwrap().as_bytes())
+                .expect("appends start");
+            let lease = SessionRecord::Lease {
+                key: stuck.session_key(),
+                app: app.clone(),
+                deadline_virtual_ns: u64::MAX,
+            };
+            j.append(serde_json::to_string(&lease).unwrap().as_bytes())
+                .expect("appends lease");
+        }
+        let (resumed, report) = SessionEngine::new(ServeConfig {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..ServeConfig::default()
+        })
+        .expect("resumes");
+        assert_eq!(report.reaped, 0);
+        assert_eq!(report.recomputed, 1);
+        let recomputed = resumed.cached(&stuck.session_key()).expect("recomputed");
+        // The recomputed result matches a fresh engine's.
+        let fresh = engine(ServeConfig::default());
+        assert_eq!(fresh.handle(&stuck), recomputed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The fault registry is process-global; tests that install plans
+    // serialize on this lock.
+    static FAULTS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn corrupted_memo_caches_heal_to_identical_responses() {
+        use gtpin_faults::FaultPlan;
+
+        let _g = FAULTS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        gtpin_faults::disable();
+        let app = first_app();
+        let profile = Request::Profile {
+            app: app.clone(),
+            scale: "test".to_string(),
+        };
+        let explore = Request::Explore {
+            app: app.clone(),
+            scale: "test".to_string(),
+            threshold_pct: 5.0,
+        };
+
+        // Clean baseline: the bytes every faulted run must reproduce.
+        let clean = engine(ServeConfig::default());
+        let want_profile = clean.handle(&profile);
+        let want_explore = clean.handle(&explore);
+        assert!(!want_profile.is_err() && !want_explore.is_err());
+
+        // Corrupt every cache read: each memo hit trips its canary,
+        // quarantines the entry, and recomputes — the responses stay
+        // bitwise identical to the clean baseline.
+        gtpin_faults::install(FaultPlan::single(site::CACHE_CORRUPT, 1.0, 99));
+        let e = engine(ServeConfig::default());
+        assert_eq!(e.handle(&profile), want_profile);
+        assert_eq!(e.handle(&explore), want_explore);
+        let acc: BTreeMap<String, u64> = gtpin_faults::take_accounting().into_iter().collect();
+        gtpin_faults::disable();
+        assert!(acc["injected.cache.corrupt"] >= 1, "{acc:?}");
+        assert!(acc["healed.serve.profile"] >= 1, "{acc:?}");
+        assert!(acc["recovered.cache_heal"] >= 1, "{acc:?}");
     }
 }

@@ -1,0 +1,203 @@
+//! Torn-tail behavior of lease records.
+//!
+//! A lease is journaled as its own sealed segment. If the machine
+//! dies mid-write, the segment's tail is torn at an arbitrary byte.
+//! Recovery must classify the session by what actually survived:
+//!
+//! - **intact lease** (cut at the full length): the deadline is
+//!   readable and expired, so the reaper reclaims the session into a
+//!   durable `error[lease]`;
+//! - **torn lease** (cut anywhere short of full): the record is
+//!   truncated away, never parsed — the session is an ordinary
+//!   interrupted Start and is recomputed, not reaped.
+//!
+//! The exhaustive test walks every byte offset of the lease segment;
+//! the proptest wrapper re-samples offsets to document the property
+//! form.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use gtpin_durable::Journal;
+use gtpin_serve::wire::Request;
+use gtpin_serve::{ServeConfig, SessionEngine, SessionRecord, SessionResult};
+use proptest::prelude::*;
+
+/// Serialize trials: each one resumes an engine against a scratch
+/// copy of the shared master journal.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn first_app() -> String {
+    workloads::all_specs()
+        .into_iter()
+        .next()
+        .expect("workloads exist")
+        .name
+        .to_string()
+}
+
+fn stuck_request() -> Request {
+    Request::Lint { app: first_app() }
+}
+
+/// The master journal, built once: a completed Sim session (which
+/// advances the virtual clock far past the tiny deadline below),
+/// then the SIGKILL'd session's Start and Lease, each sealed as its
+/// own segment. Returns the directory, the lease segment's file
+/// name, and its byte length.
+fn master() -> &'static (PathBuf, String, usize) {
+    static MASTER: OnceLock<(PathBuf, String, usize)> = OnceLock::new();
+    MASTER.get_or_init(|| {
+        gtpin_faults::disable();
+        let dir = std::env::temp_dir().join(format!(
+            "gtpin-serve-lease-torn-master-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = first_app();
+        {
+            let (engine, _) = SessionEngine::new(ServeConfig {
+                journal_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            })
+            .expect("journaled engine");
+            let done = engine.handle(&Request::Sim {
+                app: app.clone(),
+                launches: 1,
+            });
+            assert!(!done.is_err(), "clock-advancing session runs: {done:?}");
+        }
+        let stuck = stuck_request();
+        let before: Vec<String> = segment_names(&dir);
+        {
+            let (mut j, _) = Journal::recover(&dir).expect("recovers");
+            let start = SessionRecord::Start {
+                key: stuck.session_key(),
+                request: stuck.clone(),
+            };
+            j.append(serde_json::to_string(&start).unwrap().as_bytes())
+                .expect("appends start");
+            let lease = SessionRecord::Lease {
+                key: stuck.session_key(),
+                app,
+                deadline_virtual_ns: 1,
+            };
+            j.append(serde_json::to_string(&lease).unwrap().as_bytes())
+                .expect("appends lease");
+        }
+        // The lease segment is the single new highest-numbered one.
+        let lease_seg = segment_names(&dir)
+            .into_iter()
+            .filter(|n| !before.contains(n))
+            .max()
+            .expect("lease segment sealed");
+        let len = std::fs::metadata(dir.join(&lease_seg)).unwrap().len() as usize;
+        (dir, lease_seg, len)
+    })
+}
+
+fn segment_names(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+                .filter(|n| n.ends_with(".log"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+/// One trial: copy the master journal, tear the lease segment at
+/// `cut`, resume, and report
+/// `(reaped, recomputed, torn_records, stuck_is_error_lease)`.
+fn classify(cut: usize) -> (usize, usize, usize, bool) {
+    let (master_dir, lease_seg, len) = master();
+    assert!(cut <= *len);
+    let dir = std::env::temp_dir().join(format!(
+        "gtpin-serve-lease-torn-{}-{cut}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    for name in segment_names(master_dir) {
+        std::fs::copy(master_dir.join(&name), dir.join(&name)).expect("copies segment");
+    }
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(lease_seg))
+        .expect("opens lease segment");
+    f.set_len(cut as u64).expect("tears the tail");
+    drop(f);
+
+    let (resumed, report) = SessionEngine::new(ServeConfig {
+        journal_dir: Some(dir.clone()),
+        resume: true,
+        ..ServeConfig::default()
+    })
+    .expect("resumes");
+    let is_lease_error = matches!(
+        resumed.cached(&stuck_request().session_key()),
+        Some(SessionResult::Failed { ref kind, .. }) if kind == "lease"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        report.reaped,
+        report.recomputed,
+        report.torn_records,
+        is_lease_error,
+    )
+}
+
+/// A segment opens with an 8-byte magic; a cut landing exactly
+/// there leaves a validly-empty sealed segment, not a torn one.
+const SEGMENT_MAGIC_LEN: usize = 8;
+
+fn check(cut: usize, full: usize) {
+    let (reaped, recomputed, torn, is_lease_error) = classify(cut);
+    if cut == full {
+        assert_eq!(
+            (reaped, recomputed, torn, is_lease_error),
+            (1, 0, 0, true),
+            "cut {cut}/{full}: intact expired lease must be reaped into error[lease]"
+        );
+    } else {
+        let want_torn = usize::from(cut != SEGMENT_MAGIC_LEN);
+        assert_eq!(
+            (reaped, recomputed, torn, is_lease_error),
+            (0, 1, want_torn, false),
+            "cut {cut}/{full}: torn lease must be truncated away and the session recomputed"
+        );
+    }
+}
+
+/// Every byte offset of the lease segment, exhaustively: the torn
+/// record is never parsed, never reaped, and never lost — the
+/// session always reaches exactly one of its two legal recoveries.
+#[test]
+fn every_lease_tear_offset_recovers_to_a_legal_state() {
+    let _guard = lock();
+    let full = master().2;
+    for cut in 0..=full {
+        check(cut, full);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property form of the exhaustive walk above, with offsets
+    /// drawn at random (scaled into the segment's byte range).
+    #[test]
+    fn sampled_lease_tear_offsets_recover_to_a_legal_state(frac in 0u32..=1000) {
+        let _guard = lock();
+        let full = master().2;
+        let cut = (frac as usize * full) / 1000;
+        check(cut, full);
+    }
+}

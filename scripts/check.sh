@@ -236,6 +236,46 @@ grep -q "replayed from the journal" "$RESUME_DIR/resume-stderr.txt" || {
 }
 echo "resumed report is byte-identical to the uninterrupted baseline"
 
+echo "== chaos gate: fixed seeds, digest pinned, 1 vs 4 threads diffed, kill/resume diffed"
+# Four seeded scenarios through the full pipeline (profile, sweep
+# crash/resume, serve kill/resume) under multi-site fault plans. The
+# digest folds every stage digest plus fault accounting, so it pins
+# scenario derivation, fault injection, recovery, and the oracles all
+# at once. Re-pin only after reviewing what changed.
+CHAOS_DIGEST=0x21c5752636e97fa7
+CHAOS_DIR="$(pwd)/target/chaos-check"
+rm -rf "$CHAOS_DIR"
+mkdir -p "$CHAOS_DIR"
+GTPIN_THREADS=1 ./target/release/gtpin chaos --seeds 4 --seed-base 42 \
+    > "$CHAOS_DIR/t1.txt"
+GTPIN_THREADS=4 ./target/release/gtpin chaos --seeds 4 --seed-base 42 \
+    > "$CHAOS_DIR/t4.txt"
+diff -u "$CHAOS_DIR/t1.txt" "$CHAOS_DIR/t4.txt" || {
+    echo "FAIL: chaos digest is not independent of GTPIN_THREADS"
+    exit 1
+}
+grep -q "digest $CHAOS_DIGEST" "$CHAOS_DIR/t1.txt" || {
+    tail -3 "$CHAOS_DIR/t1.txt"
+    echo "FAIL: chaos digest drifted from pinned $CHAOS_DIGEST"
+    exit 1
+}
+# Kill/resume identity of the chaos run itself: journal two scenarios,
+# then resume the full range — completed scenarios replay from the
+# journal and the output must be byte-identical to the uninterrupted
+# run above.
+./target/release/gtpin chaos --seeds 2 --seed-base 42 \
+    --journal "$CHAOS_DIR/journal" >/dev/null
+./target/release/gtpin chaos --seeds 4 --seed-base 42 \
+    --resume "$CHAOS_DIR/journal" > "$CHAOS_DIR/resumed.txt"
+diff -u "$CHAOS_DIR/t1.txt" "$CHAOS_DIR/resumed.txt" || {
+    echo "FAIL: resumed chaos run diverged from the uninterrupted run"
+    exit 1
+}
+# The shrinker self-test: a seeded multi-site failure must reduce to
+# its single guilty site.
+./target/release/gtpin chaos --self-test
+echo "chaos digest matches pinned $CHAOS_DIGEST at 1 and 4 threads, kill/resume identical"
+
 echo "== serve gate: daemon, 4 concurrent clients, SIGKILL mid-session, --resume, diff"
 SERVE_DIR="$(pwd)/target/serve-check"
 rm -rf "$SERVE_DIR"
@@ -247,8 +287,9 @@ SERVE_REQS=(
     "lint sandra-crypt-aes128"
     "sim sandra-crypt-aes256 --launches 2"
 )
-# A SIGKILL'd daemon leaves a stale socket file behind, so each stage
-# removes it before launching and only then waits for the fresh bind.
+# A SIGKILL'd daemon leaves a stale socket file behind; the daemon's
+# liveness probe detects the corpse and rebinds on its own, so no
+# stage removes the socket — a still-live daemon stays protected.
 wait_for_sock() {
     for _ in $(seq 1 3000); do
         [ -S "$SOCK" ] && return 0
@@ -282,7 +323,6 @@ wait "$DAEMON_PID" || {
 # Journaled daemon: the same four requests as concurrent clients, then
 # SIGKILL once sessions are journaled. Clients cut off mid-delivery
 # may fail; their responses are re-fetched after resume.
-rm -f "$SOCK"
 ./target/release/gtpin serve --socket "$SOCK" --journal "$SERVE_DIR/journal" \
     2>"$SERVE_DIR/killed-daemon.log" &
 DAEMON_PID=$!
@@ -311,10 +351,10 @@ done
 wait "$DAEMON_PID" 2>/dev/null || true
 wait || true
 
-# Restart with --resume: completed sessions replay from the journal,
-# interrupted ones recompute; every response must be byte-identical to
-# the uninterrupted baseline.
-rm -f "$SOCK"
+# Restart with --resume, over the SIGKILL'd daemon's stale socket —
+# the liveness probe must reclaim it. Completed sessions replay from
+# the journal, interrupted ones recompute; every response must be
+# byte-identical to the uninterrupted baseline.
 ./target/release/gtpin serve --socket "$SOCK" --resume "$SERVE_DIR/journal" \
     2>"$SERVE_DIR/resumed-daemon.log" &
 DAEMON_PID=$!

@@ -69,6 +69,30 @@
 //! gtpin faults-matrix [--seed N]      run the workload suite under every
 //!                                     GTPIN_FAULTS scenario twice and
 //!                                     assert the degradation contract
+//! gtpin chaos [options]               seeded end-to-end chaos: each seed
+//!                                     derives a multi-site fault plan, a
+//!                                     kill/resume schedule across the
+//!                                     profile/explore/sim/serve pipeline,
+//!                                     and a thread count; oracles check
+//!                                     conservation, replay identity,
+//!                                     resume identity, and bounded
+//!                                     restarts; failures shrink to a
+//!                                     minimal (seed, site-set, kill-point)
+//!                                     triple; ends with a deterministic
+//!                                     digest (bit-identical at every
+//!                                     GTPIN_THREADS and across a mid-run
+//!                                     kill/resume of the chaos run itself)
+//!     --seeds <n>                     scenarios to run (default 5)
+//!     --seed-base <n>                 first seed (default GTPIN_CHAOS_SEED
+//!                                     or 0)
+//!     --journal <dir>                 journal completed scenarios to a
+//!                                     fresh directory
+//!     --resume <dir>                  recover <dir>; skip completed
+//!                                     scenarios, identical final digest
+//!     --max-restarts <n>              sweep crash/resume budget per
+//!                                     scenario (default
+//!                                     GTPIN_CHAOS_MAX_RESTARTS or 200)
+//!     --self-test                     run the shrinker self-test and exit
 //! gtpin serve [options]               run the profiling daemon on a Unix
 //!                                     socket until SIGTERM/SIGINT drains
 //!                                     it (admission knobs come from
@@ -86,7 +110,12 @@
 //!                                     the n+1th sheds error[busy]
 //! gtpin request <kind> <app> [opts]   submit one request to a running
 //!                                     daemon and stream the response;
-//!                                     exits nonzero on error[*] payloads
+//!                                     exits nonzero on error[*] payloads;
+//!                                     transient failures (connect/IO/wire
+//!                                     errors, error[busy] sheds) retry
+//!                                     with deterministic seeded jittered
+//!                                     backoff (GTPIN_RETRY_MAX attempts,
+//!                                     GTPIN_RETRY_BASE_MS base delay)
 //!     kinds: profile [--scale s], explore [--scale s] [--threshold pct],
 //!            sim [--launches n], lint, analyze; --socket <path> selects
 //!            the daemon
@@ -132,11 +161,12 @@ fn main() {
         Some("obs-convert") => cmd_obs_convert(&args[1..]),
         Some("obs-timeline") => cmd_obs_timeline(&args[1..]),
         Some("faults-matrix") => cmd_faults_matrix(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gtpin <list|run|select|explore|sim|disasm|lint|analyze|luxmark|obs-report|obs-verify|obs-convert|obs-timeline|faults-matrix|serve|request> [args]"
+                "usage: gtpin <list|run|select|explore|sim|disasm|lint|analyze|luxmark|obs-report|obs-verify|obs-convert|obs-timeline|faults-matrix|chaos|serve|request> [args]"
             );
             eprintln!("       see crate docs for options");
             std::process::exit(2);
@@ -811,6 +841,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
         max_sessions,
         supervisor: SupervisorConfig::from_env(),
         threads: gtpin_suite::par::configured_threads(),
+        // Lease length (GTPIN_LEASE_MS) comes from the default.
+        ..ServeConfig::default()
     })?;
     Ok(())
 }
@@ -862,7 +894,11 @@ fn cmd_request(args: &[String]) -> CliResult {
         }
     };
 
-    let responses = gtpin_suite::serve::request_once(&socket, &request)?;
+    // Transient failures (dead socket, torn frame, busy shed) retry
+    // behind deterministic seeded jittered backoff; terminal typed
+    // errors come back on the first attempt they are observed.
+    let policy = gtpin_suite::serve::RetryPolicy::from_env();
+    let responses = gtpin_suite::serve::request_with_retry(&socket, &request, &policy)?;
     for response in responses {
         match response {
             Response::Chunk { text } => print!("{text}"),
@@ -1084,6 +1120,7 @@ struct ServeMatrixRun {
 fn matrix_serve_run(
     apps: &[gtpin_suite::workloads::WorkloadSpec],
     plan: Option<&faults::FaultPlan>,
+    deep: bool,
 ) -> Result<ServeMatrixRun, GtPinError> {
     use gtpin_suite::serve::wire::Request;
     use gtpin_suite::serve::{ServeConfig, SessionEngine};
@@ -1097,14 +1134,33 @@ fn matrix_serve_run(
         ..ServeConfig::default()
     })?;
     let mut requests = Vec::new();
-    for spec in apps {
-        requests.push(Request::Sim {
-            app: spec.name.to_string(),
-            launches: 2,
+    if deep {
+        // The deep request list routes through every sealed cache:
+        // Profile seals a memo, Explore re-reads it and seals the
+        // per-configuration interval tables, Analyze seals the
+        // per-kernel analyses. Distinct session keys throughout, so
+        // the response cache never short-circuits the sealed reads.
+        let app = apps[0].name.to_string();
+        requests.push(Request::Profile {
+            app: app.clone(),
+            scale: "test".to_string(),
         });
-        requests.push(Request::Lint {
-            app: spec.name.to_string(),
+        requests.push(Request::Explore {
+            app: app.clone(),
+            scale: "test".to_string(),
+            threshold_pct: 5.0,
         });
+        requests.push(Request::Analyze { app });
+    } else {
+        for spec in apps {
+            requests.push(Request::Sim {
+                app: spec.name.to_string(),
+                launches: 2,
+            });
+            requests.push(Request::Lint {
+                app: spec.name.to_string(),
+            });
+        }
     }
 
     let mut run = ServeMatrixRun {
@@ -1137,6 +1193,85 @@ fn matrix_serve_run(
     run.accounting = faults::take_accounting();
     faults::disable();
     Ok(run)
+}
+
+/// What a lease-expiry matrix run yields: the resumed engine's
+/// response digest, the fault accounting, and the reaped count.
+type LeaseRunOutcome = (u64, Vec<(String, u64)>, usize);
+
+/// Lease-expiry scenario: journal one completed session (advancing
+/// the virtual clock), hand-append a Start+Lease pair with an
+/// already-expired deadline — exactly what a SIGKILL'd worker leaves
+/// behind — then resume. The reaper must reclaim the orphan into a
+/// durable `error[lease]`. Returns (digest, accounting, reaped).
+fn matrix_lease_run(
+    apps: &[gtpin_suite::workloads::WorkloadSpec],
+    seed: u64,
+    tag: &str,
+) -> Result<LeaseRunOutcome, GtPinError> {
+    use gtpin_suite::serve::wire::Request;
+    use gtpin_suite::serve::{ServeConfig, SessionEngine, SessionRecord};
+
+    let dir = std::env::temp_dir().join(format!(
+        "gtpin-faults-matrix-lease-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    faults::disable();
+
+    let app = apps[0].name.to_string();
+    let stuck = Request::Lint { app: app.clone() };
+    // One completed session advances the virtual clock well past the
+    // tiny lease deadline appended below.
+    {
+        let (engine, _) = SessionEngine::new(ServeConfig {
+            journal_dir: Some(dir.clone()),
+            threads: 2,
+            ..ServeConfig::default()
+        })?;
+        let done = engine.handle(&Request::Sim {
+            app: app.clone(),
+            launches: 1,
+        });
+        if done.is_err() {
+            return Err("lease-expiry: clock-advancing session failed".into());
+        }
+    }
+    // The SIGKILL'd session: Start + Lease in the journal, no Finish.
+    {
+        let (mut journal, _) = Journal::recover(&dir)?;
+        let start = SessionRecord::Start {
+            key: stuck.session_key(),
+            request: stuck.clone(),
+        };
+        journal.append(serde_json::to_string(&start)?.as_bytes())?;
+        let lease = SessionRecord::Lease {
+            key: stuck.session_key(),
+            app,
+            deadline_virtual_ns: 1,
+        };
+        journal.append(serde_json::to_string(&lease)?.as_bytes())?;
+    }
+
+    // Resume with the registry armed-but-quiescent so the reaper's
+    // `recovered.lease_reaped` accounting registers.
+    faults::install(faults::FaultPlan::quiescent(seed));
+    let (resumed, report) = SessionEngine::new(ServeConfig {
+        journal_dir: Some(dir.clone()),
+        resume: true,
+        threads: 2,
+        ..ServeConfig::default()
+    })?;
+    let mut digest = resumed.response_digest();
+    digest = fnv_fold(
+        digest,
+        format!("{:?}", resumed.supervisor_report()).as_bytes(),
+    );
+    digest = fnv_fold(digest, &(report.reaped as u64).to_le_bytes());
+    let accounting = faults::take_accounting();
+    faults::disable();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((digest, accounting, report.reaped))
 }
 
 fn cmd_faults_matrix(args: &[String]) -> CliResult {
@@ -1380,10 +1515,10 @@ fn cmd_faults_matrix(args: &[String]) -> CliResult {
         "\n{:21} {:>4} {:>4} {:>9} {:>9}  contract",
         "serve scenario", "ok", "err", "injected", "recovered"
     );
-    let serve_baseline = matrix_serve_run(&apps, None)?;
+    let serve_baseline = matrix_serve_run(&apps, None, false)?;
     // Zero-rate equivalence: armed-but-quiescent serve seams run
     // their check paths yet must reproduce the disabled baseline.
-    let serve_quiescent = matrix_serve_run(&apps, Some(&FaultPlan::quiescent(seed)))?;
+    let serve_quiescent = matrix_serve_run(&apps, Some(&FaultPlan::quiescent(seed)), false)?;
     if serve_quiescent.digest != serve_baseline.digest {
         violations.push(
             "serve zero-rate: armed-but-quiescent responses diverged from disabled baseline"
@@ -1401,8 +1536,8 @@ fn cmd_faults_matrix(args: &[String]) -> CliResult {
         ),
     ];
     for (name, plan) in &serve_scenarios {
-        let first = matrix_serve_run(&apps, Some(plan))?;
-        let second = matrix_serve_run(&apps, Some(plan))?;
+        let first = matrix_serve_run(&apps, Some(plan), false)?;
+        let second = matrix_serve_run(&apps, Some(plan), false)?;
         let mut notes: Vec<&str> = vec!["replayed"];
         if first.digest != second.digest || first.accounting != second.accounting {
             violations.push(format!(
@@ -1467,10 +1602,109 @@ fn cmd_faults_matrix(args: &[String]) -> CliResult {
         );
     }
 
+    // Self-healing scenarios: verify-on-read sealed caches under
+    // forced corruption, and the lease reaper reclaiming a
+    // SIGKILL'd session on resume.
+    println!(
+        "\n{:21} {:>9} {:>9}  contract",
+        "healing scenario", "injected", "healed"
+    );
+    {
+        // cache-corrupt: every sealed-cache read is corrupted in
+        // memory; verify-on-read must quarantine the bad entry,
+        // recompute, and come out bitwise identical to the no-fault
+        // deep baseline — corruption heals, it never propagates.
+        let deep_baseline = matrix_serve_run(&apps, None, true)?;
+        let plan = FaultPlan::single(site::CACHE_CORRUPT, 1.0, seed);
+        let first = matrix_serve_run(&apps, Some(&plan), true)?;
+        let second = matrix_serve_run(&apps, Some(&plan), true)?;
+        let mut notes: Vec<&str> = vec!["replayed"];
+        if first.digest != second.digest || first.accounting != second.accounting {
+            violations.push(format!(
+                "cache-corrupt: two identically-seeded trials disagree \
+                 (digest {:#x} vs {:#x})",
+                first.digest, second.digest
+            ));
+        }
+        if first.digest != deep_baseline.digest {
+            violations
+                .push("cache-corrupt: healed responses diverged from the no-fault baseline".into());
+        } else {
+            notes.push("baseline-identical");
+        }
+        let injected: u64 = first
+            .accounting
+            .iter()
+            .filter(|(k, _)| k.starts_with("injected."))
+            .map(|(_, v)| v)
+            .sum();
+        let healed = first
+            .accounting
+            .iter()
+            .find(|(k, _)| k.as_str() == "recovered.cache_heal")
+            .map_or(0, |(_, v)| *v);
+        let heals_profile = first
+            .accounting
+            .iter()
+            .any(|(k, v)| k.as_str() == "healed.serve.profile" && *v >= 1);
+        let heals_tables = first
+            .accounting
+            .iter()
+            .any(|(k, v)| k.as_str() == "healed.selection.interval_table" && *v >= 1);
+        if injected == 0 || healed == 0 {
+            violations.push("cache-corrupt: no corruptions healed at rate 1.0".into());
+        } else if !heals_profile || !heals_tables {
+            violations.push(
+                "cache-corrupt: healing missed a cache layer (memo or interval tables)".into(),
+            );
+        } else {
+            notes.push("healed");
+        }
+        println!(
+            "{:21} {:>9} {:>9}  {}",
+            "cache-corrupt",
+            injected,
+            healed,
+            notes.join(", ")
+        );
+    }
+    {
+        // lease-expiry: a session journaled Start+Lease but never
+        // Finish (a SIGKILL'd worker); resume must reap it into a
+        // durable error[lease] — deterministically.
+        let first = matrix_lease_run(&apps, seed, "a")?;
+        let second = matrix_lease_run(&apps, seed, "b")?;
+        let mut notes: Vec<&str> = vec!["replayed"];
+        if first.0 != second.0 || first.1 != second.1 {
+            violations.push(format!(
+                "lease-expiry: two identically-seeded trials disagree \
+                 (digest {:#x} vs {:#x})",
+                first.0, second.0
+            ));
+        }
+        let reaped = first
+            .1
+            .iter()
+            .find(|(k, _)| k.as_str() == "recovered.lease_reaped")
+            .map_or(0, |(_, v)| *v);
+        if first.2 != 1 || reaped == 0 {
+            violations.push("lease-expiry: the expired lease was not reaped on resume".into());
+        } else {
+            notes.push("reaped-into-error[lease]");
+        }
+        println!(
+            "{:21} {:>9} {:>9}  {}",
+            "lease-expiry",
+            first.2,
+            reaped,
+            notes.join(", ")
+        );
+    }
+
     if violations.is_empty() {
         println!(
             "\nfaults-matrix: all {} scenarios honored the degradation contract",
-            scenarios.len() + journal_scenarios.len() + 1 + serve_scenarios.len()
+            scenarios.len() + journal_scenarios.len() + 1 + serve_scenarios.len() + 2
         );
         Ok(())
     } else {
@@ -1478,5 +1712,47 @@ fn cmd_faults_matrix(args: &[String]) -> CliResult {
             eprintln!("violation: {v}");
         }
         Err(format!("faults-matrix: {} contract violation(s)", violations.len()).into())
+    }
+}
+
+fn cmd_chaos(args: &[String]) -> CliResult {
+    use gtpin_suite::chaos::{run_chaos, self_test, ChaosConfig};
+
+    if args.iter().any(|a| a == "--self-test") {
+        let (line, ok) = self_test();
+        println!("{line}");
+        if ok {
+            return Ok(());
+        }
+        return Err("chaos --self-test: shrinking did not reach a single site".into());
+    }
+
+    let defaults = ChaosConfig::default();
+    let seeds: u64 = flag_value(args, "--seeds")?
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(defaults.seeds);
+    let seed_base: u64 = flag_value(args, "--seed-base")?
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(defaults.seed_base);
+    let max_restarts: u64 = flag_value(args, "--max-restarts")?
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(defaults.max_restarts);
+    let (journal_dir, resume) = parse_journal_flags(args)?;
+    let report = run_chaos(&ChaosConfig {
+        seeds,
+        seed_base,
+        journal_dir,
+        resume,
+        max_restarts,
+        ..defaults
+    })?;
+    print!("{}", report.render());
+    if report.failures() == 0 {
+        Ok(())
+    } else {
+        Err(format!("chaos: {} scenario(s) failed", report.failures()).into())
     }
 }

@@ -14,6 +14,7 @@ use gen_isa::DecodeError;
 use gpu_device::executor::ExecError;
 use gpu_device::jit::JitError;
 use gtpin_analyze::VerifyError;
+use gtpin_chaos::ChaosError;
 use gtpin_durable::JournalError;
 use gtpin_obs::reader::ObsError;
 use gtpin_serve::ServeError;
@@ -52,6 +53,9 @@ pub enum GtPinError {
     /// The serving layer failed (socket, wire protocol, session
     /// journal).
     Serve(ServeError),
+    /// The chaos harness itself failed (its own journal) — scenario
+    /// failures are reported results, not this.
+    Chaos(ChaosError),
     /// A served session failed on the daemon side; `kind` is the
     /// daemon's `error[kind]` label reflected back through the
     /// client, so scripts dispatch on remote failures exactly as on
@@ -92,6 +96,7 @@ impl GtPinError {
             GtPinError::Journal(_) => "journal",
             GtPinError::Obs(_) => "obs",
             GtPinError::Serve(e) => e.kind(),
+            GtPinError::Chaos(_) => "chaos",
             GtPinError::Remote { kind, .. } => kind,
             GtPinError::Budget(_) => "budget",
             GtPinError::Io(_) => "io",
@@ -116,6 +121,7 @@ impl std::fmt::Display for GtPinError {
             GtPinError::Journal(e) => write!(f, "{e}"),
             GtPinError::Obs(e) => write!(f, "{e}"),
             GtPinError::Serve(e) => write!(f, "{e}"),
+            GtPinError::Chaos(e) => write!(f, "{e}"),
             GtPinError::Remote { message, .. } => f.write_str(message),
             GtPinError::Budget(s) => f.write_str(s),
             GtPinError::Io(e) => write!(f, "{e}"),
@@ -140,6 +146,7 @@ impl std::error::Error for GtPinError {
             GtPinError::Journal(e) => Some(e),
             GtPinError::Obs(e) => Some(e),
             GtPinError::Serve(e) => Some(e),
+            GtPinError::Chaos(e) => Some(e),
             GtPinError::Remote { .. } => None,
             GtPinError::Budget(_) => None,
             GtPinError::Io(e) => Some(e),
@@ -171,6 +178,7 @@ from_impl!(PipelineError => Pipeline);
 from_impl!(JournalError => Journal);
 from_impl!(ObsError => Obs);
 from_impl!(ServeError => Serve);
+from_impl!(ChaosError => Chaos);
 from_impl!(std::io::Error => Io);
 from_impl!(serde_json::Error => Json);
 from_impl!(String => Msg);

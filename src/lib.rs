@@ -20,6 +20,9 @@
 //!   behind `gtpin explore --resume`,
 //! * [`serve`] — the `gtpin serve` profiling daemon: Unix-socket
 //!   protocol, admission control, journaled sessions with resume,
+//! * [`chaos`] — the seeded end-to-end chaos harness behind
+//!   `gtpin chaos` (scenario generation, kill/resume schedules,
+//!   invariant oracles, shrinking),
 //! * [`simpoint`] — SimPoint-style clustering,
 //! * [`selection`] — simulation subset selection,
 //! * [`workloads`] — the 25 benchmark applications.
@@ -32,6 +35,7 @@ pub use error::GtPinError;
 pub use gen_isa as isa;
 pub use gpu_device as device;
 pub use gtpin_analyze as analyze;
+pub use gtpin_chaos as chaos;
 pub use gtpin_core as gtpin;
 pub use gtpin_durable as durable;
 pub use gtpin_faults as faults;
